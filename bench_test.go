@@ -1,0 +1,276 @@
+package regexrw
+
+// Benchmarks, one group per experiment in DESIGN.md's index (EX2, THM5,
+// THM6, THM8, RPQ1, RPQ2), plus micro-benchmarks of the automata
+// substrate. Absolute numbers depend on the machine; EXPERIMENTS.md
+// records the shapes (who wins, how growth scales).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"regexrw/internal/automata"
+	"regexrw/internal/core"
+	"regexrw/internal/rpq"
+	"regexrw/internal/workload"
+)
+
+// BenchmarkEX2Rewriting measures the full Example 2 pipeline: parse,
+// construct A_d, A', complement, and render the rewriting regex.
+func BenchmarkEX2Rewriting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := Rewrite("a·(b·a+c)*", map[string]string{
+			"e1": "a", "e2": "a·c*·b", "e3": "c",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Regex() == nil {
+			b.Fatal("nil rewriting")
+		}
+	}
+}
+
+func BenchmarkTHM5Chain(b *testing.B) {
+	for _, k := range []int{4, 16, 64} {
+		inst := workload.ChainFamily(k)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.MaximalRewriting(inst)
+			}
+		})
+	}
+}
+
+func BenchmarkTHM5PairChain(b *testing.B) {
+	for _, k := range []int{4, 16} {
+		inst := workload.PairChainFamily(k)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.MaximalRewriting(inst)
+			}
+		})
+	}
+}
+
+func BenchmarkTHM5DetBlowup(b *testing.B) {
+	for _, n := range []int{4, 8, 12} {
+		inst := workload.DetBlowupFamily(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.MaximalRewriting(inst)
+			}
+		})
+	}
+}
+
+// BenchmarkTHM6Exactness compares the paper's on-the-fly exactness
+// check (Theorem 6) with the materialized baseline on the same
+// rewriting. The rewriting is rebuilt per iteration to defeat caching.
+func BenchmarkTHM6Exactness(b *testing.B) {
+	for _, n := range []int{8, 12} {
+		inst := workload.DetBlowupFamily(n)
+		b.Run(fmt.Sprintf("onTheFly/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := core.MaximalRewriting(inst)
+				if ok, _ := r.IsExact(); !ok {
+					b.Fatal("expected exact")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("materialized/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := core.MaximalRewriting(inst)
+				if !r.IsExactMaterialized() {
+					b.Fatal("expected exact")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTHM8CounterFamily measures the lower-bound family: time and
+// (reported once) the rewriting size, which must grow like n·2^n.
+func BenchmarkTHM8CounterFamily(b *testing.B) {
+	for _, n := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			states := 0
+			for i := 0; i < b.N; i++ {
+				inst := workload.CounterFamily(n)
+				r := core.MaximalRewriting(inst)
+				states = r.MinimalDFA().NumStates()
+			}
+			b.ReportMetric(float64(states), "rewriting-states")
+		})
+	}
+}
+
+// BenchmarkRPQ1Rewrite compares the grounded (Theorem 11) and direct
+// (Section 4.2) RPQ rewriting constructions as the domain grows.
+func BenchmarkRPQ1Rewrite(b *testing.B) {
+	for _, d := range []int{16, 128, 1024} {
+		r := rand.New(rand.NewSource(int64(d)))
+		tt := workload.RandomTheory(r, workload.TheoryConfig{Constants: d, Predicates: 4, Density: 0.5})
+		q0 := workload.RandomRPQ(r, tt, 3)
+		views := []rpq.View{
+			{Name: "u1", Query: workload.RandomRPQ(r, tt, 3)},
+			{Name: "u2", Query: workload.RandomRPQ(r, tt, 3)},
+			{Name: "u3", Query: workload.RandomRPQ(r, tt, 3)},
+		}
+		b.Run(fmt.Sprintf("grounded/D=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rpq.Rewrite(q0, views, tt, rpq.Grounded); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("direct/D=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rpq.Rewrite(q0, views, tt, rpq.Direct); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRPQ2Eval measures query answering over growing graphs, for
+// both evaluation strategies.
+func BenchmarkRPQ2Eval(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	tt := workload.RandomTheory(r, workload.TheoryConfig{Constants: 5, Predicates: 3, Density: 0.5})
+	q0, err := rpq.ParseQuery("p·any*·q", map[string]string{"p": "p1", "any": "true", "q": "p2"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, nodes := range []int{50, 200} {
+		db := workload.RandomGraph(r, workload.GraphConfig{
+			Nodes: nodes, Edges: nodes * 4, Labels: tt.Domain().Names(),
+		})
+		b.Run(fmt.Sprintf("grounded/nodes=%d", nodes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q0.Answer(tt, db)
+			}
+		})
+		b.Run(fmt.Sprintf("direct/nodes=%d", nodes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q0.AnswerDirect(tt, db)
+			}
+		})
+	}
+}
+
+// BenchmarkEX3Partial measures the Example 3 partial-rewriting search.
+func BenchmarkEX3Partial(b *testing.B) {
+	inst, err := ParseInstance("a·(b+c)", map[string]string{"q1": "a", "q2": "b"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PartialRewriting(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDUAL1Possibility measures the dual (possibility) rewriting
+// construction next to the maximal contained one on the same instances.
+func BenchmarkDUAL1Possibility(b *testing.B) {
+	for _, n := range []int{6, 10} {
+		inst := workload.DetBlowupFamily(n)
+		b.Run(fmt.Sprintf("contained/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.MaximalRewriting(inst)
+			}
+		})
+		b.Run(fmt.Sprintf("possibility/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.PossibilityRewriting(inst)
+			}
+		})
+	}
+}
+
+// BenchmarkCOST1Prune measures cost-guided view pruning.
+func BenchmarkCOST1Prune(b *testing.B) {
+	inst, err := ParseInstance("a·b·c·d", map[string]string{
+		"vAll": "a·b·c·d", "vAB": "a·b", "vCD": "c·d",
+		"vA": "a", "vB": "b", "vC": "c", "vD": "d",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	costs := core.ViewCosts{"vAll": 50, "vAB": 10, "vCD": 10}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.PruneViews(inst, costs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGPQ1Chain measures generalized-path-query evaluation as the
+// chain length grows.
+func BenchmarkGPQ1Chain(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	tt := workload.RandomTheory(r, workload.TheoryConfig{Constants: 4, Predicates: 2, Density: 0.6})
+	db := workload.RandomGraph(r, workload.GraphConfig{Nodes: 30, Edges: 90, Labels: tt.Domain().Names()})
+	for _, k := range []int{2, 4} {
+		queries := make([]*rpq.Query, k)
+		for i := range queries {
+			queries[i] = workload.RandomRPQ(r, tt, 2)
+		}
+		chain := rpq.Chain(queries...)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := chain.Answer(tt, db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- substrate micro-benchmarks ----
+
+func benchNFA(n int) *automata.NFA {
+	inst := workload.DetBlowupFamily(n)
+	return inst.Query.ToNFA(inst.Sigma())
+}
+
+func BenchmarkDeterminize(b *testing.B) {
+	for _, n := range []int{8, 12} {
+		nfa := benchNFA(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				automata.Determinize(nfa)
+			}
+		})
+	}
+}
+
+func BenchmarkMinimize(b *testing.B) {
+	for _, n := range []int{8, 12} {
+		d := automata.Determinize(benchNFA(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d.Minimize()
+			}
+		})
+	}
+}
+
+func BenchmarkContainment(b *testing.B) {
+	n1 := benchNFA(10)
+	n2 := benchNFA(12)
+	b.Run("onTheFly", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			automata.ContainedIn(n1, n2)
+		}
+	})
+	b.Run("materialized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			automata.ContainedInMaterialized(n1, n2)
+		}
+	})
+}

@@ -1,0 +1,56 @@
+// Command experiments regenerates every experiment in the reproduction
+// index (DESIGN.md Section 4 / EXPERIMENTS.md): the paper's worked
+// examples, Figure 1, and the families realizing Theorems 2, 5–8 and
+// the Section 4 results.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -run THM8  # run experiments whose id contains THM8
+//	experiments -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"regexrw/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command with explicit streams so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	filter := fs.String("run", "", "run only experiments whose id contains this string")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	parallel := fs.Bool("parallel", false, "run experiments concurrently (timings get noisier)")
+	asJSON := fs.Bool("json", false, "emit a JSON array of results (id, title, seconds, ok, output)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(stdout, "%-5s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+	runner := experiments.Run
+	if *parallel {
+		runner = experiments.RunParallel
+	}
+	if *asJSON {
+		runner = experiments.RunJSON
+	}
+	if err := runner(stdout, *filter); err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, id := range []string{"EX1", "THM8", "RPQ3", "DUAL1", "GPQ1", "COST1"} {
+		if !strings.Contains(out.String(), id) {
+			t.Fatalf("list missing %s:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunSingle(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-run", "EX1"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "Σ_E-maximal rewriting") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-run", "NOPE"}, &out, &errBuf); code != 1 {
+		t.Fatal("unknown filter should exit 1")
+	}
+}
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	var seq, par bytes.Buffer
+	if code := run([]string{"-run", "EX"}, &seq, &bytes.Buffer{}); code != 0 {
+		t.Fatal("sequential failed")
+	}
+	if code := run([]string{"-run", "EX", "-parallel"}, &par, &bytes.Buffer{}); code != 0 {
+		t.Fatal("parallel failed")
+	}
+	if seq.String() != par.String() {
+		t.Fatal("parallel output differs from sequential")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-run", "EX1", "-json"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	var results []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(results) != 1 || results[0]["id"] != "EX1" || results[0]["ok"] != true {
+		t.Fatalf("unexpected results: %v", results)
+	}
+	if !strings.Contains(results[0]["output"].(string), "rewriting") {
+		t.Fatal("output missing")
+	}
+}

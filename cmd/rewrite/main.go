@@ -1,0 +1,166 @@
+// Command rewrite computes the Σ_E-maximal rewriting of a regular
+// expression in terms of views (Section 2 of Calvanese, De Giacomo,
+// Lenzerini, Vardi, PODS 1999).
+//
+// Usage:
+//
+//	rewrite -query 'a·(b·a+c)*' -view 'e1=a' -view 'e2=a·c*·b' -view 'e3=c' [-dot] [-partial]
+//
+// It prints the rewriting as a regular expression over the view names,
+// whether it is exact (with a witness word when it is not), and the
+// emptiness diagnostics of Section 3.2. With -dot, the three automata
+// of the construction (A_d, A', R) are emitted in Graphviz syntax.
+// With -partial, a minimal set of elementary views making the
+// rewriting exact is searched for (Section 4.3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"regexrw/internal/automata"
+	"regexrw/internal/core"
+)
+
+type viewFlags map[string]string
+
+func (v viewFlags) String() string { return fmt.Sprint(map[string]string(v)) }
+
+func (v viewFlags) Set(s string) error {
+	name, expr, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=expression, got %q", s)
+	}
+	if _, dup := v[name]; dup {
+		return fmt.Errorf("duplicate view %q", name)
+	}
+	v[name] = expr
+	return nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command with explicit streams so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rewrite", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	query := fs.String("query", "", "regular expression E0 to rewrite (required)")
+	views := viewFlags{}
+	fs.Var(views, "view", "view definition name=expression (repeatable)")
+	dot := fs.Bool("dot", false, "emit the construction's automata in Graphviz dot syntax")
+	partial := fs.Bool("partial", false, "search for a minimal elementary-view extension making the rewriting exact")
+	possible := fs.Bool("possible", false, "also compute the possibility (containing) rewriting")
+	explain := fs.String("explain", "", "space-separated view word: report membership and, if rejected, an escaping expansion")
+	costs := viewFlags{}
+	fs.Var(costs, "cost", "view evaluation cost name=weight (repeatable); triggers cost-guided view pruning")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *query == "" {
+		fmt.Fprintln(stderr, "rewrite: -query is required")
+		fs.Usage()
+		return 2
+	}
+
+	inst, err := core.ParseInstance(*query, views)
+	if err != nil {
+		fmt.Fprintln(stderr, "rewrite:", err)
+		return 1
+	}
+
+	r := core.MaximalRewriting(inst)
+	fmt.Fprintf(stdout, "E0        = %s\n", inst.Query)
+	for _, v := range inst.Views {
+		fmt.Fprintf(stdout, "re(%s)%s = %s\n", v.Name, strings.Repeat(" ", max(0, 4-len(v.Name))), v.Expr)
+	}
+	fmt.Fprintf(stdout, "rewriting = %s\n", r.Regex())
+
+	exact, witness := r.IsExact()
+	fmt.Fprintf(stdout, "exact     = %v\n", exact)
+	if !exact {
+		fmt.Fprintf(stdout, "witness   = %s   (in L(E0) but not in exp(L(R)))\n",
+			automata.FormatWord(inst.Sigma(), witness))
+	}
+	fmt.Fprintf(stdout, "Σ_E-empty = %v, Σ-empty = %v\n", r.IsEmpty(), r.IsSigmaEmpty())
+	if w, ok := r.ShortestWord(); ok {
+		fmt.Fprintf(stdout, "shortest  = %s\n", automata.FormatWord(inst.SigmaE(), w))
+	}
+
+	if *explain != "" {
+		names := strings.Fields(*explain)
+		if r.Accepts(names...) {
+			fmt.Fprintf(stdout, "\n%s ∈ L(R): every expansion lies in L(E0)\n", strings.Join(names, "·"))
+		} else if w, ok := r.ExplainRejection(names...); ok {
+			fmt.Fprintf(stdout, "\n%s ∉ L(R): expansion %s escapes L(E0)\n",
+				strings.Join(names, "·"), automata.FormatWord(inst.Sigma(), w))
+		} else {
+			fmt.Fprintf(stdout, "\n%s ∉ L(R): unknown view name in the word\n", strings.Join(names, "·"))
+		}
+	}
+
+	if *dot {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, r.Ad.DOT("Ad"))
+		fmt.Fprint(stdout, r.APrime.DOT("Aprime"))
+		fmt.Fprint(stdout, r.Auto.Minimize().TrimPartial().DOT("R"))
+	}
+
+	if *partial && !exact {
+		res, err := core.PartialRewriting(inst)
+		if err != nil {
+			fmt.Fprintln(stderr, "rewrite: partial:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\npartial rewriting: add elementary views %v\n", res.Added)
+		fmt.Fprintf(stdout, "extended rewriting = %s (exact)\n", res.Rewriting.Regex())
+	}
+
+	if *possible {
+		p := core.PossibilityRewriting(inst)
+		containing, cex := p.IsContaining()
+		fmt.Fprintf(stdout, "\npossibility rewriting = %s\n", p.Regex())
+		fmt.Fprintf(stdout, "containing rewriting exists = %v\n", containing)
+		if !containing {
+			fmt.Fprintf(stdout, "uncoverable word of L(E0) = %s\n",
+				automata.FormatWord(inst.Sigma(), cex))
+		}
+	}
+
+	if len(costs) > 0 {
+		viewCosts := core.ViewCosts{}
+		for name, weight := range costs {
+			var v float64
+			if _, err := fmt.Sscanf(weight, "%g", &v); err != nil {
+				fmt.Fprintf(stderr, "rewrite: bad -cost %s=%s\n", name, weight)
+				return 2
+			}
+			viewCosts[name] = v
+		}
+		pruned, pr, err := core.PruneViews(inst, viewCosts)
+		if err != nil {
+			fmt.Fprintln(stderr, "rewrite: prune:", err)
+			return 1
+		}
+		names := make([]string, len(pruned.Views))
+		for i, v := range pruned.Views {
+			names[i] = v.Name
+		}
+		fmt.Fprintf(stdout, "\ncost-guided pruning keeps views %v\n", names)
+		fmt.Fprintf(stdout, "pruned rewriting = %s (estimated cost %.1f)\n",
+			pr.Regex(), pr.EstimatedCost(viewCosts))
+	}
+	return 0
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, &out, &errBuf)
+	return out.String(), errBuf.String(), code
+}
+
+func TestRewriteExample2(t *testing.T) {
+	out, _, code := runCmd(t,
+		"-query", "a·(b·a+c)*",
+		"-view", "e1=a", "-view", "e2=a·c*·b", "-view", "e3=c")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"rewriting = e2*·e1·e3*", "exact     = true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRewriteNonExactShowsWitness(t *testing.T) {
+	out, _, code := runCmd(t,
+		"-query", "a·(b·a+c)*",
+		"-view", "e1=a", "-view", "e2=a·c*·b")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "exact     = false") || !strings.Contains(out, "witness   = a·c") {
+		t.Fatalf("missing witness:\n%s", out)
+	}
+}
+
+func TestRewriteDOT(t *testing.T) {
+	out, _, code := runCmd(t, "-query", "a", "-view", "e=a", "-dot")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{`digraph "Ad"`, `digraph "Aprime"`, `digraph "R"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q", want)
+		}
+	}
+}
+
+func TestRewritePartialFlag(t *testing.T) {
+	out, _, code := runCmd(t, "-query", "a·(b+c)", "-view", "q1=a", "-view", "q2=b", "-partial")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "add elementary views [c]") {
+		t.Fatalf("partial search missing:\n%s", out)
+	}
+}
+
+func TestRewritePossibleFlag(t *testing.T) {
+	out, _, code := runCmd(t, "-query", "a·(b+c)", "-view", "q1=a", "-view", "q2=b", "-possible")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"possibility rewriting = q1·q2", "containing rewriting exists = false", "uncoverable word of L(E0) = a·c"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRewriteCostFlag(t *testing.T) {
+	out, _, code := runCmd(t, "-query", "a·b",
+		"-view", "vBig=a·b", "-view", "vA=a", "-view", "vB=b",
+		"-cost", "vBig=100")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "cost-guided pruning keeps views [vA vB]") {
+		t.Fatalf("pruning output wrong:\n%s", out)
+	}
+	if _, _, code := runCmd(t, "-query", "a", "-view", "e=a", "-cost", "e=notanumber"); code != 2 {
+		t.Fatal("bad cost weight should exit 2")
+	}
+}
+
+func TestRewriteErrors(t *testing.T) {
+	if _, _, code := runCmd(t); code != 2 {
+		t.Fatal("missing -query should exit 2")
+	}
+	if _, stderr, code := runCmd(t, "-query", "(("); code != 1 || !strings.Contains(stderr, "rewrite:") {
+		t.Fatalf("bad query: code=%d stderr=%q", code, stderr)
+	}
+	if _, _, code := runCmd(t, "-query", "a", "-view", "noequals"); code != 2 {
+		t.Fatal("bad view should fail flag parsing")
+	}
+	if _, _, code := runCmd(t, "-query", "a", "-view", "e=a", "-view", "e=b"); code != 2 {
+		t.Fatal("duplicate view should fail")
+	}
+}
+
+func TestRewriteExplainFlag(t *testing.T) {
+	out, _, code := runCmd(t, "-query", "a·(b·a+c)*",
+		"-view", "e1=a", "-view", "e2=a·c*·b", "-view", "e3=c",
+		"-explain", "e1 e2")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "e1·e2 ∉ L(R): expansion a·a·b escapes L(E0)") {
+		t.Fatalf("explain output wrong:\n%s", out)
+	}
+	out, _, _ = runCmd(t, "-query", "a·b", "-view", "e1=a", "-view", "e2=b", "-explain", "e1 e2")
+	if !strings.Contains(out, "e1·e2 ∈ L(R)") {
+		t.Fatalf("explain membership wrong:\n%s", out)
+	}
+	out, _, _ = runCmd(t, "-query", "a", "-view", "e=a", "-explain", "nosuch")
+	if !strings.Contains(out, "unknown view name") {
+		t.Fatalf("explain unknown-view wrong:\n%s", out)
+	}
+}

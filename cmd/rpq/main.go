@@ -1,0 +1,172 @@
+// Command rpq evaluates and rewrites regular path queries over
+// semi-structured databases (Section 4 of the paper).
+//
+// Usage:
+//
+//	rpq -graph site.graph -theory site.theory \
+//	    -query 'cityRJ·any*·rest' \
+//	    -formula 'cityRJ==rome | =jerusalem' -formula 'any=true' -formula 'rest==restaurant' \
+//	    [-view 'vr:cityRJ' ...] [-method direct] [-partial]
+//
+// The graph file holds "from label to" triples; the theory file holds
+// "const …" and "pred …" lines. Formulae are given as name=definition
+// (note "==" when the definition itself starts with the elementary
+// '='). Views reference formulae by name with expression syntax after
+// a colon: -view 'name:expr'. Without views the query is evaluated
+// directly; with views it is rewritten, checked for exactness, and
+// answered through the views.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"regexrw/internal/graph"
+	"regexrw/internal/rpq"
+	"regexrw/internal/theory"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command with explicit streams so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rpq", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "rpq:", err)
+		return 1
+	}
+	graphPath := fs.String("graph", "", "path to the graph file (required)")
+	theoryPath := fs.String("theory", "", "path to the theory file (optional: defaults to equality-only over the graph's labels)")
+	queryExpr := fs.String("query", "", "regular path query expression over formula names (required)")
+	var formulaDefs, viewDefs multiFlag
+	fs.Var(&formulaDefs, "formula", "formula definition name=definition (repeatable)")
+	fs.Var(&viewDefs, "view", "view definition name:expression over formula names (repeatable)")
+	methodName := fs.String("method", "grounded", "rewriting construction: grounded or direct")
+	partial := fs.Bool("partial", false, "search for atomic/elementary views making the rewriting exact")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *graphPath == "" || *queryExpr == "" {
+		fmt.Fprintln(stderr, "rpq: -graph and -query are required")
+		fs.Usage()
+		return 2
+	}
+
+	var method rpq.Method
+	switch *methodName {
+	case "grounded":
+		method = rpq.Grounded
+	case "direct":
+		method = rpq.Direct
+	default:
+		fmt.Fprintf(stderr, "rpq: unknown -method %q\n", *methodName)
+		return 2
+	}
+
+	// Theory: from file, or the trivial equality theory over the labels
+	// found in the graph.
+	var tt *theory.Interpretation
+	if *theoryPath != "" {
+		f, err := os.Open(*theoryPath)
+		if err != nil {
+			return fail(err)
+		}
+		tt, err = theory.Read(f)
+		f.Close()
+		if err != nil {
+			return fail(err)
+		}
+	} else {
+		tt = theory.New()
+	}
+
+	gf, err := os.Open(*graphPath)
+	if err != nil {
+		return fail(err)
+	}
+	db, err := graph.Read(gf, tt.Domain())
+	gf.Close()
+	if err != nil {
+		return fail(err)
+	}
+
+	formulas := map[string]string{}
+	for _, def := range formulaDefs {
+		name, body, ok := strings.Cut(def, "=")
+		if !ok || name == "" {
+			return fail(fmt.Errorf("bad -formula %q: want name=definition", def))
+		}
+		formulas[name] = body
+	}
+	q0, err := rpq.ParseQuery(*queryExpr, formulas)
+	if err != nil {
+		return fail(err)
+	}
+
+	answers := q0.Answer(tt, db)
+	fmt.Fprintf(stdout, "query: %s\n", q0)
+	fmt.Fprintf(stdout, "direct answer: %d pairs\n", len(answers))
+	for _, p := range db.PairNames(answers) {
+		fmt.Fprintln(stdout, " ", p)
+	}
+
+	if len(viewDefs) == 0 {
+		return 0
+	}
+
+	var views []rpq.View
+	for _, def := range viewDefs {
+		name, expr, ok := strings.Cut(def, ":")
+		if !ok || name == "" {
+			return fail(fmt.Errorf("bad -view %q: want name:expression", def))
+		}
+		vq, err := rpq.ParseQuery(expr, formulas)
+		if err != nil {
+			return fail(fmt.Errorf("view %s: %w", name, err))
+		}
+		views = append(views, rpq.View{Name: name, Query: vq})
+	}
+
+	r, err := rpq.Rewrite(q0, views, tt, method)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stdout, "\nrewriting over views: %s\n", r.RegexOverViews())
+	exact, _ := r.IsExact()
+	fmt.Fprintf(stdout, "exact: %v\n", exact)
+
+	viaViews := r.AnswerUsingViews(db)
+	fmt.Fprintf(stdout, "answer through views: %d pairs\n", len(viaViews))
+	for _, p := range db.PairNames(viaViews) {
+		fmt.Fprintln(stdout, " ", p)
+	}
+
+	if *partial && !exact {
+		res, err := rpq.PartialRewrite(q0, views, tt, rpq.DefaultCandidates(tt), method)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "\npartial rewriting adds:\n")
+		for _, c := range res.Added {
+			kind := "atomic"
+			if c.Kind == rpq.ElementaryView {
+				kind = "elementary"
+			}
+			fmt.Fprintf(stdout, "  %s view %s\n", kind, c.Name)
+		}
+		fmt.Fprintf(stdout, "extended rewriting = %s (exact)\n", res.Rewriting.RegexOverViews())
+	}
+	return 0
+}

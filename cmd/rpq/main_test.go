@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFixtures(t *testing.T) (graphPath, theoryPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	graphPath = filepath.Join(dir, "site.graph")
+	theoryPath = filepath.Join(dir, "site.theory")
+	graphData := `root rome romePage
+root jerusalem jerusalemPage
+romePage district trastevere
+trastevere restaurant carlotta
+jerusalemPage restaurant taami
+`
+	theoryData := `const rome jerusalem district restaurant
+pred city rome jerusalem
+`
+	if err := os.WriteFile(graphPath, []byte(graphData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(theoryPath, []byte(theoryData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return graphPath, theoryPath
+}
+
+func runCmd(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, &out, &errBuf)
+	return out.String(), errBuf.String(), code
+}
+
+func TestRPQDirectEvaluation(t *testing.T) {
+	g, th := writeFixtures(t)
+	out, _, code := runCmd(t,
+		"-graph", g, "-theory", th,
+		"-query", "c·any*·rest",
+		"-formula", "c=city", "-formula", "any=true", "-formula", "rest==restaurant")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "direct answer: 2 pairs") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	for _, p := range []string{"root→carlotta", "root→taami"} {
+		if !strings.Contains(out, p) {
+			t.Fatalf("missing pair %s:\n%s", p, out)
+		}
+	}
+}
+
+func TestRPQRewriteThroughViews(t *testing.T) {
+	g, th := writeFixtures(t)
+	for _, method := range []string{"grounded", "direct"} {
+		out, _, code := runCmd(t,
+			"-graph", g, "-theory", th, "-method", method,
+			"-query", "c·d*·rest",
+			"-formula", "c=city", "-formula", "d==district", "-formula", "rest==restaurant",
+			"-view", "vc:c", "-view", "vd:d", "-view", "vt:rest")
+		if code != 0 {
+			t.Fatalf("method %s: exit %d", method, code)
+		}
+		for _, want := range []string{"rewriting over views: vc·vd*·vt", "exact: true", "answer through views: 2 pairs"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("method %s: missing %q:\n%s", method, want, out)
+			}
+		}
+	}
+}
+
+func TestRPQWithoutTheoryFile(t *testing.T) {
+	g, _ := writeFixtures(t)
+	out, _, code := runCmd(t,
+		"-graph", g,
+		"-query", "r", "-formula", "r==rome")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "direct answer: 1 pairs") {
+		t.Fatalf("unexpected:\n%s", out)
+	}
+}
+
+func TestRPQPartial(t *testing.T) {
+	g, th := writeFixtures(t)
+	out, _, code := runCmd(t,
+		"-graph", g, "-theory", th, "-partial",
+		"-query", "rome+dist",
+		"-formula", "rome==rome", "-formula", "dist==district",
+		"-view", "vr:rome")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "partial rewriting adds:") {
+		t.Fatalf("partial search missing:\n%s", out)
+	}
+}
+
+func TestRPQErrors(t *testing.T) {
+	g, th := writeFixtures(t)
+	if _, _, code := runCmd(t); code != 2 {
+		t.Fatal("missing flags should exit 2")
+	}
+	if _, _, code := runCmd(t, "-graph", g, "-query", "x", "-method", "frob"); code != 2 {
+		t.Fatal("bad method should exit 2")
+	}
+	if _, _, code := runCmd(t, "-graph", "/does/not/exist", "-query", "x", "-formula", "x=true"); code != 1 {
+		t.Fatal("missing graph file should exit 1")
+	}
+	if _, _, code := runCmd(t, "-graph", g, "-theory", th, "-query", "undefinedFormula"); code != 1 {
+		t.Fatal("undefined formula should exit 1")
+	}
+	if _, _, code := runCmd(t, "-graph", g, "-query", "x", "-formula", "x=true", "-view", "noColon"); code != 1 {
+		t.Fatal("bad view syntax should exit 1")
+	}
+}

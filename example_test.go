@@ -1,0 +1,154 @@
+package regexrw_test
+
+import (
+	"fmt"
+	"log"
+
+	"regexrw"
+)
+
+// The paper's Example 2: rewriting a·(b·a+c)* using the views
+// e1 = a, e2 = a·c*·b, e3 = c.
+func ExampleRewrite() {
+	r, err := regexrw.Rewrite("a·(b·a+c)*", map[string]string{
+		"e1": "a", "e2": "a·c*·b", "e3": "c",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, _ := r.IsExact()
+	fmt.Println("rewriting:", r.Regex())
+	fmt.Println("exact:", exact)
+	// Output:
+	// rewriting: e2*·e1·e3*
+	// exact: true
+}
+
+// Non-exact rewritings come with a witness word the views cannot reach.
+func ExampleRewriting_IsExact() {
+	r, err := regexrw.Rewrite("a·(b·a+c)*", map[string]string{
+		"e1": "a", "e2": "a·c*·b",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, witness := r.IsExact()
+	fmt.Println("exact:", exact)
+	fmt.Print("witness:")
+	for _, s := range witness {
+		fmt.Print(" ", r.Sigma().Name(s))
+	}
+	fmt.Println()
+	// Output:
+	// exact: false
+	// witness: a c
+}
+
+// The paper's Example 3: when no exact rewriting exists, a minimal set
+// of elementary views that restores exactness is searched for.
+func ExamplePartialRewriting() {
+	inst, err := regexrw.ParseInstance("a·(b+c)", map[string]string{
+		"q1": "a", "q2": "b",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := regexrw.PartialRewriting(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("added elementary views:", res.Added)
+	fmt.Println("rewriting:", res.Rewriting.Regex())
+	// Output:
+	// added elementary views: [c]
+	// rewriting: q1·(q2+c)
+}
+
+// The possibility rewriting captures the view words that MAY produce a
+// word of the query — the dual of the maximal contained rewriting.
+func ExamplePossibilityRewriting() {
+	inst, err := regexrw.ParseInstance("a·b", map[string]string{
+		"e1": "a+c", "e2": "b",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	contained := regexrw.MaximalRewriting(inst)
+	possible := regexrw.PossibilityRewriting(inst)
+	fmt.Println("e1·e2 certain: ", contained.Accepts("e1", "e2"))
+	fmt.Println("e1·e2 possible:", possible.Accepts("e1", "e2"))
+	// Output:
+	// e1·e2 certain:  false
+	// e1·e2 possible: true
+}
+
+// Regular path queries: evaluate over a graph database, rewrite in
+// terms of views, and answer from the views alone.
+func ExampleRewriteRPQ() {
+	t := regexrw.NewTheory()
+	t.AddConstants("rome", "district", "restaurant")
+
+	db := regexrw.NewDB(t)
+	db.AddEdge("root", "rome", "romePage")
+	db.AddEdge("romePage", "district", "trastevere")
+	db.AddEdge("trastevere", "restaurant", "carlotta")
+
+	q0, err := regexrw.ParseQuery("r·d*·t", map[string]string{
+		"r": "=rome", "d": "=district", "t": "=restaurant",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	view := func(expr string, formulas map[string]string) *regexrw.Query {
+		q, err := regexrw.ParseQuery(expr, formulas)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return q
+	}
+	views := []regexrw.RPQView{
+		{Name: "vr", Query: view("r", map[string]string{"r": "=rome"})},
+		{Name: "vd", Query: view("d", map[string]string{"d": "=district"})},
+		{Name: "vt", Query: view("t", map[string]string{"t": "=restaurant"})},
+	}
+	rw, err := regexrw.RewriteRPQ(q0, views, t, regexrw.Direct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rewriting:", rw.RegexOverViews())
+	for _, p := range db.PairNames(rw.AnswerUsingViews(db)) {
+		fmt.Println("answer:", p)
+	}
+	// Output:
+	// rewriting: vr·vd*·vt
+	// answer: root→carlotta
+}
+
+// Generalized path queries (the conclusions' second extension) ask for
+// tuples of nodes chained by component queries.
+func ExampleChainQuery() {
+	t := regexrw.NewTheory()
+	t.AddConstants("a", "b")
+	db := regexrw.NewDB(t)
+	db.AddEdge("s", "a", "m")
+	db.AddEdge("m", "b", "u")
+
+	qa, _ := regexrw.ParseQuery("f", map[string]string{"f": "=a"})
+	qb, _ := regexrw.ParseQuery("f", map[string]string{"f": "=b"})
+	chain := regexrw.ChainQuery(qa, qb)
+	tuples, err := chain.Answer(t, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tu := range tuples {
+		for i, v := range chain.Vars() {
+			if i > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Printf("%s=%s", v, db.NodeName(tu[i]))
+		}
+		fmt.Println()
+	}
+	// Output:
+	// x1=s x2=m x3=u
+}

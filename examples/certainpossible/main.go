@@ -1,0 +1,92 @@
+// Certainpossible: the certain/possible answer gap. When views only
+// partially determine the database, the maximal contained rewriting
+// yields answers that hold in EVERY database consistent with the views
+// (certain), while the possibility rewriting yields answers that hold
+// in SOME such database (possible). This example shows both, plus the
+// cost-based view pruning that keeps query plans cheap.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"regexrw"
+)
+
+func main() {
+	// A catalogue database: products link to either a spec sheet or a
+	// review, and reviews link to scores.
+	t := regexrw.NewTheory()
+	t.AddConstants("spec", "review", "score")
+
+	db := regexrw.NewDB(t)
+	db.AddEdge("p1", "review", "r1")
+	db.AddEdge("r1", "score", "s1")
+	db.AddEdge("p2", "spec", "d2")
+
+	// The query: products connected to a score through a review.
+	q0, err := regexrw.ParseQuery("rev·sc", map[string]string{
+		"rev": "=review", "sc": "=score",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The only view exported by the source conflates spec and review
+	// edges ("some document link"), plus a score view.
+	mk := func(expr string, formulas map[string]string) *regexrw.Query {
+		q, err := regexrw.ParseQuery(expr, formulas)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return q
+	}
+	views := []regexrw.RPQView{
+		{Name: "doc", Query: mk("d", map[string]string{"d": "=spec | =review"})},
+		{Name: "sc", Query: mk("s", map[string]string{"s": "=score"})},
+	}
+
+	certain, err := regexrw.RewriteRPQ(q0, views, t, regexrw.Grounded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	possible, err := regexrw.RewritePossibleRPQ(q0, views, t)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("certain rewriting: ", certain.RegexOverViews(), "(doc·sc could be spec·score ∉ query)")
+	fmt.Println("possible rewriting:", possible.Regex())
+
+	fmt.Println("\ncertain answers (hold in every database with these views):")
+	for _, p := range db.PairNames(certain.AnswerUsingViews(db)) {
+		fmt.Println("  ", p)
+	}
+	fmt.Println("possible answers (hold in some database with these views):")
+	for _, p := range db.PairNames(possible.AnswerPossibleUsingViews(db)) {
+		fmt.Println("  ", p)
+	}
+
+	// Cost-based pruning at the regular-expression level: with an extra
+	// precise-but-expensive view available, the planner keeps the cheap
+	// combination when it answers the same language.
+	inst, err := regexrw.ParseInstance("review·score", map[string]string{
+		"vPath": "review·score", // precomputed join, expensive to refresh
+		"vRev":  "review",
+		"vSc":   "score",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	costs := regexrw.ViewCosts{"vPath": 40, "vRev": 2, "vSc": 2}
+	pruned, r, err := regexrw.PruneViews(inst, costs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nview pruning under costs {vPath: 40, vRev: 2, vSc: 2}:")
+	fmt.Print("  kept:")
+	for _, v := range pruned.Views {
+		fmt.Print(" ", v.Name)
+	}
+	fmt.Printf("\n  plan: %s  (estimated cost %.0f)\n", r.Regex(), r.EstimatedCost(costs))
+}

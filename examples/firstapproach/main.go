@@ -1,0 +1,52 @@
+// Firstapproach: the paper's Section 4 distinguishes two semi-structured
+// data models. This example uses the FIRST one — edges labeled directly
+// by constants, queries as plain regular expressions over those labels,
+// no formula/theory layer — where "the rewriting techniques proposed in
+// Section 2 can be directly applied". Compare examples/travel, which
+// uses the second (formula-based) model on the same scenario.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"regexrw/internal/graph"
+	"regexrw/internal/regex"
+	"regexrw/internal/rpq"
+)
+
+func main() {
+	db := graph.New(nil)
+	db.AddEdge("root", "rome", "romePage")
+	db.AddEdge("root", "jerusalem", "jerusalemPage")
+	db.AddEdge("root", "paris", "parisPage")
+	db.AddEdge("romePage", "restaurant", "carlotta")
+	db.AddEdge("jerusalemPage", "restaurant", "taami")
+	db.AddEdge("parisPage", "hotel", "ritz")
+
+	// The introduction's query, with labels used directly as letters.
+	q, err := rpq.ParseConstQuery("(rome+jerusalem)·restaurant")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("direct evaluation:")
+	for _, p := range db.PairNames(q.Answer(db)) {
+		fmt.Println("  ", p)
+	}
+
+	views := []rpq.ConstView{
+		{Name: "vCity", Expr: regex.MustParse("rome+jerusalem")},
+		{Name: "vRest", Expr: regex.MustParse("restaurant")},
+	}
+	r, err := rpq.RewriteConst(q, views)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, _ := r.IsExact()
+	fmt.Println("\nrewriting:", r.Regex(), " exact:", exact)
+
+	fmt.Println("answer computed from the views alone:")
+	for _, p := range db.PairNames(r.AnswerUsingViews(db)) {
+		fmt.Println("  ", p)
+	}
+}

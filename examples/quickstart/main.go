@@ -1,0 +1,53 @@
+// Quickstart: rewrite a regular expression in terms of views and check
+// exactness — the paper's Example 2 end-to-end through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"regexrw"
+)
+
+func main() {
+	// E0 = a·(b·a+c)* with views e1 = a, e2 = a·c*·b, e3 = c.
+	r, err := regexrw.Rewrite("a·(b·a+c)*", map[string]string{
+		"e1": "a",
+		"e2": "a·c*·b",
+		"e3": "c",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("maximal rewriting:", r.Regex()) // e2*·e1·e3*
+	exact, _ := r.IsExact()
+	fmt.Println("exact:", exact) // true
+
+	// Membership of Σ_E-words in the rewriting.
+	fmt.Println("e2·e1 in rewriting:", r.Accepts("e2", "e1"))               // true
+	fmt.Println("e1·e2 in rewriting:", r.Accepts("e1", "e2"))               // false
+	fmt.Println("e2·e2·e1·e3 accepted:", r.Accepts("e2", "e2", "e1", "e3")) // true
+
+	// Dropping the view for c loses exactness; the library shows which
+	// word of L(E0) became unreachable.
+	r2, err := regexrw.Rewrite("a·(b·a+c)*", map[string]string{
+		"e1": "a",
+		"e2": "a·c*·b",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwithout view c:", r2.Regex()) // e2*·e1
+	exact2, witness := r2.IsExact()
+	fmt.Println("exact:", exact2) // false
+	sigma := r2.Sigma()
+	out := ""
+	for i, x := range witness {
+		if i > 0 {
+			out += "·"
+		}
+		out += sigma.Name(x)
+	}
+	fmt.Println("missing word of L(E0):", out) // a·c
+}

@@ -1,0 +1,75 @@
+// Travel: the introduction's motivating scenario. A semi-structured web
+// of cities and venues is queried with the regular path query
+// "(rome + jerusalem) followed by any edges and then a restaurant
+// edge"; the query is then rewritten in terms of available views and
+// answered through them (Section 4 of the paper).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"regexrw"
+)
+
+func main() {
+	// Theory: the finite domain of edge labels and its predicates.
+	t := regexrw.NewTheory()
+	t.AddConstants("rome", "jerusalem", "paris", "district", "restaurant", "hotel")
+	t.Declare("city", "rome", "jerusalem", "paris")
+	t.Declare("venue", "restaurant", "hotel")
+
+	// The site graph.
+	db := regexrw.NewDB(t)
+	db.AddEdge("root", "rome", "romePage")
+	db.AddEdge("root", "jerusalem", "jerusalemPage")
+	db.AddEdge("root", "paris", "parisPage")
+	db.AddEdge("romePage", "district", "trastevere")
+	db.AddEdge("trastevere", "restaurant", "carlotta")
+	db.AddEdge("jerusalemPage", "restaurant", "taami")
+	db.AddEdge("parisPage", "hotel", "ritz")
+
+	// The query ·*(rome+jerusalem)·*restaurant from the introduction,
+	// here anchored at the site root: the pages of Rome or Jerusalem,
+	// any chain of district edges, then a restaurant edge.
+	q0, err := regexrw.ParseQuery("cityRJ·dist*·rest", map[string]string{
+		"cityRJ": "=rome | =jerusalem",
+		"dist":   "=district",
+		"rest":   "=restaurant",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("direct evaluation:")
+	for _, p := range db.PairNames(q0.Answer(t, db)) {
+		fmt.Println("  ", p)
+	}
+
+	// Views the site happens to export.
+	mk := func(expr string, formulas map[string]string) *regexrw.Query {
+		q, err := regexrw.ParseQuery(expr, formulas)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return q
+	}
+	views := []regexrw.RPQView{
+		{Name: "vCity", Query: mk("cityRJ", map[string]string{"cityRJ": "=rome | =jerusalem"})},
+		{Name: "vDist", Query: mk("dist", map[string]string{"dist": "=district"})},
+		{Name: "vRest", Query: mk("rest", map[string]string{"rest": "=restaurant"})},
+	}
+
+	r, err := regexrw.RewriteRPQ(q0, views, t, regexrw.Grounded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrewriting over the views:", r.RegexOverViews())
+	exact, _ := r.IsExact()
+	fmt.Println("exact:", exact)
+
+	fmt.Println("\nanswer computed from the views alone:")
+	for _, p := range db.PairNames(r.AnswerUsingViews(db)) {
+		fmt.Println("  ", p)
+	}
+}

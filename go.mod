@@ -1,0 +1,3 @@
+module regexrw
+
+go 1.22

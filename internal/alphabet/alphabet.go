@@ -1,0 +1,162 @@
+// Package alphabet provides interned symbol alphabets.
+//
+// Every automaton and regular expression in this repository is defined
+// over an Alphabet: an append-only, bidirectional mapping between
+// human-readable symbol names and dense integer Symbol ids. Interning
+// keeps the hot loops of the automata package free of string hashing,
+// and dense ids let transition tables be indexed by slice.
+//
+// The paper works with several alphabets at once — the base alphabet Σ,
+// the view alphabet Σ_E, the formula alphabet F of a theory, and the
+// edge-label domain D of a graph database — all of which are ordinary
+// Alphabet values here.
+package alphabet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Symbol is an interned symbol identifier, dense in [0, Alphabet.Len()).
+type Symbol int32
+
+// None is the invalid symbol, returned by lookups that fail.
+const None Symbol = -1
+
+// Alphabet is an append-only set of named symbols. The zero value is an
+// empty alphabet ready to use.
+type Alphabet struct {
+	names []string
+	ids   map[string]Symbol
+}
+
+// New returns an empty alphabet. Equivalent to new(Alphabet).
+func New() *Alphabet {
+	return &Alphabet{}
+}
+
+// FromNames returns an alphabet containing the given names in order.
+// Duplicate names are interned once.
+func FromNames(names ...string) *Alphabet {
+	a := New()
+	for _, n := range names {
+		a.Intern(n)
+	}
+	return a
+}
+
+// Intern returns the symbol for name, adding it if absent.
+func (a *Alphabet) Intern(name string) Symbol {
+	if s, ok := a.ids[name]; ok {
+		return s
+	}
+	if a.ids == nil {
+		a.ids = make(map[string]Symbol)
+	}
+	s := Symbol(len(a.names))
+	a.names = append(a.names, name)
+	a.ids[name] = s
+	return s
+}
+
+// Lookup returns the symbol for name, or None if name was never interned.
+func (a *Alphabet) Lookup(name string) Symbol {
+	if s, ok := a.ids[name]; ok {
+		return s
+	}
+	return None
+}
+
+// Contains reports whether name has been interned.
+func (a *Alphabet) Contains(name string) bool {
+	_, ok := a.ids[name]
+	return ok
+}
+
+// Name returns the name of symbol s. It panics if s is out of range,
+// since a foreign Symbol indicates mixed-up alphabets — a programming
+// error, not an input error.
+func (a *Alphabet) Name(s Symbol) string {
+	if s < 0 || int(s) >= len(a.names) {
+		panic(fmt.Sprintf("alphabet: symbol %d out of range [0,%d)", s, len(a.names)))
+	}
+	return a.names[s]
+}
+
+// Len returns the number of interned symbols.
+func (a *Alphabet) Len() int { return len(a.names) }
+
+// Symbols returns all symbols in interning order.
+func (a *Alphabet) Symbols() []Symbol {
+	out := make([]Symbol, len(a.names))
+	for i := range out {
+		out[i] = Symbol(i)
+	}
+	return out
+}
+
+// Names returns a copy of all symbol names in interning order.
+func (a *Alphabet) Names() []string {
+	out := make([]string, len(a.names))
+	copy(out, a.names)
+	return out
+}
+
+// Clone returns an independent copy of the alphabet.
+func (a *Alphabet) Clone() *Alphabet {
+	b := New()
+	for _, n := range a.names {
+		b.Intern(n)
+	}
+	return b
+}
+
+// Equal reports whether two alphabets intern the same names to the same
+// symbols (same names in the same order).
+func (a *Alphabet) Equal(b *Alphabet) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i, n := range a.names {
+		if b.names[i] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every name of a is interned in b (symbol ids
+// need not agree).
+func (a *Alphabet) SubsetOf(b *Alphabet) bool {
+	for _, n := range a.names {
+		if !b.Contains(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns a new alphabet interning all names of a then all names
+// of b (deduplicated, order-preserving).
+func Union(a, b *Alphabet) *Alphabet {
+	u := a.Clone()
+	for _, n := range b.names {
+		u.Intern(n)
+	}
+	return u
+}
+
+// String renders the alphabet as {n1, n2, ...} with names sorted, for
+// diagnostics.
+func (a *Alphabet) String() string {
+	names := a.Names()
+	sort.Strings(names)
+	return "{" + strings.Join(names, ", ") + "}"
+}
+
+// Map translates a symbol of a into the corresponding symbol of b by
+// name, interning into b if necessary.
+func Map(a *Alphabet, s Symbol, b *Alphabet) Symbol {
+	return b.Intern(a.Name(s))
+}

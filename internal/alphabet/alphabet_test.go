@@ -1,0 +1,177 @@
+package alphabet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInternAssignsDenseIDs(t *testing.T) {
+	a := New()
+	for i, name := range []string{"a", "b", "c"} {
+		if got := a.Intern(name); int(got) != i {
+			t.Fatalf("Intern(%q) = %d, want %d", name, got, i)
+		}
+	}
+	if a.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", a.Len())
+	}
+}
+
+func TestInternIsIdempotent(t *testing.T) {
+	a := New()
+	s1 := a.Intern("x")
+	s2 := a.Intern("x")
+	if s1 != s2 {
+		t.Fatalf("re-interning gave %d then %d", s1, s2)
+	}
+	if a.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", a.Len())
+	}
+}
+
+func TestLookup(t *testing.T) {
+	a := FromNames("a", "b")
+	if got := a.Lookup("b"); got != 1 {
+		t.Fatalf("Lookup(b) = %d, want 1", got)
+	}
+	if got := a.Lookup("zz"); got != None {
+		t.Fatalf("Lookup(zz) = %d, want None", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	a := FromNames("a")
+	if !a.Contains("a") || a.Contains("b") {
+		t.Fatalf("Contains wrong: a=%v b=%v", a.Contains("a"), a.Contains("b"))
+	}
+}
+
+func TestNameRoundTrip(t *testing.T) {
+	a := FromNames("alpha", "beta", "gamma")
+	for _, s := range a.Symbols() {
+		if a.Intern(a.Name(s)) != s {
+			t.Fatalf("round trip failed for %d", s)
+		}
+	}
+}
+
+func TestNamePanicsOutOfRange(t *testing.T) {
+	a := FromNames("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Name(5) did not panic")
+		}
+	}()
+	_ = a.Name(5)
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var a Alphabet
+	if a.Len() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	if a.Intern("a") != 0 {
+		t.Fatal("zero value Intern failed")
+	}
+}
+
+func TestFromNamesDedup(t *testing.T) {
+	a := FromNames("a", "b", "a")
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", a.Len())
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := FromNames("a", "b")
+	b := a.Clone()
+	b.Intern("c")
+	if a.Contains("c") {
+		t.Fatal("clone mutated original")
+	}
+	if !a.SubsetOf(b) {
+		t.Fatal("original not subset of extended clone")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		x, y *Alphabet
+		want bool
+	}{
+		{FromNames("a", "b"), FromNames("a", "b"), true},
+		{FromNames("a", "b"), FromNames("b", "a"), false},
+		{FromNames("a"), FromNames("a", "b"), false},
+		{New(), New(), true},
+	}
+	for i, c := range cases {
+		if got := c.x.Equal(c.y); got != c.want {
+			t.Errorf("case %d: Equal = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	small := FromNames("a", "c")
+	big := FromNames("a", "b", "c")
+	if !small.SubsetOf(big) {
+		t.Fatal("small should be subset of big")
+	}
+	if big.SubsetOf(small) {
+		t.Fatal("big should not be subset of small")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	u := Union(FromNames("a", "b"), FromNames("b", "c"))
+	if u.Len() != 3 {
+		t.Fatalf("union Len = %d, want 3", u.Len())
+	}
+	for _, n := range []string{"a", "b", "c"} {
+		if !u.Contains(n) {
+			t.Fatalf("union missing %q", n)
+		}
+	}
+}
+
+func TestMapAcrossAlphabets(t *testing.T) {
+	a := FromNames("x", "y")
+	b := FromNames("y")
+	s := Map(a, a.Lookup("x"), b)
+	if b.Name(s) != "x" {
+		t.Fatalf("Map gave %q, want x", b.Name(s))
+	}
+}
+
+func TestString(t *testing.T) {
+	a := FromNames("b", "a")
+	if got := a.String(); got != "{a, b}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: interning any sequence of names yields ids consistent with
+// first-occurrence order, and Name inverts Intern.
+func TestQuickInternConsistency(t *testing.T) {
+	f := func(names []string) bool {
+		a := New()
+		seen := make(map[string]Symbol)
+		for _, n := range names {
+			s := a.Intern(n)
+			if prev, ok := seen[n]; ok {
+				if prev != s {
+					return false
+				}
+			} else {
+				seen[n] = s
+			}
+			if a.Name(s) != n {
+				return false
+			}
+		}
+		return a.Len() == len(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

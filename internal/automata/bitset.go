@@ -1,0 +1,90 @@
+package automata
+
+import "math/bits"
+
+// bitset is a fixed-capacity set of small non-negative integers, used
+// for state sets during ε-closure and subset construction.
+type bitset struct {
+	words []uint64
+	n     int // capacity (number of representable elements)
+}
+
+func newBitset(n int) *bitset {
+	return &bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+func (b *bitset) add(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+func (b *bitset) has(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (b *bitset) empty() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *bitset) count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// slice returns the elements in increasing order.
+func (b *bitset) slice() []int {
+	out := make([]int, 0, b.count())
+	for wi, w := range b.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			out = append(out, wi*64+tz)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// key returns a string usable as a map key identifying the set contents.
+func (b *bitset) key() string {
+	buf := make([]byte, len(b.words)*8)
+	for i, w := range b.words {
+		for j := 0; j < 8; j++ {
+			buf[i*8+j] = byte(w >> (8 * uint(j)))
+		}
+	}
+	return string(buf)
+}
+
+func (b *bitset) clone() *bitset {
+	c := newBitset(b.n)
+	copy(c.words, b.words)
+	return c
+}
+
+func (b *bitset) equal(o *bitset) bool {
+	if len(b.words) != len(o.words) {
+		return false
+	}
+	for i, w := range b.words {
+		if o.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *bitset) intersects(o *bitset) bool {
+	m := len(b.words)
+	if len(o.words) < m {
+		m = len(o.words)
+	}
+	for i := 0; i < m; i++ {
+		if b.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}

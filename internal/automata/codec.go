@@ -1,0 +1,155 @@
+package automata
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"regexrw/internal/alphabet"
+)
+
+// WriteTo serializes the NFA in a line-oriented text format:
+//
+//	states 3
+//	start 0
+//	accept 2
+//	trans 0 a 1
+//	trans 1 b 2
+//	eps 0 2
+//
+// Lines may appear in any order on Read; comments (#) and blank lines
+// are ignored. Symbols are written by name.
+func (n *NFA) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	write := func(format string, args ...any) error {
+		c, err := fmt.Fprintf(w, format, args...)
+		total += int64(c)
+		return err
+	}
+	if err := write("states %d\n", n.NumStates()); err != nil {
+		return total, err
+	}
+	if n.start != NoState {
+		if err := write("start %d\n", n.start); err != nil {
+			return total, err
+		}
+	}
+	for _, f := range n.AcceptingStates() {
+		if err := write("accept %d\n", f); err != nil {
+			return total, err
+		}
+	}
+	for s := 0; s < n.NumStates(); s++ {
+		syms := n.OutSymbols(State(s))
+		sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+		for _, x := range syms {
+			targets := append([]State(nil), n.Successors(State(s), x)...)
+			sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+			for _, t := range targets {
+				if err := write("trans %d %s %d\n", s, n.alpha.Name(x), t); err != nil {
+					return total, err
+				}
+			}
+		}
+		for _, t := range n.EpsSuccessors(State(s)) {
+			if err := write("eps %d %d\n", s, t); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// ReadNFA parses the format written by WriteTo into a new NFA over the
+// given alphabet (symbols are interned as encountered).
+func ReadNFA(r io.Reader, a *alphabet.Alphabet) (*NFA, error) {
+	n := NewNFA(a)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	parseState := func(fields []string, idx int) (State, error) {
+		var v int
+		if _, err := fmt.Sscanf(fields[idx], "%d", &v); err != nil {
+			return NoState, fmt.Errorf("automata: line %d: bad state %q", lineNo, fields[idx])
+		}
+		if v < 0 || v >= n.NumStates() {
+			return NoState, fmt.Errorf("automata: line %d: state %d out of range", lineNo, v)
+		}
+		return State(v), nil
+	}
+	sawStates := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "states":
+			if len(fields) != 2 || sawStates {
+				return nil, fmt.Errorf("automata: line %d: malformed or repeated states line", lineNo)
+			}
+			var k int
+			if _, err := fmt.Sscanf(fields[1], "%d", &k); err != nil || k < 0 {
+				return nil, fmt.Errorf("automata: line %d: bad state count %q", lineNo, fields[1])
+			}
+			n.AddStates(k)
+			sawStates = true
+		case "start":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("automata: line %d: malformed start line", lineNo)
+			}
+			s, err := parseState(fields, 1)
+			if err != nil {
+				return nil, err
+			}
+			n.SetStart(s)
+		case "accept":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("automata: line %d: malformed accept line", lineNo)
+			}
+			s, err := parseState(fields, 1)
+			if err != nil {
+				return nil, err
+			}
+			n.SetAccept(s, true)
+		case "trans":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("automata: line %d: malformed trans line", lineNo)
+			}
+			from, err := parseState(fields, 1)
+			if err != nil {
+				return nil, err
+			}
+			to, err := parseState(fields, 3)
+			if err != nil {
+				return nil, err
+			}
+			n.AddTransition(from, a.Intern(fields[2]), to)
+		case "eps":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("automata: line %d: malformed eps line", lineNo)
+			}
+			from, err := parseState(fields, 1)
+			if err != nil {
+				return nil, err
+			}
+			to, err := parseState(fields, 2)
+			if err != nil {
+				return nil, err
+			}
+			n.AddEpsilon(from, to)
+		default:
+			return nil, fmt.Errorf("automata: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawStates {
+		return nil, fmt.Errorf("automata: missing states line")
+	}
+	return n, nil
+}

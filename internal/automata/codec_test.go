@@ -1,0 +1,130 @@
+package automata
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"regexrw/internal/alphabet"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	n := buildAB(t)
+	n.AddEpsilon(0, 1)
+	var b strings.Builder
+	if _, err := n.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNFA(strings.NewReader(b.String()), alphabet.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumStates() != n.NumStates() || back.NumTransitions() != n.NumTransitions() {
+		t.Fatalf("round trip: %d/%d states, %d/%d transitions",
+			back.NumStates(), n.NumStates(), back.NumTransitions(), n.NumTransitions())
+	}
+	if !Equivalent(n, back) {
+		t.Fatal("round trip changed the language")
+	}
+}
+
+func TestCodecRoundTripRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	al := ab()
+	for trial := 0; trial < 25; trial++ {
+		n := randomNFA(r, al, 6)
+		var b strings.Builder
+		if _, err := n.WriteTo(&b); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadNFA(strings.NewReader(b.String()), alphabet.New())
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, b.String())
+		}
+		if !Equivalent(n, back) {
+			t.Fatalf("trial %d: language changed", trial)
+		}
+	}
+}
+
+func TestCodecCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\nstates 2\nstart 0\naccept 1\ntrans 0 x 1\n"
+	n, err := ReadNFA(strings.NewReader(in), alphabet.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.AcceptsNames("x") {
+		t.Fatal("parsed automaton wrong")
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	cases := []string{
+		"",                                  // missing states
+		"states 2\nstates 2\n",              // repeated states
+		"states x\n",                        // bad count
+		"states 2\nstart 5\n",               // out of range
+		"states 2\naccept -1\n",             // out of range
+		"states 2\ntrans 0 x\n",             // malformed trans
+		"states 2\neps 0\n",                 // malformed eps
+		"states 2\nfrobnicate 1\n",          // unknown directive
+		"states 2\nstart\n",                 // malformed start
+		"states 1\ntrans 0 x 3\n",           // trans target out of range
+		"states 1\naccept zero\n",           // bad number
+		"states 2\nstart 0\naccept 1 2 3\n", // malformed accept
+	}
+	for i, in := range cases {
+		if _, err := ReadNFA(strings.NewReader(in), alphabet.New()); err == nil {
+			t.Errorf("case %d (%q) should fail", i, in)
+		}
+	}
+}
+
+func TestCodecEmptyAutomaton(t *testing.T) {
+	n := NewNFA(alphabet.New())
+	n.SetStart(n.AddState())
+	var b strings.Builder
+	if _, err := n.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNFA(strings.NewReader(b.String()), alphabet.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.IsEmpty() {
+		t.Fatal("empty automaton round trip broken")
+	}
+}
+
+func TestDeterminizeLimit(t *testing.T) {
+	al := ab()
+	// (a+b)* a (a+b)^5 needs 2^6 = 64 subset states.
+	n := NewNFA(al)
+	states := make([]State, 7)
+	for i := range states {
+		states[i] = n.AddState()
+	}
+	n.SetStart(states[0])
+	n.SetAccept(states[6], true)
+	a, bsym := al.Lookup("a"), al.Lookup("b")
+	n.AddTransition(states[0], a, states[0])
+	n.AddTransition(states[0], bsym, states[0])
+	n.AddTransition(states[0], a, states[1])
+	for i := 1; i < 6; i++ {
+		n.AddTransition(states[i], a, states[i+1])
+		n.AddTransition(states[i], bsym, states[i+1])
+	}
+	if _, err := DeterminizeLimit(n, 10); err == nil {
+		t.Fatal("limit 10 should trip")
+	}
+	d, err := DeterminizeLimit(n, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equivalent(d.NFA(), n) {
+		t.Fatal("bounded determinization changed the language")
+	}
+	if _, err := DeterminizeLimit(n, 0); err == nil {
+		t.Fatal("non-positive limit should error")
+	}
+}

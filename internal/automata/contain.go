@@ -1,0 +1,237 @@
+package automata
+
+import "regexrw/internal/alphabet"
+
+// IsEmpty reports whether the NFA accepts no word.
+func (n *NFA) IsEmpty() bool {
+	return n.shortestAccepted() == nil && !n.Accepts(nil)
+}
+
+// ShortestWord returns a shortest accepted word, or (nil, false) if the
+// language is empty. The empty word is reported as ([], true).
+func (n *NFA) ShortestWord() ([]alphabet.Symbol, bool) {
+	if n.Accepts(nil) {
+		return []alphabet.Symbol{}, true
+	}
+	w := n.shortestAccepted()
+	if w == nil {
+		return nil, false
+	}
+	return w, true
+}
+
+// shortestAccepted returns a shortest nonempty accepted word via BFS
+// over states, or nil if no nonempty word is accepted and ε is not
+// accepted either. (If only ε is accepted it returns nil; callers use
+// Accepts(nil) to distinguish.)
+func (n *NFA) shortestAccepted() []alphabet.Symbol {
+	if n.Start() == NoState {
+		return nil
+	}
+	e := n
+	if n.HasEpsilon() {
+		e = n.RemoveEpsilon()
+	}
+	type back struct {
+		prev State
+		sym  alphabet.Symbol
+	}
+	visited := make([]bool, e.NumStates())
+	parents := make([]back, e.NumStates())
+	queue := []State{e.Start()}
+	visited[e.Start()] = true
+	parents[e.Start()] = back{NoState, alphabet.None}
+	var goal State = NoState
+	if e.Accepting(e.Start()) {
+		goal = e.Start()
+	}
+search:
+	for len(queue) > 0 && goal == NoState {
+		s := queue[0]
+		queue = queue[1:]
+		for _, x := range e.OutSymbols(s) {
+			for _, t := range e.Successors(s, x) {
+				if visited[t] {
+					continue
+				}
+				visited[t] = true
+				parents[t] = back{s, x}
+				if e.Accepting(t) {
+					goal = t
+					break search
+				}
+				queue = append(queue, t)
+			}
+		}
+	}
+	if goal == NoState || goal == e.Start() {
+		return nil
+	}
+	var word []alphabet.Symbol
+	for s := goal; parents[s].prev != NoState; s = parents[s].prev {
+		word = append(word, parents[s].sym)
+	}
+	for i, j := 0, len(word)-1; i < j; i, j = i+1, j-1 {
+		word[i], word[j] = word[j], word[i]
+	}
+	return word
+}
+
+// ContainedIn reports whether L(a) ⊆ L(b), using the on-the-fly
+// complement of b that the paper's Theorem 6 relies on: b is
+// determinized lazily while searching the product with a, so the full
+// subset automaton of b is materialized only as far as the search
+// reaches. If the containment fails, the returned word is a shortest
+// counterexample in L(a) \ L(b).
+func ContainedIn(a, b *NFA) (bool, []alphabet.Symbol) {
+	ea := a.RemoveEpsilon()
+	eb := b.RemoveEpsilon()
+	if ea.Start() == NoState {
+		return true, nil
+	}
+
+	// Map a's symbols into b's alphabet by name (None = b never uses it).
+	aToB := make([]alphabet.Symbol, ea.Alphabet().Len())
+	for _, x := range ea.Alphabet().Symbols() {
+		aToB[x] = eb.Alphabet().Lookup(ea.Alphabet().Name(x))
+	}
+
+	nb := eb.NumStates()
+	type node struct {
+		sa     State
+		bid    int // interned b-subset id
+		parent int
+		sym    alphabet.Symbol
+	}
+
+	// Intern b-subsets once: the search then works with dense ids, and
+	// successor subsets are memoized per (subset id, symbol), so each
+	// subset's transition on each symbol is computed exactly once no
+	// matter how many a-states share it.
+	subsetIDs := map[string]int{}
+	var subsets []*bitset
+	intern := func(set *bitset) int {
+		key := set.key()
+		if id, ok := subsetIDs[key]; ok {
+			return id
+		}
+		id := len(subsets)
+		subsetIDs[key] = id
+		subsets = append(subsets, set)
+		return id
+	}
+	type step struct {
+		bid int
+		x   alphabet.Symbol
+	}
+	succCache := map[step]int{}
+	successor := func(bid int, x alphabet.Symbol) int {
+		k := step{bid, x}
+		if id, ok := succCache[k]; ok {
+			return id
+		}
+		next := newBitset(nb)
+		if xb := aToB[x]; xb != alphabet.None {
+			for _, q := range subsets[bid].slice() {
+				for _, t := range eb.Successors(State(q), xb) {
+					next.add(int(t))
+				}
+			}
+		}
+		id := intern(next)
+		succCache[k] = id
+		return id
+	}
+
+	startB := newBitset(nb)
+	if eb.Start() != NoState {
+		startB.add(int(eb.Start()))
+	}
+	startID := intern(startB)
+
+	acceptsB := make(map[int]bool)
+	acceptsSubset := func(bid int) bool {
+		if v, ok := acceptsB[bid]; ok {
+			return v
+		}
+		v := false
+		for _, q := range subsets[bid].slice() {
+			if eb.Accepting(State(q)) {
+				v = true
+				break
+			}
+		}
+		acceptsB[bid] = v
+		return v
+	}
+
+	type cfg struct {
+		sa  State
+		bid int
+	}
+	nodes := []node{{ea.Start(), startID, -1, alphabet.None}}
+	seen := map[cfg]bool{{ea.Start(), startID}: true}
+
+	counterexample := func(i int) []alphabet.Symbol {
+		var w []alphabet.Symbol
+		for ; nodes[i].parent >= 0; i = nodes[i].parent {
+			w = append(w, nodes[i].sym)
+		}
+		for l, r := 0, len(w)-1; l < r; l, r = l+1, r-1 {
+			w[l], w[r] = w[r], w[l]
+		}
+		return w
+	}
+
+	for i := 0; i < len(nodes); i++ {
+		cur := nodes[i]
+		if ea.Accepting(cur.sa) && !acceptsSubset(cur.bid) {
+			return false, counterexample(i)
+		}
+		for _, x := range ea.OutSymbols(cur.sa) {
+			nextID := successor(cur.bid, x)
+			for _, ta := range ea.Successors(cur.sa, x) {
+				c := cfg{ta, nextID}
+				if seen[c] {
+					continue
+				}
+				seen[c] = true
+				nodes = append(nodes, node{ta, nextID, i, x})
+			}
+		}
+	}
+	return true, nil
+}
+
+// ContainedInMaterialized decides L(a) ⊆ L(b) the naive way: fully
+// determinize and complement b, then intersect with a and test
+// emptiness. It exists as the baseline the paper's on-the-fly check is
+// compared against (Theorem 6 ablation); results always agree with
+// ContainedIn.
+func ContainedInMaterialized(a, b *NFA) bool {
+	u := alphabet.Union(a.Alphabet(), b.Alphabet())
+	lifted := NewNFA(u)
+	m := CopyInto(lifted, b)
+	if b.Start() != NoState {
+		lifted.SetStart(m[b.Start()])
+	} else {
+		lifted.SetStart(lifted.AddState())
+	}
+	comp := Determinize(lifted).Complement().NFA()
+	return Intersect(a, comp).IsEmpty()
+}
+
+// Equivalent reports whether L(a) = L(b).
+func Equivalent(a, b *NFA) bool {
+	ok1, _ := ContainedIn(a, b)
+	if !ok1 {
+		return false
+	}
+	ok2, _ := ContainedIn(b, a)
+	return ok2
+}
+
+// EquivalentDFA reports whether two DFAs accept the same language.
+func EquivalentDFA(a, b *DFA) bool {
+	return Equivalent(a.NFA(), b.NFA())
+}

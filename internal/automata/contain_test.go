@@ -1,0 +1,157 @@
+package automata
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestContainedInBasic(t *testing.T) {
+	al := ab()
+	a := SymbolLanguage(al, al.Lookup("a"))
+	aStar := Star(a.Clone())
+	ok, _ := ContainedIn(a, aStar)
+	if !ok {
+		t.Fatal("a ⊆ a* should hold")
+	}
+	ok, cex := ContainedIn(aStar, a)
+	if ok {
+		t.Fatal("a* ⊆ a should fail")
+	}
+	// Shortest counterexample is ε (in a*, not in a).
+	if len(cex) != 0 {
+		t.Fatalf("counterexample = %v, want ε", FormatWord(al, cex))
+	}
+}
+
+func TestContainedInCounterexampleIsShortest(t *testing.T) {
+	al := ab()
+	// L1 = a*, L2 = {ε, a}: counterexample should be aa (length 2).
+	aStar := Star(SymbolLanguage(al, al.Lookup("a")))
+	upTo1 := Optional(SymbolLanguage(al, al.Lookup("a")))
+	ok, cex := ContainedIn(aStar, upTo1)
+	if ok {
+		t.Fatal("a* ⊆ {ε,a} should fail")
+	}
+	if FormatWord(al, cex) != "a·a" {
+		t.Fatalf("counterexample = %v, want a·a", FormatWord(al, cex))
+	}
+	if upTo1.Accepts(cex) || !aStar.Accepts(cex) {
+		t.Fatal("counterexample not in L1 \\ L2")
+	}
+}
+
+func TestContainedInEmptyLeft(t *testing.T) {
+	al := ab()
+	ok, _ := ContainedIn(EmptyLanguage(al), EmptyLanguage(al))
+	if !ok {
+		t.Fatal("∅ ⊆ ∅ should hold")
+	}
+	ok, _ = ContainedIn(EpsilonLanguage(al), EmptyLanguage(al))
+	if ok {
+		t.Fatal("{ε} ⊆ ∅ should fail")
+	}
+}
+
+func TestContainedInAcrossAlphabets(t *testing.T) {
+	alA := ab()
+	alB := ab("c")
+	// a ⊆ (a+b+c)* holds; c* ⊆ (a+b)* fails with counterexample c.
+	ok, _ := ContainedIn(SymbolLanguage(alA, alA.Lookup("a")), UniversalLanguage(alB))
+	if !ok {
+		t.Fatal("a ⊆ Σ3* should hold")
+	}
+	cStar := Star(SymbolLanguage(alB, alB.Lookup("c")))
+	ok, cex := ContainedIn(cStar, UniversalLanguage(alA))
+	if ok {
+		t.Fatal("c* ⊆ (a+b)* should fail")
+	}
+	if FormatWord(alB, cex) != "c" {
+		t.Fatalf("counterexample = %v, want c", FormatWord(alB, cex))
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	al := ab()
+	a := al.Lookup("a")
+	// (a·a)* vs even-length words of a's built differently.
+	twoAs := Concat(SymbolLanguage(al, a), SymbolLanguage(al, a))
+	l1 := Star(twoAs)
+	// Same language via DFA evenAs restricted to a-only words:
+	l2 := Star(Concat(SymbolLanguage(al, a), SymbolLanguage(al, a)))
+	if !Equivalent(l1, l2) {
+		t.Fatal("equivalent languages reported different")
+	}
+	if Equivalent(l1, Star(SymbolLanguage(al, a))) {
+		t.Fatal("(aa)* equivalent to a*?")
+	}
+}
+
+// Property: ContainedIn agrees with the materialized baseline, and a
+// reported counterexample is genuinely in L(a) \ L(b).
+func TestPropertyContainedInAgreesWithMaterialized(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	al := ab()
+	for trial := 0; trial < 60; trial++ {
+		n1 := randomNFA(r, al, 5)
+		n2 := randomNFA(r, al, 5)
+		got, cex := ContainedIn(n1, n2)
+		want := ContainedInMaterialized(n1, n2)
+		if got != want {
+			t.Fatalf("trial %d: on-the-fly=%v materialized=%v", trial, got, want)
+		}
+		if !got {
+			if !n1.Accepts(cex) || n2.Accepts(cex) {
+				t.Fatalf("trial %d: bogus counterexample %v", trial, FormatWord(al, cex))
+			}
+		}
+	}
+}
+
+// Property: containment is reflexive and respects union/intersection.
+func TestPropertyContainmentLattice(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	al := ab()
+	for trial := 0; trial < 30; trial++ {
+		n1 := randomNFA(r, al, 4)
+		n2 := randomNFA(r, al, 4)
+		if ok, _ := ContainedIn(n1, n1); !ok {
+			t.Fatal("containment not reflexive")
+		}
+		u := Union(n1, n2)
+		if ok, _ := ContainedIn(n1, u); !ok {
+			t.Fatal("L1 ⊄ L1∪L2")
+		}
+		i := Intersect(n1, n2)
+		if ok, _ := ContainedIn(i, n1); !ok {
+			t.Fatal("L1∩L2 ⊄ L1")
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	n := buildAB(t)
+	dot := n.DOT("ab")
+	for _, frag := range []string{"digraph \"ab\"", "doublecircle", "s0 -> s1", "label=\"a\""} {
+		if !contains(dot, frag) {
+			t.Fatalf("DOT output missing %q:\n%s", frag, dot)
+		}
+	}
+	ddot := Determinize(n).DOT("dab")
+	if !contains(ddot, "digraph \"dab\"") {
+		t.Fatal("DFA DOT missing header")
+	}
+}
+
+func TestStringOutputs(t *testing.T) {
+	n := buildAB(t)
+	if s := n.String(); !contains(s, "s0 --a--> [1]") {
+		t.Fatalf("NFA String unexpected:\n%s", s)
+	}
+	d := Determinize(n)
+	if s := d.String(); !contains(s, "DFA[states=") {
+		t.Fatalf("DFA String unexpected:\n%s", s)
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

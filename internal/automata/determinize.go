@@ -1,0 +1,111 @@
+package automata
+
+import (
+	"fmt"
+
+	"regexrw/internal/alphabet"
+)
+
+// ErrStateLimit is returned (wrapped) by DeterminizeLimit when the
+// subset construction exceeds its state budget.
+var ErrStateLimit = fmt.Errorf("automata: state limit exceeded")
+
+// DeterminizeLimit is Determinize with a resource guard: it fails with
+// an error wrapping ErrStateLimit as soon as the subset construction
+// materializes more than maxStates states. The rewriting construction
+// is doubly exponential in the worst case (Theorem 5), so callers that
+// face untrusted inputs should bound it rather than hang;
+// core.MaximalRewritingBounded threads this limit through every
+// determinization of the pipeline.
+func DeterminizeLimit(n *NFA, maxStates int) (*DFA, error) {
+	if maxStates <= 0 {
+		return nil, fmt.Errorf("%w: limit must be positive, got %d", ErrStateLimit, maxStates)
+	}
+	d := determinize(n, maxStates)
+	if d == nil {
+		return nil, fmt.Errorf("%w: subset construction needs more than %d states", ErrStateLimit, maxStates)
+	}
+	return d, nil
+}
+
+// Determinize converts an NFA (possibly with ε-transitions) into an
+// equivalent DFA via subset construction. Only reachable subsets are
+// materialized; the result is a partial DFA (missing transitions mean
+// the dead state).
+func Determinize(n *NFA) *DFA {
+	return determinize(n, 0)
+}
+
+// determinize runs the subset construction; maxStates ≤ 0 means
+// unbounded, and exceeding a positive bound returns nil.
+func determinize(n *NFA, maxStates int) *DFA {
+	d := NewDFA(n.Alphabet())
+	if n.Start() == NoState {
+		d.SetStart(d.AddState())
+		return d
+	}
+	nStates := n.NumStates()
+
+	startSet := newBitset(nStates)
+	startSet.add(int(n.Start()))
+	n.epsClosure(startSet)
+
+	subsets := map[string]State{}
+	var sets []*bitset
+
+	newSubset := func(set *bitset) State {
+		s := d.AddState()
+		sets = append(sets, set)
+		subsets[set.key()] = s
+		acc := false
+		for _, q := range set.slice() {
+			if n.accept[q] {
+				acc = true
+				break
+			}
+		}
+		d.SetAccept(s, acc)
+		return s
+	}
+
+	start := newSubset(startSet)
+	d.SetStart(start)
+
+	for i := 0; i < len(sets); i++ {
+		if maxStates > 0 && len(sets) > maxStates {
+			return nil
+		}
+		set := sets[i]
+		// Collect the symbols leaving this subset.
+		seen := map[alphabet.Symbol]bool{}
+		for _, q := range set.slice() {
+			for x := range n.trans[q] {
+				seen[x] = true
+			}
+		}
+		for x := range seen {
+			next := newBitset(nStates)
+			for _, q := range set.slice() {
+				for _, t := range n.trans[q][x] {
+					next.add(int(t))
+				}
+			}
+			if next.empty() {
+				continue
+			}
+			n.epsClosure(next)
+			to, ok := subsets[next.key()]
+			if !ok {
+				to = newSubset(next)
+			}
+			d.SetTransition(State(i), x, to)
+		}
+	}
+	return d
+}
+
+// DeterminizeMinimal is Determinize followed by Minimize and TrimPartial:
+// the canonical trim DFA of the NFA's language.
+func DeterminizeMinimal(n *NFA) *DFA {
+	return Determinize(n).Minimize().TrimPartial()
+}

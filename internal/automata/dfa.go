@@ -1,0 +1,510 @@
+package automata
+
+import (
+	"fmt"
+	"sort"
+
+	"regexrw/internal/alphabet"
+)
+
+// DFA is a deterministic finite automaton. Transitions are stored in a
+// dense table indexed by state and symbol; a missing transition is
+// NoState (the implicit dead state). Create DFAs with NewDFA or by
+// determinizing an NFA.
+type DFA struct {
+	alpha  *alphabet.Alphabet
+	start  State
+	accept []bool
+	// trans[s] is a row of length alpha.Len(); trans[s][x] is the
+	// x-successor of s or NoState.
+	trans [][]State
+}
+
+// NewDFA returns an empty DFA over the given alphabet.
+func NewDFA(a *alphabet.Alphabet) *DFA {
+	return &DFA{alpha: a, start: NoState}
+}
+
+// Alphabet returns the automaton's alphabet.
+func (d *DFA) Alphabet() *alphabet.Alphabet { return d.alpha }
+
+// AddState adds a fresh non-accepting state with no transitions.
+func (d *DFA) AddState() State {
+	row := make([]State, d.alpha.Len())
+	for i := range row {
+		row[i] = NoState
+	}
+	d.trans = append(d.trans, row)
+	d.accept = append(d.accept, false)
+	return State(len(d.accept) - 1)
+}
+
+// NumStates returns the number of states.
+func (d *DFA) NumStates() int { return len(d.accept) }
+
+// Start returns the start state.
+func (d *DFA) Start() State { return d.start }
+
+// SetStart sets the start state.
+func (d *DFA) SetStart(s State) { d.checkState(s); d.start = s }
+
+// Accepting reports whether s is accepting.
+func (d *DFA) Accepting(s State) bool { d.checkState(s); return d.accept[s] }
+
+// SetAccept marks s accepting or not.
+func (d *DFA) SetAccept(s State, accepting bool) {
+	d.checkState(s)
+	d.accept[s] = accepting
+}
+
+// SetTransition sets the x-successor of from. Overwrites any previous one.
+func (d *DFA) SetTransition(from State, x alphabet.Symbol, to State) {
+	d.checkState(from)
+	d.checkState(to)
+	d.trans[from][x] = to
+}
+
+// Next returns the x-successor of s, or NoState.
+func (d *DFA) Next(s State, x alphabet.Symbol) State {
+	d.checkState(s)
+	if int(x) >= len(d.trans[s]) {
+		// Symbol interned into the alphabet after this state's row was
+		// allocated: it has no transition.
+		return NoState
+	}
+	return d.trans[s][x]
+}
+
+// Run returns the state reached from s on word, or NoState if the run dies.
+func (d *DFA) Run(s State, word []alphabet.Symbol) State {
+	cur := s
+	for _, x := range word {
+		cur = d.Next(cur, x)
+		if cur == NoState {
+			return NoState
+		}
+	}
+	return cur
+}
+
+// Accepts reports whether the DFA accepts word.
+func (d *DFA) Accepts(word []alphabet.Symbol) bool {
+	if d.start == NoState {
+		return false
+	}
+	s := d.Run(d.start, word)
+	return s != NoState && d.accept[s]
+}
+
+// AcceptsNames is Accepts with symbol names.
+func (d *DFA) AcceptsNames(names ...string) bool {
+	word := make([]alphabet.Symbol, len(names))
+	for i, name := range names {
+		s := d.alpha.Lookup(name)
+		if s == alphabet.None {
+			return false
+		}
+		word[i] = s
+	}
+	return d.Accepts(word)
+}
+
+// NumTransitions counts the defined transitions.
+func (d *DFA) NumTransitions() int {
+	total := 0
+	for _, row := range d.trans {
+		for _, t := range row {
+			if t != NoState {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// IsTotal reports whether every state has a transition on every symbol.
+func (d *DFA) IsTotal() bool {
+	for _, row := range d.trans {
+		if len(row) < d.alpha.Len() {
+			return false
+		}
+		for _, t := range row {
+			if t == NoState {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Totalize returns an equivalent total DFA, adding a dead sink state if
+// any transition is missing.
+func (d *DFA) Totalize() *DFA {
+	out := d.Clone()
+	// Re-pad rows in case symbols were interned after states were added.
+	for s := range out.trans {
+		for len(out.trans[s]) < out.alpha.Len() {
+			out.trans[s] = append(out.trans[s], NoState)
+		}
+	}
+	if out.IsTotal() {
+		return out
+	}
+	sink := out.AddState()
+	for s := range out.trans {
+		for x := range out.trans[s] {
+			if out.trans[s][x] == NoState {
+				out.trans[s][x] = sink
+			}
+		}
+	}
+	return out
+}
+
+// Complement returns a DFA accepting exactly the words over the
+// alphabet that d rejects.
+func (d *DFA) Complement() *DFA {
+	out := d.Totalize()
+	for s := range out.accept {
+		out.accept[s] = !out.accept[s]
+	}
+	return out
+}
+
+// Clone returns a deep copy (sharing the alphabet).
+func (d *DFA) Clone() *DFA {
+	out := NewDFA(d.alpha)
+	out.start = d.start
+	out.accept = append([]bool(nil), d.accept...)
+	out.trans = make([][]State, len(d.trans))
+	for s, row := range d.trans {
+		out.trans[s] = append([]State(nil), row...)
+	}
+	return out
+}
+
+// NFA converts the DFA to an equivalent NFA.
+func (d *DFA) NFA() *NFA {
+	n := NewNFA(d.alpha)
+	n.AddStates(d.NumStates())
+	if d.start != NoState {
+		n.SetStart(d.start)
+	}
+	for s := 0; s < d.NumStates(); s++ {
+		n.SetAccept(State(s), d.accept[s])
+		for x, t := range d.trans[s] {
+			if t != NoState {
+				n.AddTransition(State(s), alphabet.Symbol(x), t)
+			}
+		}
+	}
+	return n
+}
+
+// Reachable returns an equivalent DFA keeping only states reachable from
+// the start.
+func (d *DFA) Reachable() *DFA {
+	if d.start == NoState {
+		out := NewDFA(d.alpha)
+		out.SetStart(out.AddState())
+		return out
+	}
+	keep := make([]State, d.NumStates())
+	for i := range keep {
+		keep[i] = NoState
+	}
+	out := NewDFA(d.alpha)
+	keep[d.start] = out.AddState()
+	queue := []State{d.start}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		out.SetAccept(keep[s], d.accept[s])
+		for x, t := range d.trans[s] {
+			if t == NoState {
+				continue
+			}
+			if keep[t] == NoState {
+				keep[t] = out.AddState()
+				queue = append(queue, t)
+			}
+			out.SetTransition(keep[s], alphabet.Symbol(x), keep[t])
+		}
+	}
+	out.SetStart(keep[d.start])
+	return out
+}
+
+// Minimize returns the canonical minimal DFA for the language of d
+// (partition refinement on the totalized reachable automaton). The
+// result is total, so it may include one dead state; callers that want
+// the dead state removed should follow with TrimPartial.
+func (d *DFA) Minimize() *DFA {
+	t := d.Reachable().Totalize()
+	nStates := t.NumStates()
+	nSyms := t.alpha.Len()
+	if nStates == 0 {
+		out := NewDFA(d.alpha)
+		out.SetStart(out.AddState())
+		return out
+	}
+
+	// Reverse transition lists: rev[x][s] = predecessors of s on x.
+	rev := make([][][]State, nSyms)
+	for x := 0; x < nSyms; x++ {
+		rev[x] = make([][]State, nStates)
+	}
+	for s := 0; s < nStates; s++ {
+		for x, to := range t.trans[s] {
+			rev[x][to] = append(rev[x][to], State(s))
+		}
+	}
+
+	// Initial partition: accepting vs non-accepting.
+	class := make([]int, nStates)    // state -> class index
+	members := make([][]State, 0, 2) // class index -> states
+	var accSet, rejSet []State
+	for s := 0; s < nStates; s++ {
+		if t.accept[s] {
+			accSet = append(accSet, State(s))
+		} else {
+			rejSet = append(rejSet, State(s))
+		}
+	}
+	addClass := func(states []State) int {
+		idx := len(members)
+		members = append(members, states)
+		for _, s := range states {
+			class[s] = idx
+		}
+		return idx
+	}
+	if len(accSet) > 0 {
+		addClass(accSet)
+	}
+	if len(rejSet) > 0 {
+		addClass(rejSet)
+	}
+
+	// Worklist of (class, symbol) splitters. We queue both halves of
+	// every split (and both initial classes): slightly more work than
+	// Hopcroft's smaller-half rule, but the termination invariant is
+	// immediate — on an empty worklist every class was processed with
+	// its final membership, so the partition is stable.
+	type splitter struct {
+		class int
+		sym   int
+	}
+	var work []splitter
+	for c := range members {
+		for x := 0; x < nSyms; x++ {
+			work = append(work, splitter{c, x})
+		}
+	}
+
+	inSplit := make([]bool, nStates)
+	for len(work) > 0 {
+		sp := work[len(work)-1]
+		work = work[:len(work)-1]
+		// X = set of states with an x-transition into sp.class.
+		var xset []State
+		for _, s := range members[sp.class] {
+			for _, p := range rev[sp.sym][s] {
+				if !inSplit[p] {
+					inSplit[p] = true
+					xset = append(xset, p)
+				}
+			}
+		}
+		if len(xset) == 0 {
+			continue
+		}
+		// Group X members by class; split classes partially covered by X.
+		touched := map[int][]State{}
+		for _, s := range xset {
+			touched[class[s]] = append(touched[class[s]], s)
+		}
+		// Deterministic iteration for reproducibility.
+		classes := make([]int, 0, len(touched))
+		for c := range touched {
+			classes = append(classes, c)
+		}
+		sort.Ints(classes)
+		for _, c := range classes {
+			inX := touched[c]
+			if len(inX) == len(members[c]) {
+				continue // class entirely inside X; no split
+			}
+			// Split class c into inX and the rest.
+			inXset := make(map[State]bool, len(inX))
+			for _, s := range inX {
+				inXset[s] = true
+			}
+			var rest []State
+			for _, s := range members[c] {
+				if !inXset[s] {
+					rest = append(rest, s)
+				}
+			}
+			members[c] = inX
+			newIdx := addClass(rest)
+			for x := 0; x < nSyms; x++ {
+				work = append(work, splitter{c, x}, splitter{newIdx, x})
+			}
+		}
+		for _, s := range xset {
+			inSplit[s] = false
+		}
+	}
+
+	// Build the quotient automaton.
+	out := NewDFA(d.alpha)
+	for range members {
+		out.AddState()
+	}
+	for c, states := range members {
+		repr := states[0]
+		out.SetAccept(State(c), t.accept[repr])
+		for x, to := range t.trans[repr] {
+			out.SetTransition(State(c), alphabet.Symbol(x), State(class[to]))
+		}
+	}
+	out.SetStart(State(class[t.start]))
+	return out.Reachable()
+}
+
+// MinimizeBrzozowski returns the minimal trim DFA for the language of d
+// via Brzozowski's double-reversal: determinize the reversal, reverse
+// again, determinize again. It serves as an independently-derived
+// oracle for Minimize in property tests (and as an ablation: its
+// intermediate automata can be exponentially larger than Hopcroft-style
+// partition refinement ever materializes).
+func (d *DFA) MinimizeBrzozowski() *DFA {
+	return reverseDeterminize(reverseDeterminize(d.Reachable())).TrimPartial()
+}
+
+// reverseDeterminize returns a DFA for the reversal of L(d) by subset
+// construction over reversed transitions: the start subset is d's
+// accepting set, δ'(S, x) = { p : δ(p, x) ∈ S }, and a subset accepts
+// iff it contains d's start state. Determinizing the reversal of an
+// accessible DFA yields a minimal DFA for the reversed language
+// (Brzozowski), which is why two applications minimize.
+func reverseDeterminize(d *DFA) *DFA {
+	out := NewDFA(d.alpha)
+	n := d.NumStates()
+	// Reverse transition table: rev[x][t] = sources reaching t on x.
+	rev := make([][][]State, d.alpha.Len())
+	for x := range rev {
+		rev[x] = make([][]State, n)
+	}
+	for s := 0; s < n; s++ {
+		for x, t := range d.trans[s] {
+			if t != NoState {
+				rev[x][t] = append(rev[x][t], State(s))
+			}
+		}
+	}
+
+	start := newBitset(n)
+	for s := 0; s < n; s++ {
+		if d.accept[s] {
+			start.add(s)
+		}
+	}
+	subsets := map[string]State{}
+	var sets []*bitset
+	newSubset := func(set *bitset) State {
+		s := out.AddState()
+		sets = append(sets, set)
+		subsets[set.key()] = s
+		out.SetAccept(s, d.start != NoState && set.has(int(d.start)))
+		return s
+	}
+	out.SetStart(newSubset(start))
+	for i := 0; i < len(sets); i++ {
+		set := sets[i]
+		for x := 0; x < d.alpha.Len(); x++ {
+			next := newBitset(n)
+			for _, t := range set.slice() {
+				for _, p := range rev[x][t] {
+					next.add(int(p))
+				}
+			}
+			if next.empty() {
+				continue
+			}
+			to, ok := subsets[next.key()]
+			if !ok {
+				to = newSubset(next)
+			}
+			out.SetTransition(State(i), alphabet.Symbol(x), to)
+		}
+	}
+	return out
+}
+
+// TrimPartial returns an equivalent partial DFA with dead states (states
+// from which no accepting state is reachable) removed; the start state
+// is always kept.
+func (d *DFA) TrimPartial() *DFA {
+	n := d.NumStates()
+	// Co-reachability.
+	rev := make([][]State, n)
+	for s := 0; s < n; s++ {
+		for _, to := range d.trans[s] {
+			if to != NoState {
+				rev[to] = append(rev[to], State(s))
+			}
+		}
+	}
+	live := newBitset(n)
+	var stack []State
+	for s := 0; s < n; s++ {
+		if d.accept[s] {
+			live.add(s)
+			stack = append(stack, State(s))
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[s] {
+			if !live.has(int(p)) {
+				live.add(int(p))
+				stack = append(stack, p)
+			}
+		}
+	}
+	keep := make([]State, n)
+	out := NewDFA(d.alpha)
+	for s := 0; s < n; s++ {
+		if live.has(s) || State(s) == d.start {
+			keep[s] = out.AddState()
+			out.SetAccept(keep[s], d.accept[s])
+		} else {
+			keep[s] = NoState
+		}
+	}
+	for s := 0; s < n; s++ {
+		if keep[s] == NoState {
+			continue
+		}
+		for x, to := range d.trans[s] {
+			if to != NoState && keep[to] != NoState {
+				out.SetTransition(keep[s], alphabet.Symbol(x), keep[to])
+			}
+		}
+	}
+	if d.start != NoState {
+		out.SetStart(keep[d.start])
+	} else {
+		out.SetStart(out.AddState())
+	}
+	return out.Reachable()
+}
+
+func (d *DFA) checkState(s State) {
+	if s < 0 || int(s) >= len(d.accept) {
+		panic(fmt.Sprintf("automata: state %d out of range [0,%d)", s, len(d.accept)))
+	}
+}

@@ -1,0 +1,282 @@
+package automata
+
+import (
+	"testing"
+
+	"regexrw/internal/alphabet"
+)
+
+// evenAs returns a DFA over {a,b} accepting words with an even number of a's.
+func evenAs() *DFA {
+	al := ab()
+	d := NewDFA(al)
+	even := d.AddState()
+	odd := d.AddState()
+	d.SetStart(even)
+	d.SetAccept(even, true)
+	a, b := al.Lookup("a"), al.Lookup("b")
+	d.SetTransition(even, a, odd)
+	d.SetTransition(odd, a, even)
+	d.SetTransition(even, b, even)
+	d.SetTransition(odd, b, odd)
+	return d
+}
+
+func TestDFAAccepts(t *testing.T) {
+	d := evenAs()
+	cases := []struct {
+		word []string
+		want bool
+	}{
+		{nil, true},
+		{[]string{"a"}, false},
+		{[]string{"a", "a"}, true},
+		{[]string{"b", "a", "b", "a"}, true},
+		{[]string{"a", "b", "b"}, false},
+	}
+	for _, c := range cases {
+		if got := d.AcceptsNames(c.word...); got != c.want {
+			t.Errorf("Accepts(%v) = %v, want %v", c.word, got, c.want)
+		}
+	}
+}
+
+func TestDFARunDiesOnMissingTransition(t *testing.T) {
+	al := ab()
+	d := NewDFA(al)
+	s := d.AddState()
+	d.SetStart(s)
+	d.SetAccept(s, true)
+	if d.AcceptsNames("a") {
+		t.Fatal("missing transition should reject")
+	}
+	if !d.AcceptsNames() {
+		t.Fatal("ε should be accepted")
+	}
+}
+
+func TestTotalizeAddsSink(t *testing.T) {
+	al := ab()
+	d := NewDFA(al)
+	s := d.AddState()
+	d.SetStart(s)
+	d.SetAccept(s, true)
+	tt := d.Totalize()
+	if !tt.IsTotal() {
+		t.Fatal("Totalize result not total")
+	}
+	if tt.NumStates() != 2 {
+		t.Fatalf("expected sink state, got %d states", tt.NumStates())
+	}
+	if tt.AcceptsNames("a") {
+		t.Fatal("sink must not accept")
+	}
+	// Already-total automaton gains no state.
+	if got := evenAs().Totalize().NumStates(); got != 2 {
+		t.Fatalf("totalizing a total DFA added states: %d", got)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	d := evenAs()
+	c := d.Complement()
+	words := [][]string{nil, {"a"}, {"a", "a"}, {"b"}, {"a", "b", "a", "a"}}
+	for _, w := range words {
+		if d.AcceptsNames(w...) == c.AcceptsNames(w...) {
+			t.Fatalf("complement agrees with original on %v", w)
+		}
+	}
+}
+
+func TestComplementOfPartial(t *testing.T) {
+	// L = {a}; complement over {a,b} must accept ε, b, aa, ab, ...
+	al := ab()
+	d := NewDFA(al)
+	s0, s1 := d.AddState(), d.AddState()
+	d.SetStart(s0)
+	d.SetAccept(s1, true)
+	d.SetTransition(s0, al.Lookup("a"), s1)
+	c := d.Complement()
+	for _, tc := range []struct {
+		w    []string
+		want bool
+	}{
+		{nil, true}, {[]string{"a"}, false}, {[]string{"b"}, true}, {[]string{"a", "a"}, true}, {[]string{"a", "b"}, true},
+	} {
+		if got := c.AcceptsNames(tc.w...); got != tc.want {
+			t.Errorf("complement Accepts(%v) = %v, want %v", tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestDeterminizeSimple(t *testing.T) {
+	n := buildAB(t) // a·b*
+	d := Determinize(n)
+	for _, tc := range []struct {
+		w    []string
+		want bool
+	}{
+		{[]string{"a"}, true}, {[]string{"a", "b", "b"}, true}, {nil, false}, {[]string{"b"}, false}, {[]string{"a", "a"}, false},
+	} {
+		if got := d.AcceptsNames(tc.w...); got != tc.want {
+			t.Errorf("determinized Accepts(%v) = %v, want %v", tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestDeterminizeWithEpsilon(t *testing.T) {
+	// (a+b)* built with ε-transitions via Star and Union.
+	al := ab()
+	u := Union(SymbolLanguage(al, al.Lookup("a")), SymbolLanguage(al, al.Lookup("b")))
+	star := Star(u)
+	d := Determinize(star)
+	for _, w := range [][]string{nil, {"a"}, {"b", "a", "b"}, {"a", "a", "a"}} {
+		if !d.AcceptsNames(w...) {
+			t.Errorf("(a+b)* rejected %v", w)
+		}
+	}
+}
+
+func TestDeterminizeExponentialFamily(t *testing.T) {
+	// L_k = (a+b)* a (a+b)^{k-1}: NFA with k+1 states, minimal DFA with 2^k.
+	const k = 5
+	al := ab()
+	a, b := al.Lookup("a"), al.Lookup("b")
+	n := NewNFA(al)
+	states := make([]State, k+1)
+	for i := range states {
+		states[i] = n.AddState()
+	}
+	n.SetStart(states[0])
+	n.SetAccept(states[k], true)
+	n.AddTransition(states[0], a, states[0])
+	n.AddTransition(states[0], b, states[0])
+	n.AddTransition(states[0], a, states[1])
+	for i := 1; i < k; i++ {
+		n.AddTransition(states[i], a, states[i+1])
+		n.AddTransition(states[i], b, states[i+1])
+	}
+	m := Determinize(n).Minimize()
+	if m.NumStates() != 1<<k {
+		t.Fatalf("minimal DFA has %d states, want %d", m.NumStates(), 1<<k)
+	}
+}
+
+func TestMinimizeCollapsesEquivalentStates(t *testing.T) {
+	// Build a redundant DFA for a* with duplicated states.
+	al := alphabet.FromNames("a")
+	d := NewDFA(al)
+	s0, s1, s2 := d.AddState(), d.AddState(), d.AddState()
+	d.SetStart(s0)
+	for _, s := range []State{s0, s1, s2} {
+		d.SetAccept(s, true)
+	}
+	a := al.Lookup("a")
+	d.SetTransition(s0, a, s1)
+	d.SetTransition(s1, a, s2)
+	d.SetTransition(s2, a, s1)
+	m := d.Minimize()
+	if m.NumStates() != 1 {
+		t.Fatalf("minimal DFA for a* has %d states, want 1", m.NumStates())
+	}
+	if !m.AcceptsNames("a", "a", "a") || !m.AcceptsNames() {
+		t.Fatal("minimization changed the language")
+	}
+}
+
+func TestMinimizePreservesLanguage(t *testing.T) {
+	d := Determinize(buildAB(t))
+	m := d.Minimize()
+	for _, w := range [][]string{nil, {"a"}, {"b"}, {"a", "b"}, {"a", "a"}, {"a", "b", "b", "b"}} {
+		if d.AcceptsNames(w...) != m.AcceptsNames(w...) {
+			t.Fatalf("minimize changed language on %v", w)
+		}
+	}
+	if !EquivalentDFA(d, m) {
+		t.Fatal("minimized DFA not equivalent")
+	}
+}
+
+func TestMinimizeEmptyAndUniversal(t *testing.T) {
+	empty := Determinize(EmptyLanguage(ab())).Minimize()
+	if got := empty.TrimPartial().NumStates(); got != 1 {
+		t.Fatalf("minimal empty DFA: %d states, want 1", got)
+	}
+	uni := Determinize(UniversalLanguage(ab())).Minimize()
+	if uni.NumStates() != 1 {
+		t.Fatalf("minimal universal DFA: %d states, want 1", uni.NumStates())
+	}
+}
+
+func TestReachableDropsOrphans(t *testing.T) {
+	d := evenAs()
+	orphan := d.AddState()
+	d.SetAccept(orphan, true)
+	r := d.Reachable()
+	if r.NumStates() != 2 {
+		t.Fatalf("Reachable kept %d states, want 2", r.NumStates())
+	}
+}
+
+func TestTrimPartialDropsDeadStates(t *testing.T) {
+	al := ab()
+	d := NewDFA(al)
+	s0, s1, sink := d.AddState(), d.AddState(), d.AddState()
+	d.SetStart(s0)
+	d.SetAccept(s1, true)
+	d.SetTransition(s0, al.Lookup("a"), s1)
+	d.SetTransition(s0, al.Lookup("b"), sink)
+	d.SetTransition(sink, al.Lookup("a"), sink)
+	d.SetTransition(sink, al.Lookup("b"), sink)
+	tr := d.TrimPartial()
+	if tr.NumStates() != 2 {
+		t.Fatalf("TrimPartial kept %d states, want 2", tr.NumStates())
+	}
+	if !tr.AcceptsNames("a") || tr.AcceptsNames("b") {
+		t.Fatal("TrimPartial changed the language")
+	}
+}
+
+func TestDFAToNFARoundTrip(t *testing.T) {
+	d := evenAs()
+	n := d.NFA()
+	for _, w := range [][]string{nil, {"a"}, {"a", "a"}, {"b", "a"}} {
+		if d.AcceptsNames(w...) != n.AcceptsNames(w...) {
+			t.Fatalf("DFA->NFA changed language on %v", w)
+		}
+	}
+}
+
+func TestDFACloneIndependence(t *testing.T) {
+	d := evenAs()
+	c := d.Clone()
+	c.SetAccept(0, false)
+	if !d.Accepting(0) {
+		t.Fatal("clone mutated original")
+	}
+}
+
+func TestTotalizeAfterLateInterning(t *testing.T) {
+	// A symbol interned after states were added leaves short rows;
+	// Totalize must re-pad them and Next must tolerate them meanwhile.
+	al := alphabet.FromNames("a")
+	d := NewDFA(al)
+	s0, s1 := d.AddState(), d.AddState()
+	d.SetStart(s0)
+	d.SetAccept(s1, true)
+	d.SetTransition(s0, al.Lookup("a"), s1)
+	late := al.Intern("b") // row for b does not exist yet
+	if d.Next(s0, late) != NoState {
+		t.Fatal("Next on late symbol should be NoState")
+	}
+	tt := d.Totalize()
+	if !tt.IsTotal() {
+		t.Fatal("Totalize did not re-pad late symbol")
+	}
+	if tt.AcceptsNames("b") {
+		t.Fatal("late symbol should lead to the sink")
+	}
+	if !tt.AcceptsNames("a") {
+		t.Fatal("original language lost")
+	}
+}

@@ -1,0 +1,129 @@
+package automata
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"regexrw/internal/alphabet"
+)
+
+// DOT renders the NFA in Graphviz dot syntax. Accepting states are
+// doublecircles; the start state is marked by an incoming arrow from a
+// hidden node. Used to reproduce Figure 1 of the paper.
+func (n *NFA) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	for s := 0; s < n.NumStates(); s++ {
+		shape := "circle"
+		if n.accept[s] {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  s%d [shape=%s label=\"s%d\"];\n", s, shape, s)
+	}
+	if n.start != NoState {
+		b.WriteString("  __start [shape=none label=\"\"];\n")
+		fmt.Fprintf(&b, "  __start -> s%d;\n", n.start)
+	}
+	type edge struct {
+		from, to State
+		label    string
+	}
+	var edges []edge
+	for s := 0; s < n.NumStates(); s++ {
+		for x, ts := range n.trans[s] {
+			for _, t := range ts {
+				edges = append(edges, edge{State(s), t, n.alpha.Name(x)})
+			}
+		}
+		for _, t := range n.eps[s] {
+			edges = append(edges, edge{State(s), t, "ε"})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		if edges[i].to != edges[j].to {
+			return edges[i].to < edges[j].to
+		}
+		return edges[i].label < edges[j].label
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  s%d -> s%d [label=%q];\n", e.from, e.to, e.label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// DOT renders the DFA in Graphviz dot syntax.
+func (d *DFA) DOT(name string) string {
+	return d.NFA().DOT(name)
+}
+
+// String summarizes the NFA (state/transition counts and a transition
+// listing) for diagnostics and golden tests.
+func (n *NFA) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "NFA[states=%d start=%d accept=%v]\n", n.NumStates(), n.start, n.AcceptingStates())
+	for s := 0; s < n.NumStates(); s++ {
+		syms := n.OutSymbols(State(s))
+		sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+		for _, x := range syms {
+			ts := append([]State(nil), n.trans[s][x]...)
+			sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+			fmt.Fprintf(&b, "  s%d --%s--> %v\n", s, n.alpha.Name(x), ts)
+		}
+		if len(n.eps[s]) > 0 {
+			ts := append([]State(nil), n.eps[s]...)
+			sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+			fmt.Fprintf(&b, "  s%d --ε--> %v\n", s, ts)
+		}
+	}
+	return b.String()
+}
+
+// String summarizes the DFA.
+func (d *DFA) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DFA[states=%d start=%d]\n", d.NumStates(), d.start)
+	for s := 0; s < d.NumStates(); s++ {
+		marker := " "
+		if d.accept[s] {
+			marker = "*"
+		}
+		fmt.Fprintf(&b, " %ss%d:", marker, s)
+		for x, t := range d.trans[s] {
+			if t != NoState {
+				fmt.Fprintf(&b, " %s->s%d", d.alpha.Name(alphabet.Symbol(x)), t)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatWord renders a word as space-free concatenation of symbol names
+// separated by '·', or "ε" for the empty word.
+func FormatWord(a *alphabet.Alphabet, word []alphabet.Symbol) string {
+	if len(word) == 0 {
+		return "ε"
+	}
+	parts := make([]string, len(word))
+	for i, x := range word {
+		parts[i] = a.Name(x)
+	}
+	return strings.Join(parts, "·")
+}
+
+// ParseWord converts space-separated symbol names into a word, interning
+// unknown names into the alphabet.
+func ParseWord(a *alphabet.Alphabet, s string) []alphabet.Symbol {
+	fields := strings.Fields(s)
+	word := make([]alphabet.Symbol, len(fields))
+	for i, f := range fields {
+		word[i] = a.Intern(f)
+	}
+	return word
+}

@@ -1,0 +1,58 @@
+package automata_test
+
+import (
+	"fmt"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+)
+
+// Build an NFA by hand, determinize and minimize it.
+func ExampleDeterminize() {
+	al := alphabet.FromNames("a", "b")
+	n := automata.NewNFA(al)
+	s0 := n.AddState()
+	s1 := n.AddState()
+	n.SetStart(s0)
+	n.SetAccept(s1, true)
+	n.AddTransition(s0, al.Lookup("a"), s0)
+	n.AddTransition(s0, al.Lookup("b"), s0)
+	n.AddTransition(s0, al.Lookup("a"), s1) // nondeterministic on a
+
+	d := automata.Determinize(n)
+	fmt.Println("accepts ba:", d.AcceptsNames("b", "a"))
+	fmt.Println("accepts ab:", d.AcceptsNames("a", "b"))
+	fmt.Println("minimal states:", d.Minimize().TrimPartial().NumStates())
+	// Output:
+	// accepts ba: true
+	// accepts ab: false
+	// minimal states: 2
+}
+
+// ContainedIn decides language inclusion with an on-the-fly complement
+// and returns a shortest counterexample when inclusion fails.
+func ExampleContainedIn() {
+	al := alphabet.FromNames("a")
+	aPlus := automata.Plus(automata.SymbolLanguage(al, al.Lookup("a")))
+	aStar := automata.Star(automata.SymbolLanguage(al, al.Lookup("a")))
+
+	ok, _ := automata.ContainedIn(aPlus, aStar)
+	fmt.Println("a+ ⊆ a*:", ok)
+	ok, cex := automata.ContainedIn(aStar, aPlus)
+	fmt.Println("a* ⊆ a+:", ok, "counterexample:", automata.FormatWord(al, cex))
+	// Output:
+	// a+ ⊆ a*: true
+	// a* ⊆ a+: false counterexample: ε
+}
+
+// Quotients compute residual languages.
+func ExampleLeftQuotient() {
+	al := alphabet.FromNames("a", "b")
+	n := automata.WordLanguage(al, automata.ParseWord(al, "a b b"))
+	q := automata.LeftQuotient(n, automata.ParseWord(al, "a"))
+	fmt.Println("bb in a⁻¹(abb):", q.AcceptsNames("b", "b"))
+	fmt.Println("b in a⁻¹(abb): ", q.AcceptsNames("b"))
+	// Output:
+	// bb in a⁻¹(abb): true
+	// b in a⁻¹(abb):  false
+}

@@ -1,0 +1,40 @@
+package automata
+
+import (
+	"strings"
+	"testing"
+
+	"regexrw/internal/alphabet"
+)
+
+// FuzzReadNFA checks the automaton reader never panics and that
+// accepted inputs round-trip language-equivalently.
+func FuzzReadNFA(f *testing.F) {
+	for _, seed := range []string{
+		"states 2\nstart 0\naccept 1\ntrans 0 a 1\n",
+		"states 1\nstart 0\naccept 0\n",
+		"states 3\nstart 0\naccept 2\ntrans 0 x 1\neps 1 2\n",
+		"states 0\n",
+		"bogus\n",
+		"states 2\ntrans 0 a 9\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		n, err := ReadNFA(strings.NewReader(input), alphabet.New())
+		if err != nil {
+			return
+		}
+		var b strings.Builder
+		if _, err := n.WriteTo(&b); err != nil {
+			t.Fatalf("WriteTo failed: %v", err)
+		}
+		back, err := ReadNFA(strings.NewReader(b.String()), alphabet.New())
+		if err != nil {
+			t.Fatalf("round trip failed: %v\nserialized:\n%s", err, b.String())
+		}
+		if !Equivalent(n, back) {
+			t.Fatal("round trip changed the language")
+		}
+	})
+}

@@ -1,0 +1,151 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestBrzozowskiAgreesWithPartitionRefinement: the two minimization
+// algorithms are derived completely differently; on random automata
+// they must produce equivalent DFAs of identical (trim) size.
+func TestBrzozowskiAgreesWithPartitionRefinement(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	al := ab()
+	for trial := 0; trial < 60; trial++ {
+		n := randomNFA(r, al, 6)
+		d := Determinize(n)
+		hop := d.Minimize().TrimPartial()
+		brz := d.MinimizeBrzozowski()
+		if !EquivalentDFA(hop, brz) {
+			t.Fatalf("trial %d: minimization algorithms disagree on language", trial)
+		}
+		if n.IsEmpty() {
+			continue // trim size of the empty language is representation-dependent
+		}
+		if hop.NumStates() != brz.NumStates() {
+			t.Fatalf("trial %d: Hopcroft-style %d states vs Brzozowski %d states",
+				trial, hop.NumStates(), brz.NumStates())
+		}
+	}
+}
+
+func TestBrzozowskiKnownCases(t *testing.T) {
+	d := evenAs()
+	m := d.MinimizeBrzozowski()
+	if m.NumStates() != 2 {
+		t.Fatalf("Brzozowski(evenAs) = %d states, want 2", m.NumStates())
+	}
+	if !m.AcceptsNames("a", "a") || m.AcceptsNames("a") {
+		t.Fatal("Brzozowski changed the language")
+	}
+}
+
+// Property (testing/quick): the minimal DFA size is a language
+// invariant — any DFA for the same language minimizes to the same size.
+func TestQuickMinimalSizeInvariant(t *testing.T) {
+	al := ab()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randomNFA(r, al, 5)
+		d1 := Determinize(n)
+		d2 := Determinize(Union(n, n.Clone())) // same language, different automaton
+		return d1.Minimize().NumStates() == d2.Minimize().NumStates()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (testing/quick): determinize → complement → complement is
+// the identity on the language.
+func TestQuickDoubleComplement(t *testing.T) {
+	al := ab()
+	f := func(seed int64, wordSeed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randomNFA(r, al, 5)
+		cc := Determinize(n).Complement().Complement()
+		wr := rand.New(rand.NewSource(wordSeed))
+		for i := 0; i < 15; i++ {
+			w := randomWord(wr, al, 7)
+			if n.Accepts(w) != cc.Accepts(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (testing/quick): UnionDFA agrees with the ε-NFA Union.
+func TestQuickUnionDFAAgreesWithUnion(t *testing.T) {
+	al := ab()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n1 := randomNFA(r, al, 4)
+		n2 := randomNFA(r, al, 4)
+		viaDFA := UnionDFA(Determinize(n1), Determinize(n2))
+		viaNFA := Union(n1, n2)
+		for i := 0; i < 20; i++ {
+			w := randomWord(r, al, 7)
+			if viaDFA.Accepts(w) != viaNFA.Accepts(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (testing/quick): bitset operations behave like a set of ints.
+func TestQuickBitset(t *testing.T) {
+	f := func(elems []uint8) bool {
+		b := newBitset(256)
+		ref := map[int]bool{}
+		for _, e := range elems {
+			b.add(int(e))
+			ref[int(e)] = true
+		}
+		if b.count() != len(ref) {
+			return false
+		}
+		for i := 0; i < 256; i++ {
+			if b.has(i) != ref[i] {
+				return false
+			}
+		}
+		sl := b.slice()
+		for i := 1; i < len(sl); i++ {
+			if sl[i-1] >= sl[i] {
+				return false
+			}
+		}
+		c := b.clone()
+		if !c.equal(b) || c.key() != b.key() {
+			return false
+		}
+		return b.empty() == (len(ref) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsetIntersects(t *testing.T) {
+	a := newBitset(128)
+	b := newBitset(128)
+	a.add(3)
+	a.add(100)
+	b.add(4)
+	if a.intersects(b) {
+		t.Fatal("disjoint bitsets intersect")
+	}
+	b.add(100)
+	if !a.intersects(b) {
+		t.Fatal("overlapping bitsets do not intersect")
+	}
+}

@@ -1,0 +1,422 @@
+// Package automata implements the finite-automata toolkit underlying the
+// rewriting algorithms of Calvanese, De Giacomo, Lenzerini and Vardi
+// (PODS 1999): nondeterministic and deterministic finite automata with
+// subset construction, Hopcroft minimization, complement, boolean
+// operations, emptiness, containment and equivalence — including the
+// on-the-fly complement used by the paper's 2EXPSPACE exactness check
+// (Theorem 6).
+//
+// Automata are defined over an alphabet.Alphabet. States are dense
+// integers local to one automaton. NFAs may contain ε-transitions;
+// every consumer that needs an ε-free view calls RemoveEpsilon.
+package automata
+
+import (
+	"fmt"
+
+	"regexrw/internal/alphabet"
+)
+
+// State identifies a state within a single automaton.
+type State int
+
+// NoState marks the absence of a state (e.g. a missing DFA transition).
+const NoState State = -1
+
+// NFA is a nondeterministic finite automaton with optional
+// ε-transitions. The zero value is not usable; create NFAs with NewNFA.
+type NFA struct {
+	alpha  *alphabet.Alphabet
+	start  State
+	accept []bool
+	// trans[s][x] lists the x-successors of state s.
+	trans []map[alphabet.Symbol][]State
+	// eps[s] lists the ε-successors of state s.
+	eps [][]State
+}
+
+// NewNFA returns an empty NFA over the given alphabet. It has no states;
+// the start state must be set after adding states.
+func NewNFA(a *alphabet.Alphabet) *NFA {
+	return &NFA{alpha: a, start: NoState}
+}
+
+// Alphabet returns the automaton's alphabet.
+func (n *NFA) Alphabet() *alphabet.Alphabet { return n.alpha }
+
+// AddState adds a fresh non-accepting state and returns its id.
+func (n *NFA) AddState() State {
+	n.accept = append(n.accept, false)
+	n.trans = append(n.trans, nil)
+	n.eps = append(n.eps, nil)
+	return State(len(n.accept) - 1)
+}
+
+// AddStates adds k fresh states and returns the id of the first.
+func (n *NFA) AddStates(k int) State {
+	first := State(len(n.accept))
+	for i := 0; i < k; i++ {
+		n.AddState()
+	}
+	return first
+}
+
+// NumStates returns the number of states.
+func (n *NFA) NumStates() int { return len(n.accept) }
+
+// Start returns the start state (NoState if unset).
+func (n *NFA) Start() State { return n.start }
+
+// SetStart sets the start state.
+func (n *NFA) SetStart(s State) { n.checkState(s); n.start = s }
+
+// Accepting reports whether s is accepting.
+func (n *NFA) Accepting(s State) bool { n.checkState(s); return n.accept[s] }
+
+// SetAccept marks s accepting or not.
+func (n *NFA) SetAccept(s State, accepting bool) {
+	n.checkState(s)
+	n.accept[s] = accepting
+}
+
+// AcceptingStates returns all accepting states in increasing order.
+func (n *NFA) AcceptingStates() []State {
+	var out []State
+	for s, acc := range n.accept {
+		if acc {
+			out = append(out, State(s))
+		}
+	}
+	return out
+}
+
+// AddTransition adds the transition from --x--> to.
+func (n *NFA) AddTransition(from State, x alphabet.Symbol, to State) {
+	n.checkState(from)
+	n.checkState(to)
+	if n.trans[from] == nil {
+		n.trans[from] = make(map[alphabet.Symbol][]State)
+	}
+	for _, t := range n.trans[from][x] {
+		if t == to {
+			return // already present
+		}
+	}
+	n.trans[from][x] = append(n.trans[from][x], to)
+}
+
+// AddEpsilon adds an ε-transition from --ε--> to.
+func (n *NFA) AddEpsilon(from, to State) {
+	n.checkState(from)
+	n.checkState(to)
+	if from == to {
+		return
+	}
+	for _, t := range n.eps[from] {
+		if t == to {
+			return
+		}
+	}
+	n.eps[from] = append(n.eps[from], to)
+}
+
+// Successors returns the x-successors of s (shared slice; do not mutate).
+func (n *NFA) Successors(s State, x alphabet.Symbol) []State {
+	n.checkState(s)
+	return n.trans[s][x]
+}
+
+// EpsSuccessors returns the direct ε-successors of s (shared slice).
+func (n *NFA) EpsSuccessors(s State) []State {
+	n.checkState(s)
+	return n.eps[s]
+}
+
+// OutSymbols returns the symbols with at least one transition out of s.
+// Order is unspecified.
+func (n *NFA) OutSymbols(s State) []alphabet.Symbol {
+	n.checkState(s)
+	out := make([]alphabet.Symbol, 0, len(n.trans[s]))
+	for x := range n.trans[s] {
+		out = append(out, x)
+	}
+	return out
+}
+
+// HasEpsilon reports whether the automaton has any ε-transition.
+func (n *NFA) HasEpsilon() bool {
+	for _, e := range n.eps {
+		if len(e) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// NumTransitions returns the total number of (symbol and ε) transitions.
+func (n *NFA) NumTransitions() int {
+	total := 0
+	for s := range n.trans {
+		for _, ts := range n.trans[s] {
+			total += len(ts)
+		}
+		total += len(n.eps[s])
+	}
+	return total
+}
+
+func (n *NFA) checkState(s State) {
+	if s < 0 || int(s) >= len(n.accept) {
+		panic(fmt.Sprintf("automata: state %d out of range [0,%d)", s, len(n.accept)))
+	}
+}
+
+// epsClosure expands set (a bitset over states) in place to its
+// ε-closure and returns it.
+func (n *NFA) epsClosure(set *bitset) *bitset {
+	stack := set.slice()
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.eps[s] {
+			if !set.has(int(t)) {
+				set.add(int(t))
+				stack = append(stack, int(t))
+			}
+		}
+	}
+	return set
+}
+
+// EpsClosureOf returns the ε-closure of the given states as a sorted slice.
+func (n *NFA) EpsClosureOf(states ...State) []State {
+	set := newBitset(n.NumStates())
+	for _, s := range states {
+		n.checkState(s)
+		set.add(int(s))
+	}
+	n.epsClosure(set)
+	return toStates(set.slice())
+}
+
+// Accepts reports whether the NFA accepts the given word.
+func (n *NFA) Accepts(word []alphabet.Symbol) bool {
+	if n.start == NoState {
+		return false
+	}
+	cur := newBitset(n.NumStates())
+	cur.add(int(n.start))
+	n.epsClosure(cur)
+	for _, x := range word {
+		next := newBitset(n.NumStates())
+		for _, s := range cur.slice() {
+			for _, t := range n.trans[s][x] {
+				next.add(int(t))
+			}
+		}
+		n.epsClosure(next)
+		if next.empty() {
+			return false
+		}
+		cur = next
+	}
+	for _, s := range cur.slice() {
+		if n.accept[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// AcceptsNames is Accepts with symbol names; unknown names yield false
+// (no transition can match them).
+func (n *NFA) AcceptsNames(names ...string) bool {
+	word := make([]alphabet.Symbol, len(names))
+	for i, name := range names {
+		s := n.alpha.Lookup(name)
+		if s == alphabet.None {
+			return false
+		}
+		word[i] = s
+	}
+	return n.Accepts(word)
+}
+
+// Clone returns a deep copy of the NFA (sharing the alphabet).
+func (n *NFA) Clone() *NFA {
+	c := NewNFA(n.alpha)
+	c.start = n.start
+	c.accept = append([]bool(nil), n.accept...)
+	c.trans = make([]map[alphabet.Symbol][]State, len(n.trans))
+	for s, m := range n.trans {
+		if m == nil {
+			continue
+		}
+		cm := make(map[alphabet.Symbol][]State, len(m))
+		for x, ts := range m {
+			cm[x] = append([]State(nil), ts...)
+		}
+		c.trans[s] = cm
+	}
+	c.eps = make([][]State, len(n.eps))
+	for s, ts := range n.eps {
+		if len(ts) > 0 {
+			c.eps[s] = append([]State(nil), ts...)
+		}
+	}
+	return c
+}
+
+// CopyInto copies all states and transitions of src into dst (which must
+// share an alphabet superset by name) and returns the mapping from src
+// states to dst states. Accepting flags are preserved; the start state
+// of dst is untouched.
+func CopyInto(dst, src *NFA) []State {
+	remap := make([]alphabet.Symbol, src.alpha.Len())
+	for _, x := range src.alpha.Symbols() {
+		remap[x] = alphabet.Map(src.alpha, x, dst.alpha)
+	}
+	mapping := make([]State, src.NumStates())
+	for s := 0; s < src.NumStates(); s++ {
+		mapping[s] = dst.AddState()
+		dst.SetAccept(mapping[s], src.accept[s])
+	}
+	for s := 0; s < src.NumStates(); s++ {
+		for x, ts := range src.trans[s] {
+			for _, t := range ts {
+				dst.AddTransition(mapping[s], remap[x], mapping[t])
+			}
+		}
+		for _, t := range src.eps[s] {
+			dst.AddEpsilon(mapping[s], mapping[t])
+		}
+	}
+	return mapping
+}
+
+// RemoveEpsilon returns an equivalent NFA without ε-transitions.
+func (n *NFA) RemoveEpsilon() *NFA {
+	if !n.HasEpsilon() {
+		return n.Clone()
+	}
+	out := NewNFA(n.alpha)
+	out.AddStates(n.NumStates())
+	if n.start != NoState {
+		out.SetStart(n.start)
+	}
+	for s := 0; s < n.NumStates(); s++ {
+		closure := newBitset(n.NumStates())
+		closure.add(s)
+		n.epsClosure(closure)
+		for _, c := range closure.slice() {
+			if n.accept[c] {
+				out.SetAccept(State(s), true)
+			}
+			for x, ts := range n.trans[c] {
+				for _, t := range ts {
+					out.AddTransition(State(s), x, t)
+				}
+			}
+		}
+	}
+	return out.Trim()
+}
+
+// Trim returns an NFA with only states that are reachable from the start
+// and co-reachable to an accepting state. The start state is always kept
+// (a trimmed automaton of the empty language is a single non-accepting
+// start state).
+func (n *NFA) Trim() *NFA {
+	if n.start == NoState {
+		out := NewNFA(n.alpha)
+		out.SetStart(out.AddState())
+		return out
+	}
+	reach := newBitset(n.NumStates())
+	reach.add(int(n.start))
+	stack := []State{n.start}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		visit := func(t State) {
+			if !reach.has(int(t)) {
+				reach.add(int(t))
+				stack = append(stack, t)
+			}
+		}
+		for _, ts := range n.trans[s] {
+			for _, t := range ts {
+				visit(t)
+			}
+		}
+		for _, t := range n.eps[s] {
+			visit(t)
+		}
+	}
+	// Co-reachability via reverse BFS from accepting states.
+	rev := make([][]State, n.NumStates())
+	for s := 0; s < n.NumStates(); s++ {
+		for _, ts := range n.trans[s] {
+			for _, t := range ts {
+				rev[t] = append(rev[t], State(s))
+			}
+		}
+		for _, t := range n.eps[s] {
+			rev[t] = append(rev[t], State(s))
+		}
+	}
+	co := newBitset(n.NumStates())
+	for s, acc := range n.accept {
+		if acc {
+			co.add(s)
+			stack = append(stack, State(s))
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[s] {
+			if !co.has(int(p)) {
+				co.add(int(p))
+				stack = append(stack, p)
+			}
+		}
+	}
+	keep := make([]State, n.NumStates())
+	out := NewNFA(n.alpha)
+	for s := 0; s < n.NumStates(); s++ {
+		if (reach.has(s) && co.has(s)) || State(s) == n.start {
+			keep[s] = out.AddState()
+			out.SetAccept(keep[s], n.accept[s])
+		} else {
+			keep[s] = NoState
+		}
+	}
+	out.SetStart(keep[n.start])
+	for s := 0; s < n.NumStates(); s++ {
+		if keep[s] == NoState {
+			continue
+		}
+		for x, ts := range n.trans[s] {
+			for _, t := range ts {
+				if keep[t] != NoState {
+					out.AddTransition(keep[s], x, keep[t])
+				}
+			}
+		}
+		for _, t := range n.eps[s] {
+			if keep[t] != NoState {
+				out.AddEpsilon(keep[s], keep[t])
+			}
+		}
+	}
+	return out
+}
+
+func toStates(ints []int) []State {
+	out := make([]State, len(ints))
+	for i, v := range ints {
+		out[i] = State(v)
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package automata
+
+import (
+	"testing"
+
+	"regexrw/internal/alphabet"
+)
+
+// ab returns a fresh alphabet {a, b} (plus any extra names).
+func ab(extra ...string) *alphabet.Alphabet {
+	return alphabet.FromNames(append([]string{"a", "b"}, extra...)...)
+}
+
+// buildAB returns an NFA over {a,b} accepting a·b* (handy fixture).
+func buildAB(t *testing.T) *NFA {
+	t.Helper()
+	al := ab()
+	n := NewNFA(al)
+	s0 := n.AddState()
+	s1 := n.AddState()
+	n.SetStart(s0)
+	n.SetAccept(s1, true)
+	n.AddTransition(s0, al.Lookup("a"), s1)
+	n.AddTransition(s1, al.Lookup("b"), s1)
+	return n
+}
+
+func TestNFAAccepts(t *testing.T) {
+	n := buildAB(t)
+	cases := []struct {
+		word []string
+		want bool
+	}{
+		{[]string{"a"}, true},
+		{[]string{"a", "b"}, true},
+		{[]string{"a", "b", "b", "b"}, true},
+		{[]string{}, false},
+		{[]string{"b"}, false},
+		{[]string{"a", "a"}, false},
+		{[]string{"a", "b", "a"}, false},
+	}
+	for _, c := range cases {
+		if got := n.AcceptsNames(c.word...); got != c.want {
+			t.Errorf("Accepts(%v) = %v, want %v", c.word, got, c.want)
+		}
+	}
+}
+
+func TestAcceptsNamesUnknownSymbol(t *testing.T) {
+	n := buildAB(t)
+	if n.AcceptsNames("zzz") {
+		t.Fatal("accepted a word with an unknown symbol")
+	}
+}
+
+func TestEpsilonClosure(t *testing.T) {
+	al := ab()
+	n := NewNFA(al)
+	s0, s1, s2, s3 := n.AddState(), n.AddState(), n.AddState(), n.AddState()
+	n.AddEpsilon(s0, s1)
+	n.AddEpsilon(s1, s2)
+	n.AddEpsilon(s2, s0) // cycle
+	_ = s3
+	got := n.EpsClosureOf(s0)
+	if len(got) != 3 || got[0] != s0 || got[1] != s1 || got[2] != s2 {
+		t.Fatalf("EpsClosureOf(s0) = %v, want [0 1 2]", got)
+	}
+}
+
+func TestEpsilonAcceptance(t *testing.T) {
+	al := ab()
+	n := NewNFA(al)
+	s0, s1, s2 := n.AddState(), n.AddState(), n.AddState()
+	n.SetStart(s0)
+	n.SetAccept(s2, true)
+	n.AddEpsilon(s0, s1)
+	n.AddTransition(s1, al.Lookup("a"), s2)
+	n.AddEpsilon(s2, s0)
+	if !n.AcceptsNames("a") {
+		t.Fatal("want accept of a via ε")
+	}
+	if !n.AcceptsNames("a", "a") {
+		t.Fatal("want accept of aa via ε-cycle")
+	}
+	if n.AcceptsNames() {
+		t.Fatal("should not accept ε")
+	}
+}
+
+func TestRemoveEpsilonPreservesLanguage(t *testing.T) {
+	al := ab()
+	n := NewNFA(al)
+	s0, s1, s2 := n.AddState(), n.AddState(), n.AddState()
+	n.SetStart(s0)
+	n.SetAccept(s2, true)
+	n.AddEpsilon(s0, s1)
+	n.AddTransition(s1, al.Lookup("a"), s2)
+	n.AddEpsilon(s1, s2) // makes ε itself accepted
+	e := n.RemoveEpsilon()
+	if e.HasEpsilon() {
+		t.Fatal("RemoveEpsilon left ε-transitions")
+	}
+	for _, w := range [][]string{{}, {"a"}, {"b"}, {"a", "a"}} {
+		if e.AcceptsNames(w...) != n.AcceptsNames(w...) {
+			t.Fatalf("language changed on %v", w)
+		}
+	}
+}
+
+func TestTrimRemovesUnreachableAndDead(t *testing.T) {
+	al := ab()
+	n := NewNFA(al)
+	s0 := n.AddState()
+	s1 := n.AddState()
+	dead := n.AddState()        // reachable but no path to accept
+	unreachable := n.AddState() // accepting but unreachable
+	n.SetStart(s0)
+	n.SetAccept(s1, true)
+	n.SetAccept(unreachable, true)
+	n.AddTransition(s0, al.Lookup("a"), s1)
+	n.AddTransition(s0, al.Lookup("b"), dead)
+	trimmed := n.Trim()
+	if trimmed.NumStates() != 2 {
+		t.Fatalf("Trim left %d states, want 2", trimmed.NumStates())
+	}
+	if !trimmed.AcceptsNames("a") || trimmed.AcceptsNames("b") {
+		t.Fatal("Trim changed the language")
+	}
+}
+
+func TestTrimEmptyLanguageKeepsStart(t *testing.T) {
+	n := EmptyLanguage(ab())
+	trimmed := n.Trim()
+	if trimmed.NumStates() != 1 || trimmed.Start() == NoState {
+		t.Fatalf("trimmed empty automaton malformed: %v states", trimmed.NumStates())
+	}
+	if !trimmed.IsEmpty() {
+		t.Fatal("empty language lost")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	n := buildAB(t)
+	c := n.Clone()
+	c.SetAccept(0, true)
+	c.AddTransition(0, n.Alphabet().Lookup("b"), 0)
+	if n.Accepting(0) {
+		t.Fatal("clone mutated original accept flags")
+	}
+	if n.AcceptsNames("b", "a") {
+		t.Fatal("clone mutated original transitions")
+	}
+}
+
+func TestCopyIntoRemapsSymbolsByName(t *testing.T) {
+	src := buildAB(t) // over {a,b}
+	dstAlpha := alphabet.FromNames("b", "a", "c")
+	dst := NewNFA(dstAlpha)
+	m := CopyInto(dst, src)
+	dst.SetStart(m[src.Start()])
+	if !dst.AcceptsNames("a", "b") || dst.AcceptsNames("b") {
+		t.Fatal("CopyInto did not remap symbols by name")
+	}
+}
+
+func TestAddTransitionDeduplicates(t *testing.T) {
+	n := buildAB(t)
+	a := n.Alphabet().Lookup("a")
+	before := n.NumTransitions()
+	n.AddTransition(0, a, 1) // duplicate
+	if n.NumTransitions() != before {
+		t.Fatal("duplicate transition was added")
+	}
+}
+
+func TestStatePanics(t *testing.T) {
+	n := buildAB(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range state")
+		}
+	}()
+	n.SetAccept(99, true)
+}
+
+func TestShortestWord(t *testing.T) {
+	n := buildAB(t)
+	w, ok := n.ShortestWord()
+	if !ok || FormatWord(n.Alphabet(), w) != "a" {
+		t.Fatalf("ShortestWord = %v,%v", w, ok)
+	}
+	empty := EmptyLanguage(ab())
+	if _, ok := empty.ShortestWord(); ok {
+		t.Fatal("empty language returned a word")
+	}
+	eps := EpsilonLanguage(ab())
+	w, ok = eps.ShortestWord()
+	if !ok || len(w) != 0 {
+		t.Fatalf("ε-language ShortestWord = %v,%v", w, ok)
+	}
+}
+
+func TestIsEmpty(t *testing.T) {
+	if !EmptyLanguage(ab()).IsEmpty() {
+		t.Fatal("EmptyLanguage not empty")
+	}
+	if EpsilonLanguage(ab()).IsEmpty() {
+		t.Fatal("ε-language reported empty")
+	}
+	if buildAB(t).IsEmpty() {
+		t.Fatal("a·b* reported empty")
+	}
+	// Accepting state unreachable => empty.
+	al := ab()
+	n := NewNFA(al)
+	s0 := n.AddState()
+	s1 := n.AddState()
+	n.SetStart(s0)
+	n.SetAccept(s1, true)
+	if !n.IsEmpty() {
+		t.Fatal("unreachable accept state should give empty language")
+	}
+}
+
+func TestNumTransitions(t *testing.T) {
+	n := buildAB(t)
+	if n.NumTransitions() != 2 {
+		t.Fatalf("NumTransitions = %d, want 2", n.NumTransitions())
+	}
+	n.AddEpsilon(0, 1)
+	if n.NumTransitions() != 3 {
+		t.Fatalf("NumTransitions with ε = %d, want 3", n.NumTransitions())
+	}
+}
+
+func TestParseFormatWord(t *testing.T) {
+	al := ab()
+	w := ParseWord(al, "a b a")
+	if FormatWord(al, w) != "a·b·a" {
+		t.Fatalf("round trip = %q", FormatWord(al, w))
+	}
+	if FormatWord(al, nil) != "ε" {
+		t.Fatal("empty word should format as ε")
+	}
+}

@@ -1,0 +1,372 @@
+package automata
+
+import "regexrw/internal/alphabet"
+
+// EmptyLanguage returns an NFA over a accepting no word.
+func EmptyLanguage(a *alphabet.Alphabet) *NFA {
+	n := NewNFA(a)
+	n.SetStart(n.AddState())
+	return n
+}
+
+// EpsilonLanguage returns an NFA accepting exactly the empty word.
+func EpsilonLanguage(a *alphabet.Alphabet) *NFA {
+	n := NewNFA(a)
+	s := n.AddState()
+	n.SetStart(s)
+	n.SetAccept(s, true)
+	return n
+}
+
+// SymbolLanguage returns an NFA accepting exactly the one-symbol word x.
+func SymbolLanguage(a *alphabet.Alphabet, x alphabet.Symbol) *NFA {
+	n := NewNFA(a)
+	s := n.AddState()
+	t := n.AddState()
+	n.SetStart(s)
+	n.SetAccept(t, true)
+	n.AddTransition(s, x, t)
+	return n
+}
+
+// WordLanguage returns an NFA accepting exactly the given word.
+func WordLanguage(a *alphabet.Alphabet, word []alphabet.Symbol) *NFA {
+	n := NewNFA(a)
+	cur := n.AddState()
+	n.SetStart(cur)
+	for _, x := range word {
+		next := n.AddState()
+		n.AddTransition(cur, x, next)
+		cur = next
+	}
+	n.SetAccept(cur, true)
+	return n
+}
+
+// UniversalLanguage returns an NFA accepting every word over a.
+func UniversalLanguage(a *alphabet.Alphabet) *NFA {
+	n := NewNFA(a)
+	s := n.AddState()
+	n.SetStart(s)
+	n.SetAccept(s, true)
+	for _, x := range a.Symbols() {
+		n.AddTransition(s, x, s)
+	}
+	return n
+}
+
+// Union returns an NFA for L(a) ∪ L(b). The operands must share an
+// alphabet by name (symbol ids are remapped).
+func Union(a, b *NFA) *NFA {
+	out := NewNFA(alphabet.Union(a.Alphabet(), b.Alphabet()))
+	start := out.AddState()
+	out.SetStart(start)
+	ma := CopyInto(out, a)
+	mb := CopyInto(out, b)
+	if a.Start() != NoState {
+		out.AddEpsilon(start, ma[a.Start()])
+	}
+	if b.Start() != NoState {
+		out.AddEpsilon(start, mb[b.Start()])
+	}
+	return out
+}
+
+// Concat returns an NFA for L(a)·L(b).
+func Concat(a, b *NFA) *NFA {
+	out := NewNFA(alphabet.Union(a.Alphabet(), b.Alphabet()))
+	ma := CopyInto(out, a)
+	mb := CopyInto(out, b)
+	if a.Start() != NoState {
+		out.SetStart(ma[a.Start()])
+	} else {
+		out.SetStart(out.AddState())
+		return out
+	}
+	for _, f := range a.AcceptingStates() {
+		out.SetAccept(ma[f], false)
+		if b.Start() != NoState {
+			out.AddEpsilon(ma[f], mb[b.Start()])
+		}
+	}
+	// Accepting states of the result are b's accepting states only; if b
+	// has no start, the concatenation is empty and no state accepts.
+	if b.Start() == NoState {
+		for _, f := range b.AcceptingStates() {
+			out.SetAccept(mb[f], false)
+		}
+	}
+	return out
+}
+
+// Star returns an NFA for L(a)*.
+func Star(a *NFA) *NFA {
+	out := NewNFA(a.Alphabet())
+	start := out.AddState()
+	out.SetStart(start)
+	out.SetAccept(start, true)
+	m := CopyInto(out, a)
+	if a.Start() != NoState {
+		out.AddEpsilon(start, m[a.Start()])
+	}
+	for _, f := range a.AcceptingStates() {
+		out.AddEpsilon(m[f], start)
+	}
+	return out
+}
+
+// Optional returns an NFA for L(a) ∪ {ε}.
+func Optional(a *NFA) *NFA {
+	out := a.Clone()
+	start := out.AddState()
+	if a.Start() != NoState {
+		out.AddEpsilon(start, a.Start())
+	}
+	out.SetStart(start)
+	out.SetAccept(start, true)
+	return out
+}
+
+// Plus returns an NFA for L(a)+ = L(a)·L(a)*.
+func Plus(a *NFA) *NFA {
+	out := a.Clone()
+	if a.Start() == NoState {
+		return out
+	}
+	for _, f := range out.AcceptingStates() {
+		out.AddEpsilon(f, out.Start())
+	}
+	return out
+}
+
+// Intersect returns an ε-free NFA for L(a) ∩ L(b) via the product
+// construction, restricted to reachable pairs. Symbols are matched by
+// name across the two alphabets; the result is over a's alphabet
+// restricted to names shared with b.
+func Intersect(a, b *NFA) *NFA {
+	ea := a.RemoveEpsilon()
+	eb := b.RemoveEpsilon()
+	out := NewNFA(ea.Alphabet())
+
+	// Map b's symbols to a's ids where shared; alphabet.None otherwise.
+	bToA := make([]alphabet.Symbol, eb.Alphabet().Len())
+	for _, x := range eb.Alphabet().Symbols() {
+		bToA[x] = ea.Alphabet().Lookup(eb.Alphabet().Name(x))
+	}
+	aToB := make([]alphabet.Symbol, ea.Alphabet().Len())
+	for _, x := range ea.Alphabet().Symbols() {
+		aToB[x] = eb.Alphabet().Lookup(ea.Alphabet().Name(x))
+	}
+
+	type pair struct{ pa, pb State }
+	ids := map[pair]State{}
+	var queue []pair
+	intern := func(p pair) State {
+		if s, ok := ids[p]; ok {
+			return s
+		}
+		s := out.AddState()
+		ids[p] = s
+		out.SetAccept(s, ea.Accepting(p.pa) && eb.Accepting(p.pb))
+		queue = append(queue, p)
+		return s
+	}
+	if ea.Start() == NoState || eb.Start() == NoState {
+		out.SetStart(out.AddState())
+		return out
+	}
+	out.SetStart(intern(pair{ea.Start(), eb.Start()}))
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		from := ids[p]
+		for _, x := range ea.OutSymbols(p.pa) {
+			xb := aToB[x]
+			if xb == alphabet.None {
+				continue
+			}
+			bs := eb.Successors(p.pb, xb)
+			if len(bs) == 0 {
+				continue
+			}
+			for _, ta := range ea.Successors(p.pa, x) {
+				for _, tb := range bs {
+					out.AddTransition(from, x, intern(pair{ta, tb}))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// UnionDFA returns a DFA for L(a) ∪ L(b) via the product construction,
+// exploring only reachable pairs (the dead state is represented by
+// NoState on either side). Both operands must share their alphabet by
+// name; the result is over a's alphabet extended with b's names.
+// Combined with interleaved minimization this gives union-shaped
+// languages a determinization path that avoids the subset-construction
+// blowup of determinizing one big union NFA.
+func UnionDFA(a, b *DFA) *DFA {
+	u := a.Alphabet()
+	if !u.Equal(b.Alphabet()) {
+		u = alphabet.Union(a.Alphabet(), b.Alphabet())
+	}
+	bRemap := make([]alphabet.Symbol, u.Len())
+	for _, x := range u.Symbols() {
+		bRemap[x] = b.Alphabet().Lookup(u.Name(x))
+	}
+	aRemap := make([]alphabet.Symbol, u.Len())
+	for _, x := range u.Symbols() {
+		aRemap[x] = a.Alphabet().Lookup(u.Name(x))
+	}
+
+	out := NewDFA(u)
+	type pair struct{ pa, pb State }
+	ids := map[pair]State{}
+	var queue []pair
+	intern := func(p pair) State {
+		if s, ok := ids[p]; ok {
+			return s
+		}
+		s := out.AddState()
+		ids[p] = s
+		acc := false
+		if p.pa != NoState && a.Accepting(p.pa) {
+			acc = true
+		}
+		if p.pb != NoState && b.Accepting(p.pb) {
+			acc = true
+		}
+		out.SetAccept(s, acc)
+		queue = append(queue, p)
+		return s
+	}
+	start := pair{a.Start(), b.Start()}
+	out.SetStart(intern(start))
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		from := ids[p]
+		for _, x := range u.Symbols() {
+			na, nb := NoState, NoState
+			if p.pa != NoState && aRemap[x] != alphabet.None {
+				na = a.Next(p.pa, aRemap[x])
+			}
+			if p.pb != NoState && bRemap[x] != alphabet.None {
+				nb = b.Next(p.pb, bRemap[x])
+			}
+			if na == NoState && nb == NoState {
+				continue
+			}
+			out.SetTransition(from, x, intern(pair{na, nb}))
+		}
+	}
+	return out
+}
+
+// Reverse returns an NFA for the reversal of L(a).
+func Reverse(a *NFA) *NFA {
+	out := NewNFA(a.Alphabet())
+	out.AddStates(a.NumStates())
+	for s := 0; s < a.NumStates(); s++ {
+		for x, ts := range a.trans[s] {
+			for _, t := range ts {
+				out.AddTransition(t, x, State(s))
+			}
+		}
+		for _, t := range a.eps[s] {
+			out.AddEpsilon(t, State(s))
+		}
+	}
+	start := out.AddState()
+	out.SetStart(start)
+	for _, f := range a.AcceptingStates() {
+		out.AddEpsilon(start, f)
+	}
+	if a.Start() != NoState {
+		out.SetAccept(a.Start(), true)
+	}
+	return out
+}
+
+// LeftQuotient returns an NFA for w⁻¹·L(a) = { v : w·v ∈ L(a) }: the
+// residual language of a after reading w. An automaton-level analogue
+// of the Brzozowski derivative in internal/regex.
+func LeftQuotient(a *NFA, w []alphabet.Symbol) *NFA {
+	e := a.RemoveEpsilon()
+	if e.Start() == NoState {
+		return EmptyLanguage(a.Alphabet())
+	}
+	cur := newBitset(e.NumStates())
+	cur.add(int(e.Start()))
+	for _, x := range w {
+		next := newBitset(e.NumStates())
+		for _, s := range cur.slice() {
+			for _, t := range e.Successors(State(s), x) {
+				next.add(int(t))
+			}
+		}
+		cur = next
+		if cur.empty() {
+			return EmptyLanguage(a.Alphabet())
+		}
+	}
+	out := e.Clone()
+	start := out.AddState()
+	for _, s := range cur.slice() {
+		out.AddEpsilon(start, State(s))
+	}
+	out.SetStart(start)
+	return out
+}
+
+// RightQuotient returns an NFA for L(a)·w⁻¹ = { v : v·w ∈ L(a) }.
+func RightQuotient(a *NFA, w []alphabet.Symbol) *NFA {
+	rev := make([]alphabet.Symbol, len(w))
+	for i, x := range w {
+		rev[len(w)-1-i] = x
+	}
+	return Reverse(LeftQuotient(Reverse(a), rev))
+}
+
+// PrefixClosure returns an NFA accepting every prefix of every word of
+// L(a) (including the words themselves and ε when L(a) ≠ ∅).
+func PrefixClosure(a *NFA) *NFA {
+	out := a.Trim()
+	if out.IsEmpty() {
+		return out
+	}
+	// After trimming, every state lies on some accepting path, so
+	// making all states accepting yields exactly the prefixes.
+	for s := 0; s < out.NumStates(); s++ {
+		out.SetAccept(State(s), true)
+	}
+	return out
+}
+
+// SuffixClosure returns an NFA accepting every suffix of every word of
+// L(a).
+func SuffixClosure(a *NFA) *NFA {
+	return Reverse(PrefixClosure(Reverse(a)))
+}
+
+// ComplementNFA returns an NFA for the complement of L(a) over a's
+// alphabet, via determinization.
+func ComplementNFA(a *NFA) *NFA {
+	return Determinize(a).Complement().NFA()
+}
+
+// Difference returns an NFA for L(a) \ L(b). The complement of b is
+// taken over the union of the two alphabets so that symbols of a that b
+// never mentions are handled correctly.
+func Difference(a, b *NFA) *NFA {
+	u := alphabet.Union(a.Alphabet(), b.Alphabet())
+	lifted := NewNFA(u)
+	m := CopyInto(lifted, b)
+	if b.Start() != NoState {
+		lifted.SetStart(m[b.Start()])
+	} else {
+		lifted.SetStart(lifted.AddState())
+	}
+	return Intersect(a, ComplementNFA(lifted))
+}

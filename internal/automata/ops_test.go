@@ -1,0 +1,356 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+
+	"regexrw/internal/alphabet"
+)
+
+func sym(al *alphabet.Alphabet, name string) alphabet.Symbol { return al.Intern(name) }
+
+func TestWordLanguage(t *testing.T) {
+	al := ab()
+	w := ParseWord(al, "a b a")
+	n := WordLanguage(al, w)
+	if !n.Accepts(w) {
+		t.Fatal("WordLanguage rejects its own word")
+	}
+	if n.AcceptsNames("a", "b") || n.AcceptsNames("a", "b", "a", "a") || n.AcceptsNames() {
+		t.Fatal("WordLanguage accepts other words")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	al := ab()
+	u := Union(WordLanguage(al, ParseWord(al, "a")), WordLanguage(al, ParseWord(al, "b b")))
+	for _, tc := range []struct {
+		w    []string
+		want bool
+	}{
+		{[]string{"a"}, true}, {[]string{"b", "b"}, true}, {[]string{"b"}, false}, {nil, false}, {[]string{"a", "b"}, false},
+	} {
+		if got := u.AcceptsNames(tc.w...); got != tc.want {
+			t.Errorf("union Accepts(%v) = %v, want %v", tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestUnionAcrossAlphabets(t *testing.T) {
+	alA := alphabet.FromNames("a")
+	alB := alphabet.FromNames("b")
+	u := Union(WordLanguage(alA, ParseWord(alA, "a")), WordLanguage(alB, ParseWord(alB, "b")))
+	if !u.AcceptsNames("a") || !u.AcceptsNames("b") {
+		t.Fatal("union across alphabets broken")
+	}
+	if u.Alphabet().Len() != 2 {
+		t.Fatalf("union alphabet has %d symbols, want 2", u.Alphabet().Len())
+	}
+}
+
+func TestConcat(t *testing.T) {
+	al := ab()
+	c := Concat(WordLanguage(al, ParseWord(al, "a")), WordLanguage(al, ParseWord(al, "b")))
+	if !c.AcceptsNames("a", "b") {
+		t.Fatal("concat rejects ab")
+	}
+	for _, w := range [][]string{[]string{"a"}, {"b"}, nil, {"b", "a"}, {"a", "b", "b"}} {
+		if c.AcceptsNames(w...) {
+			t.Fatalf("concat accepts %v", w)
+		}
+	}
+}
+
+func TestConcatWithEpsilonOperand(t *testing.T) {
+	al := ab()
+	c := Concat(EpsilonLanguage(al), WordLanguage(al, ParseWord(al, "a")))
+	if !c.AcceptsNames("a") || c.AcceptsNames() {
+		t.Fatal("ε·a wrong")
+	}
+	c2 := Concat(WordLanguage(al, ParseWord(al, "a")), EpsilonLanguage(al))
+	if !c2.AcceptsNames("a") || c2.AcceptsNames("a", "a") {
+		t.Fatal("a·ε wrong")
+	}
+}
+
+func TestConcatWithEmptyOperand(t *testing.T) {
+	al := ab()
+	c := Concat(EmptyLanguage(al), WordLanguage(al, ParseWord(al, "a")))
+	if !c.IsEmpty() {
+		t.Fatal("∅·a should be empty")
+	}
+	c2 := Concat(WordLanguage(al, ParseWord(al, "a")), EmptyLanguage(al))
+	if !c2.IsEmpty() {
+		t.Fatal("a·∅ should be empty")
+	}
+}
+
+func TestStar(t *testing.T) {
+	al := ab()
+	s := Star(WordLanguage(al, ParseWord(al, "a b")))
+	for _, tc := range []struct {
+		w    []string
+		want bool
+	}{
+		{nil, true}, {[]string{"a", "b"}, true}, {[]string{"a", "b", "a", "b"}, true},
+		{[]string{"a"}, false}, {[]string{"b", "a"}, false}, {[]string{"a", "b", "a"}, false},
+	} {
+		if got := s.AcceptsNames(tc.w...); got != tc.want {
+			t.Errorf("star Accepts(%v) = %v, want %v", tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestStarOfEmptyIsEpsilon(t *testing.T) {
+	al := ab()
+	s := Star(EmptyLanguage(al))
+	if !s.AcceptsNames() {
+		t.Fatal("∅* must accept ε")
+	}
+	if s.AcceptsNames("a") {
+		t.Fatal("∅* must accept only ε")
+	}
+}
+
+func TestOptional(t *testing.T) {
+	al := ab()
+	o := Optional(WordLanguage(al, ParseWord(al, "a")))
+	if !o.AcceptsNames() || !o.AcceptsNames("a") || o.AcceptsNames("a", "a") {
+		t.Fatal("a? wrong")
+	}
+}
+
+func TestPlus(t *testing.T) {
+	al := ab()
+	p := Plus(WordLanguage(al, ParseWord(al, "a")))
+	if p.AcceptsNames() {
+		t.Fatal("a+ accepts ε")
+	}
+	if !p.AcceptsNames("a") || !p.AcceptsNames("a", "a", "a") {
+		t.Fatal("a+ rejects a^n")
+	}
+	if p.AcceptsNames("b") {
+		t.Fatal("a+ accepts b")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	al := ab()
+	a := al.Lookup("a")
+	// (a+b)* a  ∩  a (a+b)*  =  words starting and ending with a.
+	startsA := Concat(SymbolLanguage(al, a), Star(UniversalLanguage(al)))
+	endsA := Concat(Star(UniversalLanguage(al)), SymbolLanguage(al, a))
+	i := Intersect(startsA, endsA)
+	for _, tc := range []struct {
+		w    []string
+		want bool
+	}{
+		{[]string{"a"}, true}, {[]string{"a", "a"}, true}, {[]string{"a", "b", "a"}, true},
+		{[]string{"a", "b"}, false}, {[]string{"b", "a"}, false}, {nil, false},
+	} {
+		if got := i.AcceptsNames(tc.w...); got != tc.want {
+			t.Errorf("intersect Accepts(%v) = %v, want %v", tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestIntersectDisjoint(t *testing.T) {
+	al := ab()
+	i := Intersect(WordLanguage(al, ParseWord(al, "a")), WordLanguage(al, ParseWord(al, "b")))
+	if !i.IsEmpty() {
+		t.Fatal("a ∩ b should be empty")
+	}
+}
+
+func TestIntersectEpsilon(t *testing.T) {
+	al := ab()
+	i := Intersect(EpsilonLanguage(al), Star(WordLanguage(al, ParseWord(al, "a"))))
+	if !i.AcceptsNames() {
+		t.Fatal("ε ∩ a* must accept ε")
+	}
+	if i.AcceptsNames("a") {
+		t.Fatal("ε ∩ a* must not accept a")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	al := ab()
+	n := WordLanguage(al, ParseWord(al, "a b b"))
+	r := Reverse(n)
+	if !r.AcceptsNames("b", "b", "a") {
+		t.Fatal("reverse rejects bba")
+	}
+	if r.AcceptsNames("a", "b", "b") {
+		t.Fatal("reverse accepts original word")
+	}
+}
+
+func TestReverseInvolution(t *testing.T) {
+	al := ab()
+	n := Concat(Star(SymbolLanguage(al, al.Lookup("a"))), SymbolLanguage(al, al.Lookup("b")))
+	rr := Reverse(Reverse(n))
+	if !Equivalent(n, rr) {
+		t.Fatal("reverse twice is not identity")
+	}
+}
+
+func TestDifference(t *testing.T) {
+	al := ab()
+	aStar := Star(SymbolLanguage(al, al.Lookup("a")))
+	aPlus := Plus(SymbolLanguage(al, al.Lookup("a")))
+	d := Difference(aStar, aPlus)
+	// a* \ a+ = {ε}
+	if !d.AcceptsNames() || d.AcceptsNames("a") {
+		t.Fatal("a* \\ a+ should be exactly {ε}")
+	}
+}
+
+func TestDifferenceAcrossAlphabets(t *testing.T) {
+	// L(a) over {a,b} minus L(a) over {a} must be empty even though the
+	// alphabets differ.
+	alAB := ab()
+	alA := alphabet.FromNames("a")
+	d := Difference(WordLanguage(alAB, ParseWord(alAB, "a")), WordLanguage(alA, ParseWord(alA, "a")))
+	if !d.IsEmpty() {
+		t.Fatal("a \\ a should be empty across alphabets")
+	}
+}
+
+func TestUniversalLanguage(t *testing.T) {
+	u := UniversalLanguage(ab())
+	for _, w := range [][]string{nil, {"a"}, {"b", "b", "a"}} {
+		if !u.AcceptsNames(w...) {
+			t.Fatalf("universal language rejected %v", w)
+		}
+	}
+}
+
+// randomNFA builds a random ε-free NFA over the alphabet for property tests.
+func randomNFA(r *rand.Rand, al *alphabet.Alphabet, maxStates int) *NFA {
+	n := NewNFA(al)
+	nStates := 1 + r.Intn(maxStates)
+	n.AddStates(nStates)
+	n.SetStart(0)
+	for s := 0; s < nStates; s++ {
+		n.SetAccept(State(s), r.Intn(3) == 0)
+		for _, x := range al.Symbols() {
+			k := r.Intn(3)
+			for i := 0; i < k; i++ {
+				n.AddTransition(State(s), x, State(r.Intn(nStates)))
+			}
+		}
+	}
+	return n
+}
+
+func randomWord(r *rand.Rand, al *alphabet.Alphabet, maxLen int) []alphabet.Symbol {
+	w := make([]alphabet.Symbol, r.Intn(maxLen+1))
+	for i := range w {
+		w[i] = alphabet.Symbol(r.Intn(al.Len()))
+	}
+	return w
+}
+
+// Property: determinization preserves acceptance on random words.
+func TestPropertyDeterminizePreservesLanguage(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	al := ab()
+	for trial := 0; trial < 50; trial++ {
+		n := randomNFA(r, al, 6)
+		d := Determinize(n)
+		m := d.Minimize()
+		for i := 0; i < 40; i++ {
+			w := randomWord(r, al, 8)
+			want := n.Accepts(w)
+			if d.Accepts(w) != want {
+				t.Fatalf("trial %d: determinize disagrees on %v", trial, FormatWord(al, w))
+			}
+			if m.Accepts(w) != want {
+				t.Fatalf("trial %d: minimize disagrees on %v", trial, FormatWord(al, w))
+			}
+		}
+	}
+}
+
+// Property: minimal DFA is no larger than the determinized DFA, and
+// re-minimizing is idempotent in size.
+func TestPropertyMinimizeIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	al := ab()
+	for trial := 0; trial < 30; trial++ {
+		n := randomNFA(r, al, 7)
+		d := Determinize(n)
+		m := d.Minimize()
+		if m.NumStates() > d.Totalize().NumStates() {
+			t.Fatalf("minimize grew automaton: %d > %d", m.NumStates(), d.Totalize().NumStates())
+		}
+		m2 := m.Minimize()
+		if m2.NumStates() != m.NumStates() {
+			t.Fatalf("minimize not idempotent: %d then %d", m.NumStates(), m2.NumStates())
+		}
+	}
+}
+
+// Property: complement flips acceptance for every word.
+func TestPropertyComplement(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	al := ab()
+	for trial := 0; trial < 30; trial++ {
+		n := randomNFA(r, al, 6)
+		c := Determinize(n).Complement()
+		for i := 0; i < 40; i++ {
+			w := randomWord(r, al, 8)
+			if n.Accepts(w) == c.Accepts(w) {
+				t.Fatalf("complement agrees with original on %v", FormatWord(al, w))
+			}
+		}
+	}
+}
+
+// Property: intersection accepts exactly the words both operands accept.
+func TestPropertyIntersect(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	al := ab()
+	for trial := 0; trial < 30; trial++ {
+		n1 := randomNFA(r, al, 5)
+		n2 := randomNFA(r, al, 5)
+		i := Intersect(n1, n2)
+		for k := 0; k < 40; k++ {
+			w := randomWord(r, al, 8)
+			want := n1.Accepts(w) && n2.Accepts(w)
+			if i.Accepts(w) != want {
+				t.Fatalf("intersect wrong on %v", FormatWord(al, w))
+			}
+		}
+	}
+}
+
+// Property: union and concat agree with word-level semantics.
+func TestPropertyUnionConcat(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	al := ab()
+	for trial := 0; trial < 20; trial++ {
+		n1 := randomNFA(r, al, 4)
+		n2 := randomNFA(r, al, 4)
+		u := Union(n1, n2)
+		for k := 0; k < 30; k++ {
+			w := randomWord(r, al, 6)
+			if u.Accepts(w) != (n1.Accepts(w) || n2.Accepts(w)) {
+				t.Fatalf("union wrong on %v", FormatWord(al, w))
+			}
+		}
+		c := Concat(n1, n2)
+		for k := 0; k < 30; k++ {
+			w := randomWord(r, al, 6)
+			want := false
+			for cut := 0; cut <= len(w) && !want; cut++ {
+				if n1.Accepts(w[:cut]) && n2.Accepts(w[cut:]) {
+					want = true
+				}
+			}
+			if c.Accepts(w) != want {
+				t.Fatalf("concat wrong on %v: got %v want %v", FormatWord(al, w), c.Accepts(w), want)
+			}
+		}
+	}
+}

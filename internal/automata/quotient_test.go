@@ -1,0 +1,136 @@
+package automata
+
+import (
+	"math/rand"
+	"regexrw/internal/alphabet"
+	"testing"
+)
+
+func TestLeftQuotientBasics(t *testing.T) {
+	al := ab()
+	n := WordLanguage(al, ParseWord(al, "a b b"))
+	q := LeftQuotient(n, ParseWord(al, "a"))
+	if !q.AcceptsNames("b", "b") || q.AcceptsNames("b") || q.AcceptsNames() {
+		t.Fatal("a⁻¹(abb) should be exactly {bb}")
+	}
+	dead := LeftQuotient(n, ParseWord(al, "b"))
+	if !dead.IsEmpty() {
+		t.Fatal("b⁻¹(abb) should be empty")
+	}
+	eps := LeftQuotient(n, nil)
+	if !Equivalent(eps, n) {
+		t.Fatal("ε-quotient should be the identity")
+	}
+}
+
+func TestRightQuotientBasics(t *testing.T) {
+	al := ab()
+	n := WordLanguage(al, ParseWord(al, "a b b"))
+	q := RightQuotient(n, ParseWord(al, "b"))
+	if !q.AcceptsNames("a", "b") || q.AcceptsNames("a", "b", "b") {
+		t.Fatal("(abb)b⁻¹ should be exactly {ab}")
+	}
+}
+
+func TestQuotientOfStar(t *testing.T) {
+	al := ab()
+	aStar := Star(SymbolLanguage(al, al.Lookup("a")))
+	q := LeftQuotient(aStar, ParseWord(al, "a a"))
+	if !Equivalent(q, aStar) {
+		t.Fatal("aa⁻¹(a*) should be a*")
+	}
+}
+
+// Property: v ∈ w⁻¹L ⇔ w·v ∈ L, on random automata and words.
+func TestPropertyLeftQuotient(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	al := ab()
+	for trial := 0; trial < 30; trial++ {
+		n := randomNFA(r, al, 5)
+		w := randomWord(r, al, 3)
+		q := LeftQuotient(n, w)
+		for i := 0; i < 25; i++ {
+			v := randomWord(r, al, 5)
+			wv := append(append([]alphabet.Symbol(nil), w...), v...)
+			if q.Accepts(v) != n.Accepts(wv) {
+				t.Fatalf("trial %d: quotient wrong on w=%v v=%v",
+					trial, FormatWord(al, w), FormatWord(al, v))
+			}
+		}
+	}
+}
+
+// Property: v ∈ L·w⁻¹ ⇔ v·w ∈ L.
+func TestPropertyRightQuotient(t *testing.T) {
+	r := rand.New(rand.NewSource(62))
+	al := ab()
+	for trial := 0; trial < 30; trial++ {
+		n := randomNFA(r, al, 5)
+		w := randomWord(r, al, 3)
+		q := RightQuotient(n, w)
+		for i := 0; i < 25; i++ {
+			v := randomWord(r, al, 5)
+			vw := append(append([]alphabet.Symbol(nil), v...), w...)
+			if q.Accepts(v) != n.Accepts(vw) {
+				t.Fatalf("trial %d: right quotient wrong on v=%v w=%v",
+					trial, FormatWord(al, v), FormatWord(al, w))
+			}
+		}
+	}
+}
+
+func TestPrefixClosure(t *testing.T) {
+	al := ab()
+	n := WordLanguage(al, ParseWord(al, "a b"))
+	p := PrefixClosure(n)
+	for _, w := range [][]string{{}, {"a"}, {"a", "b"}} {
+		if !p.AcceptsNames(w...) {
+			t.Fatalf("prefix closure missing %v", w)
+		}
+	}
+	for _, w := range [][]string{{"b"}, {"a", "a"}, {"a", "b", "b"}} {
+		if p.AcceptsNames(w...) {
+			t.Fatalf("prefix closure wrongly accepts %v", w)
+		}
+	}
+	if !PrefixClosure(EmptyLanguage(al)).IsEmpty() {
+		t.Fatal("prefix closure of ∅ should be ∅")
+	}
+}
+
+func TestSuffixClosure(t *testing.T) {
+	al := ab()
+	n := WordLanguage(al, ParseWord(al, "a b"))
+	s := SuffixClosure(n)
+	for _, w := range [][]string{{}, {"b"}, {"a", "b"}} {
+		if !s.AcceptsNames(w...) {
+			t.Fatalf("suffix closure missing %v", w)
+		}
+	}
+	if s.AcceptsNames("a") && !s.AcceptsNames("a") {
+		t.Fatal("unreachable")
+	}
+	if s.AcceptsNames("b", "a") {
+		t.Fatal("suffix closure wrongly accepts ba")
+	}
+}
+
+// Property: prefix closure accepts exactly the prefixes of accepted
+// words (checked against enumeration-free membership logic).
+func TestPropertyPrefixClosure(t *testing.T) {
+	r := rand.New(rand.NewSource(63))
+	al := ab()
+	for trial := 0; trial < 25; trial++ {
+		n := randomNFA(r, al, 5)
+		p := PrefixClosure(n)
+		for i := 0; i < 25; i++ {
+			w := randomWord(r, al, 5)
+			// w is a prefix of some accepted word iff the quotient
+			// w⁻¹L(n) is nonempty.
+			want := !LeftQuotient(n, w).IsEmpty()
+			if p.Accepts(w) != want {
+				t.Fatalf("trial %d: prefix closure wrong on %v", trial, FormatWord(al, w))
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package automata
+
+// SimulationPreorder computes the (forward) simulation preorder on the
+// states of an ε-free NFA: sim[s][t] reports that t simulates s, i.e.
+// acceptance of s implies acceptance of t and every x-move of s can be
+// matched by an x-move of t into a simulating state. Computed by the
+// naive refinement fixpoint, O(n²·m) worst case — fine at the automaton
+// sizes this library manipulates between pipeline stages.
+func SimulationPreorder(n *NFA) [][]bool {
+	e := n
+	if n.HasEpsilon() {
+		e = n.RemoveEpsilon()
+	}
+	k := e.NumStates()
+	sim := make([][]bool, k)
+	for s := 0; s < k; s++ {
+		sim[s] = make([]bool, k)
+		for t := 0; t < k; t++ {
+			// Initial over-approximation: acceptance implication.
+			sim[s][t] = !e.Accepting(State(s)) || e.Accepting(State(t))
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for s := 0; s < k; s++ {
+			for t := 0; t < k; t++ {
+				if !sim[s][t] {
+					continue
+				}
+				if !movesMatch(e, State(s), State(t), sim) {
+					sim[s][t] = false
+					changed = true
+				}
+			}
+		}
+	}
+	return sim
+}
+
+// movesMatch reports whether every move of s can be matched by t under
+// the current simulation candidate relation.
+func movesMatch(e *NFA, s, t State, sim [][]bool) bool {
+	for _, x := range e.OutSymbols(s) {
+		tSucc := e.Successors(t, x)
+		for _, s2 := range e.Successors(s, x) {
+			matched := false
+			for _, t2 := range tSucc {
+				if sim[s2][t2] {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ReduceSimulation returns an equivalent NFA with simulation-equivalent
+// states merged (s and t are merged when each simulates the other).
+// The quotient preserves the language and never has more states; it is
+// a cheap shrink to apply before determinization, whose cost is
+// exponential in the NFA size. ε-transitions are eliminated first.
+func ReduceSimulation(n *NFA) *NFA {
+	e := n.RemoveEpsilon().Trim()
+	if e.Start() == NoState {
+		return e
+	}
+	sim := SimulationPreorder(e)
+	k := e.NumStates()
+
+	// Union-find-free classing: class of s = smallest t with mutual
+	// simulation.
+	class := make([]int, k)
+	for s := 0; s < k; s++ {
+		class[s] = s
+		for t := 0; t < s; t++ {
+			if sim[s][t] && sim[t][s] {
+				class[s] = class[t]
+				break
+			}
+		}
+	}
+
+	out := NewNFA(e.Alphabet())
+	repr := map[int]State{}
+	for s := 0; s < k; s++ {
+		if class[s] == s {
+			repr[s] = out.AddState()
+			out.SetAccept(repr[s], e.Accepting(State(s)))
+		}
+	}
+	for s := 0; s < k; s++ {
+		from := repr[class[s]]
+		for _, x := range e.OutSymbols(State(s)) {
+			for _, t := range e.Successors(State(s), x) {
+				out.AddTransition(from, x, repr[class[t]])
+			}
+		}
+	}
+	out.SetStart(repr[class[e.Start()]])
+	return out.Trim()
+}
+
+// ReductionStats reports the size effect of ReduceSimulation for
+// diagnostics: states before/after.
+func ReductionStats(n *NFA) (before, after int) {
+	e := n.RemoveEpsilon().Trim()
+	return e.NumStates(), ReduceSimulation(n).NumStates()
+}

@@ -1,0 +1,98 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestReduceSimulationMergesDuplicates(t *testing.T) {
+	// Two literally identical branches must collapse.
+	al := ab()
+	n := NewNFA(al)
+	s0 := n.AddState()
+	b1 := n.AddState()
+	b2 := n.AddState()
+	end := n.AddState()
+	n.SetStart(s0)
+	n.SetAccept(end, true)
+	a := al.Lookup("a")
+	b := al.Lookup("b")
+	n.AddTransition(s0, a, b1)
+	n.AddTransition(s0, a, b2)
+	n.AddTransition(b1, b, end)
+	n.AddTransition(b2, b, end)
+	red := ReduceSimulation(n)
+	if red.NumStates() != 3 {
+		t.Fatalf("reduced to %d states, want 3", red.NumStates())
+	}
+	if !red.AcceptsNames("a", "b") || red.AcceptsNames("a") {
+		t.Fatal("reduction changed the language")
+	}
+}
+
+func TestReduceSimulationEmptyAndEpsilon(t *testing.T) {
+	al := ab()
+	if !ReduceSimulation(EmptyLanguage(al)).IsEmpty() {
+		t.Fatal("empty language changed")
+	}
+	eps := ReduceSimulation(EpsilonLanguage(al))
+	if !eps.AcceptsNames() || eps.AcceptsNames("a") {
+		t.Fatal("ε-language changed")
+	}
+}
+
+// Property: reduction preserves the language and never grows.
+func TestPropertyReduceSimulation(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	al := ab()
+	for trial := 0; trial < 60; trial++ {
+		n := randomNFA(r, al, 7)
+		red := ReduceSimulation(n)
+		if red.NumStates() > n.RemoveEpsilon().Trim().NumStates() {
+			t.Fatalf("trial %d: reduction grew the automaton", trial)
+		}
+		if !Equivalent(n, red) {
+			t.Fatalf("trial %d: reduction changed the language", trial)
+		}
+	}
+}
+
+func TestSimulationPreorderBasics(t *testing.T) {
+	// In a·b vs a·(b+c): the first's mid-state is simulated by the
+	// second's (which has strictly more moves), not vice versa.
+	al := ab("c")
+	n := NewNFA(al)
+	s0 := n.AddState()
+	m1 := n.AddState() // only b to end
+	m2 := n.AddState() // b or c to end
+	end := n.AddState()
+	n.SetStart(s0)
+	n.SetAccept(end, true)
+	n.AddTransition(s0, al.Lookup("a"), m1)
+	n.AddTransition(s0, al.Lookup("a"), m2)
+	n.AddTransition(m1, al.Lookup("b"), end)
+	n.AddTransition(m2, al.Lookup("b"), end)
+	n.AddTransition(m2, al.Lookup("c"), end)
+	sim := SimulationPreorder(n)
+	if !sim[m1][m2] {
+		t.Fatal("m2 should simulate m1")
+	}
+	if sim[m2][m1] {
+		t.Fatal("m1 should not simulate m2")
+	}
+	// Reflexive.
+	for s := 0; s < n.NumStates(); s++ {
+		if !sim[s][s] {
+			t.Fatalf("simulation not reflexive at %d", s)
+		}
+	}
+}
+
+func TestReductionStats(t *testing.T) {
+	al := ab()
+	n := Union(WordLanguage(al, ParseWord(al, "a b")), WordLanguage(al, ParseWord(al, "a b")))
+	before, after := ReductionStats(n)
+	if after >= before {
+		t.Fatalf("duplicated union should shrink: %d -> %d", before, after)
+	}
+}

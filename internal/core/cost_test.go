@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"regexrw/internal/automata"
+)
+
+func TestEstimatedCost(t *testing.T) {
+	inst := parseInstance(t, "a·b", map[string]string{"e1": "a", "e2": "b"})
+	r := MaximalRewriting(inst)
+	// Trimmed minimal automaton: 3 states, edges e1 then e2.
+	costs := ViewCosts{"e1": 10, "e2": 1}
+	if got := r.EstimatedCost(costs); got != 11 {
+		t.Fatalf("EstimatedCost = %v, want 11", got)
+	}
+	// Default cost applies to unknown views.
+	if got := r.EstimatedCost(ViewCosts{}); got != 2 {
+		t.Fatalf("EstimatedCost default = %v, want 2", got)
+	}
+}
+
+func TestPruneViewsDropsExpensiveRedundant(t *testing.T) {
+	// v1 = a·b duplicates what v2·v3 already provide; it is expensive,
+	// so pruning must drop it and keep the cheap pair.
+	inst := parseInstance(t, "a·b", map[string]string{
+		"v1": "a·b", "v2": "a", "v3": "b",
+	})
+	costs := ViewCosts{"v1": 100, "v2": 1, "v3": 1}
+	pruned, r, err := PruneViews(inst, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned.Views) != 2 {
+		t.Fatalf("kept %d views, want 2: %v", len(pruned.Views), pruned.Views)
+	}
+	for _, v := range pruned.Views {
+		if v.Name == "v1" {
+			t.Fatal("expensive redundant view v1 survived")
+		}
+	}
+	if ok, _ := r.IsExact(); !ok {
+		t.Fatal("pruned rewriting lost exactness")
+	}
+}
+
+func TestPruneViewsKeepsExpensiveWhenNeeded(t *testing.T) {
+	// Reverse costs: v1 is cheap, v2/v3 are expensive — dropping both
+	// expensive ones keeps the expansion ({ab} via v1), so only v1
+	// remains.
+	inst := parseInstance(t, "a·b", map[string]string{
+		"v1": "a·b", "v2": "a", "v3": "b",
+	})
+	costs := ViewCosts{"v1": 1, "v2": 100, "v3": 100}
+	pruned, _, err := PruneViews(inst, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned.Views) != 1 || pruned.Views[0].Name != "v1" {
+		t.Fatalf("kept %v, want just v1", pruned.Views)
+	}
+}
+
+func TestPruneViewsNoRedundancy(t *testing.T) {
+	inst := parseInstance(t, "a·b", map[string]string{"e1": "a", "e2": "b"})
+	pruned, r, err := PruneViews(inst, ViewCosts{"e1": 5, "e2": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned != inst {
+		t.Fatal("no view should have been dropped")
+	}
+	if ok, _ := r.IsExact(); !ok {
+		t.Fatal("rewriting lost")
+	}
+}
+
+func TestPruneViewsPreservesExpansionLanguage(t *testing.T) {
+	// Even for a non-exact rewriting, pruning must keep the expansion
+	// language (the certain answers) identical.
+	inst := parseInstance(t, "a·(b+c)", map[string]string{
+		"q1": "a", "q2": "b", "useless": "c·c",
+	})
+	full := MaximalRewriting(inst)
+	pruned, r, err := PruneViews(inst, ViewCosts{"useless": 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned.Views) != 2 {
+		t.Fatalf("kept %d views, want 2", len(pruned.Views))
+	}
+	if !automata.Equivalent(full.Expand(), r.Expand()) {
+		t.Fatal("pruning changed the expansion language")
+	}
+}
+
+func TestPruneViewsKeepsAtLeastOne(t *testing.T) {
+	// A query with an empty rewriting: every view is droppable, but the
+	// pruner must leave one view so the instance stays well-formed.
+	inst := parseInstance(t, "a", map[string]string{"e": "b"})
+	pruned, _, err := PruneViews(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned.Views) != 1 {
+		t.Fatalf("kept %d views, want 1", len(pruned.Views))
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+	"regexrw/internal/regex"
+)
+
+func TestPossibilityBasic(t *testing.T) {
+	// E0 = a·(b+c), views a, b: possibility rewriting is q1·q2 — the
+	// only composable words of E0 use a then b.
+	inst := parseInstance(t, "a·(b+c)", map[string]string{"q1": "a", "q2": "b"})
+	p := PossibilityRewriting(inst)
+	if !regex.Equivalent(p.Regex(), regex.MustParse("q1·q2")) {
+		t.Fatalf("possibility rewriting = %s, want ≡ q1·q2", p.Regex())
+	}
+	// No containing rewriting exists: a·c is not composable.
+	containing, witness := p.IsContaining()
+	if containing {
+		t.Fatal("no containing rewriting should exist")
+	}
+	if automata.FormatWord(inst.Sigma(), witness) != "a·c" {
+		t.Fatalf("witness = %v, want a·c", automata.FormatWord(inst.Sigma(), witness))
+	}
+	if ExistsContainingRewriting(inst) {
+		t.Fatal("ExistsContainingRewriting should be false")
+	}
+}
+
+func TestPossibilityLargerThanMaximal(t *testing.T) {
+	// E0 = a·b, views e1 = a+c, e2 = b. exp(e1·e2) = {ab, cb} ⊄ L(E0)
+	// but intersects it: e1·e2 is possible yet not in the maximal
+	// contained rewriting.
+	inst := parseInstance(t, "a·b", map[string]string{"e1": "a+c", "e2": "b"})
+	p := PossibilityRewriting(inst)
+	r := MaximalRewriting(inst)
+	if !p.Accepts("e1", "e2") {
+		t.Fatal("e1·e2 should be possible")
+	}
+	if r.Accepts("e1", "e2") {
+		t.Fatal("e1·e2 must not be in the contained rewriting")
+	}
+	// And the possibility rewriting IS containing here: every word of
+	// L(E0) = {ab} is an expansion of e1·e2.
+	containing, _ := p.IsContaining()
+	if !containing {
+		t.Fatal("possibility rewriting should be containing")
+	}
+	if !ExistsContainingRewriting(inst) {
+		t.Fatal("ExistsContainingRewriting should be true")
+	}
+}
+
+func TestPossibilityExactInstance(t *testing.T) {
+	// On Example 2 the rewriting is exact, so possibility and maximal
+	// rewritings need not coincide — any word whose expansion MEETS
+	// L(E0) is possible. e1 alone: exp = {a} ⊆ L(E0): both. e2 alone:
+	// exp = a·c*·b, disjoint from L(E0) (words end in b but E0's words
+	// end in a or c after initial a... a·c*·b ∉ a·(ba+c)*): not possible.
+	inst := parseInstance(t, "a·(b·a+c)*", map[string]string{
+		"e1": "a", "e2": "a·c*·b", "e3": "c",
+	})
+	p := PossibilityRewriting(inst)
+	if !p.Accepts("e1") {
+		t.Fatal("e1 should be possible")
+	}
+	if p.Accepts("e2") {
+		t.Fatal("e2 alone should be impossible")
+	}
+	if !p.Accepts("e2", "e1") {
+		t.Fatal("e2·e1 should be possible")
+	}
+	containing, _ := p.IsContaining()
+	if !containing {
+		t.Fatal("exact instance must admit a containing rewriting")
+	}
+}
+
+func TestPossibilityEmpty(t *testing.T) {
+	inst := parseInstance(t, "a", map[string]string{"e": "b"})
+	p := PossibilityRewriting(inst)
+	if !p.IsEmpty() {
+		t.Fatalf("possibility rewriting should be empty, got %s", p.Regex())
+	}
+	containing, _ := p.IsContaining()
+	if containing {
+		t.Fatal("empty possibility rewriting cannot be containing")
+	}
+}
+
+func TestPossibilityEpsilon(t *testing.T) {
+	// ε ∈ L(E0) ⇒ ε ∈ R_poss (exp(ε) = {ε} meets L(E0)).
+	inst := parseInstance(t, "a*", map[string]string{"e": "a"})
+	p := PossibilityRewriting(inst)
+	if !p.Accepts() {
+		t.Fatal("ε should be possible when ε ∈ L(E0)")
+	}
+	inst2 := parseInstance(t, "a·a*", map[string]string{"e": "a"})
+	p2 := PossibilityRewriting(inst2)
+	if p2.Accepts() {
+		t.Fatal("ε should be impossible when ε ∉ L(E0)")
+	}
+}
+
+// TestPossibilityCharacterization mirrors the THM2 test for the dual
+// construction: u ∈ R_poss ⇔ exp(u) ∩ L(E0) ≠ ∅, both sides computed
+// independently.
+func TestPossibilityCharacterization(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	exprs := []string{"a·(b·a+c)*", "a*", "(a+b)*", "a·b·c", "a·(b+c)", "a+b·a*"}
+	viewPool := []string{"a", "b", "c", "a·b", "b·a", "a·c*·b", "c", "a*", "a+c"}
+	for trial := 0; trial < 30; trial++ {
+		query := exprs[r.Intn(len(exprs))]
+		views := map[string]string{}
+		k := 1 + r.Intn(3)
+		for i := 0; i < k; i++ {
+			views[string(rune('p'+i))] = viewPool[r.Intn(len(viewPool))]
+		}
+		inst := parseInstance(t, query, views)
+		p := PossibilityRewriting(inst)
+		e0 := inst.Query.ToNFA(inst.Sigma())
+		viewNFAs := p.views
+		for i := 0; i < 20; i++ {
+			u := make([]alphabet.Symbol, r.Intn(4))
+			for j := range u {
+				u[j] = alphabet.Symbol(r.Intn(inst.SigmaE().Len()))
+			}
+			expansion := automata.EpsilonLanguage(inst.Sigma())
+			for _, e := range u {
+				expansion = automata.Concat(expansion, viewNFAs[e])
+			}
+			meets := !automata.Intersect(expansion, e0).IsEmpty()
+			if meets != p.Auto.Accepts(u) {
+				t.Fatalf("trial %d: u=%v meets=%v possible=%v (instance %s)",
+					trial, automata.FormatWord(inst.SigmaE(), u), meets, p.Auto.Accepts(u), inst)
+			}
+		}
+	}
+}
+
+// TestMaximalInsidePossibility: every word of the maximal contained
+// rewriting with a nonempty expansion is possible.
+func TestMaximalInsidePossibility(t *testing.T) {
+	r := rand.New(rand.NewSource(321))
+	viewPool := []string{"a", "b", "a·b", "c", "a*", "b+c"}
+	for trial := 0; trial < 25; trial++ {
+		views := map[string]string{
+			"p": viewPool[r.Intn(len(viewPool))],
+			"q": viewPool[r.Intn(len(viewPool))],
+		}
+		inst := parseInstance(t, "(a+b)*·c?", views)
+		max := MaximalRewriting(inst)
+		poss := PossibilityRewriting(inst)
+		// Restrict the maximal rewriting to nonempty-language views (its
+		// Σ-empty words are vacuous and may be impossible).
+		restricted := automata.Intersect(max.NFA(), poss.NFA())
+		// L(max restricted) ⊆ L(poss) trivially; the meaningful check:
+		// max's nonvacuous words are all possible.
+		maxNFA := max.NFA()
+		ok, cex := automata.ContainedIn(maxNFA, poss.NFA())
+		if !ok {
+			// The counterexample must have an empty expansion.
+			expansion := automata.EpsilonLanguage(inst.Sigma())
+			for _, e := range cex {
+				expansion = automata.Concat(expansion, poss.views[e])
+			}
+			if !expansion.IsEmpty() {
+				t.Fatalf("trial %d: word %v in maximal, nonempty expansion, but impossible",
+					trial, automata.FormatWord(inst.SigmaE(), cex))
+			}
+		}
+		_ = restricted
+	}
+}
+
+func TestPossibilityNFAAndTrim(t *testing.T) {
+	inst := parseInstance(t, "a·b", map[string]string{"e1": "a", "e2": "b"})
+	p := PossibilityRewriting(inst)
+	nfa := p.NFA()
+	if !nfa.AcceptsNames("e1", "e2") {
+		t.Fatal("e1·e2 should be possible")
+	}
+	if nfa.AcceptsNames("e1") {
+		t.Fatal("e1 alone expands to {a}, disjoint from L(a·b)")
+	}
+	if nfa.AcceptsNames("e2", "e1") {
+		t.Fatal("e2·e1 expands to b·a, disjoint from a·b")
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+)
+
+// Expand returns the automaton B of Section 2 accepting exp(L(R)) over
+// Σ: every e-edge of the (trimmed) rewriting automaton is replaced by a
+// fresh copy of an automaton for L(re(e)), spliced between the edge's
+// source and target. Because R is a rewriting of E0, L(B) ⊆ L(E0) holds
+// by construction; exactness is the question of the converse inclusion.
+func (r *Rewriting) Expand() *automata.NFA {
+	if r.expanded != nil {
+		return r.expanded
+	}
+	r.expanded = expandOverViews(r.Auto.TrimPartial(), r.sigma, r.sigmaE, r.Views())
+	return r.expanded
+}
+
+// IsExact decides whether the rewriting is exact — exp(L(R)) = L(E0)
+// (Definition 3) — by Theorem 3: it checks L(A_d) ⊆ L(B) with the
+// complement of B constructed on the fly, the space-saving device of
+// Theorem 6. If the rewriting is not exact, witness is a shortest
+// Σ-word in L(E0) \ exp(L(R)).
+func (r *Rewriting) IsExact() (exact bool, witness []alphabet.Symbol) {
+	ok, cex := automata.ContainedIn(r.Ad.NFA(), r.Expand())
+	if ok {
+		return true, nil
+	}
+	return false, cex
+}
+
+// IsExactMaterialized is the naive baseline for IsExact: it fully
+// determinizes and complements B before intersecting with A_d (the
+// 3EXPTIME route the paper's Theorem 6 avoids). Exists for the THM6
+// ablation; always agrees with IsExact.
+func (r *Rewriting) IsExactMaterialized() bool {
+	return automata.ContainedInMaterialized(r.Ad.NFA(), r.Expand())
+}
+
+// ExplainRejection explains why the Σ_E-word u (given by view names)
+// is not in the rewriting: it returns a Σ-word in exp({u}) \ L(E0) —
+// an expansion of u that escapes the query language — or ok=false when
+// u actually is in the rewriting (every expansion is inside L(E0)) or
+// when u's expansion is empty (u uses a view with an empty language;
+// such words are IN the rewriting vacuously). A diagnostic companion
+// to Accepts.
+func (r *Rewriting) ExplainRejection(viewNames ...string) (witness []alphabet.Symbol, ok bool) {
+	expansion := automata.EpsilonLanguage(r.sigma)
+	views := r.Views()
+	for _, name := range viewNames {
+		e := r.sigmaE.Lookup(name)
+		if e == alphabet.None || views[e] == nil {
+			return nil, false // unknown view: not a Σ_E-word at all
+		}
+		expansion = automata.Concat(expansion, views[e])
+	}
+	escaping := automata.Difference(expansion, r.Ad.NFA())
+	return escaping.ShortestWord()
+}
+
+// ExistsExactRewriting reports whether the instance admits any exact
+// rewriting. By Corollary 4 this holds iff the Σ_E-maximal rewriting is
+// exact.
+func ExistsExactRewriting(inst *Instance) bool {
+	ok, _ := MaximalRewriting(inst).IsExact()
+	return ok
+}
+
+// HasNonemptyRewriting reports whether the instance admits a rewriting
+// whose expansion is non-empty (the EXPSPACE-complete problem of
+// Theorem 7). Because the Σ_E-maximal rewriting contains every
+// rewriting, this holds iff exp(L(R(E0,E))) ≠ ∅.
+func HasNonemptyRewriting(inst *Instance) bool {
+	return !MaximalRewriting(inst).IsSigmaEmpty()
+}

@@ -1,0 +1,78 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"regexrw/internal/core"
+)
+
+// The full Section 2 pipeline on the paper's Example 2.
+func ExampleMaximalRewriting() {
+	inst, err := core.ParseInstance("a·(b·a+c)*", map[string]string{
+		"e1": "a", "e2": "a·c*·b", "e3": "c",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := core.MaximalRewriting(inst)
+	exact, _ := r.IsExact()
+	fmt.Println("rewriting:", r.Regex())
+	fmt.Println("exact:", exact)
+	fmt.Println("A_d states (incl. dead):", r.Ad.NumStates())
+	// Output:
+	// rewriting: e2*·e1·e3*
+	// exact: true
+	// A_d states (incl. dead): 3
+}
+
+func ExamplePartialRewriting() {
+	inst, err := core.ParseInstance("a·(b+c)", map[string]string{"q1": "a", "q2": "b"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.PartialRewriting(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("added:", res.Added)
+	fmt.Println("rewriting:", res.Rewriting.Regex())
+	// Output:
+	// added: [c]
+	// rewriting: q1·(q2+c)
+}
+
+func ExamplePossibilityRewriting() {
+	inst, err := core.ParseInstance("a·b", map[string]string{"e1": "a+c", "e2": "b"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := core.PossibilityRewriting(inst)
+	containing, _ := p.IsContaining()
+	fmt.Println("possibility rewriting:", p.Regex())
+	fmt.Println("containing rewriting exists:", containing)
+	// Output:
+	// possibility rewriting: e1·e2
+	// containing rewriting exists: true
+}
+
+func ExamplePruneViews() {
+	inst, err := core.ParseInstance("a·b", map[string]string{
+		"vBig": "a·b", "vA": "a", "vB": "b",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pruned, r, err := core.PruneViews(inst, core.ViewCosts{"vBig": 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range pruned.Views {
+		fmt.Println("kept:", v.Name)
+	}
+	fmt.Println("rewriting:", r.Regex())
+	// Output:
+	// kept: vA
+	// kept: vB
+	// rewriting: vA·vB
+}

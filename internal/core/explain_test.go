@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"regexrw/internal/automata"
+)
+
+func TestExplainRejection(t *testing.T) {
+	inst := parseInstance(t, "a·(b·a+c)*", map[string]string{
+		"e1": "a", "e2": "a·c*·b", "e3": "c",
+	})
+	r := MaximalRewriting(inst)
+
+	// e1·e2 is rejected; its expansions start a·a… which escape L(E0).
+	w, ok := r.ExplainRejection("e1", "e2")
+	if !ok {
+		t.Fatal("expected an escaping expansion for e1·e2")
+	}
+	if r.Ad.NFA().Accepts(w) {
+		t.Fatalf("witness %v should escape L(E0)", automata.FormatWord(r.Sigma(), w))
+	}
+	if automata.FormatWord(r.Sigma(), w) != "a·a·b" {
+		t.Fatalf("witness = %v, want a·a·b (shortest escape)", automata.FormatWord(r.Sigma(), w))
+	}
+
+	// e2·e1 is accepted: no escaping expansion exists.
+	if _, ok := r.ExplainRejection("e2", "e1"); ok {
+		t.Fatal("accepted word should have no escaping expansion")
+	}
+
+	// Unknown view names are rejected gracefully.
+	if _, ok := r.ExplainRejection("zz"); ok {
+		t.Fatal("unknown view should not explain")
+	}
+}
+
+func TestExplainRejectionVacuous(t *testing.T) {
+	// A view with an empty language: words using it are vacuous members
+	// of the rewriting, so there is nothing to explain.
+	inst := parseInstance(t, "a", map[string]string{"e1": "a", "e2": "∅"})
+	r := MaximalRewriting(inst)
+	if !r.Accepts("e2") {
+		t.Fatal("e2 should be a vacuous member")
+	}
+	if _, ok := r.ExplainRejection("e2"); ok {
+		t.Fatal("vacuous member has no escaping expansion")
+	}
+}
+
+func TestExplainRejectionConsistentWithAccepts(t *testing.T) {
+	inst := parseInstance(t, "a·(b+c)", map[string]string{"q1": "a", "q2": "b", "q3": "c·c"})
+	r := MaximalRewriting(inst)
+	words := [][]string{
+		{}, {"q1"}, {"q2"}, {"q1", "q2"}, {"q1", "q3"}, {"q2", "q1"}, {"q1", "q2", "q3"},
+	}
+	for _, u := range words {
+		_, escapes := r.ExplainRejection(u...)
+		if escapes == r.Accepts(u...) {
+			t.Fatalf("ExplainRejection and Accepts inconsistent on %v", u)
+		}
+	}
+}

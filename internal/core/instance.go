@@ -1,0 +1,138 @@
+// Package core implements the paper's central contribution: rewriting a
+// regular expression E0 in terms of a set E = {E1,…,Ek} of view regular
+// expressions (Calvanese, De Giacomo, Lenzerini, Vardi, PODS 1999,
+// Section 2), deciding whether the computed Σ_E-maximal rewriting is
+// exact (Section 2, Theorems 2–3), the associated emptiness notions
+// (Section 3.2), and partial rewritings that add elementary views
+// (Section 4.3, lifted to the regular-expression level).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+	"regexrw/internal/regex"
+)
+
+// View is a named view definition: the symbol e ∈ Σ_E together with the
+// regular expression re(e) over Σ it stands for.
+type View struct {
+	Name string
+	Expr *regex.Node
+}
+
+// Instance is a rewriting problem: the target expression E0 and the
+// views E1,…,Ek. Σ is the set of symbols occurring in E0 and the views;
+// Σ_E has one symbol per view, named after it.
+type Instance struct {
+	Query *regex.Node
+	Views []View
+
+	sigma  *alphabet.Alphabet // Σ
+	sigmaE *alphabet.Alphabet // Σ_E
+}
+
+// NewInstance builds an instance from parsed expressions. View names
+// must be unique and non-empty.
+func NewInstance(query *regex.Node, views []View) (*Instance, error) {
+	if query == nil {
+		return nil, fmt.Errorf("core: nil query")
+	}
+	seen := map[string]bool{}
+	for _, v := range views {
+		if v.Name == "" {
+			return nil, fmt.Errorf("core: view with empty name")
+		}
+		if v.Expr == nil {
+			return nil, fmt.Errorf("core: view %s has nil expression", v.Name)
+		}
+		if seen[v.Name] {
+			return nil, fmt.Errorf("core: duplicate view name %s", v.Name)
+		}
+		seen[v.Name] = true
+	}
+	inst := &Instance{Query: query, Views: views}
+	inst.sigma = alphabet.New()
+	for _, name := range query.SymbolNames() {
+		inst.sigma.Intern(name)
+	}
+	for _, v := range views {
+		for _, name := range v.Expr.SymbolNames() {
+			inst.sigma.Intern(name)
+		}
+	}
+	inst.sigmaE = alphabet.New()
+	for _, v := range views {
+		inst.sigmaE.Intern(v.Name)
+	}
+	return inst, nil
+}
+
+// ParseInstance builds an instance from concrete syntax. Views are given
+// as name → expression and ordered by name for determinism.
+func ParseInstance(query string, views map[string]string) (*Instance, error) {
+	q, err := regex.Parse(query)
+	if err != nil {
+		return nil, fmt.Errorf("core: query: %w", err)
+	}
+	names := make([]string, 0, len(views))
+	for name := range views {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	vs := make([]View, 0, len(names))
+	for _, name := range names {
+		expr, err := regex.Parse(views[name])
+		if err != nil {
+			return nil, fmt.Errorf("core: view %s: %w", name, err)
+		}
+		vs = append(vs, View{Name: name, Expr: expr})
+	}
+	return NewInstance(q, vs)
+}
+
+// Sigma returns Σ, the base alphabet of the instance.
+func (in *Instance) Sigma() *alphabet.Alphabet { return in.sigma }
+
+// SigmaE returns Σ_E, the view alphabet of the instance.
+func (in *Instance) SigmaE() *alphabet.Alphabet { return in.sigmaE }
+
+// ViewExpr returns the expression of the named view, or nil.
+func (in *Instance) ViewExpr(name string) *regex.Node {
+	for _, v := range in.Views {
+		if v.Name == name {
+			return v.Expr
+		}
+	}
+	return nil
+}
+
+// ViewNFAs compiles every view to an ε-free NFA over Σ, keyed by its
+// Σ_E symbol.
+func (in *Instance) ViewNFAs() map[alphabet.Symbol]*automata.NFA {
+	out := make(map[alphabet.Symbol]*automata.NFA, len(in.Views))
+	for _, v := range in.Views {
+		out[in.sigmaE.Lookup(v.Name)] = v.Expr.ToNFA(in.sigma).RemoveEpsilon()
+	}
+	return out
+}
+
+// WithViews returns a new instance with the given views appended
+// (names must not clash with existing ones).
+func (in *Instance) WithViews(extra ...View) (*Instance, error) {
+	views := make([]View, 0, len(in.Views)+len(extra))
+	views = append(views, in.Views...)
+	views = append(views, extra...)
+	return NewInstance(in.Query, views)
+}
+
+// String summarizes the instance.
+func (in *Instance) String() string {
+	s := fmt.Sprintf("E0 = %s", in.Query)
+	for _, v := range in.Views {
+		s += fmt.Sprintf("; re(%s) = %s", v.Name, v.Expr)
+	}
+	return s
+}

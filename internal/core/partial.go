@@ -1,0 +1,114 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"regexrw/internal/regex"
+)
+
+// PartialResult is the outcome of a partial-rewriting search: the
+// smallest set of added elementary views that makes the maximal
+// rewriting exact, together with that rewriting (Section 4.3, lifted to
+// the regular-expression level: the candidate atomic views here are the
+// elementary ones, re(x) = x for a symbol x of Σ).
+type PartialResult struct {
+	// Added lists the names of the elementary views that were added
+	// (empty when the original instance already has an exact rewriting).
+	Added []string
+	// Instance is the extended instance Q_+.
+	Instance *Instance
+	// Rewriting is the Σ_E-maximal — and exact — rewriting of Q_+.
+	Rewriting *Rewriting
+}
+
+// elementaryPrefix distinguishes added elementary views from user views
+// when a user view already uses the symbol's name.
+func elementaryViewName(symbol string, taken map[string]bool) string {
+	if !taken[symbol] {
+		return symbol
+	}
+	for i := 2; ; i++ {
+		name := fmt.Sprintf("%s_%d", symbol, i)
+		if !taken[name] {
+			return name
+		}
+	}
+}
+
+// PartialRewriting finds a smallest set of elementary views (one per
+// chosen symbol of Σ) whose addition to the instance's views yields an
+// exact rewriting, trying subsets in increasing size and, within a
+// size, in lexicographic order — the "minimal P'" preference of Section
+// 4.3. Adding an elementary view for every symbol of Σ always gives an
+// exact rewriting (the identity rewriting becomes available), so the
+// search always terminates with a result.
+func PartialRewriting(inst *Instance) (*PartialResult, error) {
+	return PartialRewritingContext(context.Background(), inst)
+}
+
+// PartialRewritingContext is PartialRewriting with cancellation: the
+// subset search visits up to 2^|Σ| candidate extensions, so callers can
+// bound it with a context deadline. Cancellation is checked between
+// candidate extensions.
+func PartialRewritingContext(ctx context.Context, inst *Instance) (*PartialResult, error) {
+	// Fast path: already exact with no additions.
+	r := MaximalRewriting(inst)
+	if ok, _ := r.IsExact(); ok {
+		return &PartialResult{Added: nil, Instance: inst, Rewriting: r}, nil
+	}
+
+	symbols := make([]string, 0, inst.sigma.Len())
+	for _, s := range inst.sigma.Symbols() {
+		symbols = append(symbols, inst.sigma.Name(s))
+	}
+	sort.Strings(symbols)
+
+	taken := map[string]bool{}
+	for _, v := range inst.Views {
+		taken[v.Name] = true
+	}
+
+	// Enumerate non-empty subsets by increasing size.
+	n := len(symbols)
+	for size := 1; size <= n; size++ {
+		idx := make([]int, size)
+		for i := range idx {
+			idx[i] = i
+		}
+		for {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: partial rewriting search: %w", err)
+			}
+			extra := make([]View, size)
+			added := make([]string, size)
+			for i, j := range idx {
+				name := elementaryViewName(symbols[j], taken)
+				extra[i] = View{Name: name, Expr: regex.Sym(symbols[j])}
+				added[i] = symbols[j]
+			}
+			ext, err := inst.WithViews(extra...)
+			if err != nil {
+				return nil, err
+			}
+			r := MaximalRewriting(ext)
+			if ok, _ := r.IsExact(); ok {
+				return &PartialResult{Added: added, Instance: ext, Rewriting: r}, nil
+			}
+			// Next combination.
+			i := size - 1
+			for i >= 0 && idx[i] == n-size+i {
+				i--
+			}
+			if i < 0 {
+				break
+			}
+			idx[i]++
+			for j := i + 1; j < size; j++ {
+				idx[j] = idx[j-1] + 1
+			}
+		}
+	}
+	return nil, fmt.Errorf("core: no exact partial rewriting found (unreachable: all-elementary extension is always exact)")
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"regexrw/internal/regex"
+)
+
+// TestExample3Core lifts Example 3 to the regular-expression level:
+// E0 = a·(b+c), views {a, b}. The maximal rewriting q1·q2 is not exact;
+// adding the single elementary view c yields the exact q1·(q2+q3).
+func TestExample3Core(t *testing.T) {
+	inst := parseInstance(t, "a·(b+c)", map[string]string{"q1": "a", "q2": "b"})
+	r := MaximalRewriting(inst)
+	if !regex.Equivalent(r.Regex(), regex.MustParse("q1·q2")) {
+		t.Fatalf("maximal rewriting = %s, want ≡ q1·q2", r.Regex())
+	}
+	if ok, _ := r.IsExact(); ok {
+		t.Fatal("q1·q2 must not be exact")
+	}
+
+	res, err := PartialRewriting(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Added) != 1 || res.Added[0] != "c" {
+		t.Fatalf("Added = %v, want [c]", res.Added)
+	}
+	if ok, _ := res.Rewriting.IsExact(); !ok {
+		t.Fatal("partial rewriting must be exact")
+	}
+	want := regex.MustParse("q1·(q2+c)")
+	if !regex.Equivalent(res.Rewriting.Regex(), want) {
+		t.Fatalf("partial rewriting = %s, want ≡ q1·(q2+c)", res.Rewriting.Regex())
+	}
+}
+
+func TestPartialRewritingNoAdditionNeeded(t *testing.T) {
+	inst := parseInstance(t, "a·b", map[string]string{"e1": "a", "e2": "b"})
+	res, err := PartialRewriting(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Added) != 0 {
+		t.Fatalf("Added = %v, want none", res.Added)
+	}
+	if res.Instance != inst {
+		t.Fatal("instance should be unchanged")
+	}
+}
+
+func TestPartialRewritingNeedsTwoSymbols(t *testing.T) {
+	// E0 = a·b + c·d with no views: needs all four symbols? No — a, b,
+	// c, d all needed. Use views covering half.
+	inst := parseInstance(t, "a·b+c·d", map[string]string{"e": "a·b"})
+	res, err := PartialRewriting(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Added) != 2 {
+		t.Fatalf("Added = %v, want two symbols", res.Added)
+	}
+	if res.Added[0] != "c" || res.Added[1] != "d" {
+		t.Fatalf("Added = %v, want [c d]", res.Added)
+	}
+	if ok, _ := res.Rewriting.IsExact(); !ok {
+		t.Fatal("extended rewriting must be exact")
+	}
+}
+
+func TestPartialRewritingAllElementary(t *testing.T) {
+	// No views at all: the search must add every needed symbol.
+	inst := parseInstance(t, "a·b", map[string]string{})
+	res, err := PartialRewriting(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Added) != 2 {
+		t.Fatalf("Added = %v, want [a b]", res.Added)
+	}
+}
+
+func TestPartialRewritingNameClash(t *testing.T) {
+	// A user view already named "c" forces the elementary view for the
+	// symbol c to take a fresh name.
+	inst := parseInstance(t, "a·(b+c)", map[string]string{"a": "a", "b": "b", "c": "a·b"})
+	res, err := PartialRewriting(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Added) != 1 || res.Added[0] != "c" {
+		t.Fatalf("Added = %v, want [c]", res.Added)
+	}
+	// The added view must have a name distinct from the user view "c".
+	found := false
+	for _, v := range res.Instance.Views {
+		if v.Name == "c_2" && v.Expr.Equal(regex.Sym("c")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected renamed elementary view c_2; views = %v", res.Instance.Views)
+	}
+	if ok, _ := res.Rewriting.IsExact(); !ok {
+		t.Fatal("extended rewriting must be exact")
+	}
+}
+
+func TestPartialRewritingPrefersFewerAdditions(t *testing.T) {
+	// Adding just c suffices even though {b,c} would too; minimality
+	// requires exactly one addition.
+	inst := parseInstance(t, "a·(b+c)", map[string]string{"q1": "a", "q2": "b"})
+	res, err := PartialRewriting(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Added) != 1 {
+		t.Fatalf("Added = %v, want exactly one", res.Added)
+	}
+}
+
+func TestPartialRewritingContextCancel(t *testing.T) {
+	// A query needing additions, with a pre-cancelled context: the
+	// search must stop with the context error.
+	inst := parseInstance(t, "a·(b+c)", map[string]string{"q1": "a", "q2": "b"})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := PartialRewritingContext(ctx, inst); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// An already-exact instance succeeds even with a cancelled context
+	// (the fast path never enters the search).
+	exact := parseInstance(t, "a·b", map[string]string{"e1": "a", "e2": "b"})
+	if _, err := PartialRewritingContext(ctx, exact); err != nil {
+		t.Fatalf("fast path should ignore cancellation: %v", err)
+	}
+}

@@ -1,0 +1,476 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+	"regexrw/internal/regex"
+)
+
+// Rewriting is the Σ_E-maximal rewriting R(E0,E) of an instance,
+// produced by MaximalRewriting. It retains the intermediate automata of
+// the paper's construction (A_d and A') so that callers can inspect
+// them (Figure 1) and so that the exactness check can reuse A_d.
+type Rewriting struct {
+	// Instance is the source instance, or nil when the rewriting was
+	// built directly from automata (MaximalRewritingAutomata), as the
+	// regular-path-query layer does.
+	Instance *Instance
+
+	// Ad is the deterministic (total) automaton for L(E0) over Σ built
+	// in Step 1 of the construction.
+	Ad *automata.DFA
+	// APrime is the automaton A' over Σ_E of Step 2: an e-edge s_i → s_j
+	// exists iff some w ∈ L(re(e)) drives Ad from s_i to s_j, and the
+	// accepting states are Ad's non-accepting ones.
+	APrime *automata.NFA
+	// Auto is the rewriting itself: the complement of A' (Step 3),
+	// a total DFA over Σ_E.
+	Auto *automata.DFA
+
+	sigma  *alphabet.Alphabet                // Σ
+	sigmaE *alphabet.Alphabet                // Σ_E
+	views  map[alphabet.Symbol]*automata.NFA // Σ_E symbol → ε-free NFA over Σ
+	// viewsFn lazily supplies the view automata when they were not
+	// materialized at construction time (the RPQ layer's direct method
+	// defers grounding until expansion/exactness needs it).
+	viewsFn func() map[alphabet.Symbol]*automata.NFA
+
+	expanded *automata.NFA // cached Expand result
+}
+
+// Sigma returns the base alphabet Σ of the rewriting.
+func (r *Rewriting) Sigma() *alphabet.Alphabet { return r.sigma }
+
+// SigmaE returns the view alphabet Σ_E of the rewriting.
+func (r *Rewriting) SigmaE() *alphabet.Alphabet { return r.sigmaE }
+
+// MaximalRewriting computes the Σ_E-maximal rewriting of the instance
+// following the three-step construction of Section 2:
+//
+//  1. build a deterministic automaton A_d with L(A_d) = L(E0),
+//  2. build A' over Σ_E whose e-edges connect s_i to s_j iff some word
+//     of L(re(e)) drives A_d from s_i to s_j, with accepting set S − F,
+//  3. return the complement of A'.
+//
+// By Theorem 2 the result is Σ_E-maximal, and by Theorem 1 also
+// Σ-maximal.
+func MaximalRewriting(inst *Instance) *Rewriting {
+	ad := determinizeQuery(inst.Query, inst.sigma)
+	r := maximalRewritingFromDFA(ad, inst.sigma, inst.sigmaE, inst.ViewNFAs())
+	r.Instance = inst
+	return r
+}
+
+// determinizeQuery builds a minimal total DFA for the query. Queries
+// that are large top-level unions (the shape of the paper's Theorem 7/8
+// error-detector constructions) are determinized branch by branch with
+// interleaved minimization: one subset construction over the whole
+// union NFA can explode even when the minimal DFA is small, whereas the
+// per-branch automata and their running union stay near the minimal
+// size. (The THM8 experiment relies on this: the counter family's A_d
+// is ~100 states, but the monolithic subset construction visits
+// millions of subsets from n = 3 on.)
+func determinizeQuery(q *regex.Node, sigma *alphabet.Alphabet) *automata.DFA {
+	const unionThreshold = 4
+	if q.Op != regex.OpUnion || len(q.Subs) < unionThreshold {
+		return automata.Determinize(q.ToNFA(sigma)).Minimize().Totalize()
+	}
+	var ad *automata.DFA
+	for _, branch := range q.Subs {
+		bd := automata.Determinize(branch.ToNFA(sigma)).Minimize()
+		if ad == nil {
+			ad = bd
+		} else {
+			ad = automata.UnionDFA(ad, bd).Minimize()
+		}
+	}
+	// The per-branch alphabets are all sigma, so no lifting is needed;
+	// totalize for the A' construction.
+	return ad.Totalize()
+}
+
+// MaximalRewritingBounded is MaximalRewriting with a resource guard:
+// the construction is doubly exponential in the worst case (Theorem 5),
+// so every determinization in the pipeline is capped at maxStates
+// states and the call fails with an error wrapping
+// automata.ErrStateLimit instead of exhausting memory. Use it when the
+// instance comes from untrusted input.
+func MaximalRewritingBounded(inst *Instance, maxStates int) (*Rewriting, error) {
+	ad, err := determinizeQueryBounded(inst.Query, inst.sigma, maxStates)
+	if err != nil {
+		return nil, err
+	}
+	views := inst.ViewNFAs()
+	ap := transferAutomaton(ad, inst.sigmaE, views)
+	for s := 0; s < ad.NumStates(); s++ {
+		ap.SetAccept(automata.State(s), !ad.Accepting(automata.State(s)))
+	}
+	det, err := automata.DeterminizeLimit(ap, maxStates)
+	if err != nil {
+		return nil, fmt.Errorf("core: rewriting automaton: %w", err)
+	}
+	r := &Rewriting{
+		Instance: inst,
+		Ad:       ad, APrime: ap, Auto: det.Complement(),
+		sigma: inst.sigma, sigmaE: inst.sigmaE, views: views,
+	}
+	return r, nil
+}
+
+func determinizeQueryBounded(q *regex.Node, sigma *alphabet.Alphabet, maxStates int) (*automata.DFA, error) {
+	const unionThreshold = 4
+	if q.Op != regex.OpUnion || len(q.Subs) < unionThreshold {
+		d, err := automata.DeterminizeLimit(q.ToNFA(sigma), maxStates)
+		if err != nil {
+			return nil, fmt.Errorf("core: A_d: %w", err)
+		}
+		return d.Minimize().Totalize(), nil
+	}
+	var ad *automata.DFA
+	for _, branch := range q.Subs {
+		bd, err := automata.DeterminizeLimit(branch.ToNFA(sigma), maxStates)
+		if err != nil {
+			return nil, fmt.Errorf("core: A_d branch: %w", err)
+		}
+		if ad == nil {
+			ad = bd.Minimize()
+		} else {
+			ad = automata.UnionDFA(ad, bd.Minimize()).Minimize()
+		}
+		if ad.NumStates() > maxStates {
+			return nil, fmt.Errorf("core: A_d union: %w: more than %d states", automata.ErrStateLimit, maxStates)
+		}
+	}
+	return ad.Totalize(), nil
+}
+
+// MaximalRewritingAutomata is MaximalRewriting with the inputs already
+// compiled: the target language as an NFA over Σ (e0's alphabet) and
+// each view as an ε-free NFA over the same Σ, keyed by its Σ_E symbol.
+// The regular-path-query layer uses this entry point with grounded
+// automata over the constant domain D in place of Σ (Theorem 11).
+func MaximalRewritingAutomata(e0 *automata.NFA, sigmaE *alphabet.Alphabet, views map[alphabet.Symbol]*automata.NFA) *Rewriting {
+	// Step 1. A_d must be TOTAL: Step 2 needs s_j = ρ*(s_i, w) to exist
+	// for every w, so rejection must be represented by a dead state
+	// rather than by a missing transition. Minimization keeps the
+	// automaton small and returns a total DFA.
+	ad := automata.Determinize(e0).Minimize().Totalize()
+	return maximalRewritingFromDFA(ad, e0.Alphabet(), sigmaE, views)
+}
+
+// maximalRewritingFromDFA runs Steps 2–3 of the construction from an
+// already-deterministic, total A_d.
+func maximalRewritingFromDFA(ad *automata.DFA, sigma *alphabet.Alphabet, sigmaE *alphabet.Alphabet, views map[alphabet.Symbol]*automata.NFA) *Rewriting {
+	// Step 2. Build A' with accepting set S − F.
+	ap := transferAutomaton(ad, sigmaE, views)
+	for s := 0; s < ad.NumStates(); s++ {
+		ap.SetAccept(automata.State(s), !ad.Accepting(automata.State(s))) // S − F
+	}
+
+	// Step 3. R = complement of A'.
+	r := automata.Determinize(ap).Complement()
+
+	return &Rewriting{
+		Ad: ad, APrime: ap, Auto: r,
+		sigma: sigma, sigmaE: sigmaE, views: views,
+	}
+}
+
+// transferAutomaton builds the Σ_E-labeled transfer structure shared by
+// the maximal-rewriting construction (A', Section 2) and the
+// possibility-rewriting construction (dual.go): states are A_d's, and
+// an e-edge s_i → s_j exists iff some w ∈ L(re(e)) drives A_d from s_i
+// to s_j — found by a single product BFS over (view state, A_d state)
+// pairs per view and start state. Acceptance is left all-false; each
+// construction sets its own. Views with ε-transitions are normalized in
+// place in the views map.
+func transferAutomaton(ad *automata.DFA, sigmaE *alphabet.Alphabet, views map[alphabet.Symbol]*automata.NFA) *automata.NFA {
+	ap := automata.NewNFA(sigmaE)
+	ap.AddStates(ad.NumStates())
+	ap.SetStart(ad.Start())
+	for _, e := range sigmaE.Symbols() {
+		vnfa := views[e]
+		if vnfa == nil {
+			continue
+		}
+		if vnfa.HasEpsilon() {
+			vnfa = vnfa.RemoveEpsilon()
+			views[e] = vnfa
+		}
+		for i, targets := range transferTargets(vnfa, ad) {
+			for _, j := range targets {
+				ap.AddTransition(automata.State(i), e, j)
+			}
+		}
+	}
+	return ap
+}
+
+// transferTargets computes, for every A_d state i, the states j such
+// that some w ∈ L(view) drives ad from i to j — all origins at once,
+// by origin-set propagation: each product pair (view state, A_d state)
+// carries the bitset of origins that reach it, and transitions union
+// the sets forward until fixpoint. Compared with one BFS per origin
+// (reachTargets, kept as the test oracle) the inner dimension runs 64
+// origins per machine word.
+func transferTargets(view *automata.NFA, ad *automata.DFA) [][]automata.State {
+	nAd := ad.NumStates()
+	nView := view.NumStates()
+	out := make([][]automata.State, nAd)
+	if view.Start() == automata.NoState {
+		return out
+	}
+
+	// origins[v*nAd+d] = bitset of A_d states i with (start, i) →* (v, d).
+	origins := make([]*bitsetWords, nView*nAd)
+	idx := func(v automata.State, d automata.State) int { return int(v)*nAd + int(d) }
+
+	words := (nAd + 63) / 64
+	get := func(v, d automata.State) *bitsetWords {
+		k := idx(v, d)
+		if origins[k] == nil {
+			origins[k] = newBitsetWords(words)
+		}
+		return origins[k]
+	}
+
+	type pair struct{ v, d automata.State }
+	var queue []pair
+	inQueue := map[pair]bool{}
+	push := func(p pair) {
+		if !inQueue[p] {
+			inQueue[p] = true
+			queue = append(queue, p)
+		}
+	}
+
+	start := view.Start()
+	for i := 0; i < nAd; i++ {
+		get(start, automata.State(i)).set(i)
+		push(pair{start, automata.State(i)})
+	}
+
+	for len(queue) > 0 {
+		p := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		inQueue[p] = false
+		src := get(p.v, p.d)
+		for _, x := range view.OutSymbols(p.v) {
+			d2 := ad.Next(p.d, x)
+			if d2 == automata.NoState {
+				continue
+			}
+			for _, v2 := range view.Successors(p.v, x) {
+				if get(v2, d2).unionWith(src) {
+					push(pair{v2, d2})
+				}
+			}
+		}
+	}
+
+	for _, v := range view.AcceptingStates() {
+		for d := 0; d < nAd; d++ {
+			set := origins[idx(v, automata.State(d))]
+			if set == nil {
+				continue
+			}
+			for _, i := range set.elements() {
+				out[i] = append(out[i], automata.State(d))
+			}
+		}
+	}
+	// Deduplicate targets per origin (an origin can reach the same j
+	// through several accepting view states).
+	for i := range out {
+		if len(out[i]) < 2 {
+			continue
+		}
+		seen := map[automata.State]bool{}
+		kept := out[i][:0]
+		for _, j := range out[i] {
+			if !seen[j] {
+				seen[j] = true
+				kept = append(kept, j)
+			}
+		}
+		out[i] = kept
+	}
+	return out
+}
+
+// bitsetWords is a minimal fixed-size bitset used by transferTargets
+// (internal/automata's bitset is unexported there).
+type bitsetWords struct{ w []uint64 }
+
+func newBitsetWords(words int) *bitsetWords { return &bitsetWords{w: make([]uint64, words)} }
+
+func (b *bitsetWords) set(i int) { b.w[i>>6] |= 1 << (uint(i) & 63) }
+
+// unionWith ors o into b and reports whether b changed.
+func (b *bitsetWords) unionWith(o *bitsetWords) bool {
+	changed := false
+	for i, word := range o.w {
+		if b.w[i]|word != b.w[i] {
+			b.w[i] |= word
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b *bitsetWords) elements() []int {
+	var out []int
+	for wi, word := range b.w {
+		for word != 0 {
+			out = append(out, wi*64+bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+	return out
+}
+
+// NewRewritingFromParts assembles a Rewriting from externally built
+// automata: A_d (total DFA over Σ), A' (NFA over Σ_E), their complement
+// R (total DFA over Σ_E), and the ε-free view automata over Σ. The
+// regular-path-query layer uses this for the Section 4.2 construction,
+// which builds the A' edges without materializing grounded view
+// automata. Callers are responsible for the construction invariants
+// (A_d total, A' acceptance flipped, R = complement of determinized A').
+// The view automata are supplied lazily: viewsFn runs only if a caller
+// needs the expansion (Expand, exactness or Σ-emptiness checks).
+func NewRewritingFromParts(ad *automata.DFA, aprime *automata.NFA, r *automata.DFA, sigma, sigmaE *alphabet.Alphabet, viewsFn func() map[alphabet.Symbol]*automata.NFA) *Rewriting {
+	return &Rewriting{
+		Ad: ad, APrime: aprime, Auto: r,
+		sigma: sigma, sigmaE: sigmaE, viewsFn: viewsFn,
+	}
+}
+
+// reachTargets returns the A_d states j such that some word w ∈ L(view)
+// drives ad from state i to j, via BFS over the product of the ε-free
+// view NFA and ad.
+func reachTargets(view *automata.NFA, ad *automata.DFA, i automata.State) []automata.State {
+	if view.Start() == automata.NoState {
+		return nil
+	}
+	// view symbols are over the same Σ alphabet as ad by construction.
+	type pair struct{ v, d automata.State }
+	seen := map[pair]bool{}
+	queue := []pair{{view.Start(), i}}
+	seen[queue[0]] = true
+	targetSet := map[automata.State]bool{}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if view.Accepting(p.v) {
+			targetSet[p.d] = true
+		}
+		for _, x := range view.OutSymbols(p.v) {
+			d := ad.Next(p.d, x)
+			if d == automata.NoState {
+				continue // cannot happen on a total A_d; kept for safety
+			}
+			for _, t := range view.Successors(p.v, x) {
+				np := pair{t, d}
+				if !seen[np] {
+					seen[np] = true
+					queue = append(queue, np)
+				}
+			}
+		}
+	}
+	out := make([]automata.State, 0, len(targetSet))
+	for j := range targetSet {
+		out = append(out, j)
+	}
+	return out
+}
+
+// NFA returns the rewriting as a trim NFA over Σ_E.
+func (r *Rewriting) NFA() *automata.NFA {
+	return r.Auto.TrimPartial().NFA()
+}
+
+// Regex returns the rewriting as a simplified regular expression over
+// Σ_E (state elimination on the trimmed automaton).
+func (r *Rewriting) Regex() *regex.Node {
+	return regex.Simplify(regex.FromDFA(r.Auto.Minimize().TrimPartial()))
+}
+
+// MinimalDFA returns the canonical minimal DFA of the rewriting,
+// the size measure used by the Theorem 8 experiments.
+func (r *Rewriting) MinimalDFA() *automata.DFA {
+	return r.Auto.Minimize().TrimPartial()
+}
+
+// Accepts reports whether the Σ_E-word (by view names) is in L(R).
+func (r *Rewriting) Accepts(viewNames ...string) bool {
+	return r.Auto.AcceptsNames(viewNames...)
+}
+
+// IsEmpty reports Σ_E-emptiness: L(R) = ∅ (Section 3.2).
+func (r *Rewriting) IsEmpty() bool {
+	return r.Auto.TrimPartial().NFA().IsEmpty()
+}
+
+// IsSigmaEmpty reports Σ-emptiness: exp(L(R)) = ∅ (Section 3.2). It
+// differs from IsEmpty exactly when every word of L(R) uses some view
+// whose language is empty: such words expand to nothing.
+func (r *Rewriting) IsSigmaEmpty() bool {
+	// Restrict R to view symbols whose language is non-empty; the
+	// restricted language is empty iff the expansion is.
+	restricted := automata.NewNFA(r.sigmaE)
+	restricted.AddStates(r.Auto.NumStates())
+	restricted.SetStart(r.Auto.Start())
+	for s := 0; s < r.Auto.NumStates(); s++ {
+		restricted.SetAccept(automata.State(s), r.Auto.Accepting(automata.State(s)))
+		for _, e := range r.sigmaE.Symbols() {
+			v := r.Views()[e]
+			if v == nil || v.IsEmpty() {
+				continue
+			}
+			if t := r.Auto.Next(automata.State(s), e); t != automata.NoState {
+				restricted.AddTransition(automata.State(s), e, t)
+			}
+		}
+	}
+	return restricted.IsEmpty()
+}
+
+// ShortestWord returns a shortest Σ_E-word in L(R) whose expansion is
+// non-empty, or ok=false if exp(L(R)) = ∅.
+func (r *Rewriting) ShortestWord() ([]alphabet.Symbol, bool) {
+	restricted := automata.NewNFA(r.sigmaE)
+	restricted.AddStates(r.Auto.NumStates())
+	restricted.SetStart(r.Auto.Start())
+	for s := 0; s < r.Auto.NumStates(); s++ {
+		restricted.SetAccept(automata.State(s), r.Auto.Accepting(automata.State(s)))
+		for _, e := range r.sigmaE.Symbols() {
+			v := r.Views()[e]
+			if v == nil || v.IsEmpty() {
+				continue
+			}
+			if t := r.Auto.Next(automata.State(s), e); t != automata.NoState {
+				restricted.AddTransition(automata.State(s), e, t)
+			}
+		}
+	}
+	return restricted.ShortestWord()
+}
+
+// Views returns the compiled ε-free view NFAs keyed by Σ_E symbol,
+// materializing them on first use when the rewriting was built with a
+// lazy view supplier.
+func (r *Rewriting) Views() map[alphabet.Symbol]*automata.NFA {
+	if r.views == nil && r.viewsFn != nil {
+		r.views = r.viewsFn()
+		for e, v := range r.views {
+			if v != nil && v.HasEpsilon() {
+				r.views[e] = v.RemoveEpsilon()
+			}
+		}
+	}
+	return r.views
+}

@@ -1,0 +1,484 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+	"regexrw/internal/language"
+	"regexrw/internal/regex"
+)
+
+func parseInstance(t *testing.T, query string, views map[string]string) *Instance {
+	t.Helper()
+	inst, err := ParseInstance(query, views)
+	if err != nil {
+		t.Fatalf("ParseInstance: %v", err)
+	}
+	return inst
+}
+
+// TestExample1 reproduces Example 1 of the paper: E0 = a*, E = {a*}.
+// The Σ_E-maximal rewriting is e* (e alone is Σ-maximal but not
+// Σ_E-maximal).
+func TestExample1(t *testing.T) {
+	inst := parseInstance(t, "a*", map[string]string{"e": "a*"})
+	r := MaximalRewriting(inst)
+	want := regex.MustParse("e*")
+	if !regex.Equivalent(r.Regex(), want) {
+		t.Fatalf("rewriting = %s, want ≡ e*", r.Regex())
+	}
+	// e alone is a rewriting but strictly smaller over Σ_E.
+	if !r.Accepts("e") || !r.Accepts("e", "e") || !r.Accepts() {
+		t.Fatal("Σ_E-maximal rewriting must contain e, ee and ε")
+	}
+	if ok, _ := r.IsExact(); !ok {
+		t.Fatal("rewriting of a* wrt {a*} should be exact")
+	}
+}
+
+// TestExample2 reproduces Example 2: E0 = a·(b·a+c)*,
+// re(e1) = a, re(e2) = a·c*·b, re(e3) = c. The maximal rewriting is
+// e2*·e1·e3*, which is exact.
+func TestExample2(t *testing.T) {
+	inst := parseInstance(t, "a·(b·a+c)*", map[string]string{
+		"e1": "a", "e2": "a·c*·b", "e3": "c",
+	})
+	r := MaximalRewriting(inst)
+	want := regex.MustParse("e2*·e1·e3*")
+	if !regex.Equivalent(r.Regex(), want) {
+		t.Fatalf("rewriting = %s, want ≡ e2*·e1·e3*", r.Regex())
+	}
+	exact, witness := r.IsExact()
+	if !exact {
+		t.Fatalf("rewriting should be exact, witness %v",
+			automata.FormatWord(inst.Sigma(), witness))
+	}
+	if !r.IsExactMaterialized() {
+		t.Fatal("materialized exactness check disagrees")
+	}
+}
+
+// TestExample2Continued reproduces the continuation of Example 2: with
+// E = {a, a·c*·b} (no view for c) the maximal rewriting is e2*·e1,
+// which is not exact.
+func TestExample2Continued(t *testing.T) {
+	inst := parseInstance(t, "a·(b·a+c)*", map[string]string{
+		"e1": "a", "e2": "a·c*·b",
+	})
+	r := MaximalRewriting(inst)
+	want := regex.MustParse("e2*·e1")
+	if !regex.Equivalent(r.Regex(), want) {
+		t.Fatalf("rewriting = %s, want ≡ e2*·e1", r.Regex())
+	}
+	exact, witness := r.IsExact()
+	if exact {
+		t.Fatal("rewriting without view c must not be exact")
+	}
+	// The witness must be a Σ-word in L(E0) \ exp(L(R)).
+	if !inst.Query.ToNFA(inst.Sigma()).Accepts(witness) {
+		t.Fatalf("witness %v not in L(E0)", automata.FormatWord(inst.Sigma(), witness))
+	}
+	if r.Expand().Accepts(witness) {
+		t.Fatalf("witness %v is in exp(L(R))", automata.FormatWord(inst.Sigma(), witness))
+	}
+	if r.IsExactMaterialized() {
+		t.Fatal("materialized exactness check disagrees")
+	}
+}
+
+// TestFigure1 checks the structure of the automata in Figure 1 for
+// Example 2. One deliberate difference from the drawing: the paper's
+// A_d has three live states s0, s1, s2, but s0 and s2 are equivalent
+// (both move to s1 on a and die otherwise), and our construction uses
+// the minimal DFA, which merges them. All of Figure 1's transitions are
+// asserted modulo that merge; the rewriting language is identical.
+func TestFigure1(t *testing.T) {
+	inst := parseInstance(t, "a·(b·a+c)*", map[string]string{
+		"e1": "a", "e2": "a·c*·b", "e3": "c",
+	})
+	r := MaximalRewriting(inst)
+
+	if got := r.Ad.TrimPartial().NumStates(); got != 2 {
+		t.Fatalf("A_d has %d live states, want 2 (Figure 1's s0/s2 merged)", got)
+	}
+	if !r.Ad.IsTotal() {
+		t.Fatal("A_d must be total for the A' construction")
+	}
+
+	// Identify A_d's live states by behaviour: s02 = start (the merge of
+	// the figure's s0 and s2), s1 = the accepting state.
+	s02 := r.Ad.Start()
+	a := inst.Sigma().Lookup("a")
+	b := inst.Sigma().Lookup("b")
+	c := inst.Sigma().Lookup("c")
+	s1 := r.Ad.Next(s02, a)
+	if !r.Ad.Accepting(s1) || r.Ad.Accepting(s02) {
+		t.Fatal("A_d acceptance pattern differs from Figure 1")
+	}
+	if r.Ad.Next(s1, c) != s1 || r.Ad.Next(s1, b) != s02 {
+		t.Fatal("A_d transitions differ from Figure 1")
+	}
+
+	// A' edges from the construction: e1 follows words of L(a), e2 of
+	// L(a·c*·b), e3 of L(c). The figure's edges, after merging s0/s2:
+	e1 := inst.SigmaE().Lookup("e1")
+	e2 := inst.SigmaE().Lookup("e2")
+	e3 := inst.SigmaE().Lookup("e3")
+	hasEdge := func(from automata.State, e alphabet.Symbol, to automata.State) bool {
+		for _, tgt := range r.APrime.Successors(from, e) {
+			if tgt == to {
+				return true
+			}
+		}
+		return false
+	}
+	for _, tc := range []struct {
+		from automata.State
+		e    alphabet.Symbol
+		to   automata.State
+		want bool
+	}{
+		{s02, e1, s1, true},  // a: s0 → s1 and s2 → s1
+		{s02, e2, s02, true}, // a·c*·b: s0 → s2 and s2 → s2
+		{s1, e3, s1, true},   // c: s1 → s1
+		{s02, e3, s1, false}, // c from s0 goes to the dead state
+		{s1, e1, s1, false},  // a from s1 dies
+		{s1, e2, s1, false},  // a·c*·b from s1 dies
+	} {
+		if got := hasEdge(tc.from, tc.e, tc.to); got != tc.want {
+			t.Errorf("A' edge %d --%s--> %d: got %v, want %v",
+				tc.from, inst.SigmaE().Name(tc.e), tc.to, got, tc.want)
+		}
+	}
+
+	// A' accepting states are exactly A_d's non-accepting ones.
+	for s := 0; s < r.Ad.NumStates(); s++ {
+		if r.APrime.Accepting(automata.State(s)) == r.Ad.Accepting(automata.State(s)) {
+			t.Fatalf("A' acceptance at state %d not flipped", s)
+		}
+	}
+
+	// DOT output is well-formed for all three automata.
+	for _, dot := range []string{r.Ad.DOT("Ad"), r.APrime.DOT("Aprime"), r.Auto.DOT("R")} {
+		if len(dot) == 0 {
+			t.Fatal("empty DOT output")
+		}
+	}
+}
+
+// TestRewritingIsSoundOnPaperExample: every Σ_E-word accepted by R
+// expands inside L(E0) (Definition 1), via bounded enumeration.
+func TestRewritingSoundness(t *testing.T) {
+	inst := parseInstance(t, "a·(b·a+c)*", map[string]string{
+		"e1": "a", "e2": "a·c*·b", "e3": "c",
+	})
+	r := MaximalRewriting(inst)
+	e0 := inst.Query.ToNFA(inst.Sigma())
+	words := language.Enumerate(r.NFA(), 3, 0)
+	if len(words) == 0 {
+		t.Fatal("no rewriting words to check")
+	}
+	for _, u := range words {
+		exp := language.ExpandWords(u, r.Views(), inst.Sigma(), 5, 0)
+		for _, w := range exp.Words() {
+			if !e0.Accepts(w) {
+				t.Fatalf("exp(%v) contains %v ∉ L(E0)",
+					automata.FormatWord(inst.SigmaE(), u),
+					automata.FormatWord(inst.Sigma(), w))
+			}
+		}
+	}
+}
+
+// TestRewritingCharacterization is the THM2 experiment: for random
+// instances and random Σ_E-words u, membership u ∈ L(R) holds exactly
+// when exp({u}) ⊆ L(E0), both sides computed independently of the
+// rewriting construction.
+func TestRewritingCharacterization(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	exprs := []string{
+		"a·(b·a+c)*", "a*", "(a+b)*", "a·b·c", "a·(b+c)", "(a·b)*·c?", "a+b·a*",
+	}
+	viewPool := []string{"a", "b", "c", "a·b", "b·a", "a·c*·b", "c", "a*", "b·c", "a?"}
+	for trial := 0; trial < 40; trial++ {
+		query := exprs[r.Intn(len(exprs))]
+		views := map[string]string{}
+		k := 1 + r.Intn(3)
+		for i := 0; i < k; i++ {
+			views[string(rune('p'+i))] = viewPool[r.Intn(len(viewPool))]
+		}
+		inst := parseInstance(t, query, views)
+		rw := MaximalRewriting(inst)
+		e0 := inst.Query.ToNFA(inst.Sigma())
+		viewNFAs := rw.Views()
+
+		for i := 0; i < 25; i++ {
+			// Random Σ_E-word of length ≤ 3.
+			u := make([]alphabet.Symbol, r.Intn(4))
+			for j := range u {
+				u[j] = alphabet.Symbol(r.Intn(inst.SigmaE().Len()))
+			}
+			// Independent ground truth: exp({u}) ⊆ L(E0) via automata.
+			expansion := automata.EpsilonLanguage(inst.Sigma())
+			for _, e := range u {
+				expansion = automata.Concat(expansion, viewNFAs[e])
+			}
+			contained, _ := automata.ContainedIn(expansion, e0)
+			inR := rw.Auto.Accepts(u)
+			if contained != inR {
+				t.Fatalf("trial %d: u=%v exp⊆L(E0)=%v but u∈L(R)=%v (instance %s)",
+					trial, automata.FormatWord(inst.SigmaE(), u), contained, inR, inst)
+			}
+		}
+	}
+}
+
+func TestRewritingEmptyWhenNoViewFits(t *testing.T) {
+	inst := parseInstance(t, "a", map[string]string{"e": "b"})
+	r := MaximalRewriting(inst)
+	// ε ∉ L(a), and any use of e expands to b ∉ prefixes of a-words.
+	if !r.IsEmpty() {
+		t.Fatalf("rewriting = %s, want ∅", r.Regex())
+	}
+	if !r.IsSigmaEmpty() {
+		t.Fatal("Σ-empty must follow from Σ_E-empty")
+	}
+	if HasNonemptyRewriting(inst) {
+		t.Fatal("HasNonemptyRewriting should be false")
+	}
+}
+
+func TestSigmaEmptyVsSigmaEEmpty(t *testing.T) {
+	// View with empty language: e2 = ∅. The word e2 would be a rewriting
+	// vacuously (its expansion is empty), so L(R) ≠ ∅ although
+	// exp(L(R)) might still be nonempty through e1. Use a query where
+	// only e2-words rewrite: E0 = a, views e1 = b (useless), e2 = ∅.
+	inst := parseInstance(t, "a", map[string]string{"e1": "b", "e2": "∅"})
+	r := MaximalRewriting(inst)
+	if r.IsEmpty() {
+		t.Fatal("L(R) should contain e2-words (vacuous rewritings)")
+	}
+	if !r.IsSigmaEmpty() {
+		t.Fatal("exp(L(R)) should be empty")
+	}
+	if _, ok := r.ShortestWord(); ok {
+		t.Fatal("ShortestWord should report no usable word")
+	}
+	if HasNonemptyRewriting(inst) {
+		t.Fatal("no Σ-nonempty rewriting exists")
+	}
+}
+
+func TestShortestWordOfRewriting(t *testing.T) {
+	inst := parseInstance(t, "a·b", map[string]string{"e1": "a", "e2": "b"})
+	r := MaximalRewriting(inst)
+	w, ok := r.ShortestWord()
+	if !ok {
+		t.Fatal("rewriting should be nonempty")
+	}
+	if automata.FormatWord(inst.SigmaE(), w) != "e1·e2" {
+		t.Fatalf("shortest word = %v", automata.FormatWord(inst.SigmaE(), w))
+	}
+}
+
+func TestEpsilonHandling(t *testing.T) {
+	// ε ∈ L(E0): the empty Σ_E-word must be in the rewriting.
+	inst := parseInstance(t, "a*", map[string]string{"e": "a·a"})
+	r := MaximalRewriting(inst)
+	if !r.Accepts() {
+		t.Fatal("ε must be in the rewriting when ε ∈ L(E0)")
+	}
+	if !r.Accepts("e", "e") {
+		t.Fatal("(aa)(aa) ⊆ a* should put e·e in the rewriting")
+	}
+	// ε ∉ L(E0): the empty word must not be in the rewriting.
+	inst2 := parseInstance(t, "a·a*", map[string]string{"e": "a·a"})
+	r2 := MaximalRewriting(inst2)
+	if r2.Accepts() {
+		t.Fatal("ε must not be in the rewriting when ε ∉ L(E0)")
+	}
+}
+
+func TestViewWithEpsilonLanguage(t *testing.T) {
+	// re(e2) = b? contains ε: e1·e2 expands to {a, ab} ⊆ L(a·b?).
+	inst := parseInstance(t, "a·b?", map[string]string{"e1": "a", "e2": "b?"})
+	r := MaximalRewriting(inst)
+	if !r.Accepts("e1", "e2") {
+		t.Fatal("e1·e2 should be in the rewriting")
+	}
+	if !r.Accepts("e1") {
+		t.Fatal("e1 alone expands to {a} ⊆ L(a·b?)")
+	}
+}
+
+func TestViewEpsilonOnlyRepetition(t *testing.T) {
+	// re(e2) = b?: e2·e2 expands to {ε,b,bb}; bb ∉ L(a·b?), so
+	// e1·e2·e2 must NOT be in the rewriting.
+	inst := parseInstance(t, "a·b?", map[string]string{"e1": "a", "e2": "b?"})
+	r := MaximalRewriting(inst)
+	if r.Accepts("e1", "e2", "e2") {
+		t.Fatal("e1·e2·e2 expansion includes a·b·b ∉ L(E0)")
+	}
+}
+
+func TestNoViews(t *testing.T) {
+	inst := parseInstance(t, "a*", map[string]string{})
+	r := MaximalRewriting(inst)
+	// Only the empty Σ_E-word exists; ε ∈ L(a*), so L(R) = {ε}.
+	if !r.Accepts() {
+		t.Fatal("ε should be accepted")
+	}
+	if r.IsEmpty() {
+		t.Fatal("L(R) = {ε} is not empty")
+	}
+	if ok, _ := r.IsExact(); ok {
+		t.Fatal("{ε} cannot be exact for a*")
+	}
+}
+
+func TestInstanceValidation(t *testing.T) {
+	if _, err := NewInstance(nil, nil); err == nil {
+		t.Fatal("nil query accepted")
+	}
+	q := regex.MustParse("a")
+	if _, err := NewInstance(q, []View{{Name: "", Expr: q}}); err == nil {
+		t.Fatal("empty view name accepted")
+	}
+	if _, err := NewInstance(q, []View{{Name: "v", Expr: nil}}); err == nil {
+		t.Fatal("nil view expression accepted")
+	}
+	if _, err := NewInstance(q, []View{{Name: "v", Expr: q}, {Name: "v", Expr: q}}); err == nil {
+		t.Fatal("duplicate view name accepted")
+	}
+	if _, err := ParseInstance("a(", nil); err == nil {
+		t.Fatal("bad query syntax accepted")
+	}
+	if _, err := ParseInstance("a", map[string]string{"v": "(("}); err == nil {
+		t.Fatal("bad view syntax accepted")
+	}
+}
+
+func TestInstanceAccessors(t *testing.T) {
+	inst := parseInstance(t, "a·b", map[string]string{"v1": "a", "v2": "b"})
+	if inst.Sigma().Len() != 2 || inst.SigmaE().Len() != 2 {
+		t.Fatalf("alphabets wrong: Σ=%d Σ_E=%d", inst.Sigma().Len(), inst.SigmaE().Len())
+	}
+	if inst.ViewExpr("v1") == nil || inst.ViewExpr("nope") != nil {
+		t.Fatal("ViewExpr wrong")
+	}
+	if inst.String() == "" {
+		t.Fatal("String empty")
+	}
+	ext, err := inst.WithViews(View{Name: "v3", Expr: regex.Sym("c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.SigmaE().Len() != 3 || ext.Sigma().Len() != 3 {
+		t.Fatal("WithViews did not extend alphabets")
+	}
+	if _, err := inst.WithViews(View{Name: "v1", Expr: regex.Sym("c")}); err == nil {
+		t.Fatal("WithViews accepted duplicate name")
+	}
+}
+
+func TestExistsExactRewriting(t *testing.T) {
+	yes := parseInstance(t, "a·b", map[string]string{"e1": "a", "e2": "b"})
+	if !ExistsExactRewriting(yes) {
+		t.Fatal("a·b with views a,b should have an exact rewriting")
+	}
+	no := parseInstance(t, "a·(b+c)", map[string]string{"q1": "a", "q2": "b"})
+	if ExistsExactRewriting(no) {
+		t.Fatal("a·(b+c) with views a,b should have no exact rewriting")
+	}
+}
+
+func TestHasNonemptyRewriting(t *testing.T) {
+	if !HasNonemptyRewriting(parseInstance(t, "a·b", map[string]string{"e": "a·b"})) {
+		t.Fatal("want nonempty rewriting")
+	}
+	if HasNonemptyRewriting(parseInstance(t, "a", map[string]string{"e": "a·a"})) {
+		t.Fatal("want no nonempty rewriting (a·a ⊄ a and ε ∉ L(a))")
+	}
+}
+
+func TestMaximalRewritingBounded(t *testing.T) {
+	inst := parseInstance(t, "a·(b·a+c)*", map[string]string{
+		"e1": "a", "e2": "a·c*·b", "e3": "c",
+	})
+	r, err := MaximalRewritingBounded(inst, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regex.Equivalent(r.Regex(), regex.MustParse("e2*·e1·e3*")) {
+		t.Fatalf("bounded rewriting = %s", r.Regex())
+	}
+	if ok, _ := r.IsExact(); !ok {
+		t.Fatal("bounded rewriting should be exact")
+	}
+}
+
+func TestMaximalRewritingBoundedHitsLimit(t *testing.T) {
+	// (a+b)*·a·(a+b)^9 determinizes to ≥2^10 states: a cap of 50 must trip.
+	parts := "( a+b)*·a"
+	_ = parts
+	expr := "(a+b)*·a·(a+b)·(a+b)·(a+b)·(a+b)·(a+b)·(a+b)·(a+b)·(a+b)·(a+b)"
+	inst := parseInstance(t, expr, map[string]string{"va": "a", "vb": "b"})
+	_, err := MaximalRewritingBounded(inst, 50)
+	if err == nil {
+		t.Fatal("expected state-limit error")
+	}
+	if !errors.Is(err, automata.ErrStateLimit) {
+		t.Fatalf("error %v does not wrap ErrStateLimit", err)
+	}
+	// A generous cap matches the unbounded construction.
+	r, err := MaximalRewritingBounded(inst, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := MaximalRewriting(inst)
+	if !automata.Equivalent(r.NFA(), full.NFA()) {
+		t.Fatal("bounded and unbounded rewritings differ")
+	}
+}
+
+func TestMaximalRewritingBoundedUnionQuery(t *testing.T) {
+	// Union-shaped query goes through the branch-wise path.
+	inst := parseInstance(t, "a·b+b·a+a·a+b·b+a+b", map[string]string{"va": "a", "vb": "b"})
+	r, err := MaximalRewritingBounded(inst, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := MaximalRewriting(inst)
+	if !automata.Equivalent(r.NFA(), full.NFA()) {
+		t.Fatal("bounded union-path rewriting differs")
+	}
+	if _, err := MaximalRewritingBounded(inst, 1); err == nil {
+		t.Fatal("cap of 1 should trip on the union path")
+	}
+}
+
+// TestExample1SigmaMaximality pins the subtle point of Example 1: the
+// single word "e" is already Σ-maximal (its expansion is all of a*),
+// even though it is not Σ_E-maximal — e* strictly contains it over Σ_E.
+func TestExample1SigmaMaximality(t *testing.T) {
+	inst := parseInstance(t, "a*", map[string]string{"e": "a*"})
+	r := MaximalRewriting(inst)
+	// exp({e}) computed independently: the single view automaton.
+	expOfE := r.Views()[inst.SigmaE().Lookup("e")]
+	if !automata.Equivalent(expOfE, r.Expand()) {
+		t.Fatal("exp({e}) should already equal exp(L(R)) — Σ-maximality of R2 = e")
+	}
+	// Yet over Σ_E, {e} ⊊ L(R).
+	single := automata.SymbolLanguage(inst.SigmaE(), inst.SigmaE().Lookup("e"))
+	ok, _ := automata.ContainedIn(single, r.NFA())
+	if !ok {
+		t.Fatal("e should be in L(R)")
+	}
+	ok, _ = automata.ContainedIn(r.NFA(), single)
+	if ok {
+		t.Fatal("L(R) must strictly contain {e}")
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+)
+
+// Stress sweeps: larger randomized volumes of the invariants the
+// focused tests establish. Skipped under -short.
+
+func TestStressCharacterization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	r := rand.New(rand.NewSource(3001))
+	exprs := []string{
+		"a·(b·a+c)*", "(a+b)*·c·(a+b)*", "a·b·c·d?", "(a·b+c·d)*",
+		"a*·b*·c*", "a·(b+c·(a+b))*", "((a+b)·c)*+d",
+	}
+	viewPool := []string{
+		"a", "b", "c", "d", "a·b", "b·c", "c·d", "a·c*·b", "a*", "b?",
+		"a+b", "c·c", "(a·b)*", "d·c", "a·b·c",
+	}
+	for trial := 0; trial < 150; trial++ {
+		views := map[string]string{}
+		k := 1 + r.Intn(4)
+		for i := 0; i < k; i++ {
+			views[string(rune('p'+i))] = viewPool[r.Intn(len(viewPool))]
+		}
+		inst := parseInstance(t, exprs[r.Intn(len(exprs))], views)
+		rw := MaximalRewriting(inst)
+		e0 := inst.Query.ToNFA(inst.Sigma())
+		viewNFAs := rw.Views()
+		for i := 0; i < 20; i++ {
+			u := make([]alphabet.Symbol, r.Intn(5))
+			for j := range u {
+				u[j] = alphabet.Symbol(r.Intn(inst.SigmaE().Len()))
+			}
+			expansion := automata.EpsilonLanguage(inst.Sigma())
+			for _, e := range u {
+				expansion = automata.Concat(expansion, viewNFAs[e])
+			}
+			contained, _ := automata.ContainedIn(expansion, e0)
+			if contained != rw.Auto.Accepts(u) {
+				t.Fatalf("trial %d: characterization fails on %v over %s",
+					trial, automata.FormatWord(inst.SigmaE(), u), inst)
+			}
+		}
+	}
+}
+
+func TestStressExactnessChecksAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	r := rand.New(rand.NewSource(3002))
+	for trial := 0; trial < 120; trial++ {
+		inst := randomSmallInstance(t, r)
+		rw := MaximalRewriting(inst)
+		onTheFly, _ := rw.IsExact()
+		if onTheFly != rw.IsExactMaterialized() {
+			t.Fatalf("trial %d: exactness checks disagree on %s", trial, inst)
+		}
+	}
+}
+
+func TestStressEmptinessConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	r := rand.New(rand.NewSource(3003))
+	for trial := 0; trial < 150; trial++ {
+		inst := randomSmallInstance(t, r)
+		rw := MaximalRewriting(inst)
+		sigmaEEmpty := rw.IsEmpty()
+		sigmaEmpty := rw.IsSigmaEmpty()
+		if sigmaEEmpty && !sigmaEmpty {
+			t.Fatalf("trial %d: Σ_E-empty but not Σ-empty on %s", trial, inst)
+		}
+		// ShortestWord consistency: exists iff not Σ-empty.
+		_, ok := rw.ShortestWord()
+		if ok == sigmaEmpty {
+			t.Fatalf("trial %d: ShortestWord=%v but IsSigmaEmpty=%v", trial, ok, sigmaEmpty)
+		}
+		// HasNonemptyRewriting must mirror Σ-nonemptiness of the maximal
+		// rewriting (it recomputes internally).
+		if HasNonemptyRewriting(inst) == sigmaEmpty {
+			t.Fatalf("trial %d: HasNonemptyRewriting inconsistent", trial)
+		}
+	}
+}
+
+func TestStressPossibilityEnvelope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	r := rand.New(rand.NewSource(3004))
+	for trial := 0; trial < 100; trial++ {
+		inst := randomSmallInstance(t, r)
+		max := MaximalRewriting(inst)
+		poss := PossibilityRewriting(inst)
+		// Any maximal-rewriting word with nonempty expansion is possible.
+		ok, cex := automata.ContainedIn(max.NFA(), poss.NFA())
+		if ok {
+			continue
+		}
+		expansion := automata.EpsilonLanguage(inst.Sigma())
+		for _, e := range cex {
+			expansion = automata.Concat(expansion, max.Views()[e])
+		}
+		if !expansion.IsEmpty() {
+			t.Fatalf("trial %d: %v in contained rewriting, nonempty expansion, not possible (%s)",
+				trial, automata.FormatWord(inst.SigmaE(), cex), inst)
+		}
+	}
+}

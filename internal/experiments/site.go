@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+	"time"
+
+	"regexrw/internal/graph"
+	"regexrw/internal/rpq"
+	"regexrw/internal/workload"
+)
+
+// runSITE1 is the end-to-end systems experiment: on a synthetic travel
+// site, the benchmark query is answered (a) directly on the full graph
+// and (b) by evaluating the exact rewriting over pre-materialized
+// views. Materialization cost is paid once (amortized across queries),
+// so per-query latency through the views wins once the view graph is
+// smaller than the raw graph — and the answers are identical because
+// the rewriting is exact.
+func runSITE1(w io.Writer) error {
+	t := workload.SiteTheory()
+	q0, err := workload.SiteQuery()
+	if err != nil {
+		return err
+	}
+	views, err := workload.SiteViews()
+	if err != nil {
+		return err
+	}
+	r, err := rpq.Rewrite(q0, views, t, rpq.Direct)
+	if err != nil {
+		return err
+	}
+	exact, _ := r.IsExact()
+	fmt.Fprintf(w, "query: region · city · district · venue-kind;  rewriting: %s;  exact: %v\n\n",
+		r.RegexOverViews(), exact)
+	if !exact {
+		return fmt.Errorf("site rewriting should be exact")
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scale\tnodes\tedges\tanswers\tt_direct\tt_materialize(once)\tt_via-views(per query)\tequal")
+	for _, k := range []int{1, 2, 4} {
+		rng := rand.New(rand.NewSource(int64(k)))
+		db := workload.Site(rng, t, workload.DefaultSiteConfig(k))
+
+		start := time.Now()
+		direct := q0.Answer(t, db)
+		tDirect := time.Since(start)
+
+		start = time.Now()
+		vg := r.MaterializeViews(db)
+		tMat := time.Since(start)
+
+		start = time.Now()
+		viaViews := vg.Eval(r.NFA())
+		tVia := time.Since(start)
+
+		equal := len(direct) == len(viaViews)
+		if equal {
+			for i := range direct {
+				if direct[i] != (graph.Pair{From: viaViews[i].From, To: viaViews[i].To}) {
+					equal = false
+					break
+				}
+			}
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%v\t%v\t%v\t%v\n",
+			k, db.NumNodes(), db.NumEdges(), len(direct),
+			tDirect.Round(time.Microsecond), tMat.Round(time.Microsecond),
+			tVia.Round(time.Microsecond), equal)
+		if !equal {
+			return fmt.Errorf("scale %d: answers differ", k)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(per-query evaluation over the view graph scans only navigation/venue edges — the\n")
+	fmt.Fprintf(w, " noise 'related' edges never enter the product — so it beats direct evaluation,\n")
+	fmt.Fprintf(w, " while exactness guarantees identical answers)\n")
+	return nil
+}

@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+	"regexrw/internal/regex"
+)
+
+// TestCrossValidateEvalAgainstPathEnumeration: on small random graphs,
+// Eval agrees with explicit enumeration of all paths up to a length
+// bound (sound for queries whose minimal accepting word fits the
+// bound; we pick bounded-language queries).
+func TestCrossValidateEvalAgainstPathEnumeration(t *testing.T) {
+	r := rand.New(rand.NewSource(404))
+	exprs := []string{"x", "x·y", "x+y", "x·y?", "x·(y+x)", "x·x·x"}
+	for trial := 0; trial < 20; trial++ {
+		db := New(nil)
+		labels := []string{"x", "y"}
+		nodes := 4 + r.Intn(3)
+		for i := 0; i < nodes; i++ {
+			db.AddNode(string(rune('a' + i)))
+		}
+		for i := 0; i < 2*nodes; i++ {
+			db.AddEdge(string(rune('a'+r.Intn(nodes))), labels[r.Intn(2)], string(rune('a'+r.Intn(nodes))))
+		}
+		expr := exprs[r.Intn(len(exprs))]
+		nfa := mustNFA(t, expr)
+
+		got := map[Pair]bool{}
+		for _, p := range db.Eval(nfa) {
+			got[p] = true
+		}
+
+		// Brute force: enumerate all paths of length ≤ 4 and test their
+		// label word against the automaton.
+		want := map[Pair]bool{}
+		var walk func(start, cur NodeID, word []alphabet.Symbol)
+		walk = func(start, cur NodeID, word []alphabet.Symbol) {
+			// Translate db labels to automaton symbols by name.
+			names := make([]string, len(word))
+			for i, l := range word {
+				names[i] = db.Labels().Name(l)
+			}
+			if nfa.AcceptsNames(names...) {
+				want[Pair{start, cur}] = true
+			}
+			if len(word) == 4 {
+				return
+			}
+			for _, e := range db.Out(cur) {
+				walk(start, e.To, append(word, e.Label))
+			}
+		}
+		for n := 0; n < db.NumNodes(); n++ {
+			walk(NodeID(n), NodeID(n), nil)
+		}
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (%s): Eval %d pairs, brute force %d", trial, expr, len(got), len(want))
+		}
+		for p := range want {
+			if !got[p] {
+				t.Fatalf("trial %d (%s): missing pair %v", trial, expr, p)
+			}
+		}
+	}
+}
+
+func mustNFA(t *testing.T, expr string) *automata.NFA {
+	t.Helper()
+	n, err := regex.Parse(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n.ToNFA(alphabet.New())
+}

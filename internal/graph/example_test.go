@@ -1,0 +1,22 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/graph"
+	"regexrw/internal/regex"
+)
+
+func ExampleDB_Eval() {
+	db := graph.New(nil)
+	db.AddEdge("root", "rome", "romePage")
+	db.AddEdge("romePage", "restaurant", "carlotta")
+
+	q := regex.MustParse("rome·restaurant").ToNFA(alphabet.New())
+	for _, p := range db.PairNames(db.Eval(q)) {
+		fmt.Println(p)
+	}
+	// Output:
+	// root→carlotta
+}

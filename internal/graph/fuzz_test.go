@@ -1,0 +1,37 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"regexrw/internal/alphabet"
+)
+
+// FuzzRead checks the graph reader never panics and that accepted
+// inputs round-trip through WriteTo/Read preserving node and edge
+// counts.
+func FuzzRead(f *testing.F) {
+	for _, seed := range []string{
+		"a x b\n", "# c\n\nn\n", "a x b\nb y c\nc x a\n", "a b\n", "one two three four\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		db, err := Read(strings.NewReader(input), alphabet.New())
+		if err != nil {
+			return
+		}
+		var b strings.Builder
+		if _, err := db.WriteTo(&b); err != nil {
+			t.Fatalf("WriteTo failed: %v", err)
+		}
+		back, err := Read(strings.NewReader(b.String()), alphabet.New())
+		if err != nil {
+			t.Fatalf("round trip failed: %v\nserialized:\n%s", err, b.String())
+		}
+		if back.NumNodes() != db.NumNodes() || back.NumEdges() != db.NumEdges() {
+			t.Fatalf("round trip changed shape: %d/%d nodes, %d/%d edges",
+				back.NumNodes(), db.NumNodes(), back.NumEdges(), db.NumEdges())
+		}
+	})
+}

@@ -1,0 +1,29 @@
+package language_test
+
+import (
+	"fmt"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+	"regexrw/internal/language"
+	"regexrw/internal/regex"
+)
+
+func ExampleEnumerate() {
+	al := alphabet.New()
+	n := regex.MustParse("a·(b+c)").ToNFA(al)
+	for _, w := range language.Enumerate(n, 3, 0) {
+		fmt.Println(automata.FormatWord(al, w))
+	}
+	// Output:
+	// a·b
+	// a·c
+}
+
+func ExampleCount() {
+	al := alphabet.New()
+	n := regex.MustParse("(a+b)*").ToNFA(al)
+	fmt.Println(language.Count(n, 10))
+	// Output:
+	// 1024
+}

@@ -1,0 +1,269 @@
+// Package language provides word-level utilities over regular languages:
+// bounded enumeration, random sampling, and the word-level expansion
+// semantics exp_Σ of the paper's Section 2. The package is the
+// ground-truth oracle that tests use to validate the automata-theoretic
+// constructions independently of the constructions themselves.
+package language
+
+import (
+	"math/big"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+)
+
+// Word is a sequence of symbols.
+type Word = []alphabet.Symbol
+
+// Enumerate returns every word of length ≤ maxLen accepted by n, in
+// length-lexicographic order, stopping after maxCount words (maxCount ≤ 0
+// means unbounded). The traversal explores the determinized state space,
+// so it prunes dead prefixes and terminates even for infinite languages.
+func Enumerate(n *automata.NFA, maxLen, maxCount int) []Word {
+	d := automata.Determinize(n).TrimPartial()
+	return EnumerateDFA(d, maxLen, maxCount)
+}
+
+// EnumerateDFA is Enumerate on an already-deterministic automaton.
+func EnumerateDFA(d *automata.DFA, maxLen, maxCount int) []Word {
+	var out []Word
+	if d.Start() == automata.NoState {
+		return out
+	}
+	syms := d.Alphabet().Symbols()
+	type item struct {
+		state automata.State
+		word  Word
+	}
+	frontier := []item{{d.Start(), Word{}}}
+	for depth := 0; depth <= maxLen; depth++ {
+		// Collect accepted words at this depth (length-lex order comes
+		// from processing depths in order and symbols in id order).
+		for _, it := range frontier {
+			if d.Accepting(it.state) {
+				out = append(out, it.word)
+				if maxCount > 0 && len(out) >= maxCount {
+					return out
+				}
+			}
+		}
+		if depth == maxLen {
+			break
+		}
+		var next []item
+		for _, it := range frontier {
+			for _, x := range syms {
+				if t := d.Next(it.state, x); t != automata.NoState {
+					w := make(Word, len(it.word)+1)
+					copy(w, it.word)
+					w[len(it.word)] = x
+					next = append(next, item{t, w})
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// Sample returns up to count words accepted by n, drawn by random walks
+// of length ≤ maxLen over the trimmed determinized automaton. Returned
+// words may repeat. Returns nil for the empty language.
+func Sample(n *automata.NFA, r *rand.Rand, count, maxLen int) []Word {
+	d := automata.Determinize(n).TrimPartial()
+	if d.Start() == automata.NoState || !anyAccepting(d) {
+		return nil
+	}
+	syms := d.Alphabet().Symbols()
+	var out []Word
+	for len(out) < count {
+		state := d.Start()
+		var w Word
+		for len(w) <= maxLen {
+			// Flip between stopping (if accepting) and walking on.
+			if d.Accepting(state) && r.Intn(3) == 0 {
+				break
+			}
+			var choices []alphabet.Symbol
+			for _, x := range syms {
+				if d.Next(state, x) != automata.NoState {
+					choices = append(choices, x)
+				}
+			}
+			if len(choices) == 0 {
+				break
+			}
+			x := choices[r.Intn(len(choices))]
+			w = append(w, x)
+			state = d.Next(state, x)
+		}
+		if state != automata.NoState && d.Accepting(state) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func anyAccepting(d *automata.DFA) bool {
+	for s := 0; s < d.NumStates(); s++ {
+		if d.Accepting(automata.State(s)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of words of length exactly n accepted by
+// the automaton, computed by dynamic programming over the determinized
+// automaton with arbitrary-precision counters (counts grow like |Σ|^n).
+func Count(nfa *automata.NFA, n int) *big.Int {
+	d := automata.Determinize(nfa).TrimPartial()
+	return CountDFA(d, n)
+}
+
+// CountDFA is Count for an already-deterministic automaton.
+func CountDFA(d *automata.DFA, n int) *big.Int {
+	if d.Start() == automata.NoState {
+		return big.NewInt(0)
+	}
+	// cur[s] = number of words of length i from the start state to s.
+	cur := make([]*big.Int, d.NumStates())
+	for i := range cur {
+		cur[i] = big.NewInt(0)
+	}
+	cur[d.Start()] = big.NewInt(1)
+	for i := 0; i < n; i++ {
+		next := make([]*big.Int, d.NumStates())
+		for j := range next {
+			next[j] = big.NewInt(0)
+		}
+		for s := 0; s < d.NumStates(); s++ {
+			if cur[s].Sign() == 0 {
+				continue
+			}
+			for _, x := range d.Alphabet().Symbols() {
+				if t := d.Next(automata.State(s), x); t != automata.NoState {
+					next[t].Add(next[t], cur[s])
+				}
+			}
+		}
+		cur = next
+	}
+	total := big.NewInt(0)
+	for s := 0; s < d.NumStates(); s++ {
+		if d.Accepting(automata.State(s)) {
+			total.Add(total, cur[s])
+		}
+	}
+	return total
+}
+
+// CountUpTo returns the number of accepted words of length ≤ n.
+func CountUpTo(nfa *automata.NFA, n int) *big.Int {
+	d := automata.Determinize(nfa).TrimPartial()
+	total := big.NewInt(0)
+	for i := 0; i <= n; i++ {
+		total.Add(total, CountDFA(d, i))
+	}
+	return total
+}
+
+// Key renders a word as a canonical string usable as a map key.
+func Key(a *alphabet.Alphabet, w Word) string {
+	parts := make([]string, len(w))
+	for i, x := range w {
+		parts[i] = a.Name(x)
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// Set is a set of words with canonical keys.
+type Set struct {
+	alpha *alphabet.Alphabet
+	words map[string]Word
+}
+
+// NewSet returns an empty word set over the alphabet.
+func NewSet(a *alphabet.Alphabet) *Set {
+	return &Set{alpha: a, words: map[string]Word{}}
+}
+
+// Add inserts w.
+func (s *Set) Add(w Word) { s.words[Key(s.alpha, w)] = w }
+
+// Contains reports membership.
+func (s *Set) Contains(w Word) bool {
+	_, ok := s.words[Key(s.alpha, w)]
+	return ok
+}
+
+// Len returns the number of words.
+func (s *Set) Len() int { return len(s.words) }
+
+// Words returns the contents sorted by (length, lexicographic key).
+func (s *Set) Words() []Word {
+	keys := make([]string, 0, len(s.words))
+	for k := range s.words {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		wi, wj := s.words[keys[i]], s.words[keys[j]]
+		if len(wi) != len(wj) {
+			return len(wi) < len(wj)
+		}
+		return keys[i] < keys[j]
+	})
+	out := make([]Word, len(keys))
+	for i, k := range keys {
+		out[i] = s.words[k]
+	}
+	return out
+}
+
+// SubsetOf reports whether every word of s is in t.
+func (s *Set) SubsetOf(t *Set) bool {
+	for _, w := range s.words {
+		if !t.Contains(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// ExpandWords computes the word-level expansion of a Σ_E-word u: the set
+// of Σ-words w1…wn with wi ∈ L(views[u[i]]), where each view language is
+// enumerated up to viewLen symbols and at most viewCount words per view.
+// This is exp_Σ({u}) restricted to bounded view words — the brute-force
+// oracle against which the automaton-based expansion of internal/core is
+// tested.
+func ExpandWords(u Word, views map[alphabet.Symbol]*automata.NFA, sigma *alphabet.Alphabet, viewLen, viewCount int) *Set {
+	out := NewSet(sigma)
+	perView := make([][]Word, len(u))
+	for i, e := range u {
+		v, ok := views[e]
+		if !ok || v == nil {
+			return out // a symbol with no view expands to nothing
+		}
+		perView[i] = Enumerate(v, viewLen, viewCount)
+		if len(perView[i]) == 0 {
+			return out
+		}
+	}
+	var rec func(i int, acc Word)
+	rec = func(i int, acc Word) {
+		if i == len(u) {
+			out.Add(append(Word(nil), acc...))
+			return
+		}
+		for _, w := range perView[i] {
+			next := make(Word, 0, len(acc)+len(w))
+			next = append(append(next, acc...), w...)
+			rec(i+1, next)
+		}
+	}
+	rec(0, Word{})
+	return out
+}

@@ -1,0 +1,258 @@
+package language
+
+import (
+	"math/rand"
+	"testing"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+	"regexrw/internal/regex"
+)
+
+func nfaOf(t *testing.T, expr string, al *alphabet.Alphabet) *automata.NFA {
+	t.Helper()
+	n, err := regex.Parse(expr)
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	return n.ToNFA(al)
+}
+
+func words(t *testing.T, al *alphabet.Alphabet, ws []Word) []string {
+	t.Helper()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = automata.FormatWord(al, w)
+	}
+	return out
+}
+
+func TestEnumerateFinite(t *testing.T) {
+	al := alphabet.New()
+	got := Enumerate(nfaOf(t, "a·b+c", al), 5, 0)
+	rendered := words(t, al, got)
+	if len(rendered) != 2 || rendered[0] != "c" || rendered[1] != "a·b" {
+		t.Fatalf("Enumerate = %v", rendered)
+	}
+}
+
+func TestEnumerateRespectsMaxLen(t *testing.T) {
+	al := alphabet.New()
+	got := Enumerate(nfaOf(t, "a*", al), 3, 0)
+	if len(got) != 4 { // ε, a, aa, aaa
+		t.Fatalf("Enumerate(a*, ≤3) = %d words, want 4", len(got))
+	}
+	if len(got[0]) != 0 {
+		t.Fatal("first word should be ε")
+	}
+}
+
+func TestEnumerateRespectsMaxCount(t *testing.T) {
+	al := alphabet.New()
+	got := Enumerate(nfaOf(t, "(a+b)*", al), 10, 5)
+	if len(got) != 5 {
+		t.Fatalf("maxCount ignored: %d words", len(got))
+	}
+}
+
+func TestEnumerateLengthLexOrder(t *testing.T) {
+	al := alphabet.New()
+	got := Enumerate(nfaOf(t, "(a+b)·(a+b)?", al), 3, 0)
+	rendered := words(t, al, got)
+	want := []string{"a", "b", "a·a", "a·b", "b·a", "b·b"}
+	if len(rendered) != len(want) {
+		t.Fatalf("Enumerate = %v, want %v", rendered, want)
+	}
+	for i := range want {
+		if rendered[i] != want[i] {
+			t.Fatalf("Enumerate = %v, want %v", rendered, want)
+		}
+	}
+}
+
+func TestEnumerateEmptyLanguage(t *testing.T) {
+	al := alphabet.New()
+	if got := Enumerate(nfaOf(t, "∅", al), 4, 0); len(got) != 0 {
+		t.Fatalf("Enumerate(∅) = %v", got)
+	}
+}
+
+func TestEnumerateAgreesWithMembership(t *testing.T) {
+	al := alphabet.New()
+	n := nfaOf(t, "a·(b·a+c)*", al)
+	got := Enumerate(n, 4, 0)
+	seen := NewSet(al)
+	for _, w := range got {
+		if !n.Accepts(w) {
+			t.Fatalf("enumerated word %v not accepted", automata.FormatWord(al, w))
+		}
+		seen.Add(w)
+	}
+	// Exhaustive cross-check over all words of length ≤ 4.
+	var all func(w Word, depth int)
+	all = func(w Word, depth int) {
+		if n.Accepts(w) != seen.Contains(w) {
+			t.Fatalf("enumeration disagrees on %v", automata.FormatWord(al, w))
+		}
+		if depth == 0 {
+			return
+		}
+		for _, x := range al.Symbols() {
+			all(append(append(Word(nil), w...), x), depth-1)
+		}
+	}
+	all(Word{}, 4)
+}
+
+func TestSample(t *testing.T) {
+	al := alphabet.New()
+	n := nfaOf(t, "a·b*", al)
+	r := rand.New(rand.NewSource(42))
+	ws := Sample(n, r, 20, 6)
+	if len(ws) != 20 {
+		t.Fatalf("Sample returned %d words", len(ws))
+	}
+	for _, w := range ws {
+		if !n.Accepts(w) {
+			t.Fatalf("sampled word %v not in language", automata.FormatWord(al, w))
+		}
+	}
+}
+
+func TestSampleEmptyLanguage(t *testing.T) {
+	al := alphabet.New()
+	if ws := Sample(nfaOf(t, "∅", al), rand.New(rand.NewSource(1)), 5, 4); ws != nil {
+		t.Fatalf("Sample(∅) = %v", ws)
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	al := alphabet.FromNames("a", "b")
+	s := NewSet(al)
+	w1 := Word{0}
+	w2 := Word{0, 1}
+	s.Add(w1)
+	s.Add(w1) // duplicate
+	s.Add(w2)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if !s.Contains(w1) || s.Contains(Word{1}) {
+		t.Fatal("Contains wrong")
+	}
+	t2 := NewSet(al)
+	t2.Add(w1)
+	if s.SubsetOf(t2) {
+		t.Fatal("SubsetOf wrong direction")
+	}
+	if !t2.SubsetOf(s) {
+		t.Fatal("SubsetOf failed")
+	}
+	ws := s.Words()
+	if len(ws) != 2 || len(ws[0]) != 1 {
+		t.Fatal("Words order wrong")
+	}
+}
+
+func TestKeyDistinguishesSymbolBoundaries(t *testing.T) {
+	// Symbols "a","aa": word [aa] must differ from [a,a].
+	al := alphabet.FromNames("a", "aa")
+	k1 := Key(al, Word{1})
+	k2 := Key(al, Word{0, 0})
+	if k1 == k2 {
+		t.Fatal("Key collides across symbol boundaries")
+	}
+}
+
+func TestExpandWords(t *testing.T) {
+	// Views over Σ={a,b,c}: e1→a, e2→a·c*·b (bounded), e3→c.
+	sigma := alphabet.FromNames("a", "b", "c")
+	se := alphabet.FromNames("e1", "e2", "e3")
+	views := map[alphabet.Symbol]*automata.NFA{
+		se.Lookup("e1"): nfaOf(t, "a", sigma),
+		se.Lookup("e2"): nfaOf(t, "a·c*·b", sigma),
+		se.Lookup("e3"): nfaOf(t, "c", sigma),
+	}
+	u := Word{se.Lookup("e2"), se.Lookup("e1")}
+	got := ExpandWords(u, views, sigma, 4, 0)
+	// e2 expands to ab, acb, accb (≤4); e1 to a.
+	if got.Len() != 3 {
+		t.Fatalf("ExpandWords: %d words, want 3", got.Len())
+	}
+	if !got.Contains(automata.ParseWord(sigma, "a b a")) {
+		t.Fatal("missing a·b·a")
+	}
+	if !got.Contains(automata.ParseWord(sigma, "a c b a")) {
+		t.Fatal("missing a·c·b·a")
+	}
+}
+
+func TestExpandWordsEmptyViewLanguage(t *testing.T) {
+	sigma := alphabet.FromNames("a")
+	se := alphabet.FromNames("e1")
+	views := map[alphabet.Symbol]*automata.NFA{
+		se.Lookup("e1"): nfaOf(t, "∅", sigma),
+	}
+	got := ExpandWords(Word{se.Lookup("e1")}, views, sigma, 4, 0)
+	if got.Len() != 0 {
+		t.Fatal("expansion through empty view should be empty")
+	}
+}
+
+func TestExpandWordsEmptyWord(t *testing.T) {
+	sigma := alphabet.FromNames("a")
+	got := ExpandWords(Word{}, nil, sigma, 4, 0)
+	if got.Len() != 1 || !got.Contains(Word{}) {
+		t.Fatal("exp of ε-word should be {ε}")
+	}
+}
+
+func TestCountExactLengths(t *testing.T) {
+	al := alphabet.New()
+	n := nfaOf(t, "(a+b)*", al)
+	for length, want := range map[int]int64{0: 1, 1: 2, 2: 4, 3: 8, 10: 1024} {
+		if got := Count(n, length); got.Int64() != want {
+			t.Errorf("Count((a+b)*, %d) = %v, want %d", length, got, want)
+		}
+	}
+}
+
+func TestCountFiniteLanguage(t *testing.T) {
+	al := alphabet.New()
+	n := nfaOf(t, "a·b+c", al)
+	if got := Count(n, 1); got.Int64() != 1 {
+		t.Fatalf("Count(length 1) = %v, want 1", got)
+	}
+	if got := Count(n, 2); got.Int64() != 1 {
+		t.Fatalf("Count(length 2) = %v, want 1", got)
+	}
+	if got := Count(n, 3); got.Sign() != 0 {
+		t.Fatalf("Count(length 3) = %v, want 0", got)
+	}
+}
+
+func TestCountUpToMatchesEnumerate(t *testing.T) {
+	al := alphabet.New()
+	n := nfaOf(t, "a·(b·a+c)*", al)
+	words := Enumerate(n, 6, 0)
+	if got := CountUpTo(n, 6); got.Int64() != int64(len(words)) {
+		t.Fatalf("CountUpTo = %v, Enumerate found %d", got, len(words))
+	}
+}
+
+func TestCountEmpty(t *testing.T) {
+	al := alphabet.New()
+	if got := Count(nfaOf(t, "∅", al), 3); got.Sign() != 0 {
+		t.Fatalf("Count(∅) = %v", got)
+	}
+}
+
+func TestCountLargeLengthBigInt(t *testing.T) {
+	// 2^200 overflows int64; big.Int must carry it.
+	al := alphabet.New()
+	n := nfaOf(t, "(a+b)*", al)
+	got := Count(n, 200)
+	if got.BitLen() != 201 { // 2^200 has 201 bits
+		t.Fatalf("Count length 200 has %d bits, want 201", got.BitLen())
+	}
+}

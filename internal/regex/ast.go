@@ -1,0 +1,261 @@
+// Package regex implements the regular expressions used throughout the
+// paper: an AST with the paper's syntax (·/juxtaposition for
+// concatenation, + for union, * for Kleene star, ? for option, ε and ∅),
+// a parser, compilation to NFAs (Thompson construction), conversion of
+// automata back to regular expressions (state elimination), and an
+// algebraic simplifier so that computed rewritings print in the compact
+// form the paper uses (e.g. e2*·e1·e3*).
+//
+// Symbols are multi-character identifiers (`rome`, `e2`); adjacent
+// symbols must therefore be separated by `·`, `.` or whitespace.
+package regex
+
+import (
+	"sort"
+	"strings"
+)
+
+// Op enumerates AST node kinds.
+type Op int
+
+// AST node kinds.
+const (
+	OpEmpty   Op = iota // ∅ — the empty language
+	OpEpsilon           // ε — the empty word
+	OpSymbol            // a named alphabet symbol
+	OpConcat            // E1·E2·…·En
+	OpUnion             // E1+E2+…+En
+	OpStar              // E*
+	OpOpt               // E?
+)
+
+// Node is an immutable regular-expression AST node. Construct nodes with
+// the constructor functions; do not mutate Subs after construction.
+type Node struct {
+	Op   Op
+	Name string  // symbol name, for OpSymbol
+	Subs []*Node // children: ≥2 for OpConcat/OpUnion, exactly 1 for OpStar/OpOpt
+}
+
+// Empty returns the ∅ node.
+func Empty() *Node { return &Node{Op: OpEmpty} }
+
+// Epsilon returns the ε node.
+func Epsilon() *Node { return &Node{Op: OpEpsilon} }
+
+// Sym returns a symbol node.
+func Sym(name string) *Node { return &Node{Op: OpSymbol, Name: name} }
+
+// Concat returns the concatenation of the given nodes (ε for none,
+// the node itself for one). Nested concatenations are flattened.
+func Concat(subs ...*Node) *Node {
+	flat := make([]*Node, 0, len(subs))
+	for _, s := range subs {
+		if s.Op == OpConcat {
+			flat = append(flat, s.Subs...)
+		} else {
+			flat = append(flat, s)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return Epsilon()
+	case 1:
+		return flat[0]
+	}
+	return &Node{Op: OpConcat, Subs: flat}
+}
+
+// Union returns the union of the given nodes (∅ for none, the node
+// itself for one). Nested unions are flattened.
+func Union(subs ...*Node) *Node {
+	flat := make([]*Node, 0, len(subs))
+	for _, s := range subs {
+		if s.Op == OpUnion {
+			flat = append(flat, s.Subs...)
+		} else {
+			flat = append(flat, s)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return Empty()
+	case 1:
+		return flat[0]
+	}
+	return &Node{Op: OpUnion, Subs: flat}
+}
+
+// Star returns E*.
+func Star(sub *Node) *Node { return &Node{Op: OpStar, Subs: []*Node{sub}} }
+
+// Opt returns E?.
+func Opt(sub *Node) *Node { return &Node{Op: OpOpt, Subs: []*Node{sub}} }
+
+// Plus returns E·E*, the paper's E⁺ (kept out of the AST so that every
+// printed expression re-parses).
+func Plus(sub *Node) *Node { return Concat(sub, Star(sub)) }
+
+// Word returns the concatenation of the named symbols (ε for none).
+func Word(names ...string) *Node {
+	subs := make([]*Node, len(names))
+	for i, n := range names {
+		subs[i] = Sym(n)
+	}
+	return Concat(subs...)
+}
+
+// Nullable reports whether the language of n contains the empty word.
+func (n *Node) Nullable() bool {
+	switch n.Op {
+	case OpEpsilon, OpStar, OpOpt:
+		return true
+	case OpEmpty, OpSymbol:
+		return false
+	case OpConcat:
+		for _, s := range n.Subs {
+			if !s.Nullable() {
+				return false
+			}
+		}
+		return true
+	case OpUnion:
+		for _, s := range n.Subs {
+			if s.Nullable() {
+				return true
+			}
+		}
+		return false
+	}
+	panic("regex: unknown op")
+}
+
+// IsEmpty reports whether the language of n is syntactically empty
+// (contains ∅ in a position that annihilates everything). Sound but not
+// complete on unsimplified trees; exact after Simplify.
+func (n *Node) IsEmpty() bool {
+	switch n.Op {
+	case OpEmpty:
+		return true
+	case OpEpsilon, OpSymbol, OpStar, OpOpt:
+		return false
+	case OpConcat:
+		for _, s := range n.Subs {
+			if s.IsEmpty() {
+				return true
+			}
+		}
+		return false
+	case OpUnion:
+		for _, s := range n.Subs {
+			if !s.IsEmpty() {
+				return false
+			}
+		}
+		return true
+	}
+	panic("regex: unknown op")
+}
+
+// SymbolNames returns the sorted set of symbol names occurring in n.
+func (n *Node) SymbolNames() []string {
+	set := map[string]bool{}
+	n.visitSymbols(set)
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (n *Node) visitSymbols(set map[string]bool) {
+	if n.Op == OpSymbol {
+		set[n.Name] = true
+	}
+	for _, s := range n.Subs {
+		s.visitSymbols(set)
+	}
+}
+
+// Size returns the number of AST nodes.
+func (n *Node) Size() int {
+	total := 1
+	for _, s := range n.Subs {
+		total += s.Size()
+	}
+	return total
+}
+
+// Equal reports structural equality.
+func (n *Node) Equal(o *Node) bool {
+	if n.Op != o.Op || n.Name != o.Name || len(n.Subs) != len(o.Subs) {
+		return false
+	}
+	for i := range n.Subs {
+		if !n.Subs[i].Equal(o.Subs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// precedence for printing: union < concat < postfix.
+func (n *Node) prec() int {
+	switch n.Op {
+	case OpUnion:
+		return 0
+	case OpConcat:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// String renders the node in the paper's concrete syntax. The output
+// re-parses to a structurally equal tree (modulo flattening).
+func (n *Node) String() string {
+	var b strings.Builder
+	n.write(&b)
+	return b.String()
+}
+
+func (n *Node) write(b *strings.Builder) {
+	child := func(c *Node, minPrec int) {
+		if c.prec() < minPrec {
+			b.WriteByte('(')
+			c.write(b)
+			b.WriteByte(')')
+		} else {
+			c.write(b)
+		}
+	}
+	switch n.Op {
+	case OpEmpty:
+		b.WriteString("∅")
+	case OpEpsilon:
+		b.WriteString("ε")
+	case OpSymbol:
+		b.WriteString(n.Name)
+	case OpConcat:
+		for i, s := range n.Subs {
+			if i > 0 {
+				b.WriteString("·")
+			}
+			child(s, 2)
+		}
+	case OpUnion:
+		for i, s := range n.Subs {
+			if i > 0 {
+				b.WriteString("+")
+			}
+			child(s, 1)
+		}
+	case OpStar:
+		child(n.Subs[0], 2)
+		b.WriteString("*")
+	case OpOpt:
+		child(n.Subs[0], 2)
+		b.WriteString("?")
+	}
+}

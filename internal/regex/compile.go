@@ -1,0 +1,97 @@
+package regex
+
+import (
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+)
+
+// ToNFA compiles the expression to an ε-NFA over the given alphabet via
+// the Thompson construction, interning any symbols not yet present. The
+// returned automaton has a single start state and a single accepting
+// state with no outgoing transitions (the invariant the paper's
+// expansion construction of Section 2 relies on when splicing view
+// automata into rewriting edges).
+func (n *Node) ToNFA(a *alphabet.Alphabet) *automata.NFA {
+	out := automata.NewNFA(a)
+	start, end := compileInto(n, out, a)
+	out.SetStart(start)
+	out.SetAccept(end, true)
+	return out
+}
+
+// compileInto adds the Thompson fragment for n to out and returns its
+// entry and exit states. The exit state has no outgoing transitions.
+func compileInto(n *Node, out *automata.NFA, a *alphabet.Alphabet) (automata.State, automata.State) {
+	switch n.Op {
+	case OpEmpty:
+		s := out.AddState()
+		t := out.AddState()
+		return s, t // no path from s to t
+	case OpEpsilon:
+		s := out.AddState()
+		t := out.AddState()
+		out.AddEpsilon(s, t)
+		return s, t
+	case OpSymbol:
+		s := out.AddState()
+		t := out.AddState()
+		out.AddTransition(s, a.Intern(n.Name), t)
+		return s, t
+	case OpConcat:
+		s := out.AddState()
+		cur := s
+		for _, sub := range n.Subs {
+			entry, exit := compileInto(sub, out, a)
+			out.AddEpsilon(cur, entry)
+			cur = exit
+		}
+		t := out.AddState()
+		out.AddEpsilon(cur, t)
+		return s, t
+	case OpUnion:
+		s := out.AddState()
+		t := out.AddState()
+		for _, sub := range n.Subs {
+			entry, exit := compileInto(sub, out, a)
+			out.AddEpsilon(s, entry)
+			out.AddEpsilon(exit, t)
+		}
+		return s, t
+	case OpStar:
+		s := out.AddState()
+		t := out.AddState()
+		entry, exit := compileInto(n.Subs[0], out, a)
+		out.AddEpsilon(s, t)
+		out.AddEpsilon(s, entry)
+		out.AddEpsilon(exit, entry)
+		out.AddEpsilon(exit, t)
+		return s, t
+	case OpOpt:
+		s := out.AddState()
+		t := out.AddState()
+		entry, exit := compileInto(n.Subs[0], out, a)
+		out.AddEpsilon(s, t)
+		out.AddEpsilon(s, entry)
+		out.AddEpsilon(exit, t)
+		return s, t
+	}
+	panic("regex: unknown op")
+}
+
+// ToDFA compiles the expression and determinizes it.
+func (n *Node) ToDFA(a *alphabet.Alphabet) *automata.DFA {
+	return automata.Determinize(n.ToNFA(a))
+}
+
+// ToMinimalDFA compiles to the canonical trim minimal DFA.
+func (n *Node) ToMinimalDFA(a *alphabet.Alphabet) *automata.DFA {
+	return automata.DeterminizeMinimal(n.ToNFA(a))
+}
+
+// Matches reports whether the word of symbol names is in L(n), compiling
+// on the fly (convenience for tests and examples; compile once for bulk
+// matching).
+func (n *Node) Matches(names ...string) bool {
+	a := alphabet.New()
+	return n.ToNFA(a).AcceptsNames(names...)
+}

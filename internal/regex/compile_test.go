@@ -1,0 +1,241 @@
+package regex
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+)
+
+func TestCompileBasics(t *testing.T) {
+	cases := []struct {
+		expr   string
+		accept [][]string
+		reject [][]string
+	}{
+		{"a", [][]string{{"a"}}, [][]string{{}, {"b"}, {"a", "a"}}},
+		{"ε", [][]string{{}}, [][]string{{"a"}}},
+		{"∅", nil, [][]string{{}, {"a"}}},
+		{"a·b", [][]string{{"a", "b"}}, [][]string{{"a"}, {"b"}, {"b", "a"}}},
+		{"a+b", [][]string{{"a"}, {"b"}}, [][]string{{}, {"a", "b"}}},
+		{"a*", [][]string{{}, {"a"}, {"a", "a", "a"}}, [][]string{{"b"}}},
+		{"a?", [][]string{{}, {"a"}}, [][]string{{"a", "a"}}},
+		{
+			"a·(b·a+c)*",
+			[][]string{{"a"}, {"a", "b", "a"}, {"a", "c"}, {"a", "c", "c", "b", "a"}},
+			[][]string{{}, {"a", "b"}, {"c"}, {"a", "a"}},
+		},
+	}
+	for _, c := range cases {
+		n := mustParse(t, c.expr)
+		al := alphabet.New()
+		nfa := n.ToNFA(al)
+		for _, w := range c.accept {
+			if !nfa.AcceptsNames(w...) {
+				t.Errorf("%q should accept %v", c.expr, w)
+			}
+		}
+		for _, w := range c.reject {
+			if nfa.AcceptsNames(w...) {
+				t.Errorf("%q should reject %v", c.expr, w)
+			}
+		}
+	}
+}
+
+func TestCompileSingleFinalStateInvariant(t *testing.T) {
+	// The expansion construction in internal/core splices view automata
+	// into edges and needs a unique accepting state with no outgoing
+	// transitions. Verify the Thompson invariant.
+	for _, expr := range []string{"a", "a*", "a+b", "a·b·c", "(a+b)*·c?", "∅", "ε"} {
+		n := mustParse(t, expr)
+		nfa := n.ToNFA(alphabet.New())
+		finals := nfa.AcceptingStates()
+		if len(finals) != 1 {
+			t.Fatalf("%q: %d accepting states, want 1", expr, len(finals))
+		}
+		f := finals[0]
+		if len(nfa.OutSymbols(f)) != 0 || len(nfa.EpsSuccessors(f)) != 0 {
+			t.Fatalf("%q: accepting state has outgoing transitions", expr)
+		}
+	}
+}
+
+func TestToDFAAndMinimal(t *testing.T) {
+	n := mustParse(t, "(a+b)*·a")
+	al := alphabet.New()
+	d := n.ToDFA(al)
+	m := n.ToMinimalDFA(al.Clone())
+	if !d.AcceptsNames("a") || !d.AcceptsNames("b", "a") || d.AcceptsNames("b") {
+		t.Fatal("ToDFA wrong language")
+	}
+	if m.NumStates() != 2 {
+		t.Fatalf("minimal DFA for (a+b)*a has %d states, want 2", m.NumStates())
+	}
+}
+
+func TestMatches(t *testing.T) {
+	n := mustParse(t, "rome+jerusalem")
+	if !n.Matches("rome") || !n.Matches("jerusalem") || n.Matches("paris") {
+		t.Fatal("Matches wrong")
+	}
+}
+
+// randomNode builds a random AST for property tests.
+func randomNode(r *rand.Rand, depth int) *Node {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return Epsilon()
+		case 1:
+			return Sym("a")
+		case 2:
+			return Sym("b")
+		default:
+			return Sym("c")
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return Union(randomNode(r, depth-1), randomNode(r, depth-1))
+	case 1:
+		return Concat(randomNode(r, depth-1), randomNode(r, depth-1))
+	case 2:
+		return Star(randomNode(r, depth-1))
+	case 3:
+		return Opt(randomNode(r, depth-1))
+	case 4:
+		return Empty()
+	default:
+		return randomNode(r, depth-1)
+	}
+}
+
+// Property: String() output re-parses to a language-equivalent tree.
+func TestPropertyStringParseEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := randomNode(r, 4)
+		parsed, err := Parse(n.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", n.String(), err)
+		}
+		if !Equivalent(n, parsed) {
+			t.Fatalf("re-parse changed language: %q", n.String())
+		}
+	}
+}
+
+// Property: Simplify preserves the language.
+func TestPropertySimplifyPreservesLanguage(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 80; trial++ {
+		n := randomNode(r, 4)
+		s := Simplify(n)
+		if !Equivalent(n, s) {
+			t.Fatalf("Simplify changed language: %q -> %q", n, s)
+		}
+		if s.Size() > n.Size() {
+			t.Fatalf("Simplify grew expression: %q (%d) -> %q (%d)", n, n.Size(), s, s.Size())
+		}
+	}
+}
+
+// Property: FromNFA inverts ToNFA up to language equivalence.
+func TestPropertyFromNFARoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		n := randomNode(r, 3)
+		al := alphabet.New()
+		nfa := n.ToNFA(al)
+		back := FromNFA(nfa)
+		if !Equivalent(n, back) {
+			t.Fatalf("round trip changed language: %q -> %q", n, back)
+		}
+	}
+}
+
+func TestFromNFAKnownCases(t *testing.T) {
+	cases := []string{"a", "a*", "a+b", "a·b", "(a·b)*", "a·(b·a+c)*", "∅", "ε", "a?·b"}
+	for _, expr := range cases {
+		n := mustParse(t, expr)
+		back := FromNFA(n.ToNFA(alphabet.New()))
+		if !Equivalent(n, back) {
+			t.Errorf("FromNFA(%q) = %q: languages differ", expr, back)
+		}
+	}
+}
+
+func TestFromDFA(t *testing.T) {
+	n := mustParse(t, "(a+b)*·a·b")
+	d := n.ToDFA(alphabet.New())
+	back := FromDFA(d)
+	if !Equivalent(n, back) {
+		t.Fatalf("FromDFA changed language: %q", back)
+	}
+}
+
+func TestFromNFAEmptyAutomaton(t *testing.T) {
+	al := alphabet.FromNames("a")
+	if got := FromNFA(automata.EmptyLanguage(al)); got.Op != OpEmpty {
+		t.Fatalf("FromNFA(empty) = %q, want ∅", got)
+	}
+	if got := FromNFA(automata.EpsilonLanguage(al)); !Equivalent(got, Epsilon()) {
+		t.Fatalf("FromNFA(ε-language) = %q, want ε", got)
+	}
+}
+
+func TestContained(t *testing.T) {
+	if !Contained(mustParse(t, "a·b"), mustParse(t, "a·b*")) {
+		t.Fatal("a·b ⊆ a·b* should hold")
+	}
+	if Contained(mustParse(t, "a*"), mustParse(t, "a·a*")) {
+		t.Fatal("a* ⊆ a+ should fail (ε)")
+	}
+}
+
+func TestSimplifyKnownIdentities(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"∅+a", "a"},
+		{"a+∅", "a"},
+		{"∅·a", "∅"},
+		{"ε·a", "a"},
+		{"a·ε", "a"},
+		{"∅*", "ε"},
+		{"ε*", "ε"},
+		{"(a*)*", "a*"},
+		{"(a?)*", "a*"},
+		{"a??", "a?"},
+		{"(a*)?", "a*"},
+		{"a+a", "a"},
+		{"ε+a", "a?"},
+		{"ε+a*", "a*"},
+		{"(ε+a)*", "a*"},
+		{"a*·a*", "a*"},
+		{"a+a*", "a*"},
+	}
+	for _, c := range cases {
+		got := Simplify(mustParse(t, c.in))
+		if got.String() != c.want {
+			t.Errorf("Simplify(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSimplifyLeavesIrreducible(t *testing.T) {
+	for _, in := range []string{"a", "a·b", "a+b", "a*", "a·(b·a+c)*"} {
+		got := Simplify(mustParse(t, in))
+		if got.String() != in {
+			t.Errorf("Simplify(%q) = %q, want unchanged", in, got)
+		}
+	}
+}
+
+func TestStringUsesMiddleDot(t *testing.T) {
+	n := mustParse(t, "a b c")
+	if !strings.Contains(n.String(), "·") {
+		t.Fatalf("String = %q, want · separators", n)
+	}
+}

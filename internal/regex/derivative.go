@@ -1,0 +1,63 @@
+package regex
+
+// Brzozowski derivatives: an automaton-free matching engine for the
+// expression AST. ∂_a(E) denotes the set of words w with a·w ∈ L(E).
+// Derivative-based matching is an independently-derived oracle for the
+// Thompson/subset-construction pipeline — the two implementations share
+// no code beyond the AST — which makes their agreement a strong
+// property test.
+
+// Derivative returns the Brzozowski derivative of n by the named
+// symbol, simplified.
+func Derivative(n *Node, symbol string) *Node {
+	return Simplify(derive(n, symbol))
+}
+
+func derive(n *Node, a string) *Node {
+	switch n.Op {
+	case OpEmpty, OpEpsilon:
+		return Empty()
+	case OpSymbol:
+		if n.Name == a {
+			return Epsilon()
+		}
+		return Empty()
+	case OpUnion:
+		subs := make([]*Node, len(n.Subs))
+		for i, s := range n.Subs {
+			subs[i] = derive(s, a)
+		}
+		return Union(subs...)
+	case OpConcat:
+		// ∂a(E1·…·En) = Σ_i  [E1…E(i-1) all nullable] · ∂a(Ei)·E(i+1)…En
+		var branches []*Node
+		for i, s := range n.Subs {
+			branch := Concat(append([]*Node{derive(s, a)}, n.Subs[i+1:]...)...)
+			branches = append(branches, branch)
+			if !s.Nullable() {
+				break
+			}
+		}
+		return Union(branches...)
+	case OpStar:
+		return Concat(derive(n.Subs[0], a), Star(n.Subs[0]))
+	case OpOpt:
+		return derive(n.Subs[0], a)
+	}
+	panic("regex: unknown op")
+}
+
+// MatchDerivatives reports whether the word (a sequence of symbol
+// names) is in L(n), by iterated derivation: w ∈ L(E) iff
+// ∂_w(E) is nullable. Intermediate expressions are simplified to keep
+// their size bounded in practice.
+func MatchDerivatives(n *Node, word ...string) bool {
+	cur := n
+	for _, a := range word {
+		cur = Derivative(cur, a)
+		if cur.Op == OpEmpty {
+			return false
+		}
+	}
+	return cur.Nullable()
+}

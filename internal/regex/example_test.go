@@ -1,0 +1,43 @@
+package regex_test
+
+import (
+	"fmt"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/regex"
+)
+
+func ExampleParse() {
+	n := regex.MustParse("a·(b·a+c)*")
+	fmt.Println(n)
+	fmt.Println("nullable:", n.Nullable())
+	fmt.Println("symbols:", n.SymbolNames())
+	// Output:
+	// a·(b·a+c)*
+	// nullable: false
+	// symbols: [a b c]
+}
+
+func ExampleSimplify() {
+	n := regex.MustParse("∅+ε·a·(a*)*+a")
+	fmt.Println(regex.Simplify(n))
+	// Output:
+	// a·a*+a
+}
+
+func ExampleFromNFA() {
+	n := regex.MustParse("(a·b)*")
+	back := regex.FromNFA(n.ToNFA(alphabet.New()))
+	fmt.Println("equivalent:", regex.Equivalent(n, back))
+	// Output:
+	// equivalent: true
+}
+
+func ExampleDerivative() {
+	n := regex.MustParse("a·(b·a+c)*")
+	fmt.Println(regex.Derivative(n, "a"))
+	fmt.Println("matches a·c:", regex.MatchDerivatives(n, "a", "c"))
+	// Output:
+	// (b·a+c)*
+	// matches a·c: true
+}

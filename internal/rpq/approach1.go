@@ -1,0 +1,84 @@
+package rpq
+
+import (
+	"fmt"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/core"
+	"regexrw/internal/graph"
+	"regexrw/internal/regex"
+)
+
+// Section 4 of the paper distinguishes two semi-structured data models.
+// This file implements the FIRST approach — databases whose edges are
+// labeled directly by constants and whose queries are regular
+// expressions over those constants (no formula layer, no theory). As
+// the paper notes, "the rewriting techniques proposed in Section 2 can
+// be directly applied": a rewriting of the query as a regular
+// expression is a rewriting of the path query, by the single-path
+// database argument of Theorem 10.
+
+// ConstQuery is a regular path query of the first approach: a regular
+// expression whose symbols are the edge labels themselves.
+type ConstQuery struct {
+	Expr *regex.Node
+}
+
+// ParseConstQuery parses a first-approach query.
+func ParseConstQuery(expr string) (*ConstQuery, error) {
+	e, err := regex.Parse(expr)
+	if err != nil {
+		return nil, fmt.Errorf("rpq: %w", err)
+	}
+	return &ConstQuery{Expr: e}, nil
+}
+
+// Answer evaluates the query over the database.
+func (q *ConstQuery) Answer(db *graph.DB) []graph.Pair {
+	return db.Eval(q.Expr.ToNFA(alphabet.New()))
+}
+
+// ConstView is a named first-approach view.
+type ConstView struct {
+	Name string
+	Expr *regex.Node
+}
+
+// ConstRewriting is a rewriting of a first-approach query: exactly a
+// regular-expression rewriting, plus evaluation plumbing.
+type ConstRewriting struct {
+	*core.Rewriting
+	Views []ConstView
+}
+
+// RewriteConst computes the Σ_Q-maximal rewriting of a first-approach
+// query wrt the views by direct application of the Section 2
+// construction.
+func RewriteConst(q *ConstQuery, views []ConstView) (*ConstRewriting, error) {
+	coreViews := make([]core.View, len(views))
+	for i, v := range views {
+		coreViews[i] = core.View{Name: v.Name, Expr: v.Expr}
+	}
+	inst, err := core.NewInstance(q.Expr, coreViews)
+	if err != nil {
+		return nil, err
+	}
+	return &ConstRewriting{Rewriting: core.MaximalRewriting(inst), Views: views}, nil
+}
+
+// AnswerUsingViews materializes each view over db (plain regular-path
+// evaluation) and evaluates the rewriting over the resulting view
+// graph. Contained in the query's answer; equal when exact.
+func (r *ConstRewriting) AnswerUsingViews(db *graph.DB) []graph.Pair {
+	vg := graph.New(alphabet.New())
+	for n := 0; n < db.NumNodes(); n++ {
+		vg.AddNode(db.NodeName(graph.NodeID(n)))
+	}
+	for _, v := range r.Views {
+		pairs := db.Eval(v.Expr.ToNFA(alphabet.New()))
+		for _, p := range pairs {
+			vg.AddEdge(db.NodeName(p.From), v.Name, db.NodeName(p.To))
+		}
+	}
+	return vg.Eval(r.NFA())
+}

@@ -1,0 +1,138 @@
+package rpq
+
+import (
+	"testing"
+
+	"regexrw/internal/graph"
+	"regexrw/internal/regex"
+)
+
+func constDB() *graph.DB {
+	db := graph.New(nil)
+	db.AddEdge("root", "rome", "romePage")
+	db.AddEdge("root", "jerusalem", "jerusalemPage")
+	db.AddEdge("romePage", "restaurant", "carlotta")
+	db.AddEdge("jerusalemPage", "restaurant", "taami")
+	db.AddEdge("root", "paris", "parisPage")
+	return db
+}
+
+func TestConstQueryAnswer(t *testing.T) {
+	q, err := ParseConstQuery("(rome+jerusalem)·restaurant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := constDB()
+	got := db.PairNames(q.Answer(db))
+	if len(got) != 2 {
+		t.Fatalf("ans = %v", got)
+	}
+}
+
+func TestParseConstQueryError(t *testing.T) {
+	if _, err := ParseConstQuery("(("); err == nil {
+		t.Fatal("bad syntax accepted")
+	}
+}
+
+func TestRewriteConstExact(t *testing.T) {
+	q, err := ParseConstQuery("(rome+jerusalem)·restaurant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := []ConstView{
+		{Name: "vCity", Expr: regex.MustParse("rome+jerusalem")},
+		{Name: "vRest", Expr: regex.MustParse("restaurant")},
+	}
+	r, err := RewriteConst(q, views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regex.Equivalent(r.Regex(), regex.MustParse("vCity·vRest")) {
+		t.Fatalf("rewriting = %s", r.Regex())
+	}
+	exact, _ := r.IsExact()
+	if !exact {
+		t.Fatal("rewriting should be exact")
+	}
+	db := constDB()
+	direct := q.Answer(db)
+	via := r.AnswerUsingViews(db)
+	if len(direct) != len(via) {
+		t.Fatalf("answers differ: %d vs %d", len(direct), len(via))
+	}
+	for i := range direct {
+		if direct[i] != via[i] {
+			t.Fatalf("pair %d differs", i)
+		}
+	}
+}
+
+func TestRewriteConstContainment(t *testing.T) {
+	// Views cover only the rome route: answer through views is a strict
+	// subset of the direct answer.
+	q, err := ParseConstQuery("(rome+jerusalem)·restaurant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := []ConstView{
+		{Name: "vRome", Expr: regex.MustParse("rome")},
+		{Name: "vRest", Expr: regex.MustParse("restaurant")},
+	}
+	r, err := RewriteConst(q, views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := r.IsExact(); ok {
+		t.Fatal("partial views cannot be exact")
+	}
+	db := constDB()
+	via := r.AnswerUsingViews(db)
+	if len(via) != 1 || db.NodeName(via[0].To) != "carlotta" {
+		t.Fatalf("via views = %v", db.PairNames(via))
+	}
+}
+
+func TestRewriteConstValidation(t *testing.T) {
+	q, _ := ParseConstQuery("a")
+	if _, err := RewriteConst(q, []ConstView{{Name: "", Expr: regex.Sym("a")}}); err == nil {
+		t.Fatal("empty view name accepted")
+	}
+}
+
+// TestApproachesAgree: on an equality-only theory, the two data models
+// coincide — first-approach rewriting and second-approach rewriting
+// produce language-equal results.
+func TestApproachesAgree(t *testing.T) {
+	q1, err := ParseConstQuery("a·(b+c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	views1 := []ConstView{
+		{Name: "u", Expr: regex.MustParse("a")},
+		{Name: "w", Expr: regex.MustParse("b+c")},
+	}
+	r1, err := RewriteConst(q1, views1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tt := abcTheory()
+	q2 := mustQuery(t, "fa·fbc", map[string]string{"fa": "=a", "fbc": "=b | =c"})
+	views2 := []View{
+		{Name: "u", Query: mustQuery(t, "fa", map[string]string{"fa": "=a"})},
+		{Name: "w", Query: mustQuery(t, "fbc", map[string]string{"fbc": "=b | =c"})},
+	}
+	r2, err := Rewrite(q2, views2, tt, Grounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regex.Equivalent(r1.Regex(), r2.RegexOverViews()) {
+		t.Fatalf("approaches disagree: %s vs %s", r1.Regex(), r2.RegexOverViews())
+	}
+	e1, _ := r1.IsExact()
+	e2, _ := r2.IsExact()
+	if e1 != e2 {
+		t.Fatalf("exactness disagrees: %v vs %v", e1, e2)
+	}
+}

@@ -1,0 +1,286 @@
+package rpq
+
+import (
+	"fmt"
+	"sort"
+
+	"regexrw/internal/graph"
+	"regexrw/internal/theory"
+)
+
+// Atom is one conjunct of a conjunctive regular path query: a regular
+// path query between two variables.
+type Atom struct {
+	From, To string
+	Query    *Query
+}
+
+// CRPQ is a conjunctive regular path query (the third extension in the
+// paper's conclusions): a conjunction of atoms (x_i, Q_i, y_i) over
+// shared variables, with an output projection. Generalized path
+// queries x1 Q1 x2 … Qn-1 xn (the second extension) are the chain
+// special case, built with Chain.
+type CRPQ struct {
+	Atoms []Atom
+	// Out lists the output variables in order; empty means all
+	// variables sorted by name.
+	Out []string
+}
+
+// Chain builds the generalized path query x1 Q1 x2 Q2 … Qn xn+1.
+func Chain(queries ...*Query) *CRPQ {
+	atoms := make([]Atom, len(queries))
+	out := make([]string, len(queries)+1)
+	for i, q := range queries {
+		atoms[i] = Atom{From: varName(i), To: varName(i + 1), Query: q}
+	}
+	for i := range out {
+		out[i] = varName(i)
+	}
+	return &CRPQ{Atoms: atoms, Out: out}
+}
+
+func varName(i int) string { return fmt.Sprintf("x%d", i+1) }
+
+// Vars returns the query's variables: Out if set, else all variables
+// sorted by name.
+func (c *CRPQ) Vars() []string {
+	if len(c.Out) > 0 {
+		return c.Out
+	}
+	seen := map[string]bool{}
+	var vars []string
+	for _, a := range c.Atoms {
+		for _, v := range []string{a.From, a.To} {
+			if !seen[v] {
+				seen[v] = true
+				vars = append(vars, v)
+			}
+		}
+	}
+	sort.Strings(vars)
+	return vars
+}
+
+// Validate checks the query's shape.
+func (c *CRPQ) Validate() error {
+	if len(c.Atoms) == 0 {
+		return fmt.Errorf("rpq: CRPQ needs at least one atom")
+	}
+	declared := map[string]bool{}
+	for i, a := range c.Atoms {
+		if a.From == "" || a.To == "" {
+			return fmt.Errorf("rpq: atom %d has empty variable", i)
+		}
+		if a.Query == nil {
+			return fmt.Errorf("rpq: atom %d has nil query", i)
+		}
+		declared[a.From] = true
+		declared[a.To] = true
+	}
+	for _, v := range c.Out {
+		if !declared[v] {
+			return fmt.Errorf("rpq: output variable %s not used in any atom", v)
+		}
+	}
+	return nil
+}
+
+// Tuple is one answer to a CRPQ: a binding of the output variables, in
+// Vars() order.
+type Tuple []graph.NodeID
+
+// Answer evaluates the query over the database: all bindings of the
+// variables to nodes such that every atom's endpoints are connected by
+// a path matching its query, projected to the output variables.
+// Evaluation materializes each atom's pair relation and joins them.
+func (c *CRPQ) Answer(t *theory.Interpretation, db *graph.DB) ([]Tuple, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	relations := make([][]graph.Pair, len(c.Atoms))
+	for i, a := range c.Atoms {
+		relations[i] = a.Query.Answer(t, db)
+	}
+	return c.join(relations)
+}
+
+// RewriteComponents rewrites each atom's query independently wrt the
+// views. As the paper's conclusions note, component-wise rewriting
+// ignores the context (prefix/suffix) in which a subpath occurs, so it
+// is SOUND but not necessarily maximal for the conjunctive query: the
+// rewritings under-approximate each atom, hence evaluating them through
+// the views (AnswerUsingViews) yields a subset of the true answer,
+// with equality when every component rewriting is exact.
+func (c *CRPQ) RewriteComponents(views []View, t *theory.Interpretation, method Method) ([]*Rewriting, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]*Rewriting, len(c.Atoms))
+	for i, a := range c.Atoms {
+		r, err := Rewrite(a.Query, views, t, method)
+		if err != nil {
+			return nil, fmt.Errorf("atom %d: %w", i, err)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// AnswerUsingViews evaluates the conjunctive query through
+// component-wise rewritings: each atom is answered from the
+// materialized views via its rewriting, and the per-atom answers are
+// joined.
+func (c *CRPQ) AnswerUsingViews(rewritings []*Rewriting, db *graph.DB) ([]Tuple, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(rewritings) != len(c.Atoms) {
+		return nil, fmt.Errorf("rpq: %d rewritings for %d atoms", len(rewritings), len(c.Atoms))
+	}
+	relations := make([][]graph.Pair, len(c.Atoms))
+	for i, r := range rewritings {
+		relations[i] = r.AnswerUsingViews(db)
+	}
+	return c.join(relations)
+}
+
+// join computes the natural join of the per-atom relations, projected
+// to the output variables. Atoms are processed in an order that binds
+// connected atoms early (greedy most-bound-first), and each step only
+// enumerates pairs consistent with the current partial binding.
+func (c *CRPQ) join(relations [][]graph.Pair) ([]Tuple, error) {
+	type rel struct {
+		atom   Atom
+		pairs  []graph.Pair
+		byFrom map[graph.NodeID][]graph.NodeID
+		byTo   map[graph.NodeID][]graph.NodeID
+	}
+	rels := make([]rel, len(c.Atoms))
+	for i, a := range c.Atoms {
+		byFrom := map[graph.NodeID][]graph.NodeID{}
+		byTo := map[graph.NodeID][]graph.NodeID{}
+		for _, p := range relations[i] {
+			byFrom[p.From] = append(byFrom[p.From], p.To)
+			byTo[p.To] = append(byTo[p.To], p.From)
+		}
+		rels[i] = rel{atom: a, pairs: relations[i], byFrom: byFrom, byTo: byTo}
+	}
+
+	// Greedy ordering: prefer atoms whose variables are already bound,
+	// then smaller relations.
+	order := make([]int, 0, len(rels))
+	used := make([]bool, len(rels))
+	willBind := map[string]bool{}
+	for len(order) < len(rels) {
+		best := -1
+		bestKey := [2]int{-1, 0}
+		for i := range rels {
+			if used[i] {
+				continue
+			}
+			boundCount := 0
+			if willBind[rels[i].atom.From] {
+				boundCount++
+			}
+			if willBind[rels[i].atom.To] {
+				boundCount++
+			}
+			key := [2]int{boundCount, -len(rels[i].pairs)}
+			if best == -1 || key[0] > bestKey[0] || (key[0] == bestKey[0] && key[1] > bestKey[1]) {
+				best, bestKey = i, key
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		willBind[rels[best].atom.From] = true
+		willBind[rels[best].atom.To] = true
+	}
+
+	outVars := c.Vars()
+	var results []Tuple
+	seen := map[string]bool{}
+	binding := map[string]graph.NodeID{}
+
+	var rec func(step int)
+	rec = func(step int) {
+		if step == len(order) {
+			tuple := make(Tuple, len(outVars))
+			key := ""
+			for i, v := range outVars {
+				tuple[i] = binding[v]
+				key += fmt.Sprintf("%d,", binding[v])
+			}
+			if !seen[key] {
+				seen[key] = true
+				results = append(results, tuple)
+			}
+			return
+		}
+		r := rels[order[step]]
+		fromVal, fromBound := binding[r.atom.From]
+		toVal, toBound := binding[r.atom.To]
+		try := func(f, tt graph.NodeID) {
+			if r.atom.From == r.atom.To && f != tt {
+				return
+			}
+			binding[r.atom.From] = f
+			binding[r.atom.To] = tt
+			rec(step + 1)
+			if fromBound {
+				binding[r.atom.From] = fromVal
+			} else {
+				delete(binding, r.atom.From)
+			}
+			if toBound {
+				binding[r.atom.To] = toVal
+			} else {
+				delete(binding, r.atom.To)
+			}
+		}
+		switch {
+		case fromBound && toBound:
+			for _, to := range r.byFrom[fromVal] {
+				if to == toVal {
+					try(fromVal, toVal)
+					break
+				}
+			}
+		case fromBound:
+			for _, to := range r.byFrom[fromVal] {
+				try(fromVal, to)
+			}
+		case toBound:
+			for _, from := range r.byTo[toVal] {
+				try(from, toVal)
+			}
+		default:
+			for _, p := range r.pairs {
+				try(p.From, p.To)
+			}
+		}
+	}
+	rec(0)
+
+	sort.Slice(results, func(i, j int) bool {
+		for k := range results[i] {
+			if results[i][k] != results[j][k] {
+				return results[i][k] < results[j][k]
+			}
+		}
+		return false
+	})
+	return results, nil
+}
+
+// TupleNames renders a tuple with node names.
+func TupleNames(db *graph.DB, vars []string, tu Tuple) string {
+	s := ""
+	for i, v := range vars {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s=%s", v, db.NodeName(tu[i]))
+	}
+	return s
+}

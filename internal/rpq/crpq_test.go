@@ -1,0 +1,214 @@
+package rpq
+
+import (
+	"testing"
+
+	"regexrw/internal/graph"
+	"regexrw/internal/theory"
+)
+
+// diamondDB builds a small graph with two routes from s to t.
+func diamondDB(t *theory.Interpretation) *graph.DB {
+	db := graph.New(t.Domain())
+	db.AddEdge("s", "a", "m1")
+	db.AddEdge("m1", "b", "t")
+	db.AddEdge("s", "a", "m2")
+	db.AddEdge("m2", "c", "t")
+	db.AddEdge("t", "a", "s") // back edge
+	return db
+}
+
+func TestChainAnswer(t *testing.T) {
+	tt := abcTheory()
+	db := diamondDB(tt)
+	qa := Atomic("fa", theory.Eq("a"))
+	qb := Atomic("fb", theory.Eq("b"))
+	c := Chain(qa, qb) // x1 -a-> x2 -b-> x3
+	tuples, err := c.Answer(tt, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paths: s-a->m1-b->t and t-a->s? s has no b-out... m2 has c not b.
+	want := "x1=s, x2=m1, x3=t"
+	if len(tuples) != 1 || TupleNames(db, c.Vars(), tuples[0]) != want {
+		for _, tu := range tuples {
+			t.Logf("tuple: %s", TupleNames(db, c.Vars(), tu))
+		}
+		t.Fatalf("got %d tuples, want exactly [%s]", len(tuples), want)
+	}
+}
+
+func TestChainSharedMiddleVariable(t *testing.T) {
+	tt := abcTheory()
+	db := diamondDB(tt)
+	// x1 -a-> x2, x2 -(b+c)-> x3: both diamond routes qualify.
+	qa := Atomic("fa", theory.Eq("a"))
+	qbc := mustQuery(t, "f", map[string]string{"f": "=b | =c"})
+	c := Chain(qa, qbc)
+	tuples, err := c.Answer(tt, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 2 {
+		for _, tu := range tuples {
+			t.Logf("tuple: %s", TupleNames(db, c.Vars(), tu))
+		}
+		t.Fatalf("got %d tuples, want 2", len(tuples))
+	}
+}
+
+func TestCRPQCycleConstraint(t *testing.T) {
+	tt := abcTheory()
+	db := diamondDB(tt)
+	// x -a-> y and y -b-> x: requires a 2-cycle with labels a,b —
+	// m1-b->t-a->s: y=t? (t -a-> s, s... no). Check: need pair (x,y)
+	// with a-edge path x->y and b-edge path y->x. a-pairs: (s,m1),
+	// (s,m2), (t,s). b-pairs: (m1,t). Is there (x,y) with a:x->y and
+	// b:y->x? (t? ) none. Answer empty.
+	qa := Atomic("fa", theory.Eq("a"))
+	qb := Atomic("fb", theory.Eq("b"))
+	c := &CRPQ{Atoms: []Atom{
+		{From: "x", To: "y", Query: qa},
+		{From: "y", To: "x", Query: qb},
+	}}
+	tuples, err := c.Answer(tt, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 0 {
+		t.Fatalf("cycle query should be empty, got %d tuples", len(tuples))
+	}
+}
+
+func TestCRPQSelfLoopVariable(t *testing.T) {
+	tt := abcTheory()
+	db := graph.New(tt.Domain())
+	db.AddEdge("n", "a", "n") // self loop
+	db.AddEdge("n", "a", "m")
+	q := Atomic("fa", theory.Eq("a"))
+	c := &CRPQ{Atoms: []Atom{{From: "x", To: "x", Query: q}}}
+	tuples, err := c.Answer(tt, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 1 || db.NodeName(tuples[0][0]) != "n" {
+		t.Fatalf("self-loop query wrong: %v", tuples)
+	}
+}
+
+func TestCRPQProjection(t *testing.T) {
+	tt := abcTheory()
+	db := diamondDB(tt)
+	qa := Atomic("fa", theory.Eq("a"))
+	qbc := mustQuery(t, "f", map[string]string{"f": "=b | =c"})
+	c := &CRPQ{
+		Atoms: []Atom{
+			{From: "x", To: "y", Query: qa},
+			{From: "y", To: "z", Query: qbc},
+		},
+		Out: []string{"x", "z"},
+	}
+	tuples, err := c.Answer(tt, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both middle nodes project to the same (s, t): deduplicated.
+	if len(tuples) != 1 {
+		t.Fatalf("projection should deduplicate to 1 tuple, got %d", len(tuples))
+	}
+}
+
+func TestCRPQValidation(t *testing.T) {
+	q := Atomic("fa", theory.Eq("a"))
+	cases := []*CRPQ{
+		{},
+		{Atoms: []Atom{{From: "", To: "y", Query: q}}},
+		{Atoms: []Atom{{From: "x", To: "y", Query: nil}}},
+		{Atoms: []Atom{{From: "x", To: "y", Query: q}}, Out: []string{"zz"}},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestCRPQAnswerUsingViews(t *testing.T) {
+	tt := abcTheory()
+	db := diamondDB(tt)
+	qa := Atomic("fa", theory.Eq("a"))
+	qb := Atomic("fb", theory.Eq("b"))
+	c := Chain(qa, qb)
+
+	views := []View{
+		{Name: "va", Query: Atomic("fa", theory.Eq("a"))},
+		{Name: "vb", Query: Atomic("fb", theory.Eq("b"))},
+	}
+	rewritings, err := c.RewriteComponents(views, tt, Grounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rewritings {
+		if ok, _ := r.IsExact(); !ok {
+			t.Fatalf("component %d rewriting should be exact", i)
+		}
+	}
+	direct, err := c.Answer(tt, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaViews, err := c.AnswerUsingViews(rewritings, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != len(viaViews) {
+		t.Fatalf("exact component rewritings: %d direct vs %d via views", len(direct), len(viaViews))
+	}
+}
+
+func TestCRPQAnswerUsingViewsContainment(t *testing.T) {
+	tt := abcTheory()
+	db := diamondDB(tt)
+	qa := Atomic("fa", theory.Eq("a"))
+	qbc := mustQuery(t, "f", map[string]string{"f": "=b | =c"})
+	c := Chain(qa, qbc)
+	// Views missing c: the second component's rewriting loses the
+	// m2-route; answers through views must be a strict subset.
+	views := []View{
+		{Name: "va", Query: Atomic("fa", theory.Eq("a"))},
+		{Name: "vb", Query: Atomic("fb", theory.Eq("b"))},
+	}
+	rewritings, err := c.RewriteComponents(views, tt, Grounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := c.Answer(tt, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaViews, err := c.AnswerUsingViews(rewritings, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viaViews) >= len(direct) {
+		t.Fatalf("want strict containment: %d via views vs %d direct", len(viaViews), len(direct))
+	}
+	// Soundness: every tuple from views appears in the direct answer.
+	inDirect := map[string]bool{}
+	for _, tu := range direct {
+		inDirect[TupleNames(db, c.Vars(), tu)] = true
+	}
+	for _, tu := range viaViews {
+		if !inDirect[TupleNames(db, c.Vars(), tu)] {
+			t.Fatalf("unsound tuple %s", TupleNames(db, c.Vars(), tu))
+		}
+	}
+}
+
+func TestCRPQMismatchedRewritings(t *testing.T) {
+	tt := abcTheory()
+	c := Chain(Atomic("fa", theory.Eq("a")))
+	if _, err := c.AnswerUsingViews(nil, graph.New(tt.Domain())); err == nil {
+		t.Fatal("mismatched rewriting count accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package rpq_test
+
+import (
+	"fmt"
+	"log"
+
+	"regexrw/internal/graph"
+	"regexrw/internal/rpq"
+	"regexrw/internal/theory"
+)
+
+// The Section 4.2 motivating example: the theory makes a view usable
+// even though no syntactic rewriting exists.
+func ExampleRewrite() {
+	t := theory.New()
+	t.AddConstants("x1", "x2", "x3")
+	t.Declare("A", "x1", "x2")
+	t.Declare("B", "x1", "x2", "x3") // T ⊨ ∀x. A(x) → B(x)
+
+	q0 := rpq.Atomic("fB", theory.Pred("B"))
+	views := []rpq.View{{Name: "vA", Query: rpq.Atomic("fA", theory.Pred("A"))}}
+	r, err := rpq.Rewrite(q0, views, t, rpq.Grounded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, _ := r.IsExact()
+	fmt.Println("rewriting:", r.RegexOverViews())
+	fmt.Println("exact:", exact)
+	// Output:
+	// rewriting: vA
+	// exact: false
+}
+
+// Section 4.3's Example 3 via the partial-rewriting search.
+func ExamplePartialRewrite() {
+	t := theory.New()
+	t.AddConstants("a", "b", "c")
+	q0, err := rpq.ParseQuery("fa·(fb+fc)", map[string]string{
+		"fa": "=a", "fb": "=b", "fc": "=c",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	views := []rpq.View{
+		{Name: "q1", Query: rpq.Atomic("fa", theory.Eq("a"))},
+		{Name: "q2", Query: rpq.Atomic("fb", theory.Eq("b"))},
+	}
+	res, err := rpq.PartialRewrite(q0, views, t, rpq.DefaultCandidates(t), rpq.Grounded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range res.Added {
+		fmt.Printf("added %v view for %q\n", c.Kind, c.Name)
+	}
+	fmt.Println("rewriting:", res.Rewriting.RegexOverViews())
+	// Output:
+	// added elementary view for "c"
+	// rewriting: q1·(q2+eq_c)
+}
+
+// Conjunctive regular path queries join atom relations over shared
+// variables.
+func ExampleCRPQ_Answer() {
+	t := theory.New()
+	t.AddConstants("a", "b")
+	db := graph.New(t.Domain())
+	db.AddEdge("s", "a", "m")
+	db.AddEdge("m", "b", "u")
+	db.AddEdge("m", "b", "v")
+
+	c := rpq.Chain(
+		rpq.Atomic("fa", theory.Eq("a")),
+		rpq.Atomic("fb", theory.Eq("b")),
+	)
+	tuples, err := c.Answer(t, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tu := range tuples {
+		fmt.Println(rpq.TupleNames(db, c.Vars(), tu))
+	}
+	// Output:
+	// x1=s, x2=m, x3=u
+	// x1=s, x2=m, x3=v
+}

@@ -1,0 +1,261 @@
+package rpq
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"regexrw/internal/automata"
+	"regexrw/internal/theory"
+)
+
+// CandidateKind distinguishes the two kinds of atomic views Section 4.3
+// may add to Q.
+type CandidateKind int
+
+const (
+	// AtomicView is λz. P(z) for a predicate P of the theory.
+	AtomicView CandidateKind = iota
+	// ElementaryView is λz. z = a for a constant a of the domain
+	// (a special case of atomic; the criteria treat it as costlier).
+	ElementaryView
+)
+
+// String names the kind for display.
+func (k CandidateKind) String() string {
+	if k == ElementaryView {
+		return "elementary"
+	}
+	return "atomic"
+}
+
+// Candidate is an atomic view that the partial-rewriting search may add.
+type Candidate struct {
+	Kind CandidateKind
+	// Name is the predicate name (AtomicView) or constant name
+	// (ElementaryView).
+	Name string
+}
+
+// Formula returns the candidate's unary formula.
+func (c Candidate) Formula() theory.Formula {
+	if c.Kind == ElementaryView {
+		return theory.Eq(c.Name)
+	}
+	return theory.Pred(c.Name)
+}
+
+// viewName returns a view name for the candidate that avoids clashes.
+func (c Candidate) viewName(taken map[string]bool) string {
+	base := c.Name
+	if c.Kind == ElementaryView {
+		base = "eq_" + c.Name
+	}
+	if !taken[base] {
+		return base
+	}
+	for i := 2; ; i++ {
+		name := fmt.Sprintf("%s_%d", base, i)
+		if !taken[name] {
+			return name
+		}
+	}
+}
+
+// DefaultCandidates lists every atomic view of the theory: one per
+// predicate, then one elementary view per domain constant, each group
+// sorted by name.
+func DefaultCandidates(t *theory.Interpretation) []Candidate {
+	var out []Candidate
+	for _, p := range t.Predicates() {
+		out = append(out, Candidate{Kind: AtomicView, Name: p})
+	}
+	names := make([]string, 0, t.Domain().Len())
+	for _, c := range t.Domain().Symbols() {
+		names = append(names, t.Domain().Name(c))
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out = append(out, Candidate{Kind: ElementaryView, Name: n})
+	}
+	return out
+}
+
+// PartialResult is the outcome of PartialRewrite.
+type PartialResult struct {
+	// Added lists the candidates chosen (empty if the original views
+	// already admit an exact rewriting).
+	Added []Candidate
+	// Views is the extended view set Q_+.
+	Views []View
+	// Rewriting is the exact rewriting of Q0 wrt Q_+.
+	Rewriting *Rewriting
+}
+
+// PartialRewrite searches for an exact rewriting of q0 wrt the views
+// extended with atomic views drawn from candidates (Section 4.3). The
+// search follows the paper's preference criteria: subsets are tried in
+// order of (number of elementary views, number of atomic views, total),
+// so the first exact hit uses as few elementary views as possible,
+// then as few atomic ones. With candidates = DefaultCandidates(t) the
+// search always succeeds: adding every elementary view makes the
+// identity rewriting available.
+func PartialRewrite(q0 *Query, views []View, t *theory.Interpretation, candidates []Candidate, method Method) (*PartialResult, error) {
+	return PartialRewriteContext(context.Background(), q0, views, t, candidates, method)
+}
+
+// PartialRewriteContext is PartialRewrite with cancellation: the search
+// tries up to 2^|candidates| extensions (DefaultCandidates grows with
+// the domain), so callers facing large theories should bound it with a
+// context deadline. Cancellation is checked between candidate subsets.
+func PartialRewriteContext(ctx context.Context, q0 *Query, views []View, t *theory.Interpretation, candidates []Candidate, method Method) (*PartialResult, error) {
+	r, err := Rewrite(q0, views, t, method)
+	if err != nil {
+		return nil, err
+	}
+	if ok, _ := r.IsExact(); ok {
+		return &PartialResult{Added: nil, Views: views, Rewriting: r}, nil
+	}
+
+	taken := map[string]bool{}
+	for _, v := range views {
+		taken[v.Name] = true
+	}
+
+	// Order candidates: atomic (cheap) before elementary (costly).
+	ordered := append([]Candidate(nil), candidates...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Kind != ordered[j].Kind {
+			return ordered[i].Kind == AtomicView
+		}
+		return ordered[i].Name < ordered[j].Name
+	})
+	n := len(ordered)
+
+	// cost orders subsets per criteria 2–4: fewer elementary first,
+	// then fewer total additions.
+	type subset struct {
+		idx  []int
+		elem int
+	}
+	var bySize [][]subset
+	for size := 1; size <= n; size++ {
+		var subs []subset
+		idx := make([]int, size)
+		for i := range idx {
+			idx[i] = i
+		}
+		for {
+			elem := 0
+			for _, j := range idx {
+				if ordered[j].Kind == ElementaryView {
+					elem++
+				}
+			}
+			subs = append(subs, subset{append([]int(nil), idx...), elem})
+			i := size - 1
+			for i >= 0 && idx[i] == n-size+i {
+				i--
+			}
+			if i < 0 {
+				break
+			}
+			idx[i]++
+			for j := i + 1; j < size; j++ {
+				idx[j] = idx[j-1] + 1
+			}
+		}
+		sort.SliceStable(subs, func(a, b int) bool { return subs[a].elem < subs[b].elem })
+		bySize = append(bySize, subs)
+	}
+
+	// Global order: fewest elementary views first (criterion 2), then
+	// fewest additions (criterion 4). Merge the per-size lists.
+	var all []subset
+	for _, subs := range bySize {
+		all = append(all, subs...)
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		if all[a].elem != all[b].elem {
+			return all[a].elem < all[b].elem
+		}
+		return len(all[a].idx) < len(all[b].idx)
+	})
+
+	for _, sub := range all {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("rpq: partial rewriting search: %w", err)
+		}
+		extended := append([]View(nil), views...)
+		added := make([]Candidate, 0, len(sub.idx))
+		localTaken := map[string]bool{}
+		for k, v := range taken {
+			localTaken[k] = v
+		}
+		for _, j := range sub.idx {
+			c := ordered[j]
+			name := c.viewName(localTaken)
+			localTaken[name] = true
+			extended = append(extended, View{Name: name, Query: Atomic(name, c.Formula())})
+			added = append(added, c)
+		}
+		r, err := Rewrite(q0, extended, t, method)
+		if err != nil {
+			return nil, err
+		}
+		if ok, _ := r.IsExact(); ok {
+			return &PartialResult{Added: added, Views: extended, Rewriting: r}, nil
+		}
+	}
+	return nil, fmt.Errorf("rpq: no exact partial rewriting within the candidate set")
+}
+
+// Compare orders two rewritings by the preference criteria of Section
+// 4.3, returning >0 if a is preferable to b, <0 if b is preferable to
+// a, and 0 if the criteria do not separate them:
+//
+//  1. a is preferable if its expansion strictly contains b's
+//     (match-level containment over D);
+//  2. with equal expansions, fewer added elementary views win;
+//  3. then fewer added atomic non-elementary views;
+//  4. then fewer views in total.
+func Compare(a, b *PartialResult) int {
+	ea, eb := a.Rewriting.Expand(), b.Rewriting.Expand()
+	aInB, _ := automata.ContainedIn(ea, eb)
+	bInA, _ := automata.ContainedIn(eb, ea)
+	switch {
+	case bInA && !aInB:
+		return 1 // b's language ⊂ a's language: a preferable (criterion 1)
+	case aInB && !bInA:
+		return -1
+	case !aInB && !bInA:
+		return 0 // incomparable languages
+	}
+	// Equal expansions: count additions.
+	countKind := func(cs []Candidate, k CandidateKind) int {
+		n := 0
+		for _, c := range cs {
+			if c.Kind == k {
+				n++
+			}
+		}
+		return n
+	}
+	if d := countKind(b.Added, ElementaryView) - countKind(a.Added, ElementaryView); d != 0 {
+		return sign(d) // criterion 2
+	}
+	if d := countKind(b.Added, AtomicView) - countKind(a.Added, AtomicView); d != 0 {
+		return sign(d) // criterion 3
+	}
+	if d := len(b.Views) - len(a.Views); d != 0 {
+		return sign(d) // criterion 4
+	}
+	return 0
+}
+
+func sign(d int) int {
+	if d > 0 {
+		return 1
+	}
+	return -1
+}

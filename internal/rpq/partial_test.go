@@ -1,0 +1,221 @@
+package rpq
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"regexrw/internal/theory"
+)
+
+func TestDefaultCandidates(t *testing.T) {
+	tt := theory.New()
+	tt.AddConstants("a", "b")
+	tt.Declare("p", "a")
+	cs := DefaultCandidates(tt)
+	// 1 predicate + 2 constants.
+	if len(cs) != 3 {
+		t.Fatalf("candidates = %v", cs)
+	}
+	if cs[0].Kind != AtomicView || cs[0].Name != "p" {
+		t.Fatalf("first candidate should be the predicate: %v", cs[0])
+	}
+	for _, c := range cs[1:] {
+		if c.Kind != ElementaryView {
+			t.Fatalf("expected elementary candidates after atomics: %v", cs)
+		}
+	}
+}
+
+func TestCandidateFormula(t *testing.T) {
+	tt := theory.New()
+	tt.AddConstants("a", "b")
+	tt.Declare("p", "a")
+	atom := Candidate{Kind: AtomicView, Name: "p"}
+	elem := Candidate{Kind: ElementaryView, Name: "a"}
+	aSym := tt.Domain().Lookup("a")
+	bSym := tt.Domain().Lookup("b")
+	if !tt.Entails(atom.Formula(), aSym) || tt.Entails(atom.Formula(), bSym) {
+		t.Fatal("atomic candidate formula wrong")
+	}
+	if !tt.Entails(elem.Formula(), aSym) || tt.Entails(elem.Formula(), bSym) {
+		t.Fatal("elementary candidate formula wrong")
+	}
+}
+
+// TestPartialPrefersAtomicOverElementary: when a predicate view covers
+// the missing symbols, the search must pick it rather than elementary
+// views (criterion 2: elementary views are costlier).
+func TestPartialPrefersAtomicOverElementary(t *testing.T) {
+	tt := theory.New()
+	tt.AddConstants("a", "b", "c")
+	tt.Declare("bc", "b", "c") // predicate exactly covering {b,c}
+
+	q0 := mustQuery(t, "fa·(fb+fc)", map[string]string{"fa": "=a", "fb": "=b", "fc": "=c"})
+	views := []View{{Name: "q1", Query: Atomic("fa", theory.Eq("a"))}}
+	res, err := PartialRewrite(q0, views, tt, DefaultCandidates(tt), Grounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Added) != 1 || res.Added[0].Kind != AtomicView || res.Added[0].Name != "bc" {
+		t.Fatalf("Added = %+v, want the atomic view bc", res.Added)
+	}
+	if ok, _ := res.Rewriting.IsExact(); !ok {
+		t.Fatal("partial rewriting must be exact")
+	}
+}
+
+func TestPartialNoAdditionWhenAlreadyExact(t *testing.T) {
+	tt := abcTheory()
+	q0 := Atomic("fa", theory.Eq("a"))
+	views := []View{{Name: "v", Query: Atomic("fa", theory.Eq("a"))}}
+	res, err := PartialRewrite(q0, views, tt, DefaultCandidates(tt), Grounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Added) != 0 {
+		t.Fatalf("Added = %+v, want none", res.Added)
+	}
+}
+
+func TestPartialWithRestrictedCandidates(t *testing.T) {
+	tt := abcTheory()
+	q0 := mustQuery(t, "fa·fb", map[string]string{"fa": "=a", "fb": "=b"})
+	// Candidates lack b entirely: the search must fail.
+	cands := []Candidate{{Kind: ElementaryView, Name: "a"}}
+	if _, err := PartialRewrite(q0, nil, tt, cands, Grounded); err == nil {
+		t.Fatal("expected failure with insufficient candidates")
+	}
+}
+
+func TestPartialNameClashRenames(t *testing.T) {
+	tt := abcTheory()
+	q0 := mustQuery(t, "fa·fb", map[string]string{"fa": "=a", "fb": "=b"})
+	// A view already named eq_b collides with the elementary view name.
+	views := []View{
+		{Name: "eq_a", Query: Atomic("fa", theory.Eq("a"))},
+		{Name: "eq_b", Query: Atomic("fz", theory.Eq("d"))}, // useless view with the clashing name
+	}
+	res, err := PartialRewrite(q0, views, tt, DefaultCandidates(tt), Grounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range res.Views {
+		if v.Name == "eq_b_2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected renamed view eq_b_2; views = %+v", res.Views)
+	}
+	if ok, _ := res.Rewriting.IsExact(); !ok {
+		t.Fatal("partial rewriting must be exact")
+	}
+}
+
+// TestCompareCriteria checks the Section 4.3 preference ordering.
+func TestCompareCriteria(t *testing.T) {
+	tt := abcTheory()
+	q0 := mustQuery(t, "fa·(fb+fc)", map[string]string{"fa": "=a", "fb": "=b", "fc": "=c"})
+	baseViews := []View{
+		{Name: "q1", Query: Atomic("fa", theory.Eq("a"))},
+		{Name: "q2", Query: Atomic("fb", theory.Eq("b"))},
+	}
+
+	// Non-exact rewriting (no additions) vs exact partial rewriting.
+	rBase, err := Rewrite(q0, baseViews, tt, Grounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonExact := &PartialResult{Added: nil, Views: baseViews, Rewriting: rBase}
+	exact, err := PartialRewrite(q0, baseViews, tt, DefaultCandidates(tt), Grounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Criterion 1: the exact rewriting's expansion strictly contains the
+	// non-exact one's, so it is preferable.
+	if Compare(exact, nonExact) <= 0 {
+		t.Fatal("exact rewriting should be preferable to non-exact")
+	}
+	if Compare(nonExact, exact) >= 0 {
+		t.Fatal("Compare should be antisymmetric")
+	}
+	if Compare(exact, exact) != 0 {
+		t.Fatal("Compare should be reflexive-zero")
+	}
+}
+
+// TestCompareFewerElementary: two exact extensions with equal expansion
+// but different elementary counts order by criterion 2.
+func TestCompareFewerElementary(t *testing.T) {
+	tt := theory.New()
+	tt.AddConstants("a", "b", "c")
+	tt.Declare("bc", "b", "c")
+
+	q0 := mustQuery(t, "fa·(fb+fc)", map[string]string{"fa": "=a", "fb": "=b", "fc": "=c"})
+	base := []View{{Name: "q1", Query: Atomic("fa", theory.Eq("a"))}}
+
+	// Extension 1: atomic view bc (0 elementary added).
+	withAtomic := append([]View(nil), base...)
+	withAtomic = append(withAtomic, View{Name: "vbc", Query: Atomic("fbc", theory.Pred("bc"))})
+	r1, err := Rewrite(q0, withAtomic, tt, Grounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := &PartialResult{
+		Added:     []Candidate{{Kind: AtomicView, Name: "bc"}},
+		Views:     withAtomic,
+		Rewriting: r1,
+	}
+
+	// Extension 2: elementary views b and c (2 elementary added).
+	withElem := append([]View(nil), base...)
+	withElem = append(withElem,
+		View{Name: "eb", Query: Atomic("fb", theory.Eq("b"))},
+		View{Name: "ec", Query: Atomic("fc", theory.Eq("c"))},
+	)
+	r2, err := Rewrite(q0, withElem, tt, Grounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := &PartialResult{
+		Added: []Candidate{
+			{Kind: ElementaryView, Name: "b"},
+			{Kind: ElementaryView, Name: "c"},
+		},
+		Views:     withElem,
+		Rewriting: r2,
+	}
+
+	// Both exact, equal expansions; p1 wins on fewer elementary views.
+	if ok, _ := r1.IsExact(); !ok {
+		t.Fatal("atomic extension should be exact")
+	}
+	if ok, _ := r2.IsExact(); !ok {
+		t.Fatal("elementary extension should be exact")
+	}
+	if Compare(p1, p2) <= 0 {
+		t.Fatal("fewer elementary views should be preferable")
+	}
+}
+
+func TestPartialRewriteContextCancel(t *testing.T) {
+	tt := abcTheory()
+	q0 := mustQuery(t, "fa·fb", map[string]string{"fa": "=a", "fb": "=b"})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := PartialRewriteContext(ctx, q0, nil, tt, DefaultCandidates(tt), Grounded)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Exact instances take the fast path and ignore cancellation.
+	views := []View{
+		{Name: "va", Query: Atomic("fa", theory.Eq("a"))},
+		{Name: "vb", Query: Atomic("fb", theory.Eq("b"))},
+	}
+	if _, err := PartialRewriteContext(ctx, q0, views, tt, DefaultCandidates(tt), Grounded); err != nil {
+		t.Fatalf("fast path should succeed: %v", err)
+	}
+}

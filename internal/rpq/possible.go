@@ -1,0 +1,67 @@
+package rpq
+
+import (
+	"fmt"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+	"regexrw/internal/core"
+	"regexrw/internal/graph"
+	"regexrw/internal/theory"
+)
+
+// PossibleRewriting is the possibility rewriting of a regular path
+// query wrt views: the Σ_Q-words whose expansion CAN match a path the
+// query accepts. Evaluating it over the materialized views yields the
+// possible answers — node pairs that some database consistent with the
+// view extensions connects by a query path. It is the dual companion
+// to Rewriting (certain answers), after the "minimal containing
+// rewritings" direction in the paper's conclusions.
+type PossibleRewriting struct {
+	*core.Possibility
+
+	Query *Query
+	Views []View
+	T     *theory.Interpretation
+}
+
+// RewritePossible computes the possibility rewriting of q0 wrt the
+// views over the grounded alphabet D.
+func RewritePossible(q0 *Query, views []View, t *theory.Interpretation) (*PossibleRewriting, error) {
+	if q0 == nil {
+		return nil, fmt.Errorf("rpq: nil query")
+	}
+	seen := map[string]bool{}
+	sigmaQ := alphabet.New()
+	viewNFAs := make(map[alphabet.Symbol]*automata.NFA, len(views))
+	for _, v := range views {
+		if v.Name == "" || v.Query == nil {
+			return nil, fmt.Errorf("rpq: view with empty name or nil query")
+		}
+		if seen[v.Name] {
+			return nil, fmt.Errorf("rpq: duplicate view name %s", v.Name)
+		}
+		seen[v.Name] = true
+		viewNFAs[sigmaQ.Intern(v.Name)] = v.Query.Ground(t).RemoveEpsilon()
+	}
+	p := core.PossibilityRewritingAutomata(q0.Ground(t), sigmaQ, viewNFAs)
+	return &PossibleRewriting{Possibility: p, Query: q0, Views: views, T: t}, nil
+}
+
+// AnswerPossibleUsingViews evaluates the possibility rewriting over the
+// materialized views: the returned pairs are exactly those that MAY be
+// answers of the query on some database whose views include the
+// observed extensions. It always contains AnswerUsingViews of the
+// maximal contained rewriting for the same views.
+func (p *PossibleRewriting) AnswerPossibleUsingViews(db *graph.DB) []graph.Pair {
+	vg := graph.New(alphabet.New())
+	for n := 0; n < db.NumNodes(); n++ {
+		vg.AddNode(db.NodeName(graph.NodeID(n)))
+	}
+	for _, v := range p.Views {
+		for _, pr := range v.Query.Answer(p.T, db) {
+			vg.AddEdge(db.NodeName(pr.From), v.Name, db.NodeName(pr.To))
+		}
+	}
+	return vg.Eval(p.NFA())
+}

@@ -1,0 +1,121 @@
+package rpq
+
+import (
+	"math/rand"
+	"testing"
+
+	"regexrw/internal/graph"
+	"regexrw/internal/theory"
+)
+
+func TestPossibleRewritingBasic(t *testing.T) {
+	tt := abcTheory()
+	// Q0 = a·b; view u covers (a+c), view w covers b. u·w is possible
+	// (ab ∈ exp) but not certain (cb ∈ exp too).
+	q0 := mustQuery(t, "fa·fb", map[string]string{"fa": "=a", "fb": "=b"})
+	views := []View{
+		{Name: "u", Query: mustQuery(t, "f", map[string]string{"f": "=a | =c"})},
+		{Name: "w", Query: Atomic("fb", theory.Eq("b"))},
+	}
+	certain, err := Rewrite(q0, views, tt, Grounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	possible, err := RewritePossible(q0, views, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if certain.Accepts("u", "w") {
+		t.Fatal("u·w must not be certain")
+	}
+	if !possible.Accepts("u", "w") {
+		t.Fatal("u·w must be possible")
+	}
+}
+
+func TestPossibleRewritingValidation(t *testing.T) {
+	tt := abcTheory()
+	q0 := Atomic("fa", theory.Eq("a"))
+	if _, err := RewritePossible(nil, nil, tt); err == nil {
+		t.Fatal("nil query accepted")
+	}
+	if _, err := RewritePossible(q0, []View{{Name: "", Query: q0}}, tt); err == nil {
+		t.Fatal("empty view name accepted")
+	}
+	if _, err := RewritePossible(q0, []View{{Name: "v", Query: q0}, {Name: "v", Query: q0}}, tt); err == nil {
+		t.Fatal("duplicate view accepted")
+	}
+}
+
+// TestCertainInsidePossibleAnswers: on random databases, the answers
+// obtained through the certain (maximal contained) rewriting are a
+// subset of the possible answers.
+func TestCertainInsidePossibleAnswers(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	tt := theory.New()
+	tt.AddConstants("a", "b", "c")
+	tt.Declare("p", "a", "b")
+
+	for trial := 0; trial < 10; trial++ {
+		db := graph.New(tt.Domain())
+		labels := []string{"a", "b", "c"}
+		for i := 0; i < 15; i++ {
+			from := string(rune('m' + r.Intn(6)))
+			to := string(rune('m' + r.Intn(6)))
+			db.AddEdge(from, labels[r.Intn(3)], to)
+		}
+		q0 := mustQuery(t, "f1·f2?", map[string]string{
+			"f1": []string{"=a", "p", "=b"}[r.Intn(3)],
+			"f2": []string{"=b", "=c", "p"}[r.Intn(3)],
+		})
+		views := []View{
+			{Name: "u1", Query: mustQuery(t, "g", map[string]string{"g": []string{"=a", "p", "=a | =c"}[r.Intn(3)]})},
+			{Name: "u2", Query: mustQuery(t, "g", map[string]string{"g": []string{"=b", "=c"}[r.Intn(2)]})},
+		}
+		certain, err := Rewrite(q0, views, tt, Grounded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		possible, err := RewritePossible(q0, views, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cAns := certain.AnswerUsingViews(db)
+		pAns := possible.AnswerPossibleUsingViews(db)
+		inP := map[graph.Pair]bool{}
+		for _, pr := range pAns {
+			inP[pr] = true
+		}
+		for _, pr := range cAns {
+			if !inP[pr] {
+				t.Fatalf("trial %d: certain answer %v not among possible answers", trial, pr)
+			}
+		}
+	}
+}
+
+func TestPossibleContainingCheck(t *testing.T) {
+	tt := abcTheory()
+	q0 := mustQuery(t, "fa·(fb+fc)", map[string]string{"fa": "=a", "fb": "=b", "fc": "=c"})
+	// Views covering everything: containing rewriting exists.
+	full := []View{
+		{Name: "va", Query: Atomic("fa", theory.Eq("a"))},
+		{Name: "vbc", Query: mustQuery(t, "f", map[string]string{"f": "=b | =c"})},
+	}
+	p, err := RewritePossible(q0, full, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := p.IsContaining(); !ok {
+		t.Fatal("containing rewriting should exist with full coverage")
+	}
+	// Views missing c: no containing rewriting.
+	partial := full[:1]
+	p2, err := RewritePossible(q0, partial, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := p2.IsContaining(); ok {
+		t.Fatal("containing rewriting should not exist without b/c coverage")
+	}
+}

@@ -1,0 +1,224 @@
+// Package rpq implements regular path queries over semi-structured data
+// and their rewriting using views (Section 4 of the paper).
+//
+// A query is a regular language over a finite set F of named unary
+// formulae of the theory T (Definition 4/5): a D-word a1…an matches an
+// F-word φ1…φn iff T ⊨ φi(ai) for every i, and the answer of a query
+// over a database is the set of node pairs connected by a matching
+// path. Rewriting a query in terms of views reduces to the
+// regular-expression construction of Section 2 applied to the grounded
+// automata Q^g (Theorem 11); the package also implements the Section 4.2
+// optimization that avoids materializing the grounded view automata,
+// and the partial rewritings of Section 4.3.
+package rpq
+
+import (
+	"fmt"
+	"sort"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+	"regexrw/internal/graph"
+	"regexrw/internal/regex"
+	"regexrw/internal/theory"
+)
+
+// Query is a regular path query: a regular expression whose symbols
+// name unary formulae of the theory.
+type Query struct {
+	Expr     *regex.Node
+	Formulas map[string]theory.Formula
+}
+
+// NewQuery validates that every symbol of expr has a formula definition.
+func NewQuery(expr *regex.Node, formulas map[string]theory.Formula) (*Query, error) {
+	if expr == nil {
+		return nil, fmt.Errorf("rpq: nil expression")
+	}
+	for _, name := range expr.SymbolNames() {
+		if formulas[name] == nil {
+			return nil, fmt.Errorf("rpq: symbol %q has no formula definition", name)
+		}
+	}
+	return &Query{Expr: expr, Formulas: formulas}, nil
+}
+
+// ParseQuery parses the expression and each formula definition.
+func ParseQuery(expr string, formulas map[string]string) (*Query, error) {
+	e, err := regex.Parse(expr)
+	if err != nil {
+		return nil, fmt.Errorf("rpq: expression: %w", err)
+	}
+	fs := make(map[string]theory.Formula, len(formulas))
+	for name, def := range formulas {
+		f, err := theory.ParseFormula(def)
+		if err != nil {
+			return nil, fmt.Errorf("rpq: formula %s: %w", name, err)
+		}
+		fs[name] = f
+	}
+	return NewQuery(e, fs)
+}
+
+// Atomic returns the query consisting of the single formula f under the
+// given name. Elementary views (λz. z = a) and atomic views (λz. P(z))
+// of Section 4.3 are built this way.
+func Atomic(name string, f theory.Formula) *Query {
+	return &Query{Expr: regex.Sym(name), Formulas: map[string]theory.Formula{name: f}}
+}
+
+// String renders the query with its formula definitions.
+func (q *Query) String() string {
+	s := q.Expr.String()
+	names := q.Expr.SymbolNames()
+	for _, n := range names {
+		s += fmt.Sprintf(" [%s := %s]", n, q.Formulas[n])
+	}
+	return s
+}
+
+// Ground compiles the query to the grounded automaton Q^g over the
+// domain D of the theory: every φ-labeled transition becomes one
+// transition per constant a with T ⊨ φ(a). L(Q^g) = match(L(Q)).
+func (q *Query) Ground(t *theory.Interpretation) *automata.NFA {
+	fAlpha := alphabet.New()
+	fnfa := q.Expr.ToNFA(fAlpha).RemoveEpsilon()
+	out := automata.NewNFA(t.Domain())
+	out.AddStates(fnfa.NumStates())
+	out.SetStart(fnfa.Start())
+	// Satisfier sets are computed once per distinct formula symbol.
+	sat := make(map[alphabet.Symbol][]alphabet.Symbol)
+	for _, x := range fAlpha.Symbols() {
+		sat[x] = t.Satisfiers(q.Formulas[fAlpha.Name(x)])
+	}
+	for s := 0; s < fnfa.NumStates(); s++ {
+		out.SetAccept(automata.State(s), fnfa.Accepting(automata.State(s)))
+		for _, x := range fnfa.OutSymbols(automata.State(s)) {
+			for _, to := range fnfa.Successors(automata.State(s), x) {
+				for _, a := range sat[x] {
+					out.AddTransition(automata.State(s), a, to)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Matches reports whether the D-word (by constant names) matches some
+// F-word of the query (Definition 4), i.e. whether it is accepted by
+// the grounded automaton.
+func (q *Query) Matches(t *theory.Interpretation, constants ...string) bool {
+	return q.Ground(t).AcceptsNames(constants...)
+}
+
+// Contained reports whether q is contained in r at the match level:
+// match(L(q)) ⊆ match(L(r)) — equivalently, ans(L(q), DB) ⊆
+// ans(L(r), DB) on every database (by the single-path database argument
+// of Theorem 10). Containment of regular path queries is the
+// reasoning task of [CDGL98, FL98] that the paper's introduction
+// surveys; over a finite complete theory it reduces to containment of
+// the grounded automata. When containment fails, witness is a D-word
+// matched by q but not by r.
+func Contained(q, r *Query, t *theory.Interpretation) (bool, []alphabet.Symbol) {
+	return automata.ContainedIn(q.Ground(t), r.Ground(t))
+}
+
+// Equivalent reports match-level equivalence of two queries.
+func Equivalent(q, r *Query, t *theory.Interpretation) bool {
+	qr, _ := Contained(q, r, t)
+	if !qr {
+		return false
+	}
+	rq, _ := Contained(r, q, t)
+	return rq
+}
+
+// Answer computes ans(L(Q), DB) by grounding and product evaluation
+// (Definition 5).
+func (q *Query) Answer(t *theory.Interpretation, db *graph.DB) []graph.Pair {
+	return db.Eval(q.Ground(t))
+}
+
+// AnswerFrom computes the single-source answer: the nodes reachable
+// from start along a path matching the query.
+func (q *Query) AnswerFrom(t *theory.Interpretation, db *graph.DB, start graph.NodeID) []graph.NodeID {
+	return db.EvalFrom(q.Ground(t), start)
+}
+
+// AnswerDirect computes ans(L(Q), DB) without materializing Q^g: the
+// product BFS over (node, query state) checks T ⊨ φ(label) lazily per
+// edge. Equivalent to Answer; preferable when |D| is large relative to
+// the labels actually present in the database.
+func (q *Query) AnswerDirect(t *theory.Interpretation, db *graph.DB) []graph.Pair {
+	fAlpha := alphabet.New()
+	fnfa := q.Expr.ToNFA(fAlpha).RemoveEpsilon()
+	if fnfa.Start() == automata.NoState {
+		return nil
+	}
+	// Translate db label ids to theory-domain ids by name (they are the
+	// same alphabet instance in the common case, but not required to be).
+	toDomain := make([]alphabet.Symbol, db.Labels().Len())
+	for _, l := range db.Labels().Symbols() {
+		toDomain[l] = t.Domain().Lookup(db.Labels().Name(l))
+	}
+	// Cache entailment per (formula symbol, label) as computed.
+	type key struct {
+		f alphabet.Symbol
+		a alphabet.Symbol
+	}
+	cache := map[key]bool{}
+	entails := func(f, dbLabel alphabet.Symbol) bool {
+		a := toDomain[dbLabel]
+		if a == alphabet.None {
+			return false // label outside the theory's domain
+		}
+		k := key{f, a}
+		if v, ok := cache[k]; ok {
+			return v
+		}
+		v := t.Entails(q.Formulas[fAlpha.Name(f)], a)
+		cache[k] = v
+		return v
+	}
+
+	var out []graph.Pair
+	type cfg struct {
+		node  graph.NodeID
+		state automata.State
+	}
+	for start := 0; start < db.NumNodes(); start++ {
+		seen := map[cfg]bool{}
+		emitted := map[graph.NodeID]bool{}
+		queue := []cfg{{graph.NodeID(start), fnfa.Start()}}
+		seen[queue[0]] = true
+		for len(queue) > 0 {
+			c := queue[0]
+			queue = queue[1:]
+			if fnfa.Accepting(c.state) && !emitted[c.node] {
+				emitted[c.node] = true
+				out = append(out, graph.Pair{From: graph.NodeID(start), To: c.node})
+			}
+			for _, e := range db.Out(c.node) {
+				for _, f := range fnfa.OutSymbols(c.state) {
+					if !entails(f, e.Label) {
+						continue
+					}
+					for _, next := range fnfa.Successors(c.state, f) {
+						nc := cfg{e.To, next}
+						if !seen[nc] {
+							seen[nc] = true
+							queue = append(queue, nc)
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}

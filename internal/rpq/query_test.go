@@ -1,0 +1,246 @@
+package rpq
+
+import (
+	"testing"
+
+	"regexrw/internal/graph"
+	"regexrw/internal/regex"
+	"regexrw/internal/theory"
+)
+
+// travelTheory builds the running travel interpretation.
+func travelTheory() *theory.Interpretation {
+	t := theory.New()
+	t.AddConstants("rome", "jerusalem", "paris", "district", "restaurant", "hotel")
+	t.Declare("city", "rome", "jerusalem", "paris")
+	t.Declare("place", "district", "restaurant", "hotel")
+	return t
+}
+
+// travelDB builds a small site graph over the theory's constants.
+func travelDB(t *theory.Interpretation) *graph.DB {
+	db := graph.New(t.Domain())
+	db.AddEdge("root", "rome", "romePage")
+	db.AddEdge("root", "jerusalem", "jerusalemPage")
+	db.AddEdge("root", "paris", "parisPage")
+	db.AddEdge("romePage", "district", "trastevere")
+	db.AddEdge("trastevere", "restaurant", "carlotta")
+	db.AddEdge("jerusalemPage", "restaurant", "taami")
+	db.AddEdge("parisPage", "hotel", "ritz")
+	return db
+}
+
+func mustQuery(t *testing.T, expr string, formulas map[string]string) *Query {
+	t.Helper()
+	q, err := ParseQuery(expr, formulas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestQueryValidation(t *testing.T) {
+	if _, err := NewQuery(nil, nil); err == nil {
+		t.Fatal("nil expression accepted")
+	}
+	if _, err := NewQuery(regex.Sym("f"), nil); err == nil {
+		t.Fatal("undefined formula accepted")
+	}
+	if _, err := ParseQuery("((", nil); err == nil {
+		t.Fatal("bad expression accepted")
+	}
+	if _, err := ParseQuery("f", map[string]string{"f": "&&"}); err == nil {
+		t.Fatal("bad formula accepted")
+	}
+}
+
+func TestGroundSimple(t *testing.T) {
+	tt := travelTheory()
+	q := mustQuery(t, "anyCity", map[string]string{"anyCity": "city"})
+	g := q.Ground(tt)
+	for _, c := range []string{"rome", "jerusalem", "paris"} {
+		if !g.AcceptsNames(c) {
+			t.Errorf("Q^g should accept %s", c)
+		}
+	}
+	if g.AcceptsNames("restaurant") {
+		t.Error("Q^g should reject restaurant")
+	}
+}
+
+func TestMatchesDefinition4(t *testing.T) {
+	tt := travelTheory()
+	q := mustQuery(t, "anyCity·rest", map[string]string{
+		"anyCity": "city", "rest": "=restaurant",
+	})
+	if !q.Matches(tt, "rome", "restaurant") {
+		t.Fatal("rome·restaurant should match city·=restaurant")
+	}
+	if q.Matches(tt, "restaurant", "rome") {
+		t.Fatal("order should matter")
+	}
+	if q.Matches(tt, "rome") {
+		t.Fatal("length should matter")
+	}
+}
+
+func TestAnswerIntroExample(t *testing.T) {
+	// The introduction's query ·*(rome+jerusalem)·*restaurant as an RPQ:
+	// any*, then rome or jerusalem, then any*, then a restaurant edge.
+	tt := travelTheory()
+	db := travelDB(tt)
+	q := mustQuery(t, "any*·cityRJ·any*·rest", map[string]string{
+		"any":    "true",
+		"cityRJ": "=rome | =jerusalem",
+		"rest":   "=restaurant",
+	})
+	got := db.PairNames(q.Answer(tt, db))
+	want := map[string]bool{"root→carlotta": true, "root→taami": true}
+	if len(got) != len(want) {
+		t.Fatalf("ans = %v, want %v", got, want)
+	}
+	for _, p := range got {
+		if !want[p] {
+			t.Fatalf("unexpected pair %s in %v", p, got)
+		}
+	}
+}
+
+func TestAnswerDirectAgreesWithGrounded(t *testing.T) {
+	tt := travelTheory()
+	db := travelDB(tt)
+	queries := []*Query{
+		mustQuery(t, "any*·rest", map[string]string{"any": "true", "rest": "=restaurant"}),
+		mustQuery(t, "anyCity", map[string]string{"anyCity": "city"}),
+		mustQuery(t, "anyCity·(place·place)?", map[string]string{"anyCity": "city", "place": "place"}),
+		mustQuery(t, "nonCity*", map[string]string{"nonCity": "!city"}),
+	}
+	for i, q := range queries {
+		a := q.Answer(tt, db)
+		b := q.AnswerDirect(tt, db)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: grounded %d pairs, direct %d pairs", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("query %d: pair %d differs: %v vs %v", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestAtomicQuery(t *testing.T) {
+	tt := travelTheory()
+	q := Atomic("v", theory.Eq("rome"))
+	if !q.Matches(tt, "rome") || q.Matches(tt, "paris") {
+		t.Fatal("Atomic(=rome) wrong")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := Atomic("v", theory.Pred("city"))
+	if q.String() != "v [v := city]" {
+		t.Fatalf("String = %q", q.String())
+	}
+}
+
+func TestAnswerOnPathDB(t *testing.T) {
+	// Theorem 10's single-path database: the query answers (first,last)
+	// iff the path word matches.
+	tt := travelTheory()
+	word := []string{"rome", "district", "restaurant"}
+	syms := make([]int32, 0)
+	_ = syms
+	labels := make([]int32, 0)
+	_ = labels
+	db := graph.New(tt.Domain())
+	db.AddEdge("n0", word[0], "n1")
+	db.AddEdge("n1", word[1], "n2")
+	db.AddEdge("n2", word[2], "n3")
+	q := mustQuery(t, "anyCity·any·rest", map[string]string{
+		"anyCity": "city", "any": "true", "rest": "=restaurant",
+	})
+	ps := q.Answer(tt, db)
+	found := false
+	for _, p := range ps {
+		if db.NodeName(p.From) == "n0" && db.NodeName(p.To) == "n3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("path answer missing: %v", db.PairNames(ps))
+	}
+}
+
+func TestContained(t *testing.T) {
+	tt := travelTheory()
+	city := mustQuery(t, "f", map[string]string{"f": "city"})
+	rj := mustQuery(t, "f", map[string]string{"f": "=rome | =jerusalem"})
+	ok, _ := Contained(rj, city, tt)
+	if !ok {
+		t.Fatal("rome|jerusalem ⊆ city should hold")
+	}
+	ok, witness := Contained(city, rj, tt)
+	if ok {
+		t.Fatal("city ⊆ rome|jerusalem should fail (paris)")
+	}
+	if len(witness) != 1 || tt.Domain().Name(witness[0]) != "paris" {
+		t.Fatalf("witness = %v, want paris", witness)
+	}
+}
+
+func TestContainedUsesTheory(t *testing.T) {
+	// Containment that only holds because of the theory: A ⊆ B when
+	// every A-constant is a B-constant.
+	tt := theory.New()
+	tt.AddConstants("x", "y", "z")
+	tt.Declare("A", "x")
+	tt.Declare("B", "x", "y")
+	qa := Atomic("f", theory.Pred("A"))
+	qb := Atomic("f", theory.Pred("B"))
+	if ok, _ := Contained(qa, qb, tt); !ok {
+		t.Fatal("A ⊆ B should hold in this theory")
+	}
+	if ok, _ := Contained(qb, qa, tt); ok {
+		t.Fatal("B ⊆ A should fail")
+	}
+}
+
+func TestEquivalentQueries(t *testing.T) {
+	tt := travelTheory()
+	q1 := mustQuery(t, "f", map[string]string{"f": "=rome | =jerusalem | =paris"})
+	q2 := mustQuery(t, "f", map[string]string{"f": "city"})
+	if !Equivalent(q1, q2, tt) {
+		t.Fatal("enumerated cities should equal the city predicate")
+	}
+	q3 := mustQuery(t, "f·f", map[string]string{"f": "city"})
+	if Equivalent(q1, q3, tt) {
+		t.Fatal("different lengths cannot be equivalent")
+	}
+}
+
+func TestAnswerFrom(t *testing.T) {
+	tt := travelTheory()
+	db := travelDB(tt)
+	q := mustQuery(t, "cityRJ·any*·rest", map[string]string{
+		"cityRJ": "=rome | =jerusalem", "any": "true", "rest": "=restaurant",
+	})
+	root := db.NodeID("root")
+	got := q.AnswerFrom(tt, db, root)
+	if len(got) != 2 {
+		t.Fatalf("AnswerFrom(root) = %d nodes, want 2", len(got))
+	}
+	// Agreement with the all-pairs answer.
+	var want int
+	for _, p := range q.Answer(tt, db) {
+		if p.From == root {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("AnswerFrom disagrees with Answer: %d vs %d", len(got), want)
+	}
+	if rs := q.AnswerFrom(tt, db, db.NodeID("ritz")); len(rs) != 0 {
+		t.Fatalf("AnswerFrom(ritz) = %v", rs)
+	}
+}

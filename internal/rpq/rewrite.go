@@ -1,0 +1,304 @@
+package rpq
+
+import (
+	"fmt"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+	"regexrw/internal/core"
+	"regexrw/internal/graph"
+	"regexrw/internal/regex"
+	"regexrw/internal/theory"
+)
+
+// View is a named view: the symbol q ∈ Σ_Q together with the regular
+// path query rpq(q) it stands for.
+type View struct {
+	Name  string
+	Query *Query
+}
+
+// Method selects how the rewriting is computed.
+type Method int
+
+const (
+	// Grounded materializes Q^g for the query and every view and runs
+	// the Section 2 construction over D (the literal Theorem 11 route).
+	Grounded Method = iota
+	// Direct materializes only the query's grounded automaton A_d; the
+	// A' edges for each view are found on the product K of the view's
+	// formula automaton and A_d, testing T ⊨ φ(a) per transition — the
+	// Section 4.2 optimization that never grounds the views.
+	Direct
+	// Compressed implements Section 4.2's other optimization: instead
+	// of grounding over the full domain D, constants are partitioned
+	// into equivalence classes by the formulae they satisfy (two
+	// constants with the same satisfaction signature are
+	// interchangeable in every automaton of the construction), and the
+	// whole pipeline runs over one representative per class. The
+	// resulting Σ_Q rewriting is identical; the automata are over an
+	// alphabet of size ≤ 2^|F| instead of |D|.
+	Compressed
+)
+
+// Rewriting is the Σ_Q-maximal rewriting of a regular path query wrt a
+// set of views (Theorem 11). It embeds the core rewriting over the
+// grounded alphabet D, so exactness and emptiness checks are inherited
+// — by Theorem 10 these D-level checks coincide with the answer-level
+// notions of Definition 6.
+type Rewriting struct {
+	*core.Rewriting
+
+	Query *Query
+	Views []View
+	T     *theory.Interpretation
+}
+
+// Rewrite computes the Σ_Q-maximal rewriting of q0 wrt the views.
+func Rewrite(q0 *Query, views []View, t *theory.Interpretation, method Method) (*Rewriting, error) {
+	if q0 == nil {
+		return nil, fmt.Errorf("rpq: nil query")
+	}
+	seen := map[string]bool{}
+	sigmaQ := alphabet.New()
+	for _, v := range views {
+		if v.Name == "" || v.Query == nil {
+			return nil, fmt.Errorf("rpq: view with empty name or nil query")
+		}
+		if seen[v.Name] {
+			return nil, fmt.Errorf("rpq: duplicate view name %s", v.Name)
+		}
+		seen[v.Name] = true
+		sigmaQ.Intern(v.Name)
+	}
+
+	e0 := q0.Ground(t)
+
+	var rw *core.Rewriting
+	switch method {
+	case Grounded:
+		viewNFAs := make(map[alphabet.Symbol]*automata.NFA, len(views))
+		for _, v := range views {
+			viewNFAs[sigmaQ.Lookup(v.Name)] = v.Query.Ground(t).RemoveEpsilon()
+		}
+		rw = core.MaximalRewritingAutomata(e0, sigmaQ, viewNFAs)
+	case Direct:
+		rw = directRewriting(e0, sigmaQ, views, t)
+	case Compressed:
+		rw = compressedRewriting(q0, sigmaQ, views, t)
+	default:
+		return nil, fmt.Errorf("rpq: unknown method %d", method)
+	}
+	return &Rewriting{Rewriting: rw, Query: q0, Views: views, T: t}, nil
+}
+
+// compressedRewriting runs the construction over the quotient of D by
+// formula-satisfaction signatures. Every formula occurring in the query
+// or a view contributes one signature bit; constants with equal
+// signatures drive every automaton of the construction identically, so
+// one representative per class suffices. The class alphabet has at most
+// min(|D|, 2^|F|) symbols.
+func compressedRewriting(q0 *Query, sigmaQ *alphabet.Alphabet, views []View, t *theory.Interpretation) *core.Rewriting {
+	// Collect the distinct formulas (by printed form) across all queries.
+	var formulas []theory.Formula
+	seen := map[string]bool{}
+	collect := func(q *Query) {
+		for _, name := range q.Expr.SymbolNames() {
+			f := q.Formulas[name]
+			if key := f.String(); !seen[key] {
+				seen[key] = true
+				formulas = append(formulas, f)
+			}
+		}
+	}
+	collect(q0)
+	for _, v := range views {
+		collect(v.Query)
+	}
+
+	// Signature classes over D.
+	classAlpha := alphabet.New()
+	classOf := make(map[alphabet.Symbol]alphabet.Symbol, t.Domain().Len())
+	classRep := map[string]alphabet.Symbol{}
+	for _, c := range t.Domain().Symbols() {
+		sig := make([]byte, len(formulas))
+		for i, f := range formulas {
+			if t.Entails(f, c) {
+				sig[i] = '1'
+			} else {
+				sig[i] = '0'
+			}
+		}
+		key := string(sig)
+		cls, ok := classRep[key]
+		if !ok {
+			cls = classAlpha.Intern("class_" + key)
+			classRep[key] = cls
+		}
+		classOf[c] = cls
+	}
+
+	// Ground a query over classes: a φ-edge becomes one edge per class
+	// whose signature satisfies φ (evaluated on any member; signatures
+	// make members interchangeable).
+	classSat := func(f theory.Formula) []alphabet.Symbol {
+		var out []alphabet.Symbol
+		added := map[alphabet.Symbol]bool{}
+		for _, c := range t.Domain().Symbols() {
+			if t.Entails(f, c) && !added[classOf[c]] {
+				added[classOf[c]] = true
+				out = append(out, classOf[c])
+			}
+		}
+		return out
+	}
+	groundClasses := func(q *Query) *automata.NFA {
+		fAlpha := alphabet.New()
+		fnfa := q.Expr.ToNFA(fAlpha).RemoveEpsilon()
+		out := automata.NewNFA(classAlpha)
+		out.AddStates(fnfa.NumStates())
+		if fnfa.Start() != automata.NoState {
+			out.SetStart(fnfa.Start())
+		}
+		sat := make([][]alphabet.Symbol, fAlpha.Len())
+		for _, x := range fAlpha.Symbols() {
+			sat[x] = classSat(q.Formulas[fAlpha.Name(x)])
+		}
+		for s := 0; s < fnfa.NumStates(); s++ {
+			out.SetAccept(automata.State(s), fnfa.Accepting(automata.State(s)))
+			for _, x := range fnfa.OutSymbols(automata.State(s)) {
+				for _, to := range fnfa.Successors(automata.State(s), x) {
+					for _, cls := range sat[x] {
+						out.AddTransition(automata.State(s), cls, to)
+					}
+				}
+			}
+		}
+		return out
+	}
+
+	viewNFAs := make(map[alphabet.Symbol]*automata.NFA, len(views))
+	for _, v := range views {
+		viewNFAs[sigmaQ.Lookup(v.Name)] = groundClasses(v.Query).RemoveEpsilon()
+	}
+	return core.MaximalRewritingAutomata(groundClasses(q0), sigmaQ, viewNFAs)
+}
+
+// directRewriting implements the Section 4.2 construction: it builds
+// A_d from the grounded query, then finds the A' edges for each view by
+// a BFS over the product K of the view's formula automaton and A_d,
+// where a product transition exists iff some constant a has both an
+// a-transition in A_d and a φ-transition with T ⊨ φ(a) in the view.
+// The grounded view automata Q_i^g are never materialized. Afterwards
+// the views map handed to the core layer is populated lazily-grounded
+// (needed only by Expand/exactness, which require D-level automata).
+func directRewriting(e0 *automata.NFA, sigmaQ *alphabet.Alphabet, views []View, t *theory.Interpretation) *core.Rewriting {
+	ad := automata.Determinize(e0).Minimize().Totalize()
+
+	ap := automata.NewNFA(sigmaQ)
+	ap.AddStates(ad.NumStates())
+	ap.SetStart(ad.Start())
+	for s := 0; s < ad.NumStates(); s++ {
+		ap.SetAccept(automata.State(s), !ad.Accepting(automata.State(s)))
+	}
+
+	for _, v := range views {
+		e := sigmaQ.Lookup(v.Name)
+		fAlpha := alphabet.New()
+		fnfa := v.Query.Expr.ToNFA(fAlpha).RemoveEpsilon()
+		// Satisfiers per formula symbol, computed once per view.
+		sat := make([][]alphabet.Symbol, fAlpha.Len())
+		for _, x := range fAlpha.Symbols() {
+			sat[x] = t.Satisfiers(v.Query.Formulas[fAlpha.Name(x)])
+		}
+		for i := 0; i < ad.NumStates(); i++ {
+			for _, j := range directReach(fnfa, sat, ad, automata.State(i)) {
+				ap.AddTransition(automata.State(i), e, j)
+			}
+		}
+	}
+
+	r := automata.Determinize(ap).Complement()
+	// Grounded view automata are needed only by the expansion-based
+	// checks (exactness, Σ-emptiness); supply them lazily so that the
+	// rewriting itself never grounds the views — the point of the
+	// Section 4.2 optimization.
+	viewsFn := func() map[alphabet.Symbol]*automata.NFA {
+		out := make(map[alphabet.Symbol]*automata.NFA, len(views))
+		for _, v := range views {
+			out[sigmaQ.Lookup(v.Name)] = v.Query.Ground(t).RemoveEpsilon()
+		}
+		return out
+	}
+	return core.NewRewritingFromParts(ad, ap, r, e0.Alphabet(), sigmaQ, viewsFn)
+}
+
+// directReach returns the A_d states j reachable from i via some D-word
+// matching some F-word of the view automaton: BFS over the product K.
+func directReach(fnfa *automata.NFA, sat [][]alphabet.Symbol, ad *automata.DFA, i automata.State) []automata.State {
+	if fnfa.Start() == automata.NoState {
+		return nil
+	}
+	type pair struct{ v, d automata.State }
+	seen := map[pair]bool{{fnfa.Start(), i}: true}
+	queue := []pair{{fnfa.Start(), i}}
+	targets := map[automata.State]bool{}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if fnfa.Accepting(p.v) {
+			targets[p.d] = true
+		}
+		for _, f := range fnfa.OutSymbols(p.v) {
+			for _, a := range sat[f] {
+				d := ad.Next(p.d, a)
+				if d == automata.NoState {
+					continue
+				}
+				for _, vn := range fnfa.Successors(p.v, f) {
+					np := pair{vn, d}
+					if !seen[np] {
+						seen[np] = true
+						queue = append(queue, np)
+					}
+				}
+			}
+		}
+	}
+	out := make([]automata.State, 0, len(targets))
+	for j := range targets {
+		out = append(out, j)
+	}
+	return out
+}
+
+// RegexOverViews returns the rewriting as a regular expression over the
+// view names.
+func (r *Rewriting) RegexOverViews() *regex.Node { return r.Regex() }
+
+// MaterializeViews evaluates every view over the database and returns
+// the view graph: a database over Σ_Q with an edge x --q--> y for every
+// answer pair (x, y) of view q. Node ids are shared with db.
+func (r *Rewriting) MaterializeViews(db *graph.DB) *graph.DB {
+	vg := graph.New(alphabet.New())
+	// Preserve node ids: add nodes in db order first.
+	for n := 0; n < db.NumNodes(); n++ {
+		vg.AddNode(db.NodeName(graph.NodeID(n)))
+	}
+	for _, v := range r.Views {
+		for _, p := range v.Query.Answer(r.T, db) {
+			vg.AddEdge(db.NodeName(p.From), v.Name, db.NodeName(p.To))
+		}
+	}
+	return vg
+}
+
+// AnswerUsingViews answers the original query through the rewriting:
+// it materializes the views over db and evaluates the rewriting
+// automaton on the resulting view graph. The result is always contained
+// in ans(L(Q0), db) (Definition 6); if the rewriting is exact, it
+// equals it.
+func (r *Rewriting) AnswerUsingViews(db *graph.DB) []graph.Pair {
+	vg := r.MaterializeViews(db)
+	return vg.Eval(r.NFA())
+}

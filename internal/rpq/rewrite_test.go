@@ -1,0 +1,331 @@
+package rpq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"regexrw/internal/automata"
+	"regexrw/internal/graph"
+	"regexrw/internal/regex"
+	"regexrw/internal/theory"
+)
+
+// abcTheory is a plain theory whose domain is {a,b,c,d} with no
+// predicate structure beyond equality — it makes RPQ rewriting coincide
+// with plain regex rewriting, which the Example 3 test exploits.
+func abcTheory() *theory.Interpretation {
+	t := theory.New()
+	t.AddConstants("a", "b", "c", "d")
+	return t
+}
+
+func elementary(t *testing.T, names ...string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, n := range names {
+		out[n] = "=" + n
+	}
+	return out
+}
+
+// TestExample3 reproduces Example 3 of the paper: Q0 = a·(b+c),
+// Q = {q1 ↦ a, q2 ↦ b}. The maximal rewriting is q1·q2, not exact;
+// adding the elementary view for c gives the exact q1·(q2+q3).
+func TestExample3(t *testing.T) {
+	tt := abcTheory()
+	q0 := mustQuery(t, "fa·(fb+fc)", map[string]string{"fa": "=a", "fb": "=b", "fc": "=c"})
+	views := []View{
+		{Name: "q1", Query: Atomic("fa", theory.Eq("a"))},
+		{Name: "q2", Query: Atomic("fb", theory.Eq("b"))},
+	}
+	r, err := Rewrite(q0, views, tt, Grounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regex.Equivalent(r.RegexOverViews(), regex.MustParse("q1·q2")) {
+		t.Fatalf("maximal rewriting = %s, want ≡ q1·q2", r.RegexOverViews())
+	}
+	if ok, _ := r.IsExact(); ok {
+		t.Fatal("q1·q2 must not be exact")
+	}
+
+	res, err := PartialRewrite(q0, views, tt, DefaultCandidates(tt), Grounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Added) != 1 || res.Added[0].Kind != ElementaryView || res.Added[0].Name != "c" {
+		t.Fatalf("Added = %+v, want the elementary view for c", res.Added)
+	}
+	if ok, _ := res.Rewriting.IsExact(); !ok {
+		t.Fatal("partial rewriting must be exact")
+	}
+	want := regex.MustParse("q1·(q2+eq_c)")
+	if !regex.Equivalent(res.Rewriting.RegexOverViews(), want) {
+		t.Fatalf("partial rewriting = %s, want ≡ q1·(q2+eq_c)", res.Rewriting.RegexOverViews())
+	}
+}
+
+func TestRewriteValidation(t *testing.T) {
+	tt := abcTheory()
+	q0 := Atomic("fa", theory.Eq("a"))
+	if _, err := Rewrite(nil, nil, tt, Grounded); err == nil {
+		t.Fatal("nil query accepted")
+	}
+	if _, err := Rewrite(q0, []View{{Name: "", Query: q0}}, tt, Grounded); err == nil {
+		t.Fatal("empty view name accepted")
+	}
+	if _, err := Rewrite(q0, []View{{Name: "v", Query: q0}, {Name: "v", Query: q0}}, tt, Grounded); err == nil {
+		t.Fatal("duplicate view accepted")
+	}
+	if _, err := Rewrite(q0, nil, tt, Method(99)); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+// TestGroundedVsDirect is the RPQ1 experiment: the two constructions
+// produce language-equal rewritings on randomized instances.
+func TestGroundedVsDirect(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	tt := theory.New()
+	tt.AddConstants("a", "b", "c", "d", "e")
+	tt.Declare("p", "a", "b")
+	tt.Declare("q", "c", "d")
+	tt.Declare("r", "a", "c", "e")
+
+	formulaPool := []string{"=a", "=b", "=c", "p", "q", "r", "p | q", "!p", "p & r", "true"}
+	exprPool := []string{"f1·f2", "f1*", "(f1+f2)·f3", "f1·(f2+f3)*", "f1?·f2"}
+
+	randomQuery := func() *Query {
+		formulas := map[string]string{
+			"f1": formulaPool[r.Intn(len(formulaPool))],
+			"f2": formulaPool[r.Intn(len(formulaPool))],
+			"f3": formulaPool[r.Intn(len(formulaPool))],
+		}
+		return mustQuery(t, exprPool[r.Intn(len(exprPool))], formulas)
+	}
+
+	for trial := 0; trial < 25; trial++ {
+		q0 := randomQuery()
+		k := 1 + r.Intn(3)
+		views := make([]View, k)
+		for i := range views {
+			views[i] = View{Name: string(rune('u' + i)), Query: randomQuery()}
+		}
+		rg, err := Rewrite(q0, views, tt, Grounded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := Rewrite(q0, views, tt, Direct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !automata.Equivalent(rg.NFA(), rd.NFA()) {
+			t.Fatalf("trial %d: grounded and direct rewritings differ:\n%s\nvs\n%s",
+				trial, rg.RegexOverViews(), rd.RegexOverViews())
+		}
+		eg, _ := rg.IsExact()
+		ed, _ := rd.IsExact()
+		if eg != ed {
+			t.Fatalf("trial %d: exactness disagrees: grounded=%v direct=%v", trial, eg, ed)
+		}
+	}
+}
+
+// TestTheoryAwareRewriting reproduces the Section 4.2 motivating
+// example: T ⊨ ∀x. A(x) ∨ B(x), Q0 = B, Q = {A}. Working on grounded
+// automata (rather than treating formulae as opaque symbols) the
+// maximal rewriting of Q0 wrt {A} must be... empty here — but if the
+// domain makes B ⊇ complement of A, constants satisfying both A and B
+// flow into the rewriting. With A and B overlapping on all of A's
+// satisfiers, the rewriting is exactly the view for A.
+func TestTheoryAwareRewriting(t *testing.T) {
+	tt := theory.New()
+	tt.AddConstants("x1", "x2", "x3")
+	tt.Declare("A", "x1", "x2")
+	tt.Declare("B", "x1", "x2", "x3") // ∀x. A(x) → B(x); B covers all
+
+	q0 := Atomic("fB", theory.Pred("B"))
+	views := []View{{Name: "vA", Query: Atomic("fA", theory.Pred("A"))}}
+	r, err := Rewrite(q0, views, tt, Grounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// match(L(vA)) = {x1,x2} ⊆ match(L(Q0)) = {x1,x2,x3}: vA rewrites.
+	if !regex.Equivalent(r.RegexOverViews(), regex.MustParse("vA")) {
+		t.Fatalf("rewriting = %s, want ≡ vA", r.RegexOverViews())
+	}
+	// Not exact: x3 is B but not A.
+	if ok, _ := r.IsExact(); ok {
+		t.Fatal("rewriting should not be exact (x3 uncovered)")
+	}
+	// A purely syntactic treatment (formulae as opaque symbols) would
+	// find no rewriting at all; the grounded construction finds vA.
+}
+
+// TestAnswerContainment is the RPQ2 experiment: answering through the
+// rewriting is always contained in direct evaluation, with equality
+// when the rewriting is exact.
+func TestAnswerContainment(t *testing.T) {
+	tt := travelTheory()
+	db := travelDB(tt)
+
+	q0 := mustQuery(t, "cityRJ·dist*·rest", map[string]string{
+		"cityRJ": "=rome | =jerusalem", "dist": "=district", "rest": "=restaurant",
+	})
+	views := []View{
+		{Name: "vr", Query: mustQuery(t, "cityRJ", map[string]string{"cityRJ": "=rome | =jerusalem"})},
+		{Name: "vd", Query: mustQuery(t, "dist", map[string]string{"dist": "=district"})},
+		{Name: "vt", Query: mustQuery(t, "rest", map[string]string{"rest": "=restaurant"})},
+	}
+	r, err := Rewrite(q0, views, tt, Grounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _ := r.IsExact()
+	if !exact {
+		t.Fatal("these views should rewrite the query exactly")
+	}
+
+	direct := q0.Answer(tt, db)
+	viaViews := r.AnswerUsingViews(db)
+	if len(direct) != len(viaViews) {
+		t.Fatalf("exact rewriting: direct %v vs views %v",
+			db.PairNames(direct), db.PairNames(viaViews))
+	}
+	for i := range direct {
+		if direct[i] != viaViews[i] {
+			t.Fatalf("answers differ at %d", i)
+		}
+	}
+}
+
+func TestAnswerContainmentNonExact(t *testing.T) {
+	tt := travelTheory()
+	db := travelDB(tt)
+	// Query reachable in one or two steps; views only cover one-step
+	// restaurant edges: rewriting is partial, answers strictly contained.
+	q0 := mustQuery(t, "rest+dist·rest", map[string]string{
+		"rest": "=restaurant", "dist": "=district",
+	})
+	views := []View{
+		{Name: "vt", Query: mustQuery(t, "rest", map[string]string{"rest": "=restaurant"})},
+	}
+	r, err := Rewrite(q0, views, tt, Grounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := r.IsExact(); ok {
+		t.Fatal("rewriting should not be exact")
+	}
+	direct := q0.Answer(tt, db)
+	viaViews := r.AnswerUsingViews(db)
+	// Containment: every pair from the views is in the direct answer.
+	inDirect := map[graph.Pair]bool{}
+	for _, p := range direct {
+		inDirect[p] = true
+	}
+	for _, p := range viaViews {
+		if !inDirect[p] {
+			t.Fatalf("rewriting produced pair outside the query answer: %v", p)
+		}
+	}
+	if len(viaViews) >= len(direct) {
+		t.Fatalf("expected strict containment: %d vs %d", len(viaViews), len(direct))
+	}
+}
+
+func TestMaterializeViews(t *testing.T) {
+	tt := travelTheory()
+	db := travelDB(tt)
+	views := []View{
+		{Name: "vt", Query: mustQuery(t, "rest", map[string]string{"rest": "=restaurant"})},
+	}
+	r, err := Rewrite(Atomic("rest", theory.Eq("restaurant")), views, tt, Grounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vg := r.MaterializeViews(db)
+	if vg.NumNodes() != db.NumNodes() {
+		t.Fatal("view graph must share the node set")
+	}
+	if vg.NumEdges() != 2 { // two restaurant edges in travelDB
+		t.Fatalf("view graph has %d edges, want 2", vg.NumEdges())
+	}
+}
+
+// TestCompressedMethodAgrees: the Section 4.2 class-quotient
+// construction produces the same Σ_Q rewriting language and exactness
+// verdict as the grounded construction.
+func TestCompressedMethodAgrees(t *testing.T) {
+	r := rand.New(rand.NewSource(5005))
+	tt := theory.New()
+	tt.AddConstants("a", "b", "c", "d", "e", "f")
+	tt.Declare("p", "a", "b", "c")
+	tt.Declare("q", "c", "d")
+
+	formulaPool := []string{"=a", "p", "q", "p | q", "!p", "p & q", "true"}
+	exprPool := []string{"f1·f2", "f1*", "(f1+f2)·f3", "f1·(f2+f3)*"}
+	randomQuery := func() *Query {
+		formulas := map[string]string{
+			"f1": formulaPool[r.Intn(len(formulaPool))],
+			"f2": formulaPool[r.Intn(len(formulaPool))],
+			"f3": formulaPool[r.Intn(len(formulaPool))],
+		}
+		return mustQuery(t, exprPool[r.Intn(len(exprPool))], formulas)
+	}
+	for trial := 0; trial < 20; trial++ {
+		q0 := randomQuery()
+		views := []View{
+			{Name: "u1", Query: randomQuery()},
+			{Name: "u2", Query: randomQuery()},
+		}
+		rg, err := Rewrite(q0, views, tt, Grounded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := Rewrite(q0, views, tt, Compressed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !automata.Equivalent(rg.NFA(), rc.NFA()) {
+			t.Fatalf("trial %d: compressed rewriting differs:\n%s\nvs\n%s",
+				trial, rg.RegexOverViews(), rc.RegexOverViews())
+		}
+		eg, _ := rg.IsExact()
+		ec, _ := rc.IsExact()
+		if eg != ec {
+			t.Fatalf("trial %d: exactness differs: grounded=%v compressed=%v", trial, eg, ec)
+		}
+	}
+}
+
+// TestCompressedScalesWithClassesNotDomain: with only one predicate,
+// the class alphabet has ≤2 symbols no matter how large D is.
+func TestCompressedScalesWithClassesNotDomain(t *testing.T) {
+	tt := theory.New()
+	for i := 0; i < 500; i++ {
+		name := fmt.Sprintf("d%d", i)
+		tt.AddConstant(name)
+		if i%2 == 0 {
+			tt.Declare("even", name)
+		}
+	}
+	q0 := mustQuery(t, "f·f", map[string]string{"f": "even"})
+	views := []View{{Name: "v", Query: mustQuery(t, "f", map[string]string{"f": "even"})}}
+	rc, err := Rewrite(q0, views, tt, Compressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The compressed A_d lives over the 2-class alphabet: tiny.
+	if rc.Ad.Alphabet().Len() > 2 {
+		t.Fatalf("class alphabet has %d symbols, want ≤ 2", rc.Ad.Alphabet().Len())
+	}
+	if !rc.Accepts("v", "v") {
+		t.Fatal("v·v should rewrite f·f")
+	}
+	exact, _ := rc.IsExact()
+	if !exact {
+		t.Fatal("rewriting should be exact")
+	}
+}

@@ -1,0 +1,77 @@
+package theory
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Read parses the text format of WriteTo:
+//
+//	# comment
+//	const rome jerusalem paris
+//	pred city rome jerusalem paris
+//
+// "const" lines declare domain constants; "pred" lines declare a
+// predicate and the constants it holds of (which are added to the
+// domain if new). Blank lines and '#' comments are ignored.
+func Read(r io.Reader) (*Interpretation, error) {
+	t := New()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "const":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("theory: line %d: const needs at least one name", lineNo)
+			}
+			t.AddConstants(fields[1:]...)
+		case "pred":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("theory: line %d: pred needs a name", lineNo)
+			}
+			t.Declare(fields[1], fields[2:]...)
+		default:
+			return nil, fmt.Errorf("theory: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// WriteTo serializes the interpretation in the format read by Read.
+func (t *Interpretation) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	if t.domain.Len() > 0 {
+		n, err := fmt.Fprintf(w, "const %s\n", strings.Join(t.domain.Names(), " "))
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	for _, p := range t.Predicates() {
+		var members []string
+		for _, c := range t.domain.Symbols() {
+			if t.Holds(p, c) {
+				members = append(members, t.domain.Name(c))
+			}
+		}
+		sort.Strings(members)
+		n, err := fmt.Fprintf(w, "pred %s %s\n", p, strings.Join(members, " "))
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

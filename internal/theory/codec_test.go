@@ -1,0 +1,59 @@
+package theory
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	orig := travel()
+	var b strings.Builder
+	if _, err := orig.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Domain().Len() != orig.Domain().Len() {
+		t.Fatalf("domain %d vs %d", back.Domain().Len(), orig.Domain().Len())
+	}
+	for _, p := range orig.Predicates() {
+		for _, c := range orig.Domain().Symbols() {
+			name := orig.Domain().Name(c)
+			cc := back.Domain().Lookup(name)
+			if back.Holds(p, cc) != orig.Holds(p, c) {
+				t.Fatalf("predicate %s differs on %s", p, name)
+			}
+		}
+	}
+}
+
+func TestReadComments(t *testing.T) {
+	in := "# a comment\n\nconst a b\npred p a\n"
+	tt, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Domain().Len() != 2 || len(tt.Predicates()) != 1 {
+		t.Fatalf("domain=%d preds=%v", tt.Domain().Len(), tt.Predicates())
+	}
+}
+
+func TestReadPredAddsConstants(t *testing.T) {
+	tt, err := Read(strings.NewReader("pred p x y\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Domain().Len() != 2 {
+		t.Fatal("pred line should add constants")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	for _, in := range []string{"const\n", "pred\n", "frob a b\n"} {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read(%q) should fail", in)
+		}
+	}
+}

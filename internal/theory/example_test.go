@@ -1,0 +1,29 @@
+package theory_test
+
+import (
+	"fmt"
+
+	"regexrw/internal/theory"
+)
+
+func ExampleInterpretation_Entails() {
+	t := theory.New()
+	t.AddConstants("rome", "paris")
+	t.Declare("city", "rome", "paris")
+	t.Declare("italian", "rome")
+
+	f := theory.MustParseFormula("city & !italian")
+	for _, c := range t.Domain().Symbols() {
+		fmt.Printf("%s: %v\n", t.Domain().Name(c), t.Entails(f, c))
+	}
+	// Output:
+	// rome: false
+	// paris: true
+}
+
+func ExampleSimplify() {
+	f := theory.MustParseFormula("(city & true) | false | !!venue")
+	fmt.Println(theory.Simplify(f))
+	// Output:
+	// city | venue
+}

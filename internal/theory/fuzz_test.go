@@ -1,0 +1,28 @@
+package theory
+
+import "testing"
+
+// FuzzParseFormula checks that the formula parser never panics and
+// that accepted formulas print to a re-parseable fixpoint.
+func FuzzParseFormula(f *testing.F) {
+	for _, seed := range []string{
+		"city", "=rome", "a & b | c", "!(a | b)", "true", "false",
+		"¬x ∧ y ∨ z", "", "=", "&", "((a)", "a ⊥ b", "=rome | =jerusalem",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		formula, err := ParseFormula(input)
+		if err != nil {
+			return
+		}
+		printed := formula.String()
+		again, err := ParseFormula(printed)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", printed, input, err)
+		}
+		if again.String() != printed {
+			t.Fatalf("String not a fixpoint: %q -> %q", printed, again.String())
+		}
+	})
+}

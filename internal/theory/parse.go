@@ -1,0 +1,205 @@
+package theory
+
+import (
+	"fmt"
+	"unicode"
+	"unicode/utf8"
+)
+
+// ParseFormula parses the package's concrete formula syntax:
+//
+//	or    := and { '|' and }
+//	and   := unary { '&' unary }
+//	unary := '!' unary | atom
+//	atom  := 'true' | 'false' | '=' ident | ident | '(' or ')'
+//
+// An identifier is a predicate name; '=c' is the elementary formula
+// λz. z = c. Examples: "restaurant", "=rome | =jerusalem",
+// "city & !(=rome)".
+func ParseFormula(input string) (Formula, error) {
+	p := &fparser{input: input}
+	p.next()
+	f, err := p.or()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok != ftokEOF {
+		return nil, fmt.Errorf("theory: unexpected %q at offset %d", p.lit, p.pos)
+	}
+	return f, nil
+}
+
+// MustParseFormula is ParseFormula that panics on error.
+func MustParseFormula(input string) Formula {
+	f, err := ParseFormula(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type ftoken int
+
+const (
+	ftokEOF ftoken = iota
+	ftokIdent
+	ftokEq
+	ftokNot
+	ftokAnd
+	ftokOr
+	ftokLParen
+	ftokRParen
+	ftokInvalid
+)
+
+type fparser struct {
+	input string
+	pos   int
+	off   int
+	tok   ftoken
+	lit   string
+}
+
+func (p *fparser) next() {
+	for p.off < len(p.input) {
+		r, w := utf8.DecodeRuneInString(p.input[p.off:])
+		if !unicode.IsSpace(r) {
+			break
+		}
+		p.off += w
+	}
+	p.pos = p.off
+	if p.off >= len(p.input) {
+		p.tok, p.lit = ftokEOF, ""
+		return
+	}
+	r, w := utf8.DecodeRuneInString(p.input[p.off:])
+	switch r {
+	case '!', '¬':
+		p.tok, p.lit = ftokNot, string(r)
+		p.off += w
+		return
+	case '&', '∧':
+		p.tok, p.lit = ftokAnd, string(r)
+		p.off += w
+		return
+	case '|', '∨':
+		p.tok, p.lit = ftokOr, string(r)
+		p.off += w
+		return
+	case '=':
+		p.tok, p.lit = ftokEq, "="
+		p.off += w
+		return
+	case '(':
+		p.tok, p.lit = ftokLParen, "("
+		p.off += w
+		return
+	case ')':
+		p.tok, p.lit = ftokRParen, ")"
+		p.off += w
+		return
+	}
+	if isIdentRune(r) {
+		start := p.off
+		for p.off < len(p.input) {
+			r, w := utf8.DecodeRuneInString(p.input[p.off:])
+			if !isIdentRune(r) {
+				break
+			}
+			p.off += w
+		}
+		p.tok, p.lit = ftokIdent, p.input[start:p.off]
+		return
+	}
+	p.tok, p.lit = ftokInvalid, string(r)
+	p.off += w
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+func (p *fparser) or() (Formula, error) {
+	first, err := p.and()
+	if err != nil {
+		return nil, err
+	}
+	subs := []Formula{first}
+	for p.tok == ftokOr {
+		p.next()
+		f, err := p.and()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, f)
+	}
+	return Or(subs...), nil
+}
+
+func (p *fparser) and() (Formula, error) {
+	first, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	subs := []Formula{first}
+	for p.tok == ftokAnd {
+		p.next()
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, f)
+	}
+	return And(subs...), nil
+}
+
+func (p *fparser) unary() (Formula, error) {
+	if p.tok == ftokNot {
+		p.next()
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(f), nil
+	}
+	return p.atom()
+}
+
+func (p *fparser) atom() (Formula, error) {
+	switch p.tok {
+	case ftokIdent:
+		lit := p.lit
+		p.next()
+		switch lit {
+		case "true":
+			return True(), nil
+		case "false":
+			return False(), nil
+		}
+		return Pred(lit), nil
+	case ftokEq:
+		p.next()
+		if p.tok != ftokIdent {
+			return nil, fmt.Errorf("theory: '=' must be followed by a constant at offset %d", p.pos)
+		}
+		c := p.lit
+		p.next()
+		return Eq(c), nil
+	case ftokLParen:
+		p.next()
+		f, err := p.or()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok != ftokRParen {
+			return nil, fmt.Errorf("theory: missing ')' at offset %d", p.pos)
+		}
+		p.next()
+		return f, nil
+	case ftokEOF:
+		return nil, fmt.Errorf("theory: unexpected end of formula")
+	default:
+		return nil, fmt.Errorf("theory: unexpected %q at offset %d", p.lit, p.pos)
+	}
+}

@@ -1,0 +1,95 @@
+package theory
+
+// Simplify returns an equivalent formula with boolean identities
+// applied bottom-up: constant folding (true/false absorption and
+// identity), double-negation elimination, and flattening of nested
+// conjunctions/disjunctions with duplicate removal. Equivalence here is
+// logical (valid in every interpretation), not merely in one model.
+func Simplify(f Formula) Formula {
+	switch g := f.(type) {
+	case trueF, falseF, predF, eqF:
+		return f
+	case notF:
+		sub := Simplify(g.sub)
+		switch s := sub.(type) {
+		case trueF:
+			return False()
+		case falseF:
+			return True()
+		case notF:
+			return s.sub
+		}
+		return Not(sub)
+	case andF:
+		return simplifyAnd(g.subs)
+	case orF:
+		return simplifyOr(g.subs)
+	}
+	return f
+}
+
+func simplifyAnd(subs []Formula) Formula {
+	var flat []Formula
+	seen := map[string]bool{}
+	for _, s := range subs {
+		s = Simplify(s)
+		switch inner := s.(type) {
+		case trueF:
+			continue
+		case falseF:
+			return False()
+		case andF:
+			for _, is := range inner.subs {
+				if key := is.String(); !seen[key] {
+					seen[key] = true
+					flat = append(flat, is)
+				}
+			}
+			continue
+		}
+		if key := s.String(); !seen[key] {
+			seen[key] = true
+			flat = append(flat, s)
+		}
+	}
+	// φ ∧ ¬φ = false.
+	for _, s := range flat {
+		if n, ok := s.(notF); ok && seen[n.sub.String()] {
+			return False()
+		}
+	}
+	return And(flat...)
+}
+
+func simplifyOr(subs []Formula) Formula {
+	var flat []Formula
+	seen := map[string]bool{}
+	for _, s := range subs {
+		s = Simplify(s)
+		switch inner := s.(type) {
+		case falseF:
+			continue
+		case trueF:
+			return True()
+		case orF:
+			for _, is := range inner.subs {
+				if key := is.String(); !seen[key] {
+					seen[key] = true
+					flat = append(flat, is)
+				}
+			}
+			continue
+		}
+		if key := s.String(); !seen[key] {
+			seen[key] = true
+			flat = append(flat, s)
+		}
+	}
+	// φ ∨ ¬φ = true.
+	for _, s := range flat {
+		if n, ok := s.(notF); ok && seen[n.sub.String()] {
+			return True()
+		}
+	}
+	return Or(flat...)
+}

@@ -1,0 +1,88 @@
+package theory
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimplifyIdentities(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"true & a", "a"},
+		{"a & true", "a"},
+		{"false & a", "false"},
+		{"false | a", "a"},
+		{"true | a", "true"},
+		{"!!a", "a"},
+		{"!true", "false"},
+		{"!false", "true"},
+		{"a & a", "a"},
+		{"a | a", "a"},
+		{"a & !a", "false"},
+		{"a | !a", "true"},
+		{"a & (b & c)", "a & b & c"},
+		{"a | (b | c)", "a | b | c"},
+		{"a & (true | b)", "a"},
+		{"=x | false", "=x"},
+	}
+	for _, c := range cases {
+		got := Simplify(MustParseFormula(c.in))
+		if got.String() != c.want {
+			t.Errorf("Simplify(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSimplifyLeavesIrreducible(t *testing.T) {
+	for _, in := range []string{"a", "=x", "a & b", "a | b & c", "!(a | b)"} {
+		got := Simplify(MustParseFormula(in))
+		if got.String() != in {
+			t.Errorf("Simplify(%q) = %q, want unchanged", in, got)
+		}
+	}
+}
+
+// Property: simplification preserves the truth table over a random
+// interpretation.
+func TestPropertySimplifyPreservesTruth(t *testing.T) {
+	tt := New()
+	tt.AddConstants("c1", "c2", "c3", "c4")
+	tt.Declare("a", "c1", "c2")
+	tt.Declare("b", "c2", "c3")
+
+	r := rand.New(rand.NewSource(17))
+	var randomFormula func(depth int) Formula
+	randomFormula = func(depth int) Formula {
+		if depth == 0 {
+			switch r.Intn(5) {
+			case 0:
+				return True()
+			case 1:
+				return False()
+			case 2:
+				return Pred("a")
+			case 3:
+				return Pred("b")
+			default:
+				return Eq("c1")
+			}
+		}
+		switch r.Intn(3) {
+		case 0:
+			return Not(randomFormula(depth - 1))
+		case 1:
+			return And(randomFormula(depth-1), randomFormula(depth-1))
+		default:
+			return Or(randomFormula(depth-1), randomFormula(depth-1))
+		}
+	}
+	for trial := 0; trial < 100; trial++ {
+		f := randomFormula(3)
+		s := Simplify(f)
+		for _, c := range tt.Domain().Symbols() {
+			if tt.Entails(f, c) != tt.Entails(s, c) {
+				t.Fatalf("Simplify changed truth: %s vs %s at %s",
+					f, s, tt.Domain().Name(c))
+			}
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package theory implements the decidable, complete first-order theory T
+// over a finite domain D that Section 4 of the paper assumes: queries
+// over semi-structured data are regular languages over unary formulae of
+// T, and query evaluation needs the entailment judgement T ⊨ φ(a).
+//
+// The theory is realized as the complete theory of a single finite
+// interpretation: a domain of constants plus an extension for every
+// unary predicate. Completeness is automatic (every closed formula is
+// true or false in the one model), decidability is evaluation, and —
+// matching the paper's cost model from [BDFS97] — entailment checks are
+// constant-time table lookups.
+package theory
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"regexrw/internal/alphabet"
+)
+
+// Interpretation is a finite structure: a domain D of named constants
+// and unary predicates with explicit extensions. It induces the
+// complete theory used for formula entailment. The zero value is not
+// usable; create with New.
+type Interpretation struct {
+	domain *alphabet.Alphabet
+	preds  map[string]map[alphabet.Symbol]bool
+}
+
+// New returns an interpretation with an empty domain and no predicates.
+func New() *Interpretation {
+	return &Interpretation{domain: alphabet.New(), preds: map[string]map[alphabet.Symbol]bool{}}
+}
+
+// AddConstant adds a constant to D (idempotent) and returns its symbol.
+func (t *Interpretation) AddConstant(name string) alphabet.Symbol {
+	return t.domain.Intern(name)
+}
+
+// AddConstants adds several constants.
+func (t *Interpretation) AddConstants(names ...string) {
+	for _, n := range names {
+		t.domain.Intern(n)
+	}
+}
+
+// Declare asserts that predicate pred holds of the given constants
+// (adding them to D if needed). A predicate may be declared repeatedly;
+// extensions accumulate.
+func (t *Interpretation) Declare(pred string, constants ...string) {
+	ext := t.preds[pred]
+	if ext == nil {
+		ext = map[alphabet.Symbol]bool{}
+		t.preds[pred] = ext
+	}
+	for _, c := range constants {
+		ext[t.domain.Intern(c)] = true
+	}
+}
+
+// Domain returns the domain alphabet D.
+func (t *Interpretation) Domain() *alphabet.Alphabet { return t.domain }
+
+// Predicates returns the declared predicate names, sorted.
+func (t *Interpretation) Predicates() []string {
+	out := make([]string, 0, len(t.preds))
+	for p := range t.preds {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Holds reports whether predicate pred is true of constant c.
+// Undeclared predicates are everywhere-false.
+func (t *Interpretation) Holds(pred string, c alphabet.Symbol) bool {
+	return t.preds[pred][c]
+}
+
+// Entails is the judgement T ⊨ φ(a). Because T is the complete theory
+// of this interpretation, entailment is evaluation.
+func (t *Interpretation) Entails(f Formula, a alphabet.Symbol) bool {
+	return f.eval(t, a)
+}
+
+// EntailsName is Entails with the constant given by name; unknown names
+// are rejected.
+func (t *Interpretation) EntailsName(f Formula, name string) (bool, error) {
+	c := t.domain.Lookup(name)
+	if c == alphabet.None {
+		return false, fmt.Errorf("theory: unknown constant %q", name)
+	}
+	return t.Entails(f, c), nil
+}
+
+// Satisfiers returns the constants of D satisfying f, in domain order.
+func (t *Interpretation) Satisfiers(f Formula) []alphabet.Symbol {
+	var out []alphabet.Symbol
+	for _, c := range t.domain.Symbols() {
+		if f.eval(t, c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Formula is a unary formula of T (one free variable z). Formulae are
+// immutable.
+type Formula interface {
+	eval(t *Interpretation, a alphabet.Symbol) bool
+	// String renders the formula in the package's concrete syntax; the
+	// output re-parses to an equivalent formula.
+	String() string
+}
+
+type (
+	trueF  struct{}
+	falseF struct{}
+	predF  struct{ name string }
+	eqF    struct{ constant string }
+	notF   struct{ sub Formula }
+	andF   struct{ subs []Formula }
+	orF    struct{ subs []Formula }
+)
+
+// True is the formula satisfied by every constant.
+func True() Formula { return trueF{} }
+
+// False is the unsatisfiable formula.
+func False() Formula { return falseF{} }
+
+// Pred is the atomic formula P(z) for predicate name P.
+func Pred(name string) Formula { return predF{name} }
+
+// Eq is the elementary formula λz. z = constant (the paper abbreviates
+// it by the constant itself).
+func Eq(constant string) Formula { return eqF{constant} }
+
+// Not negates a formula.
+func Not(sub Formula) Formula { return notF{sub} }
+
+// And conjoins formulae (True for none).
+func And(subs ...Formula) Formula {
+	if len(subs) == 0 {
+		return True()
+	}
+	if len(subs) == 1 {
+		return subs[0]
+	}
+	return andF{subs}
+}
+
+// Or disjoins formulae (False for none).
+func Or(subs ...Formula) Formula {
+	if len(subs) == 0 {
+		return False()
+	}
+	if len(subs) == 1 {
+		return subs[0]
+	}
+	return orF{subs}
+}
+
+func (trueF) eval(*Interpretation, alphabet.Symbol) bool  { return true }
+func (falseF) eval(*Interpretation, alphabet.Symbol) bool { return false }
+
+func (f predF) eval(t *Interpretation, a alphabet.Symbol) bool { return t.Holds(f.name, a) }
+
+func (f eqF) eval(t *Interpretation, a alphabet.Symbol) bool {
+	return t.domain.Lookup(f.constant) == a
+}
+
+func (f notF) eval(t *Interpretation, a alphabet.Symbol) bool { return !f.sub.eval(t, a) }
+
+func (f andF) eval(t *Interpretation, a alphabet.Symbol) bool {
+	for _, s := range f.subs {
+		if !s.eval(t, a) {
+			return false
+		}
+	}
+	return true
+}
+
+func (f orF) eval(t *Interpretation, a alphabet.Symbol) bool {
+	for _, s := range f.subs {
+		if s.eval(t, a) {
+			return true
+		}
+	}
+	return false
+}
+
+func (trueF) String() string   { return "true" }
+func (falseF) String() string  { return "false" }
+func (f predF) String() string { return f.name }
+func (f eqF) String() string   { return "=" + f.constant }
+func (f notF) String() string  { return "!" + parenthesize(f.sub) }
+func (f andF) String() string  { return joinFormulas(f.subs, " & ", 1) }
+func (f orF) String() string   { return joinFormulas(f.subs, " | ", 0) }
+
+// prec orders connectives for printing: or < and < atoms/negation.
+func prec(f Formula) int {
+	switch f.(type) {
+	case orF:
+		return 0
+	case andF:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func parenthesize(f Formula) string {
+	if prec(f) < 2 {
+		return "(" + f.String() + ")"
+	}
+	return f.String()
+}
+
+func joinFormulas(subs []Formula, sep string, myPrec int) string {
+	parts := make([]string, len(subs))
+	for i, s := range subs {
+		if prec(s) < myPrec {
+			parts[i] = "(" + s.String() + ")"
+		} else {
+			parts[i] = s.String()
+		}
+	}
+	return strings.Join(parts, sep)
+}

@@ -1,0 +1,216 @@
+package theory
+
+import (
+	"testing"
+	"testing/quick"
+
+	"regexrw/internal/alphabet"
+)
+
+// travel returns the interpretation used by the travel examples:
+// cities rome/jerusalem/paris, a restaurant constant, and predicates.
+func travel() *Interpretation {
+	t := New()
+	t.AddConstants("rome", "jerusalem", "paris", "trattoria", "falafel")
+	t.Declare("city", "rome", "jerusalem", "paris")
+	t.Declare("restaurant", "trattoria", "falafel")
+	t.Declare("european", "rome", "paris")
+	return t
+}
+
+func TestHolds(t *testing.T) {
+	tt := travel()
+	rome := tt.Domain().Lookup("rome")
+	if !tt.Holds("city", rome) {
+		t.Fatal("city(rome) should hold")
+	}
+	if tt.Holds("restaurant", rome) {
+		t.Fatal("restaurant(rome) should not hold")
+	}
+	if tt.Holds("nonexistent", rome) {
+		t.Fatal("undeclared predicate should be false")
+	}
+}
+
+func TestEntailsConnectives(t *testing.T) {
+	tt := travel()
+	rome := tt.Domain().Lookup("rome")
+	jerusalem := tt.Domain().Lookup("jerusalem")
+	cases := []struct {
+		f    Formula
+		c    alphabet.Symbol
+		want bool
+	}{
+		{True(), rome, true},
+		{False(), rome, false},
+		{Pred("city"), rome, true},
+		{Eq("rome"), rome, true},
+		{Eq("rome"), jerusalem, false},
+		{Not(Eq("rome")), jerusalem, true},
+		{And(Pred("city"), Pred("european")), rome, true},
+		{And(Pred("city"), Pred("european")), jerusalem, false},
+		{Or(Eq("rome"), Eq("jerusalem")), jerusalem, true},
+		{Or(), rome, false},
+		{And(), rome, true},
+	}
+	for i, c := range cases {
+		if got := tt.Entails(c.f, c.c); got != c.want {
+			t.Errorf("case %d: Entails(%s) = %v, want %v", i, c.f, got, c.want)
+		}
+	}
+}
+
+func TestEntailsName(t *testing.T) {
+	tt := travel()
+	ok, err := tt.EntailsName(Pred("city"), "rome")
+	if err != nil || !ok {
+		t.Fatalf("EntailsName = %v, %v", ok, err)
+	}
+	if _, err := tt.EntailsName(True(), "atlantis"); err == nil {
+		t.Fatal("unknown constant accepted")
+	}
+}
+
+func TestSatisfiers(t *testing.T) {
+	tt := travel()
+	got := tt.Satisfiers(Pred("city"))
+	if len(got) != 3 {
+		t.Fatalf("Satisfiers(city) = %d constants, want 3", len(got))
+	}
+	if len(tt.Satisfiers(False())) != 0 {
+		t.Fatal("Satisfiers(false) nonempty")
+	}
+	if len(tt.Satisfiers(True())) != tt.Domain().Len() {
+		t.Fatal("Satisfiers(true) should be the whole domain")
+	}
+}
+
+func TestCompleteness(t *testing.T) {
+	// For every formula and constant, exactly one of φ(a), ¬φ(a) is
+	// entailed — the theory is complete.
+	tt := travel()
+	formulas := []Formula{
+		True(), False(), Pred("city"), Eq("rome"),
+		And(Pred("city"), Not(Pred("european"))),
+		Or(Pred("restaurant"), Eq("paris")),
+	}
+	for _, f := range formulas {
+		for _, c := range tt.Domain().Symbols() {
+			if tt.Entails(f, c) == tt.Entails(Not(f), c) {
+				t.Fatalf("incomplete on %s(%s)", f, tt.Domain().Name(c))
+			}
+		}
+	}
+}
+
+func TestPredicatesSorted(t *testing.T) {
+	tt := travel()
+	got := tt.Predicates()
+	want := []string{"city", "european", "restaurant"}
+	if len(got) != len(want) {
+		t.Fatalf("Predicates = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Predicates = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseFormula(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"city", "city"},
+		{"=rome", "=rome"},
+		{"true", "true"},
+		{"false", "false"},
+		{"!city", "!city"},
+		{"¬city", "!city"},
+		{"city & european", "city & european"},
+		{"city ∧ european", "city & european"},
+		{"=rome | =jerusalem", "=rome | =jerusalem"},
+		{"=rome ∨ =jerusalem", "=rome | =jerusalem"},
+		{"city & (a | b)", "city & (a | b)"},
+		{"!(a | b)", "!(a | b)"},
+		{"a | b & c", "a | b & c"},
+		{"(a | b) & c", "(a | b) & c"},
+	}
+	for _, c := range cases {
+		f, err := ParseFormula(c.in)
+		if err != nil {
+			t.Errorf("ParseFormula(%q): %v", c.in, err)
+			continue
+		}
+		if got := f.String(); got != c.want {
+			t.Errorf("ParseFormula(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseFormulaErrors(t *testing.T) {
+	for _, in := range []string{"", "&", "a &", "(a", "a)", "=", "= |", "a ⊥ b", "!"} {
+		if f, err := ParseFormula(in); err == nil {
+			t.Errorf("ParseFormula(%q) = %v, want error", in, f)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	tt := travel()
+	// a | b & c parses as a | (b & c).
+	f := MustParseFormula("restaurant | city & european")
+	for _, c := range tt.Domain().Symbols() {
+		want := tt.Holds("restaurant", c) || (tt.Holds("city", c) && tt.Holds("european", c))
+		if tt.Entails(f, c) != want {
+			t.Fatalf("precedence wrong at %s", tt.Domain().Name(c))
+		}
+	}
+}
+
+func TestMustParseFormulaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustParseFormula("(((")
+}
+
+// Property: String re-parses to a formula with the same truth table.
+func TestQuickStringRoundTrip(t *testing.T) {
+	tt := travel()
+	formulas := []Formula{
+		Pred("city"), Eq("rome"), Not(Pred("european")),
+		And(Pred("city"), Or(Eq("rome"), Eq("paris"))),
+		Or(And(Pred("city"), Not(Eq("rome"))), Pred("restaurant")),
+		Not(Or(Pred("city"), Pred("restaurant"))),
+		And(Or(Pred("a"), Pred("b")), Or(Pred("c"), Pred("d"))),
+	}
+	f := func(idx uint8) bool {
+		orig := formulas[int(idx)%len(formulas)]
+		parsed, err := ParseFormula(orig.String())
+		if err != nil {
+			return false
+		}
+		for _, c := range tt.Domain().Symbols() {
+			if tt.Entails(orig, c) != tt.Entails(parsed, c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeclareAccumulates(t *testing.T) {
+	tt := New()
+	tt.Declare("p", "x")
+	tt.Declare("p", "y")
+	if len(tt.Satisfiers(Pred("p"))) != 2 {
+		t.Fatal("Declare should accumulate")
+	}
+}

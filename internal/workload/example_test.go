@@ -1,0 +1,28 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"regexrw/internal/core"
+	"regexrw/internal/workload"
+)
+
+// The Theorem 8 family: polynomial input, exponential rewriting.
+func ExampleCounterFamily() {
+	inst := workload.CounterFamily(2)
+	r := core.MaximalRewriting(inst)
+	fmt.Println("rewriting DFA states:", r.MinimalDFA().NumStates())
+	fmt.Println("counter word accepted:", r.Accepts(workload.CounterWord(2)...))
+	// Output:
+	// rewriting DFA states: 13
+	// counter word accepted: true
+}
+
+func ExampleChainFamily() {
+	inst := workload.ChainFamily(3)
+	r := core.MaximalRewriting(inst)
+	exact, _ := r.IsExact()
+	fmt.Println(r.Regex(), exact)
+	// Output:
+	// v1·v2·v3 true
+}

@@ -1,0 +1,276 @@
+// Package workload generates the problem instances used by the
+// experiment harness and the benchmarks: the paper's lower-bound
+// families (Theorems 7 and 8), determinization-blowup families, benign
+// chain families with known exact rewritings, and seeded random
+// instances for scaling sweeps.
+package workload
+
+import (
+	"fmt"
+
+	"regexrw/internal/core"
+	"regexrw/internal/regex"
+)
+
+// DetBlowupFamily returns the instance E0 = (a+b)*·a·(a+b)^{n-1} with
+// elementary views for a and b. The maximal rewriting is the same
+// language over Σ_E, whose minimal DFA has 2^n states while the input
+// has size O(n): the determinization-driven half of the Theorem 8
+// story (the rewriting still has a short regular expression).
+func DetBlowupFamily(n int) *core.Instance {
+	if n < 1 {
+		panic("workload: DetBlowupFamily needs n ≥ 1")
+	}
+	anyAB := regex.Union(regex.Sym("a"), regex.Sym("b"))
+	parts := []*regex.Node{regex.Star(anyAB), regex.Sym("a")}
+	for i := 1; i < n; i++ {
+		parts = append(parts, anyAB)
+	}
+	inst, err := core.NewInstance(regex.Concat(parts...), []core.View{
+		{Name: "va", Expr: regex.Sym("a")},
+		{Name: "vb", Expr: regex.Sym("b")},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// CounterFamily builds the Theorem 8 construction: a polynomial-size
+// instance whose Σ_E-maximal rewriting, restricted to well-structured
+// words, is the single word spelling an n-bit binary counter counting
+// 0 … 2^n−1 (each number LSB-first) — a word of length n·2^n. Any
+// automaton or regular expression for the rewriting therefore has size
+// ≥ 2^n/poly(n).
+//
+// Encoding. Σ = {c0, c1, h, l}: each "block" is a value symbol (c0/c1)
+// followed by a highlight flag (h/l). The two views expand a bit to a
+// block with a free choice of highlight:
+//
+//	re(v0) = c0·(h+l)        re(v1) = c1·(h+l)
+//
+// so the expansions of a Σ_E-word range over all ways of highlighting
+// its blocks — the universal quantification over expansions becomes a
+// universal quantification over which single pair of blocks E0 gets to
+// compare. E0 is a union of three groups:
+//
+//	E_hl     — accepts every expansion whose highlighting is unusable
+//	           (≠ 2 highlights, or the two not exactly n blocks apart);
+//	E_struct — accepts (any highlighting of) structurally bad words:
+//	           block count ≢ 0 (mod n), a 1-bit in the first number, or
+//	           a 0-bit in the last number;
+//	E_check  — accepts expansions with a proper highlighted pair whose
+//	           two bits satisfy the ripple-carry increment relation:
+//	           with j = the pair's bit position, the bit flips iff bits
+//	           0…j−1 of the earlier number are all 1.
+//
+// A word u is in the rewriting iff every expansion is accepted: for the
+// counter word every comparison succeeds; for a structurally good word
+// with an increment error, highlighting the offending pair yields a
+// rejected expansion. The rewriting is exactly
+// {structurally bad words} ∪ {ε} ∪ {counter word}, whose automaton
+// must be exponential because intersecting it with the polynomial
+// "structurally good, nonempty" language leaves the singleton counter
+// word of length n·2^n.
+func CounterFamily(n int) *core.Instance {
+	return counterFamily(n, false)
+}
+
+func counterFamily(n int, sabotage bool) *core.Instance {
+	if n < 1 {
+		panic("workload: CounterFamily needs n ≥ 1")
+	}
+	c0, c1 := regex.Sym("c0"), regex.Sym("c1")
+	hl := regex.Union(regex.Sym("h"), regex.Sym("l"))
+	block := regex.Concat(regex.Union(c0, c1), hl)                // B: any block
+	blockLow := regex.Concat(regex.Union(c0, c1), regex.Sym("l")) // Bl
+	blockHi := regex.Concat(regex.Union(c0, c1), regex.Sym("h"))  // Bh
+	block1 := regex.Concat(c1, hl)                                // value-1 block
+	block0 := regex.Concat(c0, hl)                                // value-0 block
+	valHi := func(bit int) *regex.Node {                          // highlighted block with value bit
+		if bit == 1 {
+			return regex.Concat(c1, regex.Sym("h"))
+		}
+		return regex.Concat(c0, regex.Sym("h"))
+	}
+	rep := func(node *regex.Node, k int) []*regex.Node {
+		out := make([]*regex.Node, k)
+		for i := range out {
+			out[i] = node
+		}
+		return out
+	}
+	blocks := func(k int) *regex.Node { return regex.Concat(rep(block, k)...) }
+	alignedSkip := regex.Star(blocks(n)) // (B^n)*
+
+	var branches []*regex.Node
+
+	// E_hl: unusable highlightings.
+	branches = append(branches,
+		regex.Star(blockLow), // zero highlights
+		regex.Concat(regex.Star(blockLow), blockHi, regex.Star(blockLow)), // one highlight
+		regex.Concat(regex.Star(block), blockHi, regex.Star(block), blockHi,
+			regex.Star(block), blockHi, regex.Star(block)), // ≥3 highlights
+	)
+	for d := 1; d < n; d++ { // two highlights, distance d < n
+		branches = append(branches, regex.Concat(
+			regex.Star(blockLow), blockHi,
+			regex.Concat(rep(blockLow, d-1)...), blockHi,
+			regex.Star(blockLow)))
+	}
+	// two highlights, distance > n
+	branches = append(branches, regex.Concat(
+		regex.Star(blockLow), blockHi,
+		regex.Concat(rep(blockLow, n)...), regex.Star(blockLow), blockHi,
+		regex.Star(blockLow)))
+
+	// E_struct: structurally bad words (any highlighting).
+	for r := 1; r < n; r++ { // block count ≢ 0 (mod n)
+		branches = append(branches, regex.Concat(alignedSkip, blocks(r)))
+	}
+	for j := 0; j < n; j++ { // a 1-bit in the first number
+		branches = append(branches, regex.Concat(blocks(j), block1, regex.Star(block)))
+	}
+	for j := 0; j < n; j++ { // a 0-bit in the last number
+		branches = append(branches, regex.Concat(alignedSkip, blocks(j), block0, blocks(n-1-j)))
+	}
+	// An all-ones number before the end: the counter would wrap around
+	// (…, 2^n−1, 0, …), so the all-ones number must be last.
+	branches = append(branches, regex.Concat(
+		alignedSkip, regex.Concat(rep(block1, n)...), block, regex.Star(block)))
+
+	// E_check: a proper highlighted pair satisfying the increment
+	// relation. The pair sits at bit position j of consecutive numbers.
+	// Under sabotage the j = 0 branches are dropped: no comparison at
+	// bit 0 can ever be certified, so every structurally good word has
+	// a rejected expansion and the rewriting keeps no counter word.
+	startJ := 0
+	if sabotage {
+		startJ = 1
+	}
+	for j := startJ; j < n; j++ {
+		for b := 0; b <= 1; b++ {
+			// Carry into position j is 1 (bits 0…j−1 all 1): bit flips.
+			branches = append(branches, regex.Concat(
+				alignedSkip,
+				regex.Concat(rep(block1, j)...),
+				valHi(b), blocks(n-1), valHi(1-b),
+				regex.Star(block)))
+			// Carry is 0 (some 0 among bits 0…j−1): bit stays.
+			for p := 0; p < j; p++ {
+				branches = append(branches, regex.Concat(
+					alignedSkip,
+					blocks(p), block0, blocks(j-1-p),
+					valHi(b), blocks(n-1), valHi(b),
+					regex.Star(block)))
+			}
+		}
+	}
+
+	inst, err := core.NewInstance(regex.Union(branches...), []core.View{
+		{Name: "v0", Expr: regex.Concat(c0, hl)},
+		{Name: "v1", Expr: regex.Concat(c1, hl)},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// CounterWord returns the Σ_E-word (over view names v0/v1) spelling the
+// n-bit counter 0 … 2^n−1, each number LSB-first: the single
+// structurally good word in the rewriting of CounterFamily(n). Its
+// length is n·2^n.
+func CounterWord(n int) []string {
+	out := make([]string, 0, n<<uint(n))
+	for i := 0; i < 1<<uint(n); i++ {
+		for j := 0; j < n; j++ {
+			if i>>uint(j)&1 == 1 {
+				out = append(out, "v1")
+			} else {
+				out = append(out, "v0")
+			}
+		}
+	}
+	return out
+}
+
+// SabotagedCounterFamily is CounterFamily with the increment checks at
+// bit position 0 removed, so that no expansion highlighting a bit-0
+// pair is ever certified: every structurally good word (which has at
+// least two numbers, hence a bit-0 pair to highlight) acquires a
+// rejected expansion and the rewriting contains no structurally good
+// word. It is the "rejecting machine" side of the Theorem 7
+// experiment: deciding whether the rewriting meets the structurally
+// good language mirrors deciding acceptance of the encoded computation.
+func SabotagedCounterFamily(n int) *core.Instance {
+	return counterFamily(n, true)
+}
+
+// ChainFamily returns the benign instance E0 = x1·x2·…·xk with one
+// elementary view per symbol: the rewriting is the single word
+// v1·v2·…·vk and is exact. Used for best-case scaling sweeps.
+func ChainFamily(k int) *core.Instance {
+	parts := make([]*regex.Node, k)
+	views := make([]core.View, k)
+	for i := 0; i < k; i++ {
+		sym := fmt.Sprintf("x%d", i+1)
+		parts[i] = regex.Sym(sym)
+		views[i] = core.View{Name: fmt.Sprintf("v%d", i+1), Expr: regex.Sym(sym)}
+	}
+	inst, err := core.NewInstance(regex.Concat(parts...), views)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// PairChainFamily returns E0 = x1·…·x2k with views covering adjacent
+// pairs (v_i = x_{2i-1}·x_{2i}): exact rewriting v1·…·vk. Exercises
+// non-elementary views in sweeps.
+func PairChainFamily(k int) *core.Instance {
+	parts := make([]*regex.Node, 2*k)
+	for i := range parts {
+		parts[i] = regex.Sym(fmt.Sprintf("x%d", i+1))
+	}
+	views := make([]core.View, k)
+	for i := 0; i < k; i++ {
+		views[i] = core.View{
+			Name: fmt.Sprintf("v%d", i+1),
+			Expr: regex.Concat(regex.Sym(fmt.Sprintf("x%d", 2*i+1)), regex.Sym(fmt.Sprintf("x%d", 2*i+2))),
+		}
+	}
+	inst, err := core.NewInstance(regex.Concat(parts...), views)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// StructurallyGoodWords returns a regular expression over the
+// CounterFamily view alphabet {v0, v1} denoting the structurally good
+// Σ_E-words with at least two numbers: block count ≡ 0 (mod n), first
+// number all v0, last number all v1, and no all-v1 number before the
+// last (no counter wrap-around). Intersecting it with the
+// CounterFamily rewriting isolates the single counter word.
+func StructurallyGoodWords(n int) *regex.Node {
+	v0, v1 := regex.Sym("v0"), regex.Sym("v1")
+	anyV := regex.Union(v0, v1)
+	rep := func(node *regex.Node, k int) []*regex.Node {
+		out := make([]*regex.Node, k)
+		for i := range out {
+			out[i] = node
+		}
+		return out
+	}
+	// A middle number contains at least one v0.
+	var middles []*regex.Node
+	for p := 0; p < n; p++ {
+		parts := append(rep(anyV, p), v0)
+		parts = append(parts, rep(anyV, n-1-p)...)
+		middles = append(middles, regex.Concat(parts...))
+	}
+	return regex.Concat(regex.Concat(rep(v0, n)...),
+		regex.Star(regex.Union(middles...)),
+		regex.Concat(rep(v1, n)...))
+}

@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"regexrw/internal/automata"
+	"regexrw/internal/core"
+	"regexrw/internal/language"
+)
+
+func TestDetBlowupFamily(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		inst := DetBlowupFamily(n)
+		r := core.MaximalRewriting(inst)
+		got := r.MinimalDFA().NumStates()
+		if got != 1<<uint(n) {
+			t.Errorf("n=%d: minimal rewriting DFA has %d states, want %d", n, got, 1<<uint(n))
+		}
+		// The rewriting is exact: elementary views reproduce E0.
+		if ok, _ := r.IsExact(); !ok {
+			t.Errorf("n=%d: rewriting should be exact", n)
+		}
+	}
+}
+
+func TestCounterWordShape(t *testing.T) {
+	w := CounterWord(2)
+	// 0=00, 1=10, 2=01, 3=11 (LSB first).
+	want := []string{"v0", "v0", "v1", "v0", "v0", "v1", "v1", "v1"}
+	if len(w) != len(want) {
+		t.Fatalf("CounterWord(2) = %v", w)
+	}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("CounterWord(2) = %v, want %v", w, want)
+		}
+	}
+	if got := len(CounterWord(4)); got != 4*16 {
+		t.Fatalf("CounterWord(4) length = %d, want 64", got)
+	}
+}
+
+// TestCounterFamilyAcceptsExactlyTheCounter is the heart of the THM8
+// experiment: within the structurally good words, the rewriting keeps
+// exactly the counter word.
+func TestCounterFamilyAcceptsExactlyTheCounter(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		inst := CounterFamily(n)
+		r := core.MaximalRewriting(inst)
+
+		cw := CounterWord(n)
+		if !r.Accepts(cw...) {
+			t.Fatalf("n=%d: counter word rejected", n)
+		}
+
+		// Intersect the rewriting with the structurally good words: the
+		// result must be the singleton {counter word}.
+		good := StructurallyGoodWords(n).ToNFA(inst.SigmaE().Clone())
+		inter := automata.Intersect(r.NFA(), good)
+		words := language.Enumerate(inter, len(cw)+2*n, 0)
+		if len(words) != 1 {
+			t.Fatalf("n=%d: %d structurally good rewriting words, want 1", n, len(words))
+		}
+		if len(words[0]) != len(cw) {
+			t.Fatalf("n=%d: surviving word has length %d, want %d", n, len(words[0]), len(cw))
+		}
+		for i, s := range words[0] {
+			if inst.SigmaE().Name(s) != cw[i] {
+				t.Fatalf("n=%d: surviving word differs from the counter word at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestCounterFamilyRejectsMutations(t *testing.T) {
+	for n := 2; n <= 3; n++ {
+		inst := CounterFamily(n)
+		r := core.MaximalRewriting(inst)
+		goodLang := StructurallyGoodWords(n).ToNFA(inst.SigmaE().Clone())
+		cw := CounterWord(n)
+		// Flip every symbol position in turn. A mutation that keeps the
+		// word structurally good must break an increment and be rejected;
+		// a mutation that breaks structure (e.g. creates an early
+		// all-ones number) makes every expansion vacuously accepted, so
+		// the word stays in the rewriting.
+		for i := 0; i < len(cw); i++ {
+			mut := append([]string(nil), cw...)
+			if mut[i] == "v0" {
+				mut[i] = "v1"
+			} else {
+				mut[i] = "v0"
+			}
+			structGood := goodLang.AcceptsNames(mut...)
+			accepted := r.Accepts(mut...)
+			if structGood && accepted {
+				t.Fatalf("n=%d: structurally good mutation at %d accepted", n, i)
+			}
+			if !structGood && !accepted {
+				t.Fatalf("n=%d: structurally bad mutation at %d rejected", n, i)
+			}
+		}
+	}
+}
+
+// TestCounterFamilySingletonByCounting strengthens the singleton claim
+// beyond enumeration reach: for n up to 5, COUNT the structurally good
+// rewriting words of every length up to n·2^n with big-integer DP —
+// exactly one word (of exactly the counter length) must exist.
+func TestCounterFamilySingletonByCounting(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		inst := CounterFamily(n)
+		r := core.MaximalRewriting(inst)
+		good := StructurallyGoodWords(n).ToNFA(inst.SigmaE().Clone())
+		inter := automata.Determinize(automata.Intersect(r.NFA(), good)).TrimPartial()
+
+		counterLen := n * (1 << uint(n))
+		total := int64(0)
+		for l := 0; l <= counterLen; l++ {
+			c := language.CountDFA(inter, l)
+			if !c.IsInt64() {
+				t.Fatalf("n=%d: count overflow at length %d", n, l)
+			}
+			if c.Int64() > 0 && l != counterLen {
+				t.Fatalf("n=%d: %d structurally good words of length %d ≠ %d",
+					n, c.Int64(), l, counterLen)
+			}
+			total += c.Int64()
+		}
+		if total != 1 {
+			t.Fatalf("n=%d: %d structurally good words ≤ counter length, want exactly 1", n, total)
+		}
+	}
+}
+
+func TestCounterFamilyGrowth(t *testing.T) {
+	// Input grows polynomially; the minimal rewriting automaton must
+	// grow at least like n·2^n (it traces the counter word).
+	prevSize := 0
+	for n := 1; n <= 5; n++ {
+		inst := CounterFamily(n)
+		r := core.MaximalRewriting(inst)
+		size := r.MinimalDFA().NumStates()
+		if size < n*(1<<uint(n)) {
+			t.Errorf("n=%d: rewriting DFA %d states < n·2^n = %d", n, size, n*(1<<uint(n)))
+		}
+		if size <= prevSize {
+			t.Errorf("n=%d: size %d did not grow (prev %d)", n, size, prevSize)
+		}
+		prevSize = size
+	}
+}
+
+// TestSabotagedCounterFamily is the THM7 experiment shape: the
+// accepting variant has a structurally good rewriting word, the
+// sabotaged ("rejecting computation") variant has none.
+func TestSabotagedCounterFamily(t *testing.T) {
+	for n := 2; n <= 3; n++ {
+		good := core.MaximalRewriting(CounterFamily(n))
+		bad := core.MaximalRewriting(SabotagedCounterFamily(n))
+		goodLang := StructurallyGoodWords(n).ToNFA(good.SigmaE().Clone())
+
+		interGood := automata.Intersect(good.NFA(), goodLang)
+		if interGood.IsEmpty() {
+			t.Fatalf("n=%d: accepting variant lost its counter word", n)
+		}
+		interBad := automata.Intersect(bad.NFA(), goodLang)
+		if !interBad.IsEmpty() {
+			w, _ := interBad.ShortestWord()
+			t.Fatalf("n=%d: sabotaged variant still has structurally good word of length %d", n, len(w))
+		}
+	}
+}
+
+func TestChainFamily(t *testing.T) {
+	for _, k := range []int{1, 3, 6} {
+		inst := ChainFamily(k)
+		r := core.MaximalRewriting(inst)
+		if ok, _ := r.IsExact(); !ok {
+			t.Errorf("k=%d: chain rewriting should be exact", k)
+		}
+		want := make([]string, k)
+		for i := range want {
+			want[i] = fmt.Sprintf("v%d", i+1)
+		}
+		if !r.Accepts(want...) {
+			t.Errorf("k=%d: v1…vk not accepted", k)
+		}
+	}
+}
+
+func TestPairChainFamily(t *testing.T) {
+	inst := PairChainFamily(3) // x1..x6, views of pairs
+	r := core.MaximalRewriting(inst)
+	if ok, _ := r.IsExact(); !ok {
+		t.Fatal("pair chain rewriting should be exact")
+	}
+	if !r.Accepts("v1", "v2", "v3") {
+		t.Fatal("v1·v2·v3 not accepted")
+	}
+	if r.Accepts("v2", "v1", "v3") {
+		t.Fatal("order should matter")
+	}
+}
+
+func TestFamilyPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for n=0")
+		}
+	}()
+	CounterFamily(0)
+}

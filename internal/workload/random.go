@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"regexrw/internal/core"
+	"regexrw/internal/graph"
+	"regexrw/internal/regex"
+	"regexrw/internal/rpq"
+	"regexrw/internal/theory"
+)
+
+// ExprConfig controls random regular-expression generation.
+type ExprConfig struct {
+	Symbols  []string // alphabet to draw leaves from
+	MaxDepth int      // maximum AST depth
+	StarProb float64  // probability of a star/opt node at each level
+}
+
+// DefaultExprConfig returns a configuration over the given symbols.
+func DefaultExprConfig(symbols ...string) ExprConfig {
+	return ExprConfig{Symbols: symbols, MaxDepth: 4, StarProb: 0.25}
+}
+
+// RandomExpr generates a random regular expression. The distribution
+// favours concatenations and unions, with stars/options appearing with
+// StarProb; leaves are symbols (ε with small probability).
+func RandomExpr(r *rand.Rand, cfg ExprConfig) *regex.Node {
+	if cfg.MaxDepth <= 0 || r.Float64() < 0.3 {
+		if r.Float64() < 0.05 {
+			return regex.Epsilon()
+		}
+		return regex.Sym(cfg.Symbols[r.Intn(len(cfg.Symbols))])
+	}
+	sub := cfg
+	sub.MaxDepth--
+	if r.Float64() < cfg.StarProb {
+		if r.Intn(2) == 0 {
+			return regex.Star(RandomExpr(r, sub))
+		}
+		return regex.Opt(RandomExpr(r, sub))
+	}
+	k := 2 + r.Intn(2)
+	subs := make([]*regex.Node, k)
+	for i := range subs {
+		subs[i] = RandomExpr(r, sub)
+	}
+	if r.Intn(2) == 0 {
+		return regex.Concat(subs...)
+	}
+	return regex.Union(subs...)
+}
+
+// InstanceConfig controls random rewriting-instance generation.
+type InstanceConfig struct {
+	AlphabetSize int
+	NumViews     int
+	QueryDepth   int
+	ViewDepth    int
+}
+
+// RandomInstance generates a random rewriting instance: a query and
+// views over an alphabet x1…xk. Deterministic given the rand source.
+func RandomInstance(r *rand.Rand, cfg InstanceConfig) *core.Instance {
+	symbols := make([]string, cfg.AlphabetSize)
+	for i := range symbols {
+		symbols[i] = fmt.Sprintf("x%d", i+1)
+	}
+	qcfg := DefaultExprConfig(symbols...)
+	qcfg.MaxDepth = cfg.QueryDepth
+	vcfg := DefaultExprConfig(symbols...)
+	vcfg.MaxDepth = cfg.ViewDepth
+
+	views := make([]core.View, cfg.NumViews)
+	for i := range views {
+		views[i] = core.View{Name: fmt.Sprintf("v%d", i+1), Expr: RandomExpr(r, vcfg)}
+	}
+	inst, err := core.NewInstance(RandomExpr(r, qcfg), views)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// GraphConfig controls random database generation.
+type GraphConfig struct {
+	Nodes  int
+	Edges  int
+	Labels []string
+}
+
+// RandomGraph generates a random labeled multigraph.
+func RandomGraph(r *rand.Rand, cfg GraphConfig) *graph.DB {
+	db := graph.New(nil)
+	for i := 0; i < cfg.Nodes; i++ {
+		db.AddNode(fmt.Sprintf("n%d", i))
+	}
+	for i := 0; i < cfg.Edges; i++ {
+		from := fmt.Sprintf("n%d", r.Intn(cfg.Nodes))
+		to := fmt.Sprintf("n%d", r.Intn(cfg.Nodes))
+		db.AddEdge(from, cfg.Labels[r.Intn(len(cfg.Labels))], to)
+	}
+	return db
+}
+
+// TheoryConfig controls random interpretation generation.
+type TheoryConfig struct {
+	Constants  int
+	Predicates int
+	// Density is the probability that a predicate holds of a constant.
+	Density float64
+}
+
+// RandomTheory generates a random finite interpretation with constants
+// d1…dn and predicates p1…pm.
+func RandomTheory(r *rand.Rand, cfg TheoryConfig) *theory.Interpretation {
+	t := theory.New()
+	names := make([]string, cfg.Constants)
+	for i := range names {
+		names[i] = fmt.Sprintf("d%d", i+1)
+		t.AddConstant(names[i])
+	}
+	for p := 0; p < cfg.Predicates; p++ {
+		pred := fmt.Sprintf("p%d", p+1)
+		for _, c := range names {
+			if r.Float64() < cfg.Density {
+				t.Declare(pred, c)
+			}
+		}
+	}
+	return t
+}
+
+// RandomRPQ generates a random regular path query over the theory's
+// predicates and constants: the formula pool mixes predicates,
+// equalities and simple boolean combinations.
+func RandomRPQ(r *rand.Rand, t *theory.Interpretation, depth int) *rpq.Query {
+	preds := t.Predicates()
+	domain := t.Domain()
+
+	randomFormula := func() theory.Formula {
+		switch r.Intn(5) {
+		case 0:
+			if domain.Len() > 0 {
+				return theory.Eq(domain.Name(domain.Symbols()[r.Intn(domain.Len())]))
+			}
+			return theory.True()
+		case 1:
+			if len(preds) > 0 {
+				return theory.Not(theory.Pred(preds[r.Intn(len(preds))]))
+			}
+			return theory.True()
+		case 2:
+			if len(preds) >= 2 {
+				return theory.Or(theory.Pred(preds[r.Intn(len(preds))]), theory.Pred(preds[r.Intn(len(preds))]))
+			}
+			return theory.True()
+		default:
+			if len(preds) > 0 {
+				return theory.Pred(preds[r.Intn(len(preds))])
+			}
+			return theory.True()
+		}
+	}
+
+	numFormulas := 2 + r.Intn(3)
+	names := make([]string, numFormulas)
+	formulas := make(map[string]theory.Formula, numFormulas)
+	for i := range names {
+		names[i] = fmt.Sprintf("f%d", i+1)
+		formulas[names[i]] = randomFormula()
+	}
+	cfg := DefaultExprConfig(names...)
+	cfg.MaxDepth = depth
+	expr := RandomExpr(r, cfg)
+	q, err := rpq.NewQuery(expr, formulas)
+	if err != nil {
+		// RandomExpr only uses symbols from names, all defined.
+		panic(err)
+	}
+	return q
+}

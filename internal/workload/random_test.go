@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"regexrw/internal/core"
+	"regexrw/internal/rpq"
+)
+
+func TestRandomExprDeterministic(t *testing.T) {
+	cfg := DefaultExprConfig("a", "b", "c")
+	e1 := RandomExpr(rand.New(rand.NewSource(5)), cfg)
+	e2 := RandomExpr(rand.New(rand.NewSource(5)), cfg)
+	if !e1.Equal(e2) {
+		t.Fatal("RandomExpr not deterministic for equal seeds")
+	}
+}
+
+func TestRandomExprUsesOnlyConfiguredSymbols(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	cfg := DefaultExprConfig("a", "b")
+	for i := 0; i < 30; i++ {
+		e := RandomExpr(r, cfg)
+		for _, s := range e.SymbolNames() {
+			if s != "a" && s != "b" {
+				t.Fatalf("unexpected symbol %q in %s", s, e)
+			}
+		}
+	}
+}
+
+func TestRandomExprRespectsDepth(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	cfg := DefaultExprConfig("a")
+	cfg.MaxDepth = 2
+	for i := 0; i < 30; i++ {
+		e := RandomExpr(r, cfg)
+		// Depth ≤ 2 with ≤3-ary nodes bounds size by 1+3+9+... ≈ 13·k;
+		// just sanity-check it is small.
+		if e.Size() > 64 {
+			t.Fatalf("expression too large for depth 2: %d nodes", e.Size())
+		}
+	}
+}
+
+func TestRandomInstanceValidAndRewritable(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 15; i++ {
+		inst := RandomInstance(r, InstanceConfig{
+			AlphabetSize: 3, NumViews: 2, QueryDepth: 3, ViewDepth: 2,
+		})
+		// The rewriting construction must succeed and be self-consistent.
+		rw := core.MaximalRewriting(inst)
+		exact, _ := rw.IsExact()
+		if exact && rw.IsSigmaEmpty() && !inst.Query.Nullable() {
+			// An exact rewriting of a language containing a nonempty word
+			// cannot have an empty expansion unless L(E0) ⊆ {ε}.
+			nfa := inst.Query.ToNFA(inst.Sigma())
+			if w, ok := nfa.ShortestWord(); ok && len(w) > 0 {
+				t.Fatalf("instance %d: exact but Σ-empty rewriting for nonempty query", i)
+			}
+		}
+	}
+}
+
+func TestRandomGraphShape(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	db := RandomGraph(r, GraphConfig{Nodes: 10, Edges: 25, Labels: []string{"x", "y"}})
+	if db.NumNodes() != 10 {
+		t.Fatalf("nodes = %d", db.NumNodes())
+	}
+	if db.NumEdges() != 25 {
+		t.Fatalf("edges = %d", db.NumEdges())
+	}
+	if db.Labels().Len() > 2 {
+		t.Fatalf("labels = %v", db.Labels())
+	}
+}
+
+func TestRandomTheoryShape(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	tt := RandomTheory(r, TheoryConfig{Constants: 6, Predicates: 3, Density: 0.5})
+	if tt.Domain().Len() != 6 {
+		t.Fatalf("domain = %d", tt.Domain().Len())
+	}
+	if len(tt.Predicates()) > 3 {
+		t.Fatalf("predicates = %v", tt.Predicates())
+	}
+}
+
+func TestRandomRPQEvaluates(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	tt := RandomTheory(r, TheoryConfig{Constants: 5, Predicates: 3, Density: 0.4})
+	labels := tt.Domain().Names()
+	db := RandomGraph(r, GraphConfig{Nodes: 8, Edges: 20, Labels: labels})
+	for i := 0; i < 10; i++ {
+		q := RandomRPQ(r, tt, 3)
+		a := q.Answer(tt, db)
+		b := q.AnswerDirect(tt, db)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: grounded %d vs direct %d answers", i, len(a), len(b))
+		}
+	}
+}
+
+func TestRandomRPQRewrites(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	tt := RandomTheory(r, TheoryConfig{Constants: 4, Predicates: 2, Density: 0.5})
+	for i := 0; i < 5; i++ {
+		q0 := RandomRPQ(r, tt, 2)
+		views := []rpq.View{
+			{Name: "u1", Query: RandomRPQ(r, tt, 2)},
+			{Name: "u2", Query: RandomRPQ(r, tt, 2)},
+		}
+		if _, err := rpq.Rewrite(q0, views, tt, rpq.Grounded); err != nil {
+			t.Fatalf("rewrite %d failed: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"regexrw/internal/graph"
+	"regexrw/internal/rpq"
+	"regexrw/internal/theory"
+)
+
+// SiteConfig controls the synthetic web-site generator: a rooted
+// hierarchy (root → region → city → venue) with noisy cross links —
+// the shape of the semi-structured sources the paper's introduction
+// motivates (web information systems, digital libraries).
+type SiteConfig struct {
+	Regions        int
+	CitiesPerRgn   int
+	VenuesPerCity  int
+	CrossLinkNoise int // extra random related-to links
+}
+
+// DefaultSiteConfig returns a configuration scaled by a factor k ≥ 1.
+// Cross-link noise grows quadratically, mirroring the dense tangle of
+// "see also" links real web graphs accumulate relative to their
+// navigational backbone.
+func DefaultSiteConfig(k int) SiteConfig {
+	return SiteConfig{
+		Regions:        2 * k,
+		CitiesPerRgn:   3 * k,
+		VenuesPerCity:  4,
+		CrossLinkNoise: 40 * k * k,
+	}
+}
+
+// SiteTheory returns the interpretation used by Site: edge labels
+// region/city/district/restaurant/hotel/related, with predicates
+// venue = {restaurant, hotel} and nav = {region, city, district}.
+func SiteTheory() *theory.Interpretation {
+	t := theory.New()
+	t.AddConstants("region", "city", "district", "restaurant", "hotel", "related")
+	t.Declare("venue", "restaurant", "hotel")
+	t.Declare("nav", "region", "city", "district")
+	return t
+}
+
+// Site generates a deterministic synthetic travel site over SiteTheory's
+// domain.
+func Site(r *rand.Rand, t *theory.Interpretation, cfg SiteConfig) *graph.DB {
+	db := graph.New(t.Domain())
+	db.AddNode("root")
+	var cities []string
+	for reg := 0; reg < cfg.Regions; reg++ {
+		regName := fmt.Sprintf("region%d", reg)
+		db.AddEdge("root", "region", regName)
+		for c := 0; c < cfg.CitiesPerRgn; c++ {
+			cityName := fmt.Sprintf("%s_city%d", regName, c)
+			db.AddEdge(regName, "city", cityName)
+			cities = append(cities, cityName)
+			distName := cityName + "_centre"
+			db.AddEdge(cityName, "district", distName)
+			for v := 0; v < cfg.VenuesPerCity; v++ {
+				kind := "restaurant"
+				if v%2 == 1 {
+					kind = "hotel"
+				}
+				db.AddEdge(distName, kind, fmt.Sprintf("%s_v%d", distName, v))
+			}
+		}
+	}
+	for i := 0; i < cfg.CrossLinkNoise && len(cities) > 1; i++ {
+		a := cities[r.Intn(len(cities))]
+		b := cities[r.Intn(len(cities))]
+		if a != b {
+			db.AddEdge(a, "related", b)
+		}
+	}
+	return db
+}
+
+// SiteQuery is the benchmark query over Site: all pairs (root, venue)
+// reachable by descending the hierarchy, allowing related-city hops.
+func SiteQuery() (*rpq.Query, error) {
+	return rpq.ParseQuery("reg·(cityHop)·dist·ven", map[string]string{
+		"reg":     "=region",
+		"cityHop": "=city", // refined by views below; kept simple here
+		"dist":    "=district",
+		"ven":     "venue",
+	})
+}
+
+// SiteViews are the materialized views the site exports: navigation
+// edges by kind and venue edges.
+func SiteViews() ([]rpq.View, error) {
+	mk := func(expr string, formulas map[string]string) (*rpq.Query, error) {
+		return rpq.ParseQuery(expr, formulas)
+	}
+	vReg, err := mk("f", map[string]string{"f": "=region"})
+	if err != nil {
+		return nil, err
+	}
+	vCity, err := mk("f", map[string]string{"f": "=city"})
+	if err != nil {
+		return nil, err
+	}
+	vDist, err := mk("f", map[string]string{"f": "=district"})
+	if err != nil {
+		return nil, err
+	}
+	vVen, err := mk("f", map[string]string{"f": "venue"})
+	if err != nil {
+		return nil, err
+	}
+	return []rpq.View{
+		{Name: "vReg", Query: vReg},
+		{Name: "vCity", Query: vCity},
+		{Name: "vDist", Query: vDist},
+		{Name: "vVen", Query: vVen},
+	}, nil
+}

@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"regexrw/internal/rpq"
+)
+
+func TestSiteGeneratorShape(t *testing.T) {
+	tt := SiteTheory()
+	cfg := DefaultSiteConfig(1)
+	db := Site(rand.New(rand.NewSource(1)), tt, cfg)
+	// root + regions + cities + districts + venues.
+	wantNodes := 1 + cfg.Regions + cfg.Regions*cfg.CitiesPerRgn*(2+cfg.VenuesPerCity)
+	if db.NumNodes() != wantNodes {
+		t.Fatalf("nodes = %d, want %d", db.NumNodes(), wantNodes)
+	}
+	if db.NumEdges() <= cfg.Regions {
+		t.Fatal("too few edges")
+	}
+}
+
+func TestSiteDeterministic(t *testing.T) {
+	tt := SiteTheory()
+	a := Site(rand.New(rand.NewSource(7)), tt, DefaultSiteConfig(1))
+	b := Site(rand.New(rand.NewSource(7)), tt, DefaultSiteConfig(1))
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("site generation not deterministic")
+	}
+}
+
+func TestSiteQueryAndViewsExact(t *testing.T) {
+	tt := SiteTheory()
+	q0, err := SiteQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	views, err := SiteViews()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rpq.Rewrite(q0, views, tt, rpq.Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := r.IsExact(); !ok {
+		t.Fatal("site rewriting should be exact")
+	}
+	db := Site(rand.New(rand.NewSource(2)), tt, DefaultSiteConfig(1))
+	direct := q0.Answer(tt, db)
+	via := r.AnswerUsingViews(db)
+	if len(direct) == 0 {
+		t.Fatal("query should have answers")
+	}
+	if len(direct) != len(via) {
+		t.Fatalf("answers differ: %d direct vs %d via views", len(direct), len(via))
+	}
+	// Answers land on venues only.
+	for _, p := range direct {
+		if db.NodeName(p.From) != "root" {
+			t.Fatalf("answer pair should start at root, got %s", db.NodeName(p.From))
+		}
+	}
+}

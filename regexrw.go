@@ -1,0 +1,257 @@
+// Package regexrw implements rewriting of regular expressions and
+// regular path queries using views, after Calvanese, De Giacomo,
+// Lenzerini and Vardi, "Rewriting of Regular Expressions and Regular
+// Path Queries" (PODS 1999).
+//
+// Given a regular expression E0 and a set of views E1,…,Ek (each a
+// named regular expression over the same alphabet Σ), the library
+// computes the Σ_E-maximal rewriting of E0 in terms of the view
+// symbols — the largest language over the view alphabet whose
+// expansion is contained in L(E0) — decides whether that rewriting is
+// exact, and searches for partial rewritings that add elementary
+// views when it is not. A second layer lifts all of this to regular
+// path queries over semi-structured (edge-labeled graph) databases,
+// where queries are regular languages over unary formulae of a finite
+// complete theory.
+//
+// Quick start:
+//
+//	r, err := regexrw.Rewrite("a·(b·a+c)*", map[string]string{
+//		"e1": "a", "e2": "a·c*·b", "e3": "c",
+//	})
+//	// r.Regex()  →  e2*·e1·e3*
+//	// r.IsExact() →  true
+//
+// The concrete expression syntax follows the paper: `+` is union, `·`
+// (or `.`, or juxtaposition with spaces) is concatenation, `*` is
+// Kleene star, `?` option, `ε`/`eps` the empty word and `∅`/`empty`
+// the empty language. Symbols are multi-character identifiers.
+//
+// The package is a facade over the implementation packages under
+// internal/: automata (NFA/DFA toolkit), regex (syntax), core (the
+// rewriting constructions of Section 2 and the decision procedures of
+// Section 3), theory/graph/rpq (Section 4), workload and experiments
+// (the reproduction harness).
+package regexrw
+
+import (
+	"context"
+
+	"regexrw/internal/core"
+	"regexrw/internal/graph"
+	"regexrw/internal/regex"
+	"regexrw/internal/rpq"
+	"regexrw/internal/theory"
+)
+
+// Expr is a parsed regular expression (AST).
+type Expr = regex.Node
+
+// ParseExpr parses a regular expression in the paper's syntax.
+func ParseExpr(s string) (*Expr, error) { return regex.Parse(s) }
+
+// MustParseExpr is ParseExpr that panics on error.
+func MustParseExpr(s string) *Expr { return regex.MustParse(s) }
+
+// EquivalentExprs reports whether two expressions denote the same
+// language.
+func EquivalentExprs(a, b *Expr) bool { return regex.Equivalent(a, b) }
+
+// View is a named view definition for regular-expression rewriting.
+type View = core.View
+
+// Instance is a rewriting problem: a query expression and views.
+type Instance = core.Instance
+
+// NewInstance builds an instance from parsed expressions.
+func NewInstance(query *Expr, views []View) (*Instance, error) {
+	return core.NewInstance(query, views)
+}
+
+// ParseInstance builds an instance from concrete syntax; views map
+// view names to expressions.
+func ParseInstance(query string, views map[string]string) (*Instance, error) {
+	return core.ParseInstance(query, views)
+}
+
+// Rewriting is a computed Σ_E-maximal rewriting. See core.Rewriting for
+// the full method set: Regex, NFA, MinimalDFA, Accepts, IsExact,
+// IsEmpty, IsSigmaEmpty, Expand, ShortestWord, and the construction's
+// intermediate automata Ad and APrime.
+type Rewriting = core.Rewriting
+
+// Rewrite parses the instance and computes its Σ_E-maximal rewriting
+// (Section 2 of the paper; Theorem 2).
+func Rewrite(query string, views map[string]string) (*Rewriting, error) {
+	inst, err := core.ParseInstance(query, views)
+	if err != nil {
+		return nil, err
+	}
+	return core.MaximalRewriting(inst), nil
+}
+
+// MaximalRewriting computes the Σ_E-maximal rewriting of an instance.
+func MaximalRewriting(inst *Instance) *Rewriting { return core.MaximalRewriting(inst) }
+
+// MaximalRewritingBounded is MaximalRewriting with a resource guard:
+// the construction is doubly exponential in the worst case, so every
+// determinization is capped at maxStates; exceeding the cap fails with
+// an error instead of exhausting memory.
+func MaximalRewritingBounded(inst *Instance, maxStates int) (*Rewriting, error) {
+	return core.MaximalRewritingBounded(inst, maxStates)
+}
+
+// PartialRewritingContext is PartialRewriting with cancellation for the
+// exponential subset search.
+func PartialRewritingContext(ctx context.Context, inst *Instance) (*PartialResult, error) {
+	return core.PartialRewritingContext(ctx, inst)
+}
+
+// ExistsExactRewriting reports whether the instance admits an exact
+// rewriting (Corollary 4; 2EXPSPACE-complete by Theorem 9).
+func ExistsExactRewriting(inst *Instance) bool { return core.ExistsExactRewriting(inst) }
+
+// HasNonemptyRewriting reports whether some rewriting has a non-empty
+// expansion (EXPSPACE-complete by Theorem 7).
+func HasNonemptyRewriting(inst *Instance) bool { return core.HasNonemptyRewriting(inst) }
+
+// PartialResult is the outcome of a partial-rewriting search at the
+// regular-expression level.
+type PartialResult = core.PartialResult
+
+// PartialRewriting finds a smallest set of elementary views whose
+// addition makes the rewriting exact (Section 4.3 lifted to regular
+// expressions).
+func PartialRewriting(inst *Instance) (*PartialResult, error) {
+	return core.PartialRewriting(inst)
+}
+
+// Possibility is the dual (possibility) rewriting: the view words whose
+// expansion intersects L(E0). See core.Possibility.
+type Possibility = core.Possibility
+
+// PossibilityRewriting computes the possibility rewriting — the upper
+// envelope of the "minimal containing rewritings" raised in the paper's
+// conclusions as the dual of the maximal contained rewriting.
+func PossibilityRewriting(inst *Instance) *Possibility {
+	return core.PossibilityRewriting(inst)
+}
+
+// ExistsContainingRewriting reports whether some rewriting's expansion
+// contains L(E0).
+func ExistsContainingRewriting(inst *Instance) bool {
+	return core.ExistsContainingRewriting(inst)
+}
+
+// ViewCosts assigns evaluation costs to views (e.g. extension
+// cardinalities) for the cost-based rewriting choice of Section 4.3's
+// closing remark.
+type ViewCosts = core.ViewCosts
+
+// PruneViews drops views the rewriting does not need, most expensive
+// first, preserving the expansion language exactly.
+func PruneViews(inst *Instance, costs ViewCosts) (*Instance, *Rewriting, error) {
+	return core.PruneViews(inst, costs)
+}
+
+// ---- Regular path queries over semi-structured data (Section 4) ----
+
+// Theory is a finite complete interpretation: the decidable complete
+// first-order theory T of Section 4.1.
+type Theory = theory.Interpretation
+
+// NewTheory returns an empty interpretation.
+func NewTheory() *Theory { return theory.New() }
+
+// Formula is a unary formula of the theory.
+type Formula = theory.Formula
+
+// ParseFormula parses a formula ("city & !(=rome)", "=a | =b", …).
+func ParseFormula(s string) (Formula, error) { return theory.ParseFormula(s) }
+
+// DB is a semi-structured database: a directed multigraph with
+// D-labeled edges.
+type DB = graph.DB
+
+// Pair is a query answer element.
+type Pair = graph.Pair
+
+// NewDB returns an empty database sharing the theory's domain when
+// built with t.Domain(); pass nil for a standalone label alphabet.
+func NewDB(t *Theory) *DB {
+	if t == nil {
+		return graph.New(nil)
+	}
+	return graph.New(t.Domain())
+}
+
+// Query is a regular path query: a regular expression over named unary
+// formulae.
+type Query = rpq.Query
+
+// ParseQuery parses a regular path query; formulas map the expression's
+// symbols to formula definitions.
+func ParseQuery(expr string, formulas map[string]string) (*Query, error) {
+	return rpq.ParseQuery(expr, formulas)
+}
+
+// AtomicQuery is the single-formula query used for atomic and
+// elementary views.
+func AtomicQuery(name string, f Formula) *Query { return rpq.Atomic(name, f) }
+
+// RPQView is a named regular-path-query view.
+type RPQView = rpq.View
+
+// RPQMethod selects the rewriting construction for path queries.
+type RPQMethod = rpq.Method
+
+// Rewriting constructions for regular path queries: Grounded is the
+// literal Theorem 11 route; Direct is the Section 4.2 optimization
+// that never grounds the view automata.
+const (
+	Grounded   = rpq.Grounded
+	Direct     = rpq.Direct
+	Compressed = rpq.Compressed
+)
+
+// RPQRewriting is a computed Σ_Q-maximal rewriting of a path query.
+type RPQRewriting = rpq.Rewriting
+
+// RewriteRPQ computes the Σ_Q-maximal rewriting of a regular path
+// query wrt views (Theorem 11).
+func RewriteRPQ(q0 *Query, views []RPQView, t *Theory, method RPQMethod) (*RPQRewriting, error) {
+	return rpq.Rewrite(q0, views, t, method)
+}
+
+// RPQPartialResult is the outcome of a partial-rewriting search for
+// path queries.
+type RPQPartialResult = rpq.PartialResult
+
+// PartialRewriteRPQ searches for an exact rewriting after adding atomic
+// or elementary views (Section 4.3).
+func PartialRewriteRPQ(q0 *Query, views []RPQView, t *Theory, method RPQMethod) (*RPQPartialResult, error) {
+	return rpq.PartialRewrite(q0, views, t, rpq.DefaultCandidates(t), method)
+}
+
+// RPQPossibleRewriting is the possibility rewriting of a path query:
+// evaluating it over materialized views yields the possible answers.
+type RPQPossibleRewriting = rpq.PossibleRewriting
+
+// RewritePossibleRPQ computes the possibility rewriting of a regular
+// path query wrt views.
+func RewritePossibleRPQ(q0 *Query, views []RPQView, t *Theory) (*RPQPossibleRewriting, error) {
+	return rpq.RewritePossible(q0, views, t)
+}
+
+// CRPQ is a conjunctive regular path query; Chain builds the
+// generalized path queries of the paper's conclusions.
+type CRPQ = rpq.CRPQ
+
+// CRPQAtom is one conjunct of a CRPQ.
+type CRPQAtom = rpq.Atom
+
+// CRPQTuple is one answer of a CRPQ.
+type CRPQTuple = rpq.Tuple
+
+// ChainQuery builds the generalized path query x1 Q1 x2 … Qn xn+1.
+func ChainQuery(queries ...*Query) *CRPQ { return rpq.Chain(queries...) }

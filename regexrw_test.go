@@ -1,0 +1,233 @@
+package regexrw
+
+import (
+	"context"
+
+	"testing"
+)
+
+// TestQuickstart exercises the README's quick-start snippet.
+func TestQuickstart(t *testing.T) {
+	r, err := Rewrite("a·(b·a+c)*", map[string]string{
+		"e1": "a", "e2": "a·c*·b", "e3": "c",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustParseExpr("e2*·e1·e3*")
+	if !EquivalentExprs(r.Regex(), want) {
+		t.Fatalf("Regex() = %s, want ≡ e2*·e1·e3*", r.Regex())
+	}
+	exact, _ := r.IsExact()
+	if !exact {
+		t.Fatal("rewriting should be exact")
+	}
+}
+
+func TestFacadeInstanceFunctions(t *testing.T) {
+	inst, err := ParseInstance("a·b", map[string]string{"e1": "a", "e2": "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ExistsExactRewriting(inst) {
+		t.Fatal("exact rewriting should exist")
+	}
+	if !HasNonemptyRewriting(inst) {
+		t.Fatal("nonempty rewriting should exist")
+	}
+	r := MaximalRewriting(inst)
+	if !r.Accepts("e1", "e2") {
+		t.Fatal("e1·e2 missing from rewriting")
+	}
+}
+
+func TestFacadePartialRewriting(t *testing.T) {
+	inst, err := ParseInstance("a·(b+c)", map[string]string{"q1": "a", "q2": "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PartialRewriting(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Added) != 1 || res.Added[0] != "c" {
+		t.Fatalf("Added = %v", res.Added)
+	}
+}
+
+func TestFacadeExprHelpers(t *testing.T) {
+	a, err := ParseExpr("a+b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EquivalentExprs(a, MustParseExpr("b+a")) {
+		t.Fatal("a+b should equal b+a as a language")
+	}
+	if _, err := ParseExpr("(("); err == nil {
+		t.Fatal("bad syntax accepted")
+	}
+}
+
+// TestFacadeRPQ walks the semi-structured path: theory, database,
+// query, rewriting, answering using views.
+func TestFacadeRPQ(t *testing.T) {
+	tt := NewTheory()
+	tt.AddConstants("rome", "district", "restaurant")
+
+	db := NewDB(tt)
+	db.AddEdge("root", "rome", "romePage")
+	db.AddEdge("romePage", "district", "trastevere")
+	db.AddEdge("trastevere", "restaurant", "carlotta")
+
+	q0, err := ParseQuery("r·d*·t", map[string]string{
+		"r": "=rome", "d": "=district", "t": "=restaurant",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := []RPQView{
+		{Name: "vr", Query: mustQuery(t, "r", map[string]string{"r": "=rome"})},
+		{Name: "vd", Query: mustQuery(t, "d", map[string]string{"d": "=district"})},
+		{Name: "vt", Query: mustQuery(t, "t", map[string]string{"t": "=restaurant"})},
+	}
+	for _, method := range []RPQMethod{Grounded, Direct} {
+		r, err := RewriteRPQ(q0, views, tt, method)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, _ := r.IsExact()
+		if !exact {
+			t.Fatalf("method %v: rewriting should be exact", method)
+		}
+		direct := q0.Answer(tt, db)
+		via := r.AnswerUsingViews(db)
+		if len(direct) != len(via) {
+			t.Fatalf("method %v: answers differ: %v vs %v", method, direct, via)
+		}
+	}
+}
+
+func TestFacadePartialRewriteRPQ(t *testing.T) {
+	tt := NewTheory()
+	tt.AddConstants("a", "b", "c")
+	q0, err := ParseQuery("fa·(fb+fc)", map[string]string{"fa": "=a", "fb": "=b", "fc": "=c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ParseFormula("=a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := []RPQView{{Name: "q1", Query: AtomicQuery("fa", f)}}
+	res, err := PartialRewriteRPQ(q0, views, tt, Grounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Added) == 0 {
+		t.Fatal("expected added views")
+	}
+}
+
+func mustQuery(t *testing.T, expr string, formulas map[string]string) *Query {
+	t.Helper()
+	q, err := ParseQuery(expr, formulas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestFacadeNewInstanceAndBounded(t *testing.T) {
+	q := MustParseExpr("a·b")
+	inst, err := NewInstance(q, []View{
+		{Name: "e1", Expr: MustParseExpr("a")},
+		{Name: "e2", Expr: MustParseExpr("b")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := MaximalRewritingBounded(inst, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Accepts("e1", "e2") {
+		t.Fatal("bounded rewriting wrong")
+	}
+	if _, err := MaximalRewritingBounded(inst, 0); err == nil {
+		t.Fatal("cap 0 should fail")
+	}
+}
+
+func TestFacadePartialRewritingContext(t *testing.T) {
+	inst, err := ParseInstance("a·(b+c)", map[string]string{"q1": "a", "q2": "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PartialRewritingContext(context.Background(), inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Added) != 1 {
+		t.Fatalf("Added = %v", res.Added)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := PartialRewritingContext(ctx, inst); err == nil {
+		t.Fatal("cancelled context should fail")
+	}
+}
+
+func TestFacadeContainingAndPrune(t *testing.T) {
+	inst, err := ParseInstance("a·b", map[string]string{"e1": "a+c", "e2": "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ExistsContainingRewriting(inst) {
+		t.Fatal("containing rewriting should exist")
+	}
+	inst2, err := ParseInstance("a·b", map[string]string{"vBig": "a·b", "vA": "a", "vB": "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, _, err := PruneViews(inst2, ViewCosts{"vBig": 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned.Views) != 2 {
+		t.Fatalf("pruned kept %d views", len(pruned.Views))
+	}
+}
+
+func TestFacadeRewritePossibleRPQ(t *testing.T) {
+	tt := NewTheory()
+	tt.AddConstants("a", "b", "c")
+	q0, err := ParseQuery("fa·fb", map[string]string{"fa": "=a", "fb": "=b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := ParseQuery("f", map[string]string{"f": "=a | =c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ParseQuery("f", map[string]string{"f": "=b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := RewritePossibleRPQ(q0, []RPQView{{Name: "u", Query: u}, {Name: "w", Query: w}}, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Accepts("u", "w") {
+		t.Fatal("u·w should be possible")
+	}
+	// NewDB(nil) also works (standalone label alphabet).
+	db := NewDB(nil)
+	db.AddEdge("x", "a", "y")
+	if db.NumEdges() != 1 {
+		t.Fatal("NewDB(nil) broken")
+	}
+	// Rewrite error path: bad view syntax.
+	if _, err := Rewrite("((", nil); err == nil {
+		t.Fatal("bad query accepted")
+	}
+}
