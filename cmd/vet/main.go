@@ -1,0 +1,85 @@
+// Command vet runs the repository's custom static analyzers over Go
+// packages:
+//
+//	go run ./cmd/vet ./...
+//	go run ./cmd/vet -list
+//	go run ./cmd/vet -only mapiter ./internal/automata
+//
+// The analyzers (see internal/analysis) guard invariants the automata
+// pipeline depends on: mapiter (no map-iteration order leaking into
+// canonical output), ctxcheck (ctx-taking exponential entry points
+// actually honor cancellation), and invariantcall (exported
+// constructors run the regexrwdebug validation hooks). The command
+// exits nonzero when any diagnostic is reported, so CI can gate on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"regexrw/internal/analysis"
+)
+
+var all = []*analysis.Analyzer{
+	analysis.MapIter,
+	analysis.CtxCheck,
+	analysis.InvariantCall,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the available analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vet [-list] [-only names] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "vet: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vet: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(wd, flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

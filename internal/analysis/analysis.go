@@ -1,0 +1,229 @@
+// Package analysis is a small, dependency-free static-analysis
+// framework in the spirit of golang.org/x/tools/go/analysis, built on
+// the standard library's go/ast, go/types and go/importer so that the
+// repository's custom vet checks (cmd/vet) need nothing outside the Go
+// toolchain. It deliberately mirrors the x/tools surface — Analyzer,
+// Pass, Diagnostic, Reportf — so the analyzers in this package could be
+// ported to the real framework by changing imports.
+//
+// The three analyzers it ships guard the invariants the automata
+// pipeline depends on:
+//
+//   - mapiter: transition tables are maps keyed by alphabet.Symbol, and
+//     Go randomizes map iteration order; any raw range over such a map
+//     outside the sorted-accessor helpers is a potential source of
+//     nondeterministic output (state numberings, serialized automata,
+//     synthesized regexes, counterexample words).
+//   - ctxcheck: the subset construction and the containment search are
+//     worst-case exponential; entry points that accept a
+//     context.Context must actually consult it inside their loops, or
+//     cancellation silently does not work.
+//   - invariantcall: exported constructors of the automata and core
+//     packages must run the regexrwdebug-gated Validate hooks on what
+//     they return, so the debug build checks every automaton that
+//     crosses a package boundary.
+//
+// # Suppression directives
+//
+// Each analyzer has a directive comment that suppresses its diagnostic
+// on the same source line, and every directive requires a written
+// justification — a bare directive is itself a diagnostic:
+//
+//	for x := range n.trans[s] { //mapiter:unordered collecting into a set; sorted below
+//	func Determinize(n *NFA) *DFA { //invariantcall:checked delegates to determinize, which validates
+//	for { //ctxcheck:ignore terminates in ≤ alphabet.Len() iterations
+//
+// This keeps every suppression auditable: `git grep mapiter:unordered`
+// lists each intentionally-unordered iteration together with the reason
+// it is safe.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis: a name, a documentation string,
+// the directive that suppresses its diagnostics, and the Run function.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the cmd/vet
+	// command line.
+	Name string
+
+	// Doc is the one-paragraph description printed by cmd/vet -help.
+	Doc string
+
+	// Directive, when non-empty, is the comment directive (without the
+	// leading "//") that suppresses this analyzer's diagnostics on the
+	// line it appears on, e.g. "mapiter:unordered". A directive comment
+	// must carry a justification; a bare one is reported instead of
+	// honored.
+	Directive string
+
+	// Run performs the analysis on one package and reports findings via
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer's view of one package: the syntax trees,
+// the type information, and the sink for diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags      []Diagnostic
+	directives map[lineKey]directive
+}
+
+// A Diagnostic is one finding, positioned and attributed to the
+// analyzer that produced it.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type directive struct {
+	reason string
+	pos    token.Position
+}
+
+// Reportf records a diagnostic at pos unless a justified suppression
+// directive for this analyzer sits on the same source line. A directive
+// without a justification does not suppress — it is reported itself, so
+// that every suppression in the tree carries its reason.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.Analyzer.Directive != "" {
+		if d, ok := p.directives[lineKey{position.Filename, position.Line}]; ok {
+			if d.reason != "" {
+				return // suppressed, with justification
+			}
+			p.diags = append(p.diags, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: p.Analyzer.Name,
+				Message:  fmt.Sprintf("//%s directive requires a justification", p.Analyzer.Directive),
+			})
+			return
+		}
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// scanDirectives indexes every "//<directive>" comment by file and
+// line, so Reportf can match suppressions to the diagnostics they
+// target.
+func (p *Pass) scanDirectives() {
+	p.directives = map[lineKey]directive{}
+	if p.Analyzer.Directive == "" {
+		return
+	}
+	marker := "//" + p.Analyzer.Directive
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if c.Text != marker && !strings.HasPrefix(c.Text, marker+" ") {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				reason := strings.TrimSpace(strings.TrimPrefix(c.Text, marker))
+				p.directives[lineKey{pos.Filename, pos.Line}] = directive{reason: reason, pos: pos}
+			}
+		}
+	}
+}
+
+// Run applies each analyzer to each package and returns every
+// diagnostic, sorted by position. Analyzer errors (not diagnostics —
+// failures to run at all) abort.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			pass.scanDirectives()
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			out = append(out, pass.diags...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// isNamed reports whether t (after unaliasing) is a named type with the
+// given type name whose defining package has the given package name
+// (not path: fixtures under testdata get synthetic paths, and matching
+// by name keeps the analyzers honest about what they actually key on).
+func isNamed(t types.Type, pkgName, typeName string) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != typeName || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Name() == pkgName
+}
+
+// funcFor returns the innermost function declaration or literal
+// enclosing pos in file, with the declaration's name when it is a
+// FuncDecl ("" for literals), using interval containment.
+func funcFor(file *ast.File, pos token.Pos) (name string, body *ast.BlockStmt) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if pos < n.Pos() || pos >= n.End() {
+			return false // prune subtrees that do not contain pos
+		}
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			name, body = fn.Name.Name, fn.Body
+		case *ast.FuncLit:
+			name, body = "", fn.Body
+		}
+		return true
+	})
+	return name, body
+}

@@ -1,0 +1,83 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"regexrw/internal/analysis"
+	"regexrw/internal/analysis/analysistest"
+)
+
+func TestMapIter(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.MapIter, "mapiter")
+}
+
+func TestCtxCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.CtxCheck, "ctxcheck")
+}
+
+func TestInvariantCall(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.InvariantCall, "invariantcall")
+}
+
+// TestBareDirective pins the framework rule that a suppression
+// directive without a justification is reported rather than honored.
+// (A separate fixture without want-markers, since the bare directive
+// and a want comment cannot share a source line.)
+func TestBareDirective(t *testing.T) {
+	pkg, err := analysis.LoadFixture("testdata/src", "baredirective")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{analysis.MapIter})
+	if err != nil {
+		t.Fatalf("running mapiter: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "requires a justification") {
+		t.Errorf("diagnostic %q does not mention the missing justification", diags[0].Message)
+	}
+}
+
+// TestLoadRepo loads this module's own automata package through the
+// chain importer (module-local source + toolchain export data for the
+// standard library) as a smoke test of the loader cmd/vet relies on.
+func TestLoadRepo(t *testing.T) {
+	pkgs, err := analysis.Load("../..", "./internal/automata")
+	if err != nil {
+		t.Fatalf("loading internal/automata: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	if pkgs[0].Types.Name() != "automata" {
+		t.Errorf("loaded package %q, want automata", pkgs[0].Types.Name())
+	}
+	if pkgs[0].Types.Scope().Lookup("NFA") == nil {
+		t.Errorf("loaded automata package has no NFA type")
+	}
+}
+
+// TestRepoIsClean runs all three analyzers over the whole module: the
+// tree must stay free of unsuppressed findings, the same gate cmd/vet
+// enforces in CI.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module; skipped in -short")
+	}
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{
+		analysis.MapIter, analysis.CtxCheck, analysis.InvariantCall,
+	})
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

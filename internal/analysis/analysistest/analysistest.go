@@ -1,0 +1,95 @@
+// Package analysistest exercises analyzers against fixture packages,
+// mirroring golang.org/x/tools/go/analysis/analysistest: fixture source
+// lives under a GOPATH-like srcRoot, and every line expecting a
+// diagnostic carries a `// want "regexp"` comment. The harness fails
+// the test on diagnostics without a matching expectation and on
+// expectations without a matching diagnostic, so fixtures pin both the
+// positive and the negative behavior of an analyzer.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"regexrw/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+("(?:[^"\\]|\\.)*")`)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package at srcRoot/pkgPath, applies the
+// analyzer, and checks its diagnostics against the fixture's `// want`
+// comments.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	pkg, err := analysis.LoadFixture(srcRoot, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+	expects := collectExpectations(t, pkg)
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+	}
+
+	for _, d := range diags {
+		if e := match(expects, d.Pos.Filename, d.Pos.Line, d.Message); e != nil {
+			e.matched = true
+			continue
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// collectExpectations scans the fixture's comments for `// want "re"`
+// markers.
+func collectExpectations(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat, err := strconv.Unquote(m[1])
+				if err != nil {
+					t.Fatalf("bad want pattern %s: %v", m[1], err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", pat, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}
+
+func match(expects []*expectation, file string, line int, msg string) *expectation {
+	for _, e := range expects {
+		if !e.matched && e.file == file && e.line == line && e.re.MatchString(msg) {
+			return e
+		}
+	}
+	return nil
+}
+
+// String renders an expectation for failure messages.
+func (e *expectation) String() string { return fmt.Sprintf("%s:%d: %s", e.file, e.line, e.re) }

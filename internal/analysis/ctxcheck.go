@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxCheck flags functions that accept a context.Context but never
+// consult it from their loops.
+//
+// The expensive operations of this codebase — subset construction,
+// containment search, the rewriting pipeline — are worst-case
+// exponential, which is why their entry points take a Context. A ctx
+// parameter that is accepted and then ignored is worse than none: the
+// signature promises cancellation that silently does not happen. The
+// analyzer reports:
+//
+//   - a function whose signature includes a context.Context parameter
+//     and whose body contains at least one loop, when the context is
+//     never consulted anywhere in the body (rule A); and
+//   - an unconditional `for {` loop inside such a function whose own
+//     body does not consult the context, even if other code in the
+//     function does (rule B).
+//
+// "Consulting" the context means calling one of its methods (Err, Done,
+// Deadline, Value) or passing it onward in a call (delegating
+// cancellation to a callee). Functions whose loops are provably short
+// can be annotated `//ctxcheck:ignore <why>`.
+var CtxCheck = &Analyzer{
+	Name:      "ctxcheck",
+	Doc:       "flag ctx-taking functions whose loops never consult the context",
+	Directive: "ctxcheck:ignore",
+	Run:       runCtxCheck,
+}
+
+func runCtxCheck(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ctxParams := contextParams(pass, fn)
+			if len(ctxParams) == 0 {
+				continue
+			}
+			// Rule A: a loop exists, the context is never consulted.
+			if hasLoop(fn.Body) && !consultsCtx(pass, fn.Body, ctxParams) {
+				pass.Reportf(fn.Pos(),
+					"%s takes a context.Context but its loops never consult it; check ctx.Err (or pass ctx on) or annotate //ctxcheck:ignore with a reason",
+					fn.Name.Name)
+				continue
+			}
+			// Rule B: an unconditional for-loop that does not consult the
+			// context in its own body can spin past cancellation forever.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				loop, ok := n.(*ast.ForStmt)
+				if !ok || loop.Cond != nil {
+					return true
+				}
+				if !consultsCtx(pass, loop.Body, ctxParams) {
+					pass.Reportf(loop.Pos(),
+						"unconditional loop in ctx-taking %s does not consult the context; check ctx.Err in the loop or annotate //ctxcheck:ignore with a reason",
+						fn.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// contextParams returns the *types.Var objects of fn's parameters whose
+// type is context.Context.
+func contextParams(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, field := range fn.Type.Params.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok || !isNamed(tv.Type, "context", "Context") {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.Info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// hasLoop reports whether body contains any for or range statement.
+func hasLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// consultsCtx reports whether any statement under root consults one of
+// the given context parameters: calls a method on it, or passes it as
+// an argument (delegating the check to the callee).
+func consultsCtx(pass *Pass, root ast.Node, ctxParams map[types.Object]bool) bool {
+	isCtx := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && ctxParams[pass.Info.Uses[id]]
+	}
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isCtx(sel.X) {
+			found = true // ctx.Err(), ctx.Done(), ctx.Value(...), ...
+		}
+		for _, arg := range call.Args {
+			if isCtx(arg) {
+				found = true // ctx handed to a callee
+			}
+		}
+		return !found
+	})
+	return found
+}

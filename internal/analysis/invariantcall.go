@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// InvariantCall flags exported constructors that skip the debug
+// validation hooks.
+//
+// The automata and core packages carry Validate methods checking the
+// structural invariants of NFAs, DFAs and Rewritings, and
+// regexrwdebug-gated hooks (debugValidateNFA, debugValidateDFA,
+// debugValidateRewriting) that constructors run on every value they
+// hand out, so a debug build checks each automaton the moment it
+// crosses a package boundary. A constructor added without the hook
+// silently opts its outputs out of that net. The analyzer reports every
+// exported function or method that returns a pointer to one of the
+// validated types of its own package (*NFA, *DFA, *Rewriting) without
+// calling a validation hook (or Validate directly) in its body.
+//
+// Thin wrappers that delegate to a validating implementation annotate
+// the declaration `//invariantcall:checked <which callee validates>`.
+var InvariantCall = &Analyzer{
+	Name:      "invariantcall",
+	Doc:       "flag exported automata/core constructors that skip the debug validation hooks",
+	Directive: "invariantcall:checked",
+	Run:       runInvariantCall,
+}
+
+// validatedTypes are the type names carrying Validate invariants.
+var validatedTypes = map[string]bool{
+	"NFA":       true,
+	"DFA":       true,
+	"Rewriting": true,
+}
+
+// validatorNames are the calls that satisfy the analyzer.
+var validatorNames = map[string]bool{
+	"debugValidateNFA":       true,
+	"debugValidateDFA":       true,
+	"debugValidateRewriting": true,
+	"Validate":               true,
+}
+
+func runInvariantCall(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			retType := validatedReturn(pass, fn)
+			if retType == "" {
+				continue
+			}
+			if callsValidator(fn.Body) {
+				continue
+			}
+			pass.Reportf(fn.Pos(),
+				"exported %s returns *%s without a debug validation call; add a debugValidate hook before returning or annotate //invariantcall:checked naming the callee that validates",
+				fn.Name.Name, retType)
+		}
+	}
+	return nil
+}
+
+// validatedReturn returns the name of the validated type fn constructs
+// — a pointer to a validated type defined in fn's own package — or ""
+// when the analyzer has no claim on fn.
+func validatedReturn(pass *Pass, fn *ast.FuncDecl) string {
+	if fn.Type.Results == nil {
+		return ""
+	}
+	for _, field := range fn.Type.Results.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		ptr, ok := types.Unalias(tv.Type).(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := types.Unalias(ptr.Elem()).(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if validatedTypes[obj.Name()] && obj.Pkg() == pass.Pkg {
+			return obj.Name()
+		}
+	}
+	return ""
+}
+
+// callsValidator reports whether body contains a call to one of the
+// validation hooks or to a Validate method.
+func callsValidator(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		var name string
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		if validatorNames[name] || strings.HasPrefix(name, "debugValidate") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

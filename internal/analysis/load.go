@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and typechecked package, ready for analysis.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Load parses and typechecks the packages matching the patterns.
+// Patterns are interpreted relative to dir: "./..." walks the tree
+// (skipping testdata, vendor and hidden directories), anything else
+// names one directory. dir must sit inside a module; module-local
+// imports are typechecked from source, standard-library imports come
+// from the toolchain's compiled export data (go/importer), so loading
+// needs no network and no third-party machinery.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader()
+	l.moduleRoot, l.modulePath = root, modPath
+
+	dirs, err := expandPatterns(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, d := range dirs {
+		rel, err := filepath.Rel(root, d)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("analysis: %s is outside module %s", d, root)
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.loadDir(path, d)
+		if err != nil {
+			if isNoGo(err) {
+				continue
+			}
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadFixture parses and typechecks a single test-fixture package:
+// srcRoot is a GOPATH-like source root, and import paths in fixture
+// files resolve as srcRoot/<path>. Used by the analysistest package.
+func LoadFixture(srcRoot, pkgPath string) (*Package, error) {
+	l := newLoader()
+	l.srcRoot = srcRoot
+	return l.loadDir(pkgPath, filepath.Join(srcRoot, filepath.FromSlash(pkgPath)))
+}
+
+type loader struct {
+	fset       *token.FileSet
+	moduleRoot string
+	modulePath string
+	srcRoot    string
+	std        types.Importer
+	cache      map[string]*Package
+	loading    map[string]bool
+}
+
+func newLoader() *loader {
+	return &loader{
+		fset:    token.NewFileSet(),
+		std:     importer.Default(),
+		cache:   map[string]*Package{},
+		loading: map[string]bool{},
+	}
+}
+
+// Import implements types.Importer by chaining: module-local and
+// fixture paths load from source through this loader, everything else
+// (in practice: the standard library) defers to the toolchain importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if l.srcRoot != "" {
+		dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			pkg, err := l.loadDir(path, dir)
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Types, nil
+		}
+	}
+	if l.modulePath != "" && (path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/")) {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")
+		pkg, err := l.loadDir(path, filepath.Join(l.moduleRoot, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// loadDir parses and typechecks the package in dir under the given
+// import path, memoized so each package is processed once per load.
+func (l *loader) loadDir(path, dir string) (*Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err // includes *build.NoGoError for Go-free directories
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", path, err)
+	}
+	pkg := &Package{
+		PkgPath: path, Dir: dir,
+		Fset: l.fset, Files: files,
+		Types: tpkg, Info: info,
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// findModule walks upward from dir to the enclosing go.mod and returns
+// the module root and module path.
+func findModule(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", abs)
+		}
+	}
+}
+
+// expandPatterns resolves command-line package patterns to directories.
+func expandPatterns(dir string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var out []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			base := filepath.Join(dir, filepath.FromSlash(rest))
+			err := filepath.WalkDir(base, func(p string, de fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !de.IsDir() {
+					return nil
+				}
+				name := de.Name()
+				if p != base && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				add(p)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		add(filepath.Join(dir, filepath.FromSlash(pat)))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// isNoGo reports whether err means "directory holds no buildable Go
+// files", which pattern walking treats as skippable, not fatal.
+func isNoGo(err error) bool {
+	var ng *build.NoGoError
+	return errors.As(err, &ng)
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapIter flags iteration over Symbol-keyed maps whose order could leak
+// into output.
+//
+// The automata package stores transition tables as
+// map[alphabet.Symbol][]State, and Go randomizes map iteration order on
+// purpose. Any raw `range` over such a map is therefore a potential
+// source of run-to-run nondeterminism: the bugs this analyzer was built
+// after had DFA state numberings, serialized automata, synthesized
+// regular expressions and containment counterexamples all silently
+// depending on iteration order. The analyzer reports:
+//
+//   - every `range` statement whose operand is a map keyed by
+//     alphabet.Symbol, outside the accessor helpers (OutSymbols,
+//     OutSymbolsSorted) that exist to encapsulate it; and
+//   - every call to the unordered accessor OutSymbols outside
+//     OutSymbolsSorted, since callers almost always want the sorted
+//     variant.
+//
+// Iterations that are genuinely order-insensitive (set construction,
+// fixpoint propagation, error detection) are annotated
+// `//mapiter:unordered <why it is safe>`, which both suppresses the
+// diagnostic and documents the proof obligation.
+var MapIter = &Analyzer{
+	Name:      "mapiter",
+	Doc:       "flag iteration over Symbol-keyed maps whose order could leak into output",
+	Directive: "mapiter:unordered",
+	Run:       runMapIter,
+}
+
+// mapIterAllowed are the functions allowed to touch the raw map order:
+// the unordered accessor itself and the sorted wrapper built on it.
+var mapIterAllowed = map[string]bool{
+	"OutSymbols":       true,
+	"OutSymbolsSorted": true,
+}
+
+func runMapIter(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				tv, ok := pass.Info.Types[n.X]
+				if !ok {
+					return true
+				}
+				m, ok := types.Unalias(tv.Type).(*types.Map)
+				if !ok || !isNamed(m.Key(), "alphabet", "Symbol") {
+					return true
+				}
+				if fn, _ := funcFor(file, n.Pos()); mapIterAllowed[fn] {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"range over map keyed by alphabet.Symbol iterates in random order; use a sorted accessor or annotate //mapiter:unordered with a reason")
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "OutSymbols" {
+					return true
+				}
+				if pass.Info.Selections[sel] == nil {
+					return true // not a method call (e.g. pkg.OutSymbols)
+				}
+				if fn, _ := funcFor(file, n.Pos()); mapIterAllowed[fn] {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"OutSymbols returns symbols in random order; use OutSymbolsSorted or annotate //mapiter:unordered with a reason")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+// Package alphabet is a minimal stand-in for regexrw/internal/alphabet
+// so fixtures can form the map[alphabet.Symbol]T types the mapiter
+// analyzer keys on (it matches by package and type name, not by import
+// path).
+package alphabet
+
+// Symbol mirrors the real alphabet.Symbol.
+type Symbol int32
+
+// None mirrors the real sentinel.
+const None Symbol = -1

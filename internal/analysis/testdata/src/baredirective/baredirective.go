@@ -1,0 +1,15 @@
+// Package baredirective holds a suppression directive with no
+// justification; the framework reports the directive itself instead of
+// honoring it. Checked by a direct unit test rather than `// want`
+// comments, since the directive and a want marker cannot share a line.
+package baredirective
+
+import "alphabet"
+
+func Sum(m map[alphabet.Symbol]int) int {
+	total := 0
+	for x := range m { //mapiter:unordered
+		total += int(x)
+	}
+	return total
+}

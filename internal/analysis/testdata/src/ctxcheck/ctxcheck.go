@@ -1,0 +1,81 @@
+// Package ctxcheck is the fixture for the ctxcheck analyzer: functions
+// that take a context and loop without ever consulting it are flagged
+// (rule A), as are unconditional loops that do not consult it in their
+// own body (rule B); consulting via a method call or by passing the
+// context onward satisfies the analyzer.
+package ctxcheck
+
+import "context"
+
+func NoConsult(ctx context.Context, n int) int { // want "NoConsult takes a context.Context but its loops never consult it"
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+func Consults(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func Delegates(ctx context.Context, items []int) error {
+	for range items {
+		if err := helper(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func helper(ctx context.Context) error { return ctx.Err() }
+
+func NoLoop(ctx context.Context, n int) int {
+	if n > 0 {
+		return n
+	}
+	return 0
+}
+
+func SpinPartial(ctx context.Context, ch chan int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	for { // want "unconditional loop in ctx-taking SpinPartial does not consult the context"
+		if v := <-ch; v == 0 {
+			return v
+		}
+	}
+}
+
+func SpinConsults(ctx context.Context, ch chan int) int {
+	for {
+		if ctx.Err() != nil {
+			return -1
+		}
+		if v := <-ch; v == 0 {
+			return v
+		}
+	}
+}
+
+func Annotated(ctx context.Context, n int) int { //ctxcheck:ignore the loop runs at most 8 iterations
+	total := 0
+	for i := 0; i < n && i < 8; i++ {
+		total += i
+	}
+	return total
+}
+
+func NoContext(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}

@@ -1,0 +1,63 @@
+// Package automata is the fixture for the invariantcall analyzer
+// (named automata to mirror the real package, though the analyzer keys
+// on the returned type being defined in the analyzed package, not on
+// the package name): exported constructors of validated types must call
+// a debug validation hook or carry a justified directive.
+package automata
+
+// NFA and DFA mirror the validated types of the real automata package.
+type NFA struct{ ok bool }
+
+type DFA struct{ ok bool }
+
+// Other is not a validated type.
+type Other struct{}
+
+func debugValidateNFA(n *NFA) {}
+
+func debugValidateDFA(d *DFA) {}
+
+// Validate mirrors the real invariant method.
+func (d *DFA) Validate() error { return nil }
+
+func NewNFA() *NFA {
+	n := &NFA{}
+	debugValidateNFA(n)
+	return n
+}
+
+func NewBad() *NFA { // want "exported NewBad returns \\*NFA without a debug validation call"
+	return &NFA{}
+}
+
+func (n *NFA) CloneBad() *NFA { // want "exported CloneBad returns \\*NFA without a debug validation call"
+	return &NFA{ok: n.ok}
+}
+
+func NewDFABad() (*DFA, error) { // want "exported NewDFABad returns \\*DFA without a debug validation call"
+	return &DFA{}, nil
+}
+
+func Wrapped() *NFA { //invariantcall:checked delegates to NewNFA, which validates
+	return NewNFA()
+}
+
+func ViaValidate() (*DFA, error) {
+	d := &DFA{}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func makeBare() *NFA { // unexported: the analyzer has no claim
+	return &NFA{}
+}
+
+func MakeOther() *Other { // not a validated type
+	return &Other{}
+}
+
+func UsesBare() *NFA { //invariantcall:checked delegating wrapper for the fixture's unexported constructor
+	return makeBare()
+}

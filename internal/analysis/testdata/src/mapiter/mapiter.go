@@ -1,0 +1,82 @@
+// Package mapiter is the fixture for the mapiter analyzer: raw ranges
+// over Symbol-keyed maps and calls to the unordered accessor are
+// flagged, while the accessor definitions themselves, justified
+// directives, and maps with other key types are not.
+package mapiter
+
+import "alphabet"
+
+// NFA mimics the transition-table shape of the real automata package.
+type NFA struct {
+	trans []map[alphabet.Symbol][]int
+}
+
+// OutSymbols may touch the raw map: it is the unordered accessor.
+func (n *NFA) OutSymbols(s int) []alphabet.Symbol {
+	out := make([]alphabet.Symbol, 0, len(n.trans[s]))
+	for x := range n.trans[s] {
+		out = append(out, x)
+	}
+	return out
+}
+
+// OutSymbolsSorted may call the unordered accessor.
+func (n *NFA) OutSymbolsSorted(s int) []alphabet.Symbol {
+	out := n.OutSymbols(s)
+	return out
+}
+
+func Raw(n *NFA, s int) int {
+	total := 0
+	for x := range n.trans[s] { // want "range over map keyed by alphabet.Symbol iterates in random order"
+		total += int(x)
+	}
+	return total
+}
+
+func RawLiteral(m map[alphabet.Symbol]bool) int {
+	total := 0
+	for x := range m { // want "range over map keyed by alphabet.Symbol"
+		total += int(x)
+	}
+	return total
+}
+
+func Annotated(n *NFA, s int) int {
+	total := 0
+	for x := range n.trans[s] { //mapiter:unordered summation is commutative
+		total += int(x)
+	}
+	return total
+}
+
+func Caller(n *NFA, s int) []alphabet.Symbol {
+	return n.OutSymbols(s) // want "OutSymbols returns symbols in random order"
+}
+
+func AnnotatedCaller(n *NFA, s int) []alphabet.Symbol {
+	return n.OutSymbols(s) //mapiter:unordered the caller sorts before use
+}
+
+func SortedCaller(n *NFA, s int) []alphabet.Symbol {
+	return n.OutSymbolsSorted(s)
+}
+
+func OtherKeyType(m map[string]int) int {
+	total := 0
+	for range m {
+		total++
+	}
+	return total
+}
+
+func InsideClosure(n *NFA, s int) int {
+	f := func() int {
+		total := 0
+		for x := range n.trans[s] { // want "range over map keyed by alphabet.Symbol"
+			total += int(x)
+		}
+		return total
+	}
+	return f()
+}

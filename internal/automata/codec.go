@@ -42,9 +42,7 @@ func (n *NFA) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 	for s := 0; s < n.NumStates(); s++ {
-		syms := n.OutSymbols(State(s))
-		sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
-		for _, x := range syms {
+		for _, x := range n.OutSymbolsSorted(State(s)) {
 			targets := append([]State(nil), n.Successors(State(s), x)...)
 			sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
 			for _, t := range targets {
@@ -151,5 +149,6 @@ func ReadNFA(r io.Reader, a *alphabet.Alphabet) (*NFA, error) {
 	if !sawStates {
 		return nil, fmt.Errorf("automata: missing states line")
 	}
+	debugValidateNFA(n)
 	return n, nil
 }

@@ -1,6 +1,11 @@
 package automata
 
-import "regexrw/internal/alphabet"
+import (
+	"context"
+	"fmt"
+
+	"regexrw/internal/alphabet"
+)
 
 // IsEmpty reports whether the NFA accepts no word.
 func (n *NFA) IsEmpty() bool {
@@ -49,7 +54,10 @@ search:
 	for len(queue) > 0 && goal == NoState {
 		s := queue[0]
 		queue = queue[1:]
-		for _, x := range e.OutSymbols(s) {
+		// Sorted symbol order makes the returned witness a deterministic
+		// function of the automaton: first shortest, then lexicographically
+		// least by symbol id at each BFS level.
+		for _, x := range e.OutSymbolsSorted(s) {
 			for _, t := range e.Successors(s, x) {
 				if visited[t] {
 					continue
@@ -84,10 +92,21 @@ search:
 // reaches. If the containment fails, the returned word is a shortest
 // counterexample in L(a) \ L(b).
 func ContainedIn(a, b *NFA) (bool, []alphabet.Symbol) {
+	ok, cex, _ := ContainedInContext(context.Background(), a, b)
+	return ok, cex
+}
+
+// ContainedInContext is ContainedIn with cooperative cancellation: the
+// product search explores up to |a| · 2^|b| configurations (the lazy
+// complement of b), so callers facing adversarial inputs can bound it
+// with a context deadline. ctx is consulted between batches of product
+// configurations; on cancellation the returned error wraps ctx.Err()
+// and the boolean is meaningless.
+func ContainedInContext(ctx context.Context, a, b *NFA) (bool, []alphabet.Symbol, error) {
 	ea := a.RemoveEpsilon()
 	eb := b.RemoveEpsilon()
 	if ea.Start() == NoState {
-		return true, nil
+		return true, nil, nil
 	}
 
 	// Map a's symbols into b's alphabet by name (None = b never uses it).
@@ -184,11 +203,19 @@ func ContainedIn(a, b *NFA) (bool, []alphabet.Symbol) {
 	}
 
 	for i := 0; i < len(nodes); i++ {
+		if i%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return false, nil, fmt.Errorf("automata: containment: %w", err)
+			}
+		}
 		cur := nodes[i]
 		if ea.Accepting(cur.sa) && !acceptsSubset(cur.bid) {
-			return false, counterexample(i)
+			return false, counterexample(i), nil
 		}
-		for _, x := range ea.OutSymbols(cur.sa) {
+		// Sorted symbol order keeps the counterexample deterministic:
+		// among equal-length candidates the BFS discovers the
+		// lexicographically least (by symbol id) first.
+		for _, x := range ea.OutSymbolsSorted(cur.sa) {
 			nextID := successor(cur.bid, x)
 			for _, ta := range ea.Successors(cur.sa, x) {
 				c := cfg{ta, nextID}
@@ -200,7 +227,7 @@ func ContainedIn(a, b *NFA) (bool, []alphabet.Symbol) {
 			}
 		}
 	}
-	return true, nil
+	return true, nil, nil
 }
 
 // ContainedInMaterialized decides L(a) ⊆ L(b) the naive way: fully

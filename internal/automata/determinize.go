@@ -1,7 +1,9 @@
 package automata
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"regexrw/internal/alphabet"
 )
@@ -10,6 +12,13 @@ import (
 // subset construction exceeds its state budget.
 var ErrStateLimit = fmt.Errorf("automata: state limit exceeded")
 
+// ctxCheckInterval is how many subsets the constructions materialize
+// between consultations of the caller's context. Checking every
+// iteration would put a (cheap but nonzero) call on the hottest loop;
+// every 64th keeps cancellation latency far below any human-visible
+// deadline while costing nothing measurable.
+const ctxCheckInterval = 64
+
 // DeterminizeLimit is Determinize with a resource guard: it fails with
 // an error wrapping ErrStateLimit as soon as the subset construction
 // materializes more than maxStates states. The rewriting construction
@@ -17,11 +26,21 @@ var ErrStateLimit = fmt.Errorf("automata: state limit exceeded")
 // face untrusted inputs should bound it rather than hang;
 // core.MaximalRewritingBounded threads this limit through every
 // determinization of the pipeline.
-func DeterminizeLimit(n *NFA, maxStates int) (*DFA, error) {
+func DeterminizeLimit(n *NFA, maxStates int) (*DFA, error) { //invariantcall:checked delegates to DeterminizeLimitContext
+	return DeterminizeLimitContext(context.Background(), n, maxStates)
+}
+
+// DeterminizeLimitContext is DeterminizeLimit with cooperative
+// cancellation: the subset construction consults ctx between batches of
+// subsets and fails with the context's error once it is done.
+func DeterminizeLimitContext(ctx context.Context, n *NFA, maxStates int) (*DFA, error) { //invariantcall:checked delegates to determinize, which validates
 	if maxStates <= 0 {
 		return nil, fmt.Errorf("%w: limit must be positive, got %d", ErrStateLimit, maxStates)
 	}
-	d := determinize(n, maxStates)
+	d, err := determinize(ctx, n, maxStates)
+	if err != nil {
+		return nil, err
+	}
 	if d == nil {
 		return nil, fmt.Errorf("%w: subset construction needs more than %d states", ErrStateLimit, maxStates)
 	}
@@ -32,17 +51,32 @@ func DeterminizeLimit(n *NFA, maxStates int) (*DFA, error) {
 // equivalent DFA via subset construction. Only reachable subsets are
 // materialized; the result is a partial DFA (missing transitions mean
 // the dead state).
-func Determinize(n *NFA) *DFA {
-	return determinize(n, 0)
+func Determinize(n *NFA) *DFA { //invariantcall:checked delegates to determinize, which validates
+	d, _ := determinize(context.Background(), n, 0)
+	return d
+}
+
+// DeterminizeContext is Determinize with cooperative cancellation: the
+// subset construction is worst-case exponential in the NFA size, so
+// callers facing adversarial inputs can bound it with a context
+// deadline. Cancellation is consulted between batches of subsets.
+func DeterminizeContext(ctx context.Context, n *NFA) (*DFA, error) { //invariantcall:checked delegates to determinize, which validates
+	return determinize(ctx, n, 0)
 }
 
 // determinize runs the subset construction; maxStates ≤ 0 means
-// unbounded, and exceeding a positive bound returns nil.
-func determinize(n *NFA, maxStates int) *DFA {
+// unbounded, and exceeding a positive bound returns (nil, nil). A
+// cancelled ctx aborts with its error. Subsets explore their outgoing
+// symbols in increasing symbol order so that the numbering of the
+// resulting DFA states — and with it everything downstream that
+// canonicalizes on state order: minimization classes, serialized
+// automata, synthesized regular expressions — is a pure function of the
+// input automaton, never of map iteration order.
+func determinize(ctx context.Context, n *NFA, maxStates int) (*DFA, error) {
 	d := NewDFA(n.Alphabet())
 	if n.Start() == NoState {
 		d.SetStart(d.AddState())
-		return d
+		return d, nil
 	}
 	nStates := n.NumStates()
 
@@ -73,17 +107,29 @@ func determinize(n *NFA, maxStates int) *DFA {
 
 	for i := 0; i < len(sets); i++ {
 		if maxStates > 0 && len(sets) > maxStates {
-			return nil
+			return nil, nil
 		}
-		set := sets[i]
-		// Collect the symbols leaving this subset.
-		seen := map[alphabet.Symbol]bool{}
-		for _, q := range set.slice() {
-			for x := range n.trans[q] {
-				seen[x] = true
+		if i%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("automata: determinize: %w", err)
 			}
 		}
-		for x := range seen {
+		set := sets[i]
+		// Collect the symbols leaving this subset, in symbol order: the
+		// order successors are first discovered in fixes the DFA's state
+		// numbering.
+		var syms []alphabet.Symbol
+		seen := map[alphabet.Symbol]bool{}
+		for _, q := range set.slice() {
+			for x := range n.trans[q] { //mapiter:unordered collecting into a set; sorted before use below
+				if !seen[x] {
+					seen[x] = true
+					syms = append(syms, x)
+				}
+			}
+		}
+		sort.Slice(syms, func(a, b int) bool { return syms[a] < syms[b] })
+		for _, x := range syms {
 			next := newBitset(nStates)
 			for _, q := range set.slice() {
 				for _, t := range n.trans[q][x] {
@@ -101,11 +147,14 @@ func determinize(n *NFA, maxStates int) *DFA {
 			d.SetTransition(State(i), x, to)
 		}
 	}
-	return d
+	debugValidateDFA(d)
+	return d, nil
 }
 
 // DeterminizeMinimal is Determinize followed by Minimize and TrimPartial:
 // the canonical trim DFA of the NFA's language.
 func DeterminizeMinimal(n *NFA) *DFA {
-	return Determinize(n).Minimize().TrimPartial()
+	out := Determinize(n).Minimize().TrimPartial()
+	debugValidateDFA(out)
+	return out
 }

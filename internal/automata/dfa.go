@@ -22,7 +22,9 @@ type DFA struct {
 
 // NewDFA returns an empty DFA over the given alphabet.
 func NewDFA(a *alphabet.Alphabet) *DFA {
-	return &DFA{alpha: a, start: NoState}
+	d := &DFA{alpha: a, start: NoState}
+	debugValidateDFA(d)
+	return d
 }
 
 // Alphabet returns the automaton's alphabet.
@@ -148,6 +150,7 @@ func (d *DFA) Totalize() *DFA {
 		}
 	}
 	if out.IsTotal() {
+		debugValidateDFA(out)
 		return out
 	}
 	sink := out.AddState()
@@ -158,6 +161,7 @@ func (d *DFA) Totalize() *DFA {
 			}
 		}
 	}
+	debugValidateDFA(out)
 	return out
 }
 
@@ -168,6 +172,7 @@ func (d *DFA) Complement() *DFA {
 	for s := range out.accept {
 		out.accept[s] = !out.accept[s]
 	}
+	debugValidateDFA(out)
 	return out
 }
 
@@ -180,6 +185,7 @@ func (d *DFA) Clone() *DFA {
 	for s, row := range d.trans {
 		out.trans[s] = append([]State(nil), row...)
 	}
+	debugValidateDFA(out)
 	return out
 }
 
@@ -198,6 +204,7 @@ func (d *DFA) NFA() *NFA {
 			}
 		}
 	}
+	debugValidateNFA(n)
 	return n
 }
 
@@ -207,6 +214,7 @@ func (d *DFA) Reachable() *DFA {
 	if d.start == NoState {
 		out := NewDFA(d.alpha)
 		out.SetStart(out.AddState())
+		debugValidateDFA(out)
 		return out
 	}
 	keep := make([]State, d.NumStates())
@@ -232,6 +240,7 @@ func (d *DFA) Reachable() *DFA {
 		}
 	}
 	out.SetStart(keep[d.start])
+	debugValidateDFA(out)
 	return out
 }
 
@@ -246,6 +255,7 @@ func (d *DFA) Minimize() *DFA {
 	if nStates == 0 {
 		out := NewDFA(d.alpha)
 		out.SetStart(out.AddState())
+		debugValidateDFA(out)
 		return out
 	}
 
@@ -370,7 +380,9 @@ func (d *DFA) Minimize() *DFA {
 		}
 	}
 	out.SetStart(State(class[t.start]))
-	return out.Reachable()
+	quotient := out.Reachable()
+	debugValidateDFA(quotient)
+	return quotient
 }
 
 // MinimizeBrzozowski returns the minimal trim DFA for the language of d
@@ -380,7 +392,9 @@ func (d *DFA) Minimize() *DFA {
 // intermediate automata can be exponentially larger than Hopcroft-style
 // partition refinement ever materializes).
 func (d *DFA) MinimizeBrzozowski() *DFA {
-	return reverseDeterminize(reverseDeterminize(d.Reachable())).TrimPartial()
+	out := reverseDeterminize(reverseDeterminize(d.Reachable())).TrimPartial()
+	debugValidateDFA(out)
+	return out
 }
 
 // reverseDeterminize returns a DFA for the reversal of L(d) by subset
@@ -500,7 +514,9 @@ func (d *DFA) TrimPartial() *DFA {
 	} else {
 		out.SetStart(out.AddState())
 	}
-	return out.Reachable()
+	trimmed := out.Reachable()
+	debugValidateDFA(trimmed)
+	return trimmed
 }
 
 func (d *DFA) checkState(s State) {

@@ -32,8 +32,8 @@ func (n *NFA) DOT(name string) string {
 	}
 	var edges []edge
 	for s := 0; s < n.NumStates(); s++ {
-		for x, ts := range n.trans[s] {
-			for _, t := range ts {
+		for _, x := range n.OutSymbolsSorted(State(s)) {
+			for _, t := range n.trans[s][x] {
 				edges = append(edges, edge{State(s), t, n.alpha.Name(x)})
 			}
 		}
@@ -68,9 +68,7 @@ func (n *NFA) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "NFA[states=%d start=%d accept=%v]\n", n.NumStates(), n.start, n.AcceptingStates())
 	for s := 0; s < n.NumStates(); s++ {
-		syms := n.OutSymbols(State(s))
-		sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
-		for _, x := range syms {
+		for _, x := range n.OutSymbolsSorted(State(s)) {
 			ts := append([]State(nil), n.trans[s][x]...)
 			sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
 			fmt.Fprintf(&b, "  s%d --%s--> %v\n", s, n.alpha.Name(x), ts)

@@ -25,6 +25,9 @@ func FuzzReadNFA(f *testing.F) {
 		if err != nil {
 			return
 		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("ReadNFA returned an invalid automaton: %v", err)
+		}
 		var b strings.Builder
 		if _, err := n.WriteTo(&b); err != nil {
 			t.Fatalf("WriteTo failed: %v", err)
@@ -33,8 +36,17 @@ func FuzzReadNFA(f *testing.F) {
 		if err != nil {
 			t.Fatalf("round trip failed: %v\nserialized:\n%s", err, b.String())
 		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("round-tripped automaton is invalid: %v", err)
+		}
 		if !Equivalent(n, back) {
 			t.Fatal("round trip changed the language")
+		}
+		// Drive the pipeline far enough that every regexrwdebug hook on
+		// the way (determinize, minimize, trim) sees fuzzed shapes.
+		d := DeterminizeMinimal(n)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("DeterminizeMinimal returned an invalid DFA: %v", err)
 		}
 	})
 }

@@ -13,6 +13,7 @@ package automata
 
 import (
 	"fmt"
+	"sort"
 
 	"regexrw/internal/alphabet"
 )
@@ -38,7 +39,9 @@ type NFA struct {
 // NewNFA returns an empty NFA over the given alphabet. It has no states;
 // the start state must be set after adding states.
 func NewNFA(a *alphabet.Alphabet) *NFA {
-	return &NFA{alpha: a, start: NoState}
+	n := &NFA{alpha: a, start: NoState}
+	debugValidateNFA(n)
+	return n
 }
 
 // Alphabet returns the automaton's alphabet.
@@ -133,13 +136,27 @@ func (n *NFA) EpsSuccessors(s State) []State {
 }
 
 // OutSymbols returns the symbols with at least one transition out of s.
-// Order is unspecified.
+// Order is unspecified (map iteration order): use it only where the
+// result feeds an order-insensitive computation, and OutSymbolsSorted
+// everywhere the iteration order can leak into output — state
+// numbering, serialized automata, synthesized expressions, witnesses.
+// The mapiter analyzer (internal/analysis) enforces this split.
 func (n *NFA) OutSymbols(s State) []alphabet.Symbol {
 	n.checkState(s)
 	out := make([]alphabet.Symbol, 0, len(n.trans[s]))
 	for x := range n.trans[s] {
 		out = append(out, x)
 	}
+	return out
+}
+
+// OutSymbolsSorted returns the symbols with at least one transition out
+// of s in increasing symbol order. It is the deterministic accessor the
+// canonical-output paths (codec, DOT, regex synthesis, witness search,
+// subset construction) iterate with.
+func (n *NFA) OutSymbolsSorted(s State) []alphabet.Symbol {
+	out := n.OutSymbols(s)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -157,7 +174,7 @@ func (n *NFA) HasEpsilon() bool {
 func (n *NFA) NumTransitions() int {
 	total := 0
 	for s := range n.trans {
-		for _, ts := range n.trans[s] {
+		for _, ts := range n.trans[s] { //mapiter:unordered summing counts; order cannot affect the total
 			total += len(ts)
 		}
 		total += len(n.eps[s])
@@ -253,7 +270,7 @@ func (n *NFA) Clone() *NFA {
 			continue
 		}
 		cm := make(map[alphabet.Symbol][]State, len(m))
-		for x, ts := range m {
+		for x, ts := range m { //mapiter:unordered copying into a map; per-symbol slices keep their order
 			cm[x] = append([]State(nil), ts...)
 		}
 		c.trans[s] = cm
@@ -264,6 +281,7 @@ func (n *NFA) Clone() *NFA {
 			c.eps[s] = append([]State(nil), ts...)
 		}
 	}
+	debugValidateNFA(c)
 	return c
 }
 
@@ -282,7 +300,7 @@ func CopyInto(dst, src *NFA) []State {
 		dst.SetAccept(mapping[s], src.accept[s])
 	}
 	for s := 0; s < src.NumStates(); s++ {
-		for x, ts := range src.trans[s] {
+		for x, ts := range src.trans[s] { //mapiter:unordered building a map-backed NFA; per-(state,symbol) target order is preserved
 			for _, t := range ts {
 				dst.AddTransition(mapping[s], remap[x], mapping[t])
 			}
@@ -312,14 +330,16 @@ func (n *NFA) RemoveEpsilon() *NFA {
 			if n.accept[c] {
 				out.SetAccept(State(s), true)
 			}
-			for x, ts := range n.trans[c] {
+			for x, ts := range n.trans[c] { //mapiter:unordered building a map-backed NFA; closure states visit in sorted order
 				for _, t := range ts {
 					out.AddTransition(State(s), x, t)
 				}
 			}
 		}
 	}
-	return out.Trim()
+	trimmed := out.Trim()
+	debugValidateNFA(trimmed)
+	return trimmed
 }
 
 // Trim returns an NFA with only states that are reachable from the start
@@ -330,6 +350,7 @@ func (n *NFA) Trim() *NFA {
 	if n.start == NoState {
 		out := NewNFA(n.alpha)
 		out.SetStart(out.AddState())
+		debugValidateNFA(out)
 		return out
 	}
 	reach := newBitset(n.NumStates())
@@ -344,7 +365,7 @@ func (n *NFA) Trim() *NFA {
 				stack = append(stack, t)
 			}
 		}
-		for _, ts := range n.trans[s] {
+		for _, ts := range n.trans[s] { //mapiter:unordered reachability set; visit order cannot change membership
 			for _, t := range ts {
 				visit(t)
 			}
@@ -356,7 +377,7 @@ func (n *NFA) Trim() *NFA {
 	// Co-reachability via reverse BFS from accepting states.
 	rev := make([][]State, n.NumStates())
 	for s := 0; s < n.NumStates(); s++ {
-		for _, ts := range n.trans[s] {
+		for _, ts := range n.trans[s] { //mapiter:unordered reachability set; visit order cannot change membership
 			for _, t := range ts {
 				rev[t] = append(rev[t], State(s))
 			}
@@ -397,7 +418,7 @@ func (n *NFA) Trim() *NFA {
 		if keep[s] == NoState {
 			continue
 		}
-		for x, ts := range n.trans[s] {
+		for x, ts := range n.trans[s] { //mapiter:unordered building a map-backed NFA; per-(state,symbol) target order is preserved
 			for _, t := range ts {
 				if keep[t] != NoState {
 					out.AddTransition(keep[s], x, keep[t])
@@ -410,6 +431,7 @@ func (n *NFA) Trim() *NFA {
 			}
 		}
 	}
+	debugValidateNFA(out)
 	return out
 }
 

@@ -6,6 +6,7 @@ import "regexrw/internal/alphabet"
 func EmptyLanguage(a *alphabet.Alphabet) *NFA {
 	n := NewNFA(a)
 	n.SetStart(n.AddState())
+	debugValidateNFA(n)
 	return n
 }
 
@@ -15,6 +16,7 @@ func EpsilonLanguage(a *alphabet.Alphabet) *NFA {
 	s := n.AddState()
 	n.SetStart(s)
 	n.SetAccept(s, true)
+	debugValidateNFA(n)
 	return n
 }
 
@@ -26,6 +28,7 @@ func SymbolLanguage(a *alphabet.Alphabet, x alphabet.Symbol) *NFA {
 	n.SetStart(s)
 	n.SetAccept(t, true)
 	n.AddTransition(s, x, t)
+	debugValidateNFA(n)
 	return n
 }
 
@@ -40,6 +43,7 @@ func WordLanguage(a *alphabet.Alphabet, word []alphabet.Symbol) *NFA {
 		cur = next
 	}
 	n.SetAccept(cur, true)
+	debugValidateNFA(n)
 	return n
 }
 
@@ -52,6 +56,7 @@ func UniversalLanguage(a *alphabet.Alphabet) *NFA {
 	for _, x := range a.Symbols() {
 		n.AddTransition(s, x, s)
 	}
+	debugValidateNFA(n)
 	return n
 }
 
@@ -69,6 +74,7 @@ func Union(a, b *NFA) *NFA {
 	if b.Start() != NoState {
 		out.AddEpsilon(start, mb[b.Start()])
 	}
+	debugValidateNFA(out)
 	return out
 }
 
@@ -81,6 +87,7 @@ func Concat(a, b *NFA) *NFA {
 		out.SetStart(ma[a.Start()])
 	} else {
 		out.SetStart(out.AddState())
+		debugValidateNFA(out)
 		return out
 	}
 	for _, f := range a.AcceptingStates() {
@@ -96,6 +103,7 @@ func Concat(a, b *NFA) *NFA {
 			out.SetAccept(mb[f], false)
 		}
 	}
+	debugValidateNFA(out)
 	return out
 }
 
@@ -112,6 +120,7 @@ func Star(a *NFA) *NFA {
 	for _, f := range a.AcceptingStates() {
 		out.AddEpsilon(m[f], start)
 	}
+	debugValidateNFA(out)
 	return out
 }
 
@@ -124,6 +133,7 @@ func Optional(a *NFA) *NFA {
 	}
 	out.SetStart(start)
 	out.SetAccept(start, true)
+	debugValidateNFA(out)
 	return out
 }
 
@@ -131,11 +141,12 @@ func Optional(a *NFA) *NFA {
 func Plus(a *NFA) *NFA {
 	out := a.Clone()
 	if a.Start() == NoState {
-		return out
+		return out // Clone already validated
 	}
 	for _, f := range out.AcceptingStates() {
 		out.AddEpsilon(f, out.Start())
 	}
+	debugValidateNFA(out)
 	return out
 }
 
@@ -173,6 +184,7 @@ func Intersect(a, b *NFA) *NFA {
 	}
 	if ea.Start() == NoState || eb.Start() == NoState {
 		out.SetStart(out.AddState())
+		debugValidateNFA(out)
 		return out
 	}
 	out.SetStart(intern(pair{ea.Start(), eb.Start()}))
@@ -180,7 +192,9 @@ func Intersect(a, b *NFA) *NFA {
 		p := queue[0]
 		queue = queue[1:]
 		from := ids[p]
-		for _, x := range ea.OutSymbols(p.pa) {
+		// Sorted symbol order fixes the interning order of product pairs,
+		// so the result's state numbering is a pure function of the inputs.
+		for _, x := range ea.OutSymbolsSorted(p.pa) {
 			xb := aToB[x]
 			if xb == alphabet.None {
 				continue
@@ -196,6 +210,7 @@ func Intersect(a, b *NFA) *NFA {
 			}
 		}
 	}
+	debugValidateNFA(out)
 	return out
 }
 
@@ -261,6 +276,7 @@ func UnionDFA(a, b *DFA) *DFA {
 			out.SetTransition(from, x, intern(pair{na, nb}))
 		}
 	}
+	debugValidateDFA(out)
 	return out
 }
 
@@ -269,7 +285,7 @@ func Reverse(a *NFA) *NFA {
 	out := NewNFA(a.Alphabet())
 	out.AddStates(a.NumStates())
 	for s := 0; s < a.NumStates(); s++ {
-		for x, ts := range a.trans[s] {
+		for x, ts := range a.trans[s] { //mapiter:unordered building a map-backed NFA; per-(state,symbol) target order is preserved
 			for _, t := range ts {
 				out.AddTransition(t, x, State(s))
 			}
@@ -286,6 +302,7 @@ func Reverse(a *NFA) *NFA {
 	if a.Start() != NoState {
 		out.SetAccept(a.Start(), true)
 	}
+	debugValidateNFA(out)
 	return out
 }
 
@@ -317,11 +334,12 @@ func LeftQuotient(a *NFA, w []alphabet.Symbol) *NFA {
 		out.AddEpsilon(start, State(s))
 	}
 	out.SetStart(start)
+	debugValidateNFA(out)
 	return out
 }
 
 // RightQuotient returns an NFA for L(a)·w⁻¹ = { v : v·w ∈ L(a) }.
-func RightQuotient(a *NFA, w []alphabet.Symbol) *NFA {
+func RightQuotient(a *NFA, w []alphabet.Symbol) *NFA { //invariantcall:checked delegates to Reverse/LeftQuotient, which validate
 	rev := make([]alphabet.Symbol, len(w))
 	for i, x := range w {
 		rev[len(w)-1-i] = x
@@ -341,25 +359,26 @@ func PrefixClosure(a *NFA) *NFA {
 	for s := 0; s < out.NumStates(); s++ {
 		out.SetAccept(State(s), true)
 	}
+	debugValidateNFA(out)
 	return out
 }
 
 // SuffixClosure returns an NFA accepting every suffix of every word of
 // L(a).
-func SuffixClosure(a *NFA) *NFA {
+func SuffixClosure(a *NFA) *NFA { //invariantcall:checked delegates to Reverse/PrefixClosure, which validate
 	return Reverse(PrefixClosure(Reverse(a)))
 }
 
 // ComplementNFA returns an NFA for the complement of L(a) over a's
 // alphabet, via determinization.
-func ComplementNFA(a *NFA) *NFA {
+func ComplementNFA(a *NFA) *NFA { //invariantcall:checked delegates to Determinize/Complement/NFA, which validate
 	return Determinize(a).Complement().NFA()
 }
 
 // Difference returns an NFA for L(a) \ L(b). The complement of b is
 // taken over the union of the two alphabets so that symbols of a that b
 // never mentions are handled correctly.
-func Difference(a, b *NFA) *NFA {
+func Difference(a, b *NFA) *NFA { //invariantcall:checked delegates to Intersect, which validates
 	u := alphabet.Union(a.Alphabet(), b.Alphabet())
 	lifted := NewNFA(u)
 	m := CopyInto(lifted, b)

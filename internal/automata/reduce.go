@@ -41,7 +41,7 @@ func SimulationPreorder(n *NFA) [][]bool {
 // movesMatch reports whether every move of s can be matched by t under
 // the current simulation candidate relation.
 func movesMatch(e *NFA, s, t State, sim [][]bool) bool {
-	for _, x := range e.OutSymbols(s) {
+	for _, x := range e.OutSymbols(s) { //mapiter:unordered boolean fixpoint test; order cannot change the result
 		tSucc := e.Successors(t, x)
 		for _, s2 := range e.Successors(s, x) {
 			matched := false
@@ -95,14 +95,16 @@ func ReduceSimulation(n *NFA) *NFA {
 	}
 	for s := 0; s < k; s++ {
 		from := repr[class[s]]
-		for _, x := range e.OutSymbols(State(s)) {
+		for _, x := range e.OutSymbols(State(s)) { //mapiter:unordered building a map-backed NFA; per-(state,symbol) target order is preserved
 			for _, t := range e.Successors(State(s), x) {
 				out.AddTransition(from, x, repr[class[t]])
 			}
 		}
 	}
 	out.SetStart(repr[class[e.Start()]])
-	return out.Trim()
+	trimmed := out.Trim()
+	debugValidateNFA(trimmed)
+	return trimmed
 }
 
 // ReductionStats reports the size effect of ReduceSimulation for

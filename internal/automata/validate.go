@@ -1,0 +1,144 @@
+package automata
+
+import (
+	"fmt"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/debug"
+)
+
+// Validate checks the structural invariants of the NFA and returns the
+// first violation found, or nil. The invariants are the ones the
+// mutation API (AddState/AddTransition/AddEpsilon/SetStart/SetAccept)
+// maintains by construction, so a non-nil result means some code wrote
+// to the automaton's internals directly and got it wrong:
+//
+//   - the accept, trans and eps tables all have one entry per state;
+//   - the start state is NoState or in range;
+//   - every transition symbol is a symbol of the automaton's alphabet;
+//   - every transition and ε target is a state in range;
+//   - transition target lists are duplicate-free (AddTransition dedups);
+//   - ε edges are duplicate-free and never self-loops (AddEpsilon skips
+//     both).
+//
+// Validate is cheap — linear in the size of the automaton — and always
+// available; the regexrwdebug build tag additionally runs it after
+// every constructor in this package (see internal/debug).
+func (n *NFA) Validate() error {
+	if n.alpha == nil {
+		return fmt.Errorf("automata: NFA has nil alphabet")
+	}
+	k := len(n.accept)
+	if len(n.trans) != k || len(n.eps) != k {
+		return fmt.Errorf("automata: NFA table sizes disagree: accept=%d trans=%d eps=%d",
+			k, len(n.trans), len(n.eps))
+	}
+	if n.start != NoState && (n.start < 0 || int(n.start) >= k) {
+		return fmt.Errorf("automata: NFA start state %d out of range [0,%d)", n.start, k)
+	}
+	for s := 0; s < k; s++ {
+		for x, ts := range n.trans[s] { //mapiter:unordered error detection only; no output ordering
+			if x < 0 || int(x) >= n.alpha.Len() {
+				return fmt.Errorf("automata: state %d has transition on symbol %d outside alphabet of size %d",
+					s, x, n.alpha.Len())
+			}
+			seen := make(map[State]bool, len(ts))
+			for _, t := range ts {
+				if t < 0 || int(t) >= k {
+					return fmt.Errorf("automata: transition s%d --%s--> %d targets a state out of range [0,%d)",
+						s, n.alpha.Name(x), t, k)
+				}
+				if seen[t] {
+					return fmt.Errorf("automata: duplicate transition s%d --%s--> s%d",
+						s, n.alpha.Name(x), t)
+				}
+				seen[t] = true
+			}
+		}
+		seen := make(map[State]bool, len(n.eps[s]))
+		for _, t := range n.eps[s] {
+			if t < 0 || int(t) >= k {
+				return fmt.Errorf("automata: ε-transition s%d --ε--> %d targets a state out of range [0,%d)", s, t, k)
+			}
+			if int(t) == s {
+				return fmt.Errorf("automata: ε self-loop on s%d", s)
+			}
+			if seen[t] {
+				return fmt.Errorf("automata: duplicate ε-transition s%d --ε--> s%d", s, t)
+			}
+			seen[t] = true
+		}
+	}
+	return nil
+}
+
+// Validate checks the structural invariants of the DFA and returns the
+// first violation found, or nil:
+//
+//   - the accept and trans tables have one entry per state;
+//   - the start state is NoState or in range;
+//   - every transition row has at most one slot per alphabet symbol
+//     (rows may be shorter than the alphabet when symbols were interned
+//     after the state was added — Next treats the missing suffix as
+//     NoState);
+//   - every transition target is NoState or a state in range.
+//
+// Totality is deliberately not an invariant of every DFA — partial DFAs
+// (Determinize's output, TrimPartial's output) are first-class values
+// here. Pipelines that require totality (the rewriting construction's
+// A_d and R) check it in core.(*Rewriting).Validate.
+func (d *DFA) Validate() error {
+	if d.alpha == nil {
+		return fmt.Errorf("automata: DFA has nil alphabet")
+	}
+	k := len(d.accept)
+	if len(d.trans) != k {
+		return fmt.Errorf("automata: DFA table sizes disagree: accept=%d trans=%d", k, len(d.trans))
+	}
+	if d.start != NoState && (d.start < 0 || int(d.start) >= k) {
+		return fmt.Errorf("automata: DFA start state %d out of range [0,%d)", d.start, k)
+	}
+	for s := 0; s < k; s++ {
+		if len(d.trans[s]) > d.alpha.Len() {
+			return fmt.Errorf("automata: state %d has a transition row of length %d over an alphabet of size %d",
+				s, len(d.trans[s]), d.alpha.Len())
+		}
+		for x, t := range d.trans[s] {
+			if t == NoState {
+				continue
+			}
+			if t < 0 || int(t) >= k {
+				return fmt.Errorf("automata: transition s%d --%s--> %d targets a state out of range [0,%d)",
+					s, d.alpha.Name(alphabet.Symbol(x)), t, k)
+			}
+		}
+	}
+	return nil
+}
+
+// debugValidateNFA runs Validate on n when the regexrwdebug build tag
+// is set and panics on a violation. Constructors in this package call
+// it on every automaton they return; without the tag the call compiles
+// away (debug.Enabled is a false constant).
+func debugValidateNFA(n *NFA) {
+	if debug.Enabled {
+		if n == nil {
+			return // constructors that failed return nil alongside an error
+		}
+		if err := n.Validate(); err != nil {
+			panic(fmt.Sprintf("automata: invariant violation: %v", err))
+		}
+	}
+}
+
+// debugValidateDFA is debugValidateNFA for DFAs.
+func debugValidateDFA(d *DFA) {
+	if debug.Enabled {
+		if d == nil {
+			return // constructors that failed return nil alongside an error
+		}
+		if err := d.Validate(); err != nil {
+			panic(fmt.Sprintf("automata: invariant violation: %v", err))
+		}
+	}
+}

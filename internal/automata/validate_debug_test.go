@@ -1,0 +1,54 @@
+//go:build regexrwdebug
+
+package automata
+
+import (
+	"strings"
+	"testing"
+
+	"regexrw/internal/debug"
+)
+
+// TestDebugHooksPanicOnCorruption pins the behavior of the
+// regexrwdebug build: the constructor hooks run Validate and panic on
+// an invariant violation instead of letting a corrupt automaton flow
+// downstream.
+func TestDebugHooksPanicOnCorruption(t *testing.T) {
+	if !debug.Enabled {
+		t.Fatal("debug.Enabled is false in a regexrwdebug build")
+	}
+	n := validNFA(t)
+	n.start = 99 // corrupt directly, bypassing the mutation API
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("debugValidateNFA did not panic on a corrupt NFA")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "invariant violation") {
+			t.Fatalf("panic %v does not mention the invariant violation", r)
+		}
+	}()
+	debugValidateNFA(n)
+}
+
+// TestDebugHooksPanicOnCorruptDFA is the DFA counterpart.
+func TestDebugHooksPanicOnCorruptDFA(t *testing.T) {
+	d := validDFA(t)
+	d.trans[0][0] = 9
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("debugValidateDFA did not panic on a corrupt DFA")
+		}
+	}()
+	debugValidateDFA(d)
+}
+
+// TestDebugHooksIgnoreNil: constructors that fail return nil alongside
+// an error; the hooks must tolerate that.
+func TestDebugHooksIgnoreNil(t *testing.T) {
+	debugValidateNFA(nil)
+	debugValidateDFA(nil)
+}

@@ -1,0 +1,25 @@
+//go:build !regexrwdebug
+
+package automata
+
+import (
+	"testing"
+
+	"regexrw/internal/debug"
+)
+
+// TestDebugHooksCompileAwayWithoutTag pins the release behavior: with
+// debug.Enabled a false constant, the hooks are no-ops even on a
+// corrupt automaton — validation costs nothing unless asked for.
+func TestDebugHooksCompileAwayWithoutTag(t *testing.T) {
+	if debug.Enabled {
+		t.Fatal("debug.Enabled is true without the regexrwdebug tag")
+	}
+	n := validNFA(t)
+	n.start = 99
+	debugValidateNFA(n) // must not panic
+
+	d := validDFA(t)
+	d.trans[0][0] = 9
+	debugValidateDFA(d) // must not panic
+}

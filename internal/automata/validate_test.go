@@ -1,0 +1,156 @@
+package automata
+
+import (
+	"strings"
+	"testing"
+
+	"regexrw/internal/alphabet"
+)
+
+// validNFA builds a small well-formed NFA for corruption tests:
+// 0 --a--> 1 --ε--> 2, accepting {2}.
+func validNFA(t *testing.T) *NFA {
+	t.Helper()
+	al := alphabet.New()
+	n := NewNFA(al)
+	n.AddStates(3)
+	n.SetStart(0)
+	n.SetAccept(2, true)
+	n.AddTransition(0, al.Intern("a"), 1)
+	n.AddEpsilon(1, 2)
+	if err := n.Validate(); err != nil {
+		t.Fatalf("fixture NFA invalid before corruption: %v", err)
+	}
+	return n
+}
+
+func TestNFAValidateCatchesCorruption(t *testing.T) {
+	al := alphabet.New()
+	a := al.Intern("a")
+	cases := []struct {
+		name    string
+		corrupt func(n *NFA)
+		wantSub string
+	}{
+		{"nil alphabet", func(n *NFA) { n.alpha = nil }, "nil alphabet"},
+		{"trans table too short", func(n *NFA) { n.trans = n.trans[:2] }, "table sizes disagree"},
+		{"eps table too long", func(n *NFA) { n.eps = append(n.eps, nil) }, "table sizes disagree"},
+		{"start out of range", func(n *NFA) { n.start = 99 }, "start state 99 out of range"},
+		{"symbol outside alphabet", func(n *NFA) {
+			n.trans[0][alphabet.Symbol(57)] = []State{1}
+		}, "outside alphabet"},
+		{"transition target out of range", func(n *NFA) {
+			n.trans[0][a] = append(n.trans[0][a], 42)
+		}, "out of range"},
+		{"duplicate transition", func(n *NFA) {
+			n.trans[0][a] = append(n.trans[0][a], 1)
+		}, "duplicate transition"},
+		{"eps target out of range", func(n *NFA) { n.eps[1] = append(n.eps[1], 7) }, "out of range"},
+		{"eps self-loop", func(n *NFA) { n.eps[1] = []State{1} }, "self-loop"},
+		{"duplicate eps", func(n *NFA) { n.eps[1] = []State{2, 2} }, "duplicate ε"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n := validNFA(t)
+			tc.corrupt(n)
+			err := n.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted the corruption")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("Validate error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// validDFA builds a small well-formed partial DFA for corruption tests.
+func validDFA(t *testing.T) *DFA {
+	t.Helper()
+	al := alphabet.New()
+	a := al.Intern("a") // intern before AddState: rows are sized then
+	d := NewDFA(al)
+	d.AddState()
+	d.AddState()
+	d.SetStart(0)
+	d.SetAccept(1, true)
+	d.SetTransition(0, a, 1)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("fixture DFA invalid before corruption: %v", err)
+	}
+	return d
+}
+
+func TestDFAValidateCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(d *DFA)
+		wantSub string
+	}{
+		{"nil alphabet", func(d *DFA) { d.alpha = nil }, "nil alphabet"},
+		{"trans table too short", func(d *DFA) { d.trans = d.trans[:1] }, "table sizes disagree"},
+		{"start out of range", func(d *DFA) { d.start = -7 }, "start state -7 out of range"},
+		{"row longer than alphabet", func(d *DFA) {
+			d.trans[1] = make([]State, d.alpha.Len()+3)
+			for i := range d.trans[1] {
+				d.trans[1][i] = NoState
+			}
+		}, "transition row of length"},
+		{"target out of range", func(d *DFA) { d.trans[0][0] = 9 }, "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := validDFA(t)
+			tc.corrupt(d)
+			err := d.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted the corruption")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("Validate error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestValidateAcceptsPipelineOutputs runs Validate over the outputs of
+// the main constructors, whatever build tags are in effect — the
+// explicit counterpart of the regexrwdebug hooks.
+func TestValidateAcceptsPipelineOutputs(t *testing.T) {
+	al := alphabet.New()
+	a, b := al.Intern("a"), al.Intern("b")
+	n := NewNFA(al)
+	n.AddStates(3)
+	n.SetStart(0)
+	n.SetAccept(2, true)
+	n.AddTransition(0, a, 1)
+	n.AddTransition(1, b, 2)
+	n.AddTransition(1, a, 1)
+	n.AddEpsilon(0, 2)
+
+	for name, got := range map[string]*NFA{
+		"Clone":         n.Clone(),
+		"RemoveEpsilon": n.RemoveEpsilon(),
+		"Trim":          n.Trim(),
+		"Reverse":       Reverse(n),
+		"Star":          Star(n),
+		"Union":         Union(n, n.Clone()),
+		"Concat":        Concat(n, n),
+	} {
+		if err := got.Validate(); err != nil {
+			t.Errorf("%s output invalid: %v", name, err)
+		}
+	}
+	d := Determinize(n)
+	for name, got := range map[string]*DFA{
+		"Determinize": d,
+		"Minimize":    d.Minimize(),
+		"Totalize":    d.Totalize(),
+		"Complement":  d.Complement(),
+		"TrimPartial": d.TrimPartial(),
+	} {
+		if err := got.Validate(); err != nil {
+			t.Errorf("%s output invalid: %v", name, err)
+		}
+	}
+}

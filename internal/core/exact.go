@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"regexrw/internal/alphabet"
 	"regexrw/internal/automata"
 )
@@ -24,11 +26,23 @@ func (r *Rewriting) Expand() *automata.NFA {
 // Theorem 6. If the rewriting is not exact, witness is a shortest
 // Σ-word in L(E0) \ exp(L(R)).
 func (r *Rewriting) IsExact() (exact bool, witness []alphabet.Symbol) {
-	ok, cex := automata.ContainedIn(r.Ad.NFA(), r.Expand())
-	if ok {
-		return true, nil
+	exact, witness, _ = r.IsExactContext(context.Background()) // a background context never cancels
+	return exact, witness
+}
+
+// IsExactContext is IsExact with cooperative cancellation: the on-the-fly
+// containment search is worst-case exponential in the size of B, and it
+// consults ctx between batches of product states. A cancelled ctx aborts
+// with its error.
+func (r *Rewriting) IsExactContext(ctx context.Context) (exact bool, witness []alphabet.Symbol, err error) {
+	ok, cex, err := automata.ContainedInContext(ctx, r.Ad.NFA(), r.Expand())
+	if err != nil {
+		return false, nil, err
 	}
-	return false, cex
+	if ok {
+		return true, nil, nil
+	}
+	return false, cex, nil
 }
 
 // IsExactMaterialized is the naive baseline for IsExact: it fully

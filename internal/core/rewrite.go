@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"regexrw/internal/alphabet"
 	"regexrw/internal/automata"
@@ -57,11 +59,37 @@ func (r *Rewriting) SigmaE() *alphabet.Alphabet { return r.sigmaE }
 //
 // By Theorem 2 the result is Σ_E-maximal, and by Theorem 1 also
 // Σ-maximal.
-func MaximalRewriting(inst *Instance) *Rewriting {
-	ad := determinizeQuery(inst.Query, inst.sigma)
-	r := maximalRewritingFromDFA(ad, inst.sigma, inst.sigmaE, inst.ViewNFAs())
-	r.Instance = inst
+func MaximalRewriting(inst *Instance) *Rewriting { //invariantcall:checked delegates to MaximalRewritingContext
+	r, _ := MaximalRewritingContext(context.Background(), inst) // a background context never cancels
 	return r
+}
+
+// MaximalRewritingContext is MaximalRewriting with cooperative
+// cancellation: the construction is doubly exponential in the worst
+// case (Theorem 5), and both determinizations of the pipeline consult
+// ctx between batches of subsets. A cancelled ctx aborts with its
+// error; the ctx-free MaximalRewriting wrapper is unaffected.
+func MaximalRewritingContext(ctx context.Context, inst *Instance) (*Rewriting, error) {
+	ad, err := determinizeQueryContext(ctx, inst.Query, inst.sigma)
+	if err != nil {
+		return nil, err
+	}
+	views := inst.ViewNFAs()
+	ap := transferAutomaton(ad, inst.sigmaE, views)
+	for s := 0; s < ad.NumStates(); s++ {
+		ap.SetAccept(automata.State(s), !ad.Accepting(automata.State(s))) // S − F
+	}
+	det, err := automata.DeterminizeContext(ctx, ap)
+	if err != nil {
+		return nil, fmt.Errorf("core: rewriting automaton: %w", err)
+	}
+	r := &Rewriting{
+		Instance: inst,
+		Ad:       ad, APrime: ap, Auto: det.Complement(),
+		sigma: inst.sigma, sigmaE: inst.sigmaE, views: views,
+	}
+	debugValidateRewriting(r)
+	return r, nil
 }
 
 // determinizeQuery builds a minimal total DFA for the query. Queries
@@ -74,22 +102,36 @@ func MaximalRewriting(inst *Instance) *Rewriting {
 // is ~100 states, but the monolithic subset construction visits
 // millions of subsets from n = 3 on.)
 func determinizeQuery(q *regex.Node, sigma *alphabet.Alphabet) *automata.DFA {
+	d, _ := determinizeQueryContext(context.Background(), q, sigma) // a background context never cancels
+	return d
+}
+
+// determinizeQueryContext is determinizeQuery with cooperative
+// cancellation threaded into every subset construction.
+func determinizeQueryContext(ctx context.Context, q *regex.Node, sigma *alphabet.Alphabet) (*automata.DFA, error) {
 	const unionThreshold = 4
 	if q.Op != regex.OpUnion || len(q.Subs) < unionThreshold {
-		return automata.Determinize(q.ToNFA(sigma)).Minimize().Totalize()
+		d, err := automata.DeterminizeContext(ctx, q.ToNFA(sigma))
+		if err != nil {
+			return nil, fmt.Errorf("core: A_d: %w", err)
+		}
+		return d.Minimize().Totalize(), nil
 	}
 	var ad *automata.DFA
 	for _, branch := range q.Subs {
-		bd := automata.Determinize(branch.ToNFA(sigma)).Minimize()
+		bd, err := automata.DeterminizeContext(ctx, branch.ToNFA(sigma))
+		if err != nil {
+			return nil, fmt.Errorf("core: A_d branch: %w", err)
+		}
 		if ad == nil {
-			ad = bd
+			ad = bd.Minimize()
 		} else {
-			ad = automata.UnionDFA(ad, bd).Minimize()
+			ad = automata.UnionDFA(ad, bd.Minimize()).Minimize()
 		}
 	}
 	// The per-branch alphabets are all sigma, so no lifting is needed;
 	// totalize for the A' construction.
-	return ad.Totalize()
+	return ad.Totalize(), nil
 }
 
 // MaximalRewritingBounded is MaximalRewriting with a resource guard:
@@ -117,6 +159,7 @@ func MaximalRewritingBounded(inst *Instance, maxStates int) (*Rewriting, error) 
 		Ad:       ad, APrime: ap, Auto: det.Complement(),
 		sigma: inst.sigma, sigmaE: inst.sigmaE, views: views,
 	}
+	debugValidateRewriting(r)
 	return r, nil
 }
 
@@ -152,13 +195,37 @@ func determinizeQueryBounded(q *regex.Node, sigma *alphabet.Alphabet, maxStates 
 // each view as an ε-free NFA over the same Σ, keyed by its Σ_E symbol.
 // The regular-path-query layer uses this entry point with grounded
 // automata over the constant domain D in place of Σ (Theorem 11).
-func MaximalRewritingAutomata(e0 *automata.NFA, sigmaE *alphabet.Alphabet, views map[alphabet.Symbol]*automata.NFA) *Rewriting {
+func MaximalRewritingAutomata(e0 *automata.NFA, sigmaE *alphabet.Alphabet, views map[alphabet.Symbol]*automata.NFA) *Rewriting { //invariantcall:checked delegates to maximalRewritingFromDFA, which validates
 	// Step 1. A_d must be TOTAL: Step 2 needs s_j = ρ*(s_i, w) to exist
 	// for every w, so rejection must be represented by a dead state
 	// rather than by a missing transition. Minimization keeps the
 	// automaton small and returns a total DFA.
 	ad := automata.Determinize(e0).Minimize().Totalize()
 	return maximalRewritingFromDFA(ad, e0.Alphabet(), sigmaE, views)
+}
+
+// MaximalRewritingAutomataContext is MaximalRewritingAutomata with
+// cooperative cancellation threaded into both determinizations.
+func MaximalRewritingAutomataContext(ctx context.Context, e0 *automata.NFA, sigmaE *alphabet.Alphabet, views map[alphabet.Symbol]*automata.NFA) (*Rewriting, error) {
+	d, err := automata.DeterminizeContext(ctx, e0)
+	if err != nil {
+		return nil, fmt.Errorf("core: A_d: %w", err)
+	}
+	ad := d.Minimize().Totalize()
+	ap := transferAutomaton(ad, sigmaE, views)
+	for s := 0; s < ad.NumStates(); s++ {
+		ap.SetAccept(automata.State(s), !ad.Accepting(automata.State(s))) // S − F
+	}
+	det, err := automata.DeterminizeContext(ctx, ap)
+	if err != nil {
+		return nil, fmt.Errorf("core: rewriting automaton: %w", err)
+	}
+	r := &Rewriting{
+		Ad: ad, APrime: ap, Auto: det.Complement(),
+		sigma: e0.Alphabet(), sigmaE: sigmaE, views: views,
+	}
+	debugValidateRewriting(r)
+	return r, nil
 }
 
 // maximalRewritingFromDFA runs Steps 2–3 of the construction from an
@@ -173,10 +240,12 @@ func maximalRewritingFromDFA(ad *automata.DFA, sigma *alphabet.Alphabet, sigmaE 
 	// Step 3. R = complement of A'.
 	r := automata.Determinize(ap).Complement()
 
-	return &Rewriting{
+	out := &Rewriting{
 		Ad: ad, APrime: ap, Auto: r,
 		sigma: sigma, sigmaE: sigmaE, views: views,
 	}
+	debugValidateRewriting(out)
+	return out
 }
 
 // transferAutomaton builds the Σ_E-labeled transfer structure shared by
@@ -258,7 +327,7 @@ func transferTargets(view *automata.NFA, ad *automata.DFA) [][]automata.State {
 		queue = queue[:len(queue)-1]
 		inQueue[p] = false
 		src := get(p.v, p.d)
-		for _, x := range view.OutSymbols(p.v) {
+		for _, x := range view.OutSymbols(p.v) { //mapiter:unordered fixpoint propagation; the final origin sets are order-independent
 			d2 := ad.Next(p.d, x)
 			if d2 == automata.NoState {
 				continue
@@ -342,10 +411,12 @@ func (b *bitsetWords) elements() []int {
 // The view automata are supplied lazily: viewsFn runs only if a caller
 // needs the expansion (Expand, exactness or Σ-emptiness checks).
 func NewRewritingFromParts(ad *automata.DFA, aprime *automata.NFA, r *automata.DFA, sigma, sigmaE *alphabet.Alphabet, viewsFn func() map[alphabet.Symbol]*automata.NFA) *Rewriting {
-	return &Rewriting{
+	out := &Rewriting{
 		Ad: ad, APrime: aprime, Auto: r,
 		sigma: sigma, sigmaE: sigmaE, viewsFn: viewsFn,
 	}
+	debugValidateRewriting(out)
+	return out
 }
 
 // reachTargets returns the A_d states j such that some word w ∈ L(view)
@@ -367,7 +438,7 @@ func reachTargets(view *automata.NFA, ad *automata.DFA, i automata.State) []auto
 		if view.Accepting(p.v) {
 			targetSet[p.d] = true
 		}
-		for _, x := range view.OutSymbols(p.v) {
+		for _, x := range view.OutSymbols(p.v) { //mapiter:unordered BFS over a set; targets are sorted before return
 			d := ad.Next(p.d, x)
 			if d == automata.NoState {
 				continue // cannot happen on a total A_d; kept for safety
@@ -385,6 +456,7 @@ func reachTargets(view *automata.NFA, ad *automata.DFA, i automata.State) []auto
 	for j := range targetSet {
 		out = append(out, j)
 	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
 	return out
 }
 
@@ -466,7 +538,7 @@ func (r *Rewriting) ShortestWord() ([]alphabet.Symbol, bool) {
 func (r *Rewriting) Views() map[alphabet.Symbol]*automata.NFA {
 	if r.views == nil && r.viewsFn != nil {
 		r.views = r.viewsFn()
-		for e, v := range r.views {
+		for e, v := range r.views { //mapiter:unordered in-place normalization; no ordering is observable
 			if v != nil && v.HasEpsilon() {
 				r.views[e] = v.RemoveEpsilon()
 			}

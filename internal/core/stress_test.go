@@ -32,6 +32,9 @@ func TestStressCharacterization(t *testing.T) {
 		}
 		inst := parseInstance(t, exprs[r.Intn(len(exprs))], views)
 		rw := MaximalRewriting(inst)
+		if err := rw.Validate(); err != nil {
+			t.Fatalf("trial %d: rewriting violates construction invariants: %v", trial, err)
+		}
 		e0 := inst.Query.ToNFA(inst.Sigma())
 		viewNFAs := rw.Views()
 		for i := 0; i < 20; i++ {
@@ -60,6 +63,9 @@ func TestStressExactnessChecksAgree(t *testing.T) {
 	for trial := 0; trial < 120; trial++ {
 		inst := randomSmallInstance(t, r)
 		rw := MaximalRewriting(inst)
+		if err := rw.Validate(); err != nil {
+			t.Fatalf("trial %d: rewriting violates construction invariants: %v", trial, err)
+		}
 		onTheFly, _ := rw.IsExact()
 		if onTheFly != rw.IsExactMaterialized() {
 			t.Fatalf("trial %d: exactness checks disagree on %s", trial, inst)
@@ -75,6 +81,9 @@ func TestStressEmptinessConsistency(t *testing.T) {
 	for trial := 0; trial < 150; trial++ {
 		inst := randomSmallInstance(t, r)
 		rw := MaximalRewriting(inst)
+		if err := rw.Validate(); err != nil {
+			t.Fatalf("trial %d: rewriting violates construction invariants: %v", trial, err)
+		}
 		sigmaEEmpty := rw.IsEmpty()
 		sigmaEmpty := rw.IsSigmaEmpty()
 		if sigmaEEmpty && !sigmaEmpty {

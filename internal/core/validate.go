@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"regexrw/internal/automata"
+	"regexrw/internal/debug"
+)
+
+// Validate checks the structural invariants the three-step construction
+// of Section 2 guarantees for a Rewriting, returning the first
+// violation found or nil:
+//
+//   - A_d, A' and R are present and individually well-formed
+//     (automata.Validate);
+//   - A_d is a TOTAL DFA over Σ — Step 2 needs ρ*(s_i, w) to exist for
+//     every word w, so rejection must be a dead state, never a missing
+//     transition;
+//   - A' has exactly A_d's states, is over Σ_E, and accepts exactly
+//     A_d's non-accepting states (the S − F acceptance flip of Step 2);
+//   - R is a total DFA over Σ_E (Step 3 complements a determinization,
+//     which is total by construction);
+//   - every materialized view automaton is a well-formed ε-free NFA
+//     over Σ (views supplied lazily are not forced).
+//
+// Validate is linear in the sizes of the stored automata; the
+// regexrwdebug build tag additionally runs it after every construction
+// entry point in this package (see internal/debug).
+func (r *Rewriting) Validate() error {
+	if r.Ad == nil || r.APrime == nil || r.Auto == nil {
+		return fmt.Errorf("core: Rewriting is missing a construction automaton (Ad=%v APrime=%v Auto=%v)",
+			r.Ad != nil, r.APrime != nil, r.Auto != nil)
+	}
+	if err := r.Ad.Validate(); err != nil {
+		return fmt.Errorf("core: A_d: %w", err)
+	}
+	if err := r.APrime.Validate(); err != nil {
+		return fmt.Errorf("core: A': %w", err)
+	}
+	if err := r.Auto.Validate(); err != nil {
+		return fmt.Errorf("core: R: %w", err)
+	}
+	if r.sigma == nil || r.sigmaE == nil {
+		return fmt.Errorf("core: Rewriting is missing an alphabet (sigma=%v sigmaE=%v)",
+			r.sigma != nil, r.sigmaE != nil)
+	}
+	if !r.Ad.Alphabet().Equal(r.sigma) {
+		return fmt.Errorf("core: A_d alphabet differs from Σ")
+	}
+	if !r.Ad.IsTotal() {
+		return fmt.Errorf("core: A_d is not total (Step 2 requires ρ*(s_i, w) to exist for every w)")
+	}
+	if !r.APrime.Alphabet().Equal(r.sigmaE) {
+		return fmt.Errorf("core: A' alphabet differs from Σ_E")
+	}
+	if r.APrime.NumStates() != r.Ad.NumStates() {
+		return fmt.Errorf("core: A' has %d states, A_d has %d — Step 2 reuses A_d's states exactly",
+			r.APrime.NumStates(), r.Ad.NumStates())
+	}
+	for s := 0; s < r.Ad.NumStates(); s++ {
+		if r.APrime.Accepting(automata.State(s)) == r.Ad.Accepting(automata.State(s)) {
+			return fmt.Errorf("core: A' acceptance at state %d is not flipped from A_d (Step 2 sets S − F)", s)
+		}
+	}
+	if !r.Auto.Alphabet().Equal(r.sigmaE) {
+		return fmt.Errorf("core: R alphabet differs from Σ_E")
+	}
+	if !r.Auto.IsTotal() {
+		return fmt.Errorf("core: R is not total (Step 3 complements a total determinization)")
+	}
+	for e, v := range r.views { //mapiter:unordered error detection only; no output ordering
+		if v == nil {
+			continue
+		}
+		if err := v.Validate(); err != nil {
+			return fmt.Errorf("core: view %s: %w", r.sigmaE.Name(e), err)
+		}
+		if v.HasEpsilon() {
+			return fmt.Errorf("core: view %s has ε-transitions (views are normalized to ε-free form)", r.sigmaE.Name(e))
+		}
+		if !v.Alphabet().Equal(r.sigma) {
+			return fmt.Errorf("core: view %s alphabet differs from Σ", r.sigmaE.Name(e))
+		}
+	}
+	return nil
+}
+
+// debugValidateRewriting runs Validate on r when the regexrwdebug build
+// tag is set and panics on a violation. Construction entry points in
+// this package call it on every Rewriting they return; without the tag
+// the call compiles away (debug.Enabled is a false constant).
+func debugValidateRewriting(r *Rewriting) {
+	if debug.Enabled {
+		if r == nil {
+			return // constructors that failed return nil alongside an error
+		}
+		if err := r.Validate(); err != nil {
+			panic(fmt.Sprintf("core: invariant violation: %v", err))
+		}
+	}
+}

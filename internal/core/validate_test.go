@@ -1,0 +1,95 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"regexrw/internal/automata"
+)
+
+// fixtureRewriting builds a small rewriting (the paper's Example 1
+// shape) that must validate before corruption.
+func fixtureRewriting(t *testing.T) *Rewriting {
+	t.Helper()
+	inst := parseInstance(t, "a·(b·a+c)*", map[string]string{
+		"e1": "a·(b·a)*", "e2": "c+b·a", "e3": "a·c*",
+	})
+	rw := MaximalRewriting(inst)
+	if err := rw.Validate(); err != nil {
+		t.Fatalf("fixture rewriting invalid before corruption: %v", err)
+	}
+	return rw
+}
+
+func TestRewritingValidateCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(r *Rewriting)
+		wantSub string
+	}{
+		{"missing Ad", func(r *Rewriting) { r.Ad = nil }, "missing a construction automaton"},
+		{"missing Auto", func(r *Rewriting) { r.Auto = nil }, "missing a construction automaton"},
+		{"Ad not total", func(r *Rewriting) { r.Ad = r.Ad.TrimPartial() }, "A_d is not total"},
+		{"Ad alphabet mismatch", func(r *Rewriting) {
+			r.Ad = automata.NewDFA(r.sigmaE)
+			r.Ad.SetStart(r.Ad.AddState())
+		}, "alphabet differs from Σ"},
+		{"APrime state count", func(r *Rewriting) { r.APrime.AddState() }, "Step 2 reuses A_d's states"},
+		{"APrime acceptance not flipped", func(r *Rewriting) {
+			r.APrime.SetAccept(0, !r.APrime.Accepting(0))
+		}, "not flipped"},
+		{"Auto not total", func(r *Rewriting) { r.Auto = r.Auto.TrimPartial() }, "R is not total"},
+		{"missing sigma", func(r *Rewriting) { r.sigma = nil }, "missing an alphabet"},
+		{"view with epsilon", func(r *Rewriting) {
+			bad := automata.NewNFA(r.sigma)
+			bad.AddStates(2)
+			bad.SetStart(0)
+			bad.SetAccept(1, true)
+			bad.AddEpsilon(0, 1)
+			for e := range r.views {
+				r.views[e] = bad
+				break
+			}
+		}, "ε-transitions"},
+		{"view alphabet mismatch", func(r *Rewriting) {
+			bad := automata.NewNFA(r.sigmaE)
+			bad.SetStart(bad.AddState())
+			for e := range r.views {
+				r.views[e] = bad
+				break
+			}
+		}, "alphabet differs from Σ"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rw := fixtureRewriting(t)
+			tc.corrupt(rw)
+			err := rw.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted the corruption")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("Validate error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestRewritingValidateAllConstructors checks the invariants hold on
+// every public construction path, not just MaximalRewriting.
+func TestRewritingValidateAllConstructors(t *testing.T) {
+	inst := parseInstance(t, "a·(b·a+c)*", map[string]string{
+		"e1": "a·(b·a)*", "e2": "c+b·a",
+	})
+	bounded, err := MaximalRewritingBounded(inst, 10_000)
+	if err != nil {
+		t.Fatalf("MaximalRewritingBounded: %v", err)
+	}
+	if err := bounded.Validate(); err != nil {
+		t.Errorf("MaximalRewritingBounded output invalid: %v", err)
+	}
+	auto := MaximalRewritingAutomata(inst.Query.ToNFA(inst.Sigma()), inst.SigmaE(), inst.ViewNFAs())
+	if err := auto.Validate(); err != nil {
+		t.Errorf("MaximalRewritingAutomata output invalid: %v", err)
+	}
+}

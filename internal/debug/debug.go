@@ -1,0 +1,15 @@
+// Package debug gates the runtime invariant checks of the automata
+// pipeline behind the regexrwdebug build tag.
+//
+// The Validate methods on automata.NFA, automata.DFA and core.Rewriting
+// are always available for explicit calls, but the automatic hooks that
+// run them after every constructor (debugValidate* in their packages)
+// test debug.Enabled first. Enabled is a compile-time constant: without
+// the tag the hooks reduce to `if false { ... }` and the compiler
+// removes them entirely, so release builds pay nothing.
+//
+// Enable the checks with:
+//
+//	go test -tags regexrwdebug ./...
+//	go build -tags regexrwdebug ./...
+package debug

@@ -1,0 +1,8 @@
+//go:build !regexrwdebug
+
+package debug
+
+// Enabled reports whether runtime invariant checking is compiled in.
+// Without the regexrwdebug build tag the invariant hooks compile to
+// no-ops.
+const Enabled = false

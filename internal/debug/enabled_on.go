@@ -1,0 +1,7 @@
+//go:build regexrwdebug
+
+package debug
+
+// Enabled reports whether runtime invariant checking is compiled in.
+// This build has the regexrwdebug tag set.
+const Enabled = true

@@ -114,7 +114,7 @@ func (db *DB) Eval(a *automata.NFA) []Pair {
 	// Transitions indexed by db label for the inner loop.
 	byLabel := make([]map[automata.State][]automata.State, db.labels.Len())
 	for s := 0; s < nfa.NumStates(); s++ {
-		for _, x := range nfa.OutSymbols(automata.State(s)) {
+		for _, x := range nfa.OutSymbols(automata.State(s)) { //mapiter:unordered builds an index; answer pairs are sorted before return
 			l := toDB[x]
 			if l == alphabet.None {
 				continue
@@ -194,7 +194,7 @@ func (db *DB) EvalFrom(a *automata.NFA, start NodeID) []NodeID {
 			out = append(out, c.node)
 		}
 		for _, e := range db.out[c.node] {
-			for _, x := range nfa.OutSymbols(c.state) {
+			for _, x := range nfa.OutSymbols(c.state) { //mapiter:unordered BFS over a set; answer nodes are sorted before return
 				if toDB[x] != e.Label {
 					continue
 				}

@@ -35,9 +35,7 @@ func FromNFA(n *automata.NFA) *Node {
 
 	al := n.Alphabet()
 	for s := 0; s < k; s++ {
-		syms := n.OutSymbols(automata.State(s))
-		sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
-		for _, x := range syms {
+		for _, x := range n.OutSymbolsSorted(automata.State(s)) {
 			targets := append([]automata.State(nil), n.Successors(automata.State(s), x)...)
 			sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
 			for _, t := range targets {

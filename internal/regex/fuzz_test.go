@@ -1,6 +1,10 @@
 package regex
 
-import "testing"
+import (
+	"testing"
+
+	"regexrw/internal/alphabet"
+)
 
 // FuzzParse checks that the parser never panics, and that on every
 // accepted input the printed form re-parses to a structurally stable
@@ -31,6 +35,11 @@ func FuzzParse(f *testing.F) {
 		if _, err := Parse(s.String()); err != nil {
 			t.Fatalf("simplified form %q unparseable: %v", s.String(), err)
 		}
+		// Compilation must yield a structurally valid automaton (and,
+		// under the regexrwdebug tag, exercises the constructor hooks).
+		if err := n.ToNFA(alphabet.New()).Validate(); err != nil {
+			t.Fatalf("ToNFA of %q produced an invalid NFA: %v", input, err)
+		}
 	})
 }
 
@@ -47,5 +56,8 @@ func FuzzDerivative(f *testing.F) {
 		d := Derivative(n, sym)
 		_ = d.Nullable()
 		_ = d.String()
+		if err := d.ToNFA(alphabet.New()).Validate(); err != nil {
+			t.Fatalf("ToNFA of derivative %q produced an invalid NFA: %v", d, err)
+		}
 	})
 }

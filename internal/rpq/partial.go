@@ -146,6 +146,11 @@ func PartialRewriteContext(ctx context.Context, q0 *Query, views []View, t *theo
 			idx[i] = i
 		}
 		for {
+			// Generation alone is C(n, size) — exponential over all sizes —
+			// so cancellation must reach it, not just the trial loop below.
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("rpq: partial rewriting: %w", err)
+			}
 			elem := 0
 			for _, j := range idx {
 				if ordered[j].Kind == ElementaryView {

@@ -93,7 +93,9 @@ func (q *Query) Ground(t *theory.Interpretation) *automata.NFA {
 	}
 	for s := 0; s < fnfa.NumStates(); s++ {
 		out.SetAccept(automata.State(s), fnfa.Accepting(automata.State(s)))
-		for _, x := range fnfa.OutSymbols(automata.State(s)) {
+		// Sorted symbol order makes the grounded automaton's transition
+		// lists a pure function of the query, not of map iteration order.
+		for _, x := range fnfa.OutSymbolsSorted(automata.State(s)) {
 			for _, to := range fnfa.Successors(automata.State(s), x) {
 				for _, a := range sat[x] {
 					out.AddTransition(automata.State(s), a, to)
@@ -199,7 +201,7 @@ func (q *Query) AnswerDirect(t *theory.Interpretation, db *graph.DB) []graph.Pai
 				out = append(out, graph.Pair{From: graph.NodeID(start), To: c.node})
 			}
 			for _, e := range db.Out(c.node) {
-				for _, f := range fnfa.OutSymbols(c.state) {
+				for _, f := range fnfa.OutSymbols(c.state) { //mapiter:unordered BFS over a set; answer pairs are sorted before return
 					if !entails(f, e.Label) {
 						continue
 					}

@@ -2,6 +2,7 @@ package rpq
 
 import (
 	"fmt"
+	"sort"
 
 	"regexrw/internal/alphabet"
 	"regexrw/internal/automata"
@@ -55,7 +56,7 @@ type Rewriting struct {
 }
 
 // Rewrite computes the Σ_Q-maximal rewriting of q0 wrt the views.
-func Rewrite(q0 *Query, views []View, t *theory.Interpretation, method Method) (*Rewriting, error) {
+func Rewrite(q0 *Query, views []View, t *theory.Interpretation, method Method) (*Rewriting, error) { //invariantcall:checked the embedded core.Rewriting is validated by the core constructors
 	if q0 == nil {
 		return nil, fmt.Errorf("rpq: nil query")
 	}
@@ -166,7 +167,9 @@ func compressedRewriting(q0 *Query, sigmaQ *alphabet.Alphabet, views []View, t *
 		}
 		for s := 0; s < fnfa.NumStates(); s++ {
 			out.SetAccept(automata.State(s), fnfa.Accepting(automata.State(s)))
-			for _, x := range fnfa.OutSymbols(automata.State(s)) {
+			// Sorted symbol order keeps the class-grounded automaton's
+			// transition lists deterministic.
+			for _, x := range fnfa.OutSymbolsSorted(automata.State(s)) {
 				for _, to := range fnfa.Successors(automata.State(s), x) {
 					for _, cls := range sat[x] {
 						out.AddTransition(automata.State(s), cls, to)
@@ -249,7 +252,7 @@ func directReach(fnfa *automata.NFA, sat [][]alphabet.Symbol, ad *automata.DFA, 
 		if fnfa.Accepting(p.v) {
 			targets[p.d] = true
 		}
-		for _, f := range fnfa.OutSymbols(p.v) {
+		for _, f := range fnfa.OutSymbols(p.v) { //mapiter:unordered BFS over a set; targets are sorted before return
 			for _, a := range sat[f] {
 				d := ad.Next(p.d, a)
 				if d == automata.NoState {
@@ -269,6 +272,9 @@ func directReach(fnfa *automata.NFA, sat [][]alphabet.Symbol, ad *automata.DFA, 
 	for j := range targets {
 		out = append(out, j)
 	}
+	// Sorted so that A' transition lists — visible through
+	// Rewriting.APrime and its DOT rendering — are deterministic.
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
 	return out
 }
 

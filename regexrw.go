@@ -93,6 +93,12 @@ func Rewrite(query string, views map[string]string) (*Rewriting, error) {
 // MaximalRewriting computes the Σ_E-maximal rewriting of an instance.
 func MaximalRewriting(inst *Instance) *Rewriting { return core.MaximalRewriting(inst) }
 
+// MaximalRewritingContext is MaximalRewriting with cancellation for the
+// exponential determinizations of the construction.
+func MaximalRewritingContext(ctx context.Context, inst *Instance) (*Rewriting, error) {
+	return core.MaximalRewritingContext(ctx, inst)
+}
+
 // MaximalRewritingBounded is MaximalRewriting with a resource guard:
 // the construction is doubly exponential in the worst case, so every
 // determinization is capped at maxStates; exceeding the cap fails with
