@@ -1,0 +1,83 @@
+package regexrw
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestWithBudgetGovernsRewriting: the doc-comment usage pattern — a
+// state cap on a governed run trips with a typed *BudgetExceeded
+// naming the stage.
+func TestWithBudgetGovernsRewriting(t *testing.T) {
+	inst, err := ParseInstance("a·(b+c)", map[string]string{"q1": "a", "q2": "b", "q3": "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBudget(2, 0)
+	_, err = MaximalRewritingContext(WithBudget(context.Background(), b), inst)
+	var ex *BudgetExceeded
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v, want *BudgetExceeded", err)
+	}
+	if ex.Stage == "" || ex.Used <= ex.Limit {
+		t.Fatalf("BudgetExceeded = %+v", ex)
+	}
+	// With room to run, the same governed call succeeds and the meter
+	// reports what was spent.
+	big := NewBudget(100000, 0)
+	if _, err := MaximalRewritingContext(WithBudget(context.Background(), big), inst); err != nil {
+		t.Fatal(err)
+	}
+	if big.States() == 0 {
+		t.Fatal("governed run charged no states")
+	}
+}
+
+// TestWithBudgetDeadline: a context deadline composes with the budget.
+func TestWithBudgetDeadline(t *testing.T) {
+	inst, err := ParseInstance("a·(b+c)", map[string]string{"q1": "a", "q2": "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), -time.Second)
+	defer cancel()
+	_, err = MaximalRewritingContext(WithBudget(ctx, NewBudget(0, 0)), inst)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestTryExactnessFacade: the three-valued verdict is reachable from
+// the facade types.
+func TestTryExactnessFacade(t *testing.T) {
+	inst, err := ParseInstance("a·(b+c)", map[string]string{"q1": "a", "q2": "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := MaximalRewritingContext(context.Background(), inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := r.TryExactness(context.Background()); rep.Verdict != ExactNo {
+		t.Fatalf("Verdict = %v, want no", rep.Verdict)
+	}
+	rep := r.TryExactness(WithBudget(context.Background(), NewBudget(1, 0)))
+	if rep.Verdict != ExactUnknown || rep.Reason == nil {
+		t.Fatalf("report = %+v, want unknown with a reason", rep)
+	}
+}
+
+// TestPartialRewritingAnytimeFacade: the anytime search degrades to a
+// sound result instead of failing when governed tightly.
+func TestPartialRewritingAnytimeFacade(t *testing.T) {
+	inst, err := ParseInstance("a·(b+c)", map[string]string{"q1": "a", "q2": "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PartialRewritingAnytime(context.Background(), inst)
+	if err != nil || !res.Exact {
+		t.Fatalf("ungoverned run: res = %+v, err = %v", res, err)
+	}
+}

@@ -30,7 +30,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	filter := fs.String("run", "", "run only experiments whose id contains this string")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	parallel := fs.Bool("parallel", false, "run experiments concurrently (timings get noisier)")
-	asJSON := fs.Bool("json", false, "emit a JSON array of results (id, title, seconds, ok, output)")
+	asJSON := fs.Bool("json", false, "emit a JSON array of results (id, title, seconds, ok, output, metrics)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}

@@ -65,3 +65,35 @@ func TestRunJSON(t *testing.T) {
 		t.Fatal("output missing")
 	}
 }
+
+// TestRunJSONMetrics: experiments with a metrics variant embed their
+// headline numbers — here THM8's per-n state counts and blowup ratios —
+// in the JSON results.
+func TestRunJSONMetrics(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-run", "THM8", "-json"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	var results []struct {
+		ID      string             `json:"id"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(results) != 1 || results[0].ID != "THM8" {
+		t.Fatalf("unexpected results: %+v", results)
+	}
+	m := results[0].Metrics
+	if len(m) == 0 {
+		t.Fatal("THM8 result carries no metrics")
+	}
+	for _, key := range []string{"n4_min_states", "n4_lower_bound", "n4_blowup_ratio", "n4_seconds"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("metrics missing %s: %v", key, m)
+		}
+	}
+	if m["n4_min_states"] < m["n4_lower_bound"] {
+		t.Fatalf("Theorem 8 violated in metrics: %v < %v", m["n4_min_states"], m["n4_lower_bound"])
+	}
+}

@@ -15,6 +15,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +24,7 @@ import (
 	"strings"
 
 	"regexrw/internal/automata"
+	"regexrw/internal/budget"
 	"regexrw/internal/core"
 )
 
@@ -58,6 +61,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	explain := fs.String("explain", "", "space-separated view word: report membership and, if rejected, an escaping expansion")
 	costs := viewFlags{}
 	fs.Var(costs, "cost", "view evaluation cost name=weight (repeatable); triggers cost-guided view pruning")
+	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none); exceeding it exits 3")
+	maxStates := fs.Int("max-states", 0, "cap on total materialized automaton states (0 = unlimited); exceeding it exits 3")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -68,20 +73,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// The constructions are doubly exponential in the worst case
+	// (Theorems 5 and 8), so both guards govern every stage through the
+	// shared context.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *maxStates > 0 {
+		ctx = budget.With(ctx, budget.New(budget.MaxStates(*maxStates)))
+	}
+
 	inst, err := core.ParseInstance(*query, views)
 	if err != nil {
 		fmt.Fprintln(stderr, "rewrite:", err)
 		return 1
 	}
 
-	r := core.MaximalRewriting(inst)
+	r, err := core.MaximalRewritingContext(ctx, inst)
+	if err != nil {
+		return fail(stderr, err)
+	}
 	fmt.Fprintf(stdout, "E0        = %s\n", inst.Query)
 	for _, v := range inst.Views {
 		fmt.Fprintf(stdout, "re(%s)%s = %s\n", v.Name, strings.Repeat(" ", max(0, 4-len(v.Name))), v.Expr)
 	}
 	fmt.Fprintf(stdout, "rewriting = %s\n", r.Regex())
 
-	exact, witness := r.IsExact()
+	exact, witness, err := r.IsExactContext(ctx)
+	if err != nil {
+		return fail(stderr, err)
+	}
 	fmt.Fprintf(stdout, "exact     = %v\n", exact)
 	if !exact {
 		fmt.Fprintf(stdout, "witness   = %s   (in L(E0) but not in exp(L(R)))\n",
@@ -112,8 +136,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *partial && !exact {
-		res, err := core.PartialRewriting(inst)
+		res, err := core.PartialRewritingContext(ctx, inst)
 		if err != nil {
+			if code := resourceExit(stderr, err); code != 0 {
+				return code
+			}
 			fmt.Fprintln(stderr, "rewrite: partial:", err)
 			return 1
 		}
@@ -122,7 +149,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *possible {
-		p := core.PossibilityRewriting(inst)
+		p, err := core.PossibilityRewritingContext(ctx, inst)
+		if err != nil {
+			return fail(stderr, err)
+		}
 		containing, cex := p.IsContaining()
 		fmt.Fprintf(stdout, "\npossibility rewriting = %s\n", p.Regex())
 		fmt.Fprintf(stdout, "containing rewriting exists = %v\n", containing)
@@ -142,8 +172,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			viewCosts[name] = v
 		}
-		pruned, pr, err := core.PruneViews(inst, viewCosts)
+		pruned, pr, err := core.PruneViewsContext(ctx, inst, viewCosts)
 		if err != nil {
+			if code := resourceExit(stderr, err); code != 0 {
+				return code
+			}
 			fmt.Fprintln(stderr, "rewrite: prune:", err)
 			return 1
 		}
@@ -163,4 +196,31 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// resourceExit returns 3 with a one-line diagnostic naming the
+// exhausted stage when err is a budget or deadline failure, and 0 for
+// every other error.
+func resourceExit(stderr io.Writer, err error) int {
+	var ex *budget.ExceededError
+	if errors.As(err, &ex) {
+		fmt.Fprintf(stderr, "rewrite: resource budget exhausted in %s: used %d of %d %s\n",
+			ex.Stage, ex.Used, ex.Limit, ex.Resource)
+		return 3
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		fmt.Fprintf(stderr, "rewrite: deadline exceeded: %v\n", err)
+		return 3
+	}
+	return 0
+}
+
+// fail reports err and picks the exit code: 3 for resource exhaustion,
+// 1 otherwise.
+func fail(stderr io.Writer, err error) int {
+	if code := resourceExit(stderr, err); code != 0 {
+		return code
+	}
+	fmt.Fprintln(stderr, "rewrite:", err)
+	return 1
 }

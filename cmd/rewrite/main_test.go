@@ -122,3 +122,40 @@ func TestRewriteExplainFlag(t *testing.T) {
 		t.Fatalf("explain unknown-view wrong:\n%s", out)
 	}
 }
+
+func TestRewriteMaxStatesExitsThree(t *testing.T) {
+	_, errOut, code := runCmd(t,
+		"-query", "(a+b)*·a·(a+b)·(a+b)·(a+b)·(a+b)",
+		"-view", "e1=a", "-view", "e2=b",
+		"-max-states", "5")
+	if code != 3 {
+		t.Fatalf("exit %d, want 3; stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "resource budget exhausted in automata.determinize") {
+		t.Fatalf("diagnostic must name the exhausted stage:\n%s", errOut)
+	}
+}
+
+func TestRewriteTimeoutExitsThree(t *testing.T) {
+	_, errOut, code := runCmd(t,
+		"-query", "a·(b+c)", "-view", "q1=a", "-view", "q2=b",
+		"-timeout", "1ns")
+	if code != 3 {
+		t.Fatalf("exit %d, want 3; stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "deadline exceeded") {
+		t.Fatalf("diagnostic wrong:\n%s", errOut)
+	}
+}
+
+func TestRewriteGovernedRunSucceeds(t *testing.T) {
+	out, _, code := runCmd(t,
+		"-query", "a·(b+c)", "-view", "q1=a", "-view", "q2=b", "-view", "q3=c",
+		"-max-states", "100000", "-timeout", "1m")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "exact     = true") {
+		t.Fatalf("governed run output wrong:\n%s", out)
+	}
+}

@@ -18,12 +18,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"regexrw/internal/budget"
 	"regexrw/internal/graph"
 	"regexrw/internal/rpq"
 	"regexrw/internal/theory"
@@ -43,6 +46,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rpq", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	fail := func(err error) int {
+		var ex *budget.ExceededError
+		if errors.As(err, &ex) {
+			fmt.Fprintf(stderr, "rpq: resource budget exhausted in %s: used %d of %d %s\n",
+				ex.Stage, ex.Used, ex.Limit, ex.Resource)
+			return 3
+		}
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			fmt.Fprintf(stderr, "rpq: deadline exceeded: %v\n", err)
+			return 3
+		}
 		fmt.Fprintln(stderr, "rpq:", err)
 		return 1
 	}
@@ -54,6 +67,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.Var(&viewDefs, "view", "view definition name:expression over formula names (repeatable)")
 	methodName := fs.String("method", "grounded", "rewriting construction: grounded or direct")
 	partial := fs.Bool("partial", false, "search for atomic/elementary views making the rewriting exact")
+	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none); exceeding it exits 3")
+	maxStates := fs.Int("max-states", 0, "cap on total materialized automaton states (0 = unlimited); exceeding it exits 3")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -62,6 +77,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "rpq: -graph and -query are required")
 		fs.Usage()
 		return 2
+	}
+
+	// Grounding multiplies every formula edge by its satisfying
+	// constants and the rewriting is doubly exponential on top, so both
+	// guards govern every stage through the shared context.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *maxStates > 0 {
+		ctx = budget.With(ctx, budget.New(budget.MaxStates(*maxStates)))
 	}
 
 	var method rpq.Method
@@ -139,12 +167,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		views = append(views, rpq.View{Name: name, Query: vq})
 	}
 
-	r, err := rpq.Rewrite(q0, views, tt, method)
+	r, err := rpq.RewriteContext(ctx, q0, views, tt, method)
 	if err != nil {
 		return fail(err)
 	}
 	fmt.Fprintf(stdout, "\nrewriting over views: %s\n", r.RegexOverViews())
-	exact, _ := r.IsExact()
+	exact, _, err := r.IsExactContext(ctx)
+	if err != nil {
+		return fail(err)
+	}
 	fmt.Fprintf(stdout, "exact: %v\n", exact)
 
 	viaViews := r.AnswerUsingViews(db)
@@ -154,7 +185,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *partial && !exact {
-		res, err := rpq.PartialRewrite(q0, views, tt, rpq.DefaultCandidates(tt), method)
+		res, err := rpq.PartialRewriteContext(ctx, q0, views, tt, rpq.DefaultCandidates(tt), method)
 		if err != nil {
 			return fail(err)
 		}

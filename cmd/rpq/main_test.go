@@ -122,3 +122,35 @@ func TestRPQErrors(t *testing.T) {
 		t.Fatal("bad view syntax should exit 1")
 	}
 }
+
+func TestRPQMaxStatesExitsThree(t *testing.T) {
+	graphPath, theoryPath := writeFixtures(t)
+	_, errOut, code := runCmd(t,
+		"-graph", graphPath, "-theory", theoryPath,
+		"-query", "any*·rest",
+		"-formula", "any=true", "-formula", "rest==restaurant",
+		"-view", "v:any*",
+		"-max-states", "2")
+	if code != 3 {
+		t.Fatalf("exit %d, want 3; stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "resource budget exhausted in ") {
+		t.Fatalf("diagnostic must name the exhausted stage:\n%s", errOut)
+	}
+}
+
+func TestRPQTimeoutExitsThree(t *testing.T) {
+	graphPath, theoryPath := writeFixtures(t)
+	_, errOut, code := runCmd(t,
+		"-graph", graphPath, "-theory", theoryPath,
+		"-query", "any*·rest",
+		"-formula", "any=true", "-formula", "rest==restaurant",
+		"-view", "v:any*",
+		"-timeout", "1ns")
+	if code != 3 {
+		t.Fatalf("exit %d, want 3; stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "deadline exceeded") {
+		t.Fatalf("diagnostic wrong:\n%s", errOut)
+	}
+}

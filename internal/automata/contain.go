@@ -2,9 +2,9 @@ package automata
 
 import (
 	"context"
-	"fmt"
 
 	"regexrw/internal/alphabet"
+	"regexrw/internal/budget"
 )
 
 // IsEmpty reports whether the NFA accepts no word.
@@ -96,13 +96,15 @@ func ContainedIn(a, b *NFA) (bool, []alphabet.Symbol) {
 	return ok, cex
 }
 
-// ContainedInContext is ContainedIn with cooperative cancellation: the
-// product search explores up to |a| · 2^|b| configurations (the lazy
-// complement of b), so callers facing adversarial inputs can bound it
-// with a context deadline. ctx is consulted between batches of product
-// configurations; on cancellation the returned error wraps ctx.Err()
-// and the boolean is meaningless.
+// ContainedInContext is ContainedIn with cooperative cancellation and
+// resource governance: the product search explores up to |a| · 2^|b|
+// configurations (the lazy complement of b), so each frontier node and
+// interned b-subset is charged as a state against the context's budget
+// (stage "automata.contained_in"). On cancellation the returned error
+// wraps ctx.Err(); on exhaustion it is a *budget.ExceededError; either
+// way the boolean is meaningless.
 func ContainedInContext(ctx context.Context, a, b *NFA) (bool, []alphabet.Symbol, error) {
+	meter := budget.Enter(ctx, "automata.contained_in")
 	ea := a.RemoveEpsilon()
 	eb := b.RemoveEpsilon()
 	if ea.Start() == NoState {
@@ -202,12 +204,14 @@ func ContainedInContext(ctx context.Context, a, b *NFA) (bool, []alphabet.Symbol
 		return w
 	}
 
+	charged := 0
 	for i := 0; i < len(nodes); i++ {
-		if i%ctxCheckInterval == 0 {
-			if err := ctx.Err(); err != nil {
-				return false, nil, fmt.Errorf("automata: containment: %w", err)
-			}
+		// Charge the frontier nodes and interned b-subsets materialized
+		// since the last check (new ones are charged when their turn comes).
+		if err := meter.AddStates(len(nodes) + len(subsets) - charged); err != nil {
+			return false, nil, err
 		}
+		charged = len(nodes) + len(subsets)
 		cur := nodes[i]
 		if ea.Accepting(cur.sa) && !acceptsSubset(cur.bid) {
 			return false, counterexample(i), nil

@@ -2,47 +2,45 @@ package automata
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
 	"regexrw/internal/alphabet"
+	"regexrw/internal/budget"
 )
 
 // ErrStateLimit is returned (wrapped) by DeterminizeLimit when the
 // subset construction exceeds its state budget.
-var ErrStateLimit = fmt.Errorf("automata: state limit exceeded")
-
-// ctxCheckInterval is how many subsets the constructions materialize
-// between consultations of the caller's context. Checking every
-// iteration would put a (cheap but nonzero) call on the hottest loop;
-// every 64th keeps cancellation latency far below any human-visible
-// deadline while costing nothing measurable.
-const ctxCheckInterval = 64
+var ErrStateLimit = errors.New("automata: state limit exceeded")
 
 // DeterminizeLimit is Determinize with a resource guard: it fails with
 // an error wrapping ErrStateLimit as soon as the subset construction
-// materializes more than maxStates states. The rewriting construction
-// is doubly exponential in the worst case (Theorem 5), so callers that
-// face untrusted inputs should bound it rather than hang;
-// core.MaximalRewritingBounded threads this limit through every
-// determinization of the pipeline.
+// materializes more than maxStates states. It predates the unified
+// budget meter (internal/budget) and is kept as a thin wrapper over it:
+// new callers that want to bound a whole pipeline rather than a single
+// determinization should attach a budget.Budget to a context instead.
 func DeterminizeLimit(n *NFA, maxStates int) (*DFA, error) { //invariantcall:checked delegates to DeterminizeLimitContext
 	return DeterminizeLimitContext(context.Background(), n, maxStates)
 }
 
 // DeterminizeLimitContext is DeterminizeLimit with cooperative
-// cancellation: the subset construction consults ctx between batches of
-// subsets and fails with the context's error once it is done.
+// cancellation. The per-call cap is implemented by attaching a fresh
+// single-use budget to the context, so there is exactly one limit
+// mechanism in the pipeline; a budget already carried by ctx is
+// shadowed for the duration of this call.
 func DeterminizeLimitContext(ctx context.Context, n *NFA, maxStates int) (*DFA, error) { //invariantcall:checked delegates to determinize, which validates
 	if maxStates <= 0 {
 		return nil, fmt.Errorf("%w: limit must be positive, got %d", ErrStateLimit, maxStates)
 	}
-	d, err := determinize(ctx, n, maxStates)
+	b := budget.New(budget.MaxStates(maxStates))
+	d, err := determinize(budget.With(ctx, b), n)
 	if err != nil {
+		var ex *budget.ExceededError
+		if errors.As(err, &ex) {
+			return nil, fmt.Errorf("%w: %w", ErrStateLimit, ex)
+		}
 		return nil, err
-	}
-	if d == nil {
-		return nil, fmt.Errorf("%w: subset construction needs more than %d states", ErrStateLimit, maxStates)
 	}
 	return d, nil
 }
@@ -52,27 +50,31 @@ func DeterminizeLimitContext(ctx context.Context, n *NFA, maxStates int) (*DFA, 
 // materialized; the result is a partial DFA (missing transitions mean
 // the dead state).
 func Determinize(n *NFA) *DFA { //invariantcall:checked delegates to determinize, which validates
-	d, _ := determinize(context.Background(), n, 0)
+	d, _ := determinize(context.Background(), n) // a background context never cancels and carries no budget
 	return d
 }
 
-// DeterminizeContext is Determinize with cooperative cancellation: the
-// subset construction is worst-case exponential in the NFA size, so
-// callers facing adversarial inputs can bound it with a context
-// deadline. Cancellation is consulted between batches of subsets.
+// DeterminizeContext is Determinize with cooperative cancellation and
+// resource governance: the subset construction is worst-case
+// exponential in the NFA size, so callers facing adversarial inputs can
+// bound it with a context deadline and/or a budget.Budget attached to
+// ctx. Cancellation is consulted between batches of subsets; exceeding
+// the budget fails with a *budget.ExceededError.
 func DeterminizeContext(ctx context.Context, n *NFA) (*DFA, error) { //invariantcall:checked delegates to determinize, which validates
-	return determinize(ctx, n, 0)
+	return determinize(ctx, n)
 }
 
-// determinize runs the subset construction; maxStates ≤ 0 means
-// unbounded, and exceeding a positive bound returns (nil, nil). A
-// cancelled ctx aborts with its error. Subsets explore their outgoing
-// symbols in increasing symbol order so that the numbering of the
-// resulting DFA states — and with it everything downstream that
-// canonicalizes on state order: minimization classes, serialized
-// automata, synthesized regular expressions — is a pure function of the
-// input automaton, never of map iteration order.
-func determinize(ctx context.Context, n *NFA, maxStates int) (*DFA, error) {
+// determinize runs the subset construction, metered against the
+// context's budget (stage "automata.determinize"). A cancelled ctx or
+// an exhausted budget aborts with the corresponding error and no
+// partial result. Subsets explore their outgoing symbols in increasing
+// symbol order so that the numbering of the resulting DFA states — and
+// with it everything downstream that canonicalizes on state order:
+// minimization classes, serialized automata, synthesized regular
+// expressions — is a pure function of the input automaton, never of map
+// iteration order.
+func determinize(ctx context.Context, n *NFA) (*DFA, error) {
+	meter := budget.Enter(ctx, "automata.determinize")
 	d := NewDFA(n.Alphabet())
 	if n.Start() == NoState {
 		d.SetStart(d.AddState())
@@ -105,15 +107,14 @@ func determinize(ctx context.Context, n *NFA, maxStates int) (*DFA, error) {
 	start := newSubset(startSet)
 	d.SetStart(start)
 
+	charged := 0
 	for i := 0; i < len(sets); i++ {
-		if maxStates > 0 && len(sets) > maxStates {
-			return nil, nil
+		// Charge the subsets materialized since the last check; new ones
+		// created below are charged at the top of their own iteration.
+		if err := meter.AddStates(len(sets) - charged); err != nil {
+			return nil, err
 		}
-		if i%ctxCheckInterval == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("automata: determinize: %w", err)
-			}
-		}
+		charged = len(sets)
 		set := sets[i]
 		// Collect the symbols leaving this subset, in symbol order: the
 		// order successors are first discovered in fixes the DFA's state
@@ -129,6 +130,7 @@ func determinize(ctx context.Context, n *NFA, maxStates int) (*DFA, error) {
 			}
 		}
 		sort.Slice(syms, func(a, b int) bool { return syms[a] < syms[b] })
+		added := 0
 		for _, x := range syms {
 			next := newBitset(nStates)
 			for _, q := range set.slice() {
@@ -145,6 +147,10 @@ func determinize(ctx context.Context, n *NFA, maxStates int) (*DFA, error) {
 				to = newSubset(next)
 			}
 			d.SetTransition(State(i), x, to)
+			added++
+		}
+		if err := meter.AddTransitions(added); err != nil {
+			return nil, err
 		}
 	}
 	debugValidateDFA(d)

@@ -1,10 +1,12 @@
 package automata
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"regexrw/internal/alphabet"
+	"regexrw/internal/budget"
 )
 
 // DFA is a deterministic finite automaton. Transitions are stored in a
@@ -248,7 +250,19 @@ func (d *DFA) Reachable() *DFA {
 // (partition refinement on the totalized reachable automaton). The
 // result is total, so it may include one dead state; callers that want
 // the dead state removed should follow with TrimPartial.
-func (d *DFA) Minimize() *DFA {
+func (d *DFA) Minimize() *DFA { //invariantcall:checked delegates to MinimizeContext, which validates
+	out, _ := d.MinimizeContext(context.Background()) // a background context never cancels and carries no budget
+	return out
+}
+
+// MinimizeContext is Minimize with cooperative cancellation and a
+// fault-injection surface (stage "automata.minimize"). Minimization
+// never materializes more states than its input has, so the meter is
+// only ticked — no states are charged — but the refinement worklist can
+// still run long on large inputs and should abort when the pipeline's
+// deadline fires.
+func (d *DFA) MinimizeContext(ctx context.Context) (*DFA, error) {
+	meter := budget.Enter(ctx, "automata.minimize")
 	t := d.Reachable().Totalize()
 	nStates := t.NumStates()
 	nSyms := t.alpha.Len()
@@ -256,7 +270,7 @@ func (d *DFA) Minimize() *DFA {
 		out := NewDFA(d.alpha)
 		out.SetStart(out.AddState())
 		debugValidateDFA(out)
-		return out
+		return out, nil
 	}
 
 	// Reverse transition lists: rev[x][s] = predecessors of s on x.
@@ -314,6 +328,9 @@ func (d *DFA) Minimize() *DFA {
 
 	inSplit := make([]bool, nStates)
 	for len(work) > 0 {
+		if err := meter.Check(); err != nil {
+			return nil, err
+		}
 		sp := work[len(work)-1]
 		work = work[:len(work)-1]
 		// X = set of states with an x-transition into sp.class.
@@ -382,7 +399,7 @@ func (d *DFA) Minimize() *DFA {
 	out.SetStart(State(class[t.start]))
 	quotient := out.Reachable()
 	debugValidateDFA(quotient)
-	return quotient
+	return quotient, nil
 }
 
 // MinimizeBrzozowski returns the minimal trim DFA for the language of d

@@ -1,0 +1,124 @@
+// Fault-injection sweep and cancellation tests for the automata layer.
+// External test package: building inputs from regular expressions needs
+// the regex package, which imports automata.
+package automata_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+	"regexrw/internal/budget"
+	"regexrw/internal/budget/faultinject"
+	"regexrw/internal/regex"
+)
+
+// automataPipeline exercises every metered construction of the package:
+// subset construction, minimization, product, DFA union, complement and
+// the on-the-fly containment frontier. The containment holds, so the
+// frontier is explored exhaustively and the run's check surface does
+// not depend on counterexample discovery order.
+func automataPipeline(ctx context.Context) error {
+	al := alphabet.FromNames("a", "b")
+	n1 := regex.MustParse("(a+b)*·a·(a+b)·(a+b)").ToNFA(al)
+	n2 := regex.MustParse("a·(a+b)*").ToNFA(al)
+	d1, err := automata.DeterminizeContext(ctx, n1)
+	if err != nil {
+		return err
+	}
+	if _, err := d1.MinimizeContext(ctx); err != nil {
+		return err
+	}
+	x, err := automata.IntersectContext(ctx, n1, n2)
+	if err != nil {
+		return err
+	}
+	c, err := automata.ComplementNFAContext(ctx, n2)
+	if err != nil {
+		return err
+	}
+	d2, err := automata.DeterminizeContext(ctx, c)
+	if err != nil {
+		return err
+	}
+	if _, err := automata.UnionDFAContext(ctx, d1, d2); err != nil {
+		return err
+	}
+	if _, _, err := automata.ContainedInContext(ctx, x, n1); err != nil {
+		return err
+	}
+	return nil
+}
+
+func TestFaultInjectionSweepAutomata(t *testing.T) {
+	points := int64(40)
+	if testing.Short() {
+		points = 10
+	}
+	fired := faultinject.Sweep(t, points, faultinject.SeedFromEnv(1), automataPipeline)
+	t.Logf("automata sweep: %d injections fired", fired)
+}
+
+// TestContextCancelHotPaths: a pre-cancelled context aborts each
+// formerly context-free hot path within its first check, returning an
+// error wrapping context.Canceled instead of a partially built result.
+func TestContextCancelHotPaths(t *testing.T) {
+	al := alphabet.FromNames("a", "b")
+	n1 := regex.MustParse("(a+b)*·a").ToNFA(al)
+	n2 := regex.MustParse("a·(a+b)*").ToNFA(al)
+	d1, err := automata.DeterminizeContext(context.Background(), n1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, run := range map[string]func() error{
+		"Intersect": func() error { _, err := automata.IntersectContext(ctx, n1, n2); return err },
+		"UnionDFA":  func() error { _, err := automata.UnionDFAContext(ctx, d1, d1); return err },
+		"Complement": func() error {
+			_, err := automata.ComplementNFAContext(ctx, n1)
+			return err
+		},
+		"Determinize": func() error { _, err := automata.DeterminizeContext(ctx, n1); return err },
+		"Minimize":    func() error { _, err := d1.MinimizeContext(ctx); return err },
+		"ContainedIn": func() error { _, _, err := automata.ContainedInContext(ctx, n1, n2); return err },
+	} {
+		if err := run(); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+// TestBudgetStageNames: exhausting a shared budget mid-pipeline names
+// the stage that drew the last straw.
+func TestBudgetStageNames(t *testing.T) {
+	al := alphabet.FromNames("a", "b")
+	n := regex.MustParse("(a+b)*·a·(a+b)·(a+b)·(a+b)").ToNFA(al)
+	b := budget.New(budget.MaxStates(4))
+	_, err := automata.DeterminizeContext(budget.With(context.Background(), b), n)
+	var ex *budget.ExceededError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v, want *budget.ExceededError", err)
+	}
+	if ex.Stage != "automata.determinize" || ex.Resource != budget.States {
+		t.Fatalf("ExceededError = %+v", ex)
+	}
+}
+
+// TestBudgetTransitionCap: transition-heavy constructions are bounded
+// by the transition cap, not just the state cap.
+func TestBudgetTransitionCap(t *testing.T) {
+	al := alphabet.FromNames("a", "b")
+	n := regex.MustParse("(a+b)*·a·(a+b)").ToNFA(al)
+	b := budget.New(budget.MaxTransitions(2))
+	_, err := automata.DeterminizeContext(budget.With(context.Background(), b), n)
+	var ex *budget.ExceededError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v, want *budget.ExceededError", err)
+	}
+	if ex.Resource != budget.Transitions {
+		t.Fatalf("Resource = %v, want transitions", ex.Resource)
+	}
+}

@@ -1,6 +1,11 @@
 package automata
 
-import "regexrw/internal/alphabet"
+import (
+	"context"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/budget"
+)
 
 // EmptyLanguage returns an NFA over a accepting no word.
 func EmptyLanguage(a *alphabet.Alphabet) *NFA {
@@ -154,7 +159,17 @@ func Plus(a *NFA) *NFA {
 // construction, restricted to reachable pairs. Symbols are matched by
 // name across the two alphabets; the result is over a's alphabet
 // restricted to names shared with b.
-func Intersect(a, b *NFA) *NFA {
+func Intersect(a, b *NFA) *NFA { //invariantcall:checked delegates to IntersectContext, which validates
+	out, _ := IntersectContext(context.Background(), a, b) // a background context never cancels and carries no budget
+	return out
+}
+
+// IntersectContext is Intersect with cooperative cancellation and
+// resource governance: the product can reach |a|·|b| pairs, so it is
+// metered against the context's budget (stage "automata.intersect") and
+// aborts with no partial result on cancellation or exhaustion.
+func IntersectContext(ctx context.Context, a, b *NFA) (*NFA, error) {
+	meter := budget.Enter(ctx, "automata.intersect")
 	ea := a.RemoveEpsilon()
 	eb := b.RemoveEpsilon()
 	out := NewNFA(ea.Alphabet())
@@ -185,13 +200,21 @@ func Intersect(a, b *NFA) *NFA {
 	if ea.Start() == NoState || eb.Start() == NoState {
 		out.SetStart(out.AddState())
 		debugValidateNFA(out)
-		return out
+		return out, nil
 	}
 	out.SetStart(intern(pair{ea.Start(), eb.Start()}))
+	charged := 0
 	for len(queue) > 0 {
+		// Charge the pairs interned since the last check; pairs interned
+		// below are charged when their turn on the queue comes.
+		if err := meter.AddStates(out.NumStates() - charged); err != nil {
+			return nil, err
+		}
+		charged = out.NumStates()
 		p := queue[0]
 		queue = queue[1:]
 		from := ids[p]
+		added := 0
 		// Sorted symbol order fixes the interning order of product pairs,
 		// so the result's state numbering is a pure function of the inputs.
 		for _, x := range ea.OutSymbolsSorted(p.pa) {
@@ -206,12 +229,16 @@ func Intersect(a, b *NFA) *NFA {
 			for _, ta := range ea.Successors(p.pa, x) {
 				for _, tb := range bs {
 					out.AddTransition(from, x, intern(pair{ta, tb}))
+					added++
 				}
 			}
 		}
+		if err := meter.AddTransitions(added); err != nil {
+			return nil, err
+		}
 	}
 	debugValidateNFA(out)
-	return out
+	return out, nil
 }
 
 // UnionDFA returns a DFA for L(a) ∪ L(b) via the product construction,
@@ -221,7 +248,16 @@ func Intersect(a, b *NFA) *NFA {
 // Combined with interleaved minimization this gives union-shaped
 // languages a determinization path that avoids the subset-construction
 // blowup of determinizing one big union NFA.
-func UnionDFA(a, b *DFA) *DFA {
+func UnionDFA(a, b *DFA) *DFA { //invariantcall:checked delegates to UnionDFAContext, which validates
+	out, _ := UnionDFAContext(context.Background(), a, b) // a background context never cancels and carries no budget
+	return out
+}
+
+// UnionDFAContext is UnionDFA with cooperative cancellation and
+// resource governance (stage "automata.union_dfa"): the product can
+// reach |a|·|b| pairs.
+func UnionDFAContext(ctx context.Context, a, b *DFA) (*DFA, error) {
+	meter := budget.Enter(ctx, "automata.union_dfa")
 	u := a.Alphabet()
 	if !u.Equal(b.Alphabet()) {
 		u = alphabet.Union(a.Alphabet(), b.Alphabet())
@@ -258,10 +294,16 @@ func UnionDFA(a, b *DFA) *DFA {
 	}
 	start := pair{a.Start(), b.Start()}
 	out.SetStart(intern(start))
+	charged := 0
 	for len(queue) > 0 {
+		if err := meter.AddStates(out.NumStates() - charged); err != nil {
+			return nil, err
+		}
+		charged = out.NumStates()
 		p := queue[0]
 		queue = queue[1:]
 		from := ids[p]
+		added := 0
 		for _, x := range u.Symbols() {
 			na, nb := NoState, NoState
 			if p.pa != NoState && aRemap[x] != alphabet.None {
@@ -274,10 +316,14 @@ func UnionDFA(a, b *DFA) *DFA {
 				continue
 			}
 			out.SetTransition(from, x, intern(pair{na, nb}))
+			added++
+		}
+		if err := meter.AddTransitions(added); err != nil {
+			return nil, err
 		}
 	}
 	debugValidateDFA(out)
-	return out
+	return out, nil
 }
 
 // Reverse returns an NFA for the reversal of L(a).
@@ -373,6 +419,19 @@ func SuffixClosure(a *NFA) *NFA { //invariantcall:checked delegates to Reverse/P
 // alphabet, via determinization.
 func ComplementNFA(a *NFA) *NFA { //invariantcall:checked delegates to Determinize/Complement/NFA, which validate
 	return Determinize(a).Complement().NFA()
+}
+
+// ComplementNFAContext is ComplementNFA with cooperative cancellation
+// and resource governance: the determinization step is metered against
+// the context's budget, so complementation — the exponential half of
+// the paper's 3-step rewriting pipeline — fails fast instead of
+// materializing an oversized subset automaton.
+func ComplementNFAContext(ctx context.Context, a *NFA) (*NFA, error) { //invariantcall:checked delegates to DeterminizeContext/Complement/NFA, which validate
+	d, err := DeterminizeContext(ctx, a)
+	if err != nil {
+		return nil, err
+	}
+	return d.Complement().NFA(), nil
 }
 
 // Difference returns an NFA for L(a) \ L(b). The complement of b is

@@ -1,0 +1,175 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestStateCapTrips(t *testing.T) {
+	b := New(MaxStates(10))
+	m := Enter(With(context.Background(), b), "test.stage")
+	if err := m.AddStates(10); err != nil {
+		t.Fatalf("within cap: %v", err)
+	}
+	err := m.AddStates(1)
+	var ex *ExceededError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v, want *ExceededError", err)
+	}
+	if ex.Stage != "test.stage" || ex.Resource != States || ex.Limit != 10 || ex.Used != 11 {
+		t.Fatalf("ExceededError = %+v", ex)
+	}
+	if got := ex.Error(); got != "budget: test.stage exhausted states: used 11 of 10" {
+		t.Fatalf("Error() = %q", got)
+	}
+}
+
+func TestTransitionCapTrips(t *testing.T) {
+	b := New(MaxTransitions(5))
+	m := Enter(With(context.Background(), b), "test.stage")
+	if err := m.AddTransitions(5); err != nil {
+		t.Fatalf("within cap: %v", err)
+	}
+	err := m.AddTransitions(3)
+	var ex *ExceededError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v, want *ExceededError", err)
+	}
+	if ex.Resource != Transitions || ex.Limit != 5 || ex.Used != 8 {
+		t.Fatalf("ExceededError = %+v", ex)
+	}
+}
+
+// TestSharedPool: two meters on the same budget draw from one pool — the
+// caps bound the pipeline's total, not any single stage.
+func TestSharedPool(t *testing.T) {
+	b := New(MaxStates(10))
+	ctx := With(context.Background(), b)
+	m1 := Enter(ctx, "stage.one")
+	m2 := Enter(ctx, "stage.two")
+	if err := m1.AddStates(6); err != nil {
+		t.Fatalf("stage one: %v", err)
+	}
+	err := m2.AddStates(6)
+	var ex *ExceededError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v, want *ExceededError", err)
+	}
+	if ex.Stage != "stage.two" {
+		t.Fatalf("Stage = %q, want the stage that tripped the shared cap", ex.Stage)
+	}
+	if b.States() != 12 {
+		t.Fatalf("States() = %d, want 12", b.States())
+	}
+}
+
+func TestZeroLimitsUnlimited(t *testing.T) {
+	m := Enter(With(context.Background(), New()), "test.stage")
+	if err := m.AddStates(1 << 20); err != nil {
+		t.Fatalf("zero caps should be unlimited: %v", err)
+	}
+	if err := m.AddTransitions(1 << 20); err != nil {
+		t.Fatalf("zero caps should be unlimited: %v", err)
+	}
+}
+
+// TestNoBudgetHonorsCancellation: a context without a budget meters
+// nothing, but the meter still consults the context.
+func TestNoBudgetHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := Enter(ctx, "test.stage")
+	err := m.Check()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled on the first tick", err)
+	}
+	if err.Error() != "test.stage: context canceled" {
+		t.Fatalf("err = %q, want the stage-prefixed form", err)
+	}
+}
+
+// TestCancellationLatency: a cancellation arriving mid-loop is observed
+// within one check interval.
+func TestCancellationLatency(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := Enter(ctx, "test.stage")
+	if err := m.Check(); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+	cancel()
+	for i := 0; i < CheckInterval; i++ {
+		if err := m.Check(); err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			return
+		}
+	}
+	t.Fatalf("cancellation not observed within %d ticks", CheckInterval)
+}
+
+func TestHookRunsEveryTick(t *testing.T) {
+	calls := 0
+	b := New(WithHook(func(stage string) error {
+		calls++
+		if stage != "test.stage" {
+			t.Fatalf("hook saw stage %q", stage)
+		}
+		return nil
+	}))
+	m := Enter(With(context.Background(), b), "test.stage")
+	for i := 0; i < 7; i++ {
+		if err := m.Check(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.AddStates(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddTransitions(1); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 9 {
+		t.Fatalf("hook ran %d times, want 9 (every tick)", calls)
+	}
+}
+
+func TestHookErrorAborts(t *testing.T) {
+	boom := errors.New("injected")
+	m := Enter(With(context.Background(), New(WithHook(func(string) error { return boom }))), "test.stage")
+	if err := m.Check(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the hook's error", err)
+	}
+}
+
+func TestFromWithoutBudget(t *testing.T) {
+	if b := From(context.Background()); b != nil {
+		t.Fatalf("From(plain ctx) = %v, want nil", b)
+	}
+	b := New(MaxStates(3))
+	if got := From(With(context.Background(), b)); got != b {
+		t.Fatal("With/From must round-trip the budget")
+	}
+}
+
+func TestNilBudgetAccessors(t *testing.T) {
+	var b *Budget
+	if b.States() != 0 || b.Transitions() != 0 {
+		t.Fatal("nil budget accessors must return 0")
+	}
+}
+
+func TestNonPositiveChargesFree(t *testing.T) {
+	b := New(MaxStates(1))
+	m := Enter(With(context.Background(), b), "test.stage")
+	if err := m.AddStates(0); err != nil {
+		t.Fatalf("AddStates(0): %v", err)
+	}
+	if err := m.AddStates(-5); err != nil {
+		t.Fatalf("AddStates(-5): %v", err)
+	}
+	if b.States() != 0 {
+		t.Fatalf("States() = %d, want 0 after non-positive charges", b.States())
+	}
+}

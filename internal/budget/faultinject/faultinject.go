@@ -1,0 +1,94 @@
+// Package faultinject builds deterministic fault-injection hooks for
+// the budget meter.
+//
+// The robustness contract of the pipeline — every state-materializing
+// loop fails fast with a *budget.ExceededError or an error wrapping
+// ctx.Err(), never panics, never returns a partially-built automaton —
+// is only worth anything if it holds at EVERY check site, not just the
+// ones a hand-written test happens to hit. The sweeps in the automata,
+// core and rpq test suites therefore run each pipeline twice: once with
+// a counting hook to learn how many check sites the run passes, then
+// once per selected site with a hook that injects budget exhaustion or
+// cancellation exactly there, asserting the contract each time.
+// Injection is deterministic given (site, seed), so a CI failure
+// reproduces locally from the logged site number.
+package faultinject
+
+import (
+	"context"
+	"sync/atomic"
+
+	"regexrw/internal/budget"
+)
+
+// Counter returns a hook that never fails plus a function reporting how
+// many check sites the hook has seen. A pipeline run under a Counter
+// measures its injection surface.
+func Counter() (budget.Hook, func() int64) {
+	var n atomic.Int64
+	return func(string) error { n.Add(1); return nil }, n.Load
+}
+
+// ExhaustAt returns a hook that reports budget exhaustion at the
+// site-th check (1-based) and the stage active there, and passes every
+// other site. The injected error is a genuine *budget.ExceededError, so
+// callers exercise exactly the propagation path a real cap trips.
+func ExhaustAt(site int64) budget.Hook {
+	var n atomic.Int64
+	return func(stage string) error {
+		if n.Add(1) == site {
+			return &budget.ExceededError{Stage: stage, Resource: budget.States, Limit: site - 1, Used: site}
+		}
+		return nil
+	}
+}
+
+// CancelAt returns a hook that cancels the given context at the site-th
+// check and returns its error from that site on, modeling a deadline
+// that fires mid-construction. Sites before the trigger pass.
+func CancelAt(site int64, ctx context.Context, cancel context.CancelFunc) budget.Hook {
+	var n atomic.Int64
+	return func(string) error {
+		if n.Add(1) >= site {
+			cancel()
+			return ctx.Err()
+		}
+		return nil
+	}
+}
+
+// Sites selects up to points injection sites from a surface of total
+// check sites, spread evenly with a seed-dependent phase so that
+// different CI runs probe different sites while any single run is
+// reproducible. Sites are 1-based; the first and last site are always
+// included (off-by-one territory on both ends).
+func Sites(total, points, seed int64) []int64 {
+	if total <= 0 || points <= 0 {
+		return nil
+	}
+	if points > total {
+		points = total
+	}
+	stride := total / points
+	if stride < 1 {
+		stride = 1
+	}
+	phase := int64(0)
+	if stride > 1 && seed != 0 {
+		phase = (seed%stride + stride) % stride
+	}
+	seen := make(map[int64]bool, points+2)
+	var out []int64
+	add := func(s int64) {
+		if s >= 1 && s <= total && !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	add(1)
+	for s := 1 + phase; s <= total && int64(len(out)) < points; s += stride {
+		add(s)
+	}
+	add(total)
+	return out
+}

@@ -1,0 +1,131 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"regexrw/internal/budget"
+)
+
+func TestCounter(t *testing.T) {
+	hook, count := Counter()
+	for i := 0; i < 5; i++ {
+		if err := hook("s"); err != nil {
+			t.Fatalf("Counter hook must never fail: %v", err)
+		}
+	}
+	if count() != 5 {
+		t.Fatalf("count = %d, want 5", count())
+	}
+}
+
+func TestExhaustAt(t *testing.T) {
+	hook := ExhaustAt(3)
+	for i := 1; i <= 2; i++ {
+		if err := hook("stage.a"); err != nil {
+			t.Fatalf("site %d should pass: %v", i, err)
+		}
+	}
+	err := hook("stage.b")
+	var ex *budget.ExceededError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v, want *budget.ExceededError", err)
+	}
+	if ex.Stage != "stage.b" {
+		t.Fatalf("Stage = %q, want the stage active at the injection site", ex.Stage)
+	}
+	if err := hook("stage.b"); err != nil {
+		t.Fatalf("sites after the trigger should pass: %v", err)
+	}
+}
+
+func TestCancelAt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	hook := CancelAt(2, ctx, cancel)
+	if err := hook("s"); err != nil {
+		t.Fatalf("site 1 should pass: %v", err)
+	}
+	if err := hook("s"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("site 2 err = %v, want context.Canceled", err)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("context must be cancelled at the trigger site")
+	}
+	// Unlike ExhaustAt, cancellation is sticky: later sites keep failing.
+	if err := hook("s"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("site 3 err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSites(t *testing.T) {
+	got := Sites(100, 10, 7)
+	if len(got) == 0 {
+		t.Fatal("no sites")
+	}
+	seen := map[int64]bool{}
+	has1, hasTotal := false, false
+	for _, s := range got {
+		if s < 1 || s > 100 {
+			t.Fatalf("site %d out of [1,100]", s)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate site %d", s)
+		}
+		seen[s] = true
+		if s == 1 {
+			has1 = true
+		}
+		if s == 100 {
+			hasTotal = true
+		}
+	}
+	if !has1 || !hasTotal {
+		t.Fatalf("sites %v must include both endpoints", got)
+	}
+
+	// Deterministic per seed.
+	again := Sites(100, 10, 7)
+	if len(again) != len(got) {
+		t.Fatalf("non-deterministic: %v vs %v", got, again)
+	}
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("non-deterministic: %v vs %v", got, again)
+		}
+	}
+
+	// Different seeds probe different phases when the stride allows.
+	other := Sites(100, 10, 8)
+	same := len(other) == len(got)
+	if same {
+		for i := range got {
+			if got[i] != other[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatalf("seeds 7 and 8 selected identical sites %v", got)
+	}
+}
+
+func TestSitesEdgeCases(t *testing.T) {
+	if s := Sites(0, 5, 1); s != nil {
+		t.Fatalf("Sites(0,...) = %v, want nil", s)
+	}
+	if s := Sites(5, 0, 1); s != nil {
+		t.Fatalf("Sites(_,0,...) = %v, want nil", s)
+	}
+	// points > total covers every site.
+	got := Sites(3, 10, 42)
+	if len(got) != 3 {
+		t.Fatalf("Sites(3,10) = %v, want all 3 sites", got)
+	}
+	// Single site.
+	if got := Sites(1, 1, 0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Sites(1,1) = %v", got)
+	}
+}

@@ -1,0 +1,102 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"os"
+	"strconv"
+	"testing"
+
+	"regexrw/internal/budget"
+)
+
+// SeedFromEnv returns the sweep seed from REGEXRW_FAULT_SEED, or
+// fallback when the variable is unset or malformed. CI jobs export a
+// varying seed so successive runs probe different phases of the check
+// surface while any single run reproduces from its logged seed.
+func SeedFromEnv(fallback int64) int64 {
+	if s := os.Getenv("REGEXRW_FAULT_SEED"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return v
+		}
+	}
+	return fallback
+}
+
+// Sweep drives a full fault-injection sweep over a pipeline. It first
+// runs the pipeline under a counting hook to measure its check surface,
+// then re-runs it once per selected site with budget exhaustion
+// injected there, and once per site with cancellation injected there,
+// asserting the robustness contract each time:
+//
+//   - the pipeline returns an error rather than panicking;
+//   - injected exhaustion surfaces as an error wrapping
+//     *budget.ExceededError (never swallowed, never reshaped into a
+//     panic or a success);
+//   - injected cancellation surfaces as an error wrapping
+//     context.Canceled.
+//
+// Construction sizes are deterministic but tick ORDER need not be, so a
+// re-run may pass slightly fewer sites than the measured surface; an
+// injection that never fires is recorded as skipped, not failed. Sweep
+// returns the number of injections that actually fired so callers can
+// assert coverage.
+func Sweep(t testing.TB, points, seed int64, pipeline func(ctx context.Context) error) int64 {
+	t.Helper()
+	hook, count := Counter()
+	base := budget.With(context.Background(), budget.New(budget.WithHook(hook)))
+	if err := pipeline(base); err != nil {
+		t.Fatalf("faultinject: baseline run failed: %v", err)
+	}
+	total := count()
+	if total == 0 {
+		t.Fatal("faultinject: pipeline has no check sites — nothing is metered")
+	}
+
+	var fired int64
+	for _, site := range Sites(total, points, seed) {
+		// Exhaustion at this site.
+		hit := false
+		inner := ExhaustAt(site)
+		b := budget.New(budget.WithHook(func(stage string) error {
+			err := inner(stage)
+			if err != nil {
+				hit = true
+			}
+			return err
+		}))
+		err := pipeline(budget.With(context.Background(), b))
+		if hit {
+			fired++
+			var ex *budget.ExceededError
+			if !errors.As(err, &ex) {
+				t.Errorf("faultinject: exhaustion at site %d/%d (seed %d): err = %v, want wrapped *budget.ExceededError", site, total, seed, err)
+			}
+		} else if err != nil {
+			t.Errorf("faultinject: site %d/%d (seed %d) never fired yet run failed: %v", site, total, seed, err)
+		}
+
+		// Cancellation at this site.
+		hit = false
+		cctx, cancel := context.WithCancel(context.Background())
+		cinner := CancelAt(site, cctx, cancel)
+		cb := budget.New(budget.WithHook(func(stage string) error {
+			err := cinner(stage)
+			if err != nil {
+				hit = true
+			}
+			return err
+		}))
+		err = pipeline(budget.With(cctx, cb))
+		cancel()
+		if hit {
+			fired++
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("faultinject: cancellation at site %d/%d (seed %d): err = %v, want wrapped context.Canceled", site, total, seed, err)
+			}
+		} else if err != nil {
+			t.Errorf("faultinject: site %d/%d (seed %d) never fired yet run failed: %v", site, total, seed, err)
+		}
+	}
+	return fired
+}

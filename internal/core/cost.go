@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"regexrw/internal/automata"
+	"regexrw/internal/budget"
 )
 
 // ViewCosts assigns an evaluation cost to each view, e.g. the
@@ -50,9 +52,25 @@ func (r *Rewriting) EstimatedCost(costs ViewCosts) float64 {
 // language (hence returns the same answers on every database). The
 // returned instance uses the surviving views; its rewriting is
 // returned alongside.
-func PruneViews(inst *Instance, costs ViewCosts) (*Instance, *Rewriting, error) { //invariantcall:checked every candidate rewriting comes from MaximalRewriting, which validates
-	full := MaximalRewriting(inst)
-	fullExp := full.Expand()
+func PruneViews(inst *Instance, costs ViewCosts) (*Instance, *Rewriting, error) { //invariantcall:checked delegates to PruneViewsContext
+	return PruneViewsContext(context.Background(), inst, costs) // a background context never cancels and carries no budget
+}
+
+// PruneViewsContext is PruneViews with cooperative cancellation and
+// resource governance: each removal trial costs a full
+// rewriting-plus-expansion-plus-equivalence pipeline, all metered
+// against the context's budget; the greedy loop itself ticks the meter
+// (stage "core.prune") once per victim.
+func PruneViewsContext(ctx context.Context, inst *Instance, costs ViewCosts) (*Instance, *Rewriting, error) { //invariantcall:checked every candidate rewriting comes from MaximalRewritingContext, which validates
+	meter := budget.Enter(ctx, "core.prune")
+	full, err := MaximalRewritingContext(ctx, inst)
+	if err != nil {
+		return nil, nil, err
+	}
+	fullExp, err := full.ExpandContext(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	// Most expensive first; stable on ties for determinism.
 	order := append([]View(nil), inst.Views...)
@@ -66,6 +84,9 @@ func PruneViews(inst *Instance, costs ViewCosts) (*Instance, *Rewriting, error) 
 	}
 	current := full
 	for _, victim := range order {
+		if err := meter.Check(); err != nil {
+			return nil, nil, err
+		}
 		if len(kept) == 1 {
 			break // keep at least one view
 		}
@@ -79,8 +100,26 @@ func PruneViews(inst *Instance, costs ViewCosts) (*Instance, *Rewriting, error) 
 		if err != nil {
 			return nil, nil, err
 		}
-		r := MaximalRewriting(trialInst)
-		if automata.Equivalent(r.Expand(), fullExp) {
+		r, err := MaximalRewritingContext(ctx, trialInst)
+		if err != nil {
+			return nil, nil, err
+		}
+		rExp, err := r.ExpandContext(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		same, _, err := automata.ContainedInContext(ctx, rExp, fullExp)
+		if err != nil {
+			return nil, nil, err
+		}
+		if same {
+			back, _, err := automata.ContainedInContext(ctx, fullExp, rExp)
+			if err != nil {
+				return nil, nil, err
+			}
+			same = back
+		}
+		if same {
 			kept[victim.Name] = false
 			current = r
 		}
@@ -102,7 +141,10 @@ func PruneViews(inst *Instance, costs ViewCosts) (*Instance, *Rewriting, error) 
 	// Recompute on the final instance so the rewriting's Instance and
 	// alphabets match the pruned view set exactly.
 	if current.Instance == nil || len(current.Instance.Views) != len(finalViews) {
-		current = MaximalRewriting(finalInst)
+		current, err = MaximalRewritingContext(ctx, finalInst)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	return finalInst, current, nil
 }

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+
 	"regexrw/internal/alphabet"
 	"regexrw/internal/automata"
+	"regexrw/internal/budget"
 	"regexrw/internal/regex"
 )
 
@@ -45,33 +48,69 @@ type Possibility struct {
 
 // PossibilityRewriting computes R_poss for the instance.
 func PossibilityRewriting(inst *Instance) *Possibility {
-	ad := determinizeQuery(inst.Query, inst.sigma)
-	p := possibilityFromDFA(ad, inst.sigma, inst.sigmaE, inst.ViewNFAs())
-	p.Instance = inst
+	p, _ := PossibilityRewritingContext(context.Background(), inst) // a background context never cancels and carries no budget
 	return p
+}
+
+// PossibilityRewritingContext is PossibilityRewriting with cooperative
+// cancellation and resource governance threaded into the query
+// determinization, the transfer fixpoint and the final determinization.
+func PossibilityRewritingContext(ctx context.Context, inst *Instance) (*Possibility, error) {
+	ad, err := determinizeQueryContext(ctx, inst.Query, inst.sigma)
+	if err != nil {
+		return nil, err
+	}
+	p, err := possibilityFromDFAContext(ctx, ad, inst.sigma, inst.sigmaE, inst.ViewNFAs())
+	if err != nil {
+		return nil, err
+	}
+	p.Instance = inst
+	return p, nil
 }
 
 // PossibilityRewritingAutomata is PossibilityRewriting with the inputs
 // already compiled, the entry point the regular-path-query layer uses
 // with grounded automata.
 func PossibilityRewritingAutomata(e0 *automata.NFA, sigmaE *alphabet.Alphabet, views map[alphabet.Symbol]*automata.NFA) *Possibility {
-	ad := automata.Determinize(e0).Minimize().Totalize()
-	return possibilityFromDFA(ad, e0.Alphabet(), sigmaE, views)
+	p, _ := PossibilityRewritingAutomataContext(context.Background(), e0, sigmaE, views) // a background context never cancels and carries no budget
+	return p
 }
 
-func possibilityFromDFA(ad *automata.DFA, sigma, sigmaE *alphabet.Alphabet, views map[alphabet.Symbol]*automata.NFA) *Possibility {
-	tr := transferAutomaton(ad, sigmaE, views)
+// PossibilityRewritingAutomataContext is PossibilityRewritingAutomata
+// with cooperative cancellation and budget metering threaded into the
+// determinizations, the minimization and the transfer fixpoint.
+func PossibilityRewritingAutomataContext(ctx context.Context, e0 *automata.NFA, sigmaE *alphabet.Alphabet, views map[alphabet.Symbol]*automata.NFA) (*Possibility, error) {
+	d, err := automata.DeterminizeContext(ctx, e0)
+	if err != nil {
+		return nil, err
+	}
+	m, err := d.MinimizeContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return possibilityFromDFAContext(ctx, m.Totalize(), e0.Alphabet(), sigmaE, views)
+}
+
+func possibilityFromDFAContext(ctx context.Context, ad *automata.DFA, sigma, sigmaE *alphabet.Alphabet, views map[alphabet.Symbol]*automata.NFA) (*Possibility, error) {
+	tr, err := transferAutomatonContext(ctx, ad, sigmaE, views)
+	if err != nil {
+		return nil, err
+	}
 	for s := 0; s < ad.NumStates(); s++ {
 		tr.SetAccept(automata.State(s), ad.Accepting(automata.State(s))) // F, not S − F
+	}
+	auto, err := automata.DeterminizeContext(ctx, tr)
+	if err != nil {
+		return nil, err
 	}
 	return &Possibility{
 		Ad:       ad,
 		Transfer: tr,
-		Auto:     automata.Determinize(tr),
+		Auto:     auto,
 		sigma:    sigma,
 		sigmaE:   sigmaE,
 		views:    views,
-	}
+	}, nil
 }
 
 // Accepts reports whether the Σ_E-word (by view names) is in R_poss.
@@ -127,6 +166,19 @@ func ExistsContainingRewriting(inst *Instance) bool {
 // every corresponding edge of base (shared by Rewriting.Expand and
 // Possibility.Expand).
 func expandOverViews(base *automata.DFA, sigma, sigmaE *alphabet.Alphabet, views map[alphabet.Symbol]*automata.NFA) *automata.NFA {
+	out, _ := expandOverViewsContext(context.Background(), base, sigma, sigmaE, views) // a background context never cancels and carries no budget
+	return out
+}
+
+// expandOverViewsContext is expandOverViews metered against the
+// context's budget (stage "core.expand"): the expansion copies one view
+// automaton per (state, view-edge) pair of base, so its size is
+// |base| + Σ_edges |view| and can dwarf the rewriting itself.
+func expandOverViewsContext(ctx context.Context, base *automata.DFA, sigma, sigmaE *alphabet.Alphabet, views map[alphabet.Symbol]*automata.NFA) (*automata.NFA, error) {
+	meter := budget.Enter(ctx, "core.expand")
+	if err := meter.AddStates(base.NumStates()); err != nil {
+		return nil, err
+	}
 	out := automata.NewNFA(sigma)
 	out.AddStates(base.NumStates())
 	out.SetStart(base.Start())
@@ -143,6 +195,9 @@ func expandOverViews(base *automata.DFA, sigma, sigmaE *alphabet.Alphabet, views
 			if v == nil || v.Start() == automata.NoState {
 				continue
 			}
+			if err := meter.AddStates(v.NumStates()); err != nil {
+				return nil, err
+			}
 			m := automata.CopyInto(out, v)
 			out.AddEpsilon(automata.State(s), m[v.Start()])
 			for _, f := range v.AcceptingStates() {
@@ -151,5 +206,5 @@ func expandOverViews(base *automata.DFA, sigma, sigmaE *alphabet.Alphabet, views
 			}
 		}
 	}
-	return out
+	return out, nil
 }

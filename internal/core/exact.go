@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"errors"
 
 	"regexrw/internal/alphabet"
 	"regexrw/internal/automata"
+	"regexrw/internal/budget"
 )
 
 // Expand returns the automaton B of Section 2 accepting exp(L(R)) over
@@ -20,6 +22,22 @@ func (r *Rewriting) Expand() *automata.NFA {
 	return r.expanded
 }
 
+// ExpandContext is Expand with cooperative cancellation and resource
+// governance: the splice can copy one view automaton per edge of the
+// rewriting, so it is metered against the context's budget (stage
+// "core.expand"). The result is cached on success, shared with Expand.
+func (r *Rewriting) ExpandContext(ctx context.Context) (*automata.NFA, error) {
+	if r.expanded != nil {
+		return r.expanded, nil
+	}
+	exp, err := expandOverViewsContext(ctx, r.Auto.TrimPartial(), r.sigma, r.sigmaE, r.Views())
+	if err != nil {
+		return nil, err
+	}
+	r.expanded = exp
+	return exp, nil
+}
+
 // IsExact decides whether the rewriting is exact — exp(L(R)) = L(E0)
 // (Definition 3) — by Theorem 3: it checks L(A_d) ⊆ L(B) with the
 // complement of B constructed on the fly, the space-saving device of
@@ -30,12 +48,19 @@ func (r *Rewriting) IsExact() (exact bool, witness []alphabet.Symbol) {
 	return exact, witness
 }
 
-// IsExactContext is IsExact with cooperative cancellation: the on-the-fly
-// containment search is worst-case exponential in the size of B, and it
-// consults ctx between batches of product states. A cancelled ctx aborts
-// with its error.
+// IsExactContext is IsExact with cooperative cancellation and resource
+// governance: the on-the-fly containment search is worst-case
+// exponential in the size of B (2EXPSPACE overall, Theorem 9), and both
+// the expansion splice and the containment frontier are metered against
+// the context's budget. A cancelled ctx or exhausted budget aborts with
+// the corresponding error; callers that want a verdict rather than an
+// error should use TryExactness.
 func (r *Rewriting) IsExactContext(ctx context.Context) (exact bool, witness []alphabet.Symbol, err error) {
-	ok, cex, err := automata.ContainedInContext(ctx, r.Ad.NFA(), r.Expand())
+	exp, err := r.ExpandContext(ctx)
+	if err != nil {
+		return false, nil, err
+	}
+	ok, cex, err := automata.ContainedInContext(ctx, r.Ad.NFA(), exp)
 	if err != nil {
 		return false, nil, err
 	}
@@ -43,6 +68,75 @@ func (r *Rewriting) IsExactContext(ctx context.Context) (exact bool, witness []a
 		return true, nil, nil
 	}
 	return false, cex, nil
+}
+
+// ExactVerdict is the three-valued outcome of TryExactness.
+type ExactVerdict int
+
+const (
+	// ExactUnknown means the check ran out of budget or was cancelled
+	// before reaching a verdict. The rewriting itself is still sound
+	// (exp(L(R)) ⊆ L(E0) holds by construction); only the converse
+	// inclusion is undecided.
+	ExactUnknown ExactVerdict = iota
+	// ExactYes means exp(L(R)) = L(E0).
+	ExactYes
+	// ExactNo means the rewriting is properly contained in the query;
+	// the report's Witness is a shortest escaping word.
+	ExactNo
+)
+
+// String returns "unknown", "yes" or "no".
+func (v ExactVerdict) String() string {
+	switch v {
+	case ExactYes:
+		return "yes"
+	case ExactNo:
+		return "no"
+	default:
+		return "unknown"
+	}
+}
+
+// ExactnessReport is the outcome of TryExactness: the verdict, the
+// counterexample witness when the verdict is ExactNo, and — when the
+// verdict is ExactUnknown — the error that stopped the check (wrapping
+// *budget.ExceededError or ctx.Err()) plus the stage that was running.
+type ExactnessReport struct {
+	Verdict ExactVerdict
+	// Witness is a shortest word of L(E0) \ exp(L(R)) when Verdict is
+	// ExactNo; nil otherwise.
+	Witness []alphabet.Symbol
+	// Reason is non-nil exactly when Verdict is ExactUnknown: the
+	// budget-exhaustion or cancellation error that ended the check.
+	Reason error
+	// Stage names the pipeline stage that gave out when Verdict is
+	// ExactUnknown and the budget was the cause (e.g. "core.expand",
+	// "automata.contained_in"); empty otherwise.
+	Stage string
+}
+
+// TryExactness is the anytime variant of IsExactContext: instead of
+// propagating the budget-exhaustion or cancellation error, it degrades
+// to an ExactUnknown verdict carrying the error as a diagnostic. The
+// three-valued answer matches the decision structure of Theorem 9: a
+// definite yes/no needs the full 2EXPSPACE check, but an aborted check
+// costs the caller nothing — the maximal rewriting stays sound, only
+// its exactness is undecided.
+func (r *Rewriting) TryExactness(ctx context.Context) ExactnessReport {
+	exact, witness, err := r.IsExactContext(ctx)
+	if err != nil {
+		report := ExactnessReport{Verdict: ExactUnknown, Reason: err}
+		var ex *budget.ExceededError
+		if errors.As(err, &ex) {
+			report.Stage = ex.Stage
+		}
+		return report
+	}
+	if exact {
+		return ExactnessReport{Verdict: ExactYes}
+	}
+	return ExactnessReport{Verdict: ExactNo, Witness: witness}
 }
 
 // IsExactMaterialized is the naive baseline for IsExact: it fully

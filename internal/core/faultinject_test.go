@@ -1,0 +1,194 @@
+// Fault-injection sweep, graceful-degradation and Theorem 8 fail-fast
+// tests for the core layer. External test package: the Theorem 8
+// counter family lives in workload, which imports core.
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"regexrw/internal/automata"
+	"regexrw/internal/budget"
+	"regexrw/internal/budget/faultinject"
+	"regexrw/internal/core"
+	"regexrw/internal/workload"
+)
+
+func exactInstance(t testing.TB) *core.Instance {
+	t.Helper()
+	inst, err := core.ParseInstance("a·(b+c)", map[string]string{"q1": "a", "q2": "b", "q3": "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// corePipeline runs the full rewriting stack of Section 2–3 on an
+// instance whose rewriting is exact, so every containment check
+// explores its frontier exhaustively and the check surface does not
+// depend on counterexample discovery order. A fresh Instance and
+// Rewriting are built per run: Expand caches on success, and a cached
+// expansion would hide the expand stage from later injections.
+func corePipeline(t testing.TB) func(ctx context.Context) error {
+	return func(ctx context.Context) error {
+		inst := exactInstance(t)
+		r, err := core.MaximalRewritingContext(ctx, inst)
+		if err != nil {
+			return err
+		}
+		if _, _, err := r.IsExactContext(ctx); err != nil {
+			return err
+		}
+		if _, err := core.PossibilityRewritingContext(ctx, inst); err != nil {
+			return err
+		}
+		if _, err := core.PartialRewritingContext(ctx, inst); err != nil {
+			return err
+		}
+		return nil
+	}
+}
+
+func TestFaultInjectionSweepCore(t *testing.T) {
+	points := int64(40)
+	if testing.Short() {
+		points = 10
+	}
+	fired := faultinject.Sweep(t, points, faultinject.SeedFromEnv(2), corePipeline(t))
+	t.Logf("core sweep: %d injections fired", fired)
+}
+
+// TestTheorem8FailFast: the Theorem 8 counter family forces the maximal
+// rewriting to have at least 2^(2^n) states, so an unbudgeted run at a
+// modest n would exhaust memory. With a state cap the pipeline must
+// fail fast with a typed *budget.ExceededError — no OOM, no hang.
+func TestTheorem8FailFast(t *testing.T) {
+	inst := workload.CounterFamily(12)
+	b := budget.New(budget.MaxStates(2000))
+	start := time.Now()
+	_, err := core.MaximalRewritingContext(budget.With(context.Background(), b), inst)
+	elapsed := time.Since(start)
+	var ex *budget.ExceededError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v, want *budget.ExceededError", err)
+	}
+	if ex.Limit != 2000 {
+		t.Fatalf("Limit = %d, want 2000", ex.Limit)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("fail-fast took %v, want < 1s", elapsed)
+	}
+}
+
+// TestTryExactnessDegrades: when the budget gives out during the
+// exactness check, TryExactness reports Unknown with the stage that
+// exhausted rather than an error or a wrong verdict.
+func TestTryExactnessDegrades(t *testing.T) {
+	inst := exactInstance(t)
+	r, err := core.MaximalRewritingContext(context.Background(), inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A budget too small for the expansion: verdict must be Unknown.
+	b := budget.New(budget.MaxStates(1))
+	rep := r.TryExactness(budget.With(context.Background(), b))
+	if rep.Verdict != core.ExactUnknown {
+		t.Fatalf("Verdict = %v, want unknown", rep.Verdict)
+	}
+	if rep.Reason == nil || rep.Stage == "" {
+		t.Fatalf("report = %+v, want a reason and a stage", rep)
+	}
+	// With room to run, the same rewriting resolves to yes.
+	rep = r.TryExactness(context.Background())
+	if rep.Verdict != core.ExactYes || rep.Reason != nil {
+		t.Fatalf("report = %+v, want yes with no reason", rep)
+	}
+}
+
+func TestTryExactnessNoWitnessOnNo(t *testing.T) {
+	inst, err := core.ParseInstance("a·(b+c)", map[string]string{"q1": "a", "q2": "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.MaximalRewritingContext(context.Background(), inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.TryExactness(context.Background())
+	if rep.Verdict != core.ExactNo || len(rep.Witness) == 0 {
+		t.Fatalf("report = %+v, want no with a witness", rep)
+	}
+}
+
+// TestPartialRewritingAnytimeDegrades: exhaustion mid-search degrades
+// to the sound maximal rewriting over the original views instead of an
+// error.
+func TestPartialRewritingAnytimeDegrades(t *testing.T) {
+	inst, err := core.ParseInstance("a·(b+c)", map[string]string{"q1": "a", "q2": "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measure the surface, then cut the search off partway through.
+	hook, count := faultinject.Counter()
+	ctx := budget.With(context.Background(), budget.New(budget.WithHook(hook)))
+	res, err := core.PartialRewritingAnytime(ctx, inst)
+	if err != nil || !res.Exact {
+		t.Fatalf("unbounded anytime run: res = %+v, err = %v", res, err)
+	}
+	total := count()
+
+	b := budget.New(budget.WithHook(faultinject.ExhaustAt(total / 2)))
+	res, err = core.PartialRewritingAnytime(budget.With(context.Background(), b), inst)
+	if err != nil {
+		t.Fatalf("anytime must degrade, not fail: %v", err)
+	}
+	if res.Exact {
+		t.Fatal("Exact = true under an exhausted budget")
+	}
+	var ex *budget.ExceededError
+	if !errors.As(res.Reason, &ex) || res.Stage == "" {
+		t.Fatalf("res = %+v, want an ExceededError reason with a stage", res)
+	}
+	if len(res.Result.Added) != 0 {
+		t.Fatalf("degraded result added views %v, want none", res.Result.Added)
+	}
+	// Soundness: the degraded rewriting is the instance's maximal one.
+	want, err := core.MaximalRewritingContext(context.Background(), inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !automata.EquivalentDFA(res.Result.Rewriting.Auto, want.Auto) {
+		t.Fatal("degraded rewriting differs from the maximal rewriting")
+	}
+}
+
+// TestExpandContextCancelLeavesNoCache: a cancelled expansion must not
+// leave a partially-built automaton cached on the rewriting.
+func TestExpandContextCancelLeavesNoCache(t *testing.T) {
+	r, err := core.MaximalRewritingContext(context.Background(), exactInstance(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.ExpandContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A later successful call must rebuild from scratch and validate.
+	exp, err := r.ExpandContext(context.Background())
+	if err != nil || exp == nil {
+		t.Fatalf("retry after cancellation: exp = %v, err = %v", exp, err)
+	}
+}
+
+// TestPruneViewsContextCancel: the pruning loop honors cancellation.
+func TestPruneViewsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := core.PruneViewsContext(ctx, exactInstance(t), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
+	"regexrw/internal/budget"
 	"regexrw/internal/regex"
 )
 
@@ -48,16 +50,95 @@ func PartialRewriting(inst *Instance) (*PartialResult, error) {
 	return PartialRewritingContext(context.Background(), inst)
 }
 
-// PartialRewritingContext is PartialRewriting with cancellation: the
-// subset search visits up to 2^|Σ| candidate extensions, so callers can
-// bound it with a context deadline. Cancellation is checked between
-// candidate extensions.
+// PartialRewritingContext is PartialRewriting with cancellation and
+// resource governance: the subset search visits up to 2^|Σ| candidate
+// extensions, each costing a full rewriting-plus-exactness pipeline, so
+// callers can bound it with a context deadline and/or a budget. The
+// search ticks the meter (stage "core.partial_search") once per
+// candidate; an exhausted budget or cancelled ctx aborts with the
+// corresponding error. For a sound best-so-far answer instead of an
+// error, use PartialRewritingAnytime.
 func PartialRewritingContext(ctx context.Context, inst *Instance) (*PartialResult, error) {
 	// Fast path: already exact with no additions.
-	r := MaximalRewriting(inst)
-	if ok, _ := r.IsExact(); ok {
+	r, err := MaximalRewritingContext(ctx, inst)
+	if err != nil {
+		return nil, err
+	}
+	exact, _, err := r.IsExactContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if exact {
 		return &PartialResult{Added: nil, Instance: inst, Rewriting: r}, nil
 	}
+	return partialSearch(ctx, inst)
+}
+
+// AnytimePartialResult is the outcome of PartialRewritingAnytime.
+// Result is always a sound rewriting of its Instance (contained in
+// L(E0) by construction); Exact reports whether the search proved it
+// exact before the budget ran out.
+type AnytimePartialResult struct {
+	Result *PartialResult
+	// Exact is true when Result.Rewriting is exact for Result.Instance.
+	// When false, the search was stopped early and Result degrades to
+	// the original instance's maximal rewriting — still sound, possibly
+	// not maximal among the extensions the full search would have tried.
+	Exact bool
+	// Reason is the budget-exhaustion or cancellation error that stopped
+	// the search; nil when Exact is true.
+	Reason error
+	// Stage names the budget stage that gave out, when Reason wraps a
+	// *budget.ExceededError; empty otherwise.
+	Stage string
+}
+
+// PartialRewritingAnytime is the anytime variant of
+// PartialRewritingContext: when the budget or deadline gives out
+// mid-search it returns the sound best-so-far result — the original
+// instance's maximal rewriting, whose expansion is contained in L(E0)
+// by construction — with Exact=false and the stopping reason, instead
+// of an error. An error is returned only when even that base rewriting
+// cannot be built within the budget, in which case there is no sound
+// partial answer to degrade to.
+func PartialRewritingAnytime(ctx context.Context, inst *Instance) (*AnytimePartialResult, error) {
+	base, err := MaximalRewritingContext(ctx, inst)
+	if err != nil {
+		return nil, err
+	}
+	degrade := func(reason error) *AnytimePartialResult {
+		out := &AnytimePartialResult{
+			Result: &PartialResult{Added: nil, Instance: inst, Rewriting: base},
+			Reason: reason,
+		}
+		var ex *budget.ExceededError
+		if errors.As(reason, &ex) {
+			out.Stage = ex.Stage
+		}
+		return out
+	}
+	exact, _, err := base.IsExactContext(ctx)
+	if err != nil {
+		return degrade(err), nil
+	}
+	if exact {
+		return &AnytimePartialResult{
+			Result: &PartialResult{Added: nil, Instance: inst, Rewriting: base},
+			Exact:  true,
+		}, nil
+	}
+	res, err := partialSearch(ctx, inst)
+	if err != nil {
+		return degrade(err), nil
+	}
+	return &AnytimePartialResult{Result: res, Exact: true}, nil
+}
+
+// partialSearch enumerates non-empty elementary-view extensions by
+// increasing size (the caller has already ruled out the empty one) and
+// returns the first whose maximal rewriting is exact.
+func partialSearch(ctx context.Context, inst *Instance) (*PartialResult, error) {
+	meter := budget.Enter(ctx, "core.partial_search")
 
 	symbols := make([]string, 0, inst.sigma.Len())
 	for _, s := range inst.sigma.Symbols() {
@@ -78,7 +159,7 @@ func PartialRewritingContext(ctx context.Context, inst *Instance) (*PartialResul
 			idx[i] = i
 		}
 		for {
-			if err := ctx.Err(); err != nil {
+			if err := meter.Check(); err != nil {
 				return nil, fmt.Errorf("core: partial rewriting search: %w", err)
 			}
 			extra := make([]View, size)
@@ -92,8 +173,15 @@ func PartialRewritingContext(ctx context.Context, inst *Instance) (*PartialResul
 			if err != nil {
 				return nil, err
 			}
-			r := MaximalRewriting(ext)
-			if ok, _ := r.IsExact(); ok {
+			r, err := MaximalRewritingContext(ctx, ext)
+			if err != nil {
+				return nil, err
+			}
+			ok, _, err := r.IsExactContext(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
 				return &PartialResult{Added: added, Instance: ext, Rewriting: r}, nil
 			}
 			// Next combination.

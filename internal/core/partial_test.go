@@ -130,10 +130,13 @@ func TestPartialRewritingContextCancel(t *testing.T) {
 	if _, err := PartialRewritingContext(ctx, inst); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	// An already-exact instance succeeds even with a cancelled context
-	// (the fast path never enters the search).
+	// A cancelled context aborts even the fast path now that the whole
+	// pipeline is resource-governed; a live context still succeeds.
 	exact := parseInstance(t, "a·b", map[string]string{"e1": "a", "e2": "b"})
-	if _, err := PartialRewritingContext(ctx, exact); err != nil {
-		t.Fatalf("fast path should ignore cancellation: %v", err)
+	if _, err := PartialRewritingContext(ctx, exact); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled on the fast path too", err)
+	}
+	if _, err := PartialRewritingContext(context.Background(), exact); err != nil {
+		t.Fatalf("live context should succeed: %v", err)
 	}
 }

@@ -2,12 +2,14 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/bits"
 	"sort"
 
 	"regexrw/internal/alphabet"
 	"regexrw/internal/automata"
+	"regexrw/internal/budget"
 	"regexrw/internal/regex"
 )
 
@@ -65,17 +67,24 @@ func MaximalRewriting(inst *Instance) *Rewriting { //invariantcall:checked deleg
 }
 
 // MaximalRewritingContext is MaximalRewriting with cooperative
-// cancellation: the construction is doubly exponential in the worst
-// case (Theorem 5), and both determinizations of the pipeline consult
-// ctx between batches of subsets. A cancelled ctx aborts with its
-// error; the ctx-free MaximalRewriting wrapper is unaffected.
+// cancellation and resource governance: the construction is doubly
+// exponential in the worst case (Theorem 5), and every
+// state-materializing step of the pipeline — both determinizations, the
+// interleaved minimizations and DFA unions, and the A' transfer BFS —
+// consults ctx and the budget carried by it (budget.With). A cancelled
+// ctx aborts with its error; an exhausted budget with a
+// *budget.ExceededError naming the stage that gave out; the ctx-free
+// MaximalRewriting wrapper is unaffected.
 func MaximalRewritingContext(ctx context.Context, inst *Instance) (*Rewriting, error) {
 	ad, err := determinizeQueryContext(ctx, inst.Query, inst.sigma)
 	if err != nil {
 		return nil, err
 	}
 	views := inst.ViewNFAs()
-	ap := transferAutomaton(ad, inst.sigmaE, views)
+	ap, err := transferAutomatonContext(ctx, ad, inst.sigmaE, views)
+	if err != nil {
+		return nil, err
+	}
 	for s := 0; s < ad.NumStates(); s++ {
 		ap.SetAccept(automata.State(s), !ad.Accepting(automata.State(s))) // S − F
 	}
@@ -107,7 +116,8 @@ func determinizeQuery(q *regex.Node, sigma *alphabet.Alphabet) *automata.DFA {
 }
 
 // determinizeQueryContext is determinizeQuery with cooperative
-// cancellation threaded into every subset construction.
+// cancellation and budget metering threaded into every subset
+// construction, DFA union and minimization.
 func determinizeQueryContext(ctx context.Context, q *regex.Node, sigma *alphabet.Alphabet) (*automata.DFA, error) {
 	const unionThreshold = 4
 	if q.Op != regex.OpUnion || len(q.Subs) < unionThreshold {
@@ -115,7 +125,11 @@ func determinizeQueryContext(ctx context.Context, q *regex.Node, sigma *alphabet
 		if err != nil {
 			return nil, fmt.Errorf("core: A_d: %w", err)
 		}
-		return d.Minimize().Totalize(), nil
+		m, err := d.MinimizeContext(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("core: A_d: %w", err)
+		}
+		return m.Totalize(), nil
 	}
 	var ad *automata.DFA
 	for _, branch := range q.Subs {
@@ -123,10 +137,21 @@ func determinizeQueryContext(ctx context.Context, q *regex.Node, sigma *alphabet
 		if err != nil {
 			return nil, fmt.Errorf("core: A_d branch: %w", err)
 		}
+		bm, err := bd.MinimizeContext(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("core: A_d branch: %w", err)
+		}
 		if ad == nil {
-			ad = bd.Minimize()
+			ad = bm
 		} else {
-			ad = automata.UnionDFA(ad, bd.Minimize()).Minimize()
+			u, err := automata.UnionDFAContext(ctx, ad, bm)
+			if err != nil {
+				return nil, fmt.Errorf("core: A_d union: %w", err)
+			}
+			ad, err = u.MinimizeContext(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("core: A_d union: %w", err)
+			}
 		}
 	}
 	// The per-branch alphabets are all sigma, so no lifting is needed;
@@ -136,58 +161,28 @@ func determinizeQueryContext(ctx context.Context, q *regex.Node, sigma *alphabet
 
 // MaximalRewritingBounded is MaximalRewriting with a resource guard:
 // the construction is doubly exponential in the worst case (Theorem 5),
-// so every determinization in the pipeline is capped at maxStates
-// states and the call fails with an error wrapping
-// automata.ErrStateLimit instead of exhausting memory. Use it when the
-// instance comes from untrusted input.
-func MaximalRewritingBounded(inst *Instance, maxStates int) (*Rewriting, error) {
-	ad, err := determinizeQueryBounded(inst.Query, inst.sigma, maxStates)
+// so the whole pipeline draws from a shared pool of maxStates states
+// and the call fails with an error wrapping automata.ErrStateLimit
+// (and the underlying *budget.ExceededError) instead of exhausting
+// memory. Use it when the instance comes from untrusted input. It
+// predates the unified budget and is kept as a thin wrapper over it:
+// new callers should attach a budget.Budget to a context and call
+// MaximalRewritingContext, which also supports transition caps,
+// deadlines and shared pools spanning several calls.
+func MaximalRewritingBounded(inst *Instance, maxStates int) (*Rewriting, error) { //invariantcall:checked delegates to MaximalRewritingContext, which validates
+	if maxStates <= 0 {
+		return nil, fmt.Errorf("core: %w: limit must be positive, got %d", automata.ErrStateLimit, maxStates)
+	}
+	b := budget.New(budget.MaxStates(maxStates))
+	r, err := MaximalRewritingContext(budget.With(context.Background(), b), inst)
 	if err != nil {
+		var ex *budget.ExceededError
+		if errors.As(err, &ex) {
+			return nil, fmt.Errorf("core: %w: %w", automata.ErrStateLimit, ex)
+		}
 		return nil, err
 	}
-	views := inst.ViewNFAs()
-	ap := transferAutomaton(ad, inst.sigmaE, views)
-	for s := 0; s < ad.NumStates(); s++ {
-		ap.SetAccept(automata.State(s), !ad.Accepting(automata.State(s)))
-	}
-	det, err := automata.DeterminizeLimit(ap, maxStates)
-	if err != nil {
-		return nil, fmt.Errorf("core: rewriting automaton: %w", err)
-	}
-	r := &Rewriting{
-		Instance: inst,
-		Ad:       ad, APrime: ap, Auto: det.Complement(),
-		sigma: inst.sigma, sigmaE: inst.sigmaE, views: views,
-	}
-	debugValidateRewriting(r)
 	return r, nil
-}
-
-func determinizeQueryBounded(q *regex.Node, sigma *alphabet.Alphabet, maxStates int) (*automata.DFA, error) {
-	const unionThreshold = 4
-	if q.Op != regex.OpUnion || len(q.Subs) < unionThreshold {
-		d, err := automata.DeterminizeLimit(q.ToNFA(sigma), maxStates)
-		if err != nil {
-			return nil, fmt.Errorf("core: A_d: %w", err)
-		}
-		return d.Minimize().Totalize(), nil
-	}
-	var ad *automata.DFA
-	for _, branch := range q.Subs {
-		bd, err := automata.DeterminizeLimit(branch.ToNFA(sigma), maxStates)
-		if err != nil {
-			return nil, fmt.Errorf("core: A_d branch: %w", err)
-		}
-		if ad == nil {
-			ad = bd.Minimize()
-		} else {
-			ad = automata.UnionDFA(ad, bd.Minimize()).Minimize()
-		}
-		if ad.NumStates() > maxStates {
-			return nil, fmt.Errorf("core: A_d union: %w: more than %d states", automata.ErrStateLimit, maxStates)
-		}
-	}
-	return ad.Totalize(), nil
 }
 
 // MaximalRewritingAutomata is MaximalRewriting with the inputs already
@@ -205,14 +200,22 @@ func MaximalRewritingAutomata(e0 *automata.NFA, sigmaE *alphabet.Alphabet, views
 }
 
 // MaximalRewritingAutomataContext is MaximalRewritingAutomata with
-// cooperative cancellation threaded into both determinizations.
+// cooperative cancellation and budget metering threaded into both
+// determinizations, the minimization, and the A' transfer BFS.
 func MaximalRewritingAutomataContext(ctx context.Context, e0 *automata.NFA, sigmaE *alphabet.Alphabet, views map[alphabet.Symbol]*automata.NFA) (*Rewriting, error) {
 	d, err := automata.DeterminizeContext(ctx, e0)
 	if err != nil {
 		return nil, fmt.Errorf("core: A_d: %w", err)
 	}
-	ad := d.Minimize().Totalize()
-	ap := transferAutomaton(ad, sigmaE, views)
+	m, err := d.MinimizeContext(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("core: A_d: %w", err)
+	}
+	ad := m.Totalize()
+	ap, err := transferAutomatonContext(ctx, ad, sigmaE, views)
+	if err != nil {
+		return nil, err
+	}
 	for s := 0; s < ad.NumStates(); s++ {
 		ap.SetAccept(automata.State(s), !ad.Accepting(automata.State(s))) // S − F
 	}
@@ -257,6 +260,20 @@ func maximalRewritingFromDFA(ad *automata.DFA, sigma *alphabet.Alphabet, sigmaE 
 // construction sets its own. Views with ε-transitions are normalized in
 // place in the views map.
 func transferAutomaton(ad *automata.DFA, sigmaE *alphabet.Alphabet, views map[alphabet.Symbol]*automata.NFA) *automata.NFA {
+	ap, _ := transferAutomatonContext(context.Background(), ad, sigmaE, views) // a background context never cancels and carries no budget
+	return ap
+}
+
+// transferAutomatonContext is transferAutomaton metered against the
+// context's budget (stage "core.transfer"): A' has one state per A_d
+// state, but the product fixpoint behind its edges can materialize
+// |view|·|A_d| origin sets per view, and the e-edges themselves are
+// charged as transitions.
+func transferAutomatonContext(ctx context.Context, ad *automata.DFA, sigmaE *alphabet.Alphabet, views map[alphabet.Symbol]*automata.NFA) (*automata.NFA, error) {
+	meter := budget.Enter(ctx, "core.transfer")
+	if err := meter.AddStates(ad.NumStates()); err != nil {
+		return nil, err
+	}
 	ap := automata.NewNFA(sigmaE)
 	ap.AddStates(ad.NumStates())
 	ap.SetStart(ad.Start())
@@ -269,13 +286,22 @@ func transferAutomaton(ad *automata.DFA, sigmaE *alphabet.Alphabet, views map[al
 			vnfa = vnfa.RemoveEpsilon()
 			views[e] = vnfa
 		}
-		for i, targets := range transferTargets(vnfa, ad) {
-			for _, j := range targets {
+		targets, err := transferTargets(meter, vnfa, ad)
+		if err != nil {
+			return nil, err
+		}
+		added := 0
+		for i, ts := range targets {
+			for _, j := range ts {
 				ap.AddTransition(automata.State(i), e, j)
+				added++
 			}
 		}
+		if err := meter.AddTransitions(added); err != nil {
+			return nil, err
+		}
 	}
-	return ap
+	return ap, nil
 }
 
 // transferTargets computes, for every A_d state i, the states j such
@@ -284,13 +310,15 @@ func transferAutomaton(ad *automata.DFA, sigmaE *alphabet.Alphabet, views map[al
 // carries the bitset of origins that reach it, and transitions union
 // the sets forward until fixpoint. Compared with one BFS per origin
 // (reachTargets, kept as the test oracle) the inner dimension runs 64
-// origins per machine word.
-func transferTargets(view *automata.NFA, ad *automata.DFA) [][]automata.State {
+// origins per machine word. Each materialized origin set is charged as
+// a state on the caller's meter; the fixpoint aborts on exhaustion or
+// cancellation.
+func transferTargets(meter *budget.Meter, view *automata.NFA, ad *automata.DFA) ([][]automata.State, error) {
 	nAd := ad.NumStates()
 	nView := view.NumStates()
 	out := make([][]automata.State, nAd)
 	if view.Start() == automata.NoState {
-		return out
+		return out, nil
 	}
 
 	// origins[v*nAd+d] = bitset of A_d states i with (start, i) →* (v, d).
@@ -298,10 +326,12 @@ func transferTargets(view *automata.NFA, ad *automata.DFA) [][]automata.State {
 	idx := func(v automata.State, d automata.State) int { return int(v)*nAd + int(d) }
 
 	words := (nAd + 63) / 64
+	allocated := 0
 	get := func(v, d automata.State) *bitsetWords {
 		k := idx(v, d)
 		if origins[k] == nil {
 			origins[k] = newBitsetWords(words)
+			allocated++
 		}
 		return origins[k]
 	}
@@ -322,7 +352,13 @@ func transferTargets(view *automata.NFA, ad *automata.DFA) [][]automata.State {
 		push(pair{start, automata.State(i)})
 	}
 
+	charged := 0
 	for len(queue) > 0 {
+		// Charge the origin sets materialized since the last check.
+		if err := meter.AddStates(allocated - charged); err != nil {
+			return nil, err
+		}
+		charged = allocated
 		p := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		inQueue[p] = false
@@ -367,7 +403,7 @@ func transferTargets(view *automata.NFA, ad *automata.DFA) [][]automata.State {
 		}
 		out[i] = kept
 	}
-	return out
+	return out, nil
 }
 
 // bitsetWords is a minimal fixed-size bitset used by transferTargets

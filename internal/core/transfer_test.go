@@ -1,14 +1,20 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
 
 	"regexrw/internal/automata"
+	"regexrw/internal/budget"
 	"regexrw/internal/regex"
 )
+
+// testMeter returns an unlimited meter for direct calls into the
+// metered transfer fixpoint.
+func testMeter() *budget.Meter { return budget.Enter(context.Background(), "test") }
 
 // detBlowup builds (a+b)*·a·(a+b)^{n-1} with elementary views — the
 // det-blowup family, rebuilt locally to avoid importing workload (which
@@ -44,7 +50,10 @@ func TestTransferTargetsAgreesWithPerOriginBFS(t *testing.T) {
 		ad := determinizeQuery(inst.Query, inst.Sigma())
 		view := inst.ViewNFAs()[inst.SigmaE().Lookup("v")]
 
-		fast := transferTargets(view, ad)
+		fast, err := transferTargets(testMeter(), view, ad)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i := 0; i < ad.NumStates(); i++ {
 			slow := reachTargets(view, ad, automata.State(i))
 			if !sameStateSet(fast[i], slow) {
@@ -75,7 +84,11 @@ func TestTransferTargetsEmptyView(t *testing.T) {
 	inst := parseInstance(t, "a·b", map[string]string{"v": "∅"})
 	ad := determinizeQuery(inst.Query, inst.Sigma())
 	view := inst.ViewNFAs()[inst.SigmaE().Lookup("v")]
-	for i, targets := range transferTargets(view, ad) {
+	targets, err := transferTargets(testMeter(), view, ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, targets := range targets {
 		if len(targets) != 0 {
 			t.Fatalf("empty view produced targets at state %d", i)
 		}
@@ -87,7 +100,10 @@ func TestTransferTargetsEpsilonView(t *testing.T) {
 	inst := parseInstance(t, "a·a", map[string]string{"v": "a?"})
 	ad := determinizeQuery(inst.Query, inst.Sigma())
 	view := inst.ViewNFAs()[inst.SigmaE().Lookup("v")]
-	targets := transferTargets(view, ad)
+	targets, err := transferTargets(testMeter(), view, ad)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < ad.NumStates(); i++ {
 		self := false
 		for _, j := range targets[i] {
@@ -113,8 +129,11 @@ func BenchmarkTransferAlgorithms(b *testing.B) {
 		ad := determinizeQuery(ext.Query, ext.Sigma())
 		view := ext.ViewNFAs()[ext.SigmaE().Lookup("vstar")]
 		b.Run(fmt.Sprintf("bitset/n=%d", n), func(b *testing.B) {
+			m := testMeter()
 			for i := 0; i < b.N; i++ {
-				transferTargets(view, ad)
+				if _, err := transferTargets(m, view, ad); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 		b.Run(fmt.Sprintf("perOriginBFS/n=%d", n), func(b *testing.B) {

@@ -17,34 +17,37 @@ import (
 )
 
 // Experiment is one reproducible unit: a paper artifact and the code
-// that regenerates it.
+// that regenerates it. RunMetrics, when non-nil, is the same experiment
+// reporting its headline numbers (timings, state counts) as named
+// values for machine consumption; RunJSON prefers it over Run.
 type Experiment struct {
-	ID    string
-	Title string
-	Run   func(w io.Writer) error
+	ID         string
+	Title      string
+	Run        func(w io.Writer) error
+	RunMetrics func(w io.Writer) (map[string]float64, error)
 }
 
 // All returns the registered experiments in display order.
 func All() []Experiment {
 	return []Experiment{
-		{"EX1", "Example 1 — Σ_E-maximal vs Σ-maximal rewritings of a* wrt {a*}", runEX1},
-		{"EX2", "Example 2 + Figure 1 — rewriting of a·(b·a+c)* wrt {a, a·c*·b, c}", runEX2},
-		{"EX3", "Example 3 — partial rewriting of a·(b+c) wrt {a, b}", runEX3},
-		{"THM2", "Theorem 2 — characterization u ∈ L(R) ⇔ exp(u) ⊆ L(E0) on random instances", runTHM2},
-		{"THM5", "Theorem 5 — rewriting cost sweeps (benign and adversarial families)", runTHM5},
-		{"THM6", "Theorem 6 — exactness check: on-the-fly vs materialized complement", runTHM6},
-		{"THM7", "Theorem 7 — computation-encoding family: accepting vs rejecting variants", runTHM7},
-		{"THM8", "Theorem 8 — 2^n lower bound on rewriting size from polynomial input", runTHM8},
-		{"THM9", "Theorem 9 — deciding existence of an exact rewriting (Corollary 4)", runTHM9},
-		{"RPQ1", "Section 4.2 — grounded vs direct RPQ rewriting (equivalence and |D| sweep)", runRPQ1},
-		{"RPQ2", "Definition 5/6 — answering using views: containment, exact equality, scaling", runRPQ2},
-		{"RPQ3", "Section 4.3 — partial rewritings and preference criteria", runRPQ3},
-		{"DUAL1", "Section 5 (extension) — containing/possibility rewritings, certain vs possible answers", runDUAL1},
-		{"GPQ1", "Section 5 (extension) — generalized path queries: evaluation and sound component-wise rewriting", runGPQ1},
-		{"COST1", "Section 5 (extension) — cost-model based rewriting choice: view pruning", runCOST1},
-		{"SITE1", "End-to-end — answering a site query from materialized views vs direct evaluation", runSITE1},
-		{"COV1", "Coverage curve — fraction of random instances rewritable as views grow", runCOV1},
-		{"REDUCE1", "Ablation — simulation-quotient NFA reduction before determinization", runREDUCE1},
+		{"EX1", "Example 1 — Σ_E-maximal vs Σ-maximal rewritings of a* wrt {a*}", runEX1, nil},
+		{"EX2", "Example 2 + Figure 1 — rewriting of a·(b·a+c)* wrt {a, a·c*·b, c}", runEX2, nil},
+		{"EX3", "Example 3 — partial rewriting of a·(b+c) wrt {a, b}", runEX3, nil},
+		{"THM2", "Theorem 2 — characterization u ∈ L(R) ⇔ exp(u) ⊆ L(E0) on random instances", runTHM2, nil},
+		{"THM5", "Theorem 5 — rewriting cost sweeps (benign and adversarial families)", runTHM5, nil},
+		{"THM6", "Theorem 6 — exactness check: on-the-fly vs materialized complement", runTHM6, runTHM6Metrics},
+		{"THM7", "Theorem 7 — computation-encoding family: accepting vs rejecting variants", runTHM7, nil},
+		{"THM8", "Theorem 8 — 2^n lower bound on rewriting size from polynomial input", runTHM8, runTHM8Metrics},
+		{"THM9", "Theorem 9 — deciding existence of an exact rewriting (Corollary 4)", runTHM9, nil},
+		{"RPQ1", "Section 4.2 — grounded vs direct RPQ rewriting (equivalence and |D| sweep)", runRPQ1, nil},
+		{"RPQ2", "Definition 5/6 — answering using views: containment, exact equality, scaling", runRPQ2, nil},
+		{"RPQ3", "Section 4.3 — partial rewritings and preference criteria", runRPQ3, nil},
+		{"DUAL1", "Section 5 (extension) — containing/possibility rewritings, certain vs possible answers", runDUAL1, nil},
+		{"GPQ1", "Section 5 (extension) — generalized path queries: evaluation and sound component-wise rewriting", runGPQ1, nil},
+		{"COST1", "Section 5 (extension) — cost-model based rewriting choice: view pruning", runCOST1, nil},
+		{"SITE1", "End-to-end — answering a site query from materialized views vs direct evaluation", runSITE1, nil},
+		{"COV1", "Coverage curve — fraction of random instances rewritable as views grow", runCOV1, nil},
+		{"REDUCE1", "Ablation — simulation-quotient NFA reduction before determinization", runREDUCE1, nil},
 	}
 }
 
@@ -54,14 +57,17 @@ func Run(w io.Writer, filter string) error {
 	return run(w, filter, false)
 }
 
-// Result is one experiment's outcome in machine-readable form.
+// Result is one experiment's outcome in machine-readable form. Metrics
+// holds the experiment's headline numbers (per-section timings, state
+// counts, blowup ratios) when it implements RunMetrics.
 type Result struct {
-	ID      string  `json:"id"`
-	Title   string  `json:"title"`
-	Seconds float64 `json:"seconds"`
-	OK      bool    `json:"ok"`
-	Error   string  `json:"error,omitempty"`
-	Output  string  `json:"output"`
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Seconds float64            `json:"seconds"`
+	OK      bool               `json:"ok"`
+	Error   string             `json:"error,omitempty"`
+	Output  string             `json:"output"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // RunJSON executes the selected experiments and writes a JSON array of
@@ -83,14 +89,21 @@ func RunJSON(w io.Writer, filter string) error {
 	var failures []string
 	for i, e := range selected {
 		var buf bytes.Buffer
+		var metrics map[string]float64
+		var err error
 		start := time.Now()
-		err := e.Run(&buf)
+		if e.RunMetrics != nil {
+			metrics, err = e.RunMetrics(&buf)
+		} else {
+			err = e.Run(&buf)
+		}
 		results[i] = Result{
 			ID:      e.ID,
 			Title:   e.Title,
 			Seconds: time.Since(start).Seconds(),
 			OK:      err == nil,
 			Output:  buf.String(),
+			Metrics: metrics,
 		}
 		if err != nil {
 			results[i].Error = err.Error()

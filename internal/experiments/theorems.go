@@ -81,9 +81,18 @@ func runTHM5(w io.Writer) error {
 }
 
 func runTHM6(w io.Writer) error {
+	_, err := runTHM6Metrics(w)
+	return err
+}
+
+// runTHM6Metrics is runTHM6 additionally reporting, per (family, param)
+// row, the on-the-fly and materialized exactness timings and their
+// ratio as machine-readable metrics.
+func runTHM6Metrics(w io.Writer) (map[string]float64, error) {
+	metrics := map[string]float64{}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "family\tparam\texact\tt_on-the-fly\tt_materialized\tspeedup")
-	row := func(name string, param int, inst *core.Instance) {
+	row := func(slug, name string, param int, inst *core.Instance) {
 		r := core.MaximalRewriting(inst)
 		start := time.Now()
 		exact1, _ := r.IsExact()
@@ -96,25 +105,29 @@ func runTHM6(w io.Writer) error {
 			return
 		}
 		speedup := float64(tMat) / float64(tFly)
+		key := fmt.Sprintf("%s_n%d", slug, param)
+		metrics[key+"_t_fly_seconds"] = tFly.Seconds()
+		metrics[key+"_t_mat_seconds"] = tMat.Seconds()
+		metrics[key+"_speedup"] = speedup
 		fmt.Fprintf(tw, "%s\t%d\t%v\t%v\t%v\t%.1fx\n",
 			name, param, exact1,
 			tFly.Round(time.Microsecond), tMat.Round(time.Microsecond), speedup)
 	}
 	for _, n := range []int{4, 8, 12, 14} {
-		row("det-blowup", n, workload.DetBlowupFamily(n))
+		row("det_blowup", "det-blowup", n, workload.DetBlowupFamily(n))
 	}
 	for _, k := range []int{8, 16, 32} {
-		row("chain", k, workload.ChainFamily(k))
+		row("chain", "chain", k, workload.ChainFamily(k))
 	}
 	for _, n := range []int{2, 3, 4} {
-		row("counter (Thm 8)", n, workload.CounterFamily(n))
+		row("counter", "counter (Thm 8)", n, workload.CounterFamily(n))
 	}
 	if err := tw.Flush(); err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Fprintf(w, "(both checks always agree; the on-the-fly complement explores only reachable subsets,\n")
 	fmt.Fprintf(w, " the materialized baseline pays for the full complement of B up front — Theorem 6's point)\n")
-	return nil
+	return metrics, nil
 }
 
 func runTHM7(w io.Writer) error {
@@ -177,6 +190,16 @@ func runTHM9(w io.Writer) error {
 }
 
 func runTHM8(w io.Writer) error {
+	_, err := runTHM8Metrics(w)
+	return err
+}
+
+// runTHM8Metrics is runTHM8 additionally reporting, per n, the input
+// size, the minimal rewriting automaton's state count, the n·2^n lower
+// bound, the states-per-input blowup ratio and the section timing as
+// machine-readable metrics.
+func runTHM8Metrics(w io.Writer) (map[string]float64, error) {
+	metrics := map[string]float64{}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "n\tinput size (E0 nodes + view nodes)\tR_min states\tn·2^n\tcounter word ∈ L(R)\tgood words = {counter}\ttime")
 	for n := 1; n <= 6; n++ {
@@ -200,14 +223,20 @@ func runTHM8(w io.Writer) error {
 			cwNFA := automata.WordLanguage(r.SigmaE(), automata.ParseWord(r.SigmaE(), strings.Join(cw, " ")))
 			singleton = automata.Equivalent(inter, cwNFA)
 		}
+		key := fmt.Sprintf("n%d", n)
+		metrics[key+"_input_size"] = float64(inputSize)
+		metrics[key+"_min_states"] = float64(min.NumStates())
+		metrics[key+"_lower_bound"] = float64(n * (1 << uint(n)))
+		metrics[key+"_blowup_ratio"] = float64(min.NumStates()) / float64(inputSize)
+		metrics[key+"_seconds"] = time.Since(start).Seconds()
 		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%v\t%v\t%v\n",
 			n, inputSize, min.NumStates(), n*(1<<uint(n)), inR, singleton,
 			time.Since(start).Round(time.Microsecond))
 	}
 	if err := tw.Flush(); err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Fprintf(w, "(input grows polynomially in n; the minimal rewriting automaton grows ≥ n·2^n because\n")
 	fmt.Fprintf(w, " it must trace the single counter word of length n·2^n — Theorem 8's lower bound)\n")
-	return nil
+	return metrics, nil
 }

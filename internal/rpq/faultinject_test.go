@@ -1,0 +1,137 @@
+package rpq
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"regexrw/internal/budget"
+	"regexrw/internal/budget/faultinject"
+	"regexrw/internal/theory"
+)
+
+// rpqPipeline exercises every metered construction of the package —
+// grounding, all three rewriting methods, exactness and the
+// possibility rewriting — on an instance whose rewriting is exact, so
+// containment frontiers are explored exhaustively and the check
+// surface does not depend on counterexample discovery order.
+func rpqPipeline(t testing.TB) func(ctx context.Context) error {
+	return func(ctx context.Context) error {
+		tt := abcTheory()
+		q0, err := ParseQuery("fa·(fb+fc)", map[string]string{"fa": "=a", "fb": "=b", "fc": "=c"})
+		if err != nil {
+			return err
+		}
+		views := []View{
+			{Name: "va", Query: Atomic("fa", theory.Eq("a"))},
+			{Name: "vb", Query: Atomic("fb", theory.Eq("b"))},
+			{Name: "vc", Query: Atomic("fc", theory.Eq("c"))},
+		}
+		for _, m := range []Method{Grounded, Direct, Compressed} {
+			if _, err := RewriteContext(ctx, q0, views, tt, m); err != nil {
+				return err
+			}
+		}
+		r, err := RewriteContext(ctx, q0, views, tt, Grounded)
+		if err != nil {
+			return err
+		}
+		if _, _, err := r.IsExactContext(ctx); err != nil {
+			return err
+		}
+		if _, err := RewritePossibleContext(ctx, q0, views, tt); err != nil {
+			return err
+		}
+		return nil
+	}
+}
+
+func TestFaultInjectionSweepRPQ(t *testing.T) {
+	points := int64(40)
+	if testing.Short() {
+		points = 10
+	}
+	fired := faultinject.Sweep(t, points, faultinject.SeedFromEnv(3), rpqPipeline(t))
+	t.Logf("rpq sweep: %d injections fired", fired)
+}
+
+// TestGroundContextCancel: grounding — the transition-heavy stage that
+// multiplies formula edges by satisfying constants — honors a
+// pre-cancelled context.
+func TestGroundContextCancel(t *testing.T) {
+	tt := abcTheory()
+	q0 := mustQuery(t, "fa·fb", map[string]string{"fa": "=a", "fb": "=b"})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := q0.GroundContext(ctx, tt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := q0.GroundContext(context.Background(), tt); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+}
+
+// TestGroundBudgetTransitions: a transition cap bounds the grounding
+// blowup with a typed error naming the stage.
+func TestGroundBudgetTransitions(t *testing.T) {
+	tt := theory.New()
+	tt.AddConstants("a", "b", "c", "d", "e", "f", "g", "h")
+	q0 := mustQuery(t, "ftrue·ftrue", map[string]string{"ftrue": "true"})
+	b := budget.New(budget.MaxTransitions(4))
+	_, err := q0.GroundContext(budget.With(context.Background(), b), tt)
+	var ex *budget.ExceededError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v, want *budget.ExceededError", err)
+	}
+	if ex.Stage != "rpq.ground" || ex.Resource != budget.Transitions {
+		t.Fatalf("ExceededError = %+v", ex)
+	}
+}
+
+// TestPartialRewriteAnytimeDegrades: exhaustion mid-search degrades to
+// the sound rewriting over the original views instead of an error.
+func TestPartialRewriteAnytimeDegrades(t *testing.T) {
+	tt := abcTheory()
+	q0 := mustQuery(t, "fa·(fb+fc)", map[string]string{"fa": "=a", "fb": "=b", "fc": "=c"})
+	views := []View{{Name: "q1", Query: Atomic("fa", theory.Eq("a"))}}
+
+	hook, count := faultinject.Counter()
+	ctx := budget.With(context.Background(), budget.New(budget.WithHook(hook)))
+	res, err := PartialRewriteAnytime(ctx, q0, views, tt, DefaultCandidates(tt), Grounded)
+	if err != nil || !res.Exact {
+		t.Fatalf("unbounded anytime run: res = %+v, err = %v", res, err)
+	}
+	total := count()
+
+	b := budget.New(budget.WithHook(faultinject.ExhaustAt(total / 2)))
+	res, err = PartialRewriteAnytime(budget.With(context.Background(), b), q0, views, tt, DefaultCandidates(tt), Grounded)
+	if err != nil {
+		t.Fatalf("anytime must degrade, not fail: %v", err)
+	}
+	if res.Exact {
+		t.Fatal("Exact = true under an exhausted budget")
+	}
+	var ex *budget.ExceededError
+	if !errors.As(res.Reason, &ex) || res.Stage == "" {
+		t.Fatalf("res = %+v, want an ExceededError reason with a stage", res)
+	}
+	if len(res.Result.Added) != 0 {
+		t.Fatalf("degraded result added views %v, want none", res.Result.Added)
+	}
+}
+
+// TestPartialRewriteAnytimeDefinitiveNo: a definitive "the candidate
+// set cannot make the rewriting exact" is a real error, not a
+// degradation.
+func TestPartialRewriteAnytimeDefinitiveNo(t *testing.T) {
+	tt := abcTheory()
+	q0 := mustQuery(t, "fa·fb", map[string]string{"fa": "=a", "fb": "=b"})
+	cands := []Candidate{{Kind: ElementaryView, Name: "a"}}
+	res, err := PartialRewriteAnytime(context.Background(), q0, nil, tt, cands, Grounded)
+	if err == nil {
+		t.Fatalf("res = %+v, want an error for an insufficient candidate set", res)
+	}
+	if !errors.Is(err, errNoPartial) {
+		t.Fatalf("err = %v, want errNoPartial", err)
+	}
+}

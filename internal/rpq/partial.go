@@ -2,10 +2,12 @@ package rpq
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
 	"regexrw/internal/automata"
+	"regexrw/internal/budget"
 	"regexrw/internal/theory"
 )
 
@@ -104,18 +106,101 @@ func PartialRewrite(q0 *Query, views []View, t *theory.Interpretation, candidate
 	return PartialRewriteContext(context.Background(), q0, views, t, candidates, method)
 }
 
-// PartialRewriteContext is PartialRewrite with cancellation: the search
-// tries up to 2^|candidates| extensions (DefaultCandidates grows with
-// the domain), so callers facing large theories should bound it with a
-// context deadline. Cancellation is checked between candidate subsets.
+// PartialRewriteContext is PartialRewrite with cancellation and
+// resource governance: the search tries up to 2^|candidates| extensions
+// (DefaultCandidates grows with the domain), each costing a full
+// rewriting-plus-exactness pipeline drawn from the budget carried by
+// ctx, so callers facing large theories should bound it with a deadline
+// or a budget. The search ticks the meter (stage "rpq.partial_search")
+// per generated subset and per trial; for a sound best-so-far answer
+// instead of an error, use PartialRewriteAnytime.
 func PartialRewriteContext(ctx context.Context, q0 *Query, views []View, t *theory.Interpretation, candidates []Candidate, method Method) (*PartialResult, error) {
-	r, err := Rewrite(q0, views, t, method)
+	r, err := RewriteContext(ctx, q0, views, t, method)
 	if err != nil {
 		return nil, err
 	}
-	if ok, _ := r.IsExact(); ok {
+	exact, _, err := r.IsExactContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if exact {
 		return &PartialResult{Added: nil, Views: views, Rewriting: r}, nil
 	}
+	return partialRewriteSearch(ctx, q0, views, t, candidates, method)
+}
+
+// AnytimePartialResult is the outcome of PartialRewriteAnytime. Result
+// is always a sound rewriting of q0 (its answers are contained in
+// ans(L(Q0), DB) on every database); Exact reports whether the search
+// proved it exact before the budget ran out.
+type AnytimePartialResult struct {
+	Result *PartialResult
+	// Exact is true when Result.Rewriting is exact for Result.Views.
+	// When false, the search stopped early and Result degrades to the
+	// maximal rewriting over the ORIGINAL views — still sound, with no
+	// candidates added.
+	Exact bool
+	// Reason is the budget-exhaustion or cancellation error that stopped
+	// the search; nil when Exact is true.
+	Reason error
+	// Stage names the budget stage that gave out when Reason wraps a
+	// *budget.ExceededError; empty otherwise.
+	Stage string
+}
+
+// PartialRewriteAnytime is the anytime variant of PartialRewriteContext:
+// when the budget or deadline gives out mid-search it returns the sound
+// best-so-far result — the maximal rewriting over the original views,
+// whose answers are contained in the query's by Theorem 11 — with
+// Exact=false and the stopping reason, instead of an error. An error is
+// returned only when even that base rewriting cannot be built within
+// the budget.
+func PartialRewriteAnytime(ctx context.Context, q0 *Query, views []View, t *theory.Interpretation, candidates []Candidate, method Method) (*AnytimePartialResult, error) {
+	base, err := RewriteContext(ctx, q0, views, t, method)
+	if err != nil {
+		return nil, err
+	}
+	degrade := func(reason error) *AnytimePartialResult {
+		out := &AnytimePartialResult{
+			Result: &PartialResult{Added: nil, Views: views, Rewriting: base},
+			Reason: reason,
+		}
+		var ex *budget.ExceededError
+		if errors.As(reason, &ex) {
+			out.Stage = ex.Stage
+		}
+		return out
+	}
+	exact, _, err := base.IsExactContext(ctx)
+	if err != nil {
+		return degrade(err), nil
+	}
+	if exact {
+		return &AnytimePartialResult{
+			Result: &PartialResult{Added: nil, Views: views, Rewriting: base},
+			Exact:  true,
+		}, nil
+	}
+	res, err := partialRewriteSearch(ctx, q0, views, t, candidates, method)
+	if err != nil {
+		if errors.Is(err, errNoPartial) {
+			return nil, err
+		}
+		return degrade(err), nil
+	}
+	return &AnytimePartialResult{Result: res, Exact: true}, nil
+}
+
+// errNoPartial distinguishes "the candidate set cannot make the
+// rewriting exact" (a definitive negative answer) from resource errors
+// the anytime wrapper degrades on.
+var errNoPartial = errors.New("rpq: no exact partial rewriting within the candidate set")
+
+// partialRewriteSearch enumerates candidate extensions per the Section
+// 4.3 preference criteria and returns the first exact one (the caller
+// has already ruled out the empty extension).
+func partialRewriteSearch(ctx context.Context, q0 *Query, views []View, t *theory.Interpretation, candidates []Candidate, method Method) (*PartialResult, error) {
+	meter := budget.Enter(ctx, "rpq.partial_search")
 
 	taken := map[string]bool{}
 	for _, v := range views {
@@ -145,10 +230,10 @@ func PartialRewriteContext(ctx context.Context, q0 *Query, views []View, t *theo
 		for i := range idx {
 			idx[i] = i
 		}
-		for {
+		for { //ctxcheck:ignore meter.Check below consults ctx every budget.CheckInterval ticks
 			// Generation alone is C(n, size) — exponential over all sizes —
 			// so cancellation must reach it, not just the trial loop below.
-			if err := ctx.Err(); err != nil {
+			if err := meter.Check(); err != nil {
 				return nil, fmt.Errorf("rpq: partial rewriting: %w", err)
 			}
 			elem := 0
@@ -188,7 +273,7 @@ func PartialRewriteContext(ctx context.Context, q0 *Query, views []View, t *theo
 	})
 
 	for _, sub := range all {
-		if err := ctx.Err(); err != nil {
+		if err := meter.Check(); err != nil {
 			return nil, fmt.Errorf("rpq: partial rewriting search: %w", err)
 		}
 		extended := append([]View(nil), views...)
@@ -204,15 +289,19 @@ func PartialRewriteContext(ctx context.Context, q0 *Query, views []View, t *theo
 			extended = append(extended, View{Name: name, Query: Atomic(name, c.Formula())})
 			added = append(added, c)
 		}
-		r, err := Rewrite(q0, extended, t, method)
+		r, err := RewriteContext(ctx, q0, extended, t, method)
 		if err != nil {
 			return nil, err
 		}
-		if ok, _ := r.IsExact(); ok {
+		ok, _, err := r.IsExactContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
 			return &PartialResult{Added: added, Views: extended, Rewriting: r}, nil
 		}
 	}
-	return nil, fmt.Errorf("rpq: no exact partial rewriting within the candidate set")
+	return nil, errNoPartial
 }
 
 // Compare orders two rewritings by the preference criteria of Section

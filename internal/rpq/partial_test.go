@@ -210,12 +210,16 @@ func TestPartialRewriteContextCancel(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	// Exact instances take the fast path and ignore cancellation.
+	// A cancelled context aborts even the fast path now that the whole
+	// pipeline is resource-governed; a live context still succeeds.
 	views := []View{
 		{Name: "va", Query: Atomic("fa", theory.Eq("a"))},
 		{Name: "vb", Query: Atomic("fb", theory.Eq("b"))},
 	}
-	if _, err := PartialRewriteContext(ctx, q0, views, tt, DefaultCandidates(tt), Grounded); err != nil {
-		t.Fatalf("fast path should succeed: %v", err)
+	if _, err := PartialRewriteContext(ctx, q0, views, tt, DefaultCandidates(tt), Grounded); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled on the fast path too", err)
+	}
+	if _, err := PartialRewriteContext(context.Background(), q0, views, tt, DefaultCandidates(tt), Grounded); err != nil {
+		t.Fatalf("live context should succeed: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package rpq
 
 import (
+	"context"
 	"fmt"
 
 	"regexrw/internal/alphabet"
@@ -28,6 +29,13 @@ type PossibleRewriting struct {
 // RewritePossible computes the possibility rewriting of q0 wrt the
 // views over the grounded alphabet D.
 func RewritePossible(q0 *Query, views []View, t *theory.Interpretation) (*PossibleRewriting, error) {
+	return RewritePossibleContext(context.Background(), q0, views, t) // a background context never cancels and carries no budget
+}
+
+// RewritePossibleContext is RewritePossible with cooperative
+// cancellation and budget metering threaded into the groundings and the
+// possibility construction.
+func RewritePossibleContext(ctx context.Context, q0 *Query, views []View, t *theory.Interpretation) (*PossibleRewriting, error) {
 	if q0 == nil {
 		return nil, fmt.Errorf("rpq: nil query")
 	}
@@ -42,9 +50,20 @@ func RewritePossible(q0 *Query, views []View, t *theory.Interpretation) (*Possib
 			return nil, fmt.Errorf("rpq: duplicate view name %s", v.Name)
 		}
 		seen[v.Name] = true
-		viewNFAs[sigmaQ.Intern(v.Name)] = v.Query.Ground(t).RemoveEpsilon()
+		g, err := v.Query.GroundContext(ctx, t)
+		if err != nil {
+			return nil, err
+		}
+		viewNFAs[sigmaQ.Intern(v.Name)] = g.RemoveEpsilon()
 	}
-	p := core.PossibilityRewritingAutomata(q0.Ground(t), sigmaQ, viewNFAs)
+	g0, err := q0.GroundContext(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.PossibilityRewritingAutomataContext(ctx, g0, sigmaQ, viewNFAs)
+	if err != nil {
+		return nil, err
+	}
 	return &PossibleRewriting{Possibility: p, Query: q0, Views: views, T: t}, nil
 }
 

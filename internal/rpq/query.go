@@ -13,11 +13,13 @@
 package rpq
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"regexrw/internal/alphabet"
 	"regexrw/internal/automata"
+	"regexrw/internal/budget"
 	"regexrw/internal/graph"
 	"regexrw/internal/regex"
 	"regexrw/internal/theory"
@@ -81,8 +83,22 @@ func (q *Query) String() string {
 // domain D of the theory: every φ-labeled transition becomes one
 // transition per constant a with T ⊨ φ(a). L(Q^g) = match(L(Q)).
 func (q *Query) Ground(t *theory.Interpretation) *automata.NFA {
+	out, _ := q.GroundContext(context.Background(), t) // a background context never cancels and carries no budget
+	return out
+}
+
+// GroundContext is Ground metered against the context's budget (stage
+// "rpq.ground"): grounding multiplies every formula edge by the number
+// of satisfying constants, so its output is dominated by transitions —
+// |Q| · |D| in the worst case — and each state's batch of grounded
+// edges is charged as transitions before moving on.
+func (q *Query) GroundContext(ctx context.Context, t *theory.Interpretation) (*automata.NFA, error) {
+	meter := budget.Enter(ctx, "rpq.ground")
 	fAlpha := alphabet.New()
 	fnfa := q.Expr.ToNFA(fAlpha).RemoveEpsilon()
+	if err := meter.AddStates(fnfa.NumStates()); err != nil {
+		return nil, err
+	}
 	out := automata.NewNFA(t.Domain())
 	out.AddStates(fnfa.NumStates())
 	out.SetStart(fnfa.Start())
@@ -93,17 +109,22 @@ func (q *Query) Ground(t *theory.Interpretation) *automata.NFA {
 	}
 	for s := 0; s < fnfa.NumStates(); s++ {
 		out.SetAccept(automata.State(s), fnfa.Accepting(automata.State(s)))
+		added := 0
 		// Sorted symbol order makes the grounded automaton's transition
 		// lists a pure function of the query, not of map iteration order.
 		for _, x := range fnfa.OutSymbolsSorted(automata.State(s)) {
 			for _, to := range fnfa.Successors(automata.State(s), x) {
 				for _, a := range sat[x] {
 					out.AddTransition(automata.State(s), a, to)
+					added++
 				}
 			}
 		}
+		if err := meter.AddTransitions(added); err != nil {
+			return nil, err
+		}
 	}
-	return out
+	return out, nil
 }
 
 // Matches reports whether the D-word (by constant names) matches some

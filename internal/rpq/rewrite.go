@@ -1,11 +1,13 @@
 package rpq
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"regexrw/internal/alphabet"
 	"regexrw/internal/automata"
+	"regexrw/internal/budget"
 	"regexrw/internal/core"
 	"regexrw/internal/graph"
 	"regexrw/internal/regex"
@@ -56,7 +58,17 @@ type Rewriting struct {
 }
 
 // Rewrite computes the Σ_Q-maximal rewriting of q0 wrt the views.
-func Rewrite(q0 *Query, views []View, t *theory.Interpretation, method Method) (*Rewriting, error) { //invariantcall:checked the embedded core.Rewriting is validated by the core constructors
+func Rewrite(q0 *Query, views []View, t *theory.Interpretation, method Method) (*Rewriting, error) { //invariantcall:checked delegates to RewriteContext
+	return RewriteContext(context.Background(), q0, views, t, method) // a background context never cancels and carries no budget
+}
+
+// RewriteContext is Rewrite with cooperative cancellation and resource
+// governance: every state-materializing step of the chosen method —
+// grounding, determinizations, the transfer or direct product BFS, the
+// class-compression grounding — is metered against the budget carried
+// by ctx (budget.With). A cancelled ctx aborts with its error; an
+// exhausted budget with a *budget.ExceededError naming the stage.
+func RewriteContext(ctx context.Context, q0 *Query, views []View, t *theory.Interpretation, method Method) (*Rewriting, error) { //invariantcall:checked the embedded core.Rewriting is validated by the core constructors
 	if q0 == nil {
 		return nil, fmt.Errorf("rpq: nil query")
 	}
@@ -73,22 +85,36 @@ func Rewrite(q0 *Query, views []View, t *theory.Interpretation, method Method) (
 		sigmaQ.Intern(v.Name)
 	}
 
-	e0 := q0.Ground(t)
-
 	var rw *core.Rewriting
+	var err error
 	switch method {
 	case Grounded:
+		e0, gerr := q0.GroundContext(ctx, t)
+		if gerr != nil {
+			return nil, gerr
+		}
 		viewNFAs := make(map[alphabet.Symbol]*automata.NFA, len(views))
 		for _, v := range views {
-			viewNFAs[sigmaQ.Lookup(v.Name)] = v.Query.Ground(t).RemoveEpsilon()
+			g, gerr := v.Query.GroundContext(ctx, t)
+			if gerr != nil {
+				return nil, gerr
+			}
+			viewNFAs[sigmaQ.Lookup(v.Name)] = g.RemoveEpsilon()
 		}
-		rw = core.MaximalRewritingAutomata(e0, sigmaQ, viewNFAs)
+		rw, err = core.MaximalRewritingAutomataContext(ctx, e0, sigmaQ, viewNFAs)
 	case Direct:
-		rw = directRewriting(e0, sigmaQ, views, t)
+		e0, gerr := q0.GroundContext(ctx, t)
+		if gerr != nil {
+			return nil, gerr
+		}
+		rw, err = directRewriting(ctx, e0, sigmaQ, views, t)
 	case Compressed:
-		rw = compressedRewriting(q0, sigmaQ, views, t)
+		rw, err = compressedRewriting(ctx, q0, sigmaQ, views, t)
 	default:
 		return nil, fmt.Errorf("rpq: unknown method %d", method)
+	}
+	if err != nil {
+		return nil, err
 	}
 	return &Rewriting{Rewriting: rw, Query: q0, Views: views, T: t}, nil
 }
@@ -99,7 +125,8 @@ func Rewrite(q0 *Query, views []View, t *theory.Interpretation, method Method) (
 // signatures drive every automaton of the construction identically, so
 // one representative per class suffices. The class alphabet has at most
 // min(|D|, 2^|F|) symbols.
-func compressedRewriting(q0 *Query, sigmaQ *alphabet.Alphabet, views []View, t *theory.Interpretation) *core.Rewriting {
+func compressedRewriting(ctx context.Context, q0 *Query, sigmaQ *alphabet.Alphabet, views []View, t *theory.Interpretation) (*core.Rewriting, error) {
+	meter := budget.Enter(ctx, "rpq.compress")
 	// Collect the distinct formulas (by printed form) across all queries.
 	var formulas []theory.Formula
 	seen := map[string]bool{}
@@ -153,9 +180,12 @@ func compressedRewriting(q0 *Query, sigmaQ *alphabet.Alphabet, views []View, t *
 		}
 		return out
 	}
-	groundClasses := func(q *Query) *automata.NFA {
+	groundClasses := func(q *Query) (*automata.NFA, error) {
 		fAlpha := alphabet.New()
 		fnfa := q.Expr.ToNFA(fAlpha).RemoveEpsilon()
+		if err := meter.AddStates(fnfa.NumStates()); err != nil {
+			return nil, err
+		}
 		out := automata.NewNFA(classAlpha)
 		out.AddStates(fnfa.NumStates())
 		if fnfa.Start() != automata.NoState {
@@ -167,24 +197,37 @@ func compressedRewriting(q0 *Query, sigmaQ *alphabet.Alphabet, views []View, t *
 		}
 		for s := 0; s < fnfa.NumStates(); s++ {
 			out.SetAccept(automata.State(s), fnfa.Accepting(automata.State(s)))
+			added := 0
 			// Sorted symbol order keeps the class-grounded automaton's
 			// transition lists deterministic.
 			for _, x := range fnfa.OutSymbolsSorted(automata.State(s)) {
 				for _, to := range fnfa.Successors(automata.State(s), x) {
 					for _, cls := range sat[x] {
 						out.AddTransition(automata.State(s), cls, to)
+						added++
 					}
 				}
 			}
+			if err := meter.AddTransitions(added); err != nil {
+				return nil, err
+			}
 		}
-		return out
+		return out, nil
 	}
 
 	viewNFAs := make(map[alphabet.Symbol]*automata.NFA, len(views))
 	for _, v := range views {
-		viewNFAs[sigmaQ.Lookup(v.Name)] = groundClasses(v.Query).RemoveEpsilon()
+		g, err := groundClasses(v.Query)
+		if err != nil {
+			return nil, err
+		}
+		viewNFAs[sigmaQ.Lookup(v.Name)] = g.RemoveEpsilon()
 	}
-	return core.MaximalRewritingAutomata(groundClasses(q0), sigmaQ, viewNFAs)
+	g0, err := groundClasses(q0)
+	if err != nil {
+		return nil, err
+	}
+	return core.MaximalRewritingAutomataContext(ctx, g0, sigmaQ, viewNFAs)
 }
 
 // directRewriting implements the Section 4.2 construction: it builds
@@ -195,9 +238,21 @@ func compressedRewriting(q0 *Query, sigmaQ *alphabet.Alphabet, views []View, t *
 // The grounded view automata Q_i^g are never materialized. Afterwards
 // the views map handed to the core layer is populated lazily-grounded
 // (needed only by Expand/exactness, which require D-level automata).
-func directRewriting(e0 *automata.NFA, sigmaQ *alphabet.Alphabet, views []View, t *theory.Interpretation) *core.Rewriting {
-	ad := automata.Determinize(e0).Minimize().Totalize()
+func directRewriting(ctx context.Context, e0 *automata.NFA, sigmaQ *alphabet.Alphabet, views []View, t *theory.Interpretation) (*core.Rewriting, error) {
+	meter := budget.Enter(ctx, "rpq.direct_product")
+	d, err := automata.DeterminizeContext(ctx, e0)
+	if err != nil {
+		return nil, err
+	}
+	m, err := d.MinimizeContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ad := m.Totalize()
 
+	if err := meter.AddStates(ad.NumStates()); err != nil {
+		return nil, err
+	}
 	ap := automata.NewNFA(sigmaQ)
 	ap.AddStates(ad.NumStates())
 	ap.SetStart(ad.Start())
@@ -215,13 +270,26 @@ func directRewriting(e0 *automata.NFA, sigmaQ *alphabet.Alphabet, views []View, 
 			sat[x] = t.Satisfiers(v.Query.Formulas[fAlpha.Name(x)])
 		}
 		for i := 0; i < ad.NumStates(); i++ {
-			for _, j := range directReach(fnfa, sat, ad, automata.State(i)) {
+			targets, err := directReach(meter, fnfa, sat, ad, automata.State(i))
+			if err != nil {
+				return nil, err
+			}
+			added := 0
+			for _, j := range targets {
 				ap.AddTransition(automata.State(i), e, j)
+				added++
+			}
+			if err := meter.AddTransitions(added); err != nil {
+				return nil, err
 			}
 		}
 	}
 
-	r := automata.Determinize(ap).Complement()
+	det, err := automata.DeterminizeContext(ctx, ap)
+	if err != nil {
+		return nil, err
+	}
+	r := det.Complement()
 	// Grounded view automata are needed only by the expansion-based
 	// checks (exactness, Σ-emptiness); supply them lazily so that the
 	// rewriting itself never grounds the views — the point of the
@@ -233,20 +301,28 @@ func directRewriting(e0 *automata.NFA, sigmaQ *alphabet.Alphabet, views []View, 
 		}
 		return out
 	}
-	return core.NewRewritingFromParts(ad, ap, r, e0.Alphabet(), sigmaQ, viewsFn)
+	return core.NewRewritingFromParts(ad, ap, r, e0.Alphabet(), sigmaQ, viewsFn), nil
 }
 
 // directReach returns the A_d states j reachable from i via some D-word
 // matching some F-word of the view automaton: BFS over the product K.
-func directReach(fnfa *automata.NFA, sat [][]alphabet.Symbol, ad *automata.DFA, i automata.State) []automata.State {
+// Each explored product pair is charged as a state on the caller's
+// meter; the BFS aborts on exhaustion or cancellation.
+func directReach(meter *budget.Meter, fnfa *automata.NFA, sat [][]alphabet.Symbol, ad *automata.DFA, i automata.State) ([]automata.State, error) {
 	if fnfa.Start() == automata.NoState {
-		return nil
+		return nil, nil
 	}
 	type pair struct{ v, d automata.State }
 	seen := map[pair]bool{{fnfa.Start(), i}: true}
 	queue := []pair{{fnfa.Start(), i}}
 	targets := map[automata.State]bool{}
+	charged := 0
 	for len(queue) > 0 {
+		// Charge the product pairs discovered since the last check.
+		if err := meter.AddStates(len(seen) - charged); err != nil {
+			return nil, err
+		}
+		charged = len(seen)
 		p := queue[0]
 		queue = queue[1:]
 		if fnfa.Accepting(p.v) {
@@ -275,7 +351,7 @@ func directReach(fnfa *automata.NFA, sat [][]alphabet.Symbol, ad *automata.DFA, 
 	// Sorted so that A' transition lists — visible through
 	// Rewriting.APrime and its DOT rendering — are deterministic.
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	return out
+	return out, nil
 }
 
 // RegexOverViews returns the rewriting as a regular expression over the

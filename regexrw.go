@@ -37,12 +37,57 @@ package regexrw
 import (
 	"context"
 
+	"regexrw/internal/budget"
 	"regexrw/internal/core"
 	"regexrw/internal/graph"
 	"regexrw/internal/regex"
 	"regexrw/internal/rpq"
 	"regexrw/internal/theory"
 )
+
+// ---- Resource governance ----
+//
+// Every construction here is exponential or worse — the maximal
+// rewriting is 2EXPTIME-complete (Theorem 5), exactness
+// 2EXPSPACE-complete (Theorem 9), and Theorem 8 exhibits inputs whose
+// rewriting must blow up doubly exponentially — so callers facing
+// untrusted inputs should govern each run with a Budget and a context
+// deadline:
+//
+//	b := regexrw.NewBudget(100_000, 0) // cap materialized states
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+//	defer cancel()
+//	r, err := regexrw.MaximalRewritingContext(regexrw.WithBudget(ctx, b), inst)
+//	var ex *regexrw.BudgetExceeded
+//	if errors.As(err, &ex) {
+//		// ex.Stage names the construction that gave out.
+//	}
+//
+// All ...Context entry points draw from the context's budget; the
+// non-Context conveniences run ungoverned.
+
+// Budget is a shared resource meter for one pipeline run: all stages
+// draw materialized states and transitions from the same pool.
+type Budget = budget.Budget
+
+// BudgetExceeded is the typed error a governed run fails with when a
+// cap trips; it records the pipeline stage, the resource, the limit
+// and the count that exceeded it.
+type BudgetExceeded = budget.ExceededError
+
+// NewBudget returns a budget capping the total number of materialized
+// automaton states and transitions; zero (or negative) means unlimited
+// for that resource.
+func NewBudget(maxStates, maxTransitions int) *Budget {
+	return budget.New(budget.MaxStates(maxStates), budget.MaxTransitions(maxTransitions))
+}
+
+// WithBudget returns a context carrying the budget; every ...Context
+// entry point downstream draws from it. Combine with
+// context.WithTimeout for a wall-clock deadline.
+func WithBudget(ctx context.Context, b *Budget) context.Context {
+	return budget.With(ctx, b)
+}
 
 // Expr is a parsed regular expression (AST).
 type Expr = regex.Node
@@ -111,6 +156,35 @@ func MaximalRewritingBounded(inst *Instance, maxStates int) (*Rewriting, error) 
 // exponential subset search.
 func PartialRewritingContext(ctx context.Context, inst *Instance) (*PartialResult, error) {
 	return core.PartialRewritingContext(ctx, inst)
+}
+
+// ExactVerdict is the three-valued outcome of a budgeted exactness
+// check: yes, no, or unknown when the budget gave out first.
+type ExactVerdict = core.ExactVerdict
+
+// The exactness verdicts.
+const (
+	ExactUnknown = core.ExactUnknown
+	ExactYes     = core.ExactYes
+	ExactNo      = core.ExactNo
+)
+
+// ExactnessReport is the outcome of Rewriting.TryExactness: the
+// verdict, the counterexample witness when the verdict is no, and the
+// stopping reason and stage when it is unknown.
+type ExactnessReport = core.ExactnessReport
+
+// AnytimePartialResult is the outcome of PartialRewritingAnytime: a
+// sound rewriting plus whether the search proved it exact before the
+// budget ran out.
+type AnytimePartialResult = core.AnytimePartialResult
+
+// PartialRewritingAnytime is the graceful-degradation variant of
+// PartialRewritingContext: when the budget or deadline gives out
+// mid-search it returns the sound best-so-far rewriting with
+// Exact=false and the stopping reason, instead of an error.
+func PartialRewritingAnytime(ctx context.Context, inst *Instance) (*AnytimePartialResult, error) {
+	return core.PartialRewritingAnytime(ctx, inst)
 }
 
 // ExistsExactRewriting reports whether the instance admits an exact
@@ -237,6 +311,17 @@ type RPQPartialResult = rpq.PartialResult
 // or elementary views (Section 4.3).
 func PartialRewriteRPQ(q0 *Query, views []RPQView, t *Theory, method RPQMethod) (*RPQPartialResult, error) {
 	return rpq.PartialRewrite(q0, views, t, rpq.DefaultCandidates(t), method)
+}
+
+// RPQAnytimePartialResult is the outcome of PartialRewriteRPQAnytime.
+type RPQAnytimePartialResult = rpq.AnytimePartialResult
+
+// PartialRewriteRPQAnytime is the graceful-degradation variant of
+// PartialRewriteRPQ: when the budget or deadline carried by ctx gives
+// out mid-search it returns the sound rewriting over the original
+// views with Exact=false and the stopping reason, instead of an error.
+func PartialRewriteRPQAnytime(ctx context.Context, q0 *Query, views []RPQView, t *Theory, method RPQMethod) (*RPQAnytimePartialResult, error) {
+	return rpq.PartialRewriteAnytime(ctx, q0, views, t, rpq.DefaultCandidates(t), method)
 }
 
 // RPQPossibleRewriting is the possibility rewriting of a path query:
