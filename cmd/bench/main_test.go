@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives the CLI end to end at the smoke size: write a
+// report, then re-run against it with the schema compare and the
+// regression guard enabled. This is the same invocation shape CI uses
+// with -sizes tiny against the committed BENCH_pipeline.json.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke run in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr strings.Builder
+	if rc := run([]string{"-sizes", "smoke", "-out", out, "-check"}, &stdout, &stderr); rc != 0 {
+		t.Fatalf("first run exited %d: %s", rc, stderr.String())
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "regression guard passed") {
+		t.Fatalf("missing guard confirmation in output:\n%s", stdout.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if rc := run([]string{"-sizes", "smoke", "-against", out}, &stdout, &stderr); rc != 0 {
+		t.Fatalf("compare run exited %d: %s", rc, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "schema and coverage match") {
+		t.Fatalf("missing schema confirmation in output:\n%s", stdout.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if rc := run([]string{"-no-such-flag"}, &stdout, &stderr); rc != 2 {
+		t.Fatalf("unknown flag: got exit %d, want 2", rc)
+	}
+	if rc := run([]string{"-sizes", "galactic"}, &stdout, &stderr); rc != 2 {
+		t.Fatalf("unknown size class: got exit %d, want 2", rc)
+	}
+	if rc := run([]string{"-sizes", "smoke", "-against", "/nonexistent/ref.json"}, &stdout, &stderr); rc != 1 {
+		t.Fatalf("missing reference: got exit %d, want 1", rc)
+	}
+}

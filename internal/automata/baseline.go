@@ -1,0 +1,81 @@
+package automata
+
+import (
+	"sort"
+
+	"regexrw/internal/alphabet"
+)
+
+// DeterminizeUnmemoized is the subset construction as it existed before
+// the shared memoization layer (cache.go): subsets are interned through
+// a map keyed by bitset.key() — one string allocation per probe — and
+// every subset recomputes its members' ε-closures by DFS instead of
+// unioning precomputed step sets. It produces a DFA with exactly the
+// same state numbering as Determinize (the memo rewrite preserves
+// discovery order), which makes it a differential oracle for the
+// optimized path and the in-run baseline of the bench pipeline's
+// determinization families (cmd/bench).
+func DeterminizeUnmemoized(n *NFA) *DFA {
+	d := NewDFA(n.Alphabet())
+	if n.Start() == NoState {
+		d.SetStart(d.AddState())
+		return d
+	}
+	nStates := n.NumStates()
+
+	startSet := newBitset(nStates)
+	startSet.add(int(n.Start()))
+	n.epsClosure(startSet)
+
+	subsets := map[string]State{}
+	var sets []*bitset
+	newSubset := func(set *bitset) State {
+		s := d.AddState()
+		sets = append(sets, set)
+		subsets[set.key()] = s
+		acc := false
+		for _, q := range set.slice() {
+			if n.accept[q] {
+				acc = true
+				break
+			}
+		}
+		d.SetAccept(s, acc)
+		return s
+	}
+	d.SetStart(newSubset(startSet))
+
+	for i := 0; i < len(sets); i++ {
+		set := sets[i]
+		var syms []alphabet.Symbol
+		seen := map[alphabet.Symbol]bool{}
+		for _, q := range set.slice() {
+			for x := range n.trans[q] { //mapiter:unordered collecting into a set; sorted before use below
+				if !seen[x] {
+					seen[x] = true
+					syms = append(syms, x)
+				}
+			}
+		}
+		sort.Slice(syms, func(a, b int) bool { return syms[a] < syms[b] })
+		for _, x := range syms {
+			next := newBitset(nStates)
+			for _, q := range set.slice() {
+				for _, t := range n.trans[q][x] {
+					next.add(int(t))
+				}
+			}
+			if next.empty() {
+				continue
+			}
+			n.epsClosure(next)
+			to, ok := subsets[next.key()]
+			if !ok {
+				to = newSubset(next)
+			}
+			d.SetTransition(State(i), x, to)
+		}
+	}
+	debugValidateDFA(d)
+	return d
+}

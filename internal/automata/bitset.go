@@ -36,18 +36,58 @@ func (b *bitset) count() int {
 
 // slice returns the elements in increasing order.
 func (b *bitset) slice() []int {
-	out := make([]int, 0, b.count())
+	return b.appendTo(make([]int, 0, b.count()))
+}
+
+// appendTo appends the elements in increasing order to dst and returns
+// it; hot loops pass a reused buffer to avoid the per-call allocation
+// of slice().
+func (b *bitset) appendTo(dst []int) []int {
 	for wi, w := range b.words {
 		for w != 0 {
 			tz := bits.TrailingZeros64(w)
-			out = append(out, wi*64+tz)
+			dst = append(dst, wi*64+tz)
 			w &= w - 1
 		}
 	}
-	return out
+	return dst
+}
+
+// clear removes every element, keeping the capacity.
+func (b *bitset) clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// unionWith ors o into b (capacities must match) and reports whether b
+// changed.
+func (b *bitset) unionWith(o *bitset) bool {
+	changed := false
+	for i, w := range o.words {
+		if b.words[i]|w != b.words[i] {
+			b.words[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// hash returns an FNV-1a hash of the set contents, the probe key of the
+// interner (cache.go). Unlike key() it allocates nothing.
+func (b *bitset) hash() uint64 {
+	h := uint64(14695981039346656037)
+	for _, w := range b.words {
+		h ^= w
+		h *= 1099511628211
+	}
+	return h
 }
 
 // key returns a string usable as a map key identifying the set contents.
+// The subset-construction hot paths intern through bitset hashes instead
+// (cache.go) to avoid the per-probe allocation; key() remains as the
+// simple oracle the interner is tested against.
 func (b *bitset) key() string {
 	buf := make([]byte, len(b.words)*8)
 	for i, w := range b.words {

@@ -1,0 +1,260 @@
+package automata
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"regexrw/internal/alphabet"
+)
+
+// This file is the shared memoization layer of the automata hot path.
+// Two structures carry it:
+//
+//   - interner: a hash-bucketed bitset → dense-id table that replaces
+//     the map[string]State subset tables of the subset constructions.
+//     Probing hashes the bitset's words directly, so the per-probe
+//     string allocation of bitset.key() disappears from the hot loops
+//     (see BenchmarkSubsetProbe).
+//   - nfaMemo: a per-NFA table of single-state ε-closures, per-
+//     (state, symbol) stepper sets (successors with the closure already
+//     applied) and the accepting set as a bitset. It is built once per
+//     automaton structure and shared by Determinize, RemoveEpsilon and
+//     ContainedInContext — the repeated ε-closure DFS walks those loops
+//     used to pay per subset are replaced by word-wide bitset unions.
+//
+// Cache invariants (docs/PERFORMANCE.md §3 spells out the argument):
+//
+//   - an interner is local to one construction call; ids are dense and
+//     allocated in discovery order, so they can double as DFA state ids;
+//   - a nfaMemo is valid for exactly one value of the NFA's mutation
+//     counter (gen); every structural mutator bumps gen, and memoTables
+//     rebuilds on mismatch. Readers access the memo through an atomic
+//     pointer, so concurrent read-only pipelines over a shared NFA are
+//     race-free; concurrent mutation was never supported and remains so.
+
+// cacheCounters aggregates cache effectiveness across the process; the
+// bench pipeline reads and resets it around timed sections.
+var cacheCounters struct {
+	subsetHits   atomic.Int64
+	subsetMisses atomic.Int64
+	memoBuilds   atomic.Int64
+	memoReuses   atomic.Int64
+}
+
+// CacheStats is a snapshot of the subset-interner and ε-closure-memo
+// counters. SubsetHits/SubsetMisses count interner probes that found /
+// created a subset id; MemoBuilds/MemoReuses count per-NFA memo table
+// constructions vs reuses.
+type CacheStats struct {
+	SubsetHits   int64
+	SubsetMisses int64
+	MemoBuilds   int64
+	MemoReuses   int64
+}
+
+// SubsetHitRate returns SubsetHits / (SubsetHits + SubsetMisses), or 0
+// when no probe happened.
+func (s CacheStats) SubsetHitRate() float64 {
+	total := s.SubsetHits + s.SubsetMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.SubsetHits) / float64(total)
+}
+
+// ReadCacheStats returns the current cache counters.
+func ReadCacheStats() CacheStats {
+	return CacheStats{
+		SubsetHits:   cacheCounters.subsetHits.Load(),
+		SubsetMisses: cacheCounters.subsetMisses.Load(),
+		MemoBuilds:   cacheCounters.memoBuilds.Load(),
+		MemoReuses:   cacheCounters.memoReuses.Load(),
+	}
+}
+
+// ResetCacheStats zeroes the cache counters.
+func ResetCacheStats() {
+	cacheCounters.subsetHits.Store(0)
+	cacheCounters.subsetMisses.Store(0)
+	cacheCounters.memoBuilds.Store(0)
+	cacheCounters.memoReuses.Store(0)
+}
+
+// interner assigns dense ids to bitsets without allocating string keys:
+// a probe hashes the words (FNV-1a) into a bucket of candidate ids and
+// compares word-for-word. Ids are allocated in first-probe order, which
+// is what lets the subset constructions use them directly as DFA state
+// numbers. Hit/miss counts accumulate locally (the hot loop touches no
+// atomics) and flush into the process counters via flushStats.
+type interner struct {
+	buckets map[uint64][]int32
+	sets    []*bitset
+	hits    int64
+	misses  int64
+}
+
+func newInterner() *interner {
+	return &interner{buckets: make(map[uint64][]int32)}
+}
+
+// intern returns the id of the set, adding it if absent. The bitset is
+// retained on a miss; callers must not mutate it afterwards.
+func (it *interner) intern(b *bitset) (id int, isNew bool) {
+	h := b.hash()
+	for _, cand := range it.buckets[h] {
+		if it.sets[cand].equal(b) {
+			it.hits++
+			return int(cand), false
+		}
+	}
+	n := int32(len(it.sets))
+	it.sets = append(it.sets, b)
+	it.buckets[h] = append(it.buckets[h], n)
+	it.misses++
+	return int(n), true
+}
+
+// internClone is intern for callers that reuse a scratch set between
+// probes: the set is cloned only when it is actually new, so a probe
+// that hits allocates nothing at all.
+func (it *interner) internClone(b *bitset) (id int, isNew bool) {
+	h := b.hash()
+	for _, cand := range it.buckets[h] {
+		if it.sets[cand].equal(b) {
+			it.hits++
+			return int(cand), false
+		}
+	}
+	n := int32(len(it.sets))
+	it.sets = append(it.sets, b.clone())
+	it.buckets[h] = append(it.buckets[h], n)
+	it.misses++
+	return int(n), true
+}
+
+// len returns the number of interned sets.
+func (it *interner) len() int { return len(it.sets) }
+
+// at returns the interned set with the given id.
+func (it *interner) at(id int) *bitset { return it.sets[id] }
+
+// flushStats adds the interner's local hit/miss counts to the process
+// counters. Call once (deferred) per construction.
+func (it *interner) flushStats() {
+	if it.hits > 0 {
+		cacheCounters.subsetHits.Add(it.hits)
+	}
+	if it.misses > 0 {
+		cacheCounters.subsetMisses.Add(it.misses)
+	}
+	it.hits, it.misses = 0, 0
+}
+
+// nfaMemo is the per-NFA closure/stepper table. All bitsets have the
+// automaton's state count as capacity. It is immutable once built.
+// The step table is dense by symbol (indexed, not a map) so the subset
+// constructions probe it with one bounds-checked load per (state,
+// symbol) — map machinery showed up heavily in profiles of the hot
+// loop.
+type nfaMemo struct {
+	numStates int
+	// alphaLen is the alphabet size at build time; the alphabet may
+	// intern further symbols afterwards without mutating the automaton,
+	// so readers bounds-check symbol ids against the step rows.
+	alphaLen int
+	// accepting has bit s set iff state s accepts; subset acceptance is
+	// one intersects() instead of a per-member scan.
+	accepting *bitset
+	// closure[s] is the ε-closure of {s} (always contains s).
+	closure []*bitset
+	// step[s][x] is the ε-closure of the x-successors of s (nil when s
+	// has no x-transition; step[s] is nil when s has none at all).
+	// Because ε-closure distributes over union, the successor subset of
+	// any state set S on x is the union of step[q][x] over q ∈ S — no
+	// closure pass afterwards.
+	step [][]*bitset
+	// stateSyms[s] lists the symbols with a transition out of s, in
+	// increasing order; syms is their sorted union over all states.
+	// Together they let a subset construction enumerate a subset's
+	// outgoing symbols in deterministic order without a map or a sort
+	// per subset.
+	stateSyms [][]alphabet.Symbol
+	syms      []alphabet.Symbol
+}
+
+// memoBox pairs a memo with the mutation generation it was built for.
+type memoBox struct {
+	gen  int64
+	memo *nfaMemo
+}
+
+// memoTables returns the closure/stepper memo valid for the automaton's
+// current structure, building it on first use. Structural mutators bump
+// n.gen, so a stale memo is detected and rebuilt. Concurrent readers of
+// an immutable NFA may race to build; every built table is equally
+// valid and the last Store wins — the others are garbage-collected.
+func (n *NFA) memoTables() *nfaMemo {
+	gen := atomic.LoadInt64(&n.gen)
+	if box := n.memo.Load(); box != nil && box.gen == gen {
+		cacheCounters.memoReuses.Add(1)
+		return box.memo
+	}
+	m := n.buildMemo()
+	n.memo.Store(&memoBox{gen: gen, memo: m})
+	cacheCounters.memoBuilds.Add(1)
+	return m
+}
+
+// invalidateMemo marks any cached memo stale. Called by every
+// structural mutator (AddState, AddTransition, AddEpsilon, SetAccept).
+func (n *NFA) invalidateMemo() {
+	atomic.AddInt64(&n.gen, 1)
+}
+
+func (n *NFA) buildMemo() *nfaMemo {
+	ns := n.NumStates()
+	al := n.alpha.Len()
+	m := &nfaMemo{
+		numStates: ns,
+		alphaLen:  al,
+		accepting: newBitset(ns),
+		closure:   make([]*bitset, ns),
+		step:      make([][]*bitset, ns),
+		stateSyms: make([][]alphabet.Symbol, ns),
+	}
+	for s := 0; s < ns; s++ {
+		if n.accept[s] {
+			m.accepting.add(s)
+		}
+		c := newBitset(ns)
+		c.add(s)
+		n.epsClosure(c)
+		m.closure[s] = c
+	}
+	inSyms := make([]bool, al)
+	for s := 0; s < ns; s++ {
+		if len(n.trans[s]) == 0 {
+			continue
+		}
+		tbl := make([]*bitset, al)
+		syms := make([]alphabet.Symbol, 0, len(n.trans[s]))
+		for x, ts := range n.trans[s] { //mapiter:unordered building a symbol-indexed table; stateSyms is sorted below
+			set := newBitset(ns)
+			for _, t := range ts {
+				set.unionWith(m.closure[t])
+			}
+			tbl[x] = set
+			syms = append(syms, x)
+			inSyms[x] = true
+		}
+		sort.Slice(syms, func(a, b int) bool { return syms[a] < syms[b] })
+		m.step[s] = tbl
+		m.stateSyms[s] = syms
+	}
+	for x := 0; x < al; x++ {
+		if inSyms[x] {
+			m.syms = append(m.syms, alphabet.Symbol(x))
+		}
+	}
+	return m
+}

@@ -1,0 +1,307 @@
+package automata
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"regexrw/internal/alphabet"
+)
+
+// TestInternerMatchesKeyMap drives the hash interner and the simple
+// string-keyed map it replaced with the same random probe sequence and
+// requires identical id assignments: key() is the oracle the interner
+// is tested against.
+func TestInternerMatchesKeyMap(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(200)
+		it := newInterner()
+		oracle := map[string]int{}
+		for probe := 0; probe < 500; probe++ {
+			b := newBitset(n)
+			for bits := r.Intn(8); bits > 0; bits-- {
+				b.add(r.Intn(n))
+			}
+			wantID, wantKnown := oracle[b.key()]
+			gotID, isNew := it.intern(b)
+			if wantKnown {
+				if isNew || gotID != wantID {
+					t.Fatalf("trial %d probe %d: interner gave (%d, new=%v), oracle %d", trial, probe, gotID, isNew, wantID)
+				}
+			} else {
+				if !isNew || gotID != len(oracle) {
+					t.Fatalf("trial %d probe %d: interner gave (%d, new=%v), want fresh id %d", trial, probe, gotID, isNew, len(oracle))
+				}
+				oracle[b.key()] = gotID
+			}
+			if !it.at(gotID).equal(b) {
+				t.Fatalf("trial %d: at(%d) does not round-trip the set", trial, gotID)
+			}
+		}
+		if it.len() != len(oracle) {
+			t.Fatalf("trial %d: interner holds %d sets, oracle %d", trial, it.len(), len(oracle))
+		}
+	}
+}
+
+// TestBitsetHashAgreesWithEqual: equal sets must hash equally (the
+// property interning relies on; collisions of unequal sets are fine).
+func TestBitsetHashAgreesWithEqual(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		n := 1 + r.Intn(150)
+		a, b := newBitset(n), newBitset(n)
+		for bits := r.Intn(10); bits > 0; bits-- {
+			x := r.Intn(n)
+			a.add(x)
+			b.add(x)
+		}
+		if !a.equal(b) || a.hash() != b.hash() {
+			t.Fatalf("equal sets with different hashes: %x vs %x", a.hash(), b.hash())
+		}
+	}
+}
+
+// TestMemoInvalidation: every structural mutator must invalidate the
+// memo so later reads see the new structure.
+func TestMemoInvalidation(t *testing.T) {
+	a := alphabet.New()
+	x := a.Intern("x")
+	n := NewNFA(a)
+	s0 := n.AddState()
+	s1 := n.AddState()
+	n.SetStart(s0)
+	n.AddTransition(s0, x, s1)
+
+	m1 := n.memoTables()
+	if m1.accepting.has(int(s1)) {
+		t.Fatal("s1 should not accept yet")
+	}
+	if m2 := n.memoTables(); m2 != m1 {
+		t.Fatal("memo not reused on an unmodified automaton")
+	}
+
+	n.SetAccept(s1, true)
+	m3 := n.memoTables()
+	if m3 == m1 {
+		t.Fatal("SetAccept did not invalidate the memo")
+	}
+	if !m3.accepting.has(int(s1)) {
+		t.Fatal("rebuilt memo misses the new accepting state")
+	}
+
+	n.AddEpsilon(s0, s1)
+	m4 := n.memoTables()
+	if m4 == m3 {
+		t.Fatal("AddEpsilon did not invalidate the memo")
+	}
+	if !m4.closure[s0].has(int(s1)) {
+		t.Fatal("rebuilt memo misses the new ε-edge in the closure")
+	}
+
+	s2 := n.AddState()
+	m5 := n.memoTables()
+	if m5 == m4 || m5.numStates != 3 {
+		t.Fatal("AddState did not invalidate/resize the memo")
+	}
+
+	n.AddTransition(s1, x, s2)
+	m6 := n.memoTables()
+	if m6 == m5 {
+		t.Fatal("AddTransition did not invalidate the memo")
+	}
+	if st := m6.step[s1][x]; st == nil || !st.has(int(s2)) {
+		t.Fatal("rebuilt memo misses the new transition in the step table")
+	}
+}
+
+// TestMemoStepMatchesClosure: step[s][x] must equal the ε-closure of
+// the x-successors of s, checked against a direct computation on random
+// automata.
+func TestMemoStepMatchesClosure(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := randomCodecNFA(r)
+		memo := n.memoTables()
+		ns := n.NumStates()
+		for s := 0; s < ns; s++ {
+			for _, x := range n.OutSymbolsSorted(State(s)) {
+				want := newBitset(ns)
+				for _, t2 := range n.Successors(State(s), x) {
+					want.add(int(t2))
+				}
+				n.epsClosure(want)
+				if got := memo.step[s][x]; got == nil || !got.equal(want) {
+					t.Fatalf("trial %d: step[%d][%v] mismatch", trial, s, x)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentDeterminizeSharedNFA hammers Determinize and
+// ContainedIn on one shared ε-free NFA from many goroutines: the lazy
+// memo build races benignly (atomic pointer, last store wins) and every
+// result must equal the sequential reference. Run under -race this is
+// the regression test for the concurrent read-only contract.
+func TestConcurrentDeterminizeSharedNFA(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		n := randomCodecNFA(r)
+		ref := Determinize(n)
+		var wg sync.WaitGroup
+		errs := make(chan error, 16)
+		for g := 0; g < 16; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				d := Determinize(n)
+				if !EquivalentDFA(d, ref) {
+					errs <- fmt.Errorf("trial %d: concurrent determinize diverged", trial)
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDeterminizeAgainstBitsetOracle cross-checks the memo+interner
+// subset construction against languages: determinize random NFAs and
+// verify DFA ≡ NFA.
+func TestDeterminizeAgainstBitsetOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := randomCodecNFA(r)
+		d := Determinize(n)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid DFA: %v", trial, err)
+		}
+		if !Equivalent(n, d.NFA()) {
+			t.Fatalf("trial %d: determinization changed the language", trial)
+		}
+	}
+}
+
+// benchProbeSets builds a workload of subset probes with repeats, the
+// access pattern of a subset construction (each successor subset is
+// probed once per incoming edge).
+func benchProbeSets(nStates, distinct, probes int) []*bitset {
+	r := rand.New(rand.NewSource(6))
+	base := make([]*bitset, distinct)
+	for i := range base {
+		b := newBitset(nStates)
+		for k := 0; k < 1+r.Intn(6); k++ {
+			b.add(r.Intn(nStates))
+		}
+		base[i] = b
+	}
+	out := make([]*bitset, probes)
+	for i := range out {
+		out[i] = base[r.Intn(distinct)]
+	}
+	return out
+}
+
+// BenchmarkSubsetProbe compares the retired map[string] probe (one
+// string allocation per lookup via bitset.key()) with the interner
+// probe (zero allocations): run with -benchmem to see allocs/op drop
+// from ≥1 to 0 on the hot path.
+func BenchmarkSubsetProbe(b *testing.B) {
+	sets := benchProbeSets(256, 64, 4096)
+	b.Run("stringKey", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := map[string]int{}
+			for _, s := range sets {
+				k := s.key()
+				if _, ok := m[k]; !ok {
+					m[k] = len(m)
+				}
+			}
+		}
+	})
+	b.Run("interned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			it := newInterner()
+			for _, s := range sets {
+				it.intern(s)
+			}
+		}
+	})
+}
+
+// TestDeterminizeMatchesUnmemoized: the memoized subset construction
+// must produce the SAME DFA (state numbering included) as the retained
+// pre-memoization reference, on random automata.
+func TestDeterminizeMatchesUnmemoized(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := randomCodecNFA(r)
+		got := Determinize(n)
+		want := DeterminizeUnmemoized(n)
+		if got.NumStates() != want.NumStates() {
+			t.Fatalf("trial %d: %d states vs reference %d", trial, got.NumStates(), want.NumStates())
+		}
+		for s := 0; s < got.NumStates(); s++ {
+			if got.Accepting(State(s)) != want.Accepting(State(s)) {
+				t.Fatalf("trial %d: acceptance differs at state %d", trial, s)
+			}
+		}
+		if got.Start() != want.Start() {
+			t.Fatalf("trial %d: start differs", trial)
+		}
+		for s := 0; s < got.NumStates(); s++ {
+			for _, x := range n.Alphabet().Symbols() {
+				if got.Next(State(s), x) != want.Next(State(s), x) {
+					t.Fatalf("trial %d: transition (%d, %v) differs", trial, s, x)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkDeterminizeMemoized compares the memoized subset
+// construction with the retained reference on the THM5 blowup family's
+// query NFA (the pipeline's hottest determinization shape).
+func BenchmarkDeterminizeMemoized(b *testing.B) {
+	build := func(n int) *NFA {
+		// (a+b)*·a·(a+b)^{n-1} built directly: state 0 loops on a,b; a
+		// chain of n states follows the distinguished a.
+		a := alphabet.New()
+		sa, sb := a.Intern("a"), a.Intern("b")
+		nfa := NewNFA(a)
+		nfa.AddStates(n + 1)
+		nfa.SetStart(0)
+		nfa.AddTransition(0, sa, 0)
+		nfa.AddTransition(0, sb, 0)
+		nfa.AddTransition(0, sa, 1)
+		for i := 1; i < n; i++ {
+			nfa.AddTransition(State(i), sa, State(i+1))
+			nfa.AddTransition(State(i), sb, State(i+1))
+		}
+		nfa.SetAccept(State(n), true)
+		return nfa
+	}
+	for _, n := range []int{10, 14} {
+		nfa := build(n)
+		b.Run(fmt.Sprintf("memoized/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Determinize(nfa)
+			}
+		})
+		b.Run(fmt.Sprintf("unmemoized/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				DeterminizeUnmemoized(nfa)
+			}
+		})
+	}
+}

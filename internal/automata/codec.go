@@ -60,8 +60,19 @@ func (n *NFA) WriteTo(w io.Writer) (int64, error) {
 	return total, nil
 }
 
+// maxCodecStates bounds the state count ReadNFA accepts. The cap keeps
+// a corrupt or adversarial "states N" line (N in the billions) from
+// allocating the per-state tables before any real data is seen; every
+// automaton the pipeline legitimately serializes is orders of magnitude
+// smaller.
+const maxCodecStates = 1 << 20
+
 // ReadNFA parses the format written by WriteTo into a new NFA over the
-// given alphabet (symbols are interned as encountered).
+// given alphabet (symbols are interned as encountered). Malformed input
+// — truncated, corrupted, or with out-of-range state references —
+// returns an error; ReadNFA never panics and never allocates
+// proportionally to unvalidated input (state counts above an internal
+// cap are rejected).
 func ReadNFA(r io.Reader, a *alphabet.Alphabet) (*NFA, error) {
 	n := NewNFA(a)
 	sc := bufio.NewScanner(r)
@@ -92,6 +103,9 @@ func ReadNFA(r io.Reader, a *alphabet.Alphabet) (*NFA, error) {
 			var k int
 			if _, err := fmt.Sscanf(fields[1], "%d", &k); err != nil || k < 0 {
 				return nil, fmt.Errorf("automata: line %d: bad state count %q", lineNo, fields[1])
+			}
+			if k > maxCodecStates {
+				return nil, fmt.Errorf("automata: line %d: state count %d exceeds limit %d", lineNo, k, maxCodecStates)
 			}
 			n.AddStates(k)
 			sawStates = true

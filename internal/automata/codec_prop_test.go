@@ -1,0 +1,152 @@
+package automata
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"regexrw/internal/alphabet"
+)
+
+// randomNFA builds a random automaton directly (not via regex
+// compilation) so that the codec sees shapes the rest of the pipeline
+// never produces: unreachable states, accepting states with no path,
+// ε-cycles.
+func randomCodecNFA(r *rand.Rand) *NFA {
+	a := alphabet.New()
+	symbols := make([]alphabet.Symbol, 1+r.Intn(4))
+	for i := range symbols {
+		symbols[i] = a.Intern(fmt.Sprintf("s%d", i))
+	}
+	n := NewNFA(a)
+	states := 1 + r.Intn(8)
+	n.AddStates(states)
+	n.SetStart(State(r.Intn(states)))
+	for s := 0; s < states; s++ {
+		if r.Float64() < 0.3 {
+			n.SetAccept(State(s), true)
+		}
+		for t := 0; t < states; t++ {
+			if r.Float64() < 0.2 {
+				n.AddTransition(State(s), symbols[r.Intn(len(symbols))], State(t))
+			}
+			if s != t && r.Float64() < 0.1 {
+				n.AddEpsilon(State(s), State(t))
+			}
+		}
+	}
+	return n
+}
+
+// TestCodecRoundTripProperty: for random automata, Write→Read must
+// preserve the language, and the serialization must be stable after one
+// round trip (symbol ids in a fresh alphabet follow appearance order,
+// so the very first write can order transitions differently; from then
+// on every write must agree byte for byte).
+func TestCodecRoundTripProperty(t *testing.T) {
+	iters := 300
+	if testing.Short() {
+		iters = 60
+	}
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < iters; i++ {
+		n := randomCodecNFA(r)
+		var buf strings.Builder
+		if _, err := n.WriteTo(&buf); err != nil {
+			t.Fatalf("iter %d: WriteTo: %v", i, err)
+		}
+		back, err := ReadNFA(strings.NewReader(buf.String()), alphabet.New())
+		if err != nil {
+			t.Fatalf("iter %d: ReadNFA: %v\ninput:\n%s", i, err, buf.String())
+		}
+		if !Equivalent(n, back) {
+			t.Fatalf("iter %d: round trip changed the language:\n%s", i, buf.String())
+		}
+		var buf2 strings.Builder
+		if _, err := back.WriteTo(&buf2); err != nil {
+			t.Fatalf("iter %d: re-serialize: %v", i, err)
+		}
+		back2, err := ReadNFA(strings.NewReader(buf2.String()), alphabet.New())
+		if err != nil {
+			t.Fatalf("iter %d: second ReadNFA: %v\ninput:\n%s", i, err, buf2.String())
+		}
+		var buf3 strings.Builder
+		if _, err := back2.WriteTo(&buf3); err != nil {
+			t.Fatalf("iter %d: third serialize: %v", i, err)
+		}
+		if buf2.String() != buf3.String() {
+			t.Fatalf("iter %d: serialization not stable after round trip:\n--- second ---\n%s\n--- third ---\n%s",
+				i, buf2.String(), buf3.String())
+		}
+	}
+}
+
+// TestCodecTruncationProperty: every prefix of a valid serialization
+// must either parse (a shorter valid automaton) or return an error —
+// never panic. Parsed prefixes must still validate.
+func TestCodecTruncationProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for i := 0; i < 50; i++ {
+		n := randomCodecNFA(r)
+		var buf strings.Builder
+		if _, err := n.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		full := buf.String()
+		for cut := 0; cut <= len(full); cut++ {
+			got, err := ReadNFA(strings.NewReader(full[:cut]), alphabet.New())
+			if err != nil {
+				continue
+			}
+			if verr := got.Validate(); verr != nil {
+				t.Fatalf("iter %d cut %d: parsed prefix is invalid: %v\nprefix:\n%s", i, cut, verr, full[:cut])
+			}
+		}
+	}
+}
+
+// TestCodecCorruptionProperty: flipping one byte of a valid
+// serialization must produce either an error or a valid automaton —
+// never a panic or an invalid structure.
+func TestCodecCorruptionProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	for i := 0; i < 30; i++ {
+		n := randomCodecNFA(r)
+		var buf strings.Builder
+		if _, err := n.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		full := []byte(buf.String())
+		for j := 0; j < 40; j++ {
+			pos := r.Intn(len(full))
+			corrupted := append([]byte(nil), full...)
+			corrupted[pos] = byte(r.Intn(256))
+			got, err := ReadNFA(strings.NewReader(string(corrupted)), alphabet.New())
+			if err != nil {
+				continue
+			}
+			if verr := got.Validate(); verr != nil {
+				t.Fatalf("iter %d: corrupt input parsed into invalid automaton: %v\ninput:\n%s", i, verr, corrupted)
+			}
+		}
+	}
+}
+
+// TestCodecStateCap: adversarial "states N" headers with huge N are
+// rejected before allocation, not honored.
+func TestCodecStateCap(t *testing.T) {
+	for _, input := range []string{
+		"states 99999999999\n",
+		fmt.Sprintf("states %d\n", maxCodecStates+1),
+		"states 2000000\nstart 0\n",
+	} {
+		if _, err := ReadNFA(strings.NewReader(input), alphabet.New()); err == nil {
+			t.Fatalf("ReadNFA accepted oversized state count: %q", input)
+		}
+	}
+	// The cap itself is fine.
+	if _, err := ReadNFA(strings.NewReader(fmt.Sprintf("states %d\n", 1024)), alphabet.New()); err != nil {
+		t.Fatalf("ReadNFA rejected a reasonable state count: %v", err)
+	}
+}

@@ -125,22 +125,16 @@ func ContainedInContext(ctx context.Context, a, b *NFA) (bool, []alphabet.Symbol
 		sym    alphabet.Symbol
 	}
 
-	// Intern b-subsets once: the search then works with dense ids, and
-	// successor subsets are memoized per (subset id, symbol), so each
-	// subset's transition on each symbol is computed exactly once no
-	// matter how many a-states share it.
-	subsetIDs := map[string]int{}
-	var subsets []*bitset
-	intern := func(set *bitset) int {
-		key := set.key()
-		if id, ok := subsetIDs[key]; ok {
-			return id
-		}
-		id := len(subsets)
-		subsetIDs[key] = id
-		subsets = append(subsets, set)
-		return id
-	}
+	// Intern b-subsets once through the shared hash interner (cache.go;
+	// no string-key allocation per probe): the search then works with
+	// dense ids, and successor subsets are memoized per (subset id,
+	// symbol), so each subset's transition on each symbol is computed
+	// exactly once no matter how many a-states share it. The b-side
+	// closure/stepper memo supplies per-state successor sets and the
+	// accepting set, shared with any other pipeline stage using eb.
+	bMemo := eb.memoTables()
+	it := newInterner()
+	defer it.flushStats()
 	type step struct {
 		bid int
 		x   alphabet.Symbol
@@ -152,14 +146,16 @@ func ContainedInContext(ctx context.Context, a, b *NFA) (bool, []alphabet.Symbol
 			return id
 		}
 		next := newBitset(nb)
-		if xb := aToB[x]; xb != alphabet.None {
-			for _, q := range subsets[bid].slice() {
-				for _, t := range eb.Successors(State(q), xb) {
-					next.add(int(t))
+		if xb := aToB[x]; xb != alphabet.None && int(xb) < bMemo.alphaLen {
+			for _, q := range it.at(bid).slice() {
+				if tbl := bMemo.step[q]; tbl != nil {
+					if st := tbl[xb]; st != nil {
+						next.unionWith(st)
+					}
 				}
 			}
 		}
-		id := intern(next)
+		id, _ := it.intern(next)
 		succCache[k] = id
 		return id
 	}
@@ -168,22 +164,10 @@ func ContainedInContext(ctx context.Context, a, b *NFA) (bool, []alphabet.Symbol
 	if eb.Start() != NoState {
 		startB.add(int(eb.Start()))
 	}
-	startID := intern(startB)
+	startID, _ := it.intern(startB)
 
-	acceptsB := make(map[int]bool)
 	acceptsSubset := func(bid int) bool {
-		if v, ok := acceptsB[bid]; ok {
-			return v
-		}
-		v := false
-		for _, q := range subsets[bid].slice() {
-			if eb.Accepting(State(q)) {
-				v = true
-				break
-			}
-		}
-		acceptsB[bid] = v
-		return v
+		return it.at(bid).intersects(bMemo.accepting)
 	}
 
 	type cfg struct {
@@ -208,10 +192,10 @@ func ContainedInContext(ctx context.Context, a, b *NFA) (bool, []alphabet.Symbol
 	for i := 0; i < len(nodes); i++ {
 		// Charge the frontier nodes and interned b-subsets materialized
 		// since the last check (new ones are charged when their turn comes).
-		if err := meter.AddStates(len(nodes) + len(subsets) - charged); err != nil {
+		if err := meter.AddStates(len(nodes) + it.len() - charged); err != nil {
 			return false, nil, err
 		}
-		charged = len(nodes) + len(subsets)
+		charged = len(nodes) + it.len()
 		cur := nodes[i]
 		if ea.Accepting(cur.sa) && !acceptsSubset(cur.bid) {
 			return false, counterexample(i), nil

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 
 	"regexrw/internal/alphabet"
 	"regexrw/internal/budget"
@@ -82,72 +81,81 @@ func determinize(ctx context.Context, n *NFA) (*DFA, error) {
 	}
 	nStates := n.NumStates()
 
-	startSet := newBitset(nStates)
-	startSet.add(int(n.Start()))
-	n.epsClosure(startSet)
-
-	subsets := map[string]State{}
-	var sets []*bitset
+	// The shared closure/stepper memo (cache.go) supplies per-state
+	// ε-closures and closure-applied successor sets; the interner maps
+	// subsets to dense ids with no string-key allocation. Interner ids
+	// and DFA states are allocated in lockstep, so they coincide.
+	memo := n.memoTables()
+	it := newInterner()
+	defer it.flushStats()
 
 	newSubset := func(set *bitset) State {
 		s := d.AddState()
-		sets = append(sets, set)
-		subsets[set.key()] = s
-		acc := false
-		for _, q := range set.slice() {
-			if n.accept[q] {
-				acc = true
-				break
-			}
-		}
-		d.SetAccept(s, acc)
+		d.SetAccept(s, set.intersects(memo.accepting))
 		return s
 	}
 
-	start := newSubset(startSet)
-	d.SetStart(start)
+	startSet := memo.closure[n.Start()].clone()
+	it.intern(startSet)
+	d.SetStart(newSubset(startSet))
 
 	charged := 0
-	for i := 0; i < len(sets); i++ {
+	// Scratch buffers reused across every subset: the member list, the
+	// per-symbol presence flags (cleared via the collected list, not a
+	// full sweep) and the successor accumulator, which is cloned only
+	// when interning discovers a genuinely new subset.
+	var members []int
+	seenSym := make([]bool, memo.alphaLen)
+	collected := make([]alphabet.Symbol, 0, len(memo.syms))
+	scratch := newBitset(nStates)
+	for i := 0; i < it.len(); i++ {
 		// Charge the subsets materialized since the last check; new ones
 		// created below are charged at the top of their own iteration.
-		if err := meter.AddStates(len(sets) - charged); err != nil {
+		if err := meter.AddStates(it.len() - charged); err != nil {
 			return nil, err
 		}
-		charged = len(sets)
-		set := sets[i]
+		charged = it.len()
+		members = it.at(i).appendTo(members[:0])
 		// Collect the symbols leaving this subset, in symbol order: the
 		// order successors are first discovered in fixes the DFA's state
-		// numbering.
-		var syms []alphabet.Symbol
-		seen := map[alphabet.Symbol]bool{}
-		for _, q := range set.slice() {
-			for x := range n.trans[q] { //mapiter:unordered collecting into a set; sorted before use below
-				if !seen[x] {
-					seen[x] = true
-					syms = append(syms, x)
+		// numbering. Flagging against the precomputed per-state symbol
+		// lists and replaying memo.syms (globally sorted) yields exactly
+		// the sorted union, with no map and no per-subset sort.
+		collected = collected[:0]
+		for _, q := range members {
+			for _, x := range memo.stateSyms[q] {
+				if !seenSym[x] {
+					seenSym[x] = true
+					collected = append(collected, x)
 				}
 			}
 		}
-		sort.Slice(syms, func(a, b int) bool { return syms[a] < syms[b] })
 		added := 0
-		for _, x := range syms {
-			next := newBitset(nStates)
-			for _, q := range set.slice() {
-				for _, t := range n.trans[q][x] {
-					next.add(int(t))
+		if len(collected) > 0 {
+			for _, x := range memo.syms {
+				if !seenSym[x] {
+					continue
 				}
+				scratch.clear()
+				for _, q := range members {
+					if tbl := memo.step[q]; tbl != nil {
+						if st := tbl[x]; st != nil {
+							scratch.unionWith(st)
+						}
+					}
+				}
+				// Step sets are never empty, and at least one member has an
+				// x-transition (seenSym), so scratch is nonempty here.
+				id, isNew := it.internClone(scratch)
+				if isNew {
+					newSubset(it.at(id))
+				}
+				d.SetTransition(State(i), x, State(id))
+				added++
 			}
-			if next.empty() {
-				continue
+			for _, x := range collected {
+				seenSym[x] = false
 			}
-			n.epsClosure(next)
-			to, ok := subsets[next.key()]
-			if !ok {
-				to = newSubset(next)
-			}
-			d.SetTransition(State(i), x, to)
-			added++
 		}
 		if err := meter.AddTransitions(added); err != nil {
 			return nil, err

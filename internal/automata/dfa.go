@@ -442,18 +442,19 @@ func reverseDeterminize(d *DFA) *DFA {
 			start.add(s)
 		}
 	}
-	subsets := map[string]State{}
-	var sets []*bitset
+	// Interner ids double as output DFA state numbers: both are allocated
+	// in discovery order (cache.go).
+	it := newInterner()
+	defer it.flushStats()
 	newSubset := func(set *bitset) State {
 		s := out.AddState()
-		sets = append(sets, set)
-		subsets[set.key()] = s
 		out.SetAccept(s, d.start != NoState && set.has(int(d.start)))
 		return s
 	}
+	it.intern(start)
 	out.SetStart(newSubset(start))
-	for i := 0; i < len(sets); i++ {
-		set := sets[i]
+	for i := 0; i < it.len(); i++ {
+		set := it.at(i)
 		for x := 0; x < d.alpha.Len(); x++ {
 			next := newBitset(n)
 			for _, t := range set.slice() {
@@ -464,11 +465,11 @@ func reverseDeterminize(d *DFA) *DFA {
 			if next.empty() {
 				continue
 			}
-			to, ok := subsets[next.key()]
-			if !ok {
-				to = newSubset(next)
+			id, isNew := it.intern(next)
+			if isNew {
+				newSubset(next)
 			}
-			out.SetTransition(State(i), alphabet.Symbol(x), to)
+			out.SetTransition(State(i), alphabet.Symbol(x), State(id))
 		}
 	}
 	return out

@@ -17,6 +17,14 @@ func FuzzReadNFA(f *testing.F) {
 		"states 0\n",
 		"bogus\n",
 		"states 2\ntrans 0 a 9\n",
+		"states 99999999999\n",          // allocation bomb: must be rejected by the cap
+		"states 2\nstart 0\naccept 1\n", // no transitions
+		"states 2\nstart 0\neps 0 1\neps 1 0\naccept 1\n",         // ε-cycle
+		"states 3\nstart 2\naccept 0\ntrans 2 a 0\ntrans 2 a 1\n", // nondeterminism + unreachable
+		"# comment\n\nstates 1\nstart 0\n",
+		"states 2\nstart 0\ntrans 0 a", // truncated mid-line
+		"states 2\nstates 2\n",         // repeated header
+		"start 0\nstates 1\n",          // start before states (out of range)
 	} {
 		f.Add(seed)
 	}

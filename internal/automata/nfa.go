@@ -14,6 +14,7 @@ package automata
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"regexrw/internal/alphabet"
 )
@@ -26,6 +27,12 @@ const NoState State = -1
 
 // NFA is a nondeterministic finite automaton with optional
 // ε-transitions. The zero value is not usable; create NFAs with NewNFA.
+//
+// An NFA is safe for concurrent READ-ONLY use: the ε-closure/stepper
+// memo (cache.go) that accelerates Determinize, RemoveEpsilon and
+// ContainedIn is published through an atomic pointer, so parallel
+// pipeline stages can share one automaton. Mutating an NFA while any
+// other goroutine uses it is a data race, as it always was.
 type NFA struct {
 	alpha  *alphabet.Alphabet
 	start  State
@@ -34,6 +41,11 @@ type NFA struct {
 	trans []map[alphabet.Symbol][]State
 	// eps[s] lists the ε-successors of state s.
 	eps [][]State
+
+	// gen counts structural mutations; memo caches the closure/stepper
+	// tables built for a particular gen (see cache.go).
+	gen  int64
+	memo atomic.Pointer[memoBox]
 }
 
 // NewNFA returns an empty NFA over the given alphabet. It has no states;
@@ -49,6 +61,7 @@ func (n *NFA) Alphabet() *alphabet.Alphabet { return n.alpha }
 
 // AddState adds a fresh non-accepting state and returns its id.
 func (n *NFA) AddState() State {
+	n.invalidateMemo()
 	n.accept = append(n.accept, false)
 	n.trans = append(n.trans, nil)
 	n.eps = append(n.eps, nil)
@@ -79,6 +92,7 @@ func (n *NFA) Accepting(s State) bool { n.checkState(s); return n.accept[s] }
 // SetAccept marks s accepting or not.
 func (n *NFA) SetAccept(s State, accepting bool) {
 	n.checkState(s)
+	n.invalidateMemo()
 	n.accept[s] = accepting
 }
 
@@ -97,6 +111,7 @@ func (n *NFA) AcceptingStates() []State {
 func (n *NFA) AddTransition(from State, x alphabet.Symbol, to State) {
 	n.checkState(from)
 	n.checkState(to)
+	n.invalidateMemo()
 	if n.trans[from] == nil {
 		n.trans[from] = make(map[alphabet.Symbol][]State)
 	}
@@ -115,6 +130,7 @@ func (n *NFA) AddEpsilon(from, to State) {
 	if from == to {
 		return
 	}
+	n.invalidateMemo()
 	for _, t := range n.eps[from] {
 		if t == to {
 			return
@@ -312,24 +328,26 @@ func CopyInto(dst, src *NFA) []State {
 	return mapping
 }
 
-// RemoveEpsilon returns an equivalent NFA without ε-transitions.
+// RemoveEpsilon returns an equivalent NFA without ε-transitions. The
+// per-state ε-closures come from the shared memo (cache.go), so
+// repeated calls on the same automaton — the containment and exactness
+// pipelines strip ε from the same operands over and over — pay the
+// closure DFS once.
 func (n *NFA) RemoveEpsilon() *NFA {
 	if !n.HasEpsilon() {
 		return n.Clone()
 	}
+	memo := n.memoTables()
 	out := NewNFA(n.alpha)
 	out.AddStates(n.NumStates())
 	if n.start != NoState {
 		out.SetStart(n.start)
 	}
 	for s := 0; s < n.NumStates(); s++ {
-		closure := newBitset(n.NumStates())
-		closure.add(s)
-		n.epsClosure(closure)
-		for _, c := range closure.slice() {
-			if n.accept[c] {
-				out.SetAccept(State(s), true)
-			}
+		if memo.closure[s].intersects(memo.accepting) {
+			out.SetAccept(State(s), true)
+		}
+		for _, c := range memo.closure[s].slice() {
 			for x, ts := range n.trans[c] { //mapiter:unordered building a map-backed NFA; closure states visit in sorted order
 				for _, t := range ts {
 					out.AddTransition(State(s), x, t)

@@ -1,0 +1,298 @@
+// Package bench is the reproducible benchmark pipeline behind
+// cmd/bench: it times the paper's benchmark families (EX2, THM5, THM6,
+// THM8) against their in-run baselines and emits a machine-readable
+// report (BENCH_pipeline.json). Timing comparisons are always within
+// one run on one machine — the committed report is compared by schema
+// and coverage only, never by wall-clock numbers, so CI stays stable
+// across hardware (docs/PERFORMANCE.md §5).
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"regexrw/internal/automata"
+	"regexrw/internal/core"
+	"regexrw/internal/par"
+	"regexrw/internal/workload"
+)
+
+// Schema identifies the report format; bump on incompatible changes.
+const Schema = "regexrw-bench/v1"
+
+// Entry is one (family, parameter) measurement. BaselineNsOp and
+// Speedup are zero when the family has no in-run baseline (THM8).
+type Entry struct {
+	// Family names the benchmark family: EX2Pipeline, THM5DetBlowup,
+	// THM6Exactness, THM8Counter.
+	Family string `json:"family"`
+	// Param is the family's size parameter (0 for EX2Pipeline).
+	Param int `json:"param"`
+	// Baseline names what BaselineNsOp measured (e.g. "workers=1",
+	// "unmemoized", "materialized"); empty when there is none.
+	Baseline string `json:"baseline,omitempty"`
+	// NsOp / BaselineNsOp are mean wall-clock nanoseconds per operation
+	// of the optimized and baseline variants.
+	NsOp         float64 `json:"ns_op"`
+	BaselineNsOp float64 `json:"baseline_ns_op,omitempty"`
+	// Speedup is BaselineNsOp / NsOp.
+	Speedup float64 `json:"speedup,omitempty"`
+	// States counts the automaton states materialized by one optimized
+	// run (A_d + A' + rewriting automaton; minimal-DFA states for THM8).
+	States int `json:"states"`
+	// Iters is the number of timed iterations of the optimized variant.
+	Iters int `json:"iters"`
+	// Cache effectiveness over the optimized timed section.
+	SubsetHitRate float64 `json:"subset_hit_rate"`
+	MemoBuilds    int64   `json:"memo_builds"`
+	MemoReuses    int64   `json:"memo_reuses"`
+}
+
+// Report is the full output of one bench run.
+type Report struct {
+	Schema     string  `json:"schema"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Sizes      string  `json:"sizes"`
+	Entries    []Entry `json:"entries"`
+}
+
+// SizeSpec fixes the family parameters and the minimum timed duration
+// per variant for one size class.
+type SizeSpec struct {
+	Name    string
+	THM5    []int
+	THM6    []int
+	THM8    []int
+	MinTime time.Duration
+}
+
+// Sizes returns the spec for a size-class name: smoke (CI sanity,
+// sub-second), tiny (the committed BENCH_pipeline.json and the CI
+// regression guard), full (local measurement runs).
+func Sizes(name string) (SizeSpec, error) {
+	switch name {
+	case "smoke":
+		return SizeSpec{Name: name, THM5: []int{6}, THM6: []int{6}, THM8: []int{1}, MinTime: 30 * time.Millisecond}, nil
+	case "tiny":
+		return SizeSpec{Name: name, THM5: []int{8, 10}, THM6: []int{8, 10}, THM8: []int{2, 3}, MinTime: 120 * time.Millisecond}, nil
+	case "full":
+		return SizeSpec{Name: name, THM5: []int{8, 12, 14}, THM6: []int{8, 12}, THM8: []int{2, 3, 4}, MinTime: 500 * time.Millisecond}, nil
+	}
+	return SizeSpec{}, fmt.Errorf("bench: unknown size class %q (want smoke, tiny or full)", name)
+}
+
+// measure times fn until at least minTime has accumulated (and at
+// least 3 iterations), after one untimed warmup call.
+func measure(minTime time.Duration, fn func() error) (nsOp float64, iters int, err error) {
+	if err := fn(); err != nil { // warmup; also surfaces errors before timing
+		return 0, 0, err
+	}
+	var total time.Duration
+	for total < minTime || iters < 3 {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, 0, err
+		}
+		total += time.Since(start)
+		iters++
+	}
+	return float64(total.Nanoseconds()) / float64(iters), iters, nil
+}
+
+// runPair measures the optimized variant (with cache counters recorded
+// around its timed section) and its baseline, and assembles the entry.
+func runPair(family string, param int, baseline string, minTime time.Duration, optimized, base func() error, states int) (Entry, error) {
+	automata.ResetCacheStats()
+	nsOp, iters, err := measure(minTime, optimized)
+	if err != nil {
+		return Entry{}, fmt.Errorf("bench: %s(param=%d): %w", family, param, err)
+	}
+	stats := automata.ReadCacheStats()
+	e := Entry{
+		Family: family, Param: param, Baseline: baseline,
+		NsOp: nsOp, Iters: iters, States: states,
+		SubsetHitRate: stats.SubsetHitRate(),
+		MemoBuilds:    stats.MemoBuilds, MemoReuses: stats.MemoReuses,
+	}
+	if base != nil {
+		bNsOp, _, err := measure(minTime, base)
+		if err != nil {
+			return Entry{}, fmt.Errorf("bench: %s(param=%d) baseline: %w", family, param, err)
+		}
+		e.BaselineNsOp = bNsOp
+		if nsOp > 0 {
+			e.Speedup = bNsOp / nsOp
+		}
+	}
+	return e, nil
+}
+
+// rewritingStates is the States metric for pipeline families.
+func rewritingStates(r *core.Rewriting) int {
+	return r.Ad.NumStates() + r.APrime.NumStates() + r.Auto.NumStates()
+}
+
+// Run executes every family of the size class and returns the report.
+func Run(ctx context.Context, size SizeSpec) (*Report, error) {
+	rep := &Report{Schema: Schema, GoMaxProcs: runtime.GOMAXPROCS(0), Sizes: size.Name}
+	seqCtx := par.WithWorkers(ctx, 1)
+
+	// EX2Pipeline: the paper's Example 2 end to end, parallel transfer
+	// fan-out vs the sequential (workers=1) pipeline.
+	ex2, err := core.ParseInstance("a·(b·a+c)*", map[string]string{
+		"e1": "a", "e2": "a·c*·b", "e3": "c",
+	})
+	if err != nil {
+		return nil, err
+	}
+	pipeline := func(c context.Context, inst *core.Instance) func() error {
+		return func() error {
+			_, err := core.MaximalRewritingContext(c, inst)
+			return err
+		}
+	}
+	r0, err := core.MaximalRewritingContext(ctx, ex2)
+	if err != nil {
+		return nil, err
+	}
+	e, err := runPair("EX2Pipeline", 0, "workers=1", size.MinTime,
+		pipeline(ctx, ex2), pipeline(seqCtx, ex2), rewritingStates(r0))
+	if err != nil {
+		return nil, err
+	}
+	rep.Entries = append(rep.Entries, e)
+
+	// THM5DetBlowup: the determinization-blowup family (Theorem 5). The
+	// query NFA needs 2^n subset states, which makes it the purest probe
+	// of the subset-construction hot path: the memoized construction
+	// (shared ε-closure/stepper tables + interned subsets, cache.go) vs
+	// the retained pre-memoization reference DeterminizeUnmemoized.
+	for _, n := range size.THM5 {
+		inst := workload.DetBlowupFamily(n)
+		qnfa := inst.Query.ToNFA(inst.Sigma())
+		states := automata.Determinize(qnfa).NumStates()
+		optimized := func() error {
+			_, err := automata.DeterminizeContext(ctx, qnfa)
+			return err
+		}
+		unmemoized := func() error {
+			automata.DeterminizeUnmemoized(qnfa)
+			return nil
+		}
+		e, err := runPair("THM5DetBlowup", n, "unmemoized", size.MinTime,
+			optimized, unmemoized, states)
+		if err != nil {
+			return nil, err
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+
+	// THM6Exactness: the on-the-fly containment check (Theorem 6) vs the
+	// materialized complement baseline. The rewriting is rebuilt per
+	// iteration (matching bench_test.go) so neither side reuses the
+	// cached expansion.
+	for _, n := range size.THM6 {
+		inst := workload.DetBlowupFamily(n)
+		fly := func() error {
+			r, err := core.MaximalRewritingContext(ctx, inst)
+			if err != nil {
+				return err
+			}
+			if ok, _ := r.IsExact(); !ok {
+				return fmt.Errorf("expected exact rewriting")
+			}
+			return nil
+		}
+		materialized := func() error {
+			r, err := core.MaximalRewritingContext(ctx, inst)
+			if err != nil {
+				return err
+			}
+			if !r.IsExactMaterialized() {
+				return fmt.Errorf("expected exact rewriting")
+			}
+			return nil
+		}
+		rn, err := core.MaximalRewritingContext(ctx, inst)
+		if err != nil {
+			return nil, err
+		}
+		e, err := runPair("THM6Exactness", n, "materialized", size.MinTime,
+			fly, materialized, rewritingStates(rn))
+		if err != nil {
+			return nil, err
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+
+	// THM8Counter: the lower-bound family; no baseline, the point is the
+	// growth curve and the states count (n·2^n shows up in the minimal
+	// DFA).
+	for _, n := range size.THM8 {
+		inst := workload.CounterFamily(n)
+		var states int
+		run := func() error {
+			r, err := core.MaximalRewritingContext(ctx, inst)
+			if err != nil {
+				return err
+			}
+			states = r.MinimalDFA().NumStates()
+			return nil
+		}
+		e, err := runPair("THM8Counter", n, "", size.MinTime, run, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		e.States = states
+		rep.Entries = append(rep.Entries, e)
+	}
+	return rep, nil
+}
+
+// Check is the in-run regression guard: for the families with an in-run
+// baseline that the optimization work targets (EX2Pipeline,
+// THM6Exactness), the optimized variant must not be more than 2x slower
+// than its baseline measured in the same run on the same machine. A
+// failure means the optimized path regressed against the code it is
+// supposed to beat.
+func Check(rep *Report) error {
+	for _, e := range rep.Entries {
+		if e.BaselineNsOp == 0 {
+			continue
+		}
+		if e.Family != "EX2Pipeline" && e.Family != "THM6Exactness" {
+			continue
+		}
+		if e.NsOp > 2*e.BaselineNsOp {
+			return fmt.Errorf("bench: regression: %s(param=%d) optimized %.0f ns/op is >2x baseline %.0f ns/op",
+				e.Family, e.Param, e.NsOp, e.BaselineNsOp)
+		}
+	}
+	return nil
+}
+
+// CompareSchema checks a freshly produced report against a committed
+// reference: same schema version and at least the reference's
+// (family, param) coverage. Wall-clock numbers are deliberately NOT
+// compared — they are machine-dependent; the timing guard is Check.
+func CompareSchema(ref, got *Report) error {
+	if ref.Schema != got.Schema {
+		return fmt.Errorf("bench: schema mismatch: reference %q vs current %q", ref.Schema, got.Schema)
+	}
+	type key struct {
+		family string
+		param  int
+	}
+	have := map[key]bool{}
+	for _, e := range got.Entries {
+		have[key{e.Family, e.Param}] = true
+	}
+	for _, e := range ref.Entries {
+		if !have[key{e.Family, e.Param}] {
+			return fmt.Errorf("bench: current run is missing reference entry %s(param=%d)", e.Family, e.Param)
+		}
+	}
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 	"regexrw/internal/alphabet"
 	"regexrw/internal/automata"
 	"regexrw/internal/budget"
+	"regexrw/internal/par"
 	"regexrw/internal/regex"
 )
 
@@ -268,7 +269,10 @@ func transferAutomaton(ad *automata.DFA, sigmaE *alphabet.Alphabet, views map[al
 // context's budget (stage "core.transfer"): A' has one state per A_d
 // state, but the product fixpoint behind its edges can materialize
 // |view|·|A_d| origin sets per view, and the e-edges themselves are
-// charged as transitions.
+// charged as transitions. The per-view fixpoints are independent, so
+// they fan out over the context's worker pool (par.WithWorkers; default
+// GOMAXPROCS) — the merge below runs in symbol order, so the resulting
+// automaton is identical to the sequential construction's.
 func transferAutomatonContext(ctx context.Context, ad *automata.DFA, sigmaE *alphabet.Alphabet, views map[alphabet.Symbol]*automata.NFA) (*automata.NFA, error) {
 	meter := budget.Enter(ctx, "core.transfer")
 	if err := meter.AddStates(ad.NumStates()); err != nil {
@@ -277,21 +281,45 @@ func transferAutomatonContext(ctx context.Context, ad *automata.DFA, sigmaE *alp
 	ap := automata.NewNFA(sigmaE)
 	ap.AddStates(ad.NumStates())
 	ap.SetStart(ad.Start())
+
+	// Collect the symbols that have a view, in symbol order, and
+	// ε-normalize their automata up front: the fan-out shares the views
+	// map read-only, so this in-place mutation must complete before it.
+	syms := make([]alphabet.Symbol, 0, len(views))
 	for _, e := range sigmaE.Symbols() {
 		vnfa := views[e]
 		if vnfa == nil {
 			continue
 		}
 		if vnfa.HasEpsilon() {
-			vnfa = vnfa.RemoveEpsilon()
-			views[e] = vnfa
+			views[e] = vnfa.RemoveEpsilon()
 		}
-		targets, err := transferTargets(meter, vnfa, ad)
-		if err != nil {
-			return nil, err
+		syms = append(syms, e)
+	}
+
+	// One item per view. Each worker opens its own Meter — Meter is not
+	// concurrency-safe, but the Budget behind the context is atomic, so
+	// charges from all workers land in the same shared pool. Results go
+	// into index-addressed slots; an error from any view (budget
+	// exhaustion, cancellation) cancels the remaining ones and surfaces
+	// as the root cause.
+	targets := make([][][]automata.State, len(syms))
+	err := par.ForEach(ctx, len(syms), func(wctx context.Context, i int) error {
+		wm := budget.Enter(wctx, "core.transfer")
+		ts, terr := transferTargets(wm, views[syms[i]], ad)
+		if terr != nil {
+			return terr
 		}
+		targets[i] = ts
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for k, e := range syms {
 		added := 0
-		for i, ts := range targets {
+		for i, ts := range targets[k] {
 			for _, j := range ts {
 				ap.AddTransition(automata.State(i), e, j)
 				added++

@@ -1,0 +1,141 @@
+// Package oracle is the differential test oracle of the rewriting
+// pipeline. It checks two properties on arbitrary instances (the test
+// suite feeds it random ones from internal/workload):
+//
+//  1. Soundness (Theorem 2): the expansion of the maximal rewriting is
+//     contained in the target language, exp(L(R)) ⊆ L(E0). This holds
+//     for every instance, so any counterexample word is a pipeline bug.
+//  2. Parallel ≡ sequential: the rewriting computed with the parallel
+//     transfer fan-out (par.WithWorkers > 1) is the same automaton as
+//     the sequential one — not merely language-equivalent but byte-
+//     identical when serialized, since the merge order is deterministic.
+//
+// Instances whose construction exceeds the state cap are skipped, not
+// failed: the oracle bounds its own work so random sweeps stay fast.
+package oracle
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+	"regexrw/internal/budget"
+	"regexrw/internal/core"
+	"regexrw/internal/par"
+)
+
+// ErrSkipped reports that an instance blew past the oracle's size cap
+// before either property could be decided. Callers treat it as "no
+// verdict", not as a failure.
+var ErrSkipped = errors.New("oracle: instance exceeds size cap")
+
+// Config bounds one oracle check.
+type Config struct {
+	// MaxStates caps the total states materialized by each pipeline run
+	// (sequential, parallel, expansion, containment). Zero means the
+	// DefaultConfig cap.
+	MaxStates int
+	// Workers is the worker count for the parallel run; zero means the
+	// par default (GOMAXPROCS).
+	Workers int
+}
+
+// DefaultConfig is the cap used by the test suite: large enough that
+// most random instances get a verdict, small enough that a
+// doubly-exponential outlier (Theorem 5 lives in this distribution!)
+// cannot stall the run.
+func DefaultConfig() Config { return Config{MaxStates: 50000} }
+
+// CheckInstance runs both oracle properties on the instance. It returns
+// nil when both hold, an error wrapping ErrSkipped when the size cap was
+// hit, and a descriptive error when a property is violated — the latter
+// is always a bug.
+func CheckInstance(ctx context.Context, inst *core.Instance, cfg Config) error {
+	if cfg.MaxStates <= 0 {
+		cfg.MaxStates = DefaultConfig().MaxStates
+	}
+	capped := func(parent context.Context) context.Context {
+		return budget.With(parent, budget.New(budget.MaxStates(cfg.MaxStates)))
+	}
+	skippedOr := func(err error) error {
+		var ex *budget.ExceededError
+		if errors.As(err, &ex) {
+			return fmt.Errorf("%w: %w", ErrSkipped, err)
+		}
+		return err
+	}
+
+	// Sequential reference run.
+	seqCtx := par.WithWorkers(capped(ctx), 1)
+	rSeq, err := core.MaximalRewritingContext(seqCtx, inst)
+	if err != nil {
+		return skippedOr(err)
+	}
+
+	// Parallel run over the same instance.
+	parCtx := capped(ctx)
+	if cfg.Workers > 0 {
+		parCtx = par.WithWorkers(parCtx, cfg.Workers)
+	}
+	rPar, err := core.MaximalRewritingContext(parCtx, inst)
+	if err != nil {
+		return skippedOr(err)
+	}
+
+	// Property 2 first (cheap): the parallel pipeline must reproduce the
+	// sequential automata bit for bit — the deterministic-merge argument
+	// (docs/PERFORMANCE.md §2) promises identity, not just equivalence.
+	if err := sameNFA("APrime", rSeq.APrime, rPar.APrime); err != nil {
+		return err
+	}
+	if err := sameNFA("Auto", rSeq.Auto.NFA(), rPar.Auto.NFA()); err != nil {
+		return err
+	}
+	if !automata.Equivalent(rSeq.APrime, rPar.APrime) {
+		return fmt.Errorf("oracle: parallel APrime not language-equivalent to sequential")
+	}
+
+	// Property 1: exp(L(R)) ⊆ L(E0).
+	exp, err := rSeq.ExpandContext(capped(ctx))
+	if err != nil {
+		return skippedOr(err)
+	}
+	e0 := inst.Query.ToNFA(inst.Sigma())
+	ok, cex, err := automata.ContainedInContext(capped(ctx), exp, e0)
+	if err != nil {
+		return skippedOr(err)
+	}
+	if !ok {
+		return fmt.Errorf("oracle: soundness violated: expansion word %v ∉ L(E0) (instance %s)",
+			symbolNames(inst, cex), inst)
+	}
+	return nil
+}
+
+// sameNFA compares the canonical serializations of two NFAs and reports
+// a diff-style error on mismatch.
+func sameNFA(what string, a, b *automata.NFA) error {
+	var ba, bb bytes.Buffer
+	if _, err := a.WriteTo(&ba); err != nil {
+		return fmt.Errorf("oracle: serialize sequential %s: %w", what, err)
+	}
+	if _, err := b.WriteTo(&bb); err != nil {
+		return fmt.Errorf("oracle: serialize parallel %s: %w", what, err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		return fmt.Errorf("oracle: parallel %s differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+			what, ba.String(), bb.String())
+	}
+	return nil
+}
+
+func symbolNames(inst *core.Instance, word []alphabet.Symbol) []string {
+	out := make([]string, len(word))
+	for i, x := range word {
+		out[i] = inst.Sigma().Name(x)
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package oracle
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"regexrw/internal/core"
+	"regexrw/internal/workload"
+)
+
+// TestRandomInstances sweeps the oracle over random instances with a
+// fixed seed: soundness (Theorem 2) and parallel/sequential identity
+// must hold on every instance that fits the size cap. 200 instances in
+// full mode (the acceptance bar), 40 under -short.
+func TestRandomInstances(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 40
+	}
+	r := rand.New(rand.NewSource(20260805))
+	cfg := workload.InstanceConfig{AlphabetSize: 3, NumViews: 3, QueryDepth: 3, ViewDepth: 3}
+	checked, skipped := 0, 0
+	for i := 0; i < n; i++ {
+		inst := workload.RandomInstance(r, cfg)
+		err := CheckInstance(context.Background(), inst, DefaultConfig())
+		switch {
+		case err == nil:
+			checked++
+		case errors.Is(err, ErrSkipped):
+			skipped++
+		default:
+			t.Fatalf("instance %d: %v\ninstance: %s", i, err, inst)
+		}
+	}
+	t.Logf("oracle: %d checked, %d skipped (size cap)", checked, skipped)
+	// The cap must not hollow out the sweep: most random instances at
+	// these sizes are small, so a majority of verdicts is expected.
+	if checked < n/2 {
+		t.Fatalf("only %d/%d instances got a verdict; size cap too tight for the distribution", checked, n)
+	}
+}
+
+// TestKnownExactInstance pins the oracle on the paper's Example 2
+// instance, which is small and always gets a verdict.
+func TestKnownExactInstance(t *testing.T) {
+	inst, err := core.ParseInstance("(a.b)*", map[string]string{
+		"v1": "a.b",
+		"v2": "(a.b)*",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckInstance(context.Background(), inst, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSkipOnTinyCap checks the cap path: an instance that cannot fit in
+// a handful of states reports ErrSkipped rather than an error or a hang.
+func TestSkipOnTinyCap(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	inst := workload.RandomInstance(r, workload.InstanceConfig{AlphabetSize: 3, NumViews: 3, QueryDepth: 4, ViewDepth: 4})
+	err := CheckInstance(context.Background(), inst, Config{MaxStates: 2})
+	if !errors.Is(err, ErrSkipped) {
+		t.Fatalf("err = %v, want ErrSkipped", err)
+	}
+}
+
+// TestWorkerCountIndependence runs the same instance at several worker
+// counts; the check itself asserts byte-identical automata against the
+// sequential reference.
+func TestWorkerCountIndependence(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	cfg := workload.InstanceConfig{AlphabetSize: 3, NumViews: 4, QueryDepth: 3, ViewDepth: 3}
+	inst := workload.RandomInstance(r, cfg)
+	for _, workers := range []int{2, 3, 8} {
+		err := CheckInstance(context.Background(), inst, Config{MaxStates: 50000, Workers: workers})
+		if err != nil && !errors.Is(err, ErrSkipped) {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package par provides the bounded worker pool used to parallelize the
+// per-view stages of the rewriting pipeline (transfer-automaton
+// construction in internal/core, view grounding in internal/rpq).
+//
+// The pool is deliberately tiny: a shared atomic index hands out item
+// indices, a context option carries the worker count, and the first
+// error — in completion order — cancels the rest. Callers that need
+// deterministic output order write into index-addressed slots and merge
+// after ForEach returns; the pool itself guarantees nothing about
+// execution order.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+type workersKey struct{}
+
+// WithWorkers returns a context that requests n workers for ForEach
+// calls downstream. n <= 1 forces sequential execution (useful for the
+// sequential baseline in benchmarks and the differential oracle).
+func WithWorkers(ctx context.Context, n int) context.Context {
+	return context.WithValue(ctx, workersKey{}, n)
+}
+
+// Workers returns the worker count carried by ctx, defaulting to
+// runtime.GOMAXPROCS(0) when none was set.
+func Workers(ctx context.Context) int {
+	if n, ok := ctx.Value(workersKey{}).(int); ok && n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n), using up to
+// Workers(ctx) goroutines. It returns the first error in completion
+// order; once an error occurs the derived context passed to fn is
+// cancelled, so long-running items can abort cooperatively. With one
+// worker (or one item) everything runs on the calling goroutine and the
+// first error returns immediately — the sequential semantics callers
+// had before parallelization.
+//
+// The returned error is the root cause: workers that abort because the
+// derived context was cancelled report context errors, but those can
+// only be recorded after the triggering error already was.
+func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers := Workers(ctx)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	record := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for { //ctxcheck:ignore the loop consults wctx (derived from ctx) every iteration
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := wctx.Err(); err != nil {
+					record(err)
+					return
+				}
+				if err := fn(wctx, i); err != nil {
+					record(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return firstErr
+}

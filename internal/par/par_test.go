@@ -1,0 +1,113 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersDefault(t *testing.T) {
+	if got, want := Workers(context.Background()), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Workers(background) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestWithWorkers(t *testing.T) {
+	ctx := WithWorkers(context.Background(), 3)
+	if got := Workers(ctx); got != 3 {
+		t.Fatalf("Workers = %d, want 3", got)
+	}
+	// Non-positive requests fall back to the default.
+	if got, want := Workers(WithWorkers(context.Background(), 0)), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Workers(0) = %d, want %d", got, want)
+	}
+}
+
+func TestForEachVisitsAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 100
+		var visited [n]atomic.Int64
+		ctx := WithWorkers(context.Background(), workers)
+		if err := ForEach(ctx, n, func(ctx context.Context, i int) error {
+			visited[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		for i := range visited {
+			if c := visited[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: item %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(context.Background(), 0, func(context.Context, int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestForEachReturnsRootCause(t *testing.T) {
+	rootCause := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		ctx := WithWorkers(context.Background(), workers)
+		err := ForEach(ctx, 50, func(ctx context.Context, i int) error {
+			if i == 7 {
+				return rootCause
+			}
+			// Give the failing item a chance to complete first so later
+			// items observe the cancelled context.
+			select {
+			case <-ctx.Done():
+			case <-time.After(time.Millisecond):
+			}
+			return nil
+		})
+		if !errors.Is(err, rootCause) {
+			t.Fatalf("workers=%d: error = %v, want root cause", workers, err)
+		}
+	}
+}
+
+func TestForEachCancelStopsWork(t *testing.T) {
+	ctx, cancel := context.WithCancel(WithWorkers(context.Background(), 4))
+	var started atomic.Int64
+	err := ForEach(ctx, 1000, func(ctx context.Context, i int) error {
+		if started.Add(1) == 3 {
+			cancel()
+		}
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Fatalf("cancellation did not stop the pool: %d items started", n)
+	}
+}
+
+func TestForEachSequentialStopsOnFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var calls int
+	ctx := WithWorkers(context.Background(), 1)
+	err := ForEach(ctx, 10, func(ctx context.Context, i int) error {
+		calls++
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want boom", err)
+	}
+	if calls != 3 {
+		t.Fatalf("sequential path ran %d items after the error, want stop at 3", calls)
+	}
+}

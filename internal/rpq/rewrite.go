@@ -10,6 +10,7 @@ import (
 	"regexrw/internal/budget"
 	"regexrw/internal/core"
 	"regexrw/internal/graph"
+	"regexrw/internal/par"
 	"regexrw/internal/regex"
 	"regexrw/internal/theory"
 )
@@ -93,13 +94,25 @@ func RewriteContext(ctx context.Context, q0 *Query, views []View, t *theory.Inte
 		if gerr != nil {
 			return nil, gerr
 		}
-		viewNFAs := make(map[alphabet.Symbol]*automata.NFA, len(views))
-		for _, v := range views {
-			g, gerr := v.Query.GroundContext(ctx, t)
-			if gerr != nil {
-				return nil, gerr
+		// View groundings are independent (GroundContext builds fresh
+		// automata over a read-only interpretation), so they fan out over
+		// the context's worker pool into index-addressed slots; the map is
+		// assembled after the join.
+		grounded := make([]*automata.NFA, len(views))
+		ferr := par.ForEach(ctx, len(views), func(wctx context.Context, i int) error {
+			g, werr := views[i].Query.GroundContext(wctx, t)
+			if werr != nil {
+				return werr
 			}
-			viewNFAs[sigmaQ.Lookup(v.Name)] = g.RemoveEpsilon()
+			grounded[i] = g.RemoveEpsilon()
+			return nil
+		})
+		if ferr != nil {
+			return nil, ferr
+		}
+		viewNFAs := make(map[alphabet.Symbol]*automata.NFA, len(views))
+		for i, v := range views {
+			viewNFAs[sigmaQ.Lookup(v.Name)] = grounded[i]
 		}
 		rw, err = core.MaximalRewritingAutomataContext(ctx, e0, sigmaQ, viewNFAs)
 	case Direct:
