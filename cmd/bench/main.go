@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"regexrw/internal/bench"
+	"regexrw/internal/cliobs"
 )
 
 func main() {
@@ -32,6 +33,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	out := fs.String("out", "", "write the JSON report to this file (default stdout)")
 	check := fs.Bool("check", false, "fail on an in-run >2x regression for EX2Pipeline/THM6Exactness")
 	against := fs.String("against", "", "compare schema and coverage against this committed report")
+	var obsFlags cliobs.Flags
+	obsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -41,7 +44,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	rep, err := bench.Run(context.Background(), spec)
+	ctx, finishObs := obsFlags.Install(context.Background(), stderr)
+	defer finishObs()
+	rep, err := bench.Run(ctx, spec)
 	if err != nil {
 		fmt.Fprintln(stderr, "bench:", err)
 		return 1

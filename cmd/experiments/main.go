@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 
+	"regexrw/internal/cliobs"
 	"regexrw/internal/experiments"
 )
 
@@ -31,8 +32,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	parallel := fs.Bool("parallel", false, "run experiments concurrently (timings get noisier)")
 	asJSON := fs.Bool("json", false, "emit a JSON array of results (id, title, seconds, ok, output, metrics)")
+	// The experiments runner has no context to carry a per-run registry,
+	// so -metrics reports the process-wide counters (automata cache
+	// effectiveness across the whole sweep).
+	metrics := fs.Bool("metrics", false, "print process-wide pipeline metrics (Prometheus text format) to stderr at exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *metrics {
+		defer cliobs.WriteGlobalMetrics(stderr)
 	}
 
 	if *list {

@@ -25,6 +25,7 @@ import (
 
 	"regexrw/internal/automata"
 	"regexrw/internal/budget"
+	"regexrw/internal/cliobs"
 	"regexrw/internal/core"
 )
 
@@ -63,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.Var(costs, "cost", "view evaluation cost name=weight (repeatable); triggers cost-guided view pruning")
 	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none); exceeding it exits 3")
 	maxStates := fs.Int("max-states", 0, "cap on total materialized automaton states (0 = unlimited); exceeding it exits 3")
+	var obsFlags cliobs.Flags
+	obsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -85,6 +88,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *maxStates > 0 {
 		ctx = budget.With(ctx, budget.New(budget.MaxStates(*maxStates)))
 	}
+	// The deferred finish writes the trace/metrics even when a stage
+	// fails — a truncated trace of an exhausted run is the diagnostic.
+	ctx, finishObs := obsFlags.Install(ctx, stderr)
+	defer finishObs()
 
 	inst, err := core.ParseInstance(*query, views)
 	if err != nil {

@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"regexrw/internal/budget"
+	"regexrw/internal/cliobs"
 	"regexrw/internal/graph"
 	"regexrw/internal/rpq"
 	"regexrw/internal/theory"
@@ -69,6 +70,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	partial := fs.Bool("partial", false, "search for atomic/elementary views making the rewriting exact")
 	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none); exceeding it exits 3")
 	maxStates := fs.Int("max-states", 0, "cap on total materialized automaton states (0 = unlimited); exceeding it exits 3")
+	var obsFlags cliobs.Flags
+	obsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -91,6 +94,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *maxStates > 0 {
 		ctx = budget.With(ctx, budget.New(budget.MaxStates(*maxStates)))
 	}
+	// Deferred so a failed run still leaves its partial trace/metrics.
+	ctx, finishObs := obsFlags.Install(ctx, stderr)
+	defer finishObs()
 
 	var method rpq.Method
 	switch *methodName {

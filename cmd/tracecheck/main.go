@@ -1,0 +1,70 @@
+// Command tracecheck validates trace JSON files produced by the
+// -trace flag of the pipeline CLIs against the schema of
+// docs/OBSERVABILITY.md: one root span object, non-empty span names,
+// non-negative counters and clock fields, no unknown fields. CI runs it
+// over the sample trace each build uploads.
+//
+// Usage:
+//
+//	tracecheck out.json [more.json ...]
+//
+// Exits 0 when every file validates, 1 when any fails (with a
+// diagnostic naming the file and the offending span), 2 on usage
+// errors. With -summary, prints per-file span counts and state totals.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"regexrw/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command with explicit streams so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	summary := fs.Bool("summary", false, "print span count and resource totals per validated file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "tracecheck: no trace files given")
+		fs.Usage()
+		return 2
+	}
+	code := 0
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "tracecheck:", err)
+			code = 1
+			continue
+		}
+		root, err := obs.ParseTrace(data)
+		if err != nil {
+			fmt.Fprintf(stderr, "tracecheck: %s: %v\n", path, err)
+			code = 1
+			continue
+		}
+		if *summary {
+			var spans, states, transitions int64
+			obs.WalkTrace(root, func(s *obs.SpanJSON) {
+				spans++
+				states += s.States
+				transitions += s.Transitions
+			})
+			fmt.Fprintf(stdout, "%s: ok (%d spans, %d states, %d transitions)\n",
+				path, spans, states, transitions)
+		} else {
+			fmt.Fprintf(stdout, "%s: ok\n", path)
+		}
+	}
+	return code
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTracecheck(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(good, []byte(`{"name":"run","states":3,"children":[{"name":"automata.determinize","states":3}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, []byte(`{"name":"","states":3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-summary", good}, &out, &errOut); code != 0 {
+		t.Fatalf("valid trace exit %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "2 spans, 6 states") {
+		t.Fatalf("summary output = %q", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{good, bad}, &out, &errOut); code != 1 {
+		t.Fatalf("invalid trace exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "empty name") {
+		t.Fatalf("stderr = %q, want empty-name diagnostic", errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{filepath.Join(dir, "missing.json")}, &out, &errOut); code != 1 {
+		t.Fatalf("missing file exit %d, want 1", code)
+	}
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("no-args exit %d, want 2", code)
+	}
+}

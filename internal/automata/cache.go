@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"regexrw/internal/alphabet"
+	"regexrw/internal/obs"
 )
 
 // This file is the shared memoization layer of the automata hot path.
@@ -33,12 +34,20 @@ import (
 //     race-free; concurrent mutation was never supported and remains so.
 
 // cacheCounters aggregates cache effectiveness across the process; the
-// bench pipeline reads and resets it around timed sections.
-var cacheCounters struct {
-	subsetHits   atomic.Int64
-	subsetMisses atomic.Int64
-	memoBuilds   atomic.Int64
-	memoReuses   atomic.Int64
+// bench pipeline reads and resets it around timed sections, and the
+// same counters are first-class observables on the process-wide
+// obs.Default registry (exposed by -metrics as
+// automata.cache.subset_hits etc.).
+var cacheCounters = struct {
+	subsetHits   *obs.Counter
+	subsetMisses *obs.Counter
+	memoBuilds   *obs.Counter
+	memoReuses   *obs.Counter
+}{
+	subsetHits:   obs.Default.Counter("automata.cache.subset_hits"),
+	subsetMisses: obs.Default.Counter("automata.cache.subset_misses"),
+	memoBuilds:   obs.Default.Counter("automata.cache.memo_builds"),
+	memoReuses:   obs.Default.Counter("automata.cache.memo_reuses"),
 }
 
 // CacheStats is a snapshot of the subset-interner and ε-closure-memo
@@ -65,10 +74,10 @@ func (s CacheStats) SubsetHitRate() float64 {
 // ReadCacheStats returns the current cache counters.
 func ReadCacheStats() CacheStats {
 	return CacheStats{
-		SubsetHits:   cacheCounters.subsetHits.Load(),
-		SubsetMisses: cacheCounters.subsetMisses.Load(),
-		MemoBuilds:   cacheCounters.memoBuilds.Load(),
-		MemoReuses:   cacheCounters.memoReuses.Load(),
+		SubsetHits:   cacheCounters.subsetHits.Value(),
+		SubsetMisses: cacheCounters.subsetMisses.Value(),
+		MemoBuilds:   cacheCounters.memoBuilds.Value(),
+		MemoReuses:   cacheCounters.memoReuses.Value(),
 	}
 }
 
@@ -139,15 +148,22 @@ func (it *interner) len() int { return len(it.sets) }
 func (it *interner) at(id int) *bitset { return it.sets[id] }
 
 // flushStats adds the interner's local hit/miss counts to the process
-// counters. Call once (deferred) per construction.
+// counters and to the span (if tracing), then zeroes them. Call once
+// (deferred) per construction. When a span is given, register the defer
+// AFTER the flushStats defer so the span sees the counts before they
+// are zeroed — or simply use flushStatsSpan.
 func (it *interner) flushStats() {
-	if it.hits > 0 {
-		cacheCounters.subsetHits.Add(it.hits)
-	}
-	if it.misses > 0 {
-		cacheCounters.subsetMisses.Add(it.misses)
-	}
+	cacheCounters.subsetHits.Add(it.hits)
+	cacheCounters.subsetMisses.Add(it.misses)
 	it.hits, it.misses = 0, 0
+}
+
+// flushStatsSpan is flushStats plus a mirror of the counts onto the
+// construction's span, so per-stage traces carry the same probe totals
+// the process counters accumulate.
+func (it *interner) flushStatsSpan(span *obs.Span) {
+	span.AddCache(it.hits, it.misses)
+	it.flushStats()
 }
 
 // nfaMemo is the per-NFA closure/stepper table. All bitsets have the

@@ -5,6 +5,7 @@ import (
 
 	"regexrw/internal/alphabet"
 	"regexrw/internal/budget"
+	"regexrw/internal/obs"
 )
 
 // IsEmpty reports whether the NFA accepts no word.
@@ -104,6 +105,8 @@ func ContainedIn(a, b *NFA) (bool, []alphabet.Symbol) {
 // wraps ctx.Err(); on exhaustion it is a *budget.ExceededError; either
 // way the boolean is meaningless.
 func ContainedInContext(ctx context.Context, a, b *NFA) (bool, []alphabet.Symbol, error) {
+	ctx, span := obs.StartSpan(ctx, "automata.contained_in")
+	defer span.End()
 	meter := budget.Enter(ctx, "automata.contained_in")
 	ea := a.RemoveEpsilon()
 	eb := b.RemoveEpsilon()
@@ -134,7 +137,7 @@ func ContainedInContext(ctx context.Context, a, b *NFA) (bool, []alphabet.Symbol
 	// accepting set, shared with any other pipeline stage using eb.
 	bMemo := eb.memoTables()
 	it := newInterner()
-	defer it.flushStats()
+	defer it.flushStatsSpan(span)
 	type step struct {
 		bid int
 		x   alphabet.Symbol

@@ -7,6 +7,7 @@ import (
 
 	"regexrw/internal/alphabet"
 	"regexrw/internal/budget"
+	"regexrw/internal/obs"
 )
 
 // ErrStateLimit is returned (wrapped) by DeterminizeLimit when the
@@ -73,6 +74,8 @@ func DeterminizeContext(ctx context.Context, n *NFA) (*DFA, error) { //invariant
 // expressions — is a pure function of the input automaton, never of map
 // iteration order.
 func determinize(ctx context.Context, n *NFA) (*DFA, error) {
+	ctx, span := obs.StartSpan(ctx, "automata.determinize")
+	defer span.End()
 	meter := budget.Enter(ctx, "automata.determinize")
 	d := NewDFA(n.Alphabet())
 	if n.Start() == NoState {
@@ -87,7 +90,7 @@ func determinize(ctx context.Context, n *NFA) (*DFA, error) {
 	// and DFA states are allocated in lockstep, so they coincide.
 	memo := n.memoTables()
 	it := newInterner()
-	defer it.flushStats()
+	defer it.flushStatsSpan(span)
 
 	newSubset := func(set *bitset) State {
 		s := d.AddState()

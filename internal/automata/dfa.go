@@ -7,6 +7,7 @@ import (
 
 	"regexrw/internal/alphabet"
 	"regexrw/internal/budget"
+	"regexrw/internal/obs"
 )
 
 // DFA is a deterministic finite automaton. Transitions are stored in a
@@ -262,6 +263,8 @@ func (d *DFA) Minimize() *DFA { //invariantcall:checked delegates to MinimizeCon
 // still run long on large inputs and should abort when the pipeline's
 // deadline fires.
 func (d *DFA) MinimizeContext(ctx context.Context) (*DFA, error) {
+	ctx, span := obs.StartSpan(ctx, "automata.minimize")
+	defer span.End()
 	meter := budget.Enter(ctx, "automata.minimize")
 	t := d.Reachable().Totalize()
 	nStates := t.NumStates()

@@ -5,6 +5,7 @@ import (
 
 	"regexrw/internal/alphabet"
 	"regexrw/internal/budget"
+	"regexrw/internal/obs"
 )
 
 // EmptyLanguage returns an NFA over a accepting no word.
@@ -169,6 +170,8 @@ func Intersect(a, b *NFA) *NFA { //invariantcall:checked delegates to IntersectC
 // metered against the context's budget (stage "automata.intersect") and
 // aborts with no partial result on cancellation or exhaustion.
 func IntersectContext(ctx context.Context, a, b *NFA) (*NFA, error) {
+	ctx, span := obs.StartSpan(ctx, "automata.intersect")
+	defer span.End()
 	meter := budget.Enter(ctx, "automata.intersect")
 	ea := a.RemoveEpsilon()
 	eb := b.RemoveEpsilon()
@@ -257,6 +260,8 @@ func UnionDFA(a, b *DFA) *DFA { //invariantcall:checked delegates to UnionDFACon
 // resource governance (stage "automata.union_dfa"): the product can
 // reach |a|·|b| pairs.
 func UnionDFAContext(ctx context.Context, a, b *DFA) (*DFA, error) {
+	ctx, span := obs.StartSpan(ctx, "automata.union_dfa")
+	defer span.End()
 	meter := budget.Enter(ctx, "automata.union_dfa")
 	u := a.Alphabet()
 	if !u.Equal(b.Alphabet()) {

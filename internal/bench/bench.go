@@ -15,6 +15,7 @@ import (
 
 	"regexrw/internal/automata"
 	"regexrw/internal/core"
+	"regexrw/internal/obs"
 	"regexrw/internal/par"
 	"regexrw/internal/workload"
 )
@@ -25,10 +26,11 @@ const Schema = "regexrw-bench/v1"
 // Entry is one (family, parameter) measurement. BaselineNsOp and
 // Speedup are zero when the family has no in-run baseline (THM8).
 type Entry struct {
-	// Family names the benchmark family: EX2Pipeline, THM5DetBlowup,
-	// THM6Exactness, THM8Counter.
+	// Family names the benchmark family: EX2Pipeline, EX2Observed,
+	// THM5DetBlowup, THM6Exactness, THM8Counter.
 	Family string `json:"family"`
-	// Param is the family's size parameter (0 for EX2Pipeline).
+	// Param is the family's size parameter (0 for EX2Pipeline and
+	// EX2Observed).
 	Param int `json:"param"`
 	// Baseline names what BaselineNsOp measured (e.g. "workers=1",
 	// "unmemoized", "materialized"); empty when there is none.
@@ -164,6 +166,29 @@ func Run(ctx context.Context, size SizeSpec) (*Report, error) {
 	}
 	rep.Entries = append(rep.Entries, e)
 
+	// EX2Observed: the same pipeline with a tracer and a per-run metrics
+	// registry installed (including building and exporting the span
+	// tree) vs the unobserved run. The Check guard bounds observability
+	// overhead at 2x; the free-when-off half of the contract is pinned
+	// separately by BenchmarkTracerOff's 0 allocs/op.
+	observed := func() error {
+		tr := obs.NewTracer()
+		octx := obs.WithMetrics(obs.WithTracer(ctx, tr), obs.NewRegistry())
+		if _, err := core.MaximalRewritingContext(octx, ex2); err != nil {
+			return err
+		}
+		if tr.Export() == nil {
+			return fmt.Errorf("observed run exported no trace")
+		}
+		return nil
+	}
+	e, err = runPair("EX2Observed", 0, "untraced", size.MinTime,
+		observed, pipeline(ctx, ex2), rewritingStates(r0))
+	if err != nil {
+		return nil, err
+	}
+	rep.Entries = append(rep.Entries, e)
+
 	// THM5DetBlowup: the determinization-blowup family (Theorem 5). The
 	// query NFA needs 2^n subset states, which makes it the purest probe
 	// of the subset-construction hot path: the memoized construction
@@ -253,16 +278,18 @@ func Run(ctx context.Context, size SizeSpec) (*Report, error) {
 
 // Check is the in-run regression guard: for the families with an in-run
 // baseline that the optimization work targets (EX2Pipeline,
-// THM6Exactness), the optimized variant must not be more than 2x slower
-// than its baseline measured in the same run on the same machine. A
-// failure means the optimized path regressed against the code it is
-// supposed to beat.
+// THM6Exactness) plus the observability overhead probe (EX2Observed),
+// the optimized/observed variant must not be more than 2x slower than
+// its baseline measured in the same run on the same machine. A failure
+// means the optimized path regressed against the code it is supposed to
+// beat — or that tracing got expensive enough to distort what it
+// measures.
 func Check(rep *Report) error {
 	for _, e := range rep.Entries {
 		if e.BaselineNsOp == 0 {
 			continue
 		}
-		if e.Family != "EX2Pipeline" && e.Family != "THM6Exactness" {
+		if e.Family != "EX2Pipeline" && e.Family != "THM6Exactness" && e.Family != "EX2Observed" {
 			continue
 		}
 		if e.NsOp > 2*e.BaselineNsOp {

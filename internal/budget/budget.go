@@ -27,6 +27,8 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+
+	"regexrw/internal/obs"
 )
 
 // CheckInterval is how many meter ticks pass between consultations of
@@ -154,13 +156,30 @@ type Meter struct {
 	ctx   context.Context
 	stage string
 	ticks int64
+
+	// Observability taps (internal/obs), captured once at Enter so the
+	// per-charge cost is a nil check. Every charge is mirrored onto the
+	// context's active span and onto the per-stage counters of the
+	// context's metrics registry ("<stage>.states" /
+	// "<stage>.transitions"), making the budget meter the single feed
+	// point for all state/transition accounting: what tracing and
+	// metrics report is exactly what the governor charged.
+	span    *obs.Span
+	cStates *obs.Counter
+	cTrans  *obs.Counter
 }
 
 // Enter opens a meter for the named pipeline stage on the context's
 // budget (if any). The stage name is what an ExceededError and the
-// fault-injection hook see, e.g. "automata.determinize".
+// fault-injection hook see, e.g. "automata.determinize"; it also names
+// the stage's span counters and registry metrics.
 func Enter(ctx context.Context, stage string) *Meter {
-	return &Meter{b: From(ctx), ctx: ctx, stage: stage}
+	m := &Meter{b: From(ctx), ctx: ctx, stage: stage, span: obs.SpanFromContext(ctx)}
+	if r := obs.MetricsFrom(ctx); r != nil {
+		m.cStates = r.Counter(stage + ".states")
+		m.cTrans = r.Counter(stage + ".transitions")
+	}
+	return m
 }
 
 // Check ticks the meter without charging resources: the hook runs, and
@@ -187,6 +206,12 @@ func (m *Meter) Check() error {
 // fails with a *ExceededError once the pipeline's total exceeds the
 // budget's cap.
 func (m *Meter) AddStates(n int) error {
+	if n > 0 {
+		// Observability first: the charge reflects work already
+		// materialized, so it must be recorded even when it trips the cap.
+		m.span.AddStates(int64(n))
+		m.cStates.Add(int64(n))
+	}
 	if m.b != nil && n > 0 {
 		used := m.b.states.Add(int64(n))
 		if m.b.maxStates > 0 && used > m.b.maxStates {
@@ -199,6 +224,10 @@ func (m *Meter) AddStates(n int) error {
 // AddTransitions charges n transitions to the budget and ticks the
 // meter.
 func (m *Meter) AddTransitions(n int) error {
+	if n > 0 {
+		m.span.AddTransitions(int64(n))
+		m.cTrans.Add(int64(n))
+	}
 	if m.b != nil && n > 0 {
 		used := m.b.transitions.Add(int64(n))
 		if m.b.maxTransitions > 0 && used > m.b.maxTransitions {

@@ -1,0 +1,85 @@
+// Package cliobs wires the observability flags shared by the CLIs:
+// -trace FILE writes the pipeline's span tree as JSON, -metrics prints
+// per-stage counters in Prometheus text format. Both attach to the
+// run's context, so every ...Context entry point downstream records
+// into them; the outputs are emitted by a deferred finish function, so
+// a run that fails mid-pipeline (budget exhaustion, deadline) still
+// leaves its partial trace — which is exactly when a trace is most
+// wanted.
+package cliobs
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"regexrw/internal/obs"
+)
+
+// Flags holds the observability flag values of one CLI run.
+type Flags struct {
+	TracePath string
+	Metrics   bool
+}
+
+// Register declares -trace and -metrics on the flag set.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.TracePath, "trace", "", "write a JSON trace of the pipeline stages to this file")
+	fs.BoolVar(&f.Metrics, "metrics", false, "print pipeline metrics (Prometheus text format) to stderr at exit")
+}
+
+// Install attaches a tracer and/or metrics registry to ctx per the
+// flags and returns the derived context plus a finish function to
+// defer: it writes the trace file and prints the metrics, reporting
+// problems on stderr. With both flags off it returns ctx unchanged and
+// a no-op finish.
+func (f *Flags) Install(ctx context.Context, stderr io.Writer) (context.Context, func()) {
+	var tracer *obs.Tracer
+	var reg *obs.Registry
+	if f.TracePath != "" {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+	if f.Metrics {
+		reg = obs.NewRegistry()
+		ctx = obs.WithMetrics(ctx, reg)
+	}
+	finish := func() {
+		if tracer != nil {
+			if err := writeTraceFile(f.TracePath, tracer); err != nil {
+				fmt.Fprintln(stderr, "trace:", err)
+			}
+		}
+		if reg != nil {
+			fmt.Fprintln(stderr, "# per-run pipeline metrics")
+			if err := reg.WritePrometheus(stderr); err != nil {
+				fmt.Fprintln(stderr, "metrics:", err)
+			}
+			WriteGlobalMetrics(stderr)
+		}
+	}
+	return ctx, finish
+}
+
+// WriteGlobalMetrics prints the process-wide registry (automata cache
+// counters and other context-free metrics) in Prometheus text format.
+func WriteGlobalMetrics(w io.Writer) {
+	fmt.Fprintln(w, "# process-wide metrics")
+	if err := obs.Default.WritePrometheus(w); err != nil {
+		fmt.Fprintln(w, "metrics:", err)
+	}
+}
+
+func writeTraceFile(path string, t *obs.Tracer) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

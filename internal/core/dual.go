@@ -6,6 +6,7 @@ import (
 	"regexrw/internal/alphabet"
 	"regexrw/internal/automata"
 	"regexrw/internal/budget"
+	"regexrw/internal/obs"
 	"regexrw/internal/regex"
 )
 
@@ -175,6 +176,8 @@ func expandOverViews(base *automata.DFA, sigma, sigmaE *alphabet.Alphabet, views
 // automaton per (state, view-edge) pair of base, so its size is
 // |base| + Σ_edges |view| and can dwarf the rewriting itself.
 func expandOverViewsContext(ctx context.Context, base *automata.DFA, sigma, sigmaE *alphabet.Alphabet, views map[alphabet.Symbol]*automata.NFA) (*automata.NFA, error) {
+	ctx, span := obs.StartSpan(ctx, "core.expand")
+	defer span.End()
 	meter := budget.Enter(ctx, "core.expand")
 	if err := meter.AddStates(base.NumStates()); err != nil {
 		return nil, err

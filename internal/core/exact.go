@@ -7,6 +7,7 @@ import (
 	"regexrw/internal/alphabet"
 	"regexrw/internal/automata"
 	"regexrw/internal/budget"
+	"regexrw/internal/obs"
 )
 
 // Expand returns the automaton B of Section 2 accepting exp(L(R)) over
@@ -56,6 +57,8 @@ func (r *Rewriting) IsExact() (exact bool, witness []alphabet.Symbol) {
 // the corresponding error; callers that want a verdict rather than an
 // error should use TryExactness.
 func (r *Rewriting) IsExactContext(ctx context.Context) (exact bool, witness []alphabet.Symbol, err error) {
+	ctx, span := obs.StartSpan(ctx, "core.exactness")
+	defer span.End()
 	exp, err := r.ExpandContext(ctx)
 	if err != nil {
 		return false, nil, err

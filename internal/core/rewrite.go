@@ -10,6 +10,7 @@ import (
 	"regexrw/internal/alphabet"
 	"regexrw/internal/automata"
 	"regexrw/internal/budget"
+	"regexrw/internal/obs"
 	"regexrw/internal/par"
 	"regexrw/internal/regex"
 )
@@ -77,6 +78,8 @@ func MaximalRewriting(inst *Instance) *Rewriting { //invariantcall:checked deleg
 // *budget.ExceededError naming the stage that gave out; the ctx-free
 // MaximalRewriting wrapper is unaffected.
 func MaximalRewritingContext(ctx context.Context, inst *Instance) (*Rewriting, error) {
+	ctx, span := obs.StartSpan(ctx, "core.maximal_rewriting")
+	defer span.End()
 	ad, err := determinizeQueryContext(ctx, inst.Query, inst.sigma)
 	if err != nil {
 		return nil, err
@@ -93,13 +96,25 @@ func MaximalRewritingContext(ctx context.Context, inst *Instance) (*Rewriting, e
 	if err != nil {
 		return nil, fmt.Errorf("core: rewriting automaton: %w", err)
 	}
+	auto := complementSpanned(ctx, det)
 	r := &Rewriting{
 		Instance: inst,
-		Ad:       ad, APrime: ap, Auto: det.Complement(),
+		Ad:       ad, APrime: ap, Auto: auto,
 		sigma: inst.sigma, sigmaE: inst.sigmaE, views: views,
 	}
 	debugValidateRewriting(r)
 	return r, nil
+}
+
+// complementSpanned is Step 3 of the construction under its own span.
+// Complementing a total DFA only flips accepting bits — no states are
+// materialized, so nothing is charged on the budget; the span records
+// the automaton's size as an attribute instead.
+func complementSpanned(ctx context.Context, det *automata.DFA) *automata.DFA {
+	_, span := obs.StartSpan(ctx, "automata.complement")
+	defer span.End()
+	span.SetAttr("states", int64(det.NumStates()))
+	return det.Complement()
 }
 
 // determinizeQuery builds a minimal total DFA for the query. Queries
@@ -120,9 +135,11 @@ func determinizeQuery(q *regex.Node, sigma *alphabet.Alphabet) *automata.DFA {
 // cancellation and budget metering threaded into every subset
 // construction, DFA union and minimization.
 func determinizeQueryContext(ctx context.Context, q *regex.Node, sigma *alphabet.Alphabet) (*automata.DFA, error) {
+	ctx, span := obs.StartSpan(ctx, "core.a_d")
+	defer span.End()
 	const unionThreshold = 4
 	if q.Op != regex.OpUnion || len(q.Subs) < unionThreshold {
-		d, err := automata.DeterminizeContext(ctx, q.ToNFA(sigma))
+		d, err := automata.DeterminizeContext(ctx, toNFASpanned(ctx, q, sigma))
 		if err != nil {
 			return nil, fmt.Errorf("core: A_d: %w", err)
 		}
@@ -134,7 +151,7 @@ func determinizeQueryContext(ctx context.Context, q *regex.Node, sigma *alphabet
 	}
 	var ad *automata.DFA
 	for _, branch := range q.Subs {
-		bd, err := automata.DeterminizeContext(ctx, branch.ToNFA(sigma))
+		bd, err := automata.DeterminizeContext(ctx, toNFASpanned(ctx, branch, sigma))
 		if err != nil {
 			return nil, fmt.Errorf("core: A_d branch: %w", err)
 		}
@@ -158,6 +175,17 @@ func determinizeQueryContext(ctx context.Context, q *regex.Node, sigma *alphabet
 	// The per-branch alphabets are all sigma, so no lifting is needed;
 	// totalize for the A' construction.
 	return ad.Totalize(), nil
+}
+
+// toNFASpanned is the Glushkov/Thompson build of the query NFA under
+// its own span. The build is linear in the regex, so nothing is
+// budget-charged; the span records the NFA size as an attribute.
+func toNFASpanned(ctx context.Context, q *regex.Node, sigma *alphabet.Alphabet) *automata.NFA {
+	_, span := obs.StartSpan(ctx, "regex.to_nfa")
+	defer span.End()
+	n := q.ToNFA(sigma)
+	span.SetAttr("nfa_states", int64(n.NumStates()))
+	return n
 }
 
 // MaximalRewritingBounded is MaximalRewriting with a resource guard:
@@ -204,15 +232,12 @@ func MaximalRewritingAutomata(e0 *automata.NFA, sigmaE *alphabet.Alphabet, views
 // cooperative cancellation and budget metering threaded into both
 // determinizations, the minimization, and the A' transfer BFS.
 func MaximalRewritingAutomataContext(ctx context.Context, e0 *automata.NFA, sigmaE *alphabet.Alphabet, views map[alphabet.Symbol]*automata.NFA) (*Rewriting, error) {
-	d, err := automata.DeterminizeContext(ctx, e0)
+	ctx, span := obs.StartSpan(ctx, "core.maximal_rewriting")
+	defer span.End()
+	ad, err := adFromNFA(ctx, e0)
 	if err != nil {
-		return nil, fmt.Errorf("core: A_d: %w", err)
+		return nil, err
 	}
-	m, err := d.MinimizeContext(ctx)
-	if err != nil {
-		return nil, fmt.Errorf("core: A_d: %w", err)
-	}
-	ad := m.Totalize()
 	ap, err := transferAutomatonContext(ctx, ad, sigmaE, views)
 	if err != nil {
 		return nil, err
@@ -224,12 +249,30 @@ func MaximalRewritingAutomataContext(ctx context.Context, e0 *automata.NFA, sigm
 	if err != nil {
 		return nil, fmt.Errorf("core: rewriting automaton: %w", err)
 	}
+	auto := complementSpanned(ctx, det)
 	r := &Rewriting{
-		Ad: ad, APrime: ap, Auto: det.Complement(),
+		Ad: ad, APrime: ap, Auto: auto,
 		sigma: e0.Alphabet(), sigmaE: sigmaE, views: views,
 	}
 	debugValidateRewriting(r)
 	return r, nil
+}
+
+// adFromNFA is Step 1 for a pre-compiled target language: determinize,
+// minimize, totalize, under the same "core.a_d" span as the
+// regex-driven path.
+func adFromNFA(ctx context.Context, e0 *automata.NFA) (*automata.DFA, error) {
+	ctx, span := obs.StartSpan(ctx, "core.a_d")
+	defer span.End()
+	d, err := automata.DeterminizeContext(ctx, e0)
+	if err != nil {
+		return nil, fmt.Errorf("core: A_d: %w", err)
+	}
+	m, err := d.MinimizeContext(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("core: A_d: %w", err)
+	}
+	return m.Totalize(), nil
 }
 
 // maximalRewritingFromDFA runs Steps 2–3 of the construction from an
@@ -274,6 +317,8 @@ func transferAutomaton(ad *automata.DFA, sigmaE *alphabet.Alphabet, views map[al
 // GOMAXPROCS) — the merge below runs in symbol order, so the resulting
 // automaton is identical to the sequential construction's.
 func transferAutomatonContext(ctx context.Context, ad *automata.DFA, sigmaE *alphabet.Alphabet, views map[alphabet.Symbol]*automata.NFA) (*automata.NFA, error) {
+	ctx, span := obs.StartSpan(ctx, "core.transfer")
+	defer span.End()
 	meter := budget.Enter(ctx, "core.transfer")
 	if err := meter.AddStates(ad.NumStates()); err != nil {
 		return nil, err
@@ -305,13 +350,29 @@ func transferAutomatonContext(ctx context.Context, ad *automata.DFA, sigmaE *alp
 	// as the root cause.
 	targets := make([][][]automata.State, len(syms))
 	err := par.ForEach(ctx, len(syms), func(wctx context.Context, i int) error {
-		wm := budget.Enter(wctx, "core.transfer")
-		ts, terr := transferTargets(wm, views[syms[i]], ad)
-		if terr != nil {
-			return terr
+		// With observability off this is the bare fixpoint call; with it
+		// on, each view's fixpoint gets a "core.transfer:<view>" span and
+		// pprof labels so CPU profiles attribute samples per view symbol.
+		// The two arms are kept separate so the disabled path builds no
+		// closure and assembles no label strings.
+		if !obs.Enabled(wctx) {
+			wm := budget.Enter(wctx, "core.transfer")
+			ts, terr := transferTargets(wm, views[syms[i]], ad)
+			if terr != nil {
+				return terr
+			}
+			targets[i] = ts
+			return nil
 		}
-		targets[i] = ts
-		return nil
+		name := sigmaE.Name(syms[i])
+		vctx, vspan := obs.StartSpan2(wctx, "core.transfer", name)
+		defer vspan.End()
+		var terr error
+		obs.Do(vctx, func(lctx context.Context) {
+			wm := budget.Enter(lctx, "core.transfer")
+			targets[i], terr = transferTargets(wm, views[syms[i]], ad)
+		}, "stage", "core.transfer", "view", name)
+		return terr
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// TestTracerOffZeroAlloc pins the disabled-path contract: with no
+// tracer or registry on the context, every obs primitive the pipeline
+// calls per stage allocates nothing. The pipeline-level counterpart
+// (BenchmarkTracerOff in the root package) measures the same property
+// end-to-end on the THM5 family.
+func TestTracerOffZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"StartSpan", func() {
+			_, s := StartSpan(ctx, "automata.determinize")
+			s.AddStates(3)
+			s.AddTransitions(5)
+			s.AddCache(2, 1)
+			s.End()
+		}},
+		{"StartSpan2", func() {
+			_, s := StartSpan2(ctx, "core.transfer", "e1")
+			s.SetAttr("workers", 2)
+			s.End()
+		}},
+		{"SpanFromContext", func() {
+			_ = SpanFromContext(ctx)
+		}},
+		{"MetricsFrom", func() {
+			r := MetricsFrom(ctx)
+			r.Counter("x").Inc()
+		}},
+		{"Do", func() {
+			Do(ctx, func(context.Context) {}, "stage", "x")
+		}},
+		{"Enabled", func() {
+			_ = Enabled(ctx)
+		}},
+	}
+	for _, tc := range cases {
+		if avg := testing.AllocsPerRun(100, tc.f); avg != 0 {
+			t.Errorf("%s: %v allocs/op on disabled path, want 0", tc.name, avg)
+		}
+	}
+}
+
+// BenchmarkObsOff reports allocs/op for the disabled primitives; run
+// with -benchmem. Kept alongside the AllocsPerRun test so regressions
+// show in bench output too.
+func BenchmarkObsOff(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := StartSpan(ctx, "automata.determinize")
+		s.AddStates(3)
+		s.AddCache(1, 1)
+		s.End()
+		Do(ctx, func(context.Context) {}, "stage", "x")
+	}
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzTraceRoundTrip: any input ParseTrace accepts must re-marshal and
+// re-parse to the same tree (marshal ∘ parse is idempotent), and the
+// re-marshaled bytes must pass ValidateTrace. Inputs ParseTrace rejects
+// must not crash it.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"name":"run"}`))
+	f.Add([]byte(`{"name":"run","states":3,"children":[{"name":"automata.determinize","states":3,"transitions":7,"cache_hits":4,"cache_misses":3}]}`))
+	f.Add([]byte(`{"name":"run","start_us":1,"dur_us":20,"attrs":{"workers":4},"children":[{"name":"core.transfer:e1"},{"name":"core.transfer:e2"}]}`))
+	f.Add([]byte(`{"name":"run","children":[{"name":"x","children":[{"name":"y","children":[{"name":"z"}]}]}]}`))
+	f.Add([]byte(`{"name":""}`))
+	f.Add([]byte(`{"name":"run","states":-5}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		root, err := ParseTrace(data)
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(root)
+		if err != nil {
+			t.Fatalf("marshal of parsed trace failed: %v", err)
+		}
+		if err := ValidateTrace(out); err != nil {
+			t.Fatalf("re-marshaled trace invalid: %v\n%s", err, out)
+		}
+		root2, err := ParseTrace(out)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\n%s", err, out)
+		}
+		out2, err := json.Marshal(root2)
+		if err != nil {
+			t.Fatalf("second marshal failed: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("round-trip not stable:\n%s\n%s", out, out2)
+		}
+	})
+}

@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric (Store exists only so
+// owners can reset between measurement windows, e.g. the bench
+// harness). All methods are safe on a nil *Counter and for concurrent
+// use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n < 0 is ignored).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Store resets the counter to v. Only the counter's owner should call
+// it, and only between measurement windows.
+func (c *Counter) Store(v int64) {
+	if c == nil {
+		return
+	}
+	c.v.Store(v)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down (live worker counts, sizes
+// of the most recent automaton). Safe on nil and for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge's value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a named collection of counters and gauges. The zero value
+// is not usable; construct with NewRegistry. All methods are safe on a
+// nil *Registry (returning nil metrics, which swallow every operation)
+// so call sites need no enabled-check.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Default is the process-wide registry. Global instrumentation points
+// with no per-run context — the automata cache counters — live here;
+// per-run metrics should use a fresh registry via WithMetrics.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Snapshot returns the current value of every metric, keyed by name.
+// Counters and gauges share the namespace; a collision (same name used
+// as both) is a programming error and the counter wins.
+func (r *Registry) Snapshot() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int64, len(r.counters)+len(r.gauges))
+	for name, g := range r.gauges { //mapiter:unordered collecting into a map
+		out[name] = g.Value()
+	}
+	for name, c := range r.counters { //mapiter:unordered collecting into a map
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// WritePrometheus writes every metric in Prometheus text exposition
+// format, sorted by name. Metric names get a "regexrw_" prefix and
+// non-alphanumeric characters mapped to '_', so "automata.determinize.states"
+// exposes as regexrw_automata_determinize_states.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	type metric struct {
+		name  string
+		v     int64
+		gauge bool
+	}
+	ms := make([]metric, 0, len(r.counters)+len(r.gauges))
+	for name, c := range r.counters { //mapiter:unordered collected then sorted
+		ms = append(ms, metric{name, c.Value(), false})
+	}
+	for name, g := range r.gauges { //mapiter:unordered collected then sorted
+		ms = append(ms, metric{name, g.Value(), true})
+	}
+	r.mu.RUnlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	for _, m := range ms {
+		name := promName(m.name)
+		typ := "counter"
+		if m.gauge {
+			typ = "gauge"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", name, typ, name, m.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a dotted metric name to a Prometheus-legal one:
+// "regexrw_" prefix, every character outside [a-zA-Z0-9_] replaced
+// by '_'.
+func promName(name string) string {
+	b := make([]byte, 0, len(name)+8)
+	b = append(b, "regexrw_"...)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}
+
+// expvarPublished tracks names already handed to expvar.Publish, which
+// panics on duplicates; PublishExpvar must be idempotent across
+// registries and calls.
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = make(map[string]bool)
+)
+
+// PublishExpvar exposes every metric currently in the registry through
+// the standard expvar mechanism (and thus /debug/vars), under their
+// Prometheus names. Values read live. Idempotent; metrics created after
+// the call need another call to appear.
+func (r *Registry) PublishExpvar() {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	type entry struct {
+		name string
+		f    func() int64
+	}
+	var entries []entry
+	for name, c := range r.counters { //mapiter:unordered collected, publish order irrelevant
+		entries = append(entries, entry{promName(name), c.Value})
+	}
+	for name, g := range r.gauges { //mapiter:unordered collected, publish order irrelevant
+		entries = append(entries, entry{promName(name), g.Value})
+	}
+	r.mu.RUnlock()
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	for _, e := range entries {
+		if expvarPublished[e.name] {
+			continue
+		}
+		expvarPublished[e.name] = true
+		f := e.f
+		expvar.Publish(e.name, expvar.Func(func() any { return f() }))
+	}
+}
+
+// WriteSnapshot writes the registry's metrics as "name value" lines
+// sorted by name — the human-readable form the CLIs print under
+// -metrics.
+func (r *Registry) WriteSnapshot(w io.Writer) error {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap { //mapiter:unordered collected then sorted
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := io.WriteString(w, name+" "+strconv.FormatInt(snap[name], 10)+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type registryKey struct{}
+
+// WithMetrics returns a context carrying the registry; the budget
+// meters downstream will feed per-stage counters into it. A nil
+// registry returns ctx unchanged.
+func WithMetrics(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, registryKey{}, r)
+}
+
+// MetricsFrom returns the context's registry, or nil when none is
+// installed. The nil case costs one context lookup and no allocation,
+// and a nil *Registry swallows every operation.
+func MetricsFrom(ctx context.Context) *Registry {
+	r, _ := ctx.Value(registryKey{}).(*Registry)
+	return r
+}

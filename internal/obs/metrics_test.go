@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryAndMetrics(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	c.Add(1)
+	c.Inc()
+	c.Store(7)
+	g.Set(3)
+	g.Add(-1)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatalf("nil metrics hold values: %d %d", c.Value(), g.Value())
+	}
+	if r.Snapshot() != nil {
+		t.Fatalf("nil registry snapshot non-nil")
+	}
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	r.PublishExpvar()
+	if MetricsFrom(context.Background()) != nil {
+		t.Fatalf("bare context carries a registry")
+	}
+	if MetricsFrom(WithMetrics(context.Background(), nil)) != nil {
+		t.Fatalf("WithMetrics(nil) installed a registry")
+	}
+}
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("automata.determinize.states").Add(5)
+	r.Counter("automata.determinize.states").Add(2) // same instance
+	r.Gauge("par.workers").Set(4)
+	snap := r.Snapshot()
+	if snap["automata.determinize.states"] != 7 {
+		t.Fatalf("counter = %d, want 7", snap["automata.determinize.states"])
+	}
+	if snap["par.workers"] != 4 {
+		t.Fatalf("gauge = %d, want 4", snap["par.workers"])
+	}
+
+	ctx := WithMetrics(context.Background(), r)
+	if MetricsFrom(ctx) != r {
+		t.Fatalf("MetricsFrom did not return the installed registry")
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE regexrw_automata_determinize_states counter",
+		"regexrw_automata_determinize_states 7",
+		"# TYPE regexrw_par_workers gauge",
+		"regexrw_par_workers 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := r.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), "automata.determinize.states 7\npar.workers 4\n"; got != want {
+		t.Fatalf("snapshot text = %q, want %q", got, want)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	if got := promName("rpq.view:e1"); got != "regexrw_rpq_view_e1" {
+		t.Fatalf("promName = %q", got)
+	}
+}
+
+func TestCounterStoreResets(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Add(10)
+	c.Store(0)
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatalf("after reset+inc: %d", c.Value())
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("shared").Inc()
+				r.Gauge("g").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 800 {
+		t.Fatalf("shared counter = %d, want 800", got)
+	}
+	if got := r.Gauge("g").Value(); got != 800 {
+		t.Fatalf("gauge = %d, want 800", got)
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("expvar.test.counter").Add(3)
+	r.PublishExpvar()
+	r.PublishExpvar() // second call must not panic on duplicate publish
+	r2 := NewRegistry()
+	r2.Counter("expvar.test.counter").Add(9)
+	r2.PublishExpvar() // same name from another registry must not panic
+}
+
+func TestEnabledAndDo(t *testing.T) {
+	ctx := context.Background()
+	if Enabled(ctx) {
+		t.Fatalf("bare context Enabled")
+	}
+	ran := false
+	Do(ctx, func(context.Context) { ran = true }, "stage", "x")
+	if !ran {
+		t.Fatalf("Do skipped f on disabled path")
+	}
+	tctx := WithTracer(ctx, NewTracer())
+	if !Enabled(tctx) {
+		t.Fatalf("traced context not Enabled")
+	}
+	mctx := WithMetrics(ctx, NewRegistry())
+	if !Enabled(mctx) {
+		t.Fatalf("metrics context not Enabled")
+	}
+	ran = false
+	Do(tctx, func(context.Context) { ran = true }, "stage", "x")
+	if !ran {
+		t.Fatalf("Do skipped f on enabled path")
+	}
+}

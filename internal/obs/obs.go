@@ -1,0 +1,255 @@
+// Package obs is the observability layer of the rewriting pipeline:
+// stage tracing, pipeline metrics and profiling hooks, with no
+// dependency on anything but the standard library.
+//
+// The constructions this repository reproduces are doubly exponential
+// by theorem (Theorems 5 and 8 of the paper), so when a run is slow or
+// a budget trips, the interesting question is never "did it blow up"
+// but "which stage materialized the states". Three instruments answer
+// it:
+//
+//   - Spans (this file): a Tracer carried on the context records a tree
+//     of named stage spans — parse → NFA build → determinize → transfer
+//     fan-out → complement → exactness — each holding wall time plus
+//     the states, transitions and cache hits/misses that stage
+//     materialized. The counts are fed by the existing budget meters
+//     (internal/budget) and the subset-interner of the automata cache,
+//     so tracing sees exactly what the resource governor charges. The
+//     tree exports as JSON (trace.go).
+//   - Metrics (metrics.go): an atomic Counter/Gauge registry with
+//     Prometheus-text and expvar exposition plus a snapshot API. A
+//     Registry on the context receives per-stage counters from every
+//     budget meter; the process-wide Default registry holds the
+//     automata cache counters.
+//   - Profiling hooks (pprof.go): Do wraps runtime/pprof labels around
+//     per-stage and per-view work so CPU profiles attribute samples to
+//     paper constructions.
+//
+// Everything is allocation-free when disabled: with no tracer on the
+// context, StartSpan returns a nil *Span whose every method is a
+// nil-check no-op, and Do invokes its function directly. The
+// TestTracerOffZeroAlloc / BenchmarkTracerOff guards pin this down.
+//
+// A Tracer built with the Deterministic option records no wall-clock
+// values at all, so its JSON export is a pure function of the pipeline
+// input — the golden-trace tests rely on this.
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RootSpanName is the name of the span WithTracer installs at the top
+// of the trace tree.
+const RootSpanName = "run"
+
+// Tracer collects one tree of spans. A single Tracer instruments one
+// pipeline run (or one logical unit of work); concurrent stages of that
+// run may create child spans from worker goroutines — the tree is
+// guarded by the tracer's lock, and per-span counters are atomic.
+type Tracer struct {
+	mu            sync.Mutex
+	root          *Span
+	deterministic bool
+}
+
+// TracerOption configures a Tracer.
+type TracerOption func(*Tracer)
+
+// Deterministic makes the tracer record no wall-clock values: span
+// start offsets, durations and worker busy-times stay zero and are
+// omitted from the JSON export, which is then a pure function of the
+// traced computation. Golden-trace tests use this.
+func Deterministic() TracerOption {
+	return func(t *Tracer) { t.deterministic = true }
+}
+
+// NewTracer returns an empty tracer. Install it on a context with
+// WithTracer to start recording.
+func NewTracer(opts ...TracerOption) *Tracer {
+	t := &Tracer{}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+func (t *Tracer) now() time.Time {
+	if t.deterministic {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Span is one node of the trace tree: a named pipeline stage with wall
+// time and the resources it materialized. States and Transitions are
+// fed by the budget meters of the stage (internal/budget), CacheHits
+// and CacheMisses by the automata subset-interner, and attributes by
+// whoever has something structural to record (worker counts, automaton
+// sizes). All methods are safe on a nil *Span — the disabled-tracing
+// fast path — and the counter methods are safe for concurrent use.
+type Span struct {
+	tracer *Tracer
+	name   string
+
+	start time.Time
+	dur   atomic.Int64 // nanoseconds; 0 = not ended (or deterministic)
+
+	states      atomic.Int64
+	transitions atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	// attrs and children are guarded by tracer.mu.
+	attrs    map[string]int64
+	children []*Span
+}
+
+type spanKey struct{}
+
+// WithTracer returns a context carrying the tracer's root span; every
+// StartSpan downstream attaches to it. The root span ("run") is created
+// on first use and reused by later WithTracer calls with the same
+// tracer, so several sub-contexts can feed one trace. A nil tracer
+// returns ctx unchanged.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	t.mu.Lock()
+	if t.root == nil {
+		t.root = &Span{tracer: t, name: RootSpanName, start: t.now()}
+	}
+	root := t.root
+	t.mu.Unlock()
+	return context.WithValue(ctx, spanKey{}, root)
+}
+
+// SpanFromContext returns the active span, or nil when the context
+// carries no tracer. The nil case costs one context lookup and no
+// allocation.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a child span of the context's active span and returns
+// a context carrying it. When the context has no tracer it returns
+// (ctx, nil) without allocating — the nil *Span swallows every method
+// call. Callers must End the span (nil-safe, so unconditionally):
+//
+//	ctx, span := obs.StartSpan(ctx, "automata.determinize")
+//	defer span.End()
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	return parent.newChild(ctx, name)
+}
+
+// StartSpan2 is StartSpan with the name assembled as name:detail —
+// "core.transfer:e1" for the per-view fan-out spans — concatenating
+// only when tracing is enabled, so the disabled path allocates nothing.
+func StartSpan2(ctx context.Context, name, detail string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	return parent.newChild(ctx, name+":"+detail)
+}
+
+func (s *Span) newChild(ctx context.Context, name string) (context.Context, *Span) {
+	t := s.tracer
+	child := &Span{tracer: t, name: name, start: t.now()}
+	t.mu.Lock()
+	s.children = append(s.children, child)
+	t.mu.Unlock()
+	return context.WithValue(ctx, spanKey{}, child), child
+}
+
+// End records the span's duration. It is idempotent (the first call
+// wins) and a no-op on a nil span or a deterministic tracer.
+func (s *Span) End() {
+	if s == nil || s.tracer.deterministic {
+		return
+	}
+	s.dur.CompareAndSwap(0, int64(time.Since(s.start))|1) // |1: mark ended even on a 0ns clock
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// AddStates records n materialized states on the span. The budget
+// meters call this on every charge, so a span's states total equals
+// what the stage drew from the run's budget.
+func (s *Span) AddStates(n int64) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.states.Add(n)
+}
+
+// AddTransitions records n materialized transitions on the span.
+func (s *Span) AddTransitions(n int64) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.transitions.Add(n)
+}
+
+// AddCache records subset-interner probe results on the span: hits
+// found an existing subset id, misses created one. The automata
+// constructions flush their per-call interner counts here.
+func (s *Span) AddCache(hits, misses int64) {
+	if s == nil {
+		return
+	}
+	if hits > 0 {
+		s.cacheHits.Add(hits)
+	}
+	if misses > 0 {
+		s.cacheMisses.Add(misses)
+	}
+}
+
+// SetAttr records a named structural attribute on the span (worker
+// counts, automaton sizes, …). Attributes must be deterministic values;
+// wall-clock-derived ones belong in SetTimeAttr.
+func (s *Span) SetAttr(name string, v int64) {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	t.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]int64)
+	}
+	s.attrs[name] = v
+	t.mu.Unlock()
+}
+
+// SetTimeAttr is SetAttr for wall-clock-derived values (busy
+// nanoseconds, …): it is dropped on a deterministic tracer so that the
+// exported trace stays a pure function of the input.
+func (s *Span) SetTimeAttr(name string, v int64) {
+	if s == nil || s.tracer.deterministic {
+		return
+	}
+	s.SetAttr(name, v)
+}
+
+// Timed reports whether the span records wall-clock values (false on a
+// nil span or a deterministic tracer). Callers use it to skip timing
+// instrumentation whose only consumer is the trace.
+func (s *Span) Timed() bool {
+	return s != nil && !s.tracer.deterministic
+}

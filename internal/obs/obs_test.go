@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNoTracerFastPath(t *testing.T) {
+	ctx := context.Background()
+	if s := SpanFromContext(ctx); s != nil {
+		t.Fatalf("SpanFromContext on bare context = %v, want nil", s)
+	}
+	ctx2, span := StartSpan(ctx, "automata.determinize")
+	if span != nil {
+		t.Fatalf("StartSpan without tracer returned span %v", span)
+	}
+	if ctx2 != ctx {
+		t.Fatalf("StartSpan without tracer returned a new context")
+	}
+	// Every method must be a nil-safe no-op.
+	span.End()
+	span.AddStates(5)
+	span.AddTransitions(5)
+	span.AddCache(1, 2)
+	span.SetAttr("x", 1)
+	span.SetTimeAttr("t", 1)
+	if span.Timed() {
+		t.Fatalf("nil span reports Timed")
+	}
+	if span.Name() != "" {
+		t.Fatalf("nil span Name = %q", span.Name())
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	tr := NewTracer(Deterministic())
+	ctx := WithTracer(context.Background(), tr)
+
+	root := SpanFromContext(ctx)
+	if root == nil || root.Name() != RootSpanName {
+		t.Fatalf("root span = %v, want name %q", root, RootSpanName)
+	}
+	// WithTracer is idempotent: the same tracer yields the same root.
+	if again := SpanFromContext(WithTracer(ctx, tr)); again != root {
+		t.Fatalf("second WithTracer created a new root")
+	}
+
+	cctx, det := StartSpan(ctx, "automata.determinize")
+	det.AddStates(4)
+	det.AddTransitions(9)
+	det.AddCache(6, 4)
+	_, inner := StartSpan(cctx, "automata.minimize")
+	inner.AddStates(3)
+	inner.End()
+	det.End()
+	_, tv := StartSpan2(ctx, "core.transfer", "e1")
+	tv.SetAttr("workers", 2)
+	tv.End()
+
+	got := tr.Export()
+	want := &SpanJSON{
+		Name: RootSpanName,
+		Children: []*SpanJSON{
+			{
+				Name: "automata.determinize", States: 4, Transitions: 9,
+				CacheHits: 6, CacheMisses: 4,
+				Children: []*SpanJSON{{Name: "automata.minimize", States: 3}},
+			},
+			{Name: "core.transfer:e1", Attrs: map[string]int64{"workers": 2}},
+		},
+	}
+	gj, _ := json.Marshal(got)
+	wj, _ := json.Marshal(want)
+	if !bytes.Equal(gj, wj) {
+		t.Fatalf("trace mismatch:\n got %s\nwant %s", gj, wj)
+	}
+}
+
+func TestDeterministicExportOmitsClock(t *testing.T) {
+	tr := NewTracer(Deterministic())
+	ctx := WithTracer(context.Background(), tr)
+	_, s := StartSpan(ctx, "stage")
+	s.SetTimeAttr("busy_ns", 12345) // must be dropped
+	if s.Timed() {
+		t.Fatalf("deterministic span reports Timed")
+	}
+	s.End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, forbidden := range []string{"start_us", "dur_us", "busy_ns"} {
+		if strings.Contains(out, forbidden) {
+			t.Fatalf("deterministic export contains %q:\n%s", forbidden, out)
+		}
+	}
+}
+
+func TestWallClockExport(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	_, s := StartSpan(ctx, "stage")
+	if !s.Timed() {
+		t.Fatalf("wall-clock span not Timed")
+	}
+	s.End()
+	s.End() // idempotent
+	got := tr.Export()
+	if len(got.Children) != 1 || got.Children[0].DurUS < 0 {
+		t.Fatalf("unexpected export: %+v", got)
+	}
+	if err := ValidateTrace(mustJSON(t, got)); err != nil {
+		t.Fatalf("exported trace invalid: %v", err)
+	}
+}
+
+func TestExportNilAndEmpty(t *testing.T) {
+	var tr *Tracer
+	if tr.Export() != nil {
+		t.Fatalf("nil tracer exported a tree")
+	}
+	if NewTracer().Export() != nil {
+		t.Fatalf("unused tracer exported a tree")
+	}
+	var buf bytes.Buffer
+	if err := NewTracer().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("empty WriteJSON output invalid: %v", err)
+	}
+}
+
+func TestConcurrentChildren(t *testing.T) {
+	tr := NewTracer(Deterministic())
+	ctx := WithTracer(context.Background(), tr)
+	pctx, parent := StartSpan(ctx, "par.foreach")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, s := StartSpan(pctx, "worker")
+			s.AddStates(1)
+			s.End()
+		}()
+	}
+	wg.Wait()
+	parent.End()
+	got := tr.Export()
+	workers := FindSpans(got, "worker")
+	if len(workers) != 8 {
+		t.Fatalf("got %d worker spans, want 8", len(workers))
+	}
+	var total int64
+	WalkTrace(got, func(s *SpanJSON) { total += s.States })
+	if total != 8 {
+		t.Fatalf("total states = %d, want 8", total)
+	}
+}
+
+func TestValidateTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty name":    `{"name":""}`,
+		"nested empty":  `{"name":"run","children":[{"name":""}]}`,
+		"negative":      `{"name":"run","states":-1}`,
+		"unknown field": `{"name":"run","bogus":1}`,
+		"trailing":      `{"name":"run"} {"name":"run"}`,
+		"null child":    `{"name":"run","children":[null]}`,
+		"not json":      `[]`,
+	}
+	for label, in := range cases { //mapiter:unordered independent subtests
+		if err := ValidateTrace([]byte(in)); err == nil {
+			t.Errorf("%s: ValidateTrace(%s) accepted", label, in)
+		}
+	}
+	if err := ValidateTrace([]byte(`{"name":"run","children":[{"name":"x","states":3}]}`)); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

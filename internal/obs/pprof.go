@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// Enabled reports whether observability is active on the context — a
+// span or a metrics registry is installed. Call sites use it to gate
+// instrumentation that would otherwise cost on the disabled path (label
+// string assembly, closure captures).
+func Enabled(ctx context.Context) bool {
+	return SpanFromContext(ctx) != nil || MetricsFrom(ctx) != nil
+}
+
+// Do runs f under pprof labels (key-value pairs, e.g. "stage",
+// "core.transfer", "view", "e1") so CPU profiles attribute samples to
+// pipeline stages and view symbols. When observability is disabled on
+// the context it invokes f directly — no label set allocation, no
+// goroutine-label swap.
+func Do(ctx context.Context, f func(context.Context), kv ...string) {
+	if !Enabled(ctx) {
+		f(ctx)
+		return
+	}
+	pprof.Do(ctx, pprof.Labels(kv...), f)
+}

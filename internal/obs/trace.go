@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SpanJSON is the exported form of one span — the trace JSON schema
+// (documented in docs/OBSERVABILITY.md). Wall-clock fields are
+// microseconds and omitted when zero, which makes a Deterministic
+// tracer's export a pure function of the traced computation. Children
+// appear in creation order; under a single-worker run that order is
+// itself deterministic, which is what the golden-trace tests compare.
+type SpanJSON struct {
+	// Name is the stage name, e.g. "automata.determinize" or
+	// "core.transfer:e1"; the root span is named "run".
+	Name string `json:"name"`
+	// StartUS is the span's start offset from the root span's start, in
+	// microseconds.
+	StartUS int64 `json:"start_us,omitempty"`
+	// DurUS is the span's wall-clock duration in microseconds.
+	DurUS int64 `json:"dur_us,omitempty"`
+	// States / Transitions are the resources the stage materialized, as
+	// charged on the run's budget meters.
+	States      int64 `json:"states,omitempty"`
+	Transitions int64 `json:"transitions,omitempty"`
+	// CacheHits / CacheMisses are the stage's subset-interner probe
+	// outcomes (internal/automata cache layer).
+	CacheHits   int64 `json:"cache_hits,omitempty"`
+	CacheMisses int64 `json:"cache_misses,omitempty"`
+	// Attrs holds structural extras: worker counts, automaton sizes,
+	// per-pool utilization.
+	Attrs map[string]int64 `json:"attrs,omitempty"`
+	// Children are the nested stage spans, in creation order.
+	Children []*SpanJSON `json:"children,omitempty"`
+}
+
+// Export snapshots the trace tree. The root span is ended implicitly if
+// still open. Returns nil when no span was ever recorded (WithTracer
+// never called).
+func (t *Tracer) Export() *SpanJSON {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	root := t.root
+	t.mu.Unlock()
+	if root == nil {
+		return nil
+	}
+	root.End()
+	return t.export(root, root)
+}
+
+func (t *Tracer) export(s, root *Span) *SpanJSON {
+	out := &SpanJSON{
+		Name:        s.name,
+		States:      s.states.Load(),
+		Transitions: s.transitions.Load(),
+		CacheHits:   s.cacheHits.Load(),
+		CacheMisses: s.cacheMisses.Load(),
+	}
+	if !t.deterministic {
+		out.StartUS = s.start.Sub(root.start).Microseconds()
+		out.DurUS = s.dur.Load() / 1000
+	}
+	t.mu.Lock()
+	children := append([]*Span(nil), s.children...)
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]int64, len(s.attrs))
+		for k, v := range s.attrs { //mapiter:unordered copying into a map; JSON marshaling sorts keys
+			out.Attrs[k] = v
+		}
+	}
+	t.mu.Unlock()
+	for _, c := range children {
+		c.End()
+		out.Children = append(out.Children, t.export(c, root))
+	}
+	return out
+}
+
+// WriteJSON writes the trace tree as indented JSON.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	root := t.Export()
+	if root == nil {
+		root = &SpanJSON{Name: RootSpanName}
+	}
+	data, err := json.MarshalIndent(root, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ParseTrace parses and validates a trace JSON document, rejecting
+// unknown fields. It is the decoding half of the round-trip the
+// FuzzTraceRoundTrip fuzzer exercises.
+func ParseTrace(data []byte) (*SpanJSON, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var root SpanJSON
+	if err := dec.Decode(&root); err != nil {
+		return nil, fmt.Errorf("obs: parse trace: %w", err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return nil, fmt.Errorf("obs: parse trace: trailing data after the root span")
+	}
+	if err := validateSpan(&root, ""); err != nil {
+		return nil, err
+	}
+	return &root, nil
+}
+
+// ValidateTrace checks a trace JSON document against the schema: a
+// single root object, every span with a non-empty name, all counters
+// and clock fields non-negative, children recursively valid, no unknown
+// fields. CI runs it (via cmd/tracecheck) over the sample trace each
+// build uploads.
+func ValidateTrace(data []byte) error {
+	_, err := ParseTrace(data)
+	return err
+}
+
+func validateSpan(s *SpanJSON, path string) error {
+	if s == nil {
+		return fmt.Errorf("obs: trace: null span at %q", path)
+	}
+	if s.Name == "" {
+		return fmt.Errorf("obs: trace: span with empty name under %q", path)
+	}
+	at := s.Name
+	if path != "" {
+		at = path + "/" + s.Name
+	}
+	for _, f := range []struct {
+		name string
+		v    int64
+	}{
+		{"start_us", s.StartUS}, {"dur_us", s.DurUS},
+		{"states", s.States}, {"transitions", s.Transitions},
+		{"cache_hits", s.CacheHits}, {"cache_misses", s.CacheMisses},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("obs: trace: span %q: negative %s (%d)", at, f.name, f.v)
+		}
+	}
+	for _, c := range s.Children {
+		if err := validateSpan(c, at); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WalkTrace visits every span of the exported tree in depth-first
+// preorder. The oracle's metamorphic checks use it to total per-stage
+// resources against the run's budget meter.
+func WalkTrace(root *SpanJSON, visit func(*SpanJSON)) {
+	if root == nil {
+		return
+	}
+	visit(root)
+	for _, c := range root.Children {
+		WalkTrace(c, visit)
+	}
+}
+
+// FindSpans returns every span in the tree with the given name, in
+// preorder.
+func FindSpans(root *SpanJSON, name string) []*SpanJSON {
+	var out []*SpanJSON
+	WalkTrace(root, func(s *SpanJSON) {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	})
+	return out
+}

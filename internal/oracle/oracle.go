@@ -10,8 +10,18 @@
 //     the sequential one — not merely language-equivalent but byte-
 //     identical when serialized, since the merge order is deterministic.
 //
+// A third, metamorphic property cross-validates the observability
+// layer itself: rerunning the pipeline under a deterministic tracer and
+// a fresh metrics registry must not perturb the result, and every
+// read-out — span state totals, per-stage counters, cache probe counts
+// — must agree with the ground truth the budget meters and the
+// constructed automata establish independently.
+//
 // Instances whose construction exceeds the state cap are skipped, not
 // failed: the oracle bounds its own work so random sweeps stay fast.
+// Skips are not silent, though: they feed the process-wide
+// oracle.checked / oracle.skipped counters so sweeps can fail when the
+// cap hollows out the distribution.
 package oracle
 
 import (
@@ -19,13 +29,33 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 
 	"regexrw/internal/alphabet"
 	"regexrw/internal/automata"
 	"regexrw/internal/budget"
 	"regexrw/internal/core"
+	"regexrw/internal/obs"
 	"regexrw/internal/par"
 )
+
+// oracleCounters tallies verdicts on the process-wide registry. The
+// test suite reads them back to fail sweeps where the size cap skips
+// too large a fraction of instances (a silently hollowed-out sweep
+// proves nothing).
+var oracleCounters = struct {
+	checked *obs.Counter
+	skipped *obs.Counter
+}{
+	checked: obs.Default.Counter("oracle.checked"),
+	skipped: obs.Default.Counter("oracle.skipped"),
+}
+
+// Verdicts reports how many instances this process's oracle runs have
+// checked to completion and how many were skipped at the size cap.
+func Verdicts() (checked, skipped int64) {
+	return oracleCounters.checked.Value(), oracleCounters.skipped.Value()
+}
 
 // ErrSkipped reports that an instance blew past the oracle's size cap
 // before either property could be decided. Callers treat it as "no
@@ -49,11 +79,23 @@ type Config struct {
 // cannot stall the run.
 func DefaultConfig() Config { return Config{MaxStates: 50000} }
 
-// CheckInstance runs both oracle properties on the instance. It returns
-// nil when both hold, an error wrapping ErrSkipped when the size cap was
+// CheckInstance runs the oracle properties on the instance. It returns
+// nil when all hold, an error wrapping ErrSkipped when the size cap was
 // hit, and a descriptive error when a property is violated — the latter
-// is always a bug.
+// is always a bug. Every call records its verdict on the process-wide
+// oracle.checked / oracle.skipped counters.
 func CheckInstance(ctx context.Context, inst *core.Instance, cfg Config) error {
+	err := checkInstance(ctx, inst, cfg)
+	switch {
+	case err == nil:
+		oracleCounters.checked.Inc()
+	case errors.Is(err, ErrSkipped):
+		oracleCounters.skipped.Inc()
+	}
+	return err
+}
+
+func checkInstance(ctx context.Context, inst *core.Instance, cfg Config) error {
 	if cfg.MaxStates <= 0 {
 		cfg.MaxStates = DefaultConfig().MaxStates
 	}
@@ -111,6 +153,116 @@ func CheckInstance(ctx context.Context, inst *core.Instance, cfg Config) error {
 	if !ok {
 		return fmt.Errorf("oracle: soundness violated: expansion word %v ∉ L(E0) (instance %s)",
 			symbolNames(inst, cex), inst)
+	}
+
+	// Property 3: observability is metamorphic — tracing and metrics
+	// must neither change the computed rewriting nor disagree with the
+	// ground truth established by the budget and the automata.
+	if err := checkObservability(ctx, inst, cfg, rSeq); err != nil {
+		return skippedOr(err)
+	}
+	return nil
+}
+
+// checkObservability reruns the sequential pipeline under a
+// deterministic tracer and a fresh registry and cross-validates every
+// observability read-out:
+//
+//   - the traced run yields the byte-identical APrime (observation does
+//     not perturb the computation);
+//   - summing states/transitions over the exported span tree reproduces
+//     the budget's totals exactly — the spans and the meters are fed by
+//     the same charge sites, so any drift is a lost or doubled charge;
+//   - per-stage registry counters agree with the spans of that stage;
+//   - a standalone determinization satisfies the construction-level
+//     invariants: span states == DFA states == interner misses, and
+//     cache probes == 1 (initial subset) + one per DFA transition.
+func checkObservability(ctx context.Context, inst *core.Instance, cfg Config, want *core.Rewriting) error {
+	b := budget.New(budget.MaxStates(cfg.MaxStates))
+	tr := obs.NewTracer(obs.Deterministic())
+	reg := obs.NewRegistry()
+	octx := par.WithWorkers(obs.WithMetrics(obs.WithTracer(budget.With(ctx, b), tr), reg), 1)
+
+	rObs, err := core.MaximalRewritingContext(octx, inst)
+	if err != nil {
+		return err
+	}
+	if err := sameNFA("APrime (traced rerun)", want.APrime, rObs.APrime); err != nil {
+		return err
+	}
+
+	root := tr.Export()
+	if root == nil {
+		return fmt.Errorf("oracle: traced run exported no span tree")
+	}
+	var spanStates, spanTrans int64
+	perStage := map[string]int64{} // span name (StartSpan2 detail stripped) → states
+	obs.WalkTrace(root, func(s *obs.SpanJSON) {
+		spanStates += s.States
+		spanTrans += s.Transitions
+		stage, _, _ := strings.Cut(s.Name, ":")
+		perStage[stage] += s.States
+	})
+	if spanStates != b.States() || spanTrans != b.Transitions() {
+		return fmt.Errorf("oracle: span tree totals (%d states, %d transitions) != budget totals (%d, %d)",
+			spanStates, spanTrans, b.States(), b.Transitions())
+	}
+
+	snap := reg.Snapshot()
+	var ctrStates, ctrTrans int64
+	for name, v := range snap { //mapiter:unordered summing over the snapshot; order is irrelevant
+		switch {
+		case strings.HasSuffix(name, ".states"):
+			ctrStates += v
+			stage := strings.TrimSuffix(name, ".states")
+			if got := perStage[stage]; got != v {
+				return fmt.Errorf("oracle: counter %s = %d but spans of stage %q total %d states",
+					name, v, stage, got)
+			}
+		case strings.HasSuffix(name, ".transitions"):
+			ctrTrans += v
+		}
+	}
+	if ctrStates != b.States() || ctrTrans != b.Transitions() {
+		return fmt.Errorf("oracle: registry totals (%d states, %d transitions) != budget totals (%d, %d)",
+			ctrStates, ctrTrans, b.States(), b.Transitions())
+	}
+
+	return checkDeterminizeInvariants(ctx, inst, cfg)
+}
+
+// checkDeterminizeInvariants determinizes the query NFA in isolation
+// and pins the exact per-construction accounting: the subset interner
+// misses once per discovered subset (== DFA state) and probes once for
+// the initial subset plus once per DFA transition.
+func checkDeterminizeInvariants(ctx context.Context, inst *core.Instance, cfg Config) error {
+	tr := obs.NewTracer(obs.Deterministic())
+	reg := obs.NewRegistry()
+	dctx := obs.WithMetrics(obs.WithTracer(
+		budget.With(ctx, budget.New(budget.MaxStates(cfg.MaxStates))), tr), reg)
+
+	d, err := automata.DeterminizeContext(dctx, inst.Query.ToNFA(inst.Sigma()))
+	if err != nil {
+		return err
+	}
+	spans := obs.FindSpans(tr.Export(), "automata.determinize")
+	if len(spans) != 1 {
+		return fmt.Errorf("oracle: standalone determinize produced %d determinize spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	states, trans := int64(d.NumStates()), int64(d.NumTransitions())
+	if sp.States != states {
+		return fmt.Errorf("oracle: determinize span states %d != DFA states %d", sp.States, states)
+	}
+	if sp.CacheMisses != states {
+		return fmt.Errorf("oracle: determinize cache misses %d != DFA states %d (one interned subset per state)",
+			sp.CacheMisses, states)
+	}
+	if probes := sp.CacheHits + sp.CacheMisses; probes != 1+trans {
+		return fmt.Errorf("oracle: determinize cache probes %d != 1 + %d transitions", probes, trans)
+	}
+	if got := reg.Snapshot()["automata.determinize.states"]; got != states {
+		return fmt.Errorf("oracle: counter automata.determinize.states = %d, want %d", got, states)
 	}
 	return nil
 }

@@ -11,9 +11,10 @@ import (
 )
 
 // TestRandomInstances sweeps the oracle over random instances with a
-// fixed seed: soundness (Theorem 2) and parallel/sequential identity
-// must hold on every instance that fits the size cap. 200 instances in
-// full mode (the acceptance bar), 40 under -short.
+// fixed seed: soundness (Theorem 2), parallel/sequential identity and
+// the observability cross-validation must hold on every instance that
+// fits the size cap. 200 instances in full mode (the acceptance bar),
+// 40 under -short.
 func TestRandomInstances(t *testing.T) {
 	n := 200
 	if testing.Short() {
@@ -21,6 +22,7 @@ func TestRandomInstances(t *testing.T) {
 	}
 	r := rand.New(rand.NewSource(20260805))
 	cfg := workload.InstanceConfig{AlphabetSize: 3, NumViews: 3, QueryDepth: 3, ViewDepth: 3}
+	checkedBefore, skippedBefore := Verdicts()
 	checked, skipped := 0, 0
 	for i := 0; i < n; i++ {
 		inst := workload.RandomInstance(r, cfg)
@@ -35,10 +37,22 @@ func TestRandomInstances(t *testing.T) {
 		}
 	}
 	t.Logf("oracle: %d checked, %d skipped (size cap)", checked, skipped)
-	// The cap must not hollow out the sweep: most random instances at
-	// these sizes are small, so a majority of verdicts is expected.
-	if checked < n/2 {
-		t.Fatalf("only %d/%d instances got a verdict; size cap too tight for the distribution", checked, n)
+	// The loop's local tally and the process-wide oracle.checked /
+	// oracle.skipped counters must agree — the counters are what CI and
+	// the -metrics flag report, so drift there is an observability bug.
+	checkedAfter, skippedAfter := Verdicts()
+	if got := checkedAfter - checkedBefore; got != int64(checked) {
+		t.Errorf("oracle.checked counter advanced by %d, want %d", got, checked)
+	}
+	if got := skippedAfter - skippedBefore; got != int64(skipped) {
+		t.Errorf("oracle.skipped counter advanced by %d, want %d", got, skipped)
+	}
+	// The cap must not hollow out the sweep. Skips used to vanish
+	// silently; now any distribution where more than 20% of instances
+	// blow the cap fails loudly so the cap (or the generator) gets
+	// retuned instead of quietly proving less.
+	if skipped*5 > n {
+		t.Fatalf("%d/%d instances skipped at the size cap (>20%%); retune the cap or the instance distribution", skipped, n)
 	}
 }
 
@@ -62,9 +76,13 @@ func TestKnownExactInstance(t *testing.T) {
 func TestSkipOnTinyCap(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	inst := workload.RandomInstance(r, workload.InstanceConfig{AlphabetSize: 3, NumViews: 3, QueryDepth: 4, ViewDepth: 4})
+	_, skippedBefore := Verdicts()
 	err := CheckInstance(context.Background(), inst, Config{MaxStates: 2})
 	if !errors.Is(err, ErrSkipped) {
 		t.Fatalf("err = %v, want ErrSkipped", err)
+	}
+	if _, skippedAfter := Verdicts(); skippedAfter != skippedBefore+1 {
+		t.Fatalf("oracle.skipped = %d, want %d: skips must be counted, not silent", skippedAfter, skippedBefore+1)
 	}
 }
 

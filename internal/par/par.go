@@ -15,6 +15,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"regexrw/internal/obs"
 )
 
 type workersKey struct{}
@@ -54,6 +57,18 @@ func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) err
 	if workers > n {
 		workers = n
 	}
+	// When tracing is on, the fan-out gets its own span ("par.foreach")
+	// recording the pool shape and — on a wall-clock tracer — the summed
+	// worker busy time, from which utilization is busy_ns / (dur_us·1000
+	// · workers). fn runs under the span's context, so per-item spans
+	// nest beneath it. With no tracer StartSpan returns (ctx, nil) and
+	// everything below is nil-check no-ops.
+	ctx, span := obs.StartSpan(ctx, "par.foreach")
+	defer span.End()
+	span.SetAttr("workers", int64(workers))
+	span.SetAttr("items", int64(n))
+	var busy atomic.Int64
+	timed := span.Timed()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
@@ -86,6 +101,10 @@ func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) err
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			if timed {
+				start := time.Now()
+				defer func() { busy.Add(int64(time.Since(start))) }()
+			}
 			for { //ctxcheck:ignore the loop consults wctx (derived from ctx) every iteration
 				i := int(next.Add(1)) - 1
 				if i >= n {
@@ -103,6 +122,9 @@ func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) err
 		}()
 	}
 	wg.Wait()
+	if timed {
+		span.SetTimeAttr("busy_ns", busy.Load())
+	}
 	mu.Lock()
 	defer mu.Unlock()
 	return firstErr

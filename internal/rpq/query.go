@@ -21,6 +21,7 @@ import (
 	"regexrw/internal/automata"
 	"regexrw/internal/budget"
 	"regexrw/internal/graph"
+	"regexrw/internal/obs"
 	"regexrw/internal/regex"
 	"regexrw/internal/theory"
 )
@@ -93,6 +94,8 @@ func (q *Query) Ground(t *theory.Interpretation) *automata.NFA {
 // |Q| · |D| in the worst case — and each state's batch of grounded
 // edges is charged as transitions before moving on.
 func (q *Query) GroundContext(ctx context.Context, t *theory.Interpretation) (*automata.NFA, error) {
+	ctx, span := obs.StartSpan(ctx, "rpq.ground")
+	defer span.End()
 	meter := budget.Enter(ctx, "rpq.ground")
 	fAlpha := alphabet.New()
 	fnfa := q.Expr.ToNFA(fAlpha).RemoveEpsilon()

@@ -10,6 +10,7 @@ import (
 	"regexrw/internal/budget"
 	"regexrw/internal/core"
 	"regexrw/internal/graph"
+	"regexrw/internal/obs"
 	"regexrw/internal/par"
 	"regexrw/internal/regex"
 	"regexrw/internal/theory"
@@ -70,6 +71,8 @@ func Rewrite(q0 *Query, views []View, t *theory.Interpretation, method Method) (
 // by ctx (budget.With). A cancelled ctx aborts with its error; an
 // exhausted budget with a *budget.ExceededError naming the stage.
 func RewriteContext(ctx context.Context, q0 *Query, views []View, t *theory.Interpretation, method Method) (*Rewriting, error) { //invariantcall:checked the embedded core.Rewriting is validated by the core constructors
+	ctx, span := obs.StartSpan(ctx, "rpq.rewrite")
+	defer span.End()
 	if q0 == nil {
 		return nil, fmt.Errorf("rpq: nil query")
 	}
@@ -100,12 +103,26 @@ func RewriteContext(ctx context.Context, q0 *Query, views []View, t *theory.Inte
 		// assembled after the join.
 		grounded := make([]*automata.NFA, len(views))
 		ferr := par.ForEach(ctx, len(views), func(wctx context.Context, i int) error {
-			g, werr := views[i].Query.GroundContext(wctx, t)
-			if werr != nil {
-				return werr
+			// Per-view span and pprof labels, mirroring the core transfer
+			// fan-out; the disabled arm stays closure- and label-free.
+			if !obs.Enabled(wctx) {
+				g, werr := views[i].Query.GroundContext(wctx, t)
+				if werr != nil {
+					return werr
+				}
+				grounded[i] = g.RemoveEpsilon()
+				return nil
 			}
-			grounded[i] = g.RemoveEpsilon()
-			return nil
+			vctx, vspan := obs.StartSpan2(wctx, "rpq.view", views[i].Name)
+			defer vspan.End()
+			var werr error
+			obs.Do(vctx, func(lctx context.Context) {
+				var g *automata.NFA
+				if g, werr = views[i].Query.GroundContext(lctx, t); werr == nil {
+					grounded[i] = g.RemoveEpsilon()
+				}
+			}, "stage", "rpq.ground", "view", views[i].Name)
+			return werr
 		})
 		if ferr != nil {
 			return nil, ferr
@@ -139,6 +156,8 @@ func RewriteContext(ctx context.Context, q0 *Query, views []View, t *theory.Inte
 // one representative per class suffices. The class alphabet has at most
 // min(|D|, 2^|F|) symbols.
 func compressedRewriting(ctx context.Context, q0 *Query, sigmaQ *alphabet.Alphabet, views []View, t *theory.Interpretation) (*core.Rewriting, error) {
+	ctx, span := obs.StartSpan(ctx, "rpq.compress")
+	defer span.End()
 	meter := budget.Enter(ctx, "rpq.compress")
 	// Collect the distinct formulas (by printed form) across all queries.
 	var formulas []theory.Formula
@@ -252,6 +271,8 @@ func compressedRewriting(ctx context.Context, q0 *Query, sigmaQ *alphabet.Alphab
 // the views map handed to the core layer is populated lazily-grounded
 // (needed only by Expand/exactness, which require D-level automata).
 func directRewriting(ctx context.Context, e0 *automata.NFA, sigmaQ *alphabet.Alphabet, views []View, t *theory.Interpretation) (*core.Rewriting, error) {
+	ctx, span := obs.StartSpan(ctx, "rpq.direct_product")
+	defer span.End()
 	meter := budget.Enter(ctx, "rpq.direct_product")
 	d, err := automata.DeterminizeContext(ctx, e0)
 	if err != nil {

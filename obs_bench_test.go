@@ -1,0 +1,84 @@
+package regexrw
+
+// Observability overhead guards. The contract (docs/OBSERVABILITY.md)
+// is two-sided: with no tracer and no registry installed the
+// instrumentation on the hot paths costs zero allocations, and with
+// both installed the pipeline stays within the in-run 2x guard that
+// internal/bench enforces via the EX2Observed family.
+
+import (
+	"context"
+	"testing"
+
+	"regexrw/internal/automata"
+	"regexrw/internal/obs"
+	"regexrw/internal/workload"
+)
+
+// BenchmarkTracerOff measures the per-stage observability sequence the
+// THM5 subset construction executes when tracing is disabled: span
+// start, state/transition/cache charges, span end. Run with -benchmem;
+// the published contract is 0 allocs/op, and TestTracerOffPipelineAllocs
+// fails the suite if it ever stops holding.
+func BenchmarkTracerOff(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sctx, span := obs.StartSpan(ctx, "automata.determinize")
+		span.AddStates(16)
+		span.AddTransitions(32)
+		span.AddCache(4, 5)
+		span.End()
+		if obs.Enabled(sctx) {
+			b.Fatal("obs unexpectedly enabled")
+		}
+	}
+}
+
+// BenchmarkTHM5Traced times the real THM5 determinization hot path
+// with observability off and on; the "on" variant includes building
+// and exporting the trace, so the pair bounds the whole-run overhead.
+func BenchmarkTHM5Traced(b *testing.B) {
+	inst := workload.DetBlowupFamily(8)
+	qnfa := inst.Query.ToNFA(inst.Sigma())
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := automata.DeterminizeContext(context.Background(), qnfa); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr := NewTracer()
+			ctx := WithMetrics(WithTracer(context.Background(), tr), NewMetrics())
+			if _, err := automata.DeterminizeContext(ctx, qnfa); err != nil {
+				b.Fatal(err)
+			}
+			if tr.Export() == nil {
+				b.Fatal("no trace exported")
+			}
+		}
+	})
+}
+
+// TestTracerOffPipelineAllocs pins BenchmarkTracerOff's contract so CI
+// fails, rather than drifts, when the disabled path starts allocating:
+// the exact obs call sequence of a determinize stage must cost nothing
+// without a tracer or registry on the context.
+func TestTracerOffPipelineAllocs(t *testing.T) {
+	ctx := context.Background()
+	got := testing.AllocsPerRun(200, func() {
+		sctx, span := obs.StartSpan(ctx, "automata.determinize")
+		span.AddStates(16)
+		span.AddTransitions(32)
+		span.AddCache(4, 5)
+		span.End()
+		obs.Do(sctx, func(context.Context) {})
+	})
+	if got != 0 {
+		t.Fatalf("disabled obs path allocates %v allocs/op, want 0", got)
+	}
+}

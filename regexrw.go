@@ -40,6 +40,7 @@ import (
 	"regexrw/internal/budget"
 	"regexrw/internal/core"
 	"regexrw/internal/graph"
+	"regexrw/internal/obs"
 	"regexrw/internal/regex"
 	"regexrw/internal/rpq"
 	"regexrw/internal/theory"
@@ -88,6 +89,60 @@ func NewBudget(maxStates, maxTransitions int) *Budget {
 func WithBudget(ctx context.Context, b *Budget) context.Context {
 	return budget.With(ctx, b)
 }
+
+// ---- Observability ----
+//
+// A Tracer on the context records a tree of named stage spans — each
+// pipeline construction with its wall time plus the states, transitions
+// and cache probes it materialized, exactly as charged on the budget —
+// and a Metrics registry accumulates the same counts per stage. Both
+// are off by default and free when off; see docs/OBSERVABILITY.md.
+//
+//	tr := regexrw.NewTracer()
+//	m := regexrw.NewMetrics()
+//	ctx := regexrw.WithMetrics(regexrw.WithTracer(ctx, tr), m)
+//	r, err := regexrw.MaximalRewritingContext(ctx, inst)
+//	tr.WriteJSON(os.Stdout)      // span tree
+//	m.WritePrometheus(os.Stdout) // per-stage counters
+
+// Tracer records one pipeline run as a tree of stage spans and exports
+// it as JSON.
+type Tracer = obs.Tracer
+
+// Metrics is a registry of named atomic counters and gauges with
+// snapshot, Prometheus-text and expvar exposition.
+type Metrics = obs.Registry
+
+// NewTracer returns an empty tracer; install it with WithTracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewDeterministicTracer returns a tracer that records no wall-clock
+// values, making its JSON export a pure function of the traced
+// computation — byte-comparable across runs (used by golden-trace
+// tests).
+func NewDeterministicTracer() *Tracer { return obs.NewTracer(obs.Deterministic()) }
+
+// WithTracer returns a context carrying the tracer; every ...Context
+// entry point downstream records its stages on it.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return obs.WithTracer(ctx, t)
+}
+
+// NewMetrics returns an empty metrics registry; install it with
+// WithMetrics.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// WithMetrics returns a context carrying the registry; every metered
+// stage downstream feeds "<stage>.states" / "<stage>.transitions"
+// counters into it.
+func WithMetrics(ctx context.Context, m *Metrics) context.Context {
+	return obs.WithMetrics(ctx, m)
+}
+
+// GlobalMetrics returns the process-wide registry holding metrics with
+// no per-run context, such as the automata cache counters
+// (automata.cache.subset_hits, automata.cache.memo_reuses, …).
+func GlobalMetrics() *Metrics { return obs.Default }
 
 // Expr is a parsed regular expression (AST).
 type Expr = regex.Node

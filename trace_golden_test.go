@@ -1,0 +1,143 @@
+package regexrw
+
+// Golden-trace tests: the deterministic tracer's JSON export is a pure
+// function of the traced computation (no wall-clock fields, workers
+// pinned to 1 so the span tree's child order is the sequential
+// execution order), so the trace of a fixed instance is byte-stable.
+// Committing it pins the whole observability contract at once — span
+// taxonomy, nesting, state/transition/cache accounting and JSON
+// encoding. Regenerate after an intentional pipeline or schema change
+// with:
+//
+//	go test -run TestGoldenTrace -update .
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"regexrw/internal/obs"
+	"regexrw/internal/par"
+	"regexrw/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden trace files under testdata/golden")
+
+// goldenTrace runs fn under a deterministic tracer with one worker and
+// byte-compares the exported trace against testdata/golden/<name>.
+func goldenTrace(t *testing.T, name string, fn func(ctx context.Context)) {
+	t.Helper()
+	tr := NewDeterministicTracer()
+	ctx := par.WithWorkers(WithTracer(context.Background(), tr), 1)
+	fn(ctx)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The export must satisfy its own published schema.
+	if err := obs.ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("exported trace fails schema validation: %v\n%s", err, buf.String())
+	}
+
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with go test -run TestGoldenTrace -update .): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace diverged from %s (if intentional, rerun with -update):\n--- got ---\n%s\n--- want ---\n%s",
+			path, buf.String(), want)
+	}
+}
+
+// TestGoldenTraceEX2 pins the trace of the paper's Example 2: the full
+// maximal-rewriting construction (A_d, transfer fan-out, complement)
+// followed by the Theorem 6 exactness check.
+func TestGoldenTraceEX2(t *testing.T) {
+	inst, err := ParseInstance("a·(b·a+c)*", map[string]string{
+		"e1": "a", "e2": "a·c*·b", "e3": "c",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenTrace(t, "ex2_trace.json", func(ctx context.Context) {
+		r, err := MaximalRewritingContext(ctx, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, _, err := r.IsExactContext(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exact {
+			t.Fatal("Example 2 rewriting should be exact")
+		}
+	})
+}
+
+// TestGoldenTraceTHM6 pins the trace of the determinization-blowup
+// family at n=3: the on-the-fly containment check of Theorem 6 on a
+// rewriting whose DFA has 2^n states.
+func TestGoldenTraceTHM6(t *testing.T) {
+	inst := workload.DetBlowupFamily(3)
+	goldenTrace(t, "thm6_trace.json", func(ctx context.Context) {
+		r, err := MaximalRewritingContext(ctx, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, _, err := r.IsExactContext(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exact {
+			t.Fatal("DetBlowupFamily rewriting should be exact")
+		}
+	})
+}
+
+// TestGoldenTraceTaxonomy spot-checks the committed EX2 golden against
+// the span taxonomy documented in docs/OBSERVABILITY.md, so a stale or
+// hand-edited golden cannot silently drift from the documentation.
+func TestGoldenTraceTaxonomy(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden", "ex2_trace.json"))
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with go test -run TestGoldenTrace -update .): %v", err)
+	}
+	root, err := obs.ParseTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Name != obs.RootSpanName {
+		t.Fatalf("root span = %q, want %q", root.Name, obs.RootSpanName)
+	}
+	for _, name := range []string{
+		"core.maximal_rewriting", "core.a_d", "regex.to_nfa",
+		"automata.determinize", "automata.minimize", "automata.complement",
+		"core.transfer", "par.foreach",
+		"core.exactness", "core.expand", "automata.contained_in",
+	} {
+		if len(obs.FindSpans(root, name)) == 0 {
+			t.Errorf("golden EX2 trace has no %q span", name)
+		}
+	}
+	// Per-view transfer spans carry the view name as a detail suffix.
+	for _, view := range []string{"e1", "e2", "e3"} {
+		if len(obs.FindSpans(root, "core.transfer:"+view)) == 0 {
+			t.Errorf("golden EX2 trace has no core.transfer:%s span", view)
+		}
+	}
+}
