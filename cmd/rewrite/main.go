@@ -27,6 +27,7 @@ import (
 	"regexrw/internal/budget"
 	"regexrw/internal/cliobs"
 	"regexrw/internal/core"
+	"regexrw/internal/engine"
 )
 
 type viewFlags map[string]string
@@ -99,24 +100,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	r, err := core.MaximalRewritingContext(ctx, inst)
+	// The compile runs through the engine, which shares the run's
+	// context budget, deadline and observability; the -partial search
+	// rides on the same plan.
+	eng := engine.New()
+	plan, err := eng.Rewrite(ctx, engine.Request{Instance: inst, Partial: *partial})
 	if err != nil {
 		return fail(stderr, err)
 	}
+	r := plan.Rewriting()
 	fmt.Fprintf(stdout, "E0        = %s\n", inst.Query)
 	for _, v := range inst.Views {
 		fmt.Fprintf(stdout, "re(%s)%s = %s\n", v.Name, strings.Repeat(" ", max(0, 4-len(v.Name))), v.Expr)
 	}
-	fmt.Fprintf(stdout, "rewriting = %s\n", r.Regex())
+	fmt.Fprintf(stdout, "rewriting = %s\n", plan.Regex())
 
-	exact, witness, err := r.IsExactContext(ctx)
-	if err != nil {
-		return fail(stderr, err)
+	report := plan.Exactness()
+	if report.Verdict == core.ExactUnknown && report.Reason != nil {
+		return fail(stderr, report.Reason)
 	}
+	exact := plan.IsExact()
 	fmt.Fprintf(stdout, "exact     = %v\n", exact)
 	if !exact {
 		fmt.Fprintf(stdout, "witness   = %s   (in L(E0) but not in exp(L(R)))\n",
-			automata.FormatWord(inst.Sigma(), witness))
+			automata.FormatWord(inst.Sigma(), report.Witness))
 	}
 	fmt.Fprintf(stdout, "Σ_E-empty = %v, Σ-empty = %v\n", r.IsEmpty(), r.IsSigmaEmpty())
 	if w, ok := r.ShortestWord(); ok {
@@ -143,16 +150,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *partial && !exact {
-		res, err := core.PartialRewritingContext(ctx, inst)
-		if err != nil {
-			if code := resourceExit(stderr, err); code != 0 {
-				return code
-			}
-			fmt.Fprintln(stderr, "rewrite: partial:", err)
+		res := plan.Partial()
+		if res == nil {
+			fmt.Fprintln(stderr, "rewrite: partial: no result on the plan")
 			return 1
 		}
-		fmt.Fprintf(stdout, "\npartial rewriting: add elementary views %v\n", res.Added)
-		fmt.Fprintf(stdout, "extended rewriting = %s (exact)\n", res.Rewriting.Regex())
+		if !res.Exact {
+			if code := resourceExit(stderr, res.Reason); code != 0 {
+				return code
+			}
+			fmt.Fprintln(stderr, "rewrite: partial:", res.Reason)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\npartial rewriting: add elementary views %v\n", res.Result.Added)
+		fmt.Fprintf(stdout, "extended rewriting = %s (exact)\n", res.Result.Rewriting.Regex())
 	}
 
 	if *possible {

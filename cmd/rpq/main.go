@@ -28,6 +28,8 @@ import (
 
 	"regexrw/internal/budget"
 	"regexrw/internal/cliobs"
+	"regexrw/internal/core"
+	"regexrw/internal/engine"
 	"regexrw/internal/graph"
 	"regexrw/internal/rpq"
 	"regexrw/internal/theory"
@@ -66,7 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var formulaDefs, viewDefs multiFlag
 	fs.Var(&formulaDefs, "formula", "formula definition name=definition (repeatable)")
 	fs.Var(&viewDefs, "view", "view definition name:expression over formula names (repeatable)")
-	methodName := fs.String("method", "grounded", "rewriting construction: grounded or direct")
+	methodName := fs.String("method", "grounded", "rewriting construction: grounded, direct or compressed")
 	partial := fs.Bool("partial", false, "search for atomic/elementary views making the rewriting exact")
 	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none); exceeding it exits 3")
 	maxStates := fs.Int("max-states", 0, "cap on total materialized automaton states (0 = unlimited); exceeding it exits 3")
@@ -104,6 +106,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		method = rpq.Grounded
 	case "direct":
 		method = rpq.Direct
+	case "compressed":
+		method = rpq.Compressed
 	default:
 		fmt.Fprintf(stderr, "rpq: unknown -method %q\n", *methodName)
 		return 2
@@ -173,15 +177,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		views = append(views, rpq.View{Name: name, Query: vq})
 	}
 
-	r, err := rpq.RewriteContext(ctx, q0, views, tt, method)
+	// The rewriting compiles through the engine, sharing the run's
+	// context budget, deadline and observability; the plan carries the
+	// exactness report alongside the rewriting.
+	eng := engine.New()
+	plan, err := eng.RewriteRPQ(ctx, engine.RPQRequest{
+		Query: q0, Views: views, Theory: tt, Method: method,
+	})
 	if err != nil {
 		return fail(err)
 	}
+	r := plan.RPQ()
 	fmt.Fprintf(stdout, "\nrewriting over views: %s\n", r.RegexOverViews())
-	exact, _, err := r.IsExactContext(ctx)
-	if err != nil {
-		return fail(err)
+	report := plan.Exactness()
+	if report.Verdict == core.ExactUnknown && report.Reason != nil {
+		return fail(report.Reason)
 	}
+	exact := plan.IsExact()
 	fmt.Fprintf(stdout, "exact: %v\n", exact)
 
 	viaViews := r.AnswerUsingViews(db)

@@ -1,0 +1,101 @@
+// Command serve exposes the rewriting engine over HTTP/JSON: a plan
+// server for the view-based query-processing setting, where rewritings
+// are compiled rarely and fetched constantly.
+//
+// Usage:
+//
+//	serve -addr :8080 -max-states 200000 -timeout 5s -plan-cache 1024 -max-inflight 8 -queue 32
+//
+// Endpoints: POST /v1/rewrite, POST /v1/rpq, GET /healthz,
+// GET /metrics (Prometheus text). See docs/SERVING.md for the request
+// and response schemas and the error taxonomy.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"regexrw/internal/engine"
+	"regexrw/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run starts the server and blocks until the listener fails or a
+// shutdown signal arrives. ready, when non-nil, receives the bound
+// address once the listener is up — tests use it to drive a real
+// server on an ephemeral port.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	maxStates := fs.Int("max-states", 0, "default per-request cap on materialized automaton states (0 = unlimited)")
+	maxTransitions := fs.Int("max-transitions", 0, "default per-request cap on materialized transitions (0 = unlimited)")
+	timeout := fs.Duration("timeout", 0, "default per-request compile deadline (0 = none)")
+	workers := fs.Int("workers", 0, "worker pool size for parallel compile stages (0 = GOMAXPROCS)")
+	planCache := fs.Int("plan-cache", 1024, "plan cache capacity in plans (0 disables caching)")
+	inflight := fs.Int("max-inflight", 0, "admission limit on concurrent compiles (0 = unlimited)")
+	queue := fs.Int("queue", 0, "compile requests allowed to wait for an admission slot")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	eng := engine.New(
+		engine.WithBudgetDefaults(*maxStates, *maxTransitions),
+		engine.WithDefaultTimeout(*timeout),
+		engine.WithWorkers(*workers),
+		engine.WithPlanCache(*planCache),
+		engine.WithAdmissionLimit(*inflight, *queue),
+		engine.WithMetrics(obs.Default),
+	)
+	defer eng.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "serve: %v\n", err)
+		return 1
+	}
+	srv := &http.Server{
+		Handler:           newServer(eng),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(stdout, "serve: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(stderr, "serve: %v\n", err)
+			return 1
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(stdout, "serve: shutting down")
+		eng.Close() // fail new work fast while in-flight compiles drain
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			fmt.Fprintf(stderr, "serve: shutdown: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}

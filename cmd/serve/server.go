@@ -1,0 +1,349 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"regexrw/internal/automata"
+	"regexrw/internal/budget"
+	"regexrw/internal/core"
+	"regexrw/internal/engine"
+	"regexrw/internal/obs"
+	"regexrw/internal/rpq"
+	"regexrw/internal/theory"
+)
+
+// server wraps an engine.Engine behind the HTTP/JSON API. All state is
+// in the engine; the server itself is stateless and safe for concurrent
+// use.
+type server struct {
+	eng *engine.Engine
+}
+
+// newServer returns the HTTP handler serving the engine:
+//
+//	POST /v1/rewrite  — compile (or fetch) the plan for a regex instance
+//	POST /v1/rpq      — the same for a regular path query under a theory
+//	GET  /healthz     — liveness plus the engine's cache/compile counters
+//	GET  /metrics     — Prometheus text exposition of the registry
+func newServer(eng *engine.Engine) http.Handler {
+	s := &server{eng: eng}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/rewrite", s.handleRewrite)
+	mux.HandleFunc("POST /v1/rpq", s.handleRPQ)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// rewriteRequest is the body of POST /v1/rewrite.
+type rewriteRequest struct {
+	// Query is E0 in the concrete syntax; Views maps view names to
+	// expressions.
+	Query string            `json:"query"`
+	Views map[string]string `json:"views"`
+	// Partial also runs the anytime partial-rewriting search when the
+	// maximal rewriting is not exact.
+	Partial bool `json:"partial,omitempty"`
+	// MaxStates/MaxTransitions/TimeoutMS tighten the engine's per-request
+	// governance defaults; they can only lower the server's caps.
+	MaxStates      int   `json:"max_states,omitempty"`
+	MaxTransitions int   `json:"max_transitions,omitempty"`
+	TimeoutMS      int64 `json:"timeout_ms,omitempty"`
+	// Trace attaches a per-request tracer and returns the exported span
+	// tree in the response.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// rpqRequest is the body of POST /v1/rpq.
+type rpqRequest struct {
+	// Query is the path expression over formula names; Formulas defines
+	// each name (theory formula syntax: "=a", "city", "p && !q", …).
+	Query    string            `json:"query"`
+	Formulas map[string]string `json:"formulas"`
+	// Views are the view path queries; a view without its own formulas
+	// shares the query's.
+	Views []rpqViewJSON `json:"views"`
+	// Theory is the finite interpretation; omitted means the empty
+	// theory.
+	Theory *theoryJSON `json:"theory,omitempty"`
+	// Method is "grounded" (default), "direct" or "compressed".
+	Method string `json:"method,omitempty"`
+
+	MaxStates      int   `json:"max_states,omitempty"`
+	MaxTransitions int   `json:"max_transitions,omitempty"`
+	TimeoutMS      int64 `json:"timeout_ms,omitempty"`
+	Trace          bool  `json:"trace,omitempty"`
+}
+
+type rpqViewJSON struct {
+	Name     string            `json:"name"`
+	Query    string            `json:"query"`
+	Formulas map[string]string `json:"formulas,omitempty"`
+}
+
+type theoryJSON struct {
+	Constants  []string            `json:"constants"`
+	Predicates map[string][]string `json:"predicates,omitempty"`
+}
+
+// planResponse is the successful response of both rewrite endpoints.
+type planResponse struct {
+	// Key is the plan's canonical cache key.
+	Key string `json:"key"`
+	// Rewriting is the (maximal) rewriting as an expression over view
+	// names.
+	Rewriting string `json:"rewriting"`
+	// Exact / Verdict report exactness; Verdict is "yes", "no" or
+	// "unknown" (budget ran out before the check decided).
+	Exact   bool   `json:"exact"`
+	Verdict string `json:"verdict"`
+	// Witness is a shortest word of L(E0) \ exp(L(R)) when Verdict is
+	// "no".
+	Witness []string `json:"witness,omitempty"`
+	// ShortestWord is a shortest view-word with non-empty expansion.
+	ShortestWord []string `json:"shortest_word,omitempty"`
+	// Empty / SigmaEmpty are the Section 3.2 emptiness diagnostics.
+	Empty      bool `json:"empty"`
+	SigmaEmpty bool `json:"sigma_empty"`
+	// States is the number of automaton states the cold compile
+	// materialized (cache hits repeat the cold number: that is the work
+	// the hit saved).
+	States int64 `json:"states"`
+	// Partial reports the partial-rewriting search when requested.
+	Partial *partialJSON `json:"partial,omitempty"`
+	// Trace is the per-request span tree when the request set trace.
+	Trace *obs.SpanJSON `json:"trace,omitempty"`
+}
+
+type partialJSON struct {
+	// Exact reports whether the search proved its extension exact before
+	// the budget ran out.
+	Exact bool `json:"exact"`
+	// Added lists the elementary views the search added.
+	Added []string `json:"added,omitempty"`
+	// Rewriting is the extended instance's rewriting.
+	Rewriting string `json:"rewriting"`
+	// Stage names the budget stage that stopped an inexact search.
+	Stage string `json:"stage,omitempty"`
+}
+
+// errorJSON is the structured error envelope, mirroring the CLI's
+// taxonomy: resource exhaustion is a client-addressable condition (raise
+// the caps or simplify the instance), not a server fault, so it maps to
+// 4xx with the stage diagnostics the budget layer recorded.
+type errorJSON struct {
+	// Code is one of bad_request, budget_exceeded, state_limit,
+	// queue_full, deadline, closed, internal.
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Stage/Resource/Limit/Used carry the budget diagnostics for
+	// budget_exceeded.
+	Stage    string `json:"stage,omitempty"`
+	Resource string `json:"resource,omitempty"`
+	Limit    int64  `json:"limit,omitempty"`
+	Used     int64  `json:"used,omitempty"`
+}
+
+func (s *server) handleRewrite(w http.ResponseWriter, r *http.Request) {
+	var req rewriteRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, errorJSON{Code: "bad_request", Message: err.Error()})
+		return
+	}
+	inst, err := core.ParseInstance(req.Query, req.Views)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errorJSON{Code: "bad_request", Message: err.Error()})
+		return
+	}
+	ctx, tr := traceCtx(r.Context(), req.Trace)
+	plan, err := s.eng.Rewrite(ctx, engine.Request{
+		Instance:       inst,
+		Partial:        req.Partial,
+		MaxStates:      req.MaxStates,
+		MaxTransitions: req.MaxTransitions,
+		Timeout:        time.Duration(req.TimeoutMS) * time.Millisecond,
+	})
+	s.respond(w, plan, err, tr)
+}
+
+func (s *server) handleRPQ(w http.ResponseWriter, r *http.Request) {
+	var req rpqRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, errorJSON{Code: "bad_request", Message: err.Error()})
+		return
+	}
+	ereq, err := buildRPQ(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errorJSON{Code: "bad_request", Message: err.Error()})
+		return
+	}
+	ctx, tr := traceCtx(r.Context(), req.Trace)
+	plan, err := s.eng.RewriteRPQ(ctx, ereq)
+	s.respond(w, plan, err, tr)
+}
+
+// buildRPQ parses the wire form into an engine RPQRequest; every error
+// here is the client's.
+func buildRPQ(req rpqRequest) (engine.RPQRequest, error) {
+	var method rpq.Method
+	switch req.Method {
+	case "", "grounded":
+		method = rpq.Grounded
+	case "direct":
+		method = rpq.Direct
+	case "compressed":
+		method = rpq.Compressed
+	default:
+		return engine.RPQRequest{}, fmt.Errorf("unknown method %q (want grounded, direct or compressed)", req.Method)
+	}
+	tt := theory.New()
+	if req.Theory != nil {
+		tt.AddConstants(req.Theory.Constants...)
+		//mapiter:unordered — Declare only accumulates membership sets;
+		// the interpretation canonicalizes on read.
+		for pred, members := range req.Theory.Predicates {
+			tt.Declare(pred, members...)
+		}
+	}
+	q0, err := rpq.ParseQuery(req.Query, req.Formulas)
+	if err != nil {
+		return engine.RPQRequest{}, err
+	}
+	views := make([]rpq.View, 0, len(req.Views))
+	for _, v := range req.Views {
+		if v.Name == "" {
+			return engine.RPQRequest{}, fmt.Errorf("view without a name")
+		}
+		formulas := v.Formulas
+		if formulas == nil {
+			formulas = req.Formulas
+		}
+		vq, err := rpq.ParseQuery(v.Query, formulas)
+		if err != nil {
+			return engine.RPQRequest{}, fmt.Errorf("view %s: %w", v.Name, err)
+		}
+		views = append(views, rpq.View{Name: v.Name, Query: vq})
+	}
+	return engine.RPQRequest{
+		Query: q0, Views: views, Theory: tt, Method: method,
+		MaxStates:      req.MaxStates,
+		MaxTransitions: req.MaxTransitions,
+		Timeout:        time.Duration(req.TimeoutMS) * time.Millisecond,
+	}, nil
+}
+
+// respond writes the plan or maps the engine error onto the HTTP
+// taxonomy.
+func (s *server) respond(w http.ResponseWriter, plan *engine.Plan, err error, tr *obs.Tracer) {
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	resp := planResponse{
+		Key:        string(plan.Key()),
+		Rewriting:  plan.Regex().String(),
+		Exact:      plan.IsExact(),
+		Verdict:    plan.Exactness().Verdict.String(),
+		Witness:    plan.Witness(),
+		Empty:      plan.IsEmpty(),
+		SigmaEmpty: plan.IsSigmaEmpty(),
+		States:     plan.States(),
+	}
+	if w2, ok := plan.ShortestWord(); ok {
+		resp.ShortestWord = w2
+	}
+	if pr := plan.Partial(); pr != nil {
+		resp.Partial = &partialJSON{
+			Exact:     pr.Exact,
+			Added:     pr.Result.Added,
+			Rewriting: pr.Result.Rewriting.Regex().String(),
+			Stage:     pr.Stage,
+		}
+	}
+	if tr != nil {
+		resp.Trace = tr.Export()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeEngineError maps the engine's error taxonomy onto status codes:
+// resource exhaustion is 422 (the request as posed cannot be served
+// under its caps), admission rejection is 429 (retry against a less
+// loaded server), deadline is 504, closed is 503.
+func writeEngineError(w http.ResponseWriter, err error) {
+	var ex *budget.ExceededError
+	switch {
+	case errors.As(err, &ex):
+		writeError(w, http.StatusUnprocessableEntity, errorJSON{
+			Code: "budget_exceeded", Message: err.Error(),
+			Stage: ex.Stage, Resource: string(ex.Resource), Limit: ex.Limit, Used: ex.Used,
+		})
+	case errors.Is(err, automata.ErrStateLimit):
+		writeError(w, http.StatusUnprocessableEntity, errorJSON{Code: "state_limit", Message: err.Error()})
+	case errors.Is(err, engine.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, errorJSON{Code: "queue_full", Message: err.Error()})
+	case errors.Is(err, engine.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, errorJSON{Code: "closed", Message: err.Error()})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, errorJSON{Code: "deadline", Message: err.Error()})
+	case errors.Is(err, context.Canceled):
+		// The client went away; 499-style, but stdlib has no constant.
+		writeError(w, 499, errorJSON{Code: "canceled", Message: err.Error()})
+	default:
+		writeError(w, http.StatusInternalServerError, errorJSON{Code: "internal", Message: err.Error()})
+	}
+}
+
+// healthResponse is GET /healthz.
+type healthResponse struct {
+	Status string       `json:"status"`
+	Stats  engine.Stats `json:"stats"`
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Stats: s.eng.Stats()})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.eng.Metrics().WritePrometheus(w)
+}
+
+func traceCtx(ctx context.Context, trace bool) (context.Context, *obs.Tracer) {
+	if !trace {
+		return ctx, nil
+	}
+	tr := obs.NewTracer()
+	return obs.WithTracer(ctx, tr), tr
+}
+
+const maxBodyBytes = 1 << 20 // requests are expressions, not data
+
+func decodeJSON(r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, e errorJSON) {
+	writeJSON(w, status, struct {
+		Error errorJSON `json:"error"`
+	}{e})
+}

@@ -1,11 +1,44 @@
 package regexrw_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"regexrw"
 )
+
+// The recommended serving path: an Engine compiles the paper's
+// Example 2 into a cached, immutable plan.
+func ExampleNewEngine() {
+	eng := regexrw.NewEngine(
+		regexrw.WithBudgetDefaults(200_000, 0),
+		regexrw.WithEngineMetrics(regexrw.NewMetrics()),
+	)
+	defer eng.Close()
+	plan, err := eng.Rewrite(context.Background(), regexrw.Request{
+		Query: "a·(b·a+c)*",
+		Views: map[string]string{"e1": "a", "e2": "a·c*·b", "e3": "c"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rewriting:", plan.Regex())
+	fmt.Println("exact:", plan.IsExact())
+	// Any respelling of the same problem is a cache hit on the same plan.
+	again, err := eng.Rewrite(context.Background(), regexrw.Request{
+		Query: "a (b a + c)*",
+		Views: map[string]string{"e3": "c", "e2": "a . c* . b", "e1": "a"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cache hit:", again == plan)
+	// Output:
+	// rewriting: e2*·e1·e3*
+	// exact: true
+	// cache hit: true
+}
 
 // The paper's Example 2: rewriting a·(b·a+c)* using the views
 // e1 = a, e2 = a·c*·b, e3 = c.

@@ -15,6 +15,7 @@ import (
 
 	"regexrw/internal/automata"
 	"regexrw/internal/core"
+	"regexrw/internal/engine"
 	"regexrw/internal/obs"
 	"regexrw/internal/par"
 	"regexrw/internal/workload"
@@ -27,7 +28,7 @@ const Schema = "regexrw-bench/v1"
 // Speedup are zero when the family has no in-run baseline (THM8).
 type Entry struct {
 	// Family names the benchmark family: EX2Pipeline, EX2Observed,
-	// THM5DetBlowup, THM6Exactness, THM8Counter.
+	// PlanCache, THM5DetBlowup, THM6Exactness, THM8Counter.
 	Family string `json:"family"`
 	// Param is the family's size parameter (0 for EX2Pipeline and
 	// EX2Observed).
@@ -50,6 +51,9 @@ type Entry struct {
 	SubsetHitRate float64 `json:"subset_hit_rate"`
 	MemoBuilds    int64   `json:"memo_builds"`
 	MemoReuses    int64   `json:"memo_reuses"`
+	// PlanHitRate is the engine plan-cache hit rate over the optimized
+	// timed section (PlanCache family only).
+	PlanHitRate float64 `json:"plan_hit_rate,omitempty"`
 }
 
 // Report is the full output of one bench run.
@@ -189,6 +193,34 @@ func Run(ctx context.Context, size SizeSpec) (*Report, error) {
 	}
 	rep.Entries = append(rep.Entries, e)
 
+	// PlanCache: the engine's sharded plan cache on the Example 2
+	// request — warm (every timed iteration hits the cached plan) vs
+	// cold (cache disabled, every iteration recompiles). The warm side's
+	// untimed warmup call populates the cache, so the timed section is
+	// pure key-canonicalization + lookup; Check requires it to be at
+	// least 10x faster than recompiling.
+	warmEng := engine.New(engine.WithMetrics(obs.NewRegistry()))
+	coldEng := engine.New(engine.WithMetrics(obs.NewRegistry()), engine.WithPlanCache(0))
+	planReq := engine.Request{Instance: ex2}
+	warm := func() error {
+		_, err := warmEng.Rewrite(ctx, planReq)
+		return err
+	}
+	cold := func() error {
+		_, err := coldEng.Rewrite(ctx, planReq)
+		return err
+	}
+	e, err = runPair("PlanCache", 0, "uncached", size.MinTime, warm, cold, rewritingStates(r0))
+	if err != nil {
+		return nil, err
+	}
+	if s := warmEng.Stats(); s.Hits+s.Misses > 0 {
+		e.PlanHitRate = float64(s.Hits) / float64(s.Hits+s.Misses)
+	}
+	rep.Entries = append(rep.Entries, e)
+	warmEng.Close()
+	coldEng.Close()
+
 	// THM5DetBlowup: the determinization-blowup family (Theorem 5). The
 	// query NFA needs 2^n subset states, which makes it the purest probe
 	// of the subset-construction hot path: the memoized construction
@@ -280,13 +312,22 @@ func Run(ctx context.Context, size SizeSpec) (*Report, error) {
 // baseline that the optimization work targets (EX2Pipeline,
 // THM6Exactness) plus the observability overhead probe (EX2Observed),
 // the optimized/observed variant must not be more than 2x slower than
-// its baseline measured in the same run on the same machine. A failure
-// means the optimized path regressed against the code it is supposed to
-// beat — or that tracing got expensive enough to distort what it
-// measures.
+// its baseline measured in the same run on the same machine. The
+// PlanCache family carries a stronger contract: serving a cached plan
+// must be at least 10x faster than recompiling it, since the warm path
+// is a key hash plus a shard lookup. A failure means the optimized path
+// regressed against the code it is supposed to beat — or that tracing
+// got expensive enough to distort what it measures.
 func Check(rep *Report) error {
 	for _, e := range rep.Entries {
 		if e.BaselineNsOp == 0 {
+			continue
+		}
+		if e.Family == "PlanCache" {
+			if e.Speedup < 10 {
+				return fmt.Errorf("bench: regression: PlanCache(param=%d) warm %.0f ns/op is only %.1fx faster than cold %.0f ns/op (want >= 10x)",
+					e.Param, e.NsOp, e.Speedup, e.BaselineNsOp)
+			}
 			continue
 		}
 		if e.Family != "EX2Pipeline" && e.Family != "THM6Exactness" && e.Family != "EX2Observed" {

@@ -1,0 +1,107 @@
+// Plan keys: every rewriting problem the engine can compile is mapped
+// to a canonical byte string and hashed, so that syntactically distinct
+// spellings of the same instance — `a·b` vs `a.b` vs `a b`, redundant
+// parentheses, view maps handed over in any iteration order — land on
+// the same cache entry, while semantically distinct instances land on
+// different ones (up to hash collisions, which SHA-256 makes
+// negligible).
+//
+// The canonicalization deliberately stops at the syntax level: two
+// instances whose expressions denote the same language through
+// different ASTs (`a+b` vs `b+a`) get different keys and compile twice.
+// Language-level canonicalization would require the very minimal-DFA
+// construction the cache exists to amortize.
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strconv"
+	"strings"
+
+	"regexrw/internal/core"
+	"regexrw/internal/rpq"
+	"regexrw/internal/theory"
+)
+
+// Key identifies a compiled plan: the hex SHA-256 of the instance's
+// canonical form. Keys are comparable and safe to log (they leak no
+// view definitions).
+type Key string
+
+// keyOfInstance canonicalizes a parsed regular-expression instance.
+// The parser has already normalized the concrete syntax — `·`, `.` and
+// juxtaposition all build the same OpConcat node, whitespace and
+// redundant parentheses disappear — so rendering the ASTs back to the
+// paper's syntax is the canonical form. Views are keyed by name in
+// sorted order (ParseInstance sorts, but NewInstance callers may not).
+func keyOfInstance(inst *core.Instance, partial bool) Key {
+	h := sha256.New()
+	h.Write([]byte("regex/v1\n"))
+	if partial {
+		h.Write([]byte("partial\n"))
+	}
+	h.Write([]byte("query=" + inst.Query.String() + "\n"))
+	names := make([]string, 0, len(inst.Views))
+	for _, v := range inst.Views {
+		names = append(names, v.Name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h.Write([]byte("view " + name + "=" + inst.ViewExpr(name).String() + "\n"))
+	}
+	return Key(hex.EncodeToString(h.Sum(nil)))
+}
+
+// keyOfRPQ canonicalizes a regular-path-query instance: the query and
+// view expressions with their formula bindings, the method, and the
+// theory. Views are sorted by name — the Σ_Q language of the rewriting
+// does not depend on their order. The theory is serialized with sorted
+// constants and sorted predicate memberships, so two interpretations
+// built by declaring the same facts in different orders hash
+// identically.
+func keyOfRPQ(q0 *rpq.Query, views []rpq.View, t *theory.Interpretation, method rpq.Method) Key {
+	h := sha256.New()
+	h.Write([]byte("rpq/v1\n"))
+	h.Write([]byte("method=" + strconv.Itoa(int(method)) + "\n"))
+	writeQuery := func(prefix string, q *rpq.Query) {
+		h.Write([]byte(prefix + q.Expr.String() + "\n"))
+		for _, name := range q.Expr.SymbolNames() { // sorted
+			h.Write([]byte("  formula " + name + "=" + q.Formulas[name].String() + "\n"))
+		}
+	}
+	writeQuery("query=", q0)
+	sorted := make([]rpq.View, len(views))
+	copy(sorted, views)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, v := range sorted {
+		writeQuery("view "+v.Name+"=", v.Query)
+	}
+	h.Write([]byte(canonicalTheory(t)))
+	return Key(hex.EncodeToString(h.Sum(nil)))
+}
+
+// canonicalTheory renders an interpretation with every name list
+// sorted, so declaration order never reaches the hash.
+func canonicalTheory(t *theory.Interpretation) string {
+	if t == nil {
+		return "theory=nil\n"
+	}
+	var b strings.Builder
+	b.WriteString("theory\n")
+	consts := append([]string(nil), t.Domain().Names()...)
+	sort.Strings(consts)
+	b.WriteString("const " + strings.Join(consts, " ") + "\n")
+	for _, p := range t.Predicates() { // Predicates() returns sorted names
+		var members []string
+		for _, c := range t.Domain().Symbols() {
+			if t.Holds(p, c) {
+				members = append(members, t.Domain().Name(c))
+			}
+		}
+		sort.Strings(members)
+		b.WriteString("pred " + p + " " + strings.Join(members, " ") + "\n")
+	}
+	return b.String()
+}

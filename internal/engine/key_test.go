@@ -1,0 +1,260 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"regexrw/internal/core"
+	"regexrw/internal/regex"
+	"regexrw/internal/rpq"
+	"regexrw/internal/theory"
+)
+
+// renderVariant renders the AST in a randomly chosen concrete spelling:
+// the concatenation separator varies between `·`, `.` and whitespace
+// juxtaposition, operators get random surrounding spaces, and
+// subexpressions pick up redundant parentheses. Every variant must
+// parse back to the same language-identical instance, so all of them
+// must hash to the same plan key.
+func renderVariant(rng *rand.Rand, n *regex.Node) string {
+	var b strings.Builder
+	writeVariant(rng, n, &b)
+	return b.String()
+}
+
+func writeVariant(rng *rand.Rand, n *regex.Node, b *strings.Builder) {
+	prec := func(n *regex.Node) int {
+		switch n.Op {
+		case regex.OpUnion:
+			return 0
+		case regex.OpConcat:
+			return 1
+		default:
+			return 2
+		}
+	}
+	pad := func() {
+		if rng.Intn(3) == 0 {
+			b.WriteByte(' ')
+		}
+	}
+	child := func(c *regex.Node, minPrec int) {
+		if prec(c) < minPrec || rng.Intn(4) == 0 { // sometimes redundant parens
+			b.WriteByte('(')
+			pad()
+			writeVariant(rng, c, b)
+			pad()
+			b.WriteByte(')')
+		} else {
+			writeVariant(rng, c, b)
+		}
+	}
+	switch n.Op {
+	case regex.OpEmpty:
+		b.WriteString([]string{"∅", "empty"}[rng.Intn(2)])
+	case regex.OpEpsilon:
+		b.WriteString([]string{"ε", "eps"}[rng.Intn(2)])
+	case regex.OpSymbol:
+		b.WriteString(n.Name)
+	case regex.OpConcat:
+		for i, s := range n.Subs {
+			if i > 0 {
+				switch rng.Intn(3) {
+				case 0:
+					b.WriteString("·")
+				case 1:
+					pad()
+					b.WriteString(".")
+					pad()
+				default:
+					b.WriteString(" ")
+				}
+			}
+			child(s, 2)
+		}
+	case regex.OpUnion:
+		for i, s := range n.Subs {
+			if i > 0 {
+				pad()
+				b.WriteString("+")
+				pad()
+			}
+			child(s, 1)
+		}
+	case regex.OpStar:
+		child(n.Subs[0], 2)
+		b.WriteString("*")
+	case regex.OpOpt:
+		child(n.Subs[0], 2)
+		b.WriteString("?")
+	}
+}
+
+// randomExpr builds a random AST of bounded depth over the given
+// symbols.
+func randomExpr(rng *rand.Rand, symbols []string, depth int) *regex.Node {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(8) {
+		case 0:
+			return regex.Epsilon()
+		default:
+			return regex.Sym(symbols[rng.Intn(len(symbols))])
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return regex.Concat(randomExpr(rng, symbols, depth-1), randomExpr(rng, symbols, depth-1))
+	case 1:
+		return regex.Union(randomExpr(rng, symbols, depth-1), randomExpr(rng, symbols, depth-1))
+	case 2:
+		return regex.Star(randomExpr(rng, symbols, depth-1))
+	default:
+		return regex.Opt(randomExpr(rng, symbols, depth-1))
+	}
+}
+
+// TestKeyCanonicalization is the property test of the plan-key
+// contract: syntactically distinct but equal spellings of one instance
+// (operator spelling, whitespace, redundant parentheses, view-map
+// construction order) produce identical keys, and structurally
+// distinct instances produce distinct keys.
+func TestKeyCanonicalization(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+	symbols := []string{"a", "b", "c"}
+	seen := map[Key]string{}
+	for trial := 0; trial < 200; trial++ {
+		query := randomExpr(rng, symbols, 3)
+		viewExprs := map[string]*regex.Node{
+			"e1": randomExpr(rng, symbols, 2),
+			"e2": randomExpr(rng, symbols, 2),
+		}
+		canonical := map[string]string{}
+		for name, n := range viewExprs {
+			canonical[name] = n.String()
+		}
+		ref, err := core.ParseInstance(query.String(), canonical)
+		if err != nil {
+			t.Fatalf("trial %d: reference instance: %v", trial, err)
+		}
+		refKey := keyOfInstance(ref, false)
+
+		// Several random respellings of the same instance.
+		for v := 0; v < 5; v++ {
+			variant := map[string]string{}
+			for name, n := range viewExprs {
+				variant[name] = renderVariant(rng, n)
+			}
+			qv := renderVariant(rng, query)
+			inst, err := core.ParseInstance(qv, variant)
+			if err != nil {
+				t.Fatalf("trial %d: variant %q: %v", trial, qv, err)
+			}
+			if got := keyOfInstance(inst, false); got != refKey {
+				t.Fatalf("trial %d: variant %q / %v hashed to %s, canonical %q hashed to %s",
+					trial, qv, variant, got, query.String(), refKey)
+			}
+		}
+
+		// Distinctness across trials: a repeated key must come from a
+		// structurally identical instance (possible under random reuse of
+		// small expressions), never from a different one.
+		desc := ref.String()
+		if prev, dup := seen[refKey]; dup && prev != desc {
+			t.Fatalf("trial %d: key collision: %q vs %q", trial, prev, desc)
+		}
+		seen[refKey] = desc
+	}
+}
+
+// TestKeyViewOrderIndependence pins the map-iteration-order pitfall
+// directly: instances assembled with NewInstance from the same views in
+// different slice orders hash identically.
+func TestKeyViewOrderIndependence(t *testing.T) {
+	q := regex.MustParse("a·(b·a+c)*")
+	v1 := core.View{Name: "e1", Expr: regex.MustParse("a")}
+	v2 := core.View{Name: "e2", Expr: regex.MustParse("a·c*·b")}
+	v3 := core.View{Name: "e3", Expr: regex.MustParse("c")}
+	orders := [][]core.View{
+		{v1, v2, v3}, {v3, v2, v1}, {v2, v3, v1},
+	}
+	var want Key
+	for i, views := range orders {
+		inst, err := core.NewInstance(q, views)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := keyOfInstance(inst, false)
+		if i == 0 {
+			want = got
+		} else if got != want {
+			t.Fatalf("order %d hashed to %s, want %s", i, got, want)
+		}
+	}
+}
+
+// TestKeyDistinguishes pins that the key separates what must stay
+// separate: different queries, different view definitions, an added
+// view, and the partial flag.
+func TestKeyDistinguishes(t *testing.T) {
+	base := func(views map[string]string, query string) Key {
+		inst, err := core.ParseInstance(query, views)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return keyOfInstance(inst, false)
+	}
+	views := map[string]string{"e1": "a", "e2": "b"}
+	k := base(views, "a·b")
+	if base(views, "b·a") == k {
+		t.Fatal("different queries must hash differently")
+	}
+	if base(map[string]string{"e1": "a", "e2": "b·b"}, "a·b") == k {
+		t.Fatal("different view definitions must hash differently")
+	}
+	if base(map[string]string{"e1": "a", "e2": "b", "e3": "c"}, "a·b") == k {
+		t.Fatal("an added view must hash differently")
+	}
+	inst, _ := core.ParseInstance("a·b", views)
+	if keyOfInstance(inst, true) == k {
+		t.Fatal("the partial flag must hash differently")
+	}
+}
+
+// TestKeyRPQ covers the path-query key: view order and theory
+// declaration order are canonicalized away; method and theory content
+// are not.
+func TestKeyRPQ(t *testing.T) {
+	t1 := theory.New()
+	t1.AddConstants("rome", "paris")
+	t1.Declare("city", "rome", "paris")
+	t2 := theory.New() // same facts, different declaration order
+	t2.AddConstants("paris")
+	t2.Declare("city", "paris")
+	t2.AddConstants("rome")
+	t2.Declare("city", "rome")
+
+	q, err := rpq.ParseQuery("city·city", map[string]string{"city": "city"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := rpq.View{Name: "v1", Query: rpq.Atomic("f1", theory.Pred("city"))}
+	v2 := rpq.View{Name: "v2", Query: rpq.Atomic("f2", theory.Eq("rome"))}
+
+	kA := keyOfRPQ(q, []rpq.View{v1, v2}, t1, rpq.Grounded)
+	kB := keyOfRPQ(q, []rpq.View{v2, v1}, t2, rpq.Grounded)
+	if kA != kB {
+		t.Fatalf("view order / theory declaration order must not reach the key: %s vs %s", kA, kB)
+	}
+	if keyOfRPQ(q, []rpq.View{v1, v2}, t1, rpq.Direct) == kA {
+		t.Fatal("the method must reach the key")
+	}
+	t3 := theory.New()
+	t3.AddConstants("rome", "paris")
+	t3.Declare("city", "rome") // paris is not a city here
+	if keyOfRPQ(q, []rpq.View{v1, v2}, t3, rpq.Grounded) == kA {
+		t.Fatal("theory content must reach the key")
+	}
+	_ = fmt.Sprintf("%s", kA) // Key is printable/loggable
+}

@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKey(i int) Key {
+	// Spread across shards via the first hex digit.
+	return Key(fmt.Sprintf("%x", i%16) + fmt.Sprintf("%063d", i))
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	// One shard's worth of keys: same first nibble, so capacity is the
+	// per-shard slice and eviction order is observable.
+	c := newPlanCache(3 * cacheShards) // 3 per shard
+	key := func(i int) Key { return Key("a" + fmt.Sprintf("%063d", i)) }
+	for i := 0; i < 3; i++ {
+		if ev := c.add(key(i), &Plan{key: key(i)}); ev != 0 {
+			t.Fatalf("unexpected eviction at insert %d", i)
+		}
+	}
+	// Touch key 0 so key 1 is now the coldest.
+	if _, ok := c.get(key(0)); !ok {
+		t.Fatal("expected hit on key 0")
+	}
+	if ev := c.add(key(3), &Plan{key: key(3)}); ev != 1 {
+		t.Fatalf("expected exactly one eviction, got %d", ev)
+	}
+	if _, ok := c.get(key(1)); ok {
+		t.Fatal("expected the least-recently-used entry (key 1) to be evicted")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := c.get(key(i)); !ok {
+			t.Fatalf("expected key %d to survive", i)
+		}
+	}
+}
+
+func TestPlanCacheDisabled(t *testing.T) {
+	c := newPlanCache(0)
+	if ev := c.add(testKey(1), &Plan{}); ev != 0 {
+		t.Fatal("disabled cache must not evict")
+	}
+	if _, ok := c.get(testKey(1)); ok {
+		t.Fatal("disabled cache must always miss")
+	}
+	if c.len() != 0 {
+		t.Fatal("disabled cache must stay empty")
+	}
+}
+
+func TestPlanCacheDuplicateAdd(t *testing.T) {
+	c := newPlanCache(16)
+	first := &Plan{key: testKey(1)}
+	c.add(testKey(1), first)
+	c.add(testKey(1), &Plan{key: testKey(1)}) // concurrent-compile race: keep the first
+	if got, _ := c.get(testKey(1)); got != first {
+		t.Fatal("duplicate add must keep the existing entry")
+	}
+	if c.len() != 1 {
+		t.Fatalf("duplicate add must not grow the cache, len=%d", c.len())
+	}
+}
+
+func TestPlanCacheSharding(t *testing.T) {
+	c := newPlanCache(16 * cacheShards)
+	for i := 0; i < 200; i++ {
+		c.add(testKey(i), &Plan{key: testKey(i)})
+	}
+	if c.len() != 200 {
+		t.Fatalf("expected 200 cached plans, got %d", c.len())
+	}
+	for i := 0; i < 200; i++ {
+		if _, ok := c.get(testKey(i)); !ok {
+			t.Fatalf("missing key %d", i)
+		}
+	}
+}

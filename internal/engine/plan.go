@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+	"regexrw/internal/core"
+	"regexrw/internal/regex"
+	"regexrw/internal/rpq"
+)
+
+// Plan is the immutable compiled artifact of one rewriting problem:
+// the Σ_E- (or Σ_Q-) maximal rewriting together with everything a
+// serving layer answers from — the simplified regular expression, the
+// exactness report, the canonical minimal DFA and the shortest witness
+// word. A Plan is compiled once (Engine.Rewrite on a cache miss) and
+// then shared by every request that hits its cache entry, so all of
+// these derived views are computed eagerly at compile time; afterwards
+// every method only reads precomputed state, which makes a Plan safe
+// for unlimited concurrent use.
+//
+// The underlying core.Rewriting is reachable through Rewriting() for
+// callers that need the construction's automata (A_d, A', diagnostics
+// like ExplainRejection). Its own lazily-cached derivations (Expand)
+// were forced during compile, so those accessors are concurrency-safe
+// on a cached plan too.
+type Plan struct {
+	key  Key
+	inst *core.Instance // nil for RPQ plans
+	rw   *core.Rewriting
+	rpq  *rpq.Rewriting // nil for regex plans
+
+	expr     *regex.Node
+	exact    core.ExactnessReport
+	minimal  *automata.DFA
+	shortest []string // view names; nil when exp(L(R)) = ∅
+	hasWord  bool
+	partial  *core.AnytimePartialResult // only when requested
+	states   int64                      // states the compile materialized
+}
+
+// Key returns the plan's canonical cache key (hex SHA-256 of the
+// canonicalized instance). Two requests get the same key iff they
+// canonicalize to the same problem.
+func (p *Plan) Key() Key { return p.key }
+
+// Instance returns the compiled regular-expression instance, or nil
+// for an RPQ plan.
+func (p *Plan) Instance() *core.Instance { return p.inst }
+
+// Rewriting returns the underlying maximal rewriting with the
+// construction's automata (A_d, A', R).
+func (p *Plan) Rewriting() *core.Rewriting { return p.rw }
+
+// RPQ returns the path-query rewriting when the plan was compiled from
+// an RPQRequest, else nil.
+func (p *Plan) RPQ() *rpq.Rewriting { return p.rpq }
+
+// Regex returns the rewriting as a simplified expression over the view
+// names, computed once at compile time.
+func (p *Plan) Regex() *regex.Node { return p.expr }
+
+// Exactness returns the compile-time exactness report. Under the
+// compile budget the verdict can be ExactUnknown — the plan is still a
+// sound rewriting, only the converse inclusion is undecided; the
+// report's Reason and Stage say what gave out.
+func (p *Plan) Exactness() core.ExactnessReport { return p.exact }
+
+// IsExact reports whether the compile proved the rewriting exact
+// (false covers both ExactNo and ExactUnknown; see Exactness).
+func (p *Plan) IsExact() bool { return p.exact.Verdict == core.ExactYes }
+
+// Witness returns the shortest word of L(E0) \ exp(L(R)) (by symbol
+// name) when the exactness verdict is no, else nil.
+func (p *Plan) Witness() []string {
+	if p.exact.Verdict != core.ExactNo {
+		return nil
+	}
+	return symbolNames(p.rw.Sigma(), p.exact.Witness)
+}
+
+// MinimalDFA returns the canonical minimal DFA of the rewriting.
+func (p *Plan) MinimalDFA() *automata.DFA { return p.minimal }
+
+// ShortestWord returns a shortest Σ_E-word of the rewriting with a
+// non-empty expansion (by view name), or ok=false when exp(L(R)) = ∅.
+func (p *Plan) ShortestWord() ([]string, bool) { return p.shortest, p.hasWord }
+
+// IsEmpty reports Σ_E-emptiness of the rewriting: no shortest word
+// even over views with empty languages.
+func (p *Plan) IsEmpty() bool { return p.minimal.NumStates() == 0 || !anyAccepting(p.minimal) }
+
+// IsSigmaEmpty reports Σ-emptiness: every word of the rewriting
+// expands to nothing.
+func (p *Plan) IsSigmaEmpty() bool { return !p.hasWord }
+
+// Accepts reports whether the Σ_E-word (by view names) is in the
+// rewriting. Reads only the immutable rewriting DFA.
+func (p *Plan) Accepts(viewNames ...string) bool { return p.rw.Accepts(viewNames...) }
+
+// Partial returns the anytime partial-rewriting result when the plan
+// was compiled with Request.Partial, else nil.
+func (p *Plan) Partial() *core.AnytimePartialResult { return p.partial }
+
+// States returns how many automaton states the compile materialized —
+// the budget-meter total of the cold compile, retained so cache hits
+// can report the work they saved.
+func (p *Plan) States() int64 { return p.states }
+
+func anyAccepting(d *automata.DFA) bool {
+	for s := 0; s < d.NumStates(); s++ {
+		if d.Accepting(automata.State(s)) {
+			return true
+		}
+	}
+	return false
+}
+
+func symbolNames(a *alphabet.Alphabet, word []alphabet.Symbol) []string {
+	if word == nil {
+		return nil
+	}
+	out := make([]string, len(word))
+	for i, s := range word {
+		out[i] = a.Name(s)
+	}
+	return out
+}

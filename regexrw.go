@@ -14,13 +14,20 @@
 // where queries are regular languages over unary formulae of a finite
 // complete theory.
 //
-// Quick start:
+// Quick start — create an Engine once and serve plans from it:
 //
-//	r, err := regexrw.Rewrite("a·(b·a+c)*", map[string]string{
-//		"e1": "a", "e2": "a·c*·b", "e3": "c",
+//	eng := regexrw.NewEngine(regexrw.WithBudgetDefaults(200_000, 0))
+//	plan, err := eng.Rewrite(ctx, regexrw.Request{
+//		Query: "a·(b·a+c)*",
+//		Views: map[string]string{"e1": "a", "e2": "a·c*·b", "e3": "c"},
 //	})
-//	// r.Regex()  →  e2*·e1·e3*
-//	// r.IsExact() →  true
+//	// plan.Regex()   →  e2*·e1·e3*
+//	// plan.IsExact() →  true
+//
+// Repeated requests for the same problem — under any spelling — are
+// served from the engine's plan cache. See serving.go for the engine
+// surface and the error taxonomy; the free functions below compute the
+// same constructions one call at a time.
 //
 // The concrete expression syntax follows the paper: `+` is union, `·`
 // (or `.`, or juxtaposition with spaces) is concatenation, `*` is
@@ -182,6 +189,10 @@ type Rewriting = core.Rewriting
 
 // Rewrite parses the instance and computes its Σ_E-maximal rewriting
 // (Section 2 of the paper; Theorem 2).
+//
+// Deprecated: use Engine.Rewrite, which governs, caches and
+// deduplicates the compile; this ungoverned one-shot remains for
+// compatibility and for interactive use on trusted inputs.
 func Rewrite(query string, views map[string]string) (*Rewriting, error) {
 	inst, err := core.ParseInstance(query, views)
 	if err != nil {
@@ -191,10 +202,18 @@ func Rewrite(query string, views map[string]string) (*Rewriting, error) {
 }
 
 // MaximalRewriting computes the Σ_E-maximal rewriting of an instance.
+//
+// Deprecated: use Engine.Rewrite with a Request carrying the Instance;
+// the engine variant is governed, cached and deduplicated. This
+// ungoverned form remains for compatibility.
 func MaximalRewriting(inst *Instance) *Rewriting { return core.MaximalRewriting(inst) }
 
 // MaximalRewritingContext is MaximalRewriting with cancellation for the
 // exponential determinizations of the construction.
+//
+// Deprecated: use Engine.Rewrite — it honors the same context budget
+// and deadline, and additionally caches the compiled plan. This form
+// remains for one-shot governed runs.
 func MaximalRewritingContext(ctx context.Context, inst *Instance) (*Rewriting, error) {
 	return core.MaximalRewritingContext(ctx, inst)
 }
@@ -202,13 +221,24 @@ func MaximalRewritingContext(ctx context.Context, inst *Instance) (*Rewriting, e
 // MaximalRewritingBounded is MaximalRewriting with a resource guard:
 // the construction is doubly exponential in the worst case, so every
 // determinization is capped at maxStates; exceeding the cap fails with
-// an error instead of exhausting memory.
+// an error instead of exhausting memory (wrapping both ErrStateLimit
+// and the *BudgetExceeded).
+//
+// Deprecated: use Engine.Rewrite with WithBudgetDefaults or
+// Request.MaxStates, which reports cap trips as *BudgetExceeded with
+// the tripping stage. This wrapper remains for compatibility with the
+// pre-budget API.
 func MaximalRewritingBounded(inst *Instance, maxStates int) (*Rewriting, error) {
 	return core.MaximalRewritingBounded(inst, maxStates)
 }
 
 // PartialRewritingContext is PartialRewriting with cancellation for the
 // exponential subset search.
+//
+// Deprecated: use Engine.Rewrite with Request.Partial, which runs the
+// anytime search under the engine's governance and caches the result on
+// the plan (Plan.Partial); or PartialRewritingAnytime for the
+// uncached anytime form.
 func PartialRewritingContext(ctx context.Context, inst *Instance) (*PartialResult, error) {
 	return core.PartialRewritingContext(ctx, inst)
 }
@@ -238,6 +268,10 @@ type AnytimePartialResult = core.AnytimePartialResult
 // PartialRewritingContext: when the budget or deadline gives out
 // mid-search it returns the sound best-so-far rewriting with
 // Exact=false and the stopping reason, instead of an error.
+//
+// Deprecated: use Engine.Rewrite with Request.Partial; the engine runs
+// this same anytime search when the maximal rewriting is not exact and
+// caches the outcome on the plan (Plan.Partial).
 func PartialRewritingAnytime(ctx context.Context, inst *Instance) (*AnytimePartialResult, error) {
 	return core.PartialRewritingAnytime(ctx, inst)
 }
@@ -257,6 +291,10 @@ type PartialResult = core.PartialResult
 // PartialRewriting finds a smallest set of elementary views whose
 // addition makes the rewriting exact (Section 4.3 lifted to regular
 // expressions).
+//
+// Deprecated: use Engine.Rewrite with Request.Partial for the governed,
+// cached form; this ungoverned search (up to 2^|Σ| candidate
+// extensions) remains for interactive use on trusted inputs.
 func PartialRewriting(inst *Instance) (*PartialResult, error) {
 	return core.PartialRewriting(inst)
 }
@@ -354,6 +392,10 @@ type RPQRewriting = rpq.Rewriting
 
 // RewriteRPQ computes the Σ_Q-maximal rewriting of a regular path
 // query wrt views (Theorem 11).
+//
+// Deprecated: use Engine.RewriteRPQ, which replaces this positional
+// signature with the RPQRequest options struct and adds governance and
+// plan caching. This wrapper remains for compatibility.
 func RewriteRPQ(q0 *Query, views []RPQView, t *Theory, method RPQMethod) (*RPQRewriting, error) {
 	return rpq.Rewrite(q0, views, t, method)
 }

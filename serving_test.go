@@ -1,0 +1,182 @@
+package regexrw_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"regexrw"
+	"regexrw/internal/budget"
+	"regexrw/internal/workload"
+)
+
+func TestEngineFacade(t *testing.T) {
+	eng := regexrw.NewEngine(
+		regexrw.WithBudgetDefaults(1_000_000, 0),
+		regexrw.WithDefaultTimeout(time.Minute),
+		regexrw.WithWorkers(2),
+		regexrw.WithPlanCache(8),
+		regexrw.WithEngineMetrics(regexrw.NewMetrics()),
+	)
+	defer eng.Close()
+	plan, err := eng.Rewrite(context.Background(), regexrw.Request{
+		Query: "a·(b·a+c)*",
+		Views: map[string]string{"e1": "a", "e2": "a·c*·b", "e3": "c"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Regex().String(); got != "e2*·e1·e3*" {
+		t.Fatalf("rewriting = %s", got)
+	}
+	if !plan.IsExact() || plan.Exactness().Verdict != regexrw.ExactYes {
+		t.Fatal("Example 2 is exact")
+	}
+	// The engine result and the legacy free function agree.
+	legacy, err := regexrw.Rewrite("a·(b·a+c)*", map[string]string{
+		"e1": "a", "e2": "a·c*·b", "e3": "c",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regexrw.EquivalentExprs(plan.Regex(), legacy.Regex()) {
+		t.Fatalf("engine %s and legacy %s disagree", plan.Regex(), legacy.Regex())
+	}
+	if s := eng.Stats(); s.Compiles != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestEngineFacadeRPQ(t *testing.T) {
+	tt := regexrw.NewTheory()
+	tt.AddConstants("a", "b", "c")
+	q0, err := regexrw.ParseQuery("fa·(fb+fc)", map[string]string{
+		"fa": "=a", "fb": "=b", "fc": "=c",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, _ := regexrw.ParseFormula("=a")
+	fb, _ := regexrw.ParseFormula("=b")
+	fc, _ := regexrw.ParseFormula("=c")
+	views := []regexrw.RPQView{
+		{Name: "q1", Query: regexrw.AtomicQuery("fa", fa)},
+		{Name: "q2", Query: regexrw.AtomicQuery("fb", fb)},
+		{Name: "q3", Query: regexrw.AtomicQuery("fc", fc)},
+	}
+	eng := regexrw.NewEngine(regexrw.WithEngineMetrics(regexrw.NewMetrics()))
+	plan, err := eng.RewriteRPQ(context.Background(), regexrw.RPQRequest{
+		Query: q0, Views: views, Theory: tt, Method: regexrw.Grounded,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.RPQ() == nil || !plan.IsExact() {
+		t.Fatalf("expected an exact RPQ plan, got %+v", plan.Exactness())
+	}
+	// The deprecated positional signature still works and agrees.
+	legacy, err := regexrw.RewriteRPQ(q0, views, tt, regexrw.Grounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regexrw.EquivalentExprs(plan.Regex(), legacy.Regex()) {
+		t.Fatalf("engine %s and legacy %s disagree", plan.Regex(), legacy.Regex())
+	}
+}
+
+// TestErrorTaxonomy pins the facade's documented error contract: every
+// failure mode matches its sentinel through errors.Is and its typed
+// error through errors.As, across the engine and the legacy entry
+// points.
+func TestErrorTaxonomy(t *testing.T) {
+	blowup := workload.DetBlowupFamily(10)
+
+	t.Run("budget exceeded via engine", func(t *testing.T) {
+		eng := regexrw.NewEngine(
+			regexrw.WithBudgetDefaults(50, 0),
+			regexrw.WithEngineMetrics(regexrw.NewMetrics()),
+		)
+		_, err := eng.Rewrite(context.Background(), regexrw.Request{Instance: blowup})
+		var ex *regexrw.BudgetExceeded
+		if !errors.As(err, &ex) {
+			t.Fatalf("want *BudgetExceeded, got %v", err)
+		}
+		if ex.Stage == "" || ex.Limit != 50 {
+			t.Fatalf("diagnostics missing: %+v", ex)
+		}
+	})
+
+	t.Run("state limit via legacy bounded", func(t *testing.T) {
+		_, err := regexrw.MaximalRewritingBounded(blowup, 50)
+		if !errors.Is(err, regexrw.ErrStateLimit) {
+			t.Fatalf("want ErrStateLimit, got %v", err)
+		}
+		// The same failure also carries the budget diagnostics: both
+		// checks succeed on one error.
+		var ex *regexrw.BudgetExceeded
+		if !errors.As(err, &ex) {
+			t.Fatalf("bounded error should wrap *BudgetExceeded, got %v", err)
+		}
+	})
+
+	t.Run("admission rejection", func(t *testing.T) {
+		eng := regexrw.NewEngine(
+			regexrw.WithAdmissionLimit(1, 0),
+			regexrw.WithEngineMetrics(regexrw.NewMetrics()),
+		)
+		release := make(chan struct{})
+		entered := make(chan struct{})
+		var once sync.Once
+		stall := budget.New(budget.WithHook(func(string) error {
+			once.Do(func() { close(entered); <-release })
+			return nil
+		}))
+		done := make(chan error, 1)
+		go func() {
+			_, err := eng.Rewrite(regexrw.WithBudget(context.Background(), stall), regexrw.Request{
+				Query: "a·(b·a+c)*",
+				Views: map[string]string{"e1": "a", "e2": "a·c*·b", "e3": "c"},
+			})
+			done <- err
+		}()
+		<-entered
+		_, err := eng.Rewrite(context.Background(), regexrw.Request{
+			Query: "a·a", Views: map[string]string{"e1": "a"},
+		})
+		if !errors.Is(err, regexrw.ErrQueueFull) {
+			t.Fatalf("want ErrQueueFull, got %v", err)
+		}
+		var adm *regexrw.AdmissionError
+		if !errors.As(err, &adm) {
+			t.Fatalf("want *AdmissionError, got %v", err)
+		}
+		close(release)
+		if err := <-done; err != nil {
+			t.Fatalf("stalled compile: %v", err)
+		}
+	})
+
+	t.Run("closed engine", func(t *testing.T) {
+		eng := regexrw.NewEngine(regexrw.WithEngineMetrics(regexrw.NewMetrics()))
+		eng.Close()
+		_, err := eng.Rewrite(context.Background(), regexrw.Request{
+			Query: "a", Views: map[string]string{"e1": "a"},
+		})
+		if !errors.Is(err, regexrw.ErrClosed) {
+			t.Fatalf("want ErrClosed, got %v", err)
+		}
+	})
+
+	t.Run("deadline", func(t *testing.T) {
+		eng := regexrw.NewEngine(regexrw.WithEngineMetrics(regexrw.NewMetrics()))
+		_, err := eng.Rewrite(context.Background(), regexrw.Request{
+			Instance: blowup,
+			Timeout:  time.Nanosecond,
+		})
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("want DeadlineExceeded, got %v", err)
+		}
+	})
+}
