@@ -204,8 +204,9 @@ func buildRPQ(req rpqRequest) (engine.RPQRequest, error) {
 	tt := theory.New()
 	if req.Theory != nil {
 		tt.AddConstants(req.Theory.Constants...)
-		//mapiter:unordered — Declare only accumulates membership sets;
-		// the interpretation canonicalizes on read.
+		// String-keyed, so iteration order is not analyzer-relevant;
+		// Declare only accumulates membership sets and the
+		// interpretation canonicalizes on read.
 		for pred, members := range req.Theory.Predicates {
 			tt.Declare(pred, members...)
 		}

@@ -5,81 +5,96 @@
 //	go run ./cmd/vet -list
 //	go run ./cmd/vet -only mapiter ./internal/automata
 //
-// The analyzers (see internal/analysis) guard invariants the automata
-// pipeline depends on: mapiter (no map-iteration order leaking into
-// canonical output), ctxcheck (ctx-taking exponential entry points
-// actually honor cancellation), and invariantcall (exported
-// constructors run the regexrwdebug validation hooks). The command
-// exits nonzero when any diagnostic is reported, so CI can gate on it.
+// The eight analyzers (see internal/analysis) guard invariants the
+// automata pipeline and the serving engine depend on: mapiter (no
+// map-iteration order leaking into canonical output), ctxcheck
+// (ctx-taking exponential entry points actually honor cancellation),
+// invariantcall (exported constructors run the regexrwdebug validation
+// hooks), budgetcheck (state-materializing loops charge the budget
+// meter), spancheck (spans are closed on all return paths, contexts
+// are threaded), planimmutable (cached Plans and memo tables are
+// written only in their constructor file), locksafety (no mixed
+// atomic/plain access, copied locks, or channel/charge ops under a
+// mutex) and nodeprecated (internal/ and cmd/ avoid the Deprecated
+// facade). The command exits 1 when any diagnostic is reported, so CI
+// can gate on it, and 2 on driver errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"regexrw/internal/analysis"
 )
 
-var all = []*analysis.Analyzer{
-	analysis.MapIter,
-	analysis.CtxCheck,
-	analysis.InvariantCall,
+func main() {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vet: %v\n", err)
+		os.Exit(2)
+	}
+	os.Exit(run(wd, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func main() {
-	list := flag.Bool("list", false, "list the available analyzers and exit")
-	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: vet [-list] [-only names] [packages]\n")
-		flag.PrintDefaults()
+// run is the testable driver: it loads the packages named by args
+// relative to dir, applies the selected analyzers, prints diagnostics
+// to stdout, and returns the process exit code (0 clean, 1 findings,
+// 2 usage or load errors).
+func run(dir string, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the available analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: vet [-list] [-only names] [packages]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		for _, a := range all {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		for _, a := range analysis.All {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
-	analyzers := all
+	analyzers := analysis.All
 	if *only != "" {
 		byName := map[string]*analysis.Analyzer{}
-		for _, a := range all {
+		for _, a := range analysis.All {
 			byName[a.Name] = a
 		}
 		analyzers = nil
 		for _, name := range strings.Split(*only, ",") {
 			a, ok := byName[strings.TrimSpace(name)]
 			if !ok {
-				fmt.Fprintf(os.Stderr, "vet: unknown analyzer %q (use -list)\n", name)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "vet: unknown analyzer %q (use -list)\n", name)
+				return 2
 			}
 			analyzers = append(analyzers, a)
 		}
 	}
 
-	wd, err := os.Getwd()
+	pkgs, err := analysis.Load(dir, fs.Args()...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "vet: %v\n", err)
-		os.Exit(2)
-	}
-	pkgs, err := analysis.Load(wd, flag.Args()...)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "vet: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "vet: %v\n", err)
+		return 2
 	}
 	diags, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "vet: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "vet: %v\n", err)
+		return 2
 	}
 	for _, d := range diags {
-		fmt.Println(d)
+		fmt.Fprintln(stdout, d)
 	}
 	if len(diags) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// modfixtureWants are the exact position-and-analyzer prefixes the
+// quarantined fixture module must produce, in output order. The module
+// under testdata/modfixture has its own go.mod (module vetfixture), so
+// the repo's own vet run never sees it, and each of the eight analyzers
+// fires exactly once at a pinned position.
+var modfixtureWants = []string{
+	"automata/automata.go:20:1: invariantcall: exported NewNFA returns *NFA without a debug validation call",
+	"automata/automata.go:33:2: budgetcheck: loop materializes automaton state without charging the budget meter",
+	"automata/automata.go:50:2: mapiter: range over map keyed by alphabet.Symbol iterates in random order",
+	"engine/serve.go:19:13: spancheck: span \"span\" started by obs.StartSpan has no deferred End in this function",
+	"engine/serve.go:20:2: planimmutable: write to engine.Plan field states outside its declaring file plan.go",
+	"engine/serve.go:26:1: ctxcheck: Wait takes a context.Context but its loops never consult it",
+	"engine/serve.go:33:15: locksafety: parameter passes Cache by value, copying the lock it contains",
+	"internal/bad/bad.go:9:9: nodeprecated: use of deprecated legacy.Rewrite from vetfixture/internal/bad",
+}
+
+func modfixtureDir(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "modfixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestRunModfixture drives the full eight-analyzer suite over the
+// fixture module and pins every diagnostic's file, line, column,
+// analyzer and message head, plus the exit code.
+func TestRunModfixture(t *testing.T) {
+	dir := modfixtureDir(t)
+	var stdout, stderr bytes.Buffer
+	if code := run(dir, []string{"./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("run = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) != len(modfixtureWants) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(lines), len(modfixtureWants), stdout.String())
+	}
+	for i, want := range modfixtureWants {
+		full := filepath.Join(dir, filepath.FromSlash(want))
+		if !strings.HasPrefix(lines[i], full) {
+			t.Errorf("diagnostic %d:\n got  %s\n want prefix %s", i, lines[i], full)
+		}
+	}
+}
+
+// TestRunOnly restricts the suite to one analyzer and expects exactly
+// its finding.
+func TestRunOnly(t *testing.T) {
+	dir := modfixtureDir(t)
+	var stdout, stderr bytes.Buffer
+	if code := run(dir, []string{"-only", "planimmutable", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("run = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) != 1 || !strings.Contains(lines[0], "planimmutable: write to engine.Plan field states") {
+		t.Fatalf("-only planimmutable output:\n%s", stdout.String())
+	}
+}
+
+// TestRunList checks -list names every registered analyzer and exits 0.
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(modfixtureDir(t), []string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run -list = %d, want 0", code)
+	}
+	for _, name := range []string{"mapiter", "ctxcheck", "invariantcall", "budgetcheck", "spancheck", "planimmutable", "locksafety", "nodeprecated"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+// TestRunUnknownAnalyzer checks the driver rejects a bad -only value
+// with a usage error.
+func TestRunUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(modfixtureDir(t), []string{"-only", "nosuch", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run -only nosuch = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr missing unknown-analyzer message: %s", stderr.String())
+	}
+}
+
+// TestRepoIsSelfClean runs the suite over the repository itself: the
+// tree must stay free of findings (every known-good exception carries a
+// justified directive).
+func TestRepoIsSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole repository; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run(root, []string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("repository is not vet-clean (exit %d):\n%s%s", code, stdout.String(), stderr.String())
+	}
+}

@@ -1,0 +1,9 @@
+// Package alphabet is the modfixture double of the real alphabet
+// package: just enough surface for the analyzers' type matching.
+package alphabet
+
+// Symbol identifies one alphabet symbol.
+type Symbol int
+
+// None marks the absence of a symbol.
+const None Symbol = -1

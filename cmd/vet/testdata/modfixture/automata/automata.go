@@ -1,0 +1,54 @@
+// Package automata is the modfixture double of the real automata
+// package, seeded with one violation per automata-facing analyzer
+// (mapiter, invariantcall, budgetcheck) plus one exempted loop proving
+// directives suppress through the driver.
+package automata
+
+import "vetfixture/alphabet"
+
+// State identifies a state.
+type State int
+
+// NFA is a minimal map-backed automaton.
+type NFA struct {
+	accept []bool
+	trans  map[State]map[alphabet.Symbol][]State
+}
+
+// NewNFA returns an empty NFA. It deliberately skips the debug
+// validation hook: the invariantcall violation.
+func NewNFA() *NFA {
+	return &NFA{trans: map[State]map[alphabet.Symbol][]State{}}
+}
+
+// AddState appends a fresh state.
+func (n *NFA) AddState() State {
+	n.accept = append(n.accept, false)
+	return State(len(n.accept) - 1)
+}
+
+// Grow adds k states without charging any meter: the budgetcheck
+// violation.
+func Grow(n *NFA, k int) {
+	for i := 0; i < k; i++ {
+		n.AddState()
+	}
+}
+
+// GrowExempt carries a justified exemption, so the driver must stay
+// quiet about its loop.
+func GrowExempt(n *NFA, k int) {
+	for i := 0; i < k; i++ { //budget:exempt fixture loop bounded by the caller's k
+		n.AddState()
+	}
+}
+
+// Targets flattens a transition row by ranging over the symbol-keyed
+// map: the mapiter violation.
+func Targets(row map[alphabet.Symbol][]State) []State {
+	var out []State
+	for _, ts := range row {
+		out = append(out, ts...)
+	}
+	return out
+}

@@ -1,0 +1,15 @@
+// Package engine is the modfixture double of the serving engine,
+// seeded with one violation each for planimmutable, spancheck,
+// ctxcheck and locksafety.
+package engine
+
+// Plan is the cached compile artifact; its fields may only be written
+// here, in the declaring file.
+type Plan struct {
+	states int
+}
+
+// NewPlan constructs a Plan where its fields are allowed to be set.
+func NewPlan(states int) *Plan {
+	return &Plan{states: states}
+}

@@ -1,0 +1,35 @@
+package engine
+
+import (
+	"context"
+	"sync"
+
+	"vetfixture/obs"
+)
+
+// Cache pairs a mutex with its registry.
+type Cache struct {
+	mu   sync.Mutex
+	size int
+}
+
+// Serve traces a request but leaks the span (spancheck) and stamps the
+// cached plan after publish (planimmutable).
+func Serve(ctx context.Context, p *Plan) {
+	_, span := obs.StartSpan(ctx, "engine.serve")
+	p.states++
+	_ = span
+}
+
+// Wait spins on the plan without ever consulting its context: the
+// ctxcheck violation.
+func Wait(ctx context.Context, p *Plan) {
+	for p.states == 0 {
+	}
+}
+
+// Snapshot copies the cache — mutex included — by value: the
+// locksafety violation.
+func Snapshot(c Cache) int {
+	return c.size
+}

@@ -1,0 +1,10 @@
+// Package bad exercises the nodeprecated gate: an internal package
+// calling the deprecated legacy surface.
+package bad
+
+import "vetfixture/legacy"
+
+// Run calls the legacy entry point.
+func Run() {
+	legacy.Rewrite()
+}

@@ -1,0 +1,10 @@
+// Package legacy holds the modfixture's deprecated API surface.
+package legacy
+
+// Rewrite is the old entry point.
+//
+// Deprecated: use RewriteContext.
+func Rewrite() {}
+
+// RewriteContext is the supported entry point.
+func RewriteContext() {}

@@ -1,0 +1,15 @@
+// Package obs is the modfixture double of the real obs package.
+package obs
+
+import "context"
+
+// Span is one traced region.
+type Span struct{}
+
+// End closes the span.
+func (s *Span) End() {}
+
+// StartSpan opens a span below ctx.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{}
+}

@@ -6,8 +6,8 @@
 // Pass, Diagnostic, Reportf — so the analyzers in this package could be
 // ported to the real framework by changing imports.
 //
-// The three analyzers it ships guard the invariants the automata
-// pipeline depends on:
+// The eight analyzers it ships guard the invariants the automata
+// pipeline and the serving engine depend on:
 //
 //   - mapiter: transition tables are maps keyed by alphabet.Symbol, and
 //     Go randomizes map iteration order; any raw range over such a map
@@ -22,6 +22,25 @@
 //     packages must run the regexrwdebug-gated Validate hooks on what
 //     they return, so the debug build checks every automaton that
 //     crosses a package boundary.
+//   - budgetcheck: loops in the hot-path packages (automata, core, rpq)
+//     that materialize automaton states or transitions, or grow a
+//     subset interner, must charge the budget meter on their path —
+//     the constructions are doubly exponential by theorem, so an
+//     unmetered loop is an outage waiting for an input.
+//   - spancheck: every obs.StartSpan/StartSpan2 is paired with a
+//     deferred End (covering early error returns), and functions that
+//     accept a context thread it instead of minting
+//     context.Background().
+//   - planimmutable: fields of the cached engine.Plan and of the
+//     memoized NFA closure tables are written only in the file that
+//     declares the type — write-after-publish on a shared plan is a
+//     data race the race detector only catches when a test collides.
+//   - locksafety: no plain access to fields also accessed through
+//     sync/atomic, no atomic-typed value copied, no mutex copied, and
+//     no channel operation or budget charge while holding a mutex
+//     (e.g. an LRU shard lock).
+//   - nodeprecated: internal packages and cmd/ never call the
+//     "Deprecated:" facade wrappers kept for compatibility.
 //
 // # Suppression directives
 //
@@ -46,6 +65,20 @@ import (
 	"sort"
 	"strings"
 )
+
+// All lists every analyzer the suite ships, in the order cmd/vet runs
+// them. Adding an analyzer here wires it into cmd/vet, the self-clean
+// test and the CI lint gate at once.
+var All = []*Analyzer{
+	MapIter,
+	CtxCheck,
+	InvariantCall,
+	BudgetCheck,
+	SpanCheck,
+	PlanImmutable,
+	LockSafety,
+	NoDeprecated,
+}
 
 // An Analyzer describes one analysis: a name, a documentation string,
 // the directive that suppresses its diagnostics, and the Run function.
@@ -77,6 +110,11 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+
+	// Deprecated holds the objects declared with a "Deprecated:" doc
+	// line across every source-loaded package of this load (see
+	// Package.Deprecated).
+	Deprecated map[types.Object]bool
 
 	diags      []Diagnostic
 	directives map[lineKey]directive
@@ -161,11 +199,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				Info:       pkg.Info,
+				Deprecated: pkg.Deprecated,
 			}
 			pass.scanDirectives()
 			if err := a.Run(pass); err != nil {

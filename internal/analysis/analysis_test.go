@@ -20,6 +20,26 @@ func TestInvariantCall(t *testing.T) {
 	analysistest.Run(t, "testdata/src", analysis.InvariantCall, "invariantcall")
 }
 
+func TestBudgetCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.BudgetCheck, "budgetcheck")
+}
+
+func TestSpanCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.SpanCheck, "spancheck")
+}
+
+func TestPlanImmutable(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.PlanImmutable, "planimmutable")
+}
+
+func TestLockSafety(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.LockSafety, "locksafety")
+}
+
+func TestNoDeprecated(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.NoDeprecated, "internal/nodeprecated")
+}
+
 // TestBareDirective pins the framework rule that a suppression
 // directive without a justification is reported rather than honored.
 // (A separate fixture without want-markers, since the bare directive
@@ -60,9 +80,9 @@ func TestLoadRepo(t *testing.T) {
 	}
 }
 
-// TestRepoIsClean runs all three analyzers over the whole module: the
-// tree must stay free of unsuppressed findings, the same gate cmd/vet
-// enforces in CI.
+// TestRepoIsClean runs the full eight-analyzer suite over the whole
+// module: the tree must stay free of unsuppressed findings, the same
+// gate cmd/vet enforces in CI.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("typechecks the whole module; skipped in -short")
@@ -71,9 +91,7 @@ func TestRepoIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loading module: %v", err)
 	}
-	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{
-		analysis.MapIter, analysis.CtxCheck, analysis.InvariantCall,
-	})
+	diags, err := analysis.Run(pkgs, analysis.All)
 	if err != nil {
 		t.Fatalf("running analyzers: %v", err)
 	}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BudgetCheck flags state-materializing loops in the hot-path packages
+// that never charge the budget meter.
+//
+// The constructions this repository reproduces are doubly exponential
+// by theorem (Theorems 5 and 8 of the paper), so the resource governor
+// (internal/budget) is the only thing standing between an adversarial
+// input and an unbounded allocation. Its contract is simple: every
+// loop that materializes automaton states or transitions — calls to
+// AddState, AddStates, AddTransition, AddEpsilon, SetTransition on an
+// automata.NFA/DFA, or growth of a subset interner via
+// intern/internClone — must charge a budget.Meter (AddStates,
+// AddTransitions, or at least Check) somewhere on its path. The
+// analyzer inspects the packages named automata, core and rpq and
+// reports every outermost loop that contains a materializing call but
+// neither touches a *budget.Meter nor delegates by passing a Meter or
+// a context.Context to a callee (the callee then owns the charge).
+//
+// Loops whose trip count is provably bounded by the INPUT size — copy
+// loops over an automaton that already paid for its states, say — are
+// annotated `//budget:exempt <why the loop cannot amplify>`, which
+// both suppresses the diagnostic and documents the proof obligation.
+var BudgetCheck = &Analyzer{
+	Name:      "budgetcheck",
+	Doc:       "flag state-materializing loops in automata/core/rpq that never charge the budget meter",
+	Directive: "budget:exempt",
+	Run:       runBudgetCheck,
+}
+
+// budgetCheckPkgs names the hot-path packages under the metering
+// contract (by package name, so fixtures under testdata match too).
+var budgetCheckPkgs = map[string]bool{
+	"automata": true,
+	"core":     true,
+	"rpq":      true,
+}
+
+// materializerNames are the automata mutators that grow state or
+// transition storage.
+var materializerNames = map[string]bool{
+	"AddState":      true,
+	"AddStates":     true,
+	"AddTransition": true,
+	"AddEpsilon":    true,
+	"SetTransition": true,
+}
+
+// internerNames are the interner probes that can grow the subset table.
+var internerNames = map[string]bool{
+	"intern":      true,
+	"internClone": true,
+}
+
+func runBudgetCheck(pass *Pass) error {
+	if !budgetCheckPkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			// This is an outermost loop (Inspect is pruned below nested
+			// ones): judge its entire subtree — a charge anywhere in the
+			// body covers every materialization under it.
+			if containsMaterializer(pass, body) && !chargesOrDelegates(pass, body) {
+				pass.Reportf(n.Pos(),
+					"loop materializes automaton state without charging the budget meter; call meter.AddStates/AddTransitions/Check (or pass the ctx/meter to a callee) or annotate //budget:exempt with a reason")
+			}
+			return false // inner loops are covered by this judgement
+		})
+	}
+	return nil
+}
+
+// containsMaterializer reports whether the subtree contains a call that
+// grows automaton or interner storage.
+func containsMaterializer(pass *Pass, root ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return !found
+		}
+		name := sel.Sel.Name
+		if !materializerNames[name] && !internerNames[name] {
+			return !found
+		}
+		recv := receiverType(pass, sel)
+		if recv == nil {
+			return !found
+		}
+		switch {
+		case materializerNames[name] && (isNamed(recv, "automata", "NFA") || isNamed(recv, "automata", "DFA")):
+			found = true
+		case internerNames[name] && isNamed(recv, "automata", "interner"):
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// chargesOrDelegates reports whether the subtree touches the budget:
+// calls a method on a *budget.Meter, passes a Meter to a callee, or
+// passes a context.Context onward (the callee opens its own meter).
+func chargesOrDelegates(pass *Pass, root ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if recv := receiverType(pass, sel); recv != nil && isNamed(recv, "budget", "Meter") {
+				found = true // meter.AddStates / AddTransitions / Check
+			}
+		}
+		for _, arg := range call.Args {
+			tv, ok := pass.Info.Types[arg]
+			if !ok {
+				continue
+			}
+			t := tv.Type
+			if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if isNamed(t, "budget", "Meter") || isNamed(tv.Type, "context", "Context") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// receiverType returns the type of a selector's receiver expression
+// with one level of pointer indirection removed, or nil when sel.X is
+// not a value (e.g. a package qualifier).
+func receiverType(pass *Pass, sel *ast.SelectorExpr) types.Type {
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := tv.Type
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return t
+}

@@ -24,6 +24,12 @@ type Package struct {
 	Files   []*ast.File
 	Types   *types.Package
 	Info    *types.Info
+
+	// Deprecated holds every object whose declaration carries a
+	// "Deprecated:" doc line, across ALL packages loaded from source in
+	// the same Load call (the map is shared between them). Analyzers use
+	// it to flag cross-package calls into deprecated API (nodeprecated).
+	Deprecated map[types.Object]bool
 }
 
 // Load parses and typechecks the packages matching the patterns.
@@ -88,14 +94,16 @@ type loader struct {
 	std        types.Importer
 	cache      map[string]*Package
 	loading    map[string]bool
+	deprecated map[types.Object]bool
 }
 
 func newLoader() *loader {
 	return &loader{
-		fset:    token.NewFileSet(),
-		std:     importer.Default(),
-		cache:   map[string]*Package{},
-		loading: map[string]bool{},
+		fset:       token.NewFileSet(),
+		std:        importer.Default(),
+		cache:      map[string]*Package{},
+		loading:    map[string]bool{},
+		deprecated: map[types.Object]bool{},
 	}
 }
 
@@ -161,13 +169,68 @@ func (l *loader) loadDir(path, dir string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analysis: typecheck %s: %w", path, err)
 	}
+	l.collectDeprecated(files, info)
 	pkg := &Package{
 		PkgPath: path, Dir: dir,
 		Fset: l.fset, Files: files,
 		Types: tpkg, Info: info,
+		Deprecated: l.deprecated,
 	}
 	l.cache[path] = pkg
 	return pkg, nil
+}
+
+// collectDeprecated records every declared object — function, method,
+// type, variable or constant — whose doc comment carries a
+// "Deprecated:" line, into the loader-wide map shared by all Packages
+// of this load. Because module-local and fixture imports are
+// typechecked from source, deprecations declared in an imported
+// package are visible to analyses of its importers.
+func (l *loader) collectDeprecated(files []*ast.File, info *types.Info) {
+	record := func(name *ast.Ident, docs ...*ast.CommentGroup) {
+		for _, doc := range docs {
+			if !hasDeprecated(doc) {
+				continue
+			}
+			if obj := info.Defs[name]; obj != nil {
+				l.deprecated[obj] = true
+			}
+			return
+		}
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				record(d.Name, d.Doc)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						record(s.Name, s.Doc, d.Doc)
+					case *ast.ValueSpec:
+						for _, name := range s.Names {
+							record(name, s.Doc, d.Doc)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// hasDeprecated reports whether the doc comment contains a line
+// following the standard "Deprecated:" convention.
+func hasDeprecated(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "Deprecated:") {
+			return true
+		}
+	}
+	return false
 }
 
 // findModule walks upward from dir to the enclosing go.mod and returns

@@ -1,0 +1,489 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockSafety flags the concurrency hazards the serving layer's
+// lock/atomic discipline forbids.
+//
+// Three sub-checks, one contract: the engine's hot structures mix
+// mutexes (LRU shards, singleflight table), atomics (counters, the NFA
+// memo pointer) and channels (admission, call completion), and each
+// primitive is only sound when used one way.
+//
+//   - Mixed access: a field accessed through sync/atomic anywhere in
+//     the package must be accessed through sync/atomic everywhere; and
+//     a field of an atomic.* type must only be used as a method-call
+//     receiver (or have its address taken) — copying an atomic value
+//     copies its guts without its guarantees.
+//   - Lock copies: a value containing a sync.Mutex/RWMutex (or an
+//     atomic.* value) must not be copied — by-value parameters,
+//     results, assignments from a dereference/selector, or range value
+//     variables.
+//   - Ops under lock: while a mutex is held, no channel send, receive
+//     or select, and no budget.Meter charge — the meter consults the
+//     context and can block in hooks, and a channel op under an LRU
+//     shard lock turns a cache probe into a deadlock candidate.
+//
+// Intentional exceptions are annotated `//locksafety:ok <why this is
+// safe>`.
+var LockSafety = &Analyzer{
+	Name:      "locksafety",
+	Doc:       "flag mixed atomic/plain access, copied locks, and channel/charge ops under a held mutex",
+	Directive: "locksafety:ok",
+	Run:       runLockSafety,
+}
+
+func runLockSafety(pass *Pass) error {
+	checkMixedAtomics(pass)
+	for _, file := range pass.Files {
+		checkLockCopies(pass, file)
+		checkOpsUnderLock(pass, file)
+	}
+	return nil
+}
+
+// ---- sub-check 1: mixed atomic / plain access ----
+
+// checkMixedAtomics walks the whole package twice: first collecting
+// every field passed by address to a sync/atomic function, then
+// reporting every other (plain) use of those fields. It also reports
+// uses of atomic.*-typed fields that are neither method-call receivers
+// nor address-taken (i.e. value copies).
+func checkMixedAtomics(pass *Pass) {
+	atomicFields := map[types.Object]bool{}
+	atomicUses := map[*ast.SelectorExpr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicPkgCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if obj := fieldObject(pass, sel); obj != nil {
+					atomicFields[obj] = true
+					atomicUses[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, file := range pass.Files {
+		parents := parentMap(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := fieldObject(pass, sel)
+			if obj == nil {
+				return true
+			}
+			if atomicFields[obj] && !atomicUses[sel] {
+				pass.Reportf(sel.Pos(),
+					"field %s is accessed with sync/atomic elsewhere in this package but plainly here; use the atomic accessors everywhere or annotate //locksafety:ok with a reason",
+					sel.Sel.Name)
+				return true
+			}
+			if isAtomicValueType(obj.Type()) && !isReceiverOrAddressed(parents, sel) {
+				pass.Reportf(sel.Pos(),
+					"atomic-typed field %s is copied or read as a value; atomics must be used through their methods — or annotate //locksafety:ok with a reason",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicPkgCall reports whether call invokes a function of package
+// sync/atomic (atomic.LoadInt64, atomic.StoreInt64, ...).
+func isAtomicPkgCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldObject returns the field object of a struct-field selector, or
+// nil when sel is not a field access.
+func fieldObject(pass *Pass, sel *ast.SelectorExpr) types.Object {
+	selection := pass.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	return selection.Obj()
+}
+
+// isAtomicValueType reports whether t is one of sync/atomic's value
+// types (Int64, Bool, Pointer[T], ...).
+func isAtomicValueType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	switch obj.Name() {
+	case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Value", "Pointer":
+		return true
+	}
+	return false
+}
+
+// isReceiverOrAddressed reports whether sel is used as a method-call
+// receiver (x.f.Load()) or has its address taken (&x.f) — the two
+// legitimate ways to touch an atomic-typed field.
+func isReceiverOrAddressed(parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	switch p := parents[sel].(type) {
+	case *ast.SelectorExpr:
+		if call, ok := parents[p].(*ast.CallExpr); ok && call.Fun == p && p.X == sel {
+			return true
+		}
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	}
+	return false
+}
+
+// parentMap builds a child → parent index for one file.
+func parentMap(file *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// ---- sub-check 2: lock values copied ----
+
+// checkLockCopies reports by-value parameters/results, assignments and
+// range variables whose type contains a mutex or an atomic value.
+func checkLockCopies(pass *Pass, file *ast.File) {
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := pass.Info.Types[field.Type]
+			if !ok || !containsLock(tv.Type, 0) {
+				continue
+			}
+			pass.Reportf(field.Pos(),
+				"%s passes %s by value, copying the lock it contains; use a pointer or annotate //locksafety:ok with a reason",
+				what, types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			checkFieldList(n.Type.Params, "parameter")
+			checkFieldList(n.Type.Results, "result")
+		case *ast.FuncLit:
+			checkFieldList(n.Type.Params, "parameter")
+			checkFieldList(n.Type.Results, "result")
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				switch rhs.(type) {
+				case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+				default:
+					continue // composite literals, calls etc. construct, not copy
+				}
+				tv, ok := pass.Info.Types[rhs]
+				if !ok || !containsLock(tv.Type, 0) {
+					continue
+				}
+				if isAtomicValueType(tv.Type) {
+					continue // the mixed-atomic check reports these
+				}
+				pass.Reportf(rhs.Pos(),
+					"assignment copies %s which contains a lock; use a pointer or annotate //locksafety:ok with a reason",
+					types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+			}
+		case *ast.RangeStmt:
+			id, ok := n.Value.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			// Range value vars are definitions, so their type lives in
+			// Defs (Uses/Types cover the `=` form via the same object).
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj == nil || !containsLock(obj.Type(), 0) {
+				return true
+			}
+			pass.Reportf(n.Value.Pos(),
+				"range value copies %s which contains a lock; range over indices or pointers, or annotate //locksafety:ok with a reason",
+				types.TypeString(obj.Type(), types.RelativeTo(pass.Pkg)))
+		}
+		return true
+	})
+}
+
+// containsLock reports whether t (by value) contains a sync lock or an
+// atomic value, looking through named types and struct fields to a
+// small depth.
+func containsLock(t types.Type, depth int) bool {
+	if depth > 3 {
+		return false
+	}
+	t = types.Unalias(t)
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+					return true
+				}
+			case "sync/atomic":
+				if isAtomicValueType(named) {
+					return true
+				}
+			}
+		}
+		t = named.Underlying()
+	}
+	if st, ok := t.(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			if containsLock(st.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---- sub-check 3: channel ops / budget charges under a held mutex ----
+
+// checkOpsUnderLock runs a linear lock-state walk over every function
+// body: Lock()/RLock() opens a region, Unlock()/RUnlock() closes it, a
+// deferred Unlock keeps it open to function end (that is the point of
+// the idiom), and while a region is open no statement may perform a
+// channel operation or charge a budget.Meter.
+func checkOpsUnderLock(pass *Pass, file *ast.File) {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch f := n.(type) {
+		case *ast.FuncDecl:
+			if f.Body != nil {
+				bodies = append(bodies, f.Body)
+			}
+		case *ast.FuncLit:
+			bodies = append(bodies, f.Body)
+		}
+		return true
+	})
+	for _, body := range bodies {
+		walkLockStmts(pass, body.List, false)
+	}
+}
+
+type lockOp int
+
+const (
+	lockNone lockOp = iota
+	lockAcquire
+	lockRelease
+)
+
+// walkLockStmts interprets a statement list tracking whether a mutex is
+// held, reporting forbidden operations inside held regions, and
+// returns the lock state at the list's end. Branch merges are
+// conservative toward "locked": a branch that terminates (return,
+// branch statement, panic) does not propagate its state.
+func walkLockStmts(pass *Pass, stmts []ast.Stmt, locked bool) bool {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				switch lockKind(pass, call) {
+				case lockAcquire:
+					locked = true
+					continue
+				case lockRelease:
+					locked = false
+					continue
+				}
+			}
+			if locked {
+				scanLockedViolations(pass, s)
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() pins the region open to function end —
+			// everything after it is analyzed as locked, which is the
+			// idiom's meaning. Other deferred calls registered under the
+			// lock run before that Unlock, so they are scanned too.
+			if lockKind(pass, s.Call) == lockNone && locked {
+				scanLockedViolations(pass, s.Call)
+			}
+		case *ast.BlockStmt:
+			locked = walkLockStmts(pass, s.List, locked)
+		case *ast.IfStmt:
+			if locked {
+				scanLockedViolations(pass, s.Init, s.Cond)
+			}
+			bodyOut := walkLockStmts(pass, s.Body.List, locked)
+			if terminates(s.Body.List) {
+				bodyOut = false
+			}
+			elseOut := locked
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				elseOut = walkLockStmts(pass, e.List, locked)
+				if terminates(e.List) {
+					elseOut = false
+				}
+			case *ast.IfStmt:
+				elseOut = walkLockStmts(pass, []ast.Stmt{e}, locked)
+			}
+			locked = bodyOut || elseOut
+		case *ast.ForStmt:
+			if locked {
+				scanLockedViolations(pass, s.Init, s.Cond, s.Post)
+			}
+			walkLockStmts(pass, s.Body.List, locked)
+		case *ast.RangeStmt:
+			if locked {
+				scanLockedViolations(pass, s.X)
+			}
+			walkLockStmts(pass, s.Body.List, locked)
+		case *ast.SwitchStmt:
+			if locked {
+				scanLockedViolations(pass, s.Init, s.Tag)
+			}
+			for _, clause := range s.Body.List {
+				if cc, ok := clause.(*ast.CaseClause); ok {
+					walkLockStmts(pass, cc.Body, locked)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, clause := range s.Body.List {
+				if cc, ok := clause.(*ast.CaseClause); ok {
+					walkLockStmts(pass, cc.Body, locked)
+				}
+			}
+		case *ast.SelectStmt:
+			if locked {
+				pass.Reportf(s.Pos(),
+					"select (channel operation) while holding a mutex; release the lock first or annotate //locksafety:ok with a reason")
+			}
+			for _, clause := range s.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok {
+					walkLockStmts(pass, cc.Body, locked)
+				}
+			}
+		case *ast.GoStmt:
+			// The goroutine body runs on its own stack without this lock.
+		default:
+			if locked {
+				scanLockedViolations(pass, stmt)
+			}
+		}
+	}
+	return locked
+}
+
+// lockKind classifies a call as mutex acquire, release, or neither.
+func lockKind(pass *Pass, call *ast.CallExpr) lockOp {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockNone
+	}
+	var op lockOp
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = lockAcquire
+	case "Unlock", "RUnlock":
+		op = lockRelease
+	default:
+		return lockNone
+	}
+	recv := receiverType(pass, sel)
+	if recv == nil || (!isNamed(recv, "sync", "Mutex") && !isNamed(recv, "sync", "RWMutex")) {
+		return lockNone
+	}
+	return op
+}
+
+// terminates reports whether a statement list ends by leaving the
+// enclosing flow (return, break/continue/goto, panic).
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scanLockedViolations reports channel operations and budget charges
+// inside the given nodes, without descending into function literals
+// (their bodies run on their own goroutine or after the region).
+func scanLockedViolations(pass *Pass, nodes ...ast.Node) {
+	for _, node := range nodes {
+		if node == nil {
+			continue
+		}
+		ast.Inspect(node, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(),
+					"channel send while holding a mutex; release the lock first or annotate //locksafety:ok with a reason")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(),
+						"channel receive while holding a mutex; release the lock first or annotate //locksafety:ok with a reason")
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(),
+					"select (channel operation) while holding a mutex; release the lock first or annotate //locksafety:ok with a reason")
+				return false
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+					if recv := receiverType(pass, sel); recv != nil && isNamed(recv, "budget", "Meter") {
+						pass.Reportf(n.Pos(),
+							"budget.Meter charge while holding a mutex; the meter can consult the context and block — charge outside the lock or annotate //locksafety:ok with a reason")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

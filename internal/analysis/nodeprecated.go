@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NoDeprecated flags internal and cmd packages calling deprecated API.
+//
+// The package-level facade keeps "// Deprecated:" wrappers (Rewrite,
+// MaximalRewriting, ...) so external callers migrate at their own
+// pace, but inside this module they are dead weight: every internal
+// package and command is expected to use the Engine/Plan serving
+// surface or the ...Context entry points directly. A deprecated call
+// creeping back into internal/ or cmd/ quietly re-couples new code to
+// the surface being retired. The analyzer reports every use, from a
+// package whose import path contains an internal/ or cmd/ segment, of
+// an object declared elsewhere with a "Deprecated:" doc line (the
+// loader collects those across all source-loaded packages).
+//
+// A deliberate use — a compatibility shim, a migration test bed — is
+// annotated `//nodeprecated:allow <why>`.
+var NoDeprecated = &Analyzer{
+	Name:      "nodeprecated",
+	Doc:       "flag internal/ and cmd/ packages calling Deprecated facade wrappers",
+	Directive: "nodeprecated:allow",
+	Run:       runNoDeprecated,
+}
+
+func runNoDeprecated(pass *Pass) error {
+	if len(pass.Deprecated) == 0 || !isInternalOrCmd(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil || !pass.Deprecated[obj] || obj.Pkg() == pass.Pkg {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"use of deprecated %s.%s from %s; call the replacement named in its Deprecated note or annotate //nodeprecated:allow with a reason",
+				obj.Pkg().Name(), obj.Name(), pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}
+
+// isInternalOrCmd reports whether the import path has an internal or
+// cmd path segment.
+func isInternalOrCmd(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "internal" || seg == "cmd" {
+			return true
+		}
+	}
+	return false
+}

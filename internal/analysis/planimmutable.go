@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PlanImmutable flags writes to published-immutable types outside their
+// constructor file.
+//
+// The serving engine's soundness argument is "compile once, share
+// everywhere": a cached engine.Plan is handed to every request that
+// hits its cache entry, with no lock, because every field is written
+// during compile and only read afterwards. The same argument covers
+// the automata memo tables (nfaMemo/memoBox), which are published
+// through an atomic pointer and shared by concurrent pipelines. A
+// field assignment added anywhere else in the package silently turns
+// that shared artifact mutable — a data race the race detector only
+// catches when a test happens to collide two goroutines on it.
+//
+// The analyzer pins the invariant structurally: every assignment (or
+// ++/--) whose target is a field of a protected type must sit in the
+// file that DECLARES the type — its constructor file. Intentional
+// exceptions are annotated `//planimmutable:allow <why this write
+// cannot race>`.
+var PlanImmutable = &Analyzer{
+	Name:      "planimmutable",
+	Doc:       "flag writes to engine.Plan / automata memo fields outside their declaring file",
+	Directive: "planimmutable:allow",
+	Run:       runPlanImmutable,
+}
+
+// planImmutableTypes are the protected (package name, type name) pairs.
+var planImmutableTypes = []struct{ pkg, typ string }{
+	{"engine", "Plan"},
+	{"automata", "nfaMemo"},
+	{"automata", "memoBox"},
+}
+
+func runPlanImmutable(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range stmt.Lhs {
+					checkProtectedWrite(pass, file, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkProtectedWrite(pass, file, stmt.X)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkProtectedWrite reports lhs when it writes (possibly through an
+// index or dereference) a field of a protected type from outside the
+// file declaring that type.
+func checkProtectedWrite(pass *Pass, file *ast.File, lhs ast.Expr) {
+	// Peel the write target down to the selector being stored through:
+	// p.f, (*p).f, m.closure[i], ...
+	for {
+		switch e := lhs.(type) {
+		case *ast.IndexExpr:
+			lhs = e.X
+			continue
+		case *ast.ParenExpr:
+			lhs = e.X
+			continue
+		case *ast.StarExpr:
+			lhs = e.X
+			continue
+		}
+		break
+	}
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection := pass.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return
+	}
+	recv := selection.Recv()
+	if ptr, ok := types.Unalias(recv).(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := types.Unalias(recv).(*types.Named)
+	if !ok {
+		return
+	}
+	for _, p := range planImmutableTypes {
+		if !isNamed(recv, p.pkg, p.typ) {
+			continue
+		}
+		declFile := pass.Fset.Position(named.Obj().Pos()).Filename
+		writeFile := pass.Fset.Position(sel.Pos()).Filename
+		if declFile == writeFile {
+			return
+		}
+		pass.Reportf(sel.Pos(),
+			"write to %s.%s field %s outside its declaring file %s; cached %s values are immutable after publish — construct in the declaring file or annotate //planimmutable:allow with a reason",
+			p.pkg, p.typ, sel.Sel.Name, baseName(declFile), p.typ)
+		return
+	}
+}
+
+// baseName returns the last path element of a filename for diagnostics.
+func baseName(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == '\\' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

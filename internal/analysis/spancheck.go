@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpanCheck flags stage spans that can leak and contexts that are
+// dropped instead of threaded.
+//
+// The tracing layer's contract (internal/obs) is that every
+// StartSpan/StartSpan2 is closed on every return path — the idiom is a
+// deferred End immediately after the start, which covers early error
+// returns for free. A span ended only on the happy path leaves the
+// trace tree open exactly when something went wrong, which is when the
+// trace is wanted. The analyzer reports (rule A) every
+// obs.StartSpan/StartSpan2 call whose span result is discarded or not
+// closed by a `defer span.End()` in the same function.
+//
+// Rule B guards the other half of context hygiene: a function that
+// already receives a context.Context must not mint a fresh
+// context.Background() or context.TODO() — doing so silently detaches
+// the work from the caller's deadline, budget and tracer. Only
+// packages named main (entry points own the root context) are outside
+// the rule. Intentional detachment is annotated
+// `//spancheck:ignore <why>`.
+var SpanCheck = &Analyzer{
+	Name:      "spancheck",
+	Doc:       "flag StartSpan calls without a deferred End and ctx-taking functions that mint context.Background",
+	Directive: "spancheck:ignore",
+	Run:       runSpanCheck,
+}
+
+func runSpanCheck(pass *Pass) error {
+	for _, file := range pass.Files {
+		checkSpanEnds(pass, file)
+		if pass.Pkg.Name() != "main" {
+			checkBackground(pass, file)
+		}
+	}
+	return nil
+}
+
+// checkSpanEnds enforces rule A over one file.
+func checkSpanEnds(pass *Pass, file *ast.File) {
+	// First pass: map every StartSpan call that is the sole RHS of a
+	// two-value assignment to the object of its span variable.
+	handled := map[*ast.CallExpr]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) != 2 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok || !isStartSpanCall(pass, call) {
+			return true
+		}
+		handled[call] = true
+		spanIdent, ok := assign.Lhs[1].(*ast.Ident)
+		if !ok {
+			pass.Reportf(call.Pos(), "span returned by %s is not bound to a variable; defer span.End() or annotate //spancheck:ignore with a reason", startSpanName(call))
+			return true
+		}
+		if spanIdent.Name == "_" {
+			pass.Reportf(call.Pos(), "span returned by %s is discarded, so it is never ended; bind it and defer span.End() or annotate //spancheck:ignore with a reason", startSpanName(call))
+			return true
+		}
+		obj := pass.Info.Defs[spanIdent]
+		if obj == nil {
+			obj = pass.Info.Uses[spanIdent]
+		}
+		_, body := funcFor(file, call.Pos())
+		if body == nil || !hasDeferredEnd(pass, body, obj) {
+			pass.Reportf(call.Pos(), "span %q started by %s has no deferred End in this function; early returns leak it — write `defer %s.End()` or annotate //spancheck:ignore with a reason",
+				spanIdent.Name, startSpanName(call), spanIdent.Name)
+		}
+		return true
+	})
+	// Second pass: StartSpan calls outside the canonical assignment form
+	// (expression statements, nested expressions) discard the span.
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || handled[call] || !isStartSpanCall(pass, call) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "result of %s is not assigned `ctx, span := ...`; the span can never be ended — bind it and defer span.End() or annotate //spancheck:ignore with a reason", startSpanName(call))
+		return true
+	})
+}
+
+// hasDeferredEnd reports whether body contains `defer <span>.End()` for
+// the given span object (any enclosing defer covers all return paths).
+func hasDeferredEnd(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return !found
+		}
+		sel, ok := def.Call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "End" {
+			return !found
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if ok && pass.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isStartSpanCall reports whether call is obs.StartSpan or
+// obs.StartSpan2, matching the obs package by name so fixture doubles
+// under testdata qualify.
+func isStartSpanCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "StartSpan" && sel.Sel.Name != "StartSpan2") {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Name() == "obs"
+}
+
+func startSpanName(call *ast.CallExpr) string {
+	return "obs." + call.Fun.(*ast.SelectorExpr).Sel.Name
+}
+
+// checkBackground enforces rule B over one file: functions (and their
+// literals) that have a context.Context parameter must not call
+// context.Background or context.TODO.
+func checkBackground(pass *Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		if len(contextParams(pass, fn)) == 0 {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+				return true
+			}
+			f, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || f.Pkg() == nil || f.Pkg().Path() != "context" {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s takes a context.Context but mints context.%s, detaching this work from the caller's deadline/budget/tracer; thread the ctx parameter or annotate //spancheck:ignore with a reason",
+				fn.Name.Name, sel.Sel.Name)
+			return true
+		})
+	}
+}

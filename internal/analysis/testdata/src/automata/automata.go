@@ -1,0 +1,61 @@
+// Package automata is a minimal stand-in for regexrw/internal/automata
+// so fixtures can form the NFA/DFA receiver types the budgetcheck
+// analyzer keys on (it matches by package and type name, not path).
+package automata
+
+import "alphabet"
+
+// State mirrors the real automata.State.
+type State int
+
+// NFA mirrors the mutator surface of the real automata.NFA.
+type NFA struct {
+	accept []bool
+}
+
+// NewNFA returns an empty fixture NFA.
+func NewNFA() *NFA { return &NFA{} }
+
+// AddState mirrors the real mutator.
+func (n *NFA) AddState() State {
+	n.accept = append(n.accept, false)
+	return State(len(n.accept) - 1)
+}
+
+// AddStates mirrors the real mutator.
+func (n *NFA) AddStates(k int) State {
+	first := State(len(n.accept))
+	for i := 0; i < k; i++ {
+		n.AddState()
+	}
+	return first
+}
+
+// AddTransition mirrors the real mutator.
+func (n *NFA) AddTransition(from State, x alphabet.Symbol, to State) {}
+
+// AddEpsilon mirrors the real mutator.
+func (n *NFA) AddEpsilon(from, to State) {}
+
+// SetAccept mirrors the real mutator.
+func (n *NFA) SetAccept(s State, accepting bool) { n.accept[s] = accepting }
+
+// NumStates mirrors the real accessor.
+func (n *NFA) NumStates() int { return len(n.accept) }
+
+// DFA mirrors the mutator surface of the real automata.DFA.
+type DFA struct {
+	accept []bool
+}
+
+// NewDFA returns an empty fixture DFA.
+func NewDFA() *DFA { return &DFA{} }
+
+// AddState mirrors the real mutator.
+func (d *DFA) AddState(accepting bool) State {
+	d.accept = append(d.accept, accepting)
+	return State(len(d.accept) - 1)
+}
+
+// SetTransition mirrors the real mutator.
+func (d *DFA) SetTransition(from State, x alphabet.Symbol, to State) {}

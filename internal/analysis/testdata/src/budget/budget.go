@@ -1,0 +1,24 @@
+// Package budget is a minimal stand-in for regexrw/internal/budget so
+// fixtures can form the *budget.Meter type the budgetcheck and
+// locksafety analyzers key on (they match by package and type name,
+// not path).
+package budget
+
+import "context"
+
+// Meter mirrors the charge surface of the real budget.Meter.
+type Meter struct {
+	ticks int64
+}
+
+// Enter mirrors the real constructor.
+func Enter(ctx context.Context, stage string) *Meter { return &Meter{} }
+
+// AddStates mirrors the real charge method.
+func (m *Meter) AddStates(n int) error { m.ticks++; return nil }
+
+// AddTransitions mirrors the real charge method.
+func (m *Meter) AddTransitions(n int) error { m.ticks++; return nil }
+
+// Check mirrors the real tick method.
+func (m *Meter) Check() error { m.ticks++; return nil }

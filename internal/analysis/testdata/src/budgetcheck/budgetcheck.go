@@ -1,0 +1,88 @@
+// Package core is the fixture for the budgetcheck analyzer (the
+// analyzer keys on the package NAME — automata, core, rpq — so this
+// fixture package is named core). Loops that materialize automaton
+// states or transitions must charge a budget.Meter on their path, or
+// pass the meter/context to a callee, or carry a justified
+// //budget:exempt directive.
+package core
+
+import (
+	"context"
+
+	"alphabet"
+	"automata"
+	"budget"
+)
+
+// Unmetered materializes states in a loop without ever touching the
+// meter: the canonical violation.
+func Unmetered(n int) *automata.NFA {
+	a := automata.NewNFA()
+	for i := 0; i < n; i++ { // want "loop materializes automaton state without charging the budget meter"
+		a.AddState()
+	}
+	return a
+}
+
+// UnmeteredTransitions materializes transitions through a nested loop;
+// the diagnostic lands on the outermost loop, where a charge would
+// cover everything below it.
+func UnmeteredTransitions(a *automata.NFA, n int) {
+	for i := 0; i < n; i++ { // want "loop materializes automaton state without charging the budget meter"
+		for j := 0; j < n; j++ {
+			a.AddTransition(automata.State(i), alphabet.Symbol(0), automata.State(j))
+		}
+	}
+}
+
+// Metered charges the meter every iteration: the contract satisfied
+// directly.
+func Metered(ctx context.Context, n int) (*automata.NFA, error) {
+	a := automata.NewNFA()
+	m := budget.Enter(ctx, "fixture.metered")
+	for i := 0; i < n; i++ {
+		a.AddState()
+		if err := m.AddStates(1); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// Delegates passes the context into the loop body; the callee owns the
+// charge, which satisfies the analyzer the same way ctxcheck treats
+// delegation.
+func Delegates(ctx context.Context, a *automata.NFA, n int) error {
+	for i := 0; i < n; i++ {
+		if err := addOne(ctx, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func addOne(ctx context.Context, a *automata.NFA) error {
+	m := budget.Enter(ctx, "fixture.addone")
+	a.AddState()
+	return m.AddStates(1)
+}
+
+// Exempt copies a fixed-size automaton: the trip count is bounded by
+// an input that already paid for its states, so the loop is annotated
+// rather than metered.
+func Exempt(src *automata.NFA) *automata.NFA {
+	dst := automata.NewNFA()
+	for i := 0; i < src.NumStates(); i++ { //budget:exempt copying an automaton whose states the source construction already charged
+		dst.AddState()
+	}
+	return dst
+}
+
+// NoMaterialization loops without growing anything; no claim.
+func NoMaterialization(a *automata.NFA) int {
+	total := 0
+	for i := 0; i < a.NumStates(); i++ {
+		total++
+	}
+	return total
+}

@@ -1,0 +1,24 @@
+// Package nodeprecated is the fixture for the nodeprecated analyzer:
+// its import path has an internal/ segment, so every use of an object
+// declared elsewhere with a "Deprecated:" doc line is flagged.
+package nodeprecated
+
+import "legacyapi"
+
+// UsesDeprecated calls the deprecated wrapper and reads the deprecated
+// variable.
+func UsesDeprecated() (string, error) {
+	legacyapi.MaxStates = 10              // want "use of deprecated legacyapi.MaxStates"
+	return legacyapi.Rewrite("a·b*", nil) // want "use of deprecated legacyapi.Rewrite"
+}
+
+// UsesCurrent calls the supported surface: no claim.
+func UsesCurrent() (string, error) {
+	return legacyapi.Current("a·b*", nil)
+}
+
+// Migration keeps one deprecated call on purpose, with the directive
+// carrying the reason.
+func Migration() (string, error) {
+	return legacyapi.Rewrite("a", nil) //nodeprecated:allow differential test bed: compares the legacy wrapper against the engine until PR 7 removes it
+}

@@ -1,0 +1,21 @@
+// Package legacyapi is the fixture double of the repository's facade:
+// it declares wrappers carrying the standard "Deprecated:" doc line,
+// which the loader collects for the nodeprecated analyzer.
+package legacyapi
+
+// Rewrite is the one-shot compatibility wrapper.
+//
+// Deprecated: use Engine.Rewrite, which caches and governs compiles.
+func Rewrite(query string, views map[string]string) (string, error) {
+	return query, nil
+}
+
+// MaxStates is a tuning knob of the legacy surface.
+//
+// Deprecated: set the budget on the Engine instead.
+var MaxStates = 0
+
+// Current is the supported entry point; calling it is always fine.
+func Current(query string, views map[string]string) (string, error) {
+	return query, nil
+}

@@ -1,0 +1,115 @@
+// Package locksafety is the fixture for the locksafety analyzer: no
+// field accessed both atomically and plainly, no atomic value copied,
+// no lock-containing value copied, and no channel op or budget charge
+// while a mutex is held.
+package locksafety
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"budget"
+)
+
+// counter mixes sync/atomic and plain access to the same field.
+type counter struct {
+	n int64
+}
+
+func (c *counter) inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *counter) read() int64 {
+	return c.n // want "field n is accessed with sync/atomic elsewhere in this package but plainly here"
+}
+
+func (c *counter) readExempt() int64 {
+	return c.n //locksafety:ok read under the owner's mutex in every caller; see the shard contract
+}
+
+// box holds an atomic-typed field; it must only be touched through its
+// methods.
+type box struct {
+	v atomic.Int64
+}
+
+func (b *box) ok() int64 { return b.v.Load() }
+
+func (b *box) leak() int64 {
+	copied := b.v // want "atomic-typed field v is copied or read as a value"
+	return copied.Load()
+}
+
+// shard mirrors an LRU shard: mutex plus storage plus a channel.
+type shard struct {
+	mu    sync.Mutex
+	items map[string]int
+	ch    chan int
+}
+
+// byValue copies the shard's mutex through the parameter.
+func byValue(s shard) int { // want "parameter passes shard by value, copying the lock"
+	return len(s.items)
+}
+
+// copyAssign copies a lock-containing value out of a pointer.
+func copyAssign(s *shard) int {
+	local := *s // want "assignment copies shard which contains a lock"
+	return len(local.items)
+}
+
+// rangeCopy copies each element's lock through the range variable.
+func rangeCopy(shards []shard) int {
+	total := 0
+	for _, s := range shards { // want "range value copies shard which contains a lock"
+		total += len(s.items)
+	}
+	return total
+}
+
+// byPointer is the compliant shape everywhere above.
+func byPointer(s *shard) int { return len(s.items) }
+
+// sendUnderLock performs a channel send inside the critical section.
+func sendUnderLock(s *shard, v int) {
+	s.mu.Lock()
+	s.items["k"] = v
+	s.ch <- v // want "channel send while holding a mutex"
+	s.mu.Unlock()
+}
+
+// recvUnderDeferredLock holds the lock to function end via the defer
+// idiom, so the receive is under it.
+func recvUnderDeferredLock(s *shard) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want "channel receive while holding a mutex"
+}
+
+// chargeUnderLock charges a budget meter inside the critical section.
+func chargeUnderLock(ctx context.Context, s *shard) error {
+	m := budget.Enter(ctx, "fixture.shard")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return m.AddStates(1) // want "charge while holding a mutex"
+}
+
+// sendAfterUnlock releases before the send on every path: compliant.
+func sendAfterUnlock(s *shard, v int) {
+	s.mu.Lock()
+	if _, ok := s.items["k"]; ok {
+		s.mu.Unlock()
+		s.ch <- v
+		return
+	}
+	s.items["k"] = v
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// sendExempt documents an intentional send under the lock.
+func sendExempt(s *shard, v int) {
+	s.mu.Lock()
+	s.ch <- v //locksafety:ok buffered handoff channel sized to the shard count; the send cannot block
+	s.mu.Unlock()
+}

@@ -1,0 +1,26 @@
+// Package engine is the fixture for the planimmutable analyzer (which
+// keys on the package and type name engine.Plan): fields of Plan may
+// only be written in this file, the one declaring the type.
+package engine
+
+// Plan mirrors the real engine.Plan: compiled once, then shared
+// immutably by every cache hit.
+type Plan struct {
+	key    string
+	states int64
+	attrs  map[string]int64
+}
+
+// newPlan writes every field in the declaring file: the constructor
+// shape the analyzer admits.
+func newPlan(key string) *Plan {
+	p := &Plan{}
+	p.key = key
+	p.states = 0
+	p.attrs = map[string]int64{}
+	p.attrs["built"] = 1
+	return p
+}
+
+// Key reads are always fine.
+func (p *Plan) Key() string { return p.key }

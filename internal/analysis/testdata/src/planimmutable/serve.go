@@ -1,0 +1,19 @@
+package engine
+
+// servePlan mutates a published Plan outside plan.go: the write-after-
+// publish race planimmutable exists to forbid. Indexed writes through
+// a field and increments count as writes too.
+func servePlan(p *Plan, n int64) {
+	p.states = n             // want "write to engine.Plan field states outside its declaring file plan.go"
+	p.attrs["served"] = 1    // want "write to engine.Plan field attrs outside its declaring file plan.go"
+	p.states++               // want "write to engine.Plan field states outside its declaring file plan.go"
+	observe(p.states, p.key) // reads are fine
+}
+
+// rebuildPlan is an intentional exception: it owns the only reference
+// to a plan that was never published, and the directive records that.
+func rebuildPlan(p *Plan) {
+	p.states = 0 //planimmutable:allow p was created this call and not yet published to the cache
+}
+
+func observe(states int64, key string) {}

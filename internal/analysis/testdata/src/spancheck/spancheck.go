@@ -1,0 +1,94 @@
+// Package spancheck is the fixture for the spancheck analyzer: every
+// obs.StartSpan/StartSpan2 must be bound and closed by a deferred End
+// (rule A), and a function that receives a context must not mint
+// context.Background/TODO (rule B).
+package spancheck
+
+import (
+	"context"
+
+	"obs"
+)
+
+// Leaky starts a span and ends it only on the happy path: an early
+// error return leaks it.
+func Leaky(ctx context.Context, fail bool) error {
+	ctx, span := obs.StartSpan(ctx, "fixture.leaky") // want "has no deferred End"
+	if fail {
+		return errFixture
+	}
+	span.End()
+	_ = ctx
+	return nil
+}
+
+// Discarded throws the span away; it can never be ended.
+func Discarded(ctx context.Context) context.Context {
+	ctx, _ = obs.StartSpan(ctx, "fixture.discarded") // want "is discarded, so it is never ended"
+	return ctx
+}
+
+// Unbound calls StartSpan as a bare statement.
+func Unbound(ctx context.Context) {
+	obs.StartSpan(ctx, "fixture.unbound") // want "can never be ended"
+}
+
+// Deferred is the canonical idiom: defer immediately after start
+// covers every return path.
+func Deferred(ctx context.Context, fail bool) error {
+	ctx, span := obs.StartSpan(ctx, "fixture.deferred")
+	defer span.End()
+	if fail {
+		return errFixture
+	}
+	_ = ctx
+	return nil
+}
+
+// Deferred2 pins the StartSpan2 variant.
+func Deferred2(ctx context.Context) {
+	ctx, span := obs.StartSpan2(ctx, "fixture.deferred", "detail")
+	defer span.End()
+	_ = ctx
+}
+
+// Exempt hands the span to a helper that owns its lifecycle; the
+// directive records why that is safe.
+func Exempt(ctx context.Context) {
+	_, span := obs.StartSpan(ctx, "fixture.exempt") //spancheck:ignore ownership transfers to finish, which ends the span on every path
+	finish(span)
+}
+
+func finish(s *obs.Span) { s.End() }
+
+// Detached takes a context and then mints a fresh one, detaching the
+// work from the caller's deadline (rule B).
+func Detached(ctx context.Context) context.Context {
+	return context.Background() // want "mints context.Background"
+}
+
+// DetachedTODO pins the TODO variant.
+func DetachedTODO(ctx context.Context) context.Context {
+	return context.TODO() // want "mints context.TODO"
+}
+
+// DetachedExempt detaches on purpose — the directive carries the
+// justification.
+func DetachedExempt(ctx context.Context) context.Context {
+	return context.Background() //spancheck:ignore fixture models fire-and-forget work that must outlive the request
+}
+
+// Threads passes the ctx it received: the compliant shape.
+func Threads(ctx context.Context) error {
+	return helper(ctx)
+}
+
+// NoCtx has no context parameter, so minting a root context is its
+// job, not a violation.
+func NoCtx() context.Context {
+	return context.Background()
+}
+
+func helper(ctx context.Context) error { return ctx.Err() }
+
+var errFixture = context.Canceled

@@ -45,7 +45,7 @@ func DeterminizeUnmemoized(n *NFA) *DFA {
 	}
 	d.SetStart(newSubset(startSet))
 
-	for i := 0; i < len(sets); i++ {
+	for i := 0; i < len(sets); i++ { //budget:exempt unmetered reference oracle by design; used only by differential tests and benches against the memoized DeterminizeContext
 		set := sets[i]
 		var syms []alphabet.Symbol
 		seen := map[alphabet.Symbol]bool{}

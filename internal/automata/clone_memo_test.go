@@ -1,0 +1,84 @@
+package automata
+
+import (
+	"testing"
+
+	"regexrw/internal/alphabet"
+)
+
+// memoNFA builds a small NFA, optionally with an ε-transition, for the
+// clone-memo tests.
+func memoNFA(t *testing.T, withEps bool) *NFA {
+	t.Helper()
+	a := alphabet.New()
+	x := a.Intern("x")
+	n := NewNFA(a)
+	n.AddStates(3)
+	n.SetStart(0)
+	n.SetAccept(2, true)
+	n.AddTransition(0, x, 1)
+	if withEps {
+		n.AddEpsilon(1, 2)
+	} else {
+		n.AddTransition(1, x, 2)
+	}
+	return n
+}
+
+// TestCloneCarriesMemo is the regression test for the memo_reuses:0
+// bug: Clone used to drop the source's closure memo, so every pipeline
+// stage that worked on a copy rebuilt the tables from scratch. The
+// counters are process-global, so all assertions use deltas.
+func TestCloneCarriesMemo(t *testing.T) {
+	n := memoNFA(t, true)
+
+	before := ReadCacheStats()
+	if got := n.RemoveEpsilon(); !got.AcceptsNames("x") {
+		t.Fatalf("RemoveEpsilon lost the language")
+	}
+	mid := ReadCacheStats()
+	if builds := mid.MemoBuilds - before.MemoBuilds; builds < 1 {
+		t.Fatalf("MemoBuilds delta = %d after first RemoveEpsilon; want >= 1", builds)
+	}
+
+	c := n.Clone()
+	if got := c.RemoveEpsilon(); !got.AcceptsNames("x") {
+		t.Fatalf("clone's RemoveEpsilon lost the language")
+	}
+	after := ReadCacheStats()
+	if builds := after.MemoBuilds - mid.MemoBuilds; builds != 0 {
+		t.Fatalf("MemoBuilds delta = %d on the clone; want 0 (clone must carry the memo)", builds)
+	}
+	if reuses := after.MemoReuses - mid.MemoReuses; reuses < 1 {
+		t.Fatalf("MemoReuses delta = %d on the clone; want >= 1", reuses)
+	}
+}
+
+// TestRemoveEpsilonCloneCarriesMemo covers the double-compile shape
+// that surfaced the bug: on an ε-free automaton RemoveEpsilon returns a
+// clone, and the memo built for the source (by a prior Determinize or
+// containment check) must survive into it.
+func TestRemoveEpsilonCloneCarriesMemo(t *testing.T) {
+	n := memoNFA(t, false)
+	n.memoTables() // build the memo, as a first compile pass would
+
+	before := ReadCacheStats()
+	c := n.RemoveEpsilon() // ε-free: returns n.Clone()
+	c.memoTables()         // second pass over the copy
+	after := ReadCacheStats()
+	if builds := after.MemoBuilds - before.MemoBuilds; builds != 0 {
+		t.Fatalf("MemoBuilds delta = %d on the ε-free clone; want 0", builds)
+	}
+	if reuses := after.MemoReuses - before.MemoReuses; reuses < 1 {
+		t.Fatalf("MemoReuses delta = %d on the ε-free clone; want >= 1", reuses)
+	}
+
+	// Mutating the clone must invalidate the carried memo: a stale
+	// closure table from the source would be unsound.
+	c.AddState()
+	c.memoTables()
+	final := ReadCacheStats()
+	if builds := final.MemoBuilds - after.MemoBuilds; builds != 1 {
+		t.Fatalf("MemoBuilds delta = %d after mutating the clone; want 1 (carried memo must go stale)", builds)
+	}
+}

@@ -88,7 +88,7 @@ func ReadNFA(r io.Reader, a *alphabet.Alphabet) (*NFA, error) {
 		return State(v), nil
 	}
 	sawStates := false
-	for sc.Scan() {
+	for sc.Scan() { //budget:exempt decode loop is linear in the input stream; the states header bounds every id before any allocation
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {

@@ -199,7 +199,7 @@ func (d *DFA) NFA() *NFA {
 	if d.start != NoState {
 		n.SetStart(d.start)
 	}
-	for s := 0; s < d.NumStates(); s++ {
+	for s := 0; s < d.NumStates(); s++ { //budget:exempt size-preserving conversion: the NFA mirrors an already-admitted DFA state for state
 		n.SetAccept(State(s), d.accept[s])
 		for x, t := range d.trans[s] {
 			if t != NoState {
@@ -227,7 +227,7 @@ func (d *DFA) Reachable() *DFA {
 	out := NewDFA(d.alpha)
 	keep[d.start] = out.AddState()
 	queue := []State{d.start}
-	for len(queue) > 0 {
+	for len(queue) > 0 { //budget:exempt the output is a subset of an already-admitted DFA's states; no amplification
 		s := queue[0]
 		queue = queue[1:]
 		out.SetAccept(keep[s], d.accept[s])
@@ -387,14 +387,22 @@ func (d *DFA) MinimizeContext(ctx context.Context) (*DFA, error) {
 		}
 	}
 
-	// Build the quotient automaton.
+	// Build the quotient automaton. The quotient is never larger than
+	// the input, but it is fresh allocation under the caller's budget,
+	// so it charges the minimize meter like the refinement above.
 	out := NewDFA(d.alpha)
 	for range members {
+		if err := meter.AddStates(1); err != nil {
+			return nil, err
+		}
 		out.AddState()
 	}
 	for c, states := range members {
 		repr := states[0]
 		out.SetAccept(State(c), t.accept[repr])
+		if err := meter.AddTransitions(nSyms); err != nil {
+			return nil, err
+		}
 		for x, to := range t.trans[repr] {
 			out.SetTransition(State(c), alphabet.Symbol(x), State(class[to]))
 		}
@@ -456,7 +464,7 @@ func reverseDeterminize(d *DFA) *DFA {
 	}
 	it.intern(start)
 	out.SetStart(newSubset(start))
-	for i := 0; i < it.len(); i++ {
+	for i := 0; i < it.len(); i++ { //budget:exempt Brzozowski reference path, reached only from test-only MinimizeBrzozowski; production minimization is MinimizeContext, which meters
 		set := it.at(i)
 		for x := 0; x < d.alpha.Len(); x++ {
 			next := newBitset(n)
@@ -512,7 +520,7 @@ func (d *DFA) TrimPartial() *DFA {
 	}
 	keep := make([]State, n)
 	out := NewDFA(d.alpha)
-	for s := 0; s < n; s++ {
+	for s := 0; s < n; s++ { //budget:exempt keeps a subset of an already-admitted DFA's states; no amplification
 		if live.has(s) || State(s) == d.start {
 			keep[s] = out.AddState()
 			out.SetAccept(keep[s], d.accept[s])
@@ -520,7 +528,7 @@ func (d *DFA) TrimPartial() *DFA {
 			keep[s] = NoState
 		}
 	}
-	for s := 0; s < n; s++ {
+	for s := 0; s < n; s++ { //budget:exempt copies a subset of an already-admitted DFA's transitions; no amplification
 		if keep[s] == NoState {
 			continue
 		}

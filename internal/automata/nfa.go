@@ -71,7 +71,7 @@ func (n *NFA) AddState() State {
 // AddStates adds k fresh states and returns the id of the first.
 func (n *NFA) AddStates(k int) State {
 	first := State(len(n.accept))
-	for i := 0; i < k; i++ {
+	for i := 0; i < k; i++ { //budget:exempt the bulk-allocation primitive itself; charging is the contract of the loops that call it
 		n.AddState()
 	}
 	return first
@@ -297,6 +297,16 @@ func (n *NFA) Clone() *NFA {
 			c.eps[s] = append([]State(nil), ts...)
 		}
 	}
+	// The clone is structurally identical, so a memo that is fresh for
+	// the source is fresh for the copy too: carry the (immutable) box
+	// over so RemoveEpsilon/Determinize/ContainedIn on the clone reuse
+	// the closure tables instead of rebuilding them. A later mutation of
+	// the clone bumps c.gen and the stale box is rebuilt as usual.
+	gen := atomic.LoadInt64(&n.gen)
+	if box := n.memo.Load(); box != nil && box.gen == gen {
+		atomic.StoreInt64(&c.gen, gen)
+		c.memo.Store(box)
+	}
 	debugValidateNFA(c)
 	return c
 }
@@ -311,11 +321,11 @@ func CopyInto(dst, src *NFA) []State {
 		remap[x] = alphabet.Map(src.alpha, x, dst.alpha)
 	}
 	mapping := make([]State, src.NumStates())
-	for s := 0; s < src.NumStates(); s++ {
+	for s := 0; s < src.NumStates(); s++ { //budget:exempt verbatim copy of an already-admitted NFA's states; no amplification
 		mapping[s] = dst.AddState()
 		dst.SetAccept(mapping[s], src.accept[s])
 	}
-	for s := 0; s < src.NumStates(); s++ {
+	for s := 0; s < src.NumStates(); s++ { //budget:exempt verbatim copy of an already-admitted NFA's transitions; no amplification
 		for x, ts := range src.trans[s] { //mapiter:unordered building a map-backed NFA; per-(state,symbol) target order is preserved
 			for _, t := range ts {
 				dst.AddTransition(mapping[s], remap[x], mapping[t])
@@ -343,7 +353,7 @@ func (n *NFA) RemoveEpsilon() *NFA {
 	if n.start != NoState {
 		out.SetStart(n.start)
 	}
-	for s := 0; s < n.NumStates(); s++ {
+	for s := 0; s < n.NumStates(); s++ { //budget:exempt state count is preserved and transitions are bounded by n·|closure|·|Σ| of an already-admitted NFA
 		if memo.closure[s].intersects(memo.accepting) {
 			out.SetAccept(State(s), true)
 		}
@@ -423,7 +433,7 @@ func (n *NFA) Trim() *NFA {
 	}
 	keep := make([]State, n.NumStates())
 	out := NewNFA(n.alpha)
-	for s := 0; s < n.NumStates(); s++ {
+	for s := 0; s < n.NumStates(); s++ { //budget:exempt keeps a subset of an already-admitted NFA's states; no amplification
 		if (reach.has(s) && co.has(s)) || State(s) == n.start {
 			keep[s] = out.AddState()
 			out.SetAccept(keep[s], n.accept[s])
@@ -432,7 +442,7 @@ func (n *NFA) Trim() *NFA {
 		}
 	}
 	out.SetStart(keep[n.start])
-	for s := 0; s < n.NumStates(); s++ {
+	for s := 0; s < n.NumStates(); s++ { //budget:exempt copies a subset of an already-admitted NFA's transitions; no amplification
 		if keep[s] == NoState {
 			continue
 		}

@@ -87,13 +87,13 @@ func ReduceSimulation(n *NFA) *NFA {
 
 	out := NewNFA(e.Alphabet())
 	repr := map[int]State{}
-	for s := 0; s < k; s++ {
+	for s := 0; s < k; s++ { //budget:exempt quotient of an already-admitted NFA: one state per simulation class, never more than the input
 		if class[s] == s {
 			repr[s] = out.AddState()
 			out.SetAccept(repr[s], e.Accepting(State(s)))
 		}
 	}
-	for s := 0; s < k; s++ {
+	for s := 0; s < k; s++ { //budget:exempt copies at most the already-admitted NFA's transitions onto class representatives
 		from := repr[class[s]]
 		for _, x := range e.OutSymbols(State(s)) { //mapiter:unordered building a map-backed NFA; per-(state,symbol) target order is preserved
 			for _, t := range e.Successors(State(s), x) {

@@ -618,31 +618,23 @@ func (r *Rewriting) IsEmpty() bool {
 func (r *Rewriting) IsSigmaEmpty() bool {
 	// Restrict R to view symbols whose language is non-empty; the
 	// restricted language is empty iff the expansion is.
-	restricted := automata.NewNFA(r.sigmaE)
-	restricted.AddStates(r.Auto.NumStates())
-	restricted.SetStart(r.Auto.Start())
-	for s := 0; s < r.Auto.NumStates(); s++ {
-		restricted.SetAccept(automata.State(s), r.Auto.Accepting(automata.State(s)))
-		for _, e := range r.sigmaE.Symbols() {
-			v := r.Views()[e]
-			if v == nil || v.IsEmpty() {
-				continue
-			}
-			if t := r.Auto.Next(automata.State(s), e); t != automata.NoState {
-				restricted.AddTransition(automata.State(s), e, t)
-			}
-		}
-	}
-	return restricted.IsEmpty()
+	return r.restrictToLiveViews().IsEmpty()
 }
 
 // ShortestWord returns a shortest Σ_E-word in L(R) whose expansion is
 // non-empty, or ok=false if exp(L(R)) = ∅.
 func (r *Rewriting) ShortestWord() ([]alphabet.Symbol, bool) {
+	return r.restrictToLiveViews().ShortestWord()
+}
+
+// restrictToLiveViews returns R with every transition on a view whose
+// language is empty removed: words of the restricted automaton are
+// exactly the words of L(R) with a non-empty expansion.
+func (r *Rewriting) restrictToLiveViews() *automata.NFA {
 	restricted := automata.NewNFA(r.sigmaE)
 	restricted.AddStates(r.Auto.NumStates())
 	restricted.SetStart(r.Auto.Start())
-	for s := 0; s < r.Auto.NumStates(); s++ {
+	for s := 0; s < r.Auto.NumStates(); s++ { //budget:exempt state-preserving restriction of the already-admitted rewriting DFA; transitions only shrink
 		restricted.SetAccept(automata.State(s), r.Auto.Accepting(automata.State(s)))
 		for _, e := range r.sigmaE.Symbols() {
 			v := r.Views()[e]
@@ -654,7 +646,7 @@ func (r *Rewriting) ShortestWord() ([]alphabet.Symbol, bool) {
 			}
 		}
 	}
-	return restricted.ShortestWord()
+	return restricted
 }
 
 // Views returns the compiled ε-free view NFAs keyed by Σ_E symbol,

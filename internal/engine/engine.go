@@ -336,12 +336,10 @@ func (e *Engine) compileAdmitted(ctx context.Context, maxStates, maxTransitions 
 
 	cctx := ctx
 	// Governance defaults: a fresh per-compile budget when the caller
-	// brought none (also the meter States reads from), the engine
-	// deadline when the caller has none, the engine's worker count, and
-	// the engine tracer/metrics when the request carries no
-	// observability of its own.
-	var b *budget.Budget
-	if b = budget.From(cctx); b == nil {
+	// brought none, the engine deadline when the caller has none, the
+	// engine's worker count, and the engine tracer/metrics when the
+	// request carries no observability of its own.
+	if b := budget.From(cctx); b == nil {
 		ms, mt := e.maxStates, e.maxTransitions
 		if maxStates > 0 && (ms <= 0 || maxStates < ms) {
 			ms = maxStates
@@ -379,69 +377,7 @@ func (e *Engine) compileAdmitted(ctx context.Context, maxStates, maxTransitions 
 
 	cctx, span := obs.StartSpan(cctx, "engine.compile")
 	defer span.End()
-	before := b.States()
-	p, err := compile(cctx)
-	if err != nil {
-		return nil, err
-	}
-	p.states = b.States() - before
-	return p, nil
-}
-
-// compileInstance runs the full compile of a regex instance: maximal
-// rewriting, exactness report, minimal DFA, shortest witness, and —
-// when requested — the anytime partial search. Everything a Plan
-// serves is materialized here so the cached artifact is immutable.
-func compileInstance(ctx context.Context, key Key, inst *core.Instance, partial bool) (*Plan, error) {
-	rw, err := core.MaximalRewritingContext(ctx, inst)
-	if err != nil {
-		return nil, err
-	}
-	p, err := finishPlan(ctx, key, rw)
-	if err != nil {
-		return nil, err
-	}
-	p.inst = inst
-	if partial && p.exact.Verdict == core.ExactNo {
-		pr, err := core.PartialRewritingAnytime(ctx, inst)
-		if err != nil {
-			return nil, err
-		}
-		p.partial = pr
-	}
-	return p, nil
-}
-
-// compileRPQ is compileInstance for regular path queries.
-func compileRPQ(ctx context.Context, key Key, req RPQRequest) (*Plan, error) {
-	rrw, err := rpq.RewriteContext(ctx, req.Query, req.Views, req.Theory, req.Method)
-	if err != nil {
-		return nil, err
-	}
-	p, err := finishPlan(ctx, key, rrw.Rewriting)
-	if err != nil {
-		return nil, err
-	}
-	p.rpq = rrw
-	return p, nil
-}
-
-// finishPlan derives the served artifacts from a freshly built
-// rewriting. The exactness check is the anytime variant: under a tight
-// budget the plan still comes out sound, with Verdict ExactUnknown and
-// the stopping stage in the report. The lazy caches inside
-// core.Rewriting (the expansion automaton, lazily grounded views) are
-// forced here, on the compiling goroutine, so the shared Plan never
-// mutates afterwards.
-func finishPlan(ctx context.Context, key Key, rw *core.Rewriting) (*Plan, error) {
-	p := &Plan{key: key, rw: rw}
-	p.exact = rw.TryExactness(ctx)
-	p.expr = rw.Regex()
-	p.minimal = rw.MinimalDFA()
-	if w, ok := rw.ShortestWord(); ok {
-		p.shortest, p.hasWord = symbolNames(rw.SigmaE(), w), true
-	}
-	return p, nil
+	return compile(cctx)
 }
 
 // BatchResult is one item's outcome in RewriteBatch.

@@ -1,8 +1,11 @@
 package engine
 
 import (
+	"context"
+
 	"regexrw/internal/alphabet"
 	"regexrw/internal/automata"
+	"regexrw/internal/budget"
 	"regexrw/internal/core"
 	"regexrw/internal/regex"
 	"regexrw/internal/rpq"
@@ -105,6 +108,73 @@ func (p *Plan) Partial() *core.AnytimePartialResult { return p.partial }
 // the budget-meter total of the cold compile, retained so cache hits
 // can report the work they saved.
 func (p *Plan) States() int64 { return p.states }
+
+// ---- Plan construction ----
+//
+// Everything below is the only code that writes Plan fields: a Plan is
+// fully materialized on the compiling goroutine and then published to
+// the cache, after which it is immutable — the planimmutable analyzer
+// pins writes to this file.
+
+// compileInstance runs the full compile of a regex instance: maximal
+// rewriting, exactness report, minimal DFA, shortest witness, and —
+// when requested — the anytime partial search. Everything a Plan
+// serves is materialized here so the cached artifact is immutable.
+func compileInstance(ctx context.Context, key Key, inst *core.Instance, partial bool) (*Plan, error) {
+	before := budget.From(ctx).States()
+	rw, err := core.MaximalRewritingContext(ctx, inst)
+	if err != nil {
+		return nil, err
+	}
+	p, err := finishPlan(ctx, key, rw)
+	if err != nil {
+		return nil, err
+	}
+	p.inst = inst
+	if partial && p.exact.Verdict == core.ExactNo {
+		pr, err := core.PartialRewritingAnytime(ctx, inst)
+		if err != nil {
+			return nil, err
+		}
+		p.partial = pr
+	}
+	p.states = budget.From(ctx).States() - before
+	return p, nil
+}
+
+// compileRPQ is compileInstance for regular path queries.
+func compileRPQ(ctx context.Context, key Key, req RPQRequest) (*Plan, error) {
+	before := budget.From(ctx).States()
+	rrw, err := rpq.RewriteContext(ctx, req.Query, req.Views, req.Theory, req.Method)
+	if err != nil {
+		return nil, err
+	}
+	p, err := finishPlan(ctx, key, rrw.Rewriting)
+	if err != nil {
+		return nil, err
+	}
+	p.rpq = rrw
+	p.states = budget.From(ctx).States() - before
+	return p, nil
+}
+
+// finishPlan derives the served artifacts from a freshly built
+// rewriting. The exactness check is the anytime variant: under a tight
+// budget the plan still comes out sound, with Verdict ExactUnknown and
+// the stopping stage in the report. The lazy caches inside
+// core.Rewriting (the expansion automaton, lazily grounded views) are
+// forced here, on the compiling goroutine, so the shared Plan never
+// mutates afterwards.
+func finishPlan(ctx context.Context, key Key, rw *core.Rewriting) (*Plan, error) {
+	p := &Plan{key: key, rw: rw}
+	p.exact = rw.TryExactness(ctx)
+	p.expr = rw.Regex()
+	p.minimal = rw.MinimalDFA()
+	if w, ok := rw.ShortestWord(); ok {
+		p.shortest, p.hasWord = symbolNames(rw.SigmaE(), w), true
+	}
+	return p, nil
+}
 
 func anyAccepting(d *automata.DFA) bool {
 	for s := 0; s < d.NumStates(); s++ {

@@ -150,10 +150,10 @@ func (r *Registry) Snapshot() map[string]int64 {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	out := make(map[string]int64, len(r.counters)+len(r.gauges))
-	for name, g := range r.gauges { //mapiter:unordered collecting into a map
+	for name, g := range r.gauges {
 		out[name] = g.Value()
 	}
-	for name, c := range r.counters { //mapiter:unordered collecting into a map
+	for name, c := range r.counters {
 		out[name] = c.Value()
 	}
 	return out
@@ -174,10 +174,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		gauge bool
 	}
 	ms := make([]metric, 0, len(r.counters)+len(r.gauges))
-	for name, c := range r.counters { //mapiter:unordered collected then sorted
+	for name, c := range r.counters {
 		ms = append(ms, metric{name, c.Value(), false})
 	}
-	for name, g := range r.gauges { //mapiter:unordered collected then sorted
+	for name, g := range r.gauges {
 		ms = append(ms, metric{name, g.Value(), true})
 	}
 	r.mu.RUnlock()
@@ -235,10 +235,10 @@ func (r *Registry) PublishExpvar() {
 		f    func() int64
 	}
 	var entries []entry
-	for name, c := range r.counters { //mapiter:unordered collected, publish order irrelevant
+	for name, c := range r.counters {
 		entries = append(entries, entry{promName(name), c.Value})
 	}
-	for name, g := range r.gauges { //mapiter:unordered collected, publish order irrelevant
+	for name, g := range r.gauges {
 		entries = append(entries, entry{promName(name), g.Value})
 	}
 	r.mu.RUnlock()
@@ -260,7 +260,7 @@ func (r *Registry) PublishExpvar() {
 func (r *Registry) WriteSnapshot(w io.Writer) error {
 	snap := r.Snapshot()
 	names := make([]string, 0, len(snap))
-	for name := range snap { //mapiter:unordered collected then sorted
+	for name := range snap {
 		names = append(names, name)
 	}
 	sort.Strings(names)

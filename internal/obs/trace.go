@@ -70,7 +70,7 @@ func (t *Tracer) export(s, root *Span) *SpanJSON {
 	children := append([]*Span(nil), s.children...)
 	if len(s.attrs) > 0 {
 		out.Attrs = make(map[string]int64, len(s.attrs))
-		for k, v := range s.attrs { //mapiter:unordered copying into a map; JSON marshaling sorts keys
+		for k, v := range s.attrs { // string-keyed; encoding/json sorts keys, so order is unobservable
 			out.Attrs[k] = v
 		}
 	}

@@ -210,7 +210,7 @@ func checkObservability(ctx context.Context, inst *core.Instance, cfg Config, wa
 
 	snap := reg.Snapshot()
 	var ctrStates, ctrTrans int64
-	for name, v := range snap { //mapiter:unordered summing over the snapshot; order is irrelevant
+	for name, v := range snap {
 		switch {
 		case strings.HasSuffix(name, ".states"):
 			ctrStates += v
