@@ -4,9 +4,16 @@
 //
 // Usage:
 //
-//	serve -addr :8080 -max-states 200000 -timeout 5s -plan-cache 1024 -max-inflight 8 -queue 32
+//	serve -addr :8080 -max-states 200000 -timeout 5s -plan-cache 1024 -max-inflight 8 -queue 32 \
+//	      -plan-dir /var/lib/regexrw/plans -manifest workload.json
 //
-// Endpoints: POST /v1/rewrite, POST /v1/rpq, GET /healthz,
+// -plan-dir enables the crash-safe persistent plan store: compiled
+// plans are written behind to disk and restored on the next boot, so a
+// restarted server serves its pre-crash working set without
+// recompiling. -manifest precompiles a workload file at boot.
+//
+// Endpoints: POST /v1/rewrite, POST /v1/rpq, GET /healthz, GET /readyz
+// (503 until warm start and manifest precompilation finish),
 // GET /metrics (Prometheus text). See docs/SERVING.md for the request
 // and response schemas and the error taxonomy.
 package main
@@ -26,6 +33,7 @@ import (
 
 	"regexrw/internal/engine"
 	"regexrw/internal/obs"
+	"regexrw/internal/planstore"
 )
 
 func main() {
@@ -47,32 +55,65 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	planCache := fs.Int("plan-cache", 1024, "plan cache capacity in plans (0 disables caching)")
 	inflight := fs.Int("max-inflight", 0, "admission limit on concurrent compiles (0 = unlimited)")
 	queue := fs.Int("queue", 0, "compile requests allowed to wait for an admission slot")
+	planDir := fs.String("plan-dir", "", "directory for the persistent plan store (empty = memory only)")
+	manifestPath := fs.String("manifest", "", "workload manifest JSON to precompile at boot")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	eng := engine.New(
+	opts := []engine.Option{
 		engine.WithBudgetDefaults(*maxStates, *maxTransitions),
 		engine.WithDefaultTimeout(*timeout),
 		engine.WithWorkers(*workers),
 		engine.WithPlanCache(*planCache),
 		engine.WithAdmissionLimit(*inflight, *queue),
 		engine.WithMetrics(obs.Default),
-	)
+	}
+	// The store is strictly optional: if the directory cannot be opened
+	// the server runs memory-only rather than refusing to boot — the
+	// same degradation the engine applies to store failures at runtime.
+	if *planDir != "" {
+		store, err := planstore.Open(*planDir, planstore.WithMetrics(obs.Default))
+		if err != nil {
+			fmt.Fprintf(stderr, "serve: plan store disabled: %v\n", err)
+		} else {
+			opts = append(opts, engine.WithPlanStore(store))
+		}
+	}
+	var manifest *manifestFile
+	if *manifestPath != "" {
+		var err error
+		if manifest, err = loadManifest(*manifestPath); err != nil {
+			fmt.Fprintf(stderr, "serve: %v\n", err)
+			return 2
+		}
+	}
+
+	eng := engine.New(opts...)
 	defer eng.Close()
+	// On any exit path, let in-flight write-behind saves reach the plan
+	// directory so the next boot warm-starts from everything this run
+	// compiled.
+	defer eng.FlushStore()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "serve: %v\n", err)
 		return 1
 	}
+	rd := &readiness{}
 	srv := &http.Server{
-		Handler:           newServer(eng),
+		Handler:           newServer(eng, rd),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Warm start + manifest precompilation run behind the listener:
+	// the server accepts requests immediately (they compile on demand)
+	// while /readyz holds back the load balancer until the cache is hot.
+	go warmup(ctx, eng, rd, manifest, stdout)
 
 	fmt.Fprintf(stdout, "serve: listening on %s\n", ln.Addr())
 	if ready != nil {

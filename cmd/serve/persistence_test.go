@@ -1,0 +1,342 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestHelperServeProcess is not a test: re-executed by the crash tests
+// as a real server subprocess so it can be SIGKILLed mid-run.
+func TestHelperServeProcess(t *testing.T) {
+	if os.Getenv("GO_SERVE_HELPER") != "1" {
+		t.Skip("helper process")
+	}
+	os.Exit(run(strings.Split(os.Getenv("SERVE_HELPER_ARGS"), "\x1f"), os.Stdout, os.Stderr, nil))
+}
+
+// serveProc is one helper-process server instance.
+type serveProc struct {
+	cmd  *exec.Cmd
+	addr string
+	out  *bytes.Buffer
+}
+
+func startServeProc(t *testing.T, args ...string) *serveProc {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "TestHelperServeProcess")
+	cmd.Env = append(os.Environ(),
+		"GO_SERVE_HELPER=1",
+		"SERVE_HELPER_ARGS="+strings.Join(append([]string{"-addr", "127.0.0.1:0"}, args...), "\x1f"),
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	cmd.Stderr = &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &serveProc{cmd: cmd, out: &buf}
+	t.Cleanup(func() {
+		if p.cmd.Process != nil {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	})
+	// The server prints "serve: listening on <addr>" once the listener
+	// is up; everything after that line is drained in the background.
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if addr, ok := strings.CutPrefix(line, "serve: listening on "); ok {
+			p.addr = addr
+			go io.Copy(io.Discard, stdout)
+			return p
+		}
+	}
+	t.Fatalf("server never announced its address; stderr: %s", buf.String())
+	return nil
+}
+
+func (p *serveProc) url(path string) string { return fmt.Sprintf("http://%s%s", p.addr, path) }
+
+// kill9 delivers an un-catchable SIGKILL — the crash the temp-file +
+// fsync + rename protocol must survive.
+func (p *serveProc) kill9(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	p.cmd.Wait()
+}
+
+func waitReady(t *testing.T, p *serveProc) readyResponse {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(p.url("/readyz"))
+		if err == nil {
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				var rr readyResponse
+				if err := json.Unmarshal(raw, &rr); err != nil {
+					t.Fatalf("readyz body: %v: %s", err, raw)
+				}
+				return rr
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("server never became ready")
+	return readyResponse{}
+}
+
+// healthStats decodes GET /healthz's engine counter snapshot.
+func healthStats(t *testing.T, p *serveProc) map[string]any {
+	t.Helper()
+	resp, err := http.Get(p.url("/healthz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Stats map[string]any `json:"Stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return body.Stats
+}
+
+func statInt(t *testing.T, stats map[string]any, field string) int64 {
+	t.Helper()
+	v, ok := stats[field].(float64)
+	if !ok {
+		t.Fatalf("stats field %s missing: %v", field, stats)
+	}
+	return int64(v)
+}
+
+func planFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "plans", "*", "*.plan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+// TestServeCrashRestart is the end-to-end crash-safety contract:
+// populate the plan directory through /v1/rewrite, SIGKILL the server,
+// restart over the same directory, and the identical request is served
+// from disk with zero compiles; then corrupt the entry on disk and a
+// third boot quarantines it and transparently recompiles.
+func TestServeCrashRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	reqBody := `{"query":"a·(b·a+c)*","views":{"e1":"a","e2":"a·c*·b","e3":"c"}}`
+	post := func(p *serveProc) string {
+		resp, err := http.Post(p.url("/v1/rewrite"), "application/json", strings.NewReader(reqBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("rewrite: %d: %s", resp.StatusCode, raw)
+		}
+		var pr struct {
+			Rewriting string `json:"rewriting"`
+		}
+		if err := json.Unmarshal(raw, &pr); err != nil {
+			t.Fatal(err)
+		}
+		return pr.Rewriting
+	}
+
+	// Boot 1: compile, wait for the write-behind save to land, crash.
+	p1 := startServeProc(t, "-plan-dir", dir)
+	waitReady(t, p1)
+	want := post(p1)
+	deadline := time.Now().Add(15 * time.Second)
+	for len(planFiles(t, dir)) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("write-behind save never reached the plan directory")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	p1.kill9(t)
+
+	// Boot 2: warm start restores the plan; the request recompiles
+	// nothing.
+	p2 := startServeProc(t, "-plan-dir", dir)
+	if rr := waitReady(t, p2); rr.Restored != 1 {
+		t.Fatalf("warm start restored %d plans, want 1", rr.Restored)
+	}
+	if got := post(p2); got != want {
+		t.Fatalf("restored rewriting %q != original %q", got, want)
+	}
+	stats := healthStats(t, p2)
+	if n := statInt(t, stats, "Compiles"); n != 0 {
+		t.Fatalf("restarted server compiled %d times, want 0", n)
+	}
+	if n := statInt(t, stats, "StoreLoads"); n != 1 {
+		t.Fatalf("StoreLoads = %d, want 1", n)
+	}
+	store, ok := stats["Store"].(map[string]any)
+	if !ok || store["hits"].(float64) < 1 {
+		t.Fatalf("plan_store hits missing from stats: %v", stats)
+	}
+	p2.kill9(t)
+
+	// Corrupt the entry on disk; boot 3 must quarantine and recompile,
+	// never serve the poisoned bytes.
+	files := planFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("plan files: %v", files)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p3 := startServeProc(t, "-plan-dir", dir)
+	if rr := waitReady(t, p3); rr.Restored != 0 {
+		t.Fatalf("corrupt entry restored: %+v", rr)
+	}
+	if got := post(p3); got != want {
+		t.Fatalf("recompiled rewriting %q != original %q", got, want)
+	}
+	stats = healthStats(t, p3)
+	if n := statInt(t, stats, "Compiles"); n != 1 {
+		t.Fatalf("corrupt entry should recompile exactly once, got %d", n)
+	}
+	store = stats["Store"].(map[string]any)
+	if store["corrupt"].(float64) != 1 || store["quarantined"].(float64) != 1 {
+		t.Fatalf("corruption not quarantined: %v", store)
+	}
+	q, err := filepath.Glob(filepath.Join(dir, "quarantine", "*"))
+	if err != nil || len(q) != 1 {
+		t.Fatalf("quarantine dir: %v, %v", q, err)
+	}
+}
+
+// TestServeManifestWarmup: a workload manifest precompiles at boot and
+// /readyz reports the progress totals.
+func TestServeManifestWarmup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "workload.json")
+	if err := os.WriteFile(manifest, []byte(`{
+		"rewrites": [
+			{"query": "a·(b·a+c)*", "views": {"e1": "a", "e2": "a·c*·b", "e3": "c"}},
+			{"query": "a·a", "views": {"e1": "a"}}
+		],
+		"rpqs": [
+			{"query": "p*", "formulas": {"p": "city"},
+			 "views": [{"name": "v1", "query": "p·p*"}],
+			 "theory": {"constants": ["a"], "predicates": {"city": ["a"]}}}
+		]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p := startServeProc(t, "-plan-dir", filepath.Join(dir, "store"), "-manifest", manifest)
+	rr := waitReady(t, p)
+	if rr.Manifest != 3 || rr.Precompiled != 3 || rr.Failed != 0 {
+		t.Fatalf("warm-up progress: %+v", rr)
+	}
+	// Every manifest entry is now an in-memory hit.
+	stats := healthStats(t, p)
+	if n := statInt(t, stats, "Compiles"); n != 3 {
+		t.Fatalf("manifest should have compiled 3 plans, got %d", n)
+	}
+	resp, err := http.Post(p.url("/v1/rewrite"), "application/json",
+		strings.NewReader(`{"query":"a·a","views":{"e1":"a"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if n := statInt(t, healthStats(t, p), "Hits"); n != 1 {
+		t.Fatalf("manifest-covered request should be a cache hit, hits = %d", n)
+	}
+}
+
+// TestServeBadManifest: a malformed manifest is a boot-time usage
+// error, not a half-warmed server.
+func TestServeBadManifest(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "broken.json")
+	if err := os.WriteFile(manifest, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-addr", "127.0.0.1:0", "-manifest", manifest}, &out, &errb, nil); code != 2 {
+		t.Fatalf("run with bad manifest exited %d, want 2; stderr: %s", code, errb.String())
+	}
+}
+
+// TestServeUnreadableStoreDir: a plan directory that cannot be created
+// degrades to a memory-only server that still serves 200s.
+func TestServeUnreadableStoreDir(t *testing.T) {
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "not-a-dir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	var out, errb bytes.Buffer
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-plan-dir", blocker}, &out, &errb, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never came up")
+	}
+	resp, err := http.Post(fmt.Sprintf("http://%s/v1/rewrite", addr), "application/json",
+		strings.NewReader(`{"query":"a·a","views":{"e1":"a"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded server answered %d: %s", resp.StatusCode, raw)
+	}
+	if !strings.Contains(errb.String(), "plan store disabled") {
+		t.Fatalf("degradation not logged: %s", errb.String())
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("run exited %d\nstderr: %s", code, errb.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server never shut down")
+	}
+}

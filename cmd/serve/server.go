@@ -18,10 +18,11 @@ import (
 )
 
 // server wraps an engine.Engine behind the HTTP/JSON API. All state is
-// in the engine; the server itself is stateless and safe for concurrent
-// use.
+// in the engine and the boot-time readiness tracker; the server itself
+// is stateless and safe for concurrent use.
 type server struct {
 	eng *engine.Engine
+	rd  *readiness
 }
 
 // newServer returns the HTTP handler serving the engine:
@@ -29,13 +30,18 @@ type server struct {
 //	POST /v1/rewrite  — compile (or fetch) the plan for a regex instance
 //	POST /v1/rpq      — the same for a regular path query under a theory
 //	GET  /healthz     — liveness plus the engine's cache/compile counters
+//	GET  /readyz      — readiness: 503 until warm start + manifest finish
 //	GET  /metrics     — Prometheus text exposition of the registry
-func newServer(eng *engine.Engine) http.Handler {
-	s := &server{eng: eng}
+//
+// rd may be nil (tests without a boot sequence): the server is then
+// always ready.
+func newServer(eng *engine.Engine, rd *readiness) http.Handler {
+	s := &server{eng: eng, rd: rd}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/rewrite", s.handleRewrite)
 	mux.HandleFunc("POST /v1/rpq", s.handleRPQ)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -309,6 +315,24 @@ type healthResponse struct {
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Stats: s.eng.Stats()})
+}
+
+// handleReady distinguishes "alive" from "warmed": /healthz answers 200
+// the moment the listener is up, /readyz answers 503 with warm-up
+// progress until the plan store has been restored and the manifest
+// precompiled, then 200. Load balancers gate on /readyz so a restarted
+// instance only takes traffic once it serves at cache-hit latency.
+func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.rd == nil {
+		writeJSON(w, http.StatusOK, readyResponse{Status: "ready"})
+		return
+	}
+	resp := s.rd.response()
+	status := http.StatusOK
+	if resp.Status != "ready" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

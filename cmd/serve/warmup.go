@@ -1,0 +1,156 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"regexrw/internal/core"
+	"regexrw/internal/engine"
+)
+
+// readiness tracks boot-time warm-up for GET /readyz. Liveness
+// (/healthz) is unconditional — a warming process is alive; readiness
+// flips only once the plan store has been loaded and the workload
+// manifest precompiled, so a rolling deploy does not route traffic to
+// an instance that would cold-compile its entire working set.
+type readiness struct {
+	ready       atomic.Bool
+	restored    atomic.Int64 // plans loaded from the store at boot
+	manifest    atomic.Int64 // manifest entries to precompile
+	precompiled atomic.Int64 // manifest entries compiled (or already cached)
+	failed      atomic.Int64 // manifest entries that exhausted their retries
+}
+
+// readyResponse is GET /readyz.
+type readyResponse struct {
+	Status      string `json:"status"` // "ready" or "warming"
+	Restored    int64  `json:"restored"`
+	Manifest    int64  `json:"manifest"`
+	Precompiled int64  `json:"precompiled"`
+	Failed      int64  `json:"failed"`
+}
+
+func (rd *readiness) response() readyResponse {
+	status := "warming"
+	if rd.ready.Load() {
+		status = "ready"
+	}
+	return readyResponse{
+		Status:      status,
+		Restored:    rd.restored.Load(),
+		Manifest:    rd.manifest.Load(),
+		Precompiled: rd.precompiled.Load(),
+		Failed:      rd.failed.Load(),
+	}
+}
+
+// manifestFile is the workload manifest precompiled at boot: the same
+// request schemas as POST /v1/rewrite and /v1/rpq, minus the
+// per-request trace flag (ignored here).
+type manifestFile struct {
+	Rewrites []rewriteRequest `json:"rewrites,omitempty"`
+	RPQs     []rpqRequest     `json:"rpqs,omitempty"`
+}
+
+func loadManifest(path string) (*manifestFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m manifestFile
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("manifest %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// warmupRetries/warmupBaseBackoff bound the per-entry retry loop:
+// attempt n sleeps base·2ⁿ plus up to 50% jitter, so a fleet restarting
+// together does not hammer a recovering dependency in lockstep.
+const (
+	warmupRetries     = 3
+	warmupBaseBackoff = 100 * time.Millisecond
+)
+
+// warmup restores the plan store into the in-memory cache and
+// precompiles the manifest, then flips readiness. Manifest entries that
+// were just restored from disk are cache hits here — precompilation
+// only pays for keys the store did not cover. Warm-up is strictly
+// best-effort: every failure is logged and counted, none is fatal; the
+// server serves (and /readyz reports the failures) regardless.
+func warmup(ctx context.Context, eng *engine.Engine, rd *readiness, m *manifestFile, logw io.Writer) {
+	defer rd.ready.Store(true)
+
+	n, err := eng.WarmStart(ctx)
+	rd.restored.Store(int64(n))
+	if err != nil {
+		fmt.Fprintf(logw, "serve: warm start: %v (continuing with %d plans)\n", err, n)
+	} else if n > 0 {
+		fmt.Fprintf(logw, "serve: warm start restored %d plans\n", n)
+	}
+	if m == nil {
+		return
+	}
+	rd.manifest.Store(int64(len(m.Rewrites) + len(m.RPQs)))
+	for i, req := range m.Rewrites {
+		inst, err := core.ParseInstance(req.Query, req.Views)
+		if err != nil {
+			rd.failed.Add(1)
+			fmt.Fprintf(logw, "serve: manifest rewrite %d: %v\n", i, err)
+			continue
+		}
+		rd.precompileOne(ctx, logw, fmt.Sprintf("rewrite %d", i), func(ctx context.Context) error {
+			_, err := eng.Rewrite(ctx, engine.Request{
+				Instance: inst, Partial: req.Partial,
+				MaxStates: req.MaxStates, MaxTransitions: req.MaxTransitions,
+				Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+			})
+			return err
+		})
+	}
+	for i, req := range m.RPQs {
+		ereq, err := buildRPQ(req)
+		if err != nil {
+			rd.failed.Add(1)
+			fmt.Fprintf(logw, "serve: manifest rpq %d: %v\n", i, err)
+			continue
+		}
+		rd.precompileOne(ctx, logw, fmt.Sprintf("rpq %d", i), func(ctx context.Context) error {
+			_, err := eng.RewriteRPQ(ctx, ereq)
+			return err
+		})
+	}
+}
+
+// precompileOne runs one manifest compile with bounded retries and
+// exponential backoff plus jitter.
+func (rd *readiness) precompileOne(ctx context.Context, logw io.Writer, label string, compile func(context.Context) error) {
+	var err error
+	for attempt := 0; attempt < warmupRetries; attempt++ {
+		if attempt > 0 {
+			backoff := warmupBaseBackoff << uint(attempt-1)
+			backoff += time.Duration(rand.Int63n(int64(backoff)/2 + 1))
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				rd.failed.Add(1)
+				return
+			}
+		}
+		if err = compile(ctx); err == nil {
+			rd.precompiled.Add(1)
+			return
+		}
+		if ctx.Err() != nil {
+			break // shutting down: no further attempts
+		}
+	}
+	rd.failed.Add(1)
+	fmt.Fprintf(logw, "serve: manifest %s failed after %d attempts: %v\n", label, warmupRetries, err)
+}

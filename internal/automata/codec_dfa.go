@@ -1,0 +1,166 @@
+package automata
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"regexrw/internal/alphabet"
+)
+
+// WriteTo serializes the DFA in the same line-oriented text format as
+// NFA.WriteTo, without ε-lines and with at most one transition per
+// (state, symbol) pair:
+//
+//	states 3
+//	start 0
+//	accept 2
+//	trans 0 a 1
+//
+// Output is deterministic: transitions are emitted per state in
+// increasing symbol order.
+func (d *DFA) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	write := func(format string, args ...any) error {
+		c, err := fmt.Fprintf(w, format, args...)
+		total += int64(c)
+		return err
+	}
+	if err := write("states %d\n", d.NumStates()); err != nil {
+		return total, err
+	}
+	if d.start != NoState {
+		if err := write("start %d\n", d.start); err != nil {
+			return total, err
+		}
+	}
+	for s := 0; s < d.NumStates(); s++ {
+		if d.accept[s] {
+			if err := write("accept %d\n", s); err != nil {
+				return total, err
+			}
+		}
+	}
+	for s := 0; s < d.NumStates(); s++ {
+		for x, t := range d.trans[s] {
+			if t == NoState {
+				continue
+			}
+			if err := write("trans %d %s %d\n", s, d.alpha.Name(alphabet.Symbol(x)), t); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// ReadDFA parses the format written by (*DFA).WriteTo into a new DFA
+// over the given alphabet (symbols are interned as encountered).
+// Malformed input — truncated, corrupted, ε-lines, duplicate
+// (state, symbol) transitions, out-of-range state references, state
+// counts above the codec cap — returns an error; ReadDFA never panics.
+//
+// Unlike ReadNFA, the parse is two-pass: a DFA's transition rows are
+// sized by the alphabet at state-creation time, so every symbol must be
+// interned before the first state is added.
+func ReadDFA(r io.Reader, a *alphabet.Alphabet) (*DFA, error) {
+	type line struct {
+		no     int
+		fields []string
+	}
+	var lines []line
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	numStates := -1
+	for sc.Scan() { //budget:exempt decode loop is linear in the input stream; the states header bounds every id before any allocation
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "states":
+			if len(fields) != 2 || numStates >= 0 {
+				return nil, fmt.Errorf("automata: line %d: malformed or repeated states line", lineNo)
+			}
+			var k int
+			if _, err := fmt.Sscanf(fields[1], "%d", &k); err != nil || k < 0 {
+				return nil, fmt.Errorf("automata: line %d: bad state count %q", lineNo, fields[1])
+			}
+			if k > maxCodecStates {
+				return nil, fmt.Errorf("automata: line %d: state count %d exceeds limit %d", lineNo, k, maxCodecStates)
+			}
+			numStates = k
+		case "start", "accept":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("automata: line %d: malformed %s line", lineNo, fields[0])
+			}
+			lines = append(lines, line{lineNo, fields})
+		case "trans":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("automata: line %d: malformed trans line", lineNo)
+			}
+			// First pass interns the symbol so the per-state transition
+			// rows, allocated below, already have a slot for it.
+			a.Intern(fields[2])
+			lines = append(lines, line{lineNo, fields})
+		default:
+			return nil, fmt.Errorf("automata: line %d: unknown directive %q in DFA input", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if numStates < 0 {
+		return nil, fmt.Errorf("automata: missing states line")
+	}
+
+	d := NewDFA(a)
+	for i := 0; i < numStates; i++ { //budget:exempt allocation of the header-declared, cap-checked state count
+		d.AddState()
+	}
+	parseState := func(no int, f string) (State, error) {
+		var v int
+		if _, err := fmt.Sscanf(f, "%d", &v); err != nil {
+			return NoState, fmt.Errorf("automata: line %d: bad state %q", no, f)
+		}
+		if v < 0 || v >= numStates {
+			return NoState, fmt.Errorf("automata: line %d: state %d out of range", no, v)
+		}
+		return State(v), nil
+	}
+	for _, ln := range lines { //budget:exempt second decode pass over the buffered lines; same linear bound as the scan
+		switch ln.fields[0] {
+		case "start":
+			s, err := parseState(ln.no, ln.fields[1])
+			if err != nil {
+				return nil, err
+			}
+			d.SetStart(s)
+		case "accept":
+			s, err := parseState(ln.no, ln.fields[1])
+			if err != nil {
+				return nil, err
+			}
+			d.SetAccept(s, true)
+		case "trans":
+			from, err := parseState(ln.no, ln.fields[1])
+			if err != nil {
+				return nil, err
+			}
+			to, err := parseState(ln.no, ln.fields[3])
+			if err != nil {
+				return nil, err
+			}
+			x := a.Lookup(ln.fields[2])
+			if d.Next(from, x) != NoState {
+				return nil, fmt.Errorf("automata: line %d: duplicate transition from state %d on %q", ln.no, from, ln.fields[2])
+			}
+			d.SetTransition(from, x, to)
+		}
+	}
+	debugValidateDFA(d)
+	return d, nil
+}

@@ -1,0 +1,147 @@
+package automata
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"regexrw/internal/alphabet"
+)
+
+// randomCodecDFA builds a random DFA directly, including shapes the
+// pipeline never produces: unreachable states, startless automata.
+func randomCodecDFA(r *rand.Rand) *DFA {
+	a := alphabet.New()
+	symbols := make([]alphabet.Symbol, 1+r.Intn(4))
+	for i := range symbols {
+		symbols[i] = a.Intern(fmt.Sprintf("s%d", i))
+	}
+	d := NewDFA(a)
+	states := 1 + r.Intn(8)
+	for i := 0; i < states; i++ {
+		d.AddState()
+	}
+	if r.Float64() < 0.9 {
+		d.SetStart(State(r.Intn(states)))
+	}
+	for s := 0; s < states; s++ {
+		if r.Float64() < 0.3 {
+			d.SetAccept(State(s), true)
+		}
+		for _, x := range symbols {
+			if r.Float64() < 0.4 {
+				d.SetTransition(State(s), x, State(r.Intn(states)))
+			}
+		}
+	}
+	return d
+}
+
+// TestDFACodecRoundTrip: Write→Read preserves states, start, accepting
+// set and every transition, and the serialization is stable after one
+// round trip.
+func TestDFACodecRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	for i := 0; i < 200; i++ {
+		d := randomCodecDFA(r)
+		var buf strings.Builder
+		if _, err := d.WriteTo(&buf); err != nil {
+			t.Fatalf("iter %d: WriteTo: %v", i, err)
+		}
+		back, err := ReadDFA(strings.NewReader(buf.String()), alphabet.New())
+		if err != nil {
+			t.Fatalf("iter %d: ReadDFA: %v\ninput:\n%s", i, err, buf.String())
+		}
+		if back.NumStates() != d.NumStates() {
+			t.Fatalf("iter %d: states %d != %d", i, back.NumStates(), d.NumStates())
+		}
+		if (back.Start() == NoState) != (d.Start() == NoState) {
+			t.Fatalf("iter %d: start mismatch", i)
+		}
+		for s := 0; s < d.NumStates(); s++ {
+			if back.Accepting(State(s)) != d.Accepting(State(s)) {
+				t.Fatalf("iter %d: accept mismatch at state %d", i, s)
+			}
+			for _, x := range d.Alphabet().Symbols() {
+				want := d.Next(State(s), x)
+				bx := back.Alphabet().Lookup(d.Alphabet().Name(x))
+				if bx == alphabet.None {
+					// A symbol with no transitions anywhere is not
+					// serialized; it must have none here either.
+					if want != NoState {
+						t.Fatalf("iter %d: symbol %s lost a transition", i, d.Alphabet().Name(x))
+					}
+					continue
+				}
+				if got := back.Next(State(s), bx); got != want {
+					t.Fatalf("iter %d: transition mismatch at (%d, %s): %d != %d",
+						i, s, d.Alphabet().Name(x), got, want)
+				}
+			}
+		}
+		var buf2 strings.Builder
+		if _, err := back.WriteTo(&buf2); err != nil {
+			t.Fatalf("iter %d: re-serialize: %v", i, err)
+		}
+		back2, err := ReadDFA(strings.NewReader(buf2.String()), alphabet.New())
+		if err != nil {
+			t.Fatalf("iter %d: second ReadDFA: %v", i, err)
+		}
+		var buf3 strings.Builder
+		if _, err := back2.WriteTo(&buf3); err != nil {
+			t.Fatalf("iter %d: third serialize: %v", i, err)
+		}
+		if buf2.String() != buf3.String() {
+			t.Fatalf("iter %d: serialization not stable:\n--- second ---\n%s\n--- third ---\n%s",
+				i, buf2.String(), buf3.String())
+		}
+	}
+}
+
+// TestDFACodecRejects: malformed DFA inputs error instead of panicking
+// or silently parsing.
+func TestDFACodecRejects(t *testing.T) {
+	for _, tc := range []struct{ name, input string }{
+		{"empty", ""},
+		{"missing states", "start 0\n"},
+		{"oversized", fmt.Sprintf("states %d\n", maxCodecStates+1)},
+		{"negative states", "states -1\n"},
+		{"repeated states", "states 2\nstates 2\n"},
+		{"out of range start", "states 2\nstart 5\n"},
+		{"out of range trans", "states 2\ntrans 0 a 9\n"},
+		{"duplicate transition", "states 2\ntrans 0 a 1\ntrans 0 a 0\n"},
+		{"eps in dfa", "states 2\neps 0 1\n"},
+		{"garbage", "states 2\nwat 0\n"},
+		{"malformed trans", "states 2\ntrans 0 a\n"},
+		{"bad state token", "states 2\nstart x\n"},
+	} {
+		if _, err := ReadDFA(strings.NewReader(tc.input), alphabet.New()); err == nil {
+			t.Errorf("%s: ReadDFA accepted %q", tc.name, tc.input)
+		}
+	}
+}
+
+// TestDFACodecTruncation: every prefix of a valid serialization parses
+// or errors — never panics; parsed prefixes round-trip.
+func TestDFACodecTruncation(t *testing.T) {
+	r := rand.New(rand.NewSource(48))
+	for i := 0; i < 30; i++ {
+		d := randomCodecDFA(r)
+		var buf strings.Builder
+		if _, err := d.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		full := buf.String()
+		for cut := 0; cut <= len(full); cut++ {
+			got, err := ReadDFA(strings.NewReader(full[:cut]), alphabet.New())
+			if err != nil {
+				continue
+			}
+			var again strings.Builder
+			if _, err := got.WriteTo(&again); err != nil {
+				t.Fatalf("iter %d cut %d: re-serialize of parsed prefix failed: %v", i, cut, err)
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"regexrw/internal/engine"
 	"regexrw/internal/obs"
 	"regexrw/internal/par"
+	"regexrw/internal/planstore"
 	"regexrw/internal/workload"
 )
 
@@ -28,10 +30,10 @@ const Schema = "regexrw-bench/v1"
 // Speedup are zero when the family has no in-run baseline (THM8).
 type Entry struct {
 	// Family names the benchmark family: EX2Pipeline, EX2Observed,
-	// PlanCache, THM5DetBlowup, THM6Exactness, THM8Counter.
+	// PlanCache, PlanStore, THM5DetBlowup, THM6Exactness, THM8Counter.
 	Family string `json:"family"`
-	// Param is the family's size parameter (0 for EX2Pipeline and
-	// EX2Observed).
+	// Param is the family's size parameter (0 for EX2Pipeline,
+	// EX2Observed, PlanCache and PlanStore).
 	Param int `json:"param"`
 	// Baseline names what BaselineNsOp measured (e.g. "workers=1",
 	// "unmemoized", "materialized"); empty when there is none.
@@ -221,6 +223,19 @@ func Run(ctx context.Context, size SizeSpec) (*Report, error) {
 	warmEng.Close()
 	coldEng.Close()
 
+	// PlanStore: the crash-restart path — one engine compiles Example 2
+	// and persists it, a second engine over the same directory
+	// warm-starts from disk, and the timed section serves the restored
+	// plan. Check requires the restored plan to serve within 2x of the
+	// in-memory PlanCache hit above (the restored accessors must not be
+	// slower than the compiled ones) and at least 10x faster than the
+	// cold recompile baseline.
+	e, err = runPlanStore(ctx, size, planReq, rewritingStates(r0))
+	if err != nil {
+		return nil, err
+	}
+	rep.Entries = append(rep.Entries, e)
+
 	// THM5DetBlowup: the determinization-blowup family (Theorem 5). The
 	// query NFA needs 2^n subset states, which makes it the purest probe
 	// of the subset-construction hot path: the memoized construction
@@ -308,6 +323,60 @@ func Run(ctx context.Context, size SizeSpec) (*Report, error) {
 	return rep, nil
 }
 
+// runPlanStore builds the PlanStore family entry: persist one plan,
+// warm-start a fresh engine from the directory, time requests against
+// the restored plan vs a cold-compile baseline.
+func runPlanStore(ctx context.Context, size SizeSpec, planReq engine.Request, states int) (Entry, error) {
+	dir, err := os.MkdirTemp("", "regexrw-bench-planstore-*")
+	if err != nil {
+		return Entry{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	seedStore, err := planstore.Open(dir, planstore.WithMetrics(obs.NewRegistry()), planstore.WithoutSync())
+	if err != nil {
+		return Entry{}, err
+	}
+	seedEng := engine.New(engine.WithMetrics(obs.NewRegistry()), engine.WithPlanStore(seedStore))
+	if _, err := seedEng.Rewrite(ctx, planReq); err != nil {
+		return Entry{}, err
+	}
+	seedEng.FlushStore()
+	seedEng.Close()
+
+	restartStore, err := planstore.Open(dir, planstore.WithMetrics(obs.NewRegistry()))
+	if err != nil {
+		return Entry{}, err
+	}
+	restartEng := engine.New(engine.WithMetrics(obs.NewRegistry()), engine.WithPlanStore(restartStore))
+	defer restartEng.Close()
+	if n, err := restartEng.WarmStart(ctx); err != nil {
+		return Entry{}, err
+	} else if n != 1 {
+		return Entry{}, fmt.Errorf("bench: PlanStore warm start restored %d plans, want 1", n)
+	}
+	restored := func() error {
+		_, err := restartEng.Rewrite(ctx, planReq)
+		return err
+	}
+	coldEng := engine.New(engine.WithMetrics(obs.NewRegistry()), engine.WithPlanCache(0))
+	defer coldEng.Close()
+	cold := func() error {
+		_, err := coldEng.Rewrite(ctx, planReq)
+		return err
+	}
+	e, err := runPair("PlanStore", 0, "cold_compile", size.MinTime, restored, cold, states)
+	if err != nil {
+		return Entry{}, err
+	}
+	if st := restartEng.Stats(); st.Compiles != 0 {
+		return Entry{}, fmt.Errorf("bench: PlanStore timed section compiled %d times, want 0", st.Compiles)
+	} else if st.Hits+st.Misses > 0 {
+		e.PlanHitRate = float64(st.Hits) / float64(st.Hits+st.Misses)
+	}
+	return e, nil
+}
+
 // Check is the in-run regression guard: for the families with an in-run
 // baseline that the optimization work targets (EX2Pipeline,
 // THM6Exactness) plus the observability overhead probe (EX2Observed),
@@ -319,14 +388,29 @@ func Run(ctx context.Context, size SizeSpec) (*Report, error) {
 // regressed against the code it is supposed to beat — or that tracing
 // got expensive enough to distort what it measures.
 func Check(rep *Report) error {
+	var planCacheNsOp float64
+	for _, e := range rep.Entries {
+		if e.Family == "PlanCache" {
+			planCacheNsOp = e.NsOp
+		}
+	}
 	for _, e := range rep.Entries {
 		if e.BaselineNsOp == 0 {
 			continue
 		}
-		if e.Family == "PlanCache" {
+		if e.Family == "PlanCache" || e.Family == "PlanStore" {
 			if e.Speedup < 10 {
-				return fmt.Errorf("bench: regression: PlanCache(param=%d) warm %.0f ns/op is only %.1fx faster than cold %.0f ns/op (want >= 10x)",
-					e.Param, e.NsOp, e.Speedup, e.BaselineNsOp)
+				return fmt.Errorf("bench: regression: %s(param=%d) warm %.0f ns/op is only %.1fx faster than cold %.0f ns/op (want >= 10x)",
+					e.Family, e.Param, e.NsOp, e.Speedup, e.BaselineNsOp)
+			}
+			// The restart-hit contract: a plan restored from disk into
+			// the LRU must serve within 2x of a plan the same process
+			// compiled — restored accessors answer from the same
+			// precomputed artifacts, so slower means a regression in
+			// the restore path.
+			if e.Family == "PlanStore" && planCacheNsOp > 0 && e.NsOp > 2*planCacheNsOp {
+				return fmt.Errorf("bench: regression: PlanStore restart hit %.0f ns/op is >2x the in-memory PlanCache hit %.0f ns/op",
+					e.NsOp, planCacheNsOp)
 			}
 			continue
 		}

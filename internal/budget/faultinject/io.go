@@ -1,0 +1,137 @@
+package faultinject
+
+import (
+	"fmt"
+	"sync/atomic"
+	"syscall"
+)
+
+// I/O fault injection for the persistent plan store.
+//
+// The plan store (internal/planstore) funnels every disk touch through
+// a hook of shape
+//
+//	func(op, path string, data []byte) ([]byte, error)
+//
+// called at the named operation sites below. An IOFault built here is
+// assignable to that hook: it passes every call through untouched
+// except the site-th occurrence of the targeted operation, where it
+// injects one of the failure modes a real disk produces — an
+// out-of-space error, a torn (truncated) write, a flipped bit, a short
+// read, an open failure. Injection is deterministic given
+// (op, site, kind), so a CI failure reproduces locally from the logged
+// triple, exactly like the budget-exhaustion sweeps.
+
+// Operation sites the plan store reports to its hook. The store calls
+// the hook with op IOWrite/IORead carrying the payload bytes (the hook
+// may replace them to model corruption) and with the other ops carrying
+// nil data (the hook may only fail them).
+const (
+	IOOpen   = "open"   // opening an entry or temp file
+	IORead   = "read"   // after an entry's bytes are read
+	IOWrite  = "write"  // before an entry's bytes are written
+	IOSync   = "sync"   // fsync of the temp file or directory
+	IORename = "rename" // atomic publish of the temp file
+)
+
+// IOFaultKind selects the failure mode an IOFault injects.
+type IOFaultKind int
+
+const (
+	// IOErrFail fails the operation with a generic injected I/O error.
+	IOErrFail IOFaultKind = iota
+	// IOErrNoSpace fails the operation with ENOSPC, the disk-full error.
+	IOErrNoSpace
+	// IOTornWrite truncates the payload to half its length: the bytes
+	// that reach the disk are a prefix, as after a mid-write crash
+	// without the temp-file + rename protocol.
+	IOTornWrite
+	// IOBitFlip flips one bit in the middle of the payload, modeling
+	// silent media corruption that only a checksum can catch.
+	IOBitFlip
+	// IOShortRead drops the tail of the bytes coming back from a read.
+	IOShortRead
+)
+
+// String names the kind for log lines and test diagnostics.
+func (k IOFaultKind) String() string {
+	switch k {
+	case IOErrFail:
+		return "err"
+	case IOErrNoSpace:
+		return "enospc"
+	case IOTornWrite:
+		return "torn_write"
+	case IOBitFlip:
+		return "bit_flip"
+	case IOShortRead:
+		return "short_read"
+	}
+	return fmt.Sprintf("IOFaultKind(%d)", int(k))
+}
+
+// ErrInjected is the error wrapped by every injected I/O failure that
+// is not ENOSPC; stores and tests match it with errors.Is.
+var ErrInjected = fmt.Errorf("faultinject: injected I/O error")
+
+// IOFault returns a plan-store hook that injects kind at the site-th
+// occurrence (1-based) of the targeted op and passes everything else
+// through, plus a fired function reporting whether the injection has
+// triggered. Data-mangling kinds (IOTornWrite, IOBitFlip, IOShortRead)
+// leave the operation "successful" but corrupt its bytes; error kinds
+// fail it. A mangling kind targeted at an op with no payload degrades
+// to IOErrFail so the injection is never silently a no-op.
+func IOFault(op string, site int64, kind IOFaultKind) (hook func(op, path string, data []byte) ([]byte, error), fired func() bool) {
+	var n, hit atomic.Int64
+	h := func(callOp, path string, data []byte) ([]byte, error) {
+		if callOp != op || n.Add(1) != site {
+			return data, nil
+		}
+		hit.Store(1)
+		switch kind {
+		case IOTornWrite:
+			if len(data) > 0 {
+				return data[:len(data)/2], nil
+			}
+		case IOBitFlip:
+			if len(data) > 0 {
+				mangled := append([]byte(nil), data...)
+				mangled[len(mangled)/2] ^= 0x10
+				return mangled, nil
+			}
+		case IOShortRead:
+			if len(data) > 0 {
+				return data[:len(data)-1], nil
+			}
+		case IOErrNoSpace:
+			return nil, fmt.Errorf("faultinject: %s %s: %w", op, path, syscall.ENOSPC)
+		}
+		return nil, fmt.Errorf("faultinject: %s %s: %w", op, path, ErrInjected)
+	}
+	return h, func() bool { return hit.Load() == 1 }
+}
+
+// IOSite names one (operation, kind) pair of the plan-store sweep
+// matrix; AllIOSites enumerates the modes each operation can fail in.
+type IOSite struct {
+	Op   string
+	Kind IOFaultKind
+}
+
+// AllIOSites is the sweep matrix for the plan store: every operation
+// crossed with the failure modes that make sense for it. Sweeps iterate
+// this so a new operation or kind added here is automatically covered.
+func AllIOSites() []IOSite {
+	return []IOSite{
+		{IOOpen, IOErrFail},
+		{IORead, IOErrFail},
+		{IORead, IOBitFlip},
+		{IORead, IOShortRead},
+		{IOWrite, IOErrFail},
+		{IOWrite, IOErrNoSpace},
+		{IOWrite, IOTornWrite},
+		{IOWrite, IOBitFlip},
+		{IOSync, IOErrFail},
+		{IORename, IOErrFail},
+	}
+}

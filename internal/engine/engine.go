@@ -32,6 +32,7 @@ import (
 	"regexrw/internal/core"
 	"regexrw/internal/obs"
 	"regexrw/internal/par"
+	"regexrw/internal/planstore"
 	"regexrw/internal/rpq"
 	"regexrw/internal/theory"
 )
@@ -49,6 +50,14 @@ type Engine struct {
 
 	cache *planCache
 
+	// store is the optional persistent plan store: a second cache tier
+	// behind the LRU, consulted by singleflight leaders before they
+	// compile and written behind after they do. Every store failure
+	// degrades to an in-memory compile; the store can never fail a
+	// request.
+	store *planstore.Store
+	saves sync.WaitGroup // in-flight write-behind saves
+
 	// Singleflight: at most one compile per key runs at a time; later
 	// identical requests wait on the leader's call.
 	mu    sync.Mutex
@@ -64,13 +73,15 @@ type Engine struct {
 
 	// Authoritative counters behind Stats; every increment is mirrored
 	// onto reg's "engine.*" / "cache.plan.*" metrics.
-	requests  atomic.Int64
-	compiles  atomic.Int64
-	hits      atomic.Int64
-	misses    atomic.Int64
-	dedups    atomic.Int64
-	evictions atomic.Int64
-	rejected  atomic.Int64
+	requests   atomic.Int64
+	compiles   atomic.Int64
+	hits       atomic.Int64
+	misses     atomic.Int64
+	dedups     atomic.Int64
+	evictions  atomic.Int64
+	rejected   atomic.Int64
+	storeLoads atomic.Int64
+	storeSaves atomic.Int64
 }
 
 type call struct {
@@ -117,6 +128,18 @@ func WithMetrics(r *obs.Registry) Option { return func(e *Engine) { e.reg = r } 
 // split across shards). 0 disables caching; the default is 1024.
 func WithPlanCache(capacity int) Option { return func(e *Engine) { e.cache = newPlanCache(capacity) } }
 
+// WithPlanStore attaches a persistent plan store (internal/planstore):
+// cache misses are served from disk when a plan for the key was
+// persisted by an earlier run (or an earlier eviction), and fresh
+// compiles are written behind to disk off the request path. The store
+// is strictly best-effort — any store error (I/O failure, corrupt
+// entry, open breaker) silently degrades the request to an in-memory
+// compile, so a sick disk can slow the first request per key but never
+// fail one. Pass the engine's registry to planstore.Open's WithMetrics
+// so the plan_store.* counters land next to the engine.* ones. Partial
+// plans (Request.Partial) bypass the store entirely.
+func WithPlanStore(s *planstore.Store) Option { return func(e *Engine) { e.store = s } }
+
 // WithAdmissionLimit bounds concurrent compiles at inflight, with up to
 // queue further requests waiting for a slot; beyond that, Rewrite fails
 // fast with an *AdmissionError (errors.Is(err, ErrQueueFull)). Cache
@@ -154,14 +177,22 @@ func (e *Engine) Close() { e.closed.Store(true) }
 // Compiles can be far below Misses.
 type Stats struct {
 	Requests, Compiles, Hits, Misses, Dedups, Evictions, Rejected int64
+	// StoreLoads counts plans served from the persistent store instead
+	// of compiled; StoreSaves counts plans persisted behind a compile.
+	// Both stay 0 without WithPlanStore.
+	StoreLoads, StoreSaves int64
 	// CachedPlans is the current number of plans held by the LRU.
 	CachedPlans int
+	// Store is the persistent plan store's own counter snapshot
+	// (hits/misses/corrupt/quarantined/breaker), nil without
+	// WithPlanStore.
+	Store *planstore.Stats
 }
 
 // Stats returns the engine's counters. The same numbers are exposed on
 // the metrics registry as engine.* / cache.plan.* counters.
 func (e *Engine) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Requests:    e.requests.Load(),
 		Compiles:    e.compiles.Load(),
 		Hits:        e.hits.Load(),
@@ -169,8 +200,15 @@ func (e *Engine) Stats() Stats {
 		Dedups:      e.dedups.Load(),
 		Evictions:   e.evictions.Load(),
 		Rejected:    e.rejected.Load(),
+		StoreLoads:  e.storeLoads.Load(),
+		StoreSaves:  e.storeSaves.Load(),
 		CachedPlans: e.cache.len(),
 	}
+	if e.store != nil {
+		st := e.store.Stats()
+		s.Store = &st
+	}
+	return s
 }
 
 // Metrics returns the registry holding the engine's counters.
@@ -236,7 +274,7 @@ func (e *Engine) Rewrite(ctx context.Context, req Request) (*Plan, error) {
 		}
 	}
 	key := keyOfInstance(inst, req.Partial)
-	return e.serve(ctx, key, req.MaxStates, req.MaxTransitions, req.Timeout, func(cctx context.Context) (*Plan, error) {
+	return e.serve(ctx, key, !req.Partial, req.MaxStates, req.MaxTransitions, req.Timeout, func(cctx context.Context) (*Plan, error) {
 		return compileInstance(cctx, key, inst, req.Partial)
 	})
 }
@@ -251,14 +289,16 @@ func (e *Engine) RewriteRPQ(ctx context.Context, req RPQRequest) (*Plan, error) 
 		req.Theory = theory.New()
 	}
 	key := keyOfRPQ(req.Query, req.Views, req.Theory, req.Method)
-	return e.serve(ctx, key, req.MaxStates, req.MaxTransitions, req.Timeout, func(cctx context.Context) (*Plan, error) {
+	return e.serve(ctx, key, true, req.MaxStates, req.MaxTransitions, req.Timeout, func(cctx context.Context) (*Plan, error) {
 		return compileRPQ(cctx, key, req)
 	})
 }
 
 // serve is the shared request path: cache lookup, singleflight
-// grouping, admission, compile, insert.
-func (e *Engine) serve(ctx context.Context, key Key, maxStates, maxTransitions int, timeout time.Duration, compile func(context.Context) (*Plan, error)) (*Plan, error) {
+// grouping, store lookup, admission, compile, write-behind, insert.
+// storable gates the persistent-store tiers (partial plans stay
+// memory-only).
+func (e *Engine) serve(ctx context.Context, key Key, storable bool, maxStates, maxTransitions int, timeout time.Duration, compile func(context.Context) (*Plan, error)) (*Plan, error) {
 	if e.closed.Load() {
 		return nil, fmt.Errorf("%w", ErrClosed)
 	}
@@ -291,7 +331,19 @@ func (e *Engine) serve(ctx context.Context, key Key, maxStates, maxTransitions i
 	e.calls[key] = c
 	e.mu.Unlock()
 
-	c.plan, c.err = e.compileAdmitted(ctx, maxStates, maxTransitions, timeout, compile)
+	// Second tier: a plan persisted by an earlier run (or evicted from
+	// the LRU) restores from disk without a compile. Any store problem
+	// — missing, corrupt (quarantined by the store), I/O error, open
+	// breaker — degrades to the compile below.
+	if storable && e.store != nil {
+		c.plan = e.loadStored(ctx, key)
+	}
+	if c.plan == nil {
+		c.plan, c.err = e.compileAdmitted(ctx, maxStates, maxTransitions, timeout, compile)
+		if c.err == nil && storable && e.store != nil {
+			e.saveAsync(c.plan)
+		}
+	}
 	if c.err == nil {
 		if ev := e.cache.add(key, c.plan); ev > 0 {
 			e.evictions.Add(int64(ev))
@@ -378,6 +430,90 @@ func (e *Engine) compileAdmitted(ctx context.Context, maxStates, maxTransitions 
 	cctx, span := obs.StartSpan(cctx, "engine.compile")
 	defer span.End()
 	return compile(cctx)
+}
+
+// loadStored tries the persistent store for key and returns the
+// restored plan, or nil when the request must compile: not persisted,
+// corrupt (the store has already quarantined it), I/O failure, open
+// breaker, or a stored artifact the current build cannot rebuild a
+// plan from. Failures are recorded on the store's own counters; the
+// request path never sees them.
+func (e *Engine) loadStored(ctx context.Context, key Key) *Plan {
+	_, span := obs.StartSpan(ctx, "engine.store.load")
+	defer span.End()
+	sp, err := e.store.Get(string(key))
+	if err != nil {
+		span.SetAttr("hit", 0)
+		return nil
+	}
+	p, err := planFromStored(key, sp)
+	if err != nil {
+		span.SetAttr("hit", 0)
+		return nil
+	}
+	span.SetAttr("hit", 1)
+	e.count(&e.storeLoads, "engine.store.loads")
+	return p
+}
+
+// saveAsync persists a freshly compiled plan off the request path. The
+// write is fire-and-forget: a failed save costs a recompile after the
+// next restart, nothing else. FlushStore waits for in-flight saves.
+func (e *Engine) saveAsync(p *Plan) {
+	sp, err := storedFromPlan(p)
+	if err != nil {
+		return
+	}
+	e.saves.Add(1)
+	go func() {
+		defer e.saves.Done()
+		_, span := obs.StartSpan(context.Background(), "engine.store.save")
+		defer span.End()
+		if err := e.store.Put(sp); err != nil {
+			span.SetAttr("ok", 0)
+			return
+		}
+		span.SetAttr("ok", 1)
+		e.count(&e.storeSaves, "engine.store.saves")
+	}()
+}
+
+// FlushStore blocks until every write-behind save started so far has
+// finished (successfully or not). Call it before process exit to make
+// the plan directory as warm as the run was; without a plan store it
+// returns immediately.
+func (e *Engine) FlushStore() { e.saves.Wait() }
+
+// WarmStart loads every plan persisted in the store into the in-memory
+// cache, so a restarted process serves its pre-crash working set at
+// cache-hit latency from the first request. Corrupt entries are
+// quarantined by the store and skipped; I/O failures skip the entry
+// and count on the store's meters. Returns how many plans were
+// restored. Without a plan store it is a no-op.
+func (e *Engine) WarmStart(ctx context.Context) (int, error) {
+	if e.store == nil {
+		return 0, nil
+	}
+	keys, err := e.store.Keys()
+	if err != nil {
+		return 0, fmt.Errorf("engine: warm start: %w", err)
+	}
+	loaded := 0
+	//budget:exempt bounded by the number of persisted plans, each a fixed-size restore
+	for _, k := range keys {
+		if err := ctx.Err(); err != nil {
+			return loaded, err
+		}
+		if p := e.loadStored(ctx, Key(k)); p != nil {
+			if ev := e.cache.add(Key(k), p); ev > 0 {
+				e.evictions.Add(int64(ev))
+				e.reg.Counter("cache.plan.evictions").Add(int64(ev))
+			}
+			loaded++
+		}
+	}
+	e.reg.Gauge("cache.plan.size").Set(int64(e.cache.len()))
+	return loaded, nil
 }
 
 // BatchResult is one item's outcome in RewriteBatch.

@@ -2,11 +2,14 @@ package engine
 
 import (
 	"context"
+	"errors"
+	"fmt"
 
 	"regexrw/internal/alphabet"
 	"regexrw/internal/automata"
 	"regexrw/internal/budget"
 	"regexrw/internal/core"
+	"regexrw/internal/planstore"
 	"regexrw/internal/regex"
 	"regexrw/internal/rpq"
 )
@@ -32,13 +35,22 @@ type Plan struct {
 	rw   *core.Rewriting
 	rpq  *rpq.Rewriting // nil for regex plans
 
-	expr     *regex.Node
-	exact    core.ExactnessReport
-	minimal  *automata.DFA
-	shortest []string // view names; nil when exp(L(R)) = ∅
-	hasWord  bool
-	partial  *core.AnytimePartialResult // only when requested
-	states   int64                      // states the compile materialized
+	expr         *regex.Node
+	exact        core.ExactnessReport
+	witnessNames []string // exact.Witness by Σ symbol name
+	minimal      *automata.DFA
+	shortest     []string // view names; nil when exp(L(R)) = ∅
+	hasWord      bool
+	partial      *core.AnytimePartialResult // only when requested
+	states       int64                      // states the compile materialized
+
+	// Restored plans (loaded from the persistent plan store rather than
+	// compiled) have rw/rpq/inst == nil: only the serving artifacts
+	// above survive a round trip through disk. restoredNFA holds the
+	// rewriting's trim NFA and storedKind its "regex"/"rpq" tag so a
+	// restored plan converts back to a StoredPlan losslessly.
+	restoredNFA *automata.NFA
+	storedKind  string
 }
 
 // Key returns the plan's canonical cache key (hex SHA-256 of the
@@ -78,7 +90,7 @@ func (p *Plan) Witness() []string {
 	if p.exact.Verdict != core.ExactNo {
 		return nil
 	}
-	return symbolNames(p.rw.Sigma(), p.exact.Witness)
+	return p.witnessNames
 }
 
 // MinimalDFA returns the canonical minimal DFA of the rewriting.
@@ -97,8 +109,15 @@ func (p *Plan) IsEmpty() bool { return p.minimal.NumStates() == 0 || !anyAccepti
 func (p *Plan) IsSigmaEmpty() bool { return !p.hasWord }
 
 // Accepts reports whether the Σ_E-word (by view names) is in the
-// rewriting. Reads only the immutable rewriting DFA.
-func (p *Plan) Accepts(viewNames ...string) bool { return p.rw.Accepts(viewNames...) }
+// rewriting. Reads only the immutable rewriting DFA; for a restored
+// plan (no construction automata) the minimal DFA answers instead —
+// same language, so the answer is identical.
+func (p *Plan) Accepts(viewNames ...string) bool {
+	if p.rw != nil {
+		return p.rw.Accepts(viewNames...)
+	}
+	return p.minimal.AcceptsNames(viewNames...)
+}
 
 // Partial returns the anytime partial-rewriting result when the plan
 // was compiled with Request.Partial, else nil.
@@ -168,10 +187,90 @@ func compileRPQ(ctx context.Context, key Key, req RPQRequest) (*Plan, error) {
 func finishPlan(ctx context.Context, key Key, rw *core.Rewriting) (*Plan, error) {
 	p := &Plan{key: key, rw: rw}
 	p.exact = rw.TryExactness(ctx)
+	if p.exact.Verdict == core.ExactNo {
+		p.witnessNames = symbolNames(rw.Sigma(), p.exact.Witness)
+	}
 	p.expr = rw.Regex()
 	p.minimal = rw.MinimalDFA()
 	if w, ok := rw.ShortestWord(); ok {
 		p.shortest, p.hasWord = symbolNames(rw.SigmaE(), w), true
+	}
+	return p, nil
+}
+
+// storedFromPlan projects a Plan onto its persistent form: the serving
+// artifacts only, never the construction automata (A_d, A') or the
+// partial-search result — partial plans are not persisted at all. The
+// rewriting itself travels as its trim NFA plus the canonical minimal
+// DFA, both in the automata text codec inside the checksummed envelope.
+func storedFromPlan(p *Plan) (*planstore.StoredPlan, error) {
+	if p.partial != nil {
+		return nil, fmt.Errorf("engine: partial plans are not persisted")
+	}
+	sp := &planstore.StoredPlan{
+		Key:             string(p.key),
+		Kind:            p.storedKind,
+		Rewriting:       p.expr.String(),
+		Verdict:         int(p.exact.Verdict),
+		Witness:         p.witnessNames,
+		Stage:           p.exact.Stage,
+		ShortestWord:    p.shortest,
+		HasShortestWord: p.hasWord,
+		States:          p.states,
+		MinimalDFA:      p.minimal,
+		RewritingNFA:    p.restoredNFA,
+	}
+	if sp.Kind == "" {
+		if p.rpq != nil {
+			sp.Kind = "rpq"
+		} else {
+			sp.Kind = "regex"
+		}
+	}
+	if p.exact.Reason != nil {
+		sp.Reason = p.exact.Reason.Error()
+	}
+	if sp.RewritingNFA == nil {
+		if p.rw == nil {
+			return nil, fmt.Errorf("engine: plan has neither a rewriting nor a restored NFA")
+		}
+		sp.RewritingNFA = p.rw.NFA()
+	}
+	return sp, nil
+}
+
+// planFromStored rebuilds a servable Plan from its persistent form.
+// The result is a restored plan: Rewriting()/RPQ()/Instance() are nil
+// (the doubly exponential construction is not re-run), but every
+// serving accessor — Regex, Exactness, Witness, MinimalDFA,
+// ShortestWord, IsEmpty, IsSigmaEmpty, States, Accepts — answers from
+// the stored artifacts exactly as it would on the freshly compiled
+// plan.
+func planFromStored(key Key, sp *planstore.StoredPlan) (*Plan, error) {
+	if sp.Key != string(key) {
+		return nil, fmt.Errorf("engine: stored plan key %s under cache key %s", sp.Key, key)
+	}
+	if v := core.ExactVerdict(sp.Verdict); v != core.ExactUnknown && v != core.ExactYes && v != core.ExactNo {
+		return nil, fmt.Errorf("engine: stored plan has unknown exactness verdict %d", sp.Verdict)
+	}
+	expr, err := regex.Parse(sp.Rewriting)
+	if err != nil {
+		return nil, fmt.Errorf("engine: stored rewriting does not parse: %w", err)
+	}
+	p := &Plan{
+		key:          key,
+		expr:         expr,
+		witnessNames: sp.Witness,
+		minimal:      sp.MinimalDFA,
+		shortest:     sp.ShortestWord,
+		hasWord:      sp.HasShortestWord,
+		states:       sp.States,
+		restoredNFA:  sp.RewritingNFA,
+		storedKind:   sp.Kind,
+	}
+	p.exact = core.ExactnessReport{Verdict: core.ExactVerdict(sp.Verdict), Stage: sp.Stage}
+	if sp.Reason != "" {
+		p.exact.Reason = errors.New(sp.Reason)
 	}
 	return p, nil
 }

@@ -1,0 +1,93 @@
+package planstore
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is the store's consecutive-error circuit breaker: after
+// threshold consecutive I/O failures the store stops touching the disk
+// for a cooldown, failing every operation fast with ErrBreakerOpen so a
+// sick disk degrades the engine to in-memory compiles instead of
+// stalling every request behind hanging syscalls. After the cooldown
+// the next operation is allowed through as a probe: its success closes
+// the breaker, its failure re-opens it for another cooldown.
+//
+// Corrupt entries do NOT trip the breaker — corruption is a data
+// problem the quarantine path owns; the breaker watches for an
+// unhealthy device (EIO, ENOSPC, permission loss).
+type breaker struct {
+	mu sync.Mutex
+	// threshold <= 0 disables the breaker entirely.
+	threshold int
+	cooldown  time.Duration
+	// now is a test seam; nil means time.Now.
+	now func() time.Time
+
+	consecutive int
+	openUntil   time.Time
+	opens       int64
+}
+
+func (b *breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+// allow reports whether an operation may touch the disk now. While the
+// breaker is open (within the cooldown) it returns false; once the
+// cooldown elapses, operations flow again as probes until the next
+// failure decides.
+func (b *breaker) allow() bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.openUntil.IsZero() || !b.clock().Before(b.openUntil)
+}
+
+// success records a healthy operation, closing the breaker and
+// resetting the consecutive-failure count.
+func (b *breaker) success() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	b.openUntil = time.Time{}
+}
+
+// failure records an I/O failure and reports whether this one opened
+// (or re-opened) the breaker, so the caller can count the transition on
+// its metrics outside the lock.
+func (b *breaker) failure() (opened bool) {
+	if b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if b.consecutive < b.threshold {
+		return false
+	}
+	wasClosed := b.openUntil.IsZero() || !b.clock().Before(b.openUntil)
+	b.openUntil = b.clock().Add(b.cooldown)
+	if wasClosed {
+		b.opens++
+	}
+	return wasClosed
+}
+
+// snapshot returns (open-now, total open transitions).
+func (b *breaker) snapshot() (bool, int64) {
+	if b.threshold <= 0 {
+		return false, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.openUntil.IsZero() && b.clock().Before(b.openUntil), b.opens
+}

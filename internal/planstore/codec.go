@@ -1,0 +1,366 @@
+package planstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+)
+
+// The plan envelope is the durable form of one compiled plan: a small
+// binary frame around the text automata codec, designed so that a torn
+// or bit-flipped file is always DETECTED, never decoded into a subtly
+// wrong plan. The frame is
+//
+//	magic   [8]byte  "RWPLAN\x00" + version
+//	length  uint64   big-endian body length
+//	body    [length]byte
+//	sum     [32]byte SHA-256 of body
+//
+// and the body is a tagged record stream — tag byte, big-endian uint32
+// payload length, payload — extending the length-prefixed discipline of
+// the internal/automata codec. Every record length is validated against
+// the remaining body before any allocation, unknown tags are rejected
+// (versioning is by the magic byte, not by silent skipping), and the
+// checksum is verified before the body is parsed at all.
+
+// Version is the current envelope version, carried in the magic's last
+// byte. Bump on any incompatible body change; readers reject other
+// versions as corrupt (a store populated by an old binary warm-misses
+// and recompiles, it never mis-decodes).
+const Version = 1
+
+var magic = [8]byte{'R', 'W', 'P', 'L', 'A', 'N', 0, Version}
+
+// maxEnvelopeBody caps the declared body length so a corrupt or
+// adversarial header cannot make ReadPlan allocate gigabytes before the
+// checksum is ever consulted. Real plans are a few KiB to a few MiB;
+// the automata codec's own state cap bounds them well below this.
+const maxEnvelopeBody = 1 << 28
+
+// Record tags of the body stream.
+const (
+	tagKey          = 1  // canonical cache key (hex SHA-256)
+	tagKind         = 2  // "regex" or "rpq"
+	tagRewriting    = 3  // rewriting regular expression over view names
+	tagVerdict      = 4  // exactness verdict byte (0 unknown, 1 yes, 2 no)
+	tagWitness      = 5  // exactness counterexample word (view of Σ names)
+	tagStage        = 6  // budget stage that ended an unknown verdict
+	tagReason       = 7  // rendered error that ended an unknown verdict
+	tagShortestWord = 8  // shortest Σ_E-word with non-empty expansion; presence = exists
+	tagStates       = 9  // states the cold compile materialized (int64)
+	tagRewritingNFA = 10 // rewriting NFA over Σ_E (automata text codec)
+	tagMinimalDFA   = 11 // canonical minimal DFA over Σ_E (automata text codec)
+)
+
+// StoredPlan is the durable subset of a compiled plan: everything the
+// serving layer answers requests from, detached from the in-memory
+// construction (the core.Rewriting diagnostics are deliberately not
+// persisted — a restored plan serves, it does not explain). The NFA and
+// DFA share one alphabet over the instance's view names.
+type StoredPlan struct {
+	// Key is the canonical cache key the plan was compiled under.
+	Key string
+	// Kind is "regex" or "rpq", recording which compile path produced
+	// the plan (diagnostic only; both kinds serve identically).
+	Kind string
+	// Rewriting is the maximal rewriting as a simplified regular
+	// expression over the view names.
+	Rewriting string
+	// Verdict is the exactness verdict (core.ExactVerdict numbering:
+	// 0 unknown, 1 yes, 2 no).
+	Verdict int
+	// Witness is the shortest word of L(E0) \ exp(L(R)) by symbol name
+	// when Verdict is no.
+	Witness []string
+	// Stage and Reason carry the budget diagnostics of an unknown
+	// verdict (Reason is the rendered error).
+	Stage, Reason string
+	// ShortestWord is a shortest Σ_E-word with non-empty expansion, by
+	// view name; HasShortestWord distinguishes "the empty word" from
+	// "no such word".
+	ShortestWord    []string
+	HasShortestWord bool
+	// States is the automaton-state count the cold compile materialized.
+	States int64
+	// RewritingNFA is the rewriting automaton over Σ_E; MinimalDFA its
+	// canonical minimal DFA. Both are decoded into the same alphabet.
+	RewritingNFA *automata.NFA
+	MinimalDFA   *automata.DFA
+}
+
+// CorruptError reports an envelope that failed checksum or structural
+// verification. It matches errors.Is(err, ErrCorrupt); Path is set when
+// the envelope came from the store (empty for direct ReadPlan calls).
+type CorruptError struct {
+	Path   string
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	if e.Path == "" {
+		return fmt.Sprintf("planstore: corrupt plan envelope: %s", e.Reason)
+	}
+	return fmt.Sprintf("planstore: corrupt plan envelope %s: %s", e.Path, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrCorrupt) match any *CorruptError.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+func corruptf(format string, args ...any) error {
+	return &CorruptError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// WritePlan serializes the plan as one checksummed envelope.
+func WritePlan(w io.Writer, sp *StoredPlan) (int64, error) {
+	data, err := EncodePlan(sp)
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// EncodePlan renders the envelope bytes. Encoding is deterministic:
+// the same StoredPlan always produces the same bytes, so re-persisting
+// an unchanged plan is idempotent at the byte level.
+func EncodePlan(sp *StoredPlan) ([]byte, error) {
+	if sp.RewritingNFA == nil || sp.MinimalDFA == nil {
+		return nil, fmt.Errorf("planstore: encode: plan is missing its automata")
+	}
+	var body bytes.Buffer
+	addRecord(&body, tagKey, []byte(sp.Key))
+	addRecord(&body, tagKind, []byte(sp.Kind))
+	addRecord(&body, tagRewriting, []byte(sp.Rewriting))
+	addRecord(&body, tagVerdict, []byte{byte(sp.Verdict)})
+	if len(sp.Witness) > 0 {
+		addRecord(&body, tagWitness, encodeStrings(sp.Witness))
+	}
+	if sp.Stage != "" {
+		addRecord(&body, tagStage, []byte(sp.Stage))
+	}
+	if sp.Reason != "" {
+		addRecord(&body, tagReason, []byte(sp.Reason))
+	}
+	if sp.HasShortestWord {
+		addRecord(&body, tagShortestWord, encodeStrings(sp.ShortestWord))
+	}
+	var states [8]byte
+	binary.BigEndian.PutUint64(states[:], uint64(sp.States))
+	addRecord(&body, tagStates, states[:])
+
+	var nfa strings.Builder
+	if _, err := sp.RewritingNFA.WriteTo(&nfa); err != nil {
+		return nil, err
+	}
+	addRecord(&body, tagRewritingNFA, []byte(nfa.String()))
+	var dfa strings.Builder
+	if _, err := sp.MinimalDFA.WriteTo(&dfa); err != nil {
+		return nil, err
+	}
+	addRecord(&body, tagMinimalDFA, []byte(dfa.String()))
+
+	if body.Len() > maxEnvelopeBody {
+		return nil, fmt.Errorf("planstore: encode: body %d bytes exceeds limit %d", body.Len(), maxEnvelopeBody)
+	}
+	out := make([]byte, 0, len(magic)+8+body.Len()+sha256.Size)
+	out = append(out, magic[:]...)
+	var length [8]byte
+	binary.BigEndian.PutUint64(length[:], uint64(body.Len()))
+	out = append(out, length[:]...)
+	out = append(out, body.Bytes()...)
+	sum := sha256.Sum256(body.Bytes())
+	out = append(out, sum[:]...)
+	return out, nil
+}
+
+func addRecord(b *bytes.Buffer, tag byte, payload []byte) {
+	b.WriteByte(tag)
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(payload)))
+	b.Write(l[:])
+	b.Write(payload)
+}
+
+func encodeStrings(ss []string) []byte {
+	var b bytes.Buffer
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(ss)))
+	b.Write(l[:])
+	for _, s := range ss {
+		binary.BigEndian.PutUint32(l[:], uint32(len(s)))
+		b.Write(l[:])
+		b.WriteString(s)
+	}
+	return b.Bytes()
+}
+
+// ReadPlan reads one envelope from r: frame, checksum, then body. Any
+// deviation — wrong magic or version, declared length beyond the cap or
+// the input, checksum mismatch, malformed records, automata the codec
+// rejects — returns a *CorruptError (never a panic, never a silently
+// wrong plan). I/O errors other than clean truncation surface as-is.
+func ReadPlan(r io.Reader) (*StoredPlan, error) {
+	var head [16]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, corruptf("truncated header: %v", err)
+	}
+	if !bytes.Equal(head[:8], magic[:]) {
+		return nil, corruptf("bad magic %q (want version %d)", head[:8], Version)
+	}
+	length := binary.BigEndian.Uint64(head[8:])
+	if length > maxEnvelopeBody {
+		return nil, corruptf("declared body length %d exceeds limit %d", length, maxEnvelopeBody)
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, corruptf("truncated body: %v", err)
+	}
+	var sum [sha256.Size]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return nil, corruptf("truncated checksum: %v", err)
+	}
+	if got := sha256.Sum256(body); got != sum {
+		return nil, corruptf("checksum mismatch")
+	}
+	return decodeBody(body)
+}
+
+// DecodePlan is ReadPlan over in-memory bytes, rejecting trailing
+// garbage after the envelope.
+func DecodePlan(data []byte) (*StoredPlan, error) {
+	r := bytes.NewReader(data)
+	sp, err := ReadPlan(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, corruptf("%d trailing bytes after envelope", r.Len())
+	}
+	return sp, nil
+}
+
+// decodeBody parses the checksummed record stream. The checksum has
+// already matched, so failures here mean an encoder bug or a hash
+// collision; they are still reported as corruption, not panics.
+func decodeBody(body []byte) (*StoredPlan, error) {
+	sp := &StoredPlan{}
+	seen := map[byte]bool{}
+	var nfaText, dfaText []byte
+	for off := 0; off < len(body); { //budget:exempt decode loop advances by at least one validated record per iteration, linear in the checksummed input
+		if len(body)-off < 5 {
+			return nil, corruptf("truncated record header at offset %d", off)
+		}
+		tag := body[off]
+		plen := int(binary.BigEndian.Uint32(body[off+1 : off+5]))
+		off += 5
+		if plen < 0 || plen > len(body)-off {
+			return nil, corruptf("record %d declares %d bytes with %d remaining", tag, plen, len(body)-off)
+		}
+		payload := body[off : off+plen]
+		off += plen
+		if seen[tag] {
+			return nil, corruptf("duplicate record %d", tag)
+		}
+		seen[tag] = true
+		switch tag {
+		case tagKey:
+			sp.Key = string(payload)
+		case tagKind:
+			sp.Kind = string(payload)
+		case tagRewriting:
+			sp.Rewriting = string(payload)
+		case tagVerdict:
+			if len(payload) != 1 || payload[0] > 2 {
+				return nil, corruptf("bad verdict record")
+			}
+			sp.Verdict = int(payload[0])
+		case tagWitness:
+			w, err := decodeStrings(payload)
+			if err != nil {
+				return nil, err
+			}
+			sp.Witness = w
+		case tagStage:
+			sp.Stage = string(payload)
+		case tagReason:
+			sp.Reason = string(payload)
+		case tagShortestWord:
+			w, err := decodeStrings(payload)
+			if err != nil {
+				return nil, err
+			}
+			sp.ShortestWord, sp.HasShortestWord = w, true
+		case tagStates:
+			if len(payload) != 8 {
+				return nil, corruptf("bad states record")
+			}
+			sp.States = int64(binary.BigEndian.Uint64(payload))
+		case tagRewritingNFA:
+			nfaText = payload
+		case tagMinimalDFA:
+			dfaText = payload
+		default:
+			return nil, corruptf("unknown record tag %d", tag)
+		}
+	}
+	for _, required := range []struct {
+		tag  byte
+		name string
+	}{
+		{tagKey, "key"}, {tagKind, "kind"}, {tagRewriting, "rewriting"},
+		{tagVerdict, "verdict"}, {tagStates, "states"},
+		{tagRewritingNFA, "rewriting NFA"}, {tagMinimalDFA, "minimal DFA"},
+	} {
+		if !seen[required.tag] {
+			return nil, corruptf("missing %s record", required.name)
+		}
+	}
+
+	// Both automata decode into one shared Σ_E alphabet so view names
+	// resolve consistently across them.
+	sigmaE := alphabet.New()
+	nfa, err := automata.ReadNFA(bytes.NewReader(nfaText), sigmaE)
+	if err != nil {
+		return nil, corruptf("rewriting NFA: %v", err)
+	}
+	dfa, err := automata.ReadDFA(bytes.NewReader(dfaText), sigmaE)
+	if err != nil {
+		return nil, corruptf("minimal DFA: %v", err)
+	}
+	sp.RewritingNFA, sp.MinimalDFA = nfa, dfa
+	return sp, nil
+}
+
+func decodeStrings(payload []byte) ([]string, error) {
+	if len(payload) < 4 {
+		return nil, corruptf("truncated string list")
+	}
+	count := int(binary.BigEndian.Uint32(payload))
+	off := 4
+	if count > (len(payload)-off)/4 { // each item needs >= 4 bytes of header alone
+		return nil, corruptf("string list declares %d items in %d bytes", count, len(payload)-off)
+	}
+	out := make([]string, 0, count)
+	for i := 0; i < count; i++ { //budget:exempt count is validated against the payload size above; each iteration consumes at least its 4-byte header
+		if len(payload)-off < 4 {
+			return nil, corruptf("truncated string list item %d", i)
+		}
+		l := int(binary.BigEndian.Uint32(payload[off:]))
+		off += 4
+		if l < 0 || l > len(payload)-off {
+			return nil, corruptf("string list item %d declares %d bytes with %d remaining", i, l, len(payload)-off)
+		}
+		out = append(out, string(payload[off:off+l]))
+		off += l
+	}
+	if off != len(payload) {
+		return nil, corruptf("%d trailing bytes in string list", len(payload)-off)
+	}
+	return out, nil
+}

@@ -1,0 +1,255 @@
+package planstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+)
+
+// randomStoredPlan builds a random but structurally valid plan,
+// including shapes the engine never produces (empty automata, empty
+// witness lists, unknown verdicts), so the codec is exercised beyond
+// the happy path.
+func randomStoredPlan(r *rand.Rand) *StoredPlan {
+	a := alphabet.New()
+	symbols := make([]alphabet.Symbol, 1+r.Intn(4))
+	names := make([]string, len(symbols))
+	for i := range symbols {
+		names[i] = fmt.Sprintf("v%d", i)
+		symbols[i] = a.Intern(names[i])
+	}
+	n := automata.NewNFA(a)
+	states := 1 + r.Intn(6)
+	n.AddStates(states)
+	n.SetStart(automata.State(r.Intn(states)))
+	for s := 0; s < states; s++ {
+		if r.Float64() < 0.3 {
+			n.SetAccept(automata.State(s), true)
+		}
+		for t := 0; t < states; t++ {
+			if r.Float64() < 0.2 {
+				n.AddTransition(automata.State(s), symbols[r.Intn(len(symbols))], automata.State(t))
+			}
+		}
+	}
+	d := automata.NewDFA(a)
+	for i := 0; i < states; i++ {
+		d.AddState()
+	}
+	d.SetStart(automata.State(r.Intn(states)))
+	for s := 0; s < states; s++ {
+		if r.Float64() < 0.3 {
+			d.SetAccept(automata.State(s), true)
+		}
+		for _, x := range symbols {
+			if r.Float64() < 0.3 {
+				d.SetTransition(automata.State(s), x, automata.State(r.Intn(states)))
+			}
+		}
+	}
+	randomWord := func() []string {
+		w := make([]string, r.Intn(4))
+		for i := range w {
+			w[i] = names[r.Intn(len(names))]
+		}
+		return w
+	}
+	sp := &StoredPlan{
+		Key:          fmt.Sprintf("%064x", r.Int63()),
+		Kind:         []string{"regex", "rpq"}[r.Intn(2)],
+		Rewriting:    "v0*",
+		Verdict:      r.Intn(3),
+		States:       r.Int63n(1 << 30),
+		RewritingNFA: n,
+		MinimalDFA:   d,
+	}
+	if sp.Verdict == 2 && r.Float64() < 0.8 {
+		sp.Witness = randomWord()
+	}
+	if sp.Verdict == 0 {
+		sp.Stage, sp.Reason = "core.expand", "budget: states exceeded"
+	}
+	if r.Float64() < 0.7 {
+		sp.ShortestWord, sp.HasShortestWord = randomWord(), true
+	}
+	return sp
+}
+
+func equalPlans(a, b *StoredPlan) error {
+	if a.Key != b.Key || a.Kind != b.Kind || a.Rewriting != b.Rewriting ||
+		a.Verdict != b.Verdict || a.Stage != b.Stage || a.Reason != b.Reason ||
+		a.States != b.States || a.HasShortestWord != b.HasShortestWord {
+		return fmt.Errorf("scalar fields differ: %+v vs %+v", a, b)
+	}
+	if fmt.Sprint(a.Witness) != fmt.Sprint(b.Witness) || fmt.Sprint(a.ShortestWord) != fmt.Sprint(b.ShortestWord) {
+		return fmt.Errorf("word fields differ")
+	}
+	var an, bn bytes.Buffer
+	if _, err := a.RewritingNFA.WriteTo(&an); err != nil {
+		return err
+	}
+	if _, err := b.RewritingNFA.WriteTo(&bn); err != nil {
+		return err
+	}
+	if an.String() != bn.String() {
+		return fmt.Errorf("NFA differs:\n%s\nvs\n%s", an.String(), bn.String())
+	}
+	var ad, bd bytes.Buffer
+	if _, err := a.MinimalDFA.WriteTo(&ad); err != nil {
+		return err
+	}
+	if _, err := b.MinimalDFA.WriteTo(&bd); err != nil {
+		return err
+	}
+	if ad.String() != bd.String() {
+		return fmt.Errorf("DFA differs:\n%s\nvs\n%s", ad.String(), bd.String())
+	}
+	return nil
+}
+
+// TestPlanCodecRoundTripProperty: Encode→Decode is the identity (up to
+// the automata codec's own symbol renumbering, which a double round
+// trip absorbs), and encoding is deterministic.
+func TestPlanCodecRoundTripProperty(t *testing.T) {
+	iters := 200
+	if testing.Short() {
+		iters = 50
+	}
+	r := rand.New(rand.NewSource(51))
+	for i := 0; i < iters; i++ {
+		sp := randomStoredPlan(r)
+		data, err := EncodePlan(sp)
+		if err != nil {
+			t.Fatalf("iter %d: encode: %v", i, err)
+		}
+		back, err := DecodePlan(data)
+		if err != nil {
+			t.Fatalf("iter %d: decode: %v", i, err)
+		}
+		data2, err := EncodePlan(back)
+		if err != nil {
+			t.Fatalf("iter %d: re-encode: %v", i, err)
+		}
+		back2, err := DecodePlan(data2)
+		if err != nil {
+			t.Fatalf("iter %d: second decode: %v", i, err)
+		}
+		if err := equalPlans(back, back2); err != nil {
+			t.Fatalf("iter %d: round trip not stable: %v", i, err)
+		}
+		data3, err := EncodePlan(back2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data2, data3) {
+			t.Fatalf("iter %d: encoding not deterministic", i)
+		}
+	}
+}
+
+// TestPlanCodecTruncationProperty: every strict prefix of a valid
+// envelope must fail with *CorruptError — the length prefix plus
+// checksum makes ANY truncation detectable, unlike the text codec
+// where a prefix can be a valid smaller automaton.
+func TestPlanCodecTruncationProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(52))
+	for i := 0; i < 20; i++ {
+		data, err := EncodePlan(randomStoredPlan(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(data); cut++ {
+			sp, err := DecodePlan(data[:cut])
+			if err == nil {
+				t.Fatalf("iter %d: truncation at %d/%d decoded successfully", i, cut, len(data))
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("iter %d cut %d: err = %v, want *CorruptError", i, cut, err)
+			}
+			if sp != nil {
+				t.Fatalf("iter %d cut %d: non-nil plan alongside error", i, cut)
+			}
+		}
+	}
+}
+
+// TestPlanCodecBitFlipProperty: flipping any single bit of a valid
+// envelope must fail decoding — the checksum covers the body, the
+// magic pins the header, and the length field either breaks framing or
+// the checksum. A flipped envelope may NEVER decode into a different
+// plan silently.
+func TestPlanCodecBitFlipProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	for i := 0; i < 10; i++ {
+		sp := randomStoredPlan(r)
+		data, err := EncodePlan(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trials := 200
+		if testing.Short() {
+			trials = 40
+		}
+		for j := 0; j < trials; j++ {
+			pos, bit := r.Intn(len(data)), byte(1)<<uint(r.Intn(8))
+			flipped := append([]byte(nil), data...)
+			flipped[pos] ^= bit
+			back, err := DecodePlan(flipped)
+			if err == nil {
+				t.Fatalf("iter %d: flipped bit %d of byte %d decoded successfully (plan %+v)", i, bit, pos, back)
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("iter %d: bit flip surfaced as %v, want *CorruptError", i, err)
+			}
+		}
+	}
+}
+
+// TestPlanCodecGarbageHeaders: adversarial headers fail cleanly before
+// any large allocation.
+func TestPlanCodecGarbageHeaders(t *testing.T) {
+	huge := make([]byte, 16)
+	copy(huge, magic[:])
+	for i := 8; i < 16; i++ {
+		huge[i] = 0xff // declared body length ~2^64
+	}
+	wrongVersion := append([]byte(nil), magic[:]...)
+	wrongVersion[7] = Version + 1
+	for _, tc := range []struct {
+		name  string
+		input []byte
+	}{
+		{"empty", nil},
+		{"short magic", []byte("RWP")},
+		{"wrong magic", []byte("NOTAPLAN12345678")},
+		{"wrong version", append(wrongVersion, make([]byte, 8)...)},
+		{"huge declared length", huge},
+		{"zero body", append(append([]byte(nil), magic[:]...), make([]byte, 8)...)},
+	} {
+		sp, err := DecodePlan(tc.input)
+		if err == nil {
+			t.Fatalf("%s: decoded successfully: %+v", tc.name, sp)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: err = %v, want *CorruptError", tc.name, err)
+		}
+	}
+}
+
+// TestPlanCodecTrailingGarbage: bytes after a valid envelope are
+// rejected by DecodePlan (files are exactly one envelope).
+func TestPlanCodecTrailingGarbage(t *testing.T) {
+	r := rand.New(rand.NewSource(54))
+	data, err := EncodePlan(randomStoredPlan(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePlan(append(data, 'x')); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing garbage: %v, want *CorruptError", err)
+	}
+}

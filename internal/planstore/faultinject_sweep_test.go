@@ -1,0 +1,138 @@
+package planstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+	"testing"
+
+	"regexrw/internal/budget/faultinject"
+	"regexrw/internal/obs"
+)
+
+// typedIOError reports whether err is one of the store's declared
+// failure modes — nothing an injected fault produces may surface as an
+// untyped error the serving layer cannot classify.
+func typedIOError(err error) bool {
+	return errors.Is(err, ErrNotFound) || errors.Is(err, ErrCorrupt) ||
+		errors.Is(err, faultinject.ErrInjected) || errors.Is(err, syscall.ENOSPC)
+}
+
+// TestStoreFaultSweep drives every (operation, failure-kind) pair from
+// the faultinject I/O matrix through a Put+Get cycle and asserts the
+// durability contract at each:
+//
+//   - no panic, and every failure is a typed error;
+//   - a failed Put publishes nothing: the key reads back ErrNotFound,
+//     never a torn entry;
+//   - a Get that succeeds returns exactly the plan that was written —
+//     corrupt bytes are never served;
+//   - a Get that detects corruption quarantines exactly the poisoned
+//     entry, and the key is then a clean miss (recompilable);
+//   - after the one-shot fault has fired, a fresh Put+Get round trip
+//     succeeds — the store recovers without intervention.
+func TestStoreFaultSweep(t *testing.T) {
+	for _, site := range faultinject.AllIOSites() {
+		site := site
+		t.Run(fmt.Sprintf("%s_%s", site.Op, site.Kind), func(t *testing.T) {
+			hook, fired := faultinject.IOFault(site.Op, 1, site.Kind)
+			// Breaker disabled: the sweep studies single-fault behavior;
+			// TestStoreBreaker owns repeated-failure behavior.
+			s, err := Open(t.TempDir(), WithMetrics(obs.NewRegistry()), WithoutSync(),
+				WithBreaker(0, 0), WithHook(hook))
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := testKey(100)
+			want := testPlan(key)
+
+			putErr := s.Put(want)
+			got, getErr := s.Get(key)
+
+			if putErr != nil {
+				// Atomic publish: a failed write leaves no trace under
+				// the live key — not even a corrupt one.
+				if !typedIOError(putErr) {
+					t.Fatalf("Put failed with untyped error: %v", putErr)
+				}
+				if !errors.Is(getErr, ErrNotFound) {
+					t.Fatalf("Get after failed Put: plan=%v err=%v, want ErrNotFound", got, getErr)
+				}
+			} else {
+				switch {
+				case getErr == nil:
+					if got.Rewriting != want.Rewriting || got.Verdict != want.Verdict || got.States != want.States {
+						t.Fatalf("served plan differs from written plan: %+v", got)
+					}
+					if !got.MinimalDFA.AcceptsNames("e2", "e1", "e3") || got.MinimalDFA.AcceptsNames("e3") {
+						t.Fatal("served plan's DFA denotes the wrong language")
+					}
+				case errors.Is(getErr, ErrCorrupt):
+					q, err := os.ReadDir(s.QuarantineDir())
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(q) != 1 || q[0].Name() != key+".plan" {
+						t.Fatalf("quarantine should contain exactly the poisoned entry, has %v", q)
+					}
+					if _, err := s.Get(key); !errors.Is(err, ErrNotFound) {
+						t.Fatalf("quarantined key should be a clean miss: %v", err)
+					}
+				case typedIOError(getErr):
+					// e.g. injected read/open failure: served from compile
+					// upstream; nothing should be quarantined.
+					if q, _ := os.ReadDir(s.QuarantineDir()); len(q) != 0 {
+						t.Fatalf("healthy entry quarantined after transient I/O error: %v", q)
+					}
+				default:
+					t.Fatalf("Get failed with untyped error: %v", getErr)
+				}
+			}
+
+			// The sweep only proves something if the fault actually
+			// triggered on this path.
+			if !fired() {
+				t.Fatalf("fault %s/%s never fired during Put+Get", site.Op, site.Kind)
+			}
+
+			// Recovery: the fault is one-shot; the store must round
+			// trip cleanly now.
+			if err := s.Put(want); err != nil {
+				t.Fatalf("Put after fault: %v", err)
+			}
+			back, err := s.Get(key)
+			if err != nil {
+				t.Fatalf("Get after repair: %v", err)
+			}
+			if back.Rewriting != want.Rewriting {
+				t.Fatalf("repaired plan differs: %+v", back)
+			}
+		})
+	}
+}
+
+// TestStoreFaultSweepGetOpen targets the read path's own open (the
+// second open occurrence after Put's): the entry on disk stays healthy,
+// the Get fails typed, and the next Get serves it.
+func TestStoreFaultSweepGetOpen(t *testing.T) {
+	hook, fired := faultinject.IOFault(faultinject.IOOpen, 2, faultinject.IOErrFail)
+	s, err := Open(t.TempDir(), WithMetrics(obs.NewRegistry()), WithoutSync(),
+		WithBreaker(0, 0), WithHook(hook))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(101)
+	if err := s.Put(testPlan(key)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(key); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Get with open fault: %v, want ErrInjected", err)
+	}
+	if !fired() {
+		t.Fatal("fault never fired")
+	}
+	if _, err := s.Get(key); err != nil {
+		t.Fatalf("entry should survive a transient open failure: %v", err)
+	}
+}

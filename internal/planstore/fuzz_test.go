@@ -1,0 +1,70 @@
+package planstore
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// FuzzReadPlan: ReadPlan on arbitrary bytes must either fail with an
+// error (corrupt envelopes specifically with *CorruptError) or decode
+// a plan that re-encodes to a valid envelope — and must never panic.
+// Mirrors the automata codec fuzzers; committed seeds live under
+// testdata/fuzz/FuzzReadPlan.
+func FuzzReadPlan(f *testing.F) {
+	r := rand.New(rand.NewSource(55))
+	valid, err := EncodePlan(randomStoredPlan(r))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(magic[:])
+	truncated := valid[:len(valid)-5]
+	f.Add(truncated)
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte("states 3\nstart 0\naccept 2\n")) // text automata codec, not an envelope
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := ReadPlan(bytes.NewReader(data))
+		if err != nil {
+			if sp != nil {
+				t.Fatal("non-nil plan alongside error")
+			}
+			return
+		}
+		// Anything the decoder accepts must survive a re-encode →
+		// re-decode cycle: the store never persists a plan it could not
+		// read back.
+		out, err := EncodePlan(sp)
+		if err != nil {
+			t.Fatalf("accepted plan does not re-encode: %v", err)
+		}
+		if _, err := DecodePlan(out); err != nil {
+			t.Fatalf("re-encoded plan does not decode: %v", err)
+		}
+	})
+}
+
+// TestReadPlanFuzzSeeds re-runs the committed interesting inputs as a
+// plain test so they are exercised on every `go test`, not only under
+// -fuzz.
+func TestReadPlanFuzzSeeds(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	valid, err := EncodePlan(randomStoredPlan(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPlan(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("valid seed rejected: %v", err)
+	}
+	for _, data := range [][]byte{{}, magic[:], valid[:len(valid)-5], bytes.Repeat([]byte{0xff}, 64)} {
+		if _, err := ReadPlan(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("seed %q: err = %v, want *CorruptError", data, err)
+		}
+	}
+}

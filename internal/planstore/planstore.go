@@ -1,0 +1,411 @@
+// Package planstore is the crash-safe persistent plan store: a
+// content-addressed, disk-backed map from the engine's canonical
+// SHA-256 plan keys to compiled plans, serialized as checksummed binary
+// envelopes (codec.go). Compiled plans are the most valuable bytes in
+// the system — the rewriting construction is doubly exponential
+// (Theorem 8), so a plan that survives a restart saves exactly the cost
+// the serving engine exists to amortize.
+//
+// The durability contract has two halves:
+//
+//   - Writes are atomic: an entry is written to a temp file in the
+//     target directory, fsynced, then renamed into place (and the
+//     directory fsynced), so a crash at ANY instant leaves either the
+//     previous state or the complete new entry — never a torn file
+//     under a live key.
+//
+//   - Reads are verified: every load re-hashes the envelope body
+//     against its stored SHA-256 before a single byte is parsed. A
+//     mismatch (bit rot, a foreign file, an old format version) moves
+//     the entry into the quarantine directory and reports
+//     *CorruptError; a corrupt plan is never served and never blocks
+//     the key — the caller recompiles and the next write replaces it.
+//
+// Failure is a first-class input: every operation can be declined by a
+// consecutive-error circuit breaker (breaker.go) so a sick disk
+// degrades the engine to in-memory compiles instead of queueing
+// requests behind hanging I/O, and every disk touch runs through an
+// injectable hook so the fault-injection sweeps (internal/budget/
+// faultinject) can drive torn writes, bit flips, short reads, ENOSPC
+// and open failures through the whole degradation ladder.
+package planstore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"regexrw/internal/obs"
+)
+
+// ErrNotFound reports a key with no stored entry; the caller compiles.
+var ErrNotFound = errors.New("planstore: plan not found")
+
+// ErrCorrupt is matched by errors.Is against any *CorruptError. The
+// offending entry has already been quarantined when a store load
+// reports it.
+var ErrCorrupt = errors.New("planstore: corrupt entry")
+
+// ErrBreakerOpen reports that the circuit breaker is open: the store
+// declined to touch the disk. Callers degrade to compiling in memory.
+var ErrBreakerOpen = errors.New("planstore: circuit breaker open")
+
+// Hook intercepts one disk operation for fault injection: op is one of
+// the faultinject.IO* site names, data carries the payload on read and
+// write sites (the hook may replace it to model corruption), and a
+// returned error fails the operation. Production stores run without a
+// hook; tests install one via WithHook.
+type Hook func(op, path string, data []byte) ([]byte, error)
+
+// Store is the disk-backed plan store. A Store is safe for concurrent
+// use; every operation is independent (the atomicity unit is one
+// entry).
+type Store struct {
+	dir     string
+	hook    Hook
+	breaker breaker
+	reg     *obs.Registry
+	syncIO  bool
+
+	hits, misses, writes atomic.Int64
+	ioErrors             atomic.Int64
+	corrupt, quarantined atomic.Int64
+	breakerRejected      atomic.Int64
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithBreaker sets the circuit breaker: after threshold consecutive
+// I/O errors the store fails fast with ErrBreakerOpen for cooldown.
+// threshold <= 0 disables the breaker. The default is 5 failures, 2s.
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(s *Store) { s.breaker.threshold, s.breaker.cooldown = threshold, cooldown }
+}
+
+// WithMetrics sets the registry receiving the plan_store.* counters;
+// the default is obs.Default.
+func WithMetrics(r *obs.Registry) Option { return func(s *Store) { s.reg = r } }
+
+// WithHook installs the fault-injection hook (tests only).
+func WithHook(h Hook) Option { return func(s *Store) { s.hook = h } }
+
+// WithoutSync disables the fsync calls (temp file and directory). Only
+// for tests that hammer the store and accept losing the
+// crash-durability half of the contract; the checksum half still holds.
+func WithoutSync() Option { return func(s *Store) { s.syncIO = false } }
+
+// withClock is the breaker's test seam.
+func withClock(now func() time.Time) Option { return func(s *Store) { s.breaker.now = now } }
+
+// Open initializes the store rooted at dir, creating the layout
+//
+//	dir/plans/<key[:2]>/<key>.plan
+//	dir/quarantine/
+//
+// on first use. Opening never scans the entries — a store over a huge
+// plan population opens in O(1); Keys walks lazily.
+func Open(dir string, opts ...Option) (*Store, error) {
+	s := &Store{
+		dir:     dir,
+		reg:     obs.Default,
+		syncIO:  true,
+		breaker: breaker{threshold: 5, cooldown: 2 * time.Second},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	for _, sub := range []string{s.plansDir(), s.QuarantineDir()} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("planstore: open %s: %w", dir, err)
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) plansDir() string { return filepath.Join(s.dir, "plans") }
+
+// QuarantineDir returns the directory corrupt entries are moved into.
+func (s *Store) QuarantineDir() string { return filepath.Join(s.dir, "quarantine") }
+
+// entryPath shards entries by the first two hex characters of the key
+// so a million-plan store never puts a million names in one directory.
+func (s *Store) entryPath(key string) string {
+	shard := "xx"
+	if len(key) >= 2 {
+		shard = key[:2]
+	}
+	return filepath.Join(s.plansDir(), shard, key+".plan")
+}
+
+// Stats is a point-in-time snapshot of the store's counters, mirrored
+// one-for-one on the plan_store.* metrics.
+type Stats struct {
+	// Hits/Misses count verified loads and absent keys.
+	Hits   int64 `json:"hits,omitempty"`
+	Misses int64 `json:"misses,omitempty"`
+	// Writes counts fully persisted (fsynced and renamed) entries.
+	Writes int64 `json:"writes,omitempty"`
+	// IOErrors counts failed disk operations (open/read/write/sync/
+	// rename), the signal the breaker watches.
+	IOErrors int64 `json:"io_errors,omitempty"`
+	// Corrupt counts entries that failed checksum or structural
+	// verification; Quarantined counts those successfully moved aside.
+	Corrupt     int64 `json:"corrupt,omitempty"`
+	Quarantined int64 `json:"quarantined,omitempty"`
+	// BreakerOpen reports whether the breaker is open right now;
+	// BreakerOpens counts open transitions; BreakerRejected counts
+	// operations declined while open.
+	BreakerOpen     bool  `json:"breaker_open,omitempty"`
+	BreakerOpens    int64 `json:"breaker_opens,omitempty"`
+	BreakerRejected int64 `json:"breaker_rejected,omitempty"`
+}
+
+// Stats returns the store's counters.
+func (s *Store) Stats() Stats {
+	open, opens := s.breaker.snapshot()
+	return Stats{
+		Hits:            s.hits.Load(),
+		Misses:          s.misses.Load(),
+		Writes:          s.writes.Load(),
+		IOErrors:        s.ioErrors.Load(),
+		Corrupt:         s.corrupt.Load(),
+		Quarantined:     s.quarantined.Load(),
+		BreakerOpen:     open,
+		BreakerOpens:    opens,
+		BreakerRejected: s.breakerRejected.Load(),
+	}
+}
+
+func (s *Store) count(c *atomic.Int64, name string) {
+	c.Add(1)
+	s.reg.Counter(name).Inc()
+}
+
+// io runs the fault hook for one site; identity without a hook.
+func (s *Store) io(op, path string, data []byte) ([]byte, error) {
+	if s.hook == nil {
+		return data, nil
+	}
+	return s.hook(op, path, data)
+}
+
+// fail records an I/O error on the counters and the breaker and wraps
+// it with the operation context.
+func (s *Store) fail(op string, err error) error {
+	s.count(&s.ioErrors, "plan_store.io_errors")
+	if s.breaker.failure() {
+		s.reg.Counter("plan_store.breaker_open").Inc()
+	}
+	return fmt.Errorf("planstore: %s: %w", op, err)
+}
+
+// rejectIfOpen fails fast with ErrBreakerOpen while the breaker is
+// open.
+func (s *Store) rejectIfOpen() error {
+	if s.breaker.allow() {
+		return nil
+	}
+	s.count(&s.breakerRejected, "plan_store.breaker_rejected")
+	return ErrBreakerOpen
+}
+
+// Get loads and verifies the entry for key. ErrNotFound is a clean
+// miss; *CorruptError means the entry failed verification and has been
+// quarantined (the caller recompiles); ErrBreakerOpen and other errors
+// are I/O-level degradation — the caller compiles in memory and moves
+// on.
+func (s *Store) Get(key string) (*StoredPlan, error) {
+	if err := s.rejectIfOpen(); err != nil {
+		return nil, err
+	}
+	path := s.entryPath(key)
+	if _, err := s.io("open", path, nil); err != nil {
+		return nil, s.fail("open "+path, err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			s.count(&s.misses, "plan_store.misses")
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+		}
+		return nil, s.fail("open "+path, err)
+	}
+	data, err := io.ReadAll(io.LimitReader(f, maxEnvelopeBody+4096))
+	f.Close()
+	if err != nil {
+		return nil, s.fail("read "+path, err)
+	}
+	if data, err = s.io("read", path, data); err != nil {
+		return nil, s.fail("read "+path, err)
+	}
+	s.breaker.success()
+	sp, err := DecodePlan(data)
+	if err == nil && sp.Key != key {
+		err = &CorruptError{Reason: fmt.Sprintf("entry key %.12s… does not match file key %.12s…", sp.Key, key)}
+	}
+	if err != nil {
+		var ce *CorruptError
+		if errors.As(err, &ce) {
+			ce.Path = path
+			s.count(&s.corrupt, "plan_store.corrupt")
+			s.quarantine(path)
+			return nil, ce
+		}
+		return nil, err
+	}
+	s.count(&s.hits, "plan_store.hits")
+	return sp, nil
+}
+
+// Put atomically persists the plan under its key: temp file in the
+// entry's own directory, write, fsync, rename, directory fsync. A
+// crash at any point leaves the previous entry (or no entry) intact —
+// a torn write can never be published. Put overwrites an existing
+// entry (plans are content-addressed, so an overwrite is byte-identical
+// in practice; after quarantine it is the repair path).
+func (s *Store) Put(sp *StoredPlan) error {
+	if sp == nil || sp.Key == "" {
+		return fmt.Errorf("planstore: put: plan has no key")
+	}
+	if err := s.rejectIfOpen(); err != nil {
+		return err
+	}
+	data, err := EncodePlan(sp)
+	if err != nil {
+		return fmt.Errorf("planstore: put %s: %w", sp.Key, err)
+	}
+	path := s.entryPath(sp.Key)
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return s.fail("mkdir "+dir, err)
+	}
+	if _, err := s.io("open", path, nil); err != nil {
+		return s.fail("open "+path, err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return s.fail("create temp for "+path, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+
+	if data, err = s.io("write", tmp.Name(), data); err != nil {
+		tmp.Close()
+		return s.fail("write "+tmp.Name(), err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return s.fail("write "+tmp.Name(), err)
+	}
+	if _, err := s.io("sync", tmp.Name(), nil); err != nil {
+		tmp.Close()
+		return s.fail("sync "+tmp.Name(), err)
+	}
+	if s.syncIO {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return s.fail("sync "+tmp.Name(), err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return s.fail("close "+tmp.Name(), err)
+	}
+	if _, err := s.io("rename", path, nil); err != nil {
+		return s.fail("rename "+path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return s.fail("rename "+path, err)
+	}
+	if s.syncIO {
+		if err := syncDir(dir); err != nil {
+			return s.fail("sync dir "+dir, err)
+		}
+	}
+	s.breaker.success()
+	s.count(&s.writes, "plan_store.writes")
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a power
+// loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// quarantine moves a corrupt entry aside so it is never loaded again
+// but stays available for postmortem. Collisions get a numeric suffix.
+// Quarantine failures degrade to deletion — a corrupt entry must not
+// stay under a live key either way — and deletion failures are only
+// counted: the checksum check already guarantees the entry can never
+// be served.
+func (s *Store) quarantine(path string) {
+	base := filepath.Base(path)
+	dst := filepath.Join(s.QuarantineDir(), base)
+	for i := 1; ; i++ {
+		if _, err := os.Lstat(dst); errors.Is(err, fs.ErrNotExist) {
+			break
+		}
+		dst = filepath.Join(s.QuarantineDir(), fmt.Sprintf("%s.%d", base, i))
+	}
+	if err := os.Rename(path, dst); err != nil {
+		if rmErr := os.Remove(path); rmErr != nil {
+			s.count(&s.ioErrors, "plan_store.io_errors")
+			return
+		}
+	}
+	s.count(&s.quarantined, "plan_store.quarantined")
+}
+
+// Keys lists the keys with a stored entry, sorted, by walking the
+// shard directories. Unparseable file names are skipped — Get's
+// verification is the integrity gate, Keys only enumerates.
+func (s *Store) Keys() ([]string, error) {
+	if err := s.rejectIfOpen(); err != nil {
+		return nil, err
+	}
+	shards, err := os.ReadDir(s.plansDir())
+	if err != nil {
+		return nil, s.fail("readdir "+s.plansDir(), err)
+	}
+	var keys []string
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		entries, err := os.ReadDir(filepath.Join(s.plansDir(), shard.Name()))
+		if err != nil {
+			return nil, s.fail("readdir "+shard.Name(), err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".plan") {
+				continue
+			}
+			keys = append(keys, strings.TrimSuffix(name, ".plan"))
+		}
+	}
+	s.breaker.success()
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Len counts the stored entries (one directory walk).
+func (s *Store) Len() (int, error) {
+	keys, err := s.Keys()
+	return len(keys), err
+}

@@ -1,0 +1,311 @@
+package planstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+	"regexrw/internal/obs"
+)
+
+// testPlan builds a StoredPlan with a small real rewriting automaton
+// (the Example 2 shape e2*·e1·e3* hand-built) under the given key.
+func testPlan(key string) *StoredPlan {
+	a := alphabet.New()
+	e1, e2, e3 := a.Intern("e1"), a.Intern("e2"), a.Intern("e3")
+
+	n := automata.NewNFA(a)
+	n.AddStates(2)
+	n.SetStart(0)
+	n.SetAccept(1, true)
+	n.AddTransition(0, e2, 0)
+	n.AddTransition(0, e1, 1)
+	n.AddTransition(1, e3, 1)
+
+	d := automata.NewDFA(a)
+	d.AddState()
+	d.AddState()
+	d.SetStart(0)
+	d.SetAccept(1, true)
+	d.SetTransition(0, e2, 0)
+	d.SetTransition(0, e1, 1)
+	d.SetTransition(1, e3, 1)
+
+	return &StoredPlan{
+		Key:             key,
+		Kind:            "regex",
+		Rewriting:       "e2*·e1·e3*",
+		Verdict:         1, // exact
+		ShortestWord:    []string{"e1"},
+		HasShortestWord: true,
+		States:          42,
+		RewritingNFA:    n,
+		MinimalDFA:      d,
+	}
+}
+
+func testKey(i int) string {
+	return fmt.Sprintf("%064x", i+1)
+}
+
+func openTestStore(t *testing.T, opts ...Option) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), append([]Option{WithMetrics(obs.NewRegistry()), WithoutSync()}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := openTestStore(t)
+	key := testKey(1)
+	if _, err := s.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get on empty store: %v, want ErrNotFound", err)
+	}
+	sp := testPlan(key)
+	if err := s.Put(sp); err != nil {
+		t.Fatal(err)
+	}
+	back, err := s.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rewriting != sp.Rewriting || back.Verdict != sp.Verdict || back.States != sp.States {
+		t.Fatalf("round trip changed the plan: %+v", back)
+	}
+	if !back.HasShortestWord || len(back.ShortestWord) != 1 || back.ShortestWord[0] != "e1" {
+		t.Fatalf("shortest word lost: %+v", back)
+	}
+	if !back.MinimalDFA.AcceptsNames("e2", "e1", "e3") || back.MinimalDFA.AcceptsNames("e3") {
+		t.Fatal("restored DFA denotes the wrong language")
+	}
+	if !back.RewritingNFA.AcceptsNames("e2", "e1", "e3") {
+		t.Fatal("restored NFA denotes the wrong language")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// A second store over the same directory sees the entry: this is
+	// the warm-restart path.
+	s2, err := Open(s.Dir(), WithMetrics(obs.NewRegistry()), WithoutSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Get(key); err != nil {
+		t.Fatalf("restart Get: %v", err)
+	}
+	keys, err := s2.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != key {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+// TestStoreQuarantine: a corrupt entry is moved aside, reported as
+// *CorruptError, and the key behaves as recompilable (a fresh Put
+// repairs it).
+func TestStoreQuarantine(t *testing.T) {
+	s := openTestStore(t)
+	key := testKey(2)
+	if err := s.Put(testPlan(key)); err != nil {
+		t.Fatal(err)
+	}
+	path := s.entryPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = s.Get(key)
+	var ce *CorruptError
+	if !errors.As(err, &ce) || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get of corrupt entry: %v, want *CorruptError", err)
+	}
+	if _, statErr := os.Lstat(path); !errors.Is(statErr, os.ErrNotExist) {
+		t.Fatal("corrupt entry still under its live key")
+	}
+	q, err := os.ReadDir(s.QuarantineDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 1 || q[0].Name() != filepath.Base(path) {
+		t.Fatalf("quarantine contents: %v", q)
+	}
+	if st := s.Stats(); st.Corrupt != 1 || st.Quarantined != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// The key is now a clean miss, and a fresh Put repairs it.
+	if _, err := s.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after quarantine: %v, want ErrNotFound", err)
+	}
+	if err := s.Put(testPlan(key)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(key); err != nil {
+		t.Fatalf("Get after repair: %v", err)
+	}
+}
+
+// TestStoreKeyMismatch: an envelope stored under the wrong file name
+// (content-addressing violation) is corrupt, not served.
+func TestStoreKeyMismatch(t *testing.T) {
+	s := openTestStore(t)
+	good, evil := testKey(3), testKey(4)
+	if err := s.Put(testPlan(good)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(s.entryPath(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(s.entryPath(evil)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.entryPath(evil), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(evil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get under mismatched key: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestStoreBreaker: consecutive I/O errors open the breaker; while
+// open every operation fails fast with ErrBreakerOpen; after the
+// cooldown a successful probe closes it again.
+func TestStoreBreaker(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	failing := true
+	hook := func(op, path string, data []byte) ([]byte, error) {
+		if failing && op == "open" {
+			return nil, errors.New("disk on fire")
+		}
+		return data, nil
+	}
+	s := openTestStore(t, WithBreaker(3, time.Second), WithHook(hook), withClock(clock))
+	key := testKey(5)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Get(key); errors.Is(err, ErrNotFound) || err == nil {
+			t.Fatalf("Get %d should have failed with an I/O error", i)
+		}
+	}
+	st := s.Stats()
+	if !st.BreakerOpen || st.BreakerOpens != 1 || st.IOErrors != 3 {
+		t.Fatalf("stats after 3 failures: %+v", st)
+	}
+	if _, err := s.Get(key); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Get with open breaker: %v, want ErrBreakerOpen", err)
+	}
+	if err := s.Put(testPlan(key)); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Put with open breaker: %v, want ErrBreakerOpen", err)
+	}
+	if _, err := s.Keys(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Keys with open breaker: %v, want ErrBreakerOpen", err)
+	}
+	if st := s.Stats(); st.BreakerRejected != 3 {
+		t.Fatalf("breaker rejected: %+v", st)
+	}
+	// Cooldown elapses; the disk has recovered; the probe closes the
+	// breaker.
+	now = now.Add(2 * time.Second)
+	failing = false
+	if err := s.Put(testPlan(key)); err != nil {
+		t.Fatalf("probe Put after cooldown: %v", err)
+	}
+	if st := s.Stats(); st.BreakerOpen {
+		t.Fatalf("breaker still open after successful probe: %+v", st)
+	}
+	if _, err := s.Get(key); err != nil {
+		t.Fatalf("Get after recovery: %v", err)
+	}
+}
+
+// TestStoreBreakerReopens: a failing probe re-opens the breaker for
+// another cooldown without waiting for threshold fresh failures.
+func TestStoreBreakerReopens(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	hook := func(op, path string, data []byte) ([]byte, error) {
+		if op == "open" {
+			return nil, errors.New("still on fire")
+		}
+		return data, nil
+	}
+	s := openTestStore(t, WithBreaker(2, time.Second), WithHook(hook), withClock(clock))
+	key := testKey(6)
+	s.Get(key)
+	s.Get(key)
+	if st := s.Stats(); !st.BreakerOpen || st.BreakerOpens != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	now = now.Add(2 * time.Second)
+	if _, err := s.Get(key); err == nil || errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("probe should reach the disk and fail: %v", err)
+	}
+	st := s.Stats()
+	if !st.BreakerOpen || st.BreakerOpens != 2 {
+		t.Fatalf("breaker did not re-open after failed probe: %+v", st)
+	}
+}
+
+// TestStoreTempFilesInvisible: a leftover temp file (crash mid-write)
+// is never listed as a key and never loaded.
+func TestStoreTempFilesInvisible(t *testing.T) {
+	s := openTestStore(t)
+	key := testKey(7)
+	if err := s.Put(testPlan(key)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write: a torn temp file next to the entry.
+	dir := filepath.Dir(s.entryPath(key))
+	if err := os.WriteFile(filepath.Join(dir, key+".plan.tmp123"), []byte("RWPLAN\x00\x01torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != key {
+		t.Fatalf("Keys sees temp files: %v", keys)
+	}
+	if _, err := s.Get(key); err != nil {
+		t.Fatalf("entry unaffected by stray temp file: %v", err)
+	}
+}
+
+// TestStoreMetricsMirrored: every counter lands on the registry under
+// its plan_store.* name.
+func TestStoreMetricsMirrored(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := Open(t.TempDir(), WithMetrics(reg), WithoutSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(8)
+	s.Get(key) // miss
+	s.Put(testPlan(key))
+	s.Get(key) // hit
+	snap := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"plan_store.hits":   1,
+		"plan_store.misses": 1,
+		"plan_store.writes": 1,
+	} {
+		if snap[name] != want {
+			t.Errorf("%s = %d, want %d (snapshot %v)", name, snap[name], want, snap)
+		}
+	}
+}

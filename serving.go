@@ -5,6 +5,7 @@ import (
 
 	"regexrw/internal/automata"
 	"regexrw/internal/engine"
+	"regexrw/internal/planstore"
 )
 
 // ---- The Engine / Plan serving surface ----
@@ -136,6 +137,57 @@ func WithPlanCache(capacity int) EngineOption { return engine.WithPlanCache(capa
 // with an *AdmissionError (0 disables admission control).
 func WithAdmissionLimit(inflight, queue int) EngineOption {
 	return engine.WithAdmissionLimit(inflight, queue)
+}
+
+// ---- Persistent plan store ----
+//
+// A PlanStore is the crash-safe disk tier behind the in-memory plan
+// cache: compiled plans are written behind to a content-addressed
+// directory and restored on the next boot (Engine.WarmStart, or lazily
+// on the first miss per key), so a restarted process serves its
+// pre-crash working set without re-running the doubly exponential
+// construction. Entries are checksummed; a corrupt entry is quarantined
+// and recompiled, never served. Store failures degrade requests to
+// in-memory compiles — a sick disk can never fail a rewrite.
+//
+//	store, err := regexrw.OpenPlanStore("/var/lib/regexrw/plans",
+//		regexrw.WithPlanStoreMetrics(regexrw.GlobalMetrics()))
+//	eng := regexrw.NewEngine(regexrw.WithPlanStore(store))
+//	n, _ := eng.WarmStart(ctx) // n plans hot before the first request
+
+// PlanStore is the persistent, content-addressed plan store; see
+// docs/SERVING.md for the on-disk layout and durability contract.
+type PlanStore = planstore.Store
+
+// PlanStoreOption configures OpenPlanStore.
+type PlanStoreOption = planstore.Option
+
+// PlanStoreStats is a snapshot of a store's hit/miss/corruption and
+// circuit-breaker counters; also embedded in EngineStats.Store.
+type PlanStoreStats = planstore.Stats
+
+// ErrPlanCorrupt matches reads of a corrupt store entry (already
+// quarantined by the time the error is returned).
+var ErrPlanCorrupt = planstore.ErrCorrupt
+
+// OpenPlanStore opens (creating if needed) a plan store rooted at dir.
+func OpenPlanStore(dir string, opts ...PlanStoreOption) (*PlanStore, error) {
+	return planstore.Open(dir, opts...)
+}
+
+// WithPlanStore attaches a persistent plan store to the engine: cache
+// misses try the disk before compiling, and fresh compiles are written
+// behind. Strictly best-effort; see the persistent-store overview.
+func WithPlanStore(s *PlanStore) EngineOption { return engine.WithPlanStore(s) }
+
+// WithPlanStoreMetrics routes the store's plan_store.* counters to m —
+// pass the engine's registry so they land next to the engine.* ones.
+func WithPlanStoreMetrics(m *Metrics) PlanStoreOption { return planstore.WithMetrics(m) }
+
+// WithPlanStoreBreaker tunes the store's consecutive-error circuit
+// breaker (default: 5 failures, 2s cooldown; threshold 0 disables).
+func WithPlanStoreBreaker(threshold int, cooldown time.Duration) PlanStoreOption {
+	return planstore.WithBreaker(threshold, cooldown)
 }
 
 // WithEngineTracer installs a tracer for compiles whose context carries
