@@ -6,7 +6,10 @@
 //
 // -check enforces the in-run regression guard (optimized ≤ 2x its own
 // baseline for EX2Pipeline and THM6Exactness; warm plan-cache hits
-// ≥ 10x faster than cold compiles for PlanCache); -against verifies the
+// ≥ 10x faster than cold compiles for PlanCache; the frontier-bitset
+// evaluator and its incremental updates ≥ 5x faster than the map BFS
+// and from-scratch baselines for GraphEval/GraphEvalIncr at 100k+
+// edges); -against verifies the
 // report's schema and coverage against a committed reference without
 // comparing wall-clock numbers (docs/PERFORMANCE.md §5).
 package main

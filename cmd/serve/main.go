@@ -12,10 +12,17 @@
 // restarted server serves its pre-crash working set without
 // recompiling. -manifest precompiles a workload file at boot.
 //
-// Endpoints: POST /v1/rewrite, POST /v1/rpq, GET /healthz, GET /readyz
-// (503 until warm start and manifest precompilation finish),
-// GET /metrics (Prometheus text). See docs/SERVING.md for the request
-// and response schemas and the error taxonomy.
+// -graph registers named databases for /v1/query at boot (repeatable;
+// a file in the graph text codec or a generator spec like
+// grid:1000x1000); more can be registered at runtime via POST
+// /v1/graphs.
+//
+// Endpoints: POST /v1/rewrite, POST /v1/rpq, POST /v1/query (NDJSON
+// answer streaming over a registered graph), POST/GET /v1/graphs,
+// GET /healthz, GET /readyz (503 until warm start and manifest
+// precompilation finish), GET /metrics (Prometheus text). See
+// docs/SERVING.md for the request and response schemas and the error
+// taxonomy.
 package main
 
 import (
@@ -57,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	queue := fs.Int("queue", 0, "compile requests allowed to wait for an admission slot")
 	planDir := fs.String("plan-dir", "", "directory for the persistent plan store (empty = memory only)")
 	manifestPath := fs.String("manifest", "", "workload manifest JSON to precompile at boot")
+	var graphSpecs graphFlags
+	fs.Var(&graphSpecs, "graph", "register a graph as name=spec (a file in the graph text codec, or a generator spec like grid:100x100; repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -79,6 +88,11 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		} else {
 			opts = append(opts, engine.WithPlanStore(store))
 		}
+	}
+	graphs := newGraphSet()
+	if err := registerGraphFlags(graphs, graphSpecs); err != nil {
+		fmt.Fprintf(stderr, "serve: %v\n", err)
+		return 2
 	}
 	var manifest *manifestFile
 	if *manifestPath != "" {
@@ -103,7 +117,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	}
 	rd := &readiness{}
 	srv := &http.Server{
-		Handler:           newServer(eng, rd),
+		Handler:           newServer(eng, rd, graphs),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

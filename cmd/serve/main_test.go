@@ -22,7 +22,7 @@ func testServer(t *testing.T, opts ...engine.Option) (*httptest.Server, *engine.
 	t.Helper()
 	opts = append([]engine.Option{engine.WithMetrics(obs.NewRegistry())}, opts...)
 	eng := engine.New(opts...)
-	ts := httptest.NewServer(newServer(eng, nil))
+	ts := httptest.NewServer(newServer(eng, nil, nil))
 	t.Cleanup(ts.Close)
 	return ts, eng
 }

@@ -1,0 +1,304 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"regexrw/internal/engine"
+	"regexrw/internal/graph"
+	"regexrw/internal/workload"
+)
+
+// graphSet is the server's registry of named databases: populated at
+// boot from repeatable -graph name=spec flags and at runtime via
+// POST /v1/graphs. Registered databases are immutable — a re-register
+// replaces the entry wholesale, it never mutates a served graph (the
+// engine's evaluator cache keys on the *graph.DB identity, so a
+// replaced graph gets fresh evaluators).
+type graphSet struct {
+	mu     sync.RWMutex
+	graphs map[string]*graph.DB
+}
+
+func newGraphSet() *graphSet { return &graphSet{graphs: make(map[string]*graph.DB)} }
+
+func (g *graphSet) add(name string, db *graph.DB) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.graphs[name] = db
+}
+
+func (g *graphSet) get(name string) (*graph.DB, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	db, ok := g.graphs[name]
+	return db, ok
+}
+
+// graphInfo is one registry entry in GET /v1/graphs.
+type graphInfo struct {
+	Name  string `json:"name"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+}
+
+func (g *graphSet) list() []graphInfo {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]graphInfo, 0, len(g.graphs))
+	//mapiter:unordered sorted by name below
+	for name, db := range g.graphs {
+		out = append(out, graphInfo{Name: name, Nodes: db.NumNodes(), Edges: db.NumEdges()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// loadGraph resolves one -graph spec: a generator spec understood by
+// internal/workload ("grid:WxH", "chain:N", "powerlaw:N:E:SEED",
+// "random:N:E:SEED") or a path to a file in the graph text codec.
+func loadGraph(spec string) (*graph.DB, error) {
+	if workload.IsGraphSpec(spec) {
+		return workload.ParseGraphSpec(spec)
+	}
+	f, err := os.Open(spec)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.Read(f, nil)
+}
+
+// graphFlags is the repeatable -graph name=spec flag.
+type graphFlags []string
+
+func (g *graphFlags) String() string { return strings.Join(*g, ",") }
+
+func (g *graphFlags) Set(v string) error {
+	*g = append(*g, v)
+	return nil
+}
+
+// registerGraphFlags loads each name=spec pair into the registry.
+func registerGraphFlags(gs *graphSet, flags []string) error {
+	for _, f := range flags {
+		name, spec, ok := strings.Cut(f, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("-graph %q: want name=spec", f)
+		}
+		db, err := loadGraph(spec)
+		if err != nil {
+			return fmt.Errorf("-graph %s: %w", name, err)
+		}
+		gs.add(name, db)
+	}
+	return nil
+}
+
+// registerGraphRequest is the body of POST /v1/graphs: a generator
+// spec, a server-side file path, or the graph itself in the text
+// codec.
+type registerGraphRequest struct {
+	Name string `json:"name"`
+	// Spec is a workload generator spec ("grid:100x100",
+	// "powerlaw:1000:10000:7", …) or a server-side file path.
+	Spec string `json:"spec,omitempty"`
+	// Text is the database in the graph text codec ("from label to"
+	// lines), for clients shipping their own data.
+	Text string `json:"text,omitempty"`
+}
+
+func (s *server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
+	var req registerGraphRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, errorJSON{Code: "bad_request", Message: err.Error()})
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, errorJSON{Code: "bad_request", Message: "graph name required"})
+		return
+	}
+	var db *graph.DB
+	var err error
+	switch {
+	case req.Spec != "" && req.Text != "":
+		err = fmt.Errorf("give spec or text, not both")
+	case req.Spec != "":
+		db, err = loadGraph(req.Spec)
+	case req.Text != "":
+		db, err = graph.Read(strings.NewReader(req.Text), nil)
+	default:
+		err = fmt.Errorf("graph spec or text required")
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errorJSON{Code: "bad_request", Message: err.Error()})
+		return
+	}
+	s.graphs.add(req.Name, db)
+	writeJSON(w, http.StatusOK, graphInfo{Name: req.Name, Nodes: db.NumNodes(), Edges: db.NumEdges()})
+}
+
+func (s *server) handleListGraphs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Graphs []graphInfo `json:"graphs"`
+	}{s.graphs.list()})
+}
+
+// queryRequest is the body of POST /v1/query: a rewriting problem plus
+// the handle of a registered graph to answer it over.
+type queryRequest struct {
+	Query string            `json:"query"`
+	Views map[string]string `json:"views"`
+	// Graph names a database registered via -graph or POST /v1/graphs.
+	Graph string `json:"graph"`
+	// Mode is "rewriting" (default: evaluate the maximal rewriting; the
+	// graph's edge labels are view names) or "query" (evaluate E0; the
+	// labels are Σ symbols).
+	Mode string `json:"mode,omitempty"`
+	// Source restricts to one source node; with Target too, the request
+	// is boolean.
+	Source string `json:"source,omitempty"`
+	Target string `json:"target,omitempty"`
+	// MaxAnswers caps the streamed answers; the trailer reports
+	// truncation.
+	MaxAnswers int `json:"max_answers,omitempty"`
+
+	MaxStates      int   `json:"max_states,omitempty"`
+	MaxTransitions int   `json:"max_transitions,omitempty"`
+	TimeoutMS      int64 `json:"timeout_ms,omitempty"`
+}
+
+// queryHeader is the first NDJSON line of a /v1/query response.
+type queryHeader struct {
+	Type      string `json:"type"` // "header"
+	Key       string `json:"key"`
+	Rewriting string `json:"rewriting"`
+	Exact     bool   `json:"exact"`
+	Mode      string `json:"mode"`
+	Graph     string `json:"graph"`
+	Nodes     int    `json:"nodes"`
+	Edges     int    `json:"edges"`
+}
+
+// queryAnswerLine is one streamed answer pair.
+type queryAnswerLine struct {
+	Type string `json:"type"` // "answer"
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// queryTrailer is the final NDJSON line of a successful response.
+type queryTrailer struct {
+	Type      string `json:"type"` // "trailer"
+	Answers   int    `json:"answers"`
+	Truncated bool   `json:"truncated,omitempty"`
+	// Matched is present on boolean requests (source and target given).
+	Matched *bool `json:"matched,omitempty"`
+}
+
+// queryErrorLine reports a mid-stream failure (budget exhaustion,
+// deadline) after the header has been sent: the standard error
+// envelope, as its own NDJSON line instead of an HTTP status.
+type queryErrorLine struct {
+	Type  string    `json:"type"` // "error"
+	Error errorJSON `json:"error"`
+}
+
+// handleQuery answers a registered graph with NDJSON streaming: one
+// header line, one line per answer pair as discovered, one trailer.
+// Errors before the first byte use the standard envelope with the
+// taxonomy's status codes; errors after streaming started become a
+// final "error" line (the status is already committed).
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, errorJSON{Code: "bad_request", Message: err.Error()})
+		return
+	}
+	db, ok := s.graphs.get(req.Graph)
+	if !ok {
+		writeError(w, http.StatusNotFound, errorJSON{
+			Code:    "unknown_graph",
+			Message: fmt.Sprintf("graph %q not registered (use -graph or POST /v1/graphs)", req.Graph),
+		})
+		return
+	}
+	var mode engine.QueryMode
+	switch req.Mode {
+	case "", "rewriting":
+		mode = engine.ModeRewriting
+	case "query":
+		mode = engine.ModeQuery
+	default:
+		writeError(w, http.StatusBadRequest, errorJSON{
+			Code: "bad_request", Message: fmt.Sprintf("unknown mode %q (want rewriting or query)", req.Mode),
+		})
+		return
+	}
+	ereq := engine.QueryRequest{
+		Request: engine.Request{
+			Query:          req.Query,
+			Views:          req.Views,
+			MaxStates:      req.MaxStates,
+			MaxTransitions: req.MaxTransitions,
+			Timeout:        time.Duration(req.TimeoutMS) * time.Millisecond,
+		},
+		Graph:      db,
+		Mode:       mode,
+		Source:     req.Source,
+		Target:     req.Target,
+		MaxAnswers: req.MaxAnswers,
+	}
+
+	// Compile (or fetch) the plan before committing the stream so
+	// compile-time failures map onto the taxonomy's status codes; the
+	// evaluation below re-fetches it from the cache.
+	plan, err := s.eng.Rewrite(r.Context(), ereq.Request)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	flusher, _ := w.(http.Flusher)
+	_ = enc.Encode(queryHeader{
+		Type: "header", Key: string(plan.Key()), Rewriting: plan.Regex().String(),
+		Exact: plan.IsExact(), Mode: string(mode), Graph: req.Graph,
+		Nodes: db.NumNodes(), Edges: db.NumEdges(),
+	})
+	if flusher != nil {
+		flusher.Flush()
+	}
+
+	answers := 0
+	res, err := s.eng.QueryFunc(r.Context(), ereq, func(a engine.QueryAnswer) error {
+		answers++
+		if err := enc.Encode(queryAnswerLine{Type: "answer", From: a.From, To: a.To}); err != nil {
+			return err
+		}
+		if flusher != nil && answers%1024 == 0 {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		status, ej := engineError(err)
+		_ = status // committed: the envelope travels as an NDJSON line
+		_ = enc.Encode(queryErrorLine{Type: "error", Error: ej})
+		return
+	}
+	trailer := queryTrailer{Type: "trailer", Answers: answers, Truncated: res.Truncated}
+	if res.Boolean {
+		trailer.Matched = &res.Matched
+	}
+	_ = enc.Encode(trailer)
+}

@@ -1,0 +1,259 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// ndLines splits an NDJSON body into decoded generic lines.
+func ndLines(t *testing.T, raw []byte) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+var ex2Query = queryRequest{
+	Query: "a·(b·a+c)*",
+	Views: map[string]string{"e1": "a", "e2": "a·c*·b", "e3": "c"},
+	Graph: "vg",
+}
+
+// registerEx2ViewGraph registers the view-image chain
+// x --e2--> y --e1--> z --e3--> w under the handle "vg".
+func registerEx2ViewGraph(t *testing.T, url string) {
+	t.Helper()
+	resp, raw := post(t, url+"/v1/graphs", registerGraphRequest{
+		Name: "vg",
+		Text: "x e2 y\ny e1 z\nz e3 w\n",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register graph: status %d: %s", resp.StatusCode, raw)
+	}
+	info := decode[graphInfo](t, raw)
+	if info.Nodes != 4 || info.Edges != 3 {
+		t.Fatalf("registered graph info = %+v, want 4 nodes / 3 edges", info)
+	}
+}
+
+func TestServeQueryStreamsNDJSON(t *testing.T) {
+	ts, _ := testServer(t)
+	registerEx2ViewGraph(t, ts.URL)
+
+	resp, raw := post(t, ts.URL+"/v1/query", ex2Query)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q, want application/x-ndjson", ct)
+	}
+	lines := ndLines(t, raw)
+	if len(lines) < 2 {
+		t.Fatalf("want header + answers + trailer, got %d lines: %s", len(lines), raw)
+	}
+	head, tail := lines[0], lines[len(lines)-1]
+	if head["type"] != "header" || head["rewriting"] != "e2*·e1·e3*" || head["exact"] != true {
+		t.Fatalf("bad header: %v", head)
+	}
+	if tail["type"] != "trailer" || tail["answers"] != float64(4) {
+		t.Fatalf("bad trailer: %v", tail)
+	}
+	// e2*·e1·e3* over the chain: x→z, x→w, y→z, y→w.
+	got := map[string]bool{}
+	for _, l := range lines[1 : len(lines)-1] {
+		if l["type"] != "answer" {
+			t.Fatalf("unexpected line between header and trailer: %v", l)
+		}
+		got[l["from"].(string)+"→"+l["to"].(string)] = true
+	}
+	for _, want := range []string{"x→z", "x→w", "y→z", "y→w"} {
+		if !got[want] {
+			t.Fatalf("missing answer %s in %v", want, got)
+		}
+	}
+}
+
+func TestServeQuerySingleSourceAndBoolean(t *testing.T) {
+	ts, _ := testServer(t)
+	registerEx2ViewGraph(t, ts.URL)
+
+	req := ex2Query
+	req.Source = "x"
+	_, raw := post(t, ts.URL+"/v1/query", req)
+	lines := ndLines(t, raw)
+	if tail := lines[len(lines)-1]; tail["answers"] != float64(2) {
+		t.Fatalf("single-source trailer: %v", tail)
+	}
+
+	req.Target = "w"
+	_, raw = post(t, ts.URL+"/v1/query", req)
+	lines = ndLines(t, raw)
+	if tail := lines[len(lines)-1]; tail["matched"] != true || tail["answers"] != float64(0) {
+		t.Fatalf("boolean trailer: %v", tail)
+	}
+
+	req.Target = "x"
+	_, raw = post(t, ts.URL+"/v1/query", req)
+	lines = ndLines(t, raw)
+	if tail := lines[len(lines)-1]; tail["matched"] != false {
+		t.Fatalf("boolean trailer for non-answer: %v", tail)
+	}
+}
+
+func TestServeQueryMaxAnswersTruncates(t *testing.T) {
+	ts, _ := testServer(t)
+	registerEx2ViewGraph(t, ts.URL)
+	req := ex2Query
+	req.MaxAnswers = 1
+	_, raw := post(t, ts.URL+"/v1/query", req)
+	lines := ndLines(t, raw)
+	tail := lines[len(lines)-1]
+	if tail["answers"] != float64(1) || tail["truncated"] != true {
+		t.Fatalf("truncated trailer: %v", tail)
+	}
+}
+
+func TestServeQueryErrorsBeforeStream(t *testing.T) {
+	ts, _ := testServer(t)
+	registerEx2ViewGraph(t, ts.URL)
+
+	// Unregistered graph: 404 with the standard envelope.
+	req := ex2Query
+	req.Graph = "nope"
+	resp, raw := post(t, ts.URL+"/v1/query", req)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if env := decode[errorEnvelope](t, raw); env.Error.Code != "unknown_graph" {
+		t.Fatalf("error code %q, want unknown_graph", env.Error.Code)
+	}
+
+	// Malformed query: 400 before any stream bytes.
+	req = ex2Query
+	req.Query = "a·(("
+	resp, raw = post(t, ts.URL+"/v1/query", req)
+	if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if strings.Contains(string(raw), `"type":"header"`) {
+		t.Fatalf("stream started despite compile error: %s", raw)
+	}
+
+	// Unknown source node: envelope, not a stream.
+	req = ex2Query
+	req.Source = "ghost"
+	resp, raw = post(t, ts.URL+"/v1/query", req)
+	lines := ndLines(t, raw)
+	if last := lines[len(lines)-1]; last["type"] != "error" {
+		t.Fatalf("want mid-stream error line for unknown node, got %v (status %d)", last, resp.StatusCode)
+	}
+
+	// Bad mode.
+	req = ex2Query
+	req.Mode = "psychic"
+	resp, raw = post(t, ts.URL+"/v1/query", req)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+}
+
+func TestServeQueryBudgetExceededMidStream(t *testing.T) {
+	ts, _ := testServer(t)
+	// A grid big enough that MaxStates=40 dies during evaluation but
+	// comfortably after the (tiny) compile.
+	resp, raw := post(t, ts.URL+"/v1/graphs", registerGraphRequest{Name: "grid", Spec: "grid:30x30:v1,v1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register grid: %d %s", resp.StatusCode, raw)
+	}
+	req := queryRequest{
+		Query:     "a*",
+		Views:     map[string]string{"v1": "a"},
+		Graph:     "grid",
+		MaxStates: 40,
+	}
+	_, raw = post(t, ts.URL+"/v1/query", req)
+	lines := ndLines(t, raw)
+	last := lines[len(lines)-1]
+	if last["type"] != "error" {
+		t.Fatalf("want trailing error line, got %v", last)
+	}
+	errObj := last["error"].(map[string]any)
+	if errObj["code"] != "budget_exceeded" {
+		t.Fatalf("mid-stream error code %v, want budget_exceeded", errObj["code"])
+	}
+}
+
+func TestServeGraphRegistry(t *testing.T) {
+	ts, _ := testServer(t)
+	registerEx2ViewGraph(t, ts.URL)
+	resp, raw := post(t, ts.URL+"/v1/graphs", registerGraphRequest{Name: "g2", Spec: "chain:5:a"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register spec graph: %d %s", resp.StatusCode, raw)
+	}
+	httpResp, err := http.Get(ts.URL + "/v1/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	var listing struct {
+		Graphs []graphInfo `json:"graphs"`
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Graphs) != 2 || listing.Graphs[0].Name != "g2" || listing.Graphs[1].Name != "vg" {
+		t.Fatalf("listing = %+v, want [g2 vg]", listing.Graphs)
+	}
+
+	// Bad registrations.
+	for _, bad := range []registerGraphRequest{
+		{Name: "", Spec: "chain:3:a"},
+		{Name: "x"},
+		{Name: "x", Spec: "chain:3:a", Text: "a b c\n"},
+		{Name: "x", Spec: "grid:0x0"},
+		{Name: "x", Text: "truncated line"},
+	} {
+		resp, _ := post(t, ts.URL+"/v1/graphs", bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad registration %+v: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+func TestServeQueryModeQuery(t *testing.T) {
+	ts, _ := testServer(t)
+	// Base-alphabet graph: x --a--> y --b--> z --a--> w.
+	resp, raw := post(t, ts.URL+"/v1/graphs", registerGraphRequest{
+		Name: "base", Text: "x a y\ny b z\nz a w\n",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %d %s", resp.StatusCode, raw)
+	}
+	req := queryRequest{
+		Query:  "a·(b·a+c)*",
+		Views:  map[string]string{"e1": "a", "e2": "a·c*·b", "e3": "c"},
+		Graph:  "base",
+		Mode:   "query",
+		Source: "x",
+	}
+	_, raw = post(t, ts.URL+"/v1/query", req)
+	lines := ndLines(t, raw)
+	if tail := lines[len(lines)-1]; tail["answers"] != float64(2) {
+		t.Fatalf("mode=query trailer: %v (lines %v)", tail, lines)
+	}
+}

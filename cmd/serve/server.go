@@ -12,6 +12,7 @@ import (
 	"regexrw/internal/budget"
 	"regexrw/internal/core"
 	"regexrw/internal/engine"
+	"regexrw/internal/eval"
 	"regexrw/internal/obs"
 	"regexrw/internal/rpq"
 	"regexrw/internal/theory"
@@ -21,25 +22,36 @@ import (
 // in the engine and the boot-time readiness tracker; the server itself
 // is stateless and safe for concurrent use.
 type server struct {
-	eng *engine.Engine
-	rd  *readiness
+	eng    *engine.Engine
+	rd     *readiness
+	graphs *graphSet
 }
 
 // newServer returns the HTTP handler serving the engine:
 //
 //	POST /v1/rewrite  — compile (or fetch) the plan for a regex instance
 //	POST /v1/rpq      — the same for a regular path query under a theory
+//	POST /v1/query    — answer an RPQ over a registered graph (NDJSON)
+//	POST /v1/graphs   — register a graph (generator spec or text codec)
+//	GET  /v1/graphs   — list registered graphs
 //	GET  /healthz     — liveness plus the engine's cache/compile counters
 //	GET  /readyz      — readiness: 503 until warm start + manifest finish
 //	GET  /metrics     — Prometheus text exposition of the registry
 //
 // rd may be nil (tests without a boot sequence): the server is then
-// always ready.
-func newServer(eng *engine.Engine, rd *readiness) http.Handler {
-	s := &server{eng: eng, rd: rd}
+// always ready. graphs may be nil: an empty registry is created (graphs
+// can still be registered over HTTP).
+func newServer(eng *engine.Engine, rd *readiness, graphs *graphSet) http.Handler {
+	if graphs == nil {
+		graphs = newGraphSet()
+	}
+	s := &server{eng: eng, rd: rd, graphs: graphs}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/rewrite", s.handleRewrite)
 	mux.HandleFunc("POST /v1/rpq", s.handleRPQ)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
+	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -143,8 +155,8 @@ type partialJSON struct {
 // the caps or simplify the instance), not a server fault, so it maps to
 // 4xx with the stage diagnostics the budget layer recorded.
 type errorJSON struct {
-	// Code is one of bad_request, budget_exceeded, state_limit,
-	// queue_full, deadline, closed, internal.
+	// Code is one of bad_request, unknown_graph, budget_exceeded,
+	// state_limit, queue_full, deadline, closed, internal.
 	Code    string `json:"code"`
 	Message string `json:"message"`
 	// Stage/Resource/Limit/Used carry the budget diagnostics for
@@ -283,27 +295,40 @@ func (s *server) respond(w http.ResponseWriter, plan *engine.Plan, err error, tr
 // under its caps), admission rejection is 429 (retry against a less
 // loaded server), deadline is 504, closed is 503.
 func writeEngineError(w http.ResponseWriter, err error) {
+	status, ej := engineError(err)
+	if ej.Code == "queue_full" {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeError(w, status, ej)
+}
+
+// engineError classifies an engine error into the taxonomy; the query
+// streaming path reuses the envelope for mid-stream error lines.
+func engineError(err error) (int, errorJSON) {
 	var ex *budget.ExceededError
 	switch {
 	case errors.As(err, &ex):
-		writeError(w, http.StatusUnprocessableEntity, errorJSON{
+		return http.StatusUnprocessableEntity, errorJSON{
 			Code: "budget_exceeded", Message: err.Error(),
 			Stage: ex.Stage, Resource: string(ex.Resource), Limit: ex.Limit, Used: ex.Used,
-		})
+		}
 	case errors.Is(err, automata.ErrStateLimit):
-		writeError(w, http.StatusUnprocessableEntity, errorJSON{Code: "state_limit", Message: err.Error()})
+		return http.StatusUnprocessableEntity, errorJSON{Code: "state_limit", Message: err.Error()}
 	case errors.Is(err, engine.ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, errorJSON{Code: "queue_full", Message: err.Error()})
+		return http.StatusTooManyRequests, errorJSON{Code: "queue_full", Message: err.Error()}
 	case errors.Is(err, engine.ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, errorJSON{Code: "closed", Message: err.Error()})
+		return http.StatusServiceUnavailable, errorJSON{Code: "closed", Message: err.Error()}
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, errorJSON{Code: "deadline", Message: err.Error()})
+		return http.StatusGatewayTimeout, errorJSON{Code: "deadline", Message: err.Error()}
 	case errors.Is(err, context.Canceled):
 		// The client went away; 499-style, but stdlib has no constant.
-		writeError(w, 499, errorJSON{Code: "canceled", Message: err.Error()})
+		return 499, errorJSON{Code: "canceled", Message: err.Error()}
+	case errors.Is(err, eval.ErrUnknownNode):
+		return http.StatusBadRequest, errorJSON{Code: "bad_request", Message: err.Error()}
+	case errors.Is(err, engine.ErrNoGraph):
+		return http.StatusBadRequest, errorJSON{Code: "bad_request", Message: err.Error()}
 	default:
-		writeError(w, http.StatusInternalServerError, errorJSON{Code: "internal", Message: err.Error()})
+		return http.StatusInternalServerError, errorJSON{Code: "internal", Message: err.Error()}
 	}
 }
 

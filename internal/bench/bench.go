@@ -1,7 +1,8 @@
 // Package bench is the reproducible benchmark pipeline behind
 // cmd/bench: it times the paper's benchmark families (EX2, THM5, THM6,
-// THM8) against their in-run baselines and emits a machine-readable
-// report (BENCH_pipeline.json). Timing comparisons are always within
+// THM8) and the graph-evaluation families (GraphEval, GraphEvalIncr)
+// against their in-run baselines and emits a machine-readable report
+// (BENCH_pipeline.json). Timing comparisons are always within
 // one run on one machine — the committed report is compared by schema
 // and coverage only, never by wall-clock numbers, so CI stays stable
 // across hardware (docs/PERFORMANCE.md §5).
@@ -10,16 +11,21 @@ package bench
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"time"
 
+	"regexrw/internal/alphabet"
 	"regexrw/internal/automata"
 	"regexrw/internal/core"
 	"regexrw/internal/engine"
+	"regexrw/internal/eval"
+	"regexrw/internal/graph"
 	"regexrw/internal/obs"
 	"regexrw/internal/par"
 	"regexrw/internal/planstore"
+	"regexrw/internal/regex"
 	"regexrw/internal/workload"
 )
 
@@ -30,10 +36,12 @@ const Schema = "regexrw-bench/v1"
 // Speedup are zero when the family has no in-run baseline (THM8).
 type Entry struct {
 	// Family names the benchmark family: EX2Pipeline, EX2Observed,
-	// PlanCache, PlanStore, THM5DetBlowup, THM6Exactness, THM8Counter.
+	// PlanCache, PlanStore, THM5DetBlowup, THM6Exactness, THM8Counter,
+	// GraphEval, GraphEvalIncr.
 	Family string `json:"family"`
 	// Param is the family's size parameter (0 for EX2Pipeline,
-	// EX2Observed, PlanCache and PlanStore).
+	// EX2Observed, PlanCache and PlanStore; the edge count for the
+	// GraphEval families).
 	Param int `json:"param"`
 	// Baseline names what BaselineNsOp measured (e.g. "workers=1",
 	// "unmemoized", "materialized"); empty when there is none.
@@ -56,6 +64,11 @@ type Entry struct {
 	// PlanHitRate is the engine plan-cache hit rate over the optimized
 	// timed section (PlanCache family only).
 	PlanHitRate float64 `json:"plan_hit_rate,omitempty"`
+	// Edges is the database edge count (GraphEval families only).
+	Edges int `json:"edges,omitempty"`
+	// AnswersPerSec is the optimized variant's answer yield rate —
+	// answers per wall-clock second (GraphEval families only).
+	AnswersPerSec float64 `json:"answers_per_sec,omitempty"`
 }
 
 // Report is the full output of one bench run.
@@ -69,11 +82,14 @@ type Report struct {
 // SizeSpec fixes the family parameters and the minimum timed duration
 // per variant for one size class.
 type SizeSpec struct {
-	Name    string
-	THM5    []int
-	THM6    []int
-	THM8    []int
-	MinTime time.Duration
+	Name string
+	THM5 []int
+	THM6 []int
+	THM8 []int
+	// GraphEdges are the database sizes (in edges) for the GraphEval
+	// families.
+	GraphEdges []int
+	MinTime    time.Duration
 }
 
 // Sizes returns the spec for a size-class name: smoke (CI sanity,
@@ -82,11 +98,14 @@ type SizeSpec struct {
 func Sizes(name string) (SizeSpec, error) {
 	switch name {
 	case "smoke":
-		return SizeSpec{Name: name, THM5: []int{6}, THM6: []int{6}, THM8: []int{1}, MinTime: 30 * time.Millisecond}, nil
+		return SizeSpec{Name: name, THM5: []int{6}, THM6: []int{6}, THM8: []int{1},
+			GraphEdges: []int{10_000}, MinTime: 30 * time.Millisecond}, nil
 	case "tiny":
-		return SizeSpec{Name: name, THM5: []int{8, 10}, THM6: []int{8, 10}, THM8: []int{2, 3}, MinTime: 120 * time.Millisecond}, nil
+		return SizeSpec{Name: name, THM5: []int{8, 10}, THM6: []int{8, 10}, THM8: []int{2, 3},
+			GraphEdges: []int{10_000, 100_000}, MinTime: 120 * time.Millisecond}, nil
 	case "full":
-		return SizeSpec{Name: name, THM5: []int{8, 12, 14}, THM6: []int{8, 12}, THM8: []int{2, 3, 4}, MinTime: 500 * time.Millisecond}, nil
+		return SizeSpec{Name: name, THM5: []int{8, 12, 14}, THM6: []int{8, 12}, THM8: []int{2, 3, 4},
+			GraphEdges: []int{10_000, 100_000, 1_000_000}, MinTime: 500 * time.Millisecond}, nil
 	}
 	return SizeSpec{}, fmt.Errorf("bench: unknown size class %q (want smoke, tiny or full)", name)
 }
@@ -320,7 +339,119 @@ func Run(ctx context.Context, size SizeSpec) (*Report, error) {
 		e.States = states
 		rep.Entries = append(rep.Entries, e)
 	}
+
+	// GraphEval / GraphEvalIncr: RPQ answering over labeled graphs.
+	ge, err := runGraphEval(ctx, size)
+	if err != nil {
+		return nil, err
+	}
+	rep.Entries = append(rep.Entries, ge...)
 	return rep, nil
+}
+
+// runGraphEval builds the graph-evaluation entries: for each database
+// size, the frontier-bitset evaluator (internal/eval) vs the map-based
+// product BFS (graph.DB.EvalFrom) answering the same single-source RPQ
+// over a seeded power-law graph, then a live run maintained under edge
+// insertions (Run.Update's delta propagation) vs re-answering from
+// scratch after each insertion. Param and Edges are the edge count;
+// Check enforces the ≥5x contracts at 100k+ edges, where dense bitset
+// rows absorb hub fan-out that drowns the per-config hash maps.
+func runGraphEval(ctx context.Context, size SizeSpec) ([]Entry, error) {
+	labels := []string{"a", "b", "c"}
+	node, err := regex.Parse("a·(b+c)*")
+	if err != nil {
+		return nil, err
+	}
+	sigma := alphabet.New()
+	for _, l := range labels {
+		sigma.Intern(l)
+	}
+	nfa := node.ToNFA(sigma)
+	dfa := automata.Determinize(nfa).Minimize().TrimPartial()
+
+	var entries []Entry
+	for _, edges := range size.GraphEdges {
+		nodes := edges / 10
+		if nodes < 10 {
+			nodes = 10
+		}
+		db := workload.PowerLawGraph(rand.New(rand.NewSource(int64(edges))), nodes, edges, labels)
+		// Answer from the busiest node so the single-source run has real
+		// fan-out to chew through (deterministic: first max-degree node).
+		src := graph.NodeID(0)
+		for n := 0; n < db.NumNodes(); n++ {
+			if len(db.Out(graph.NodeID(n))) > len(db.Out(src)) {
+				src = graph.NodeID(n)
+			}
+		}
+
+		ev, err := eval.New(dfa, db)
+		if err != nil {
+			return nil, err
+		}
+		var answers int
+		frontier := func() error {
+			got, err := ev.From(ctx, src)
+			answers = len(got)
+			return err
+		}
+		naive := func() error {
+			if got := db.EvalFrom(nfa, src); len(got) != answers {
+				return fmt.Errorf("map BFS found %d answers, frontier found %d", len(got), answers)
+			}
+			return nil
+		}
+		e, err := runPair("GraphEval", edges, "map_bfs", size.MinTime, frontier, naive, dfa.NumStates())
+		if err != nil {
+			return nil, err
+		}
+		e.Edges = db.NumEdges()
+		if e.NsOp > 0 {
+			e.AnswersPerSec = float64(answers) / (e.NsOp / 1e9)
+		}
+		entries = append(entries, e)
+
+		// Incremental: each timed iteration inserts one fresh edge and
+		// propagates just its delta; the baseline re-runs the full
+		// single-source BFS on the (static) original graph — the work a
+		// caller without Run.Update would repeat per insertion.
+		evInc, err := eval.New(dfa, db)
+		if err != nil {
+			return nil, err
+		}
+		run, err := evInc.Start(ctx, src)
+		if err != nil {
+			return nil, err
+		}
+		ir := rand.New(rand.NewSource(int64(edges) + 1))
+		incremental := func() error {
+			from := db.NodeName(graph.NodeID(ir.Intn(nodes)))
+			to := db.NodeName(graph.NodeID(ir.Intn(nodes)))
+			evInc.Insert(from, labels[ir.Intn(len(labels))], to)
+			_, err := run.Update(ctx)
+			return err
+		}
+		evScratch, err := eval.New(dfa, db)
+		if err != nil {
+			return nil, err
+		}
+		fromScratch := func() error {
+			_, err := evScratch.From(ctx, src)
+			return err
+		}
+		e, err = runPair("GraphEvalIncr", edges, "from_scratch", size.MinTime,
+			incremental, fromScratch, dfa.NumStates())
+		if err != nil {
+			return nil, err
+		}
+		e.Edges = db.NumEdges()
+		if e.NsOp > 0 {
+			e.AnswersPerSec = float64(len(run.Answers())) / (e.NsOp / 1e9)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
 }
 
 // runPlanStore builds the PlanStore family entry: persist one plan,
@@ -384,9 +515,14 @@ func runPlanStore(ctx context.Context, size SizeSpec, planReq engine.Request, st
 // its baseline measured in the same run on the same machine. The
 // PlanCache family carries a stronger contract: serving a cached plan
 // must be at least 10x faster than recompiling it, since the warm path
-// is a key hash plus a shard lookup. A failure means the optimized path
-// regressed against the code it is supposed to beat — or that tracing
-// got expensive enough to distort what it measures.
+// is a key hash plus a shard lookup. The GraphEval families carry the
+// evaluator contract: at 100k edges and beyond, the frontier-bitset
+// evaluator must answer at least 5x faster than the map-based product
+// BFS, and an incremental update at least 5x faster than re-answering
+// from scratch (smaller graphs fit in cache either way and prove
+// nothing). A failure means the optimized path regressed against the
+// code it is supposed to beat — or that tracing got expensive enough to
+// distort what it measures.
 func Check(rep *Report) error {
 	var planCacheNsOp float64
 	for _, e := range rep.Entries {
@@ -411,6 +547,13 @@ func Check(rep *Report) error {
 			if e.Family == "PlanStore" && planCacheNsOp > 0 && e.NsOp > 2*planCacheNsOp {
 				return fmt.Errorf("bench: regression: PlanStore restart hit %.0f ns/op is >2x the in-memory PlanCache hit %.0f ns/op",
 					e.NsOp, planCacheNsOp)
+			}
+			continue
+		}
+		if e.Family == "GraphEval" || e.Family == "GraphEvalIncr" {
+			if e.Param >= 100_000 && e.Speedup < 5 {
+				return fmt.Errorf("bench: regression: %s(edges=%d) %.0f ns/op is only %.1fx faster than %s %.0f ns/op (want >= 5x)",
+					e.Family, e.Param, e.NsOp, e.Speedup, e.Baseline, e.BaselineNsOp)
 			}
 			continue
 		}

@@ -57,7 +57,7 @@ func PossibilityRewriting(inst *Instance) *Possibility {
 // cancellation and resource governance threaded into the query
 // determinization, the transfer fixpoint and the final determinization.
 func PossibilityRewritingContext(ctx context.Context, inst *Instance) (*Possibility, error) {
-	ad, err := determinizeQueryContext(ctx, inst.Query, inst.sigma)
+	ad, err := determinizeQueryContext(ctx, inst)
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,8 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"regexrw/internal/alphabet"
 	"regexrw/internal/automata"
@@ -32,6 +34,20 @@ type Instance struct {
 
 	sigma  *alphabet.Alphabet // Σ
 	sigmaE *alphabet.Alphabet // Σ_E
+
+	// nfas caches the compiled NFA per regex node (the query and, for
+	// large top-level unions, its branches). Recompiling the same
+	// Instance then hands the determinizer the same NFA object, so the
+	// memoized ε-closure/stepper tables built on first use survive
+	// across compiles instead of being rebuilt per call. NFAs are safe
+	// for concurrent read-only use; a racing build wastes one
+	// compilation and converges on the stored object.
+	nfas sync.Map // *regex.Node → *automata.NFA
+
+	// viewNFAs caches the ε-free view automata behind ViewNFAs for the
+	// same reason; the map itself is copied per call, the NFAs are
+	// shared.
+	viewNFAs atomic.Pointer[map[alphabet.Symbol]*automata.NFA]
 }
 
 // NewInstance builds an instance from parsed expressions. View names
@@ -110,13 +126,42 @@ func (in *Instance) ViewExpr(name string) *regex.Node {
 }
 
 // ViewNFAs compiles every view to an ε-free NFA over Σ, keyed by its
-// Σ_E symbol.
+// Σ_E symbol. The NFAs are compiled once per Instance and shared by
+// every call (they are safe for concurrent read-only use, and every
+// consumer treats them as immutable); the map itself is a fresh copy,
+// so callers may normalize or extend it without aliasing each other.
 func (in *Instance) ViewNFAs() map[alphabet.Symbol]*automata.NFA {
-	out := make(map[alphabet.Symbol]*automata.NFA, len(in.Views))
-	for _, v := range in.Views {
-		out[in.sigmaE.Lookup(v.Name)] = v.Expr.ToNFA(in.sigma).RemoveEpsilon()
+	cached := in.viewNFAs.Load()
+	if cached == nil {
+		m := make(map[alphabet.Symbol]*automata.NFA, len(in.Views))
+		for _, v := range in.Views {
+			m[in.sigmaE.Lookup(v.Name)] = v.Expr.ToNFA(in.sigma).RemoveEpsilon()
+		}
+		in.viewNFAs.CompareAndSwap(nil, &m) // a racing build converges on one map
+		cached = in.viewNFAs.Load()
+	}
+	out := make(map[alphabet.Symbol]*automata.NFA, len(*cached))
+	for e, v := range *cached { //mapiter:unordered shallow copy of a map; no ordering is observable
+		out[e] = v
 	}
 	return out
+}
+
+// QueryNFA returns the compiled NFA of the query over Σ, cached on the
+// Instance so repeated compiles reuse its memo tables. Callers must
+// treat the NFA as read-only.
+func (in *Instance) QueryNFA() *automata.NFA {
+	return in.nodeNFA(in.Query)
+}
+
+// nodeNFA returns the cached NFA for a node of the query expression,
+// building it on first use.
+func (in *Instance) nodeNFA(q *regex.Node) *automata.NFA {
+	if n, ok := in.nfas.Load(q); ok {
+		return n.(*automata.NFA)
+	}
+	n, _ := in.nfas.LoadOrStore(q, q.ToNFA(in.sigma))
+	return n.(*automata.NFA)
 }
 
 // WithViews returns a new instance with the given views appended

@@ -80,7 +80,7 @@ func MaximalRewriting(inst *Instance) *Rewriting { //invariantcall:checked deleg
 func MaximalRewritingContext(ctx context.Context, inst *Instance) (*Rewriting, error) {
 	ctx, span := obs.StartSpan(ctx, "core.maximal_rewriting")
 	defer span.End()
-	ad, err := determinizeQueryContext(ctx, inst.Query, inst.sigma)
+	ad, err := determinizeQueryContext(ctx, inst)
 	if err != nil {
 		return nil, err
 	}
@@ -126,20 +126,23 @@ func complementSpanned(ctx context.Context, det *automata.DFA) *automata.DFA {
 // size. (The THM8 experiment relies on this: the counter family's A_d
 // is ~100 states, but the monolithic subset construction visits
 // millions of subsets from n = 3 on.)
-func determinizeQuery(q *regex.Node, sigma *alphabet.Alphabet) *automata.DFA {
-	d, _ := determinizeQueryContext(context.Background(), q, sigma) // a background context never cancels
+func determinizeQuery(inst *Instance) *automata.DFA {
+	d, _ := determinizeQueryContext(context.Background(), inst) // a background context never cancels
 	return d
 }
 
 // determinizeQueryContext is determinizeQuery with cooperative
 // cancellation and budget metering threaded into every subset
-// construction, DFA union and minimization.
-func determinizeQueryContext(ctx context.Context, q *regex.Node, sigma *alphabet.Alphabet) (*automata.DFA, error) {
+// construction, DFA union and minimization. The query NFA (per branch,
+// on the union path) comes from the Instance's node cache, so repeated
+// compiles of one Instance reuse the NFA's memoized subset tables.
+func determinizeQueryContext(ctx context.Context, inst *Instance) (*automata.DFA, error) {
 	ctx, span := obs.StartSpan(ctx, "core.a_d")
 	defer span.End()
+	q := inst.Query
 	const unionThreshold = 4
 	if q.Op != regex.OpUnion || len(q.Subs) < unionThreshold {
-		d, err := automata.DeterminizeContext(ctx, toNFASpanned(ctx, q, sigma))
+		d, err := automata.DeterminizeContext(ctx, toNFASpanned(ctx, inst, q))
 		if err != nil {
 			return nil, fmt.Errorf("core: A_d: %w", err)
 		}
@@ -151,7 +154,7 @@ func determinizeQueryContext(ctx context.Context, q *regex.Node, sigma *alphabet
 	}
 	var ad *automata.DFA
 	for _, branch := range q.Subs {
-		bd, err := automata.DeterminizeContext(ctx, toNFASpanned(ctx, branch, sigma))
+		bd, err := automata.DeterminizeContext(ctx, toNFASpanned(ctx, inst, branch))
 		if err != nil {
 			return nil, fmt.Errorf("core: A_d branch: %w", err)
 		}
@@ -178,12 +181,13 @@ func determinizeQueryContext(ctx context.Context, q *regex.Node, sigma *alphabet
 }
 
 // toNFASpanned is the Glushkov/Thompson build of the query NFA under
-// its own span. The build is linear in the regex, so nothing is
+// its own span, served from the Instance's per-node cache after the
+// first compile. The build is linear in the regex, so nothing is
 // budget-charged; the span records the NFA size as an attribute.
-func toNFASpanned(ctx context.Context, q *regex.Node, sigma *alphabet.Alphabet) *automata.NFA {
+func toNFASpanned(ctx context.Context, inst *Instance, q *regex.Node) *automata.NFA {
 	_, span := obs.StartSpan(ctx, "regex.to_nfa")
 	defer span.End()
-	n := q.ToNFA(sigma)
+	n := inst.nodeNFA(q)
 	span.SetAttr("nfa_states", int64(n.NumStates()))
 	return n
 }

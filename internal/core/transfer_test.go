@@ -47,7 +47,7 @@ func TestTransferTargetsAgreesWithPerOriginBFS(t *testing.T) {
 		inst := parseInstance(t, queryExprs[r.Intn(len(queryExprs))], map[string]string{
 			"v": viewExprs[r.Intn(len(viewExprs))],
 		})
-		ad := determinizeQuery(inst.Query, inst.Sigma())
+		ad := determinizeQuery(inst)
 		view := inst.ViewNFAs()[inst.SigmaE().Lookup("v")]
 
 		fast, err := transferTargets(testMeter(), view, ad)
@@ -82,7 +82,7 @@ func sameStateSet(a, b []automata.State) bool {
 
 func TestTransferTargetsEmptyView(t *testing.T) {
 	inst := parseInstance(t, "a·b", map[string]string{"v": "∅"})
-	ad := determinizeQuery(inst.Query, inst.Sigma())
+	ad := determinizeQuery(inst)
 	view := inst.ViewNFAs()[inst.SigmaE().Lookup("v")]
 	targets, err := transferTargets(testMeter(), view, ad)
 	if err != nil {
@@ -98,7 +98,7 @@ func TestTransferTargetsEmptyView(t *testing.T) {
 func TestTransferTargetsEpsilonView(t *testing.T) {
 	// re(v) = a?: every state transfers to itself (ε) and along a.
 	inst := parseInstance(t, "a·a", map[string]string{"v": "a?"})
-	ad := determinizeQuery(inst.Query, inst.Sigma())
+	ad := determinizeQuery(inst)
 	view := inst.ViewNFAs()[inst.SigmaE().Lookup("v")]
 	targets, err := transferTargets(testMeter(), view, ad)
 	if err != nil {
@@ -126,7 +126,7 @@ func BenchmarkTransferAlgorithms(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		ad := determinizeQuery(ext.Query, ext.Sigma())
+		ad := determinizeQuery(ext)
 		view := ext.ViewNFAs()[ext.SigmaE().Lookup("vstar")]
 		b.Run(fmt.Sprintf("bitset/n=%d", n), func(b *testing.B) {
 			m := testMeter()

@@ -49,6 +49,7 @@ type Engine struct {
 	reg            *obs.Registry
 
 	cache *planCache
+	evals evalCache // shared read-only evaluators for Query (query.go)
 
 	// store is the optional persistent plan store: a second cache tier
 	// behind the LRU, consulted by singleflight leaders before they
@@ -82,6 +83,7 @@ type Engine struct {
 	rejected   atomic.Int64
 	storeLoads atomic.Int64
 	storeSaves atomic.Int64
+	queries    atomic.Int64
 }
 
 type call struct {
@@ -159,6 +161,7 @@ func New(opts ...Option) *Engine {
 	if e.cache == nil {
 		e.cache = newPlanCache(1024)
 	}
+	e.evals.cap = 64
 	if e.admitLimit > 0 {
 		e.admit = make(chan struct{}, e.admitLimit)
 	}
@@ -177,6 +180,10 @@ func (e *Engine) Close() { e.closed.Store(true) }
 // Compiles can be far below Misses.
 type Stats struct {
 	Requests, Compiles, Hits, Misses, Dedups, Evictions, Rejected int64
+	// Queries counts RPQ answering requests (Query, QueryFunc,
+	// QueryIncremental), which also count as Requests through the plan
+	// fetch they begin with.
+	Queries int64
 	// StoreLoads counts plans served from the persistent store instead
 	// of compiled; StoreSaves counts plans persisted behind a compile.
 	// Both stay 0 without WithPlanStore.
@@ -202,6 +209,7 @@ func (e *Engine) Stats() Stats {
 		Rejected:    e.rejected.Load(),
 		StoreLoads:  e.storeLoads.Load(),
 		StoreSaves:  e.storeSaves.Load(),
+		Queries:     e.queries.Load(),
 		CachedPlans: e.cache.len(),
 	}
 	if e.store != nil {

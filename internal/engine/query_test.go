@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"regexrw/internal/budget"
+	"regexrw/internal/eval"
+	"regexrw/internal/graph"
+	"regexrw/internal/obs"
+)
+
+// ex2ViewGraph is a view-image database for the ex2 instance: edge
+// labels are the view names, so ModeRewriting (e2*·e1·e3*) applies.
+//
+//	x --e2--> y --e1--> z --e3--> w
+func ex2ViewGraph() *graph.DB {
+	db := graph.New(nil)
+	db.AddEdge("x", "e2", "y")
+	db.AddEdge("y", "e1", "z")
+	db.AddEdge("z", "e3", "w")
+	return db
+}
+
+func answers(as []QueryAnswer) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.From + "→" + a.To
+	}
+	return out
+}
+
+func TestQueryRewritingMode(t *testing.T) {
+	e := New(WithMetrics(obs.NewRegistry()))
+	res, err := e.Query(context.Background(), QueryRequest{
+		Request: ex2,
+		Graph:   ex2ViewGraph(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// e2*·e1·e3* over the chain: from x (e2·e1, e2·e1·e3) and from y
+	// (e1, e1·e3).
+	want := []string{"x→z", "x→w", "y→z", "y→w"}
+	got := answers(res.Answers)
+	if len(got) != len(want) {
+		t.Fatalf("answers = %v, want %v", got, want)
+	}
+	set := map[string]bool{}
+	for _, g := range got {
+		set[g] = true
+	}
+	for _, w := range want {
+		if !set[w] {
+			t.Fatalf("missing answer %s in %v", w, got)
+		}
+	}
+	if res.Truncated || res.Boolean {
+		t.Fatalf("unexpected flags in %+v", res)
+	}
+	if s := e.Stats(); s.Queries != 1 {
+		t.Fatalf("Stats.Queries = %d, want 1", s.Queries)
+	}
+}
+
+func TestQueryModeQueryOverBaseGraph(t *testing.T) {
+	// Base-alphabet graph: x --a--> y --b--> z --a--> w spells a·b·a,
+	// a word of a·(b·a+c)*.
+	db := graph.New(nil)
+	db.AddEdge("x", "a", "y")
+	db.AddEdge("y", "b", "z")
+	db.AddEdge("z", "a", "w")
+	e := New(WithMetrics(obs.NewRegistry()))
+	res, err := e.Query(context.Background(), QueryRequest{
+		Request: ex2,
+		Graph:   db,
+		Mode:    ModeQuery,
+		Source:  "x",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"x→y", "x→w"}
+	got := answers(res.Answers)
+	if fmt.Sprint(got) != fmt.Sprint([]string{"x→w", "x→y"}) {
+		t.Fatalf("answers = %v, want %v (sorted)", got, want)
+	}
+}
+
+func TestQueryBoolean(t *testing.T) {
+	e := New(WithMetrics(obs.NewRegistry()))
+	for _, tc := range []struct {
+		src, dst string
+		want     bool
+	}{
+		{"x", "w", true},
+		{"y", "z", true},
+		{"w", "x", false},
+		{"x", "y", false}, // e2 alone is not in e2*·e1·e3*
+	} {
+		res, err := e.Query(context.Background(), QueryRequest{
+			Request: ex2, Graph: ex2ViewGraph(), Source: tc.src, Target: tc.dst,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Boolean || res.Matched != tc.want {
+			t.Fatalf("Boolean(%s,%s) = %v, want %v", tc.src, tc.dst, res.Matched, tc.want)
+		}
+	}
+}
+
+func TestQueryUnknownNodeAndMissingGraph(t *testing.T) {
+	e := New(WithMetrics(obs.NewRegistry()))
+	_, err := e.Query(context.Background(), QueryRequest{
+		Request: ex2, Graph: ex2ViewGraph(), Source: "nope",
+	})
+	if !errors.Is(err, eval.ErrUnknownNode) {
+		t.Fatalf("want ErrUnknownNode, got %v", err)
+	}
+	if _, err := e.Query(context.Background(), QueryRequest{Request: ex2}); !errors.Is(err, ErrNoGraph) {
+		t.Fatalf("want ErrNoGraph, got %v", err)
+	}
+}
+
+func TestQueryMaxAnswersTruncates(t *testing.T) {
+	e := New(WithMetrics(obs.NewRegistry()))
+	res, err := e.Query(context.Background(), QueryRequest{
+		Request: ex2, Graph: ex2ViewGraph(), MaxAnswers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || len(res.Answers) != 2 {
+		t.Fatalf("want 2 answers with Truncated, got %d (truncated=%v)", len(res.Answers), res.Truncated)
+	}
+}
+
+func TestQueryEvaluatorCache(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New(WithMetrics(reg))
+	db := ex2ViewGraph()
+	for i := 0; i < 3; i++ {
+		if _, err := e.Query(context.Background(), QueryRequest{Request: ex2, Graph: db}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap["cache.eval.misses"] != 1 || snap["cache.eval.hits"] != 2 {
+		t.Fatalf("evaluator cache: misses=%d hits=%d, want 1/2",
+			snap["cache.eval.misses"], snap["cache.eval.hits"])
+	}
+	// A different graph is a different snapshot — no false sharing.
+	if _, err := e.Query(context.Background(), QueryRequest{Request: ex2, Graph: ex2ViewGraph()}); err != nil {
+		t.Fatal(err)
+	}
+	if snap := reg.Snapshot(); snap["cache.eval.misses"] != 2 {
+		t.Fatalf("distinct graph must miss the evaluator cache, misses=%d", snap["cache.eval.misses"])
+	}
+}
+
+func TestQueryBudgetExceeded(t *testing.T) {
+	e := New(WithMetrics(obs.NewRegistry()))
+	// Compile unconstrained first so the plan is cached; then evaluate
+	// under a context budget too small for the BFS.
+	if _, err := e.Query(context.Background(), QueryRequest{Request: ex2, Graph: ex2ViewGraph()}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := budget.With(context.Background(), budget.New(budget.MaxStates(1)))
+	_, err := e.Query(ctx, QueryRequest{Request: ex2, Graph: ex2ViewGraph()})
+	var ex *budget.ExceededError
+	if !errors.As(err, &ex) {
+		t.Fatalf("want *budget.ExceededError, got %v", err)
+	}
+}
+
+func TestQueryIncremental(t *testing.T) {
+	e := New(WithMetrics(obs.NewRegistry()))
+	db := graph.New(nil)
+	db.AddEdge("x", "e2", "y")
+	db.AddEdge("y", "e1", "z")
+	lq, err := e.QueryIncremental(context.Background(), QueryRequest{
+		Request: ex2, Graph: db, Source: "x",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := answers(lq.Answers()); fmt.Sprint(got) != fmt.Sprint([]string{"x→z"}) {
+		t.Fatalf("initial answers = %v, want [x→z]", got)
+	}
+	lq.InsertEdge("z", "e3", "v")
+	fresh, err := lq.Update(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := answers(fresh); fmt.Sprint(got) != fmt.Sprint([]string{"x→v"}) {
+		t.Fatalf("fresh answers = %v, want [x→v]", got)
+	}
+	// The cumulative set matches a from-scratch evaluation of the
+	// extended graph.
+	db2 := graph.New(nil)
+	db2.AddEdge("x", "e2", "y")
+	db2.AddEdge("y", "e1", "z")
+	db2.AddEdge("z", "e3", "v")
+	res, err := e.Query(context.Background(), QueryRequest{Request: ex2, Graph: db2, Source: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(answers(lq.Answers())) != fmt.Sprint(answers(res.Answers)) {
+		t.Fatalf("incremental %v != from-scratch %v", answers(lq.Answers()), answers(res.Answers))
+	}
+	// The delta overlay never leaked into the shared database.
+	if db.NumEdges() != 2 {
+		t.Fatalf("underlying graph mutated: %d edges", db.NumEdges())
+	}
+	// Boolean requests are not incremental.
+	if _, err := e.QueryIncremental(context.Background(), QueryRequest{
+		Request: ex2, Graph: db, Source: "x", Target: "z",
+	}); err == nil {
+		t.Fatal("boolean incremental session must be rejected")
+	}
+}
+
+func TestQueryIncrementalAllPairs(t *testing.T) {
+	e := New(WithMetrics(obs.NewRegistry()))
+	db := ex2ViewGraph()
+	lq, err := e.QueryIncremental(context.Background(), QueryRequest{Request: ex2, Graph: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(lq.Answers())
+	lq.InsertEdge("w", "e3", "u") // extends x→w and y→w chains by e3
+	fresh, err := lq.Update(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) == 0 {
+		t.Fatal("inserted e3 edge should unlock new answers")
+	}
+	if got := len(lq.Answers()); got != before+len(fresh) {
+		t.Fatalf("cumulative answers %d != %d before + %d fresh", got, before, len(fresh))
+	}
+}
+
+func TestQueryAfterClose(t *testing.T) {
+	e := New(WithMetrics(obs.NewRegistry()))
+	e.Close()
+	if _, err := e.Query(context.Background(), QueryRequest{Request: ex2, Graph: ex2ViewGraph()}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if _, err := e.QueryIncremental(context.Background(), QueryRequest{Request: ex2, Graph: ex2ViewGraph()}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}

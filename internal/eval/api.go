@@ -1,0 +1,162 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"sort"
+
+	"regexrw/internal/budget"
+	"regexrw/internal/graph"
+	"regexrw/internal/obs"
+)
+
+// From computes the single-source answer set: the nodes y such that
+// some path from src to y spells a word of the automaton's language.
+// The result is sorted by node id. Governed by the context's budget
+// (stage "eval.bfs") under an "eval.from" span.
+func (ev *Evaluator) From(ctx context.Context, src graph.NodeID) ([]graph.NodeID, error) {
+	var out []graph.NodeID
+	err := ev.FromFunc(ctx, src, func(n graph.NodeID) error {
+		out = append(out, n)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// FromFunc is the streaming form of From: answers are yielded in BFS
+// discovery order (not sorted), each exactly once. A non-nil error
+// from yield aborts the run and is returned verbatim.
+func (ev *Evaluator) FromFunc(ctx context.Context, src graph.NodeID, yield func(graph.NodeID) error) error {
+	ctx, span := obs.StartSpan(ctx, "eval.from")
+	defer span.End()
+	if err := ev.checkNode(src); err != nil {
+		return err
+	}
+	answers := int64(0)
+	counted := func(n graph.NodeID) error {
+		answers++
+		return yield(n)
+	}
+	defer func() { span.SetAttr("answers", answers) }()
+	if ev.empty {
+		return nil
+	}
+	meter := budget.Enter(ctx, "eval.bfs")
+	st := &bfsState{visited: ev.newRows(), emitted: make([]uint64, ev.words())}
+	if err := ev.seedFrom(src, st, counted); err != nil {
+		return err
+	}
+	if err := meter.AddStates(1); err != nil {
+		return err
+	}
+	return ev.bfs(meter, st, counted)
+}
+
+// AllPairs computes ans(ℓ, DB): every pair (x, y) connected by a path
+// spelling a word of the language, sorted by (from, to). One BFS per
+// source node reusing the same bitset rows; governed under an
+// "eval.all_pairs" span, stage "eval.bfs".
+func (ev *Evaluator) AllPairs(ctx context.Context) ([]graph.Pair, error) {
+	var out []graph.Pair
+	err := ev.AllPairsFunc(ctx, func(p graph.Pair) error {
+		out = append(out, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out, nil
+}
+
+// AllPairsFunc is the streaming form of AllPairs: pairs are yielded
+// grouped by source in ascending source order, targets in discovery
+// order within a source. A non-nil error from yield aborts the run.
+func (ev *Evaluator) AllPairsFunc(ctx context.Context, yield func(graph.Pair) error) error {
+	ctx, span := obs.StartSpan(ctx, "eval.all_pairs")
+	defer span.End()
+	answers := int64(0)
+	defer func() { span.SetAttr("answers", answers) }()
+	if ev.empty {
+		return nil
+	}
+	meter := budget.Enter(ctx, "eval.bfs")
+	st := &bfsState{visited: ev.newRows(), emitted: make([]uint64, ev.words())}
+	for src := 0; src < ev.numNodes; src++ {
+		if src > 0 {
+			for _, row := range st.visited {
+				clear(row)
+			}
+			clear(st.emitted)
+			st.frontier = st.frontier[:0]
+		}
+		emit := func(n graph.NodeID) error {
+			answers++
+			return yield(graph.Pair{From: graph.NodeID(src), To: n})
+		}
+		if err := ev.seedFrom(graph.NodeID(src), st, emit); err != nil {
+			return err
+		}
+		if err := meter.AddStates(1); err != nil {
+			return err
+		}
+		if err := ev.bfs(meter, st, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Boolean reports whether (src, dst) ∈ ans(ℓ, DB), stopping the BFS as
+// soon as dst is reached in an accepting state. Governed under an
+// "eval.boolean" span, stage "eval.bfs".
+func (ev *Evaluator) Boolean(ctx context.Context, src, dst graph.NodeID) (bool, error) {
+	ctx, span := obs.StartSpan(ctx, "eval.boolean")
+	defer span.End()
+	if err := ev.checkNode(src); err != nil {
+		return false, err
+	}
+	if err := ev.checkNode(dst); err != nil {
+		return false, err
+	}
+	if ev.empty {
+		return false, nil
+	}
+	meter := budget.Enter(ctx, "eval.bfs")
+	st := &bfsState{visited: ev.newRows(), emitted: make([]uint64, ev.words())}
+	found := false
+	probe := func(n graph.NodeID) error {
+		if n == dst {
+			found = true
+			return errStop
+		}
+		return nil
+	}
+	err := ev.seedFrom(src, st, probe)
+	if err == nil {
+		if err = meter.AddStates(1); err == nil {
+			err = ev.bfs(meter, st, probe)
+		}
+	}
+	span.SetAttr("matched", boolAttr(found))
+	if err != nil && !errors.Is(err, errStop) {
+		return false, err
+	}
+	return found, nil
+}
+
+func boolAttr(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,275 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+	"regexrw/internal/budget"
+	"regexrw/internal/graph"
+	"regexrw/internal/regex"
+	"regexrw/internal/workload"
+)
+
+// compile builds a minimal partial DFA for a regex over the labels —
+// the MinimalDFA shape the engine hands the evaluator.
+func compile(t testing.TB, expr string, labels ...string) (*automata.DFA, *automata.NFA) {
+	t.Helper()
+	node, err := regex.Parse(expr)
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	sigma := alphabet.New()
+	for _, l := range labels {
+		sigma.Intern(l)
+	}
+	nfa := node.ToNFA(sigma)
+	return automata.Determinize(nfa).Minimize().TrimPartial(), nfa
+}
+
+func TestAgainstMapBFSAndReference(t *testing.T) {
+	r := rand.New(rand.NewSource(20260808))
+	exprs := []string{
+		"a·(b·a+c)*", "(a+b)*·c", "a*", "a·b·c", "(a·b+c)*", "b?·a+c·c", "ε", "∅", "a+ε",
+	}
+	labels := []string{"a", "b", "c"}
+	for trial := 0; trial < 60; trial++ {
+		db := workload.RandomGraph(r, workload.GraphConfig{
+			Nodes: 2 + r.Intn(10), Edges: r.Intn(40), Labels: labels,
+		})
+		expr := exprs[r.Intn(len(exprs))]
+		dfa, nfa := compile(t, expr, labels...)
+		ev, err := New(dfa, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := db.Eval(nfa)
+		got, err := ev.AllPairs(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SamePairs(want, got) {
+			t.Fatalf("trial %d (%s): AllPairs mismatch\nfrontier: %v\nmap BFS:  %v\n%s",
+				trial, expr, db.PairNames(got), db.PairNames(want), db.DOT("g"))
+		}
+		ref, err := ReferenceAllPairs(context.Background(), dfa, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SamePairs(want, ref) {
+			t.Fatalf("trial %d (%s): reference mismatch\nreference: %v\nmap BFS:   %v",
+				trial, expr, db.PairNames(ref), db.PairNames(want))
+		}
+		// Single-source and boolean agree with the all-pairs set.
+		src := graph.NodeID(r.Intn(db.NumNodes()))
+		wantFrom := db.EvalFrom(nfa, src)
+		gotFrom, err := ev.From(context.Background(), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(wantFrom) != fmt.Sprint(gotFrom) {
+			t.Fatalf("trial %d (%s): From(%d) mismatch: got %v want %v",
+				trial, expr, src, gotFrom, wantFrom)
+		}
+		dst := graph.NodeID(r.Intn(db.NumNodes()))
+		inSet := false
+		for _, n := range wantFrom {
+			if n == dst {
+				inSet = true
+			}
+		}
+		matched, err := ev.Boolean(context.Background(), src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if matched != inSet {
+			t.Fatalf("trial %d (%s): Boolean(%d,%d) = %v, want %v",
+				trial, expr, src, dst, matched, inSet)
+		}
+	}
+}
+
+func TestEpsilonAnswersIncludeSelfPairs(t *testing.T) {
+	db := workload.ChainGraph(3, []string{"a"})
+	dfa, _ := compile(t, "a*", "a")
+	ev, err := New(dfa, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := ev.AllPairs(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ε ∈ L(a*): every node pairs with itself, plus all forward chains:
+	// 4 self pairs + 3+2+1 forward pairs.
+	if len(pairs) != 10 {
+		t.Fatalf("a* on chain(3): want 10 pairs, got %d: %v", len(pairs), db.PairNames(pairs))
+	}
+}
+
+func TestEmptyLanguage(t *testing.T) {
+	db := workload.ChainGraph(2, []string{"a"})
+	dfa, _ := compile(t, "∅", "a")
+	ev, err := New(dfa, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := ev.AllPairs(context.Background())
+	if err != nil || len(pairs) != 0 {
+		t.Fatalf("empty language: want no pairs, got %v (err %v)", pairs, err)
+	}
+	nodes, err := ev.From(context.Background(), 0)
+	if err != nil || len(nodes) != 0 {
+		t.Fatalf("empty language: want no nodes, got %v (err %v)", nodes, err)
+	}
+}
+
+func TestUnknownNode(t *testing.T) {
+	db := workload.ChainGraph(2, []string{"a"})
+	dfa, _ := compile(t, "a", "a")
+	ev, err := New(dfa, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.From(context.Background(), 99); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("want ErrUnknownNode, got %v", err)
+	}
+	if _, err := ev.From(context.Background(), -1); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("want ErrUnknownNode for negative id, got %v", err)
+	}
+	if _, err := ev.Boolean(context.Background(), 0, 99); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("Boolean: want ErrUnknownNode, got %v", err)
+	}
+}
+
+func TestLabelsUnknownToAutomatonAreInert(t *testing.T) {
+	db := graph.New(nil)
+	db.AddEdge("x", "a", "y")
+	db.AddEdge("y", "zzz", "z") // label outside the query alphabet
+	dfa, _ := compile(t, "a·b*", "a", "b")
+	ev, err := New(dfa, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := ev.AllPairs(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0] != (graph.Pair{From: db.NodeID("x"), To: db.NodeID("y")}) {
+		t.Fatalf("want exactly x→y, got %v", db.PairNames(pairs))
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	db := workload.GridGraph(40, 40, "a", "b")
+	dfa, _ := compile(t, "(a+b)*", "a", "b")
+	ev, err := New(dfa, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := budget.With(context.Background(), budget.New(budget.MaxStates(50)))
+	_, err = ev.From(ctx, 0)
+	var ex *budget.ExceededError
+	if !errors.As(err, &ex) {
+		t.Fatalf("want *budget.ExceededError, got %v", err)
+	}
+	if ex.Stage != "eval.bfs" {
+		t.Fatalf("want stage eval.bfs, got %s", ex.Stage)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	db := workload.GridGraph(60, 60, "a", "b")
+	dfa, _ := compile(t, "(a+b)*", "a", "b")
+	ev, err := New(dfa, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ev.AllPairs(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestStreamingYieldErrorAborts(t *testing.T) {
+	db := workload.GridGraph(10, 10, "a", "b")
+	dfa, _ := compile(t, "(a+b)*", "a", "b")
+	ev, err := New(dfa, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	seen := 0
+	err = ev.AllPairsFunc(context.Background(), func(graph.Pair) error {
+		seen++
+		if seen == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want yield error back, got %v", err)
+	}
+	if seen != 3 {
+		t.Fatalf("want abort after 3 answers, got %d", seen)
+	}
+}
+
+func TestViewGraphSmall(t *testing.T) {
+	// db: x --a--> y --b--> z; views v1 = a, v2 = a·b.
+	db := graph.New(nil)
+	db.AddEdge("x", "a", "y")
+	db.AddEdge("y", "b", "z")
+	sigma := alphabet.New()
+	sigma.Intern("a")
+	sigma.Intern("b")
+	sigmaE := alphabet.New()
+	v1 := sigmaE.Intern("v1")
+	v2 := sigmaE.Intern("v2")
+	views := map[alphabet.Symbol]*automata.NFA{
+		v1: regex.MustParse("a").ToNFA(sigma).RemoveEpsilon(),
+		v2: regex.MustParse("a·b").ToNFA(sigma).RemoveEpsilon(),
+	}
+	vg, err := ViewGraph(context.Background(), db, sigmaE, views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vg.NumNodes() != db.NumNodes() {
+		t.Fatalf("view graph changed node count: %d vs %d", vg.NumNodes(), db.NumNodes())
+	}
+	// Expect exactly x --v1--> y and x --v2--> z.
+	if vg.NumEdges() != 2 {
+		t.Fatalf("want 2 view edges, got %d\n%s", vg.NumEdges(), vg.DOT("vg"))
+	}
+	dfa1, _ := compile(t, "v1", "v1", "v2")
+	ev1, err := New(dfa1, vg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := ev1.AllPairs(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) != 1 || p1[0] != (graph.Pair{From: vg.NodeID("x"), To: vg.NodeID("y")}) {
+		t.Fatalf("v1 answers wrong: %v", vg.PairNames(p1))
+	}
+}
+
+func TestSubsetOfPairs(t *testing.T) {
+	a := []graph.Pair{{From: 1, To: 2}, {From: 0, To: 1}}
+	b := []graph.Pair{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 2}}
+	if !SubsetOfPairs(a, b) {
+		t.Fatal("a ⊆ b expected")
+	}
+	if SubsetOfPairs(b, a) {
+		t.Fatal("b ⊄ a expected")
+	}
+	if !SamePairs(a, a) || SamePairs(a, b) {
+		t.Fatal("SamePairs misbehaves")
+	}
+}

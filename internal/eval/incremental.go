@@ -1,0 +1,265 @@
+package eval
+
+import (
+	"context"
+	"sort"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/budget"
+	"regexrw/internal/graph"
+	"regexrw/internal/obs"
+)
+
+// dedge is an inserted edge in the per-node delta adjacency; its
+// symbol is already mapped to the DFA's alphabet.
+type dedge struct {
+	sym int32
+	to  int32
+}
+
+// logEdge is one Insert in the evaluator's append-only insertion log,
+// the feed for Run.Update. sym < 0 marks an edge whose label the
+// automaton cannot follow (kept so the log mirrors the full mutation
+// history, skipped by updates).
+type logEdge struct {
+	from, to int32
+	sym      int32
+}
+
+// Insert adds the edge from --label--> to to the evaluator's delta
+// overlay, creating nodes as needed; the underlying database is not
+// touched. Labels outside the automaton's alphabet are logged but
+// inert. Insert requires external synchronization against every other
+// method (see the Evaluator doc).
+func (ev *Evaluator) Insert(from, label, to string) {
+	if ev.names == nil {
+		// Copy-on-first-insert: intern the base node names in id order
+		// so snapshot ids stay valid alongside inserted ones.
+		ev.names = alphabet.New()
+		for i := 0; i < ev.db.NumNodes(); i++ {
+			ev.names.Intern(ev.db.NodeName(graph.NodeID(i)))
+		}
+	}
+	f := int32(ev.names.Intern(from))
+	t := int32(ev.names.Intern(to))
+	if n := ev.names.Len(); n > ev.numNodes {
+		ev.numNodes = n
+	}
+	sym := noState
+	if !ev.empty {
+		if s := ev.dfa.Alphabet().Lookup(label); s != alphabet.None {
+			sym = int32(s)
+		}
+	}
+	if sym >= 0 {
+		for int(f) >= len(ev.delta) {
+			ev.delta = append(ev.delta, nil)
+		}
+		ev.delta[f] = append(ev.delta[f], dedge{sym: sym, to: t})
+	}
+	ev.log = append(ev.log, logEdge{from: f, to: t, sym: sym})
+}
+
+// Run is a retained single-source evaluation: the visited bitsets and
+// answer set of a finished BFS, positioned at a point in the
+// evaluator's insertion log. Update advances it over edges inserted
+// since, re-running only the part of the product the new edges unlock.
+// A Run is not safe for concurrent use.
+type Run struct {
+	ev      *Evaluator
+	src     graph.NodeID
+	st      bfsState
+	answers []graph.NodeID
+	logPos  int
+}
+
+// Start runs the full single-source BFS and retains its state for
+// incremental re-evaluation. Governed like From (stage "eval.bfs").
+func (ev *Evaluator) Start(ctx context.Context, src graph.NodeID) (*Run, error) {
+	ctx, span := obs.StartSpan(ctx, "eval.from")
+	defer span.End()
+	if err := ev.checkNode(src); err != nil {
+		return nil, err
+	}
+	r := &Run{ev: ev, src: src, logPos: len(ev.log)}
+	if ev.empty {
+		return r, nil
+	}
+	r.st = bfsState{visited: ev.newRows(), emitted: make([]uint64, ev.words())}
+	meter := budget.Enter(ctx, "eval.bfs")
+	emit := func(n graph.NodeID) error {
+		r.answers = append(r.answers, n)
+		return nil
+	}
+	if err := ev.seedFrom(src, &r.st, emit); err != nil {
+		return nil, err
+	}
+	if err := meter.AddStates(1); err != nil {
+		return nil, err
+	}
+	if err := ev.bfs(meter, &r.st, emit); err != nil {
+		return nil, err
+	}
+	span.SetAttr("answers", int64(len(r.answers)))
+	return r, nil
+}
+
+// Source returns the run's source node.
+func (r *Run) Source() graph.NodeID { return r.src }
+
+// Answers returns the current answer set, sorted by node id.
+func (r *Run) Answers() []graph.NodeID {
+	out := append([]graph.NodeID(nil), r.answers...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Update consumes the insertions made since the run last settled and
+// continues the BFS from exactly the configurations they unlock: an
+// inserted edge u→v on symbol a seeds (v, δ(q, a)) for every already
+// visited configuration (u, q) whose successor is new. Answers only
+// grow (evaluation is monotone under edge insertion) and the result of
+// Update is identical to re-running from scratch on the extended
+// graph. Returns the newly discovered answers in discovery order;
+// governed under an "eval.update" span, stage "eval.update".
+func (r *Run) Update(ctx context.Context) ([]graph.NodeID, error) {
+	ctx, span := obs.StartSpan(ctx, "eval.update")
+	defer span.End()
+	ev := r.ev
+	span.SetAttr("log_edges", int64(len(ev.log)-r.logPos))
+	if ev.empty {
+		r.logPos = len(ev.log)
+		return nil, nil
+	}
+	r.grow()
+	meter := budget.Enter(ctx, "eval.update")
+	var fresh []graph.NodeID
+	emit := func(n graph.NodeID) error {
+		fresh = append(fresh, n)
+		return nil
+	}
+	seeded := 0
+	for _, le := range ev.log[r.logPos:] {
+		if le.sym < 0 {
+			continue
+		}
+		if err := meter.Check(); err != nil {
+			return nil, err
+		}
+		for q := range r.st.visited {
+			if !bitGet(r.st.visited[q], le.from) {
+				continue
+			}
+			q2 := ev.next[q*ev.nsym+int(le.sym)]
+			if q2 < 0 || bitGet(r.st.visited[q2], le.to) {
+				continue
+			}
+			bitSet(r.st.visited[q2], le.to)
+			seeded++
+			if ev.accept[q2] && !bitGet(r.st.emitted, le.to) {
+				bitSet(r.st.emitted, le.to)
+				if err := emit(graph.NodeID(le.to)); err != nil {
+					return nil, err
+				}
+			}
+			r.st.frontier = append(r.st.frontier, cfg{le.to, q2})
+		}
+	}
+	r.logPos = len(ev.log)
+	if err := meter.AddStates(seeded); err != nil {
+		return nil, err
+	}
+	if err := ev.bfs(meter, &r.st, emit); err != nil {
+		return nil, err
+	}
+	r.answers = append(r.answers, fresh...)
+	span.SetAttr("answers", int64(len(fresh)))
+	return fresh, nil
+}
+
+// grow widens the run's bitset rows to the evaluator's current node
+// count (inserts may have added nodes since the run settled).
+func (r *Run) grow() {
+	w := r.ev.words()
+	if len(r.st.emitted) >= w {
+		return
+	}
+	grown := make([]uint64, w)
+	copy(grown, r.st.emitted)
+	r.st.emitted = grown
+	for q, row := range r.st.visited {
+		g := make([]uint64, w)
+		copy(g, row)
+		r.st.visited[q] = g
+	}
+}
+
+// AllRun is the all-pairs analogue of Run: one retained run per source
+// node. Sources are fixed at StartAll; answers from nodes inserted
+// later are not tracked (answers *to* them are). Not safe for
+// concurrent use.
+type AllRun struct {
+	ev   *Evaluator
+	runs []*Run
+}
+
+// StartAll evaluates all pairs and retains per-source state for
+// incremental re-evaluation. Memory is O(sources × DFA states × nodes)
+// bits — meant for the moderate graph sizes where all-pairs answers
+// are themselves tractable.
+func (ev *Evaluator) StartAll(ctx context.Context) (*AllRun, error) {
+	ctx, span := obs.StartSpan(ctx, "eval.all_pairs")
+	defer span.End()
+	ar := &AllRun{ev: ev, runs: make([]*Run, ev.numNodes)}
+	for src := 0; src < ev.numNodes; src++ {
+		r, err := ev.Start(ctx, graph.NodeID(src))
+		if err != nil {
+			return nil, err
+		}
+		ar.runs[src] = r
+	}
+	return ar, nil
+}
+
+// Update advances every retained source run over the pending
+// insertions, returning the newly discovered pairs sorted by
+// (from, to).
+func (ar *AllRun) Update(ctx context.Context) ([]graph.Pair, error) {
+	ctx, span := obs.StartSpan(ctx, "eval.update")
+	defer span.End()
+	var fresh []graph.Pair
+	for _, r := range ar.runs {
+		nodes, err := r.Update(ctx)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range nodes {
+			fresh = append(fresh, graph.Pair{From: r.src, To: n})
+		}
+	}
+	sortPairs(fresh)
+	span.SetAttr("answers", int64(len(fresh)))
+	return fresh, nil
+}
+
+// Pairs returns the current all-pairs answer set, sorted by
+// (from, to).
+func (ar *AllRun) Pairs() []graph.Pair {
+	var out []graph.Pair
+	for _, r := range ar.runs {
+		for _, n := range r.answers {
+			out = append(out, graph.Pair{From: r.src, To: n})
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+func sortPairs(ps []graph.Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].From != ps[j].From {
+			return ps[i].From < ps[j].From
+		}
+		return ps[i].To < ps[j].To
+	})
+}

@@ -1,0 +1,188 @@
+package eval
+
+import (
+	"context"
+	"sort"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+	"regexrw/internal/budget"
+	"regexrw/internal/graph"
+	"regexrw/internal/obs"
+)
+
+// ReferenceAllPairs is the retained naive reference the differential
+// oracle holds the frontier evaluator against: ans(ℓ, DB) by
+// transitive closure over the explicit product graph. It builds the
+// full configuration graph — one vertex per (DFA state, node) pair, an
+// arc ((q,u),(q',v)) for every edge u→v whose label drives q to q' —
+// and closes it with the Floyd–Warshall bit-matrix recurrence, then
+// reads answers off the closure: (u,v) ∈ ans iff (start,u) reaches
+// (q,v) for some accepting q in zero or more steps.
+//
+// The algorithm shares nothing with the frontier BFS (no frontiers, no
+// per-state rows, no early emission — a dense O(c²) matrix closed in
+// O(c³/64) word ops for c = states·nodes configurations) and nothing
+// with the map-based BFS in internal/graph, which makes it a genuinely
+// independent witness. It is exponential-space in graph size and meant
+// for oracle-sized instances only; the c configurations are charged as
+// states on the context's budget (stage "eval.reference"), so caps
+// skip oversized instances before the matrix is allocated.
+func ReferenceAllPairs(ctx context.Context, d *automata.DFA, db *graph.DB) ([]graph.Pair, error) {
+	ctx, span := obs.StartSpan(ctx, "eval.reference")
+	defer span.End()
+	meter := budget.Enter(ctx, "eval.reference")
+	nq := d.NumStates()
+	nv := db.NumNodes()
+	if nq == 0 || d.Start() == automata.NoState || nv == 0 {
+		return nil, nil
+	}
+	c := nq * nv
+	span.SetAttr("configs", int64(c))
+	if err := meter.AddStates(c); err != nil {
+		return nil, err
+	}
+
+	// Label remap, as in the evaluator snapshot.
+	labelMap := make([]alphabet.Symbol, db.Labels().Len())
+	for _, l := range db.Labels().Symbols() {
+		labelMap[l] = alphabet.None
+		if s := d.Alphabet().Lookup(db.Labels().Name(l)); s != alphabet.None {
+			labelMap[l] = s
+		}
+	}
+
+	// reach[i] is the bit row of configurations reachable from i in
+	// zero or more steps; configuration (q,u) has index q*nv+u.
+	words := (c + 63) / 64
+	backing := make([]uint64, c*words)
+	reach := make([][]uint64, c)
+	for i := range reach {
+		reach[i] = backing[i*words : (i+1)*words]
+		reach[i][i>>6] |= 1 << (uint(i) & 63) // reflexive: ε-length paths
+	}
+	for q := 0; q < nq; q++ {
+		for u := 0; u < nv; u++ {
+			i := q*nv + u
+			for _, e := range db.Out(graph.NodeID(u)) {
+				x := labelMap[e.Label]
+				if x == alphabet.None {
+					continue
+				}
+				q2 := d.Next(automata.State(q), x)
+				if q2 == automata.NoState {
+					continue
+				}
+				j := int(q2)*nv + int(e.To)
+				reach[i][j>>6] |= 1 << (uint(j) & 63)
+			}
+		}
+	}
+
+	// Floyd–Warshall on the boolean matrix: if i reaches k, i reaches
+	// everything k reaches. 64 columns per word op.
+	for k := 0; k < c; k++ {
+		if err := meter.Check(); err != nil {
+			return nil, err
+		}
+		rowK := reach[k]
+		kw, kb := k>>6, uint64(1)<<(uint(k)&63)
+		for i := 0; i < c; i++ {
+			if reach[i][kw]&kb == 0 {
+				continue
+			}
+			rowI := reach[i]
+			for w := range rowK {
+				rowI[w] |= rowK[w]
+			}
+		}
+	}
+
+	accepting := make([]automata.State, 0, nq)
+	for q := 0; q < nq; q++ {
+		if d.Accepting(automata.State(q)) {
+			accepting = append(accepting, automata.State(q))
+		}
+	}
+	var out []graph.Pair
+	start := int(d.Start())
+	for u := 0; u < nv; u++ {
+		row := reach[start*nv+u]
+		for _, q := range accepting {
+			base := int(q) * nv
+			for v := 0; v < nv; v++ {
+				j := base + v
+				if row[j>>6]&(1<<(uint(j)&63)) != 0 {
+					out = append(out, graph.Pair{From: graph.NodeID(u), To: graph.NodeID(v)})
+				}
+			}
+		}
+	}
+	// Several accepting states can witness the same pair.
+	sortPairs(out)
+	out = dedupPairs(out)
+	span.SetAttr("answers", int64(len(out)))
+	return out, nil
+}
+
+func dedupPairs(ps []graph.Pair) []graph.Pair {
+	if len(ps) < 2 {
+		return ps
+	}
+	kept := ps[:1]
+	for _, p := range ps[1:] {
+		if p != kept[len(kept)-1] {
+			kept = append(kept, p)
+		}
+	}
+	return kept
+}
+
+// SamePairs reports whether two sorted, deduplicated answer sets are
+// identical — the oracle's set-identity check. Unsorted inputs are
+// copied and normalized first.
+func SamePairs(a, b []graph.Pair) bool {
+	an := normalizePairs(a)
+	bn := normalizePairs(b)
+	if len(an) != len(bn) {
+		return false
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func normalizePairs(ps []graph.Pair) []graph.Pair {
+	out := append([]graph.Pair(nil), ps...)
+	sortPairs(out)
+	return dedupPairs(out)
+}
+
+// sortedContains reports a ⊆ b for sorted, deduplicated pair sets.
+func sortedContains(b, a []graph.Pair) bool {
+	j := 0
+	for _, p := range a {
+		for j < len(b) && (b[j].From < p.From || (b[j].From == p.From && b[j].To < p.To)) {
+			j++
+		}
+		if j >= len(b) || b[j] != p {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOfPairs reports whether every pair of a occurs in b (both in
+// any order) — the monotonicity check of the metamorphic suite.
+func SubsetOfPairs(a, b []graph.Pair) bool {
+	return sortedContains(normalizePairs(b), normalizePairs(a))
+}
+
+// sortNodes sorts a node answer slice in place and returns it.
+func sortNodes(ns []graph.NodeID) []graph.NodeID {
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	return ns
+}

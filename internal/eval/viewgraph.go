@@ -1,0 +1,59 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+	"regexrw/internal/graph"
+	"regexrw/internal/obs"
+)
+
+// ViewGraph materializes the view-image database of Section 4's
+// soundness argument: over the same node set as db, it has one edge
+// u --e--> v per view symbol e ∈ Σ_E and pair (u,v) ∈ ans(re(e), db).
+// Evaluating a rewriting (an expression over Σ_E) on the view-image
+// graph is evaluating it over the view extensions; when the rewriting
+// is exact, the answers equal those of the original query on the base
+// graph — the invariant the metamorphic suite pins.
+//
+// views maps each Σ_E symbol to its ε-free NFA over Σ (the shape
+// produced by core.Instance.ViewNFAs); symbols without a view are
+// skipped. Node ids in the returned database equal db's. The per-view
+// determinizations and evaluations are governed by the context's
+// budget under an "eval.view_graph" span.
+func ViewGraph(ctx context.Context, db *graph.DB, sigmaE *alphabet.Alphabet, views map[alphabet.Symbol]*automata.NFA) (*graph.DB, error) {
+	ctx, span := obs.StartSpan(ctx, "eval.view_graph")
+	defer span.End()
+	out := graph.New(nil)
+	for n := 0; n < db.NumNodes(); n++ {
+		out.AddNode(db.NodeName(graph.NodeID(n)))
+	}
+	edges := int64(0)
+	for _, e := range sigmaE.Symbols() {
+		vnfa := views[e]
+		if vnfa == nil {
+			continue
+		}
+		d, err := automata.DeterminizeContext(ctx, vnfa)
+		if err != nil {
+			return nil, fmt.Errorf("eval: view %s: %w", sigmaE.Name(e), err)
+		}
+		ev, err := New(d, db)
+		if err != nil {
+			return nil, fmt.Errorf("eval: view %s: %w", sigmaE.Name(e), err)
+		}
+		sym := out.Labels().Intern(sigmaE.Name(e))
+		err = ev.AllPairsFunc(ctx, func(p graph.Pair) error {
+			out.AddEdgeIDs(p.From, sym, p.To)
+			edges++
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("eval: view %s: %w", sigmaE.Name(e), err)
+		}
+	}
+	span.SetAttr("edges", edges)
+	return out, nil
+}

@@ -7,6 +7,57 @@ import (
 	"regexrw/internal/alphabet"
 )
 
+// FuzzParseGraph is the stronger sibling of FuzzRead: beyond parse
+// stability it checks full structural preservation — an accepted input
+// survives a WriteTo/Read round trip with the graph unchanged under
+// Equal (node names and per-node edge multisets; ids may permute, as
+// Read interns names in first-appearance order), across two round
+// trips. The committed seed corpus covers truncated lines, duplicate
+// node declarations, labels outside any pre-interned domain, and huge
+// numeric names.
+func FuzzParseGraph(f *testing.F) {
+	for _, seed := range []string{
+		"a x b\n",
+		"a x",             // truncated triple: 2 fields, must error
+		"a x b\nb y c\nc", // trailing truncation down to a node line
+		"n\nn\nn\n",       // duplicate node declarations
+		"a q b\n",         // label not in any pre-seeded domain
+		"n999999999999999999 x n999999999999999999\n", // huge ids as names
+		"# comment\n\n  \na x b\n",
+		"a\tx\tb\r\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		db, err := Read(strings.NewReader(input), alphabet.New())
+		if err != nil {
+			return
+		}
+		var b strings.Builder
+		if _, err := db.WriteTo(&b); err != nil {
+			t.Fatalf("WriteTo failed: %v", err)
+		}
+		back, err := Read(strings.NewReader(b.String()), alphabet.New())
+		if err != nil {
+			t.Fatalf("round trip failed: %v\nserialized:\n%s", err, b.String())
+		}
+		if !db.Equal(back) {
+			t.Fatalf("round trip changed the graph\ninput:\n%s\nserialized:\n%s", input, b.String())
+		}
+		var b2 strings.Builder
+		if _, err := back.WriteTo(&b2); err != nil {
+			t.Fatalf("WriteTo of re-read db failed: %v", err)
+		}
+		back2, err := Read(strings.NewReader(b2.String()), alphabet.New())
+		if err != nil {
+			t.Fatalf("second round trip failed: %v\nserialized:\n%s", err, b2.String())
+		}
+		if !db.Equal(back2) {
+			t.Fatalf("second round trip changed the graph\ninput:\n%s", input)
+		}
+	})
+}
+
 // FuzzRead checks the graph reader never panics and that accepted
 // inputs round-trip through WriteTo/Read preserving node and edge
 // counts.

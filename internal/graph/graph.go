@@ -67,6 +67,17 @@ func (db *DB) AddEdge(from, label, to string) {
 	db.out[f] = append(db.out[f], Edge{Label: l, To: t})
 }
 
+// AddEdgeIDs adds the edge from --label--> to by ids: no name
+// interning, no adjacency growth. This is the fast path used by the
+// million-edge workload generators, where nodes are pre-added and the
+// label symbol is interned once. Both node ids must come from AddNode
+// on this database and the label from its domain alphabet; out-of-range
+// ids panic (from) or corrupt evaluation (to), exactly like indexing a
+// slice out of bounds.
+func (db *DB) AddEdgeIDs(from NodeID, label alphabet.Symbol, to NodeID) {
+	db.out[from] = append(db.out[from], Edge{Label: label, To: to})
+}
+
 // NumNodes returns the number of nodes.
 func (db *DB) NumNodes() int { return db.nodes.Len() }
 
@@ -295,6 +306,47 @@ func Read(r io.Reader, domain *alphabet.Alphabet) (*DB, error) {
 		return nil, err
 	}
 	return db, nil
+}
+
+// Equal reports whether two databases describe the same graph: the
+// same node-name set and, per node, the same multiset of outgoing
+// edges by (label name, target name). Node and label ids are not
+// compared — serialization round trips permute ids (Read interns names
+// in first-appearance order) without changing the graph.
+func (db *DB) Equal(o *DB) bool {
+	if db.NumNodes() != o.NumNodes() || db.NumEdges() != o.NumEdges() {
+		return false
+	}
+	for n := 0; n < db.NumNodes(); n++ {
+		name := db.NodeName(NodeID(n))
+		on := o.NodeID(name)
+		if on < 0 {
+			return false
+		}
+		a := db.renderEdges(NodeID(n))
+		b := o.renderEdges(on)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// renderEdges returns the out-edges of n as sorted "label target"
+// name pairs, the id-agnostic form compared by Equal.
+func (db *DB) renderEdges(n NodeID) []string {
+	es := db.out[n]
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = db.labels.Name(e.Label) + "\x00" + db.NodeName(e.To)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // PathDB builds the single-path database x0 --a1--> x1 --a2--> … used in

@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"regexrw/internal/alphabet"
+)
+
+// randomDB builds a random multigraph with isolated nodes, duplicate
+// edges and self loops — every shape the text codec must preserve.
+func randomDB(r *rand.Rand) *DB {
+	db := New(alphabet.New())
+	nodes := r.Intn(12) + 1
+	labels := []string{"a", "b", "c"}
+	for i := 0; i < nodes; i++ {
+		db.AddNode(fmt.Sprintf("n%d", i))
+	}
+	edges := r.Intn(30)
+	for i := 0; i < edges; i++ {
+		from := fmt.Sprintf("n%d", r.Intn(nodes))
+		to := fmt.Sprintf("n%d", r.Intn(nodes))
+		db.AddEdge(from, labels[r.Intn(len(labels))], to)
+	}
+	return db
+}
+
+// TestRoundTripPreservesDB: WriteTo followed by Read yields an Equal
+// database on random multigraphs (node ids may permute — Read interns
+// names in first-appearance order — but the graph must not change,
+// even across a second round trip), and WriteTo is deterministic.
+func TestRoundTripPreservesDB(t *testing.T) {
+	r := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < 200; trial++ {
+		db := randomDB(r)
+		var b strings.Builder
+		if _, err := db.WriteTo(&b); err != nil {
+			t.Fatalf("trial %d: WriteTo: %v", trial, err)
+		}
+		var again strings.Builder
+		if _, err := db.WriteTo(&again); err != nil {
+			t.Fatalf("trial %d: WriteTo rerun: %v", trial, err)
+		}
+		if b.String() != again.String() {
+			t.Fatalf("trial %d: WriteTo is not deterministic", trial)
+		}
+		back, err := Read(strings.NewReader(b.String()), alphabet.New())
+		if err != nil {
+			t.Fatalf("trial %d: Read: %v\n%s", trial, err, b.String())
+		}
+		if !db.Equal(back) {
+			t.Fatalf("trial %d: round trip changed the graph\n%s", trial, b.String())
+		}
+		var b2 strings.Builder
+		if _, err := back.WriteTo(&b2); err != nil {
+			t.Fatalf("trial %d: WriteTo after round trip: %v", trial, err)
+		}
+		back2, err := Read(strings.NewReader(b2.String()), alphabet.New())
+		if err != nil {
+			t.Fatalf("trial %d: second Read: %v", trial, err)
+		}
+		if !db.Equal(back2) {
+			t.Fatalf("trial %d: second round trip changed the graph", trial)
+		}
+	}
+}
+
+// TestEqualDetectsDifferences: Equal must not be fooled by graphs that
+// agree on counts but differ in structure.
+func TestEqualDetectsDifferences(t *testing.T) {
+	base := func() *DB {
+		db := New(alphabet.New())
+		db.AddEdge("a", "x", "b")
+		db.AddEdge("b", "y", "c")
+		return db
+	}
+	same := base()
+	if !base().Equal(same) {
+		t.Fatal("identical graphs must be Equal")
+	}
+	relabeled := New(alphabet.New())
+	relabeled.AddEdge("a", "y", "b") // same counts, different label
+	relabeled.AddEdge("b", "x", "c")
+	if base().Equal(relabeled) {
+		t.Fatal("Equal missed a label difference")
+	}
+	retargeted := New(alphabet.New())
+	retargeted.AddEdge("a", "x", "c") // same counts, different target
+	retargeted.AddEdge("b", "y", "b")
+	if base().Equal(retargeted) {
+		t.Fatal("Equal missed a target difference")
+	}
+	renamed := New(alphabet.New())
+	renamed.AddEdge("a", "x", "b")
+	renamed.AddEdge("b", "y", "d") // node c renamed
+	if base().Equal(renamed) {
+		t.Fatal("Equal missed a node-name difference")
+	}
+	multi := base()
+	multi.AddEdge("a", "x", "b") // duplicate edge changes the multiset
+	if base().Equal(multi) {
+		t.Fatal("Equal missed a duplicate edge")
+	}
+}
+
+// TestAddEdgeIDsMatchesAddEdge: the id-based fast path and the
+// name-based path build Equal databases.
+func TestAddEdgeIDsMatchesAddEdge(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	byName := New(alphabet.New())
+	byID := New(alphabet.New())
+	const nodes = 20
+	ids := make([]NodeID, nodes)
+	for i := 0; i < nodes; i++ {
+		name := fmt.Sprintf("n%d", i)
+		byName.AddNode(name)
+		ids[i] = byID.AddNode(name)
+	}
+	labels := []string{"a", "b"}
+	syms := make([]alphabet.Symbol, len(labels))
+	for i, l := range labels {
+		syms[i] = byID.Labels().Intern(l)
+	}
+	for i := 0; i < 100; i++ {
+		f, l, to := r.Intn(nodes), r.Intn(len(labels)), r.Intn(nodes)
+		byName.AddEdge(fmt.Sprintf("n%d", f), labels[l], fmt.Sprintf("n%d", to))
+		byID.AddEdgeIDs(ids[f], syms[l], ids[to])
+	}
+	if !byName.Equal(byID) {
+		t.Fatal("AddEdgeIDs built a different graph than AddEdge")
+	}
+}

@@ -1,0 +1,158 @@
+package oracle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"regexrw/internal/automata"
+	"regexrw/internal/budget"
+	"regexrw/internal/core"
+	"regexrw/internal/eval"
+	"regexrw/internal/graph"
+)
+
+// CheckEvaluation runs the differential evaluation oracle on one
+// (instance, database) pair. Three independent RPQ algorithms must
+// produce set-identical answers for the query over the base graph:
+//
+//   - the frontier evaluator (internal/eval: product BFS with delta
+//     frontiers and per-state visited bitsets);
+//   - the retained naive reference (eval.ReferenceAllPairs: explicit
+//     configuration graph closed by the Floyd–Warshall bit-matrix
+//     product); and
+//   - the map-based product BFS retained in internal/graph (DB.Eval).
+//
+// The same identity is then checked for the maximal rewriting
+// evaluated over the view-image graph, and the rewriting's answers
+// must be contained in the query's (Section 4 soundness), with
+// equality whenever the rewriting is exact.
+//
+// Like CheckInstance, runs that blow past the size cap return an error
+// wrapping ErrSkipped, and every call records its verdict on the
+// process-wide oracle.checked / oracle.skipped counters.
+func CheckEvaluation(ctx context.Context, inst *core.Instance, db *graph.DB, cfg Config) error {
+	err := checkEvaluation(ctx, inst, db, cfg)
+	switch {
+	case err == nil:
+		oracleCounters.checked.Inc()
+	case errors.Is(err, ErrSkipped):
+		oracleCounters.skipped.Inc()
+	}
+	return err
+}
+
+func checkEvaluation(ctx context.Context, inst *core.Instance, db *graph.DB, cfg Config) error {
+	if cfg.MaxStates <= 0 {
+		cfg.MaxStates = DefaultConfig().MaxStates
+	}
+	capped := func(parent context.Context) context.Context {
+		return budget.With(parent, budget.New(budget.MaxStates(cfg.MaxStates)))
+	}
+	skippedOr := func(err error) error {
+		var ex *budget.ExceededError
+		if errors.As(err, &ex) {
+			return fmt.Errorf("%w: %w", ErrSkipped, err)
+		}
+		return err
+	}
+
+	// Query over the base graph, three ways.
+	qnfa := inst.QueryNFA()
+	qdfa, err := automata.DeterminizeContext(capped(ctx), qnfa)
+	if err != nil {
+		return skippedOr(err)
+	}
+	qdfa = qdfa.Minimize().TrimPartial()
+	qev, err := eval.New(qdfa, db)
+	if err != nil {
+		return err
+	}
+	frontier, err := qev.AllPairs(capped(ctx))
+	if err != nil {
+		return skippedOr(err)
+	}
+	reference, err := eval.ReferenceAllPairs(capped(ctx), qdfa, db)
+	if err != nil {
+		return skippedOr(err)
+	}
+	mapBFS := db.Eval(qnfa)
+	if !eval.SamePairs(frontier, reference) {
+		return fmt.Errorf("oracle: frontier evaluator disagrees with closure reference on the query\nfrontier:  %v\nreference: %v\ninstance %s\n%s",
+			db.PairNames(frontier), db.PairNames(reference), inst, db.DOT("db"))
+	}
+	if !eval.SamePairs(frontier, mapBFS) {
+		return fmt.Errorf("oracle: frontier evaluator disagrees with map BFS on the query\nfrontier: %v\nmap BFS:  %v\ninstance %s\n%s",
+			db.PairNames(frontier), db.PairNames(mapBFS), inst, db.DOT("db"))
+	}
+
+	// Single-source spot checks: From must slice AllPairs exactly.
+	if db.NumNodes() > 0 {
+		r := rand.New(rand.NewSource(int64(len(frontier))*1021 + int64(db.NumEdges())))
+		src := graph.NodeID(r.Intn(db.NumNodes()))
+		from, err := qev.From(capped(ctx), src)
+		if err != nil {
+			return skippedOr(err)
+		}
+		want := map[graph.NodeID]bool{}
+		for _, p := range frontier {
+			if p.From == src {
+				want[p.To] = true
+			}
+		}
+		if len(from) != len(want) {
+			return fmt.Errorf("oracle: From(%d) returned %d answers, all-pairs has %d for that source (instance %s)",
+				src, len(from), len(want), inst)
+		}
+		for _, n := range from {
+			if !want[n] {
+				return fmt.Errorf("oracle: From(%d) answer %s missing from all-pairs (instance %s)",
+					src, db.NodeName(n), inst)
+			}
+		}
+	}
+
+	// Rewriting over the view-image graph, two ways, and soundness
+	// against the query answers.
+	rw, err := core.MaximalRewritingContext(capped(ctx), inst)
+	if err != nil {
+		return skippedOr(err)
+	}
+	vg, err := eval.ViewGraph(capped(ctx), db, inst.SigmaE(), inst.ViewNFAs())
+	if err != nil {
+		return skippedOr(err)
+	}
+	rdfa := rw.MinimalDFA()
+	rev, err := eval.New(rdfa, vg)
+	if err != nil {
+		return err
+	}
+	rwFrontier, err := rev.AllPairs(capped(ctx))
+	if err != nil {
+		return skippedOr(err)
+	}
+	rwReference, err := eval.ReferenceAllPairs(capped(ctx), rdfa, vg)
+	if err != nil {
+		return skippedOr(err)
+	}
+	if !eval.SamePairs(rwFrontier, rwReference) {
+		return fmt.Errorf("oracle: frontier evaluator disagrees with closure reference on the rewriting\nfrontier:  %v\nreference: %v\ninstance %s",
+			vg.PairNames(rwFrontier), vg.PairNames(rwReference), inst)
+	}
+	// Node ids in the view-image graph equal the base graph's, so the
+	// answer sets compare directly.
+	if !eval.SubsetOfPairs(rwFrontier, frontier) {
+		return fmt.Errorf("oracle: rewriting answers not contained in query answers\nrewriting: %v\nquery:     %v\ninstance %s",
+			vg.PairNames(rwFrontier), db.PairNames(frontier), inst)
+	}
+	exact, _, err := rw.IsExactContext(capped(ctx))
+	if err != nil {
+		return skippedOr(err)
+	}
+	if exact && !eval.SamePairs(rwFrontier, frontier) {
+		return fmt.Errorf("oracle: exact rewriting disagrees with query over the base graph\nrewriting: %v\nquery:     %v\ninstance %s",
+			vg.PairNames(rwFrontier), db.PairNames(frontier), inst)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package oracle
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"regexrw/internal/workload"
+)
+
+// TestEvaluationDifferential sweeps the evaluation oracle over seeded
+// random (graph, query, views) instances: the frontier evaluator, the
+// transitive-closure reference and the map-based BFS must agree on
+// every instance that fits the size cap, and the rewriting evaluated
+// over the view-image graph must be sound against the query. 200
+// instances in full mode (the acceptance bar), 40 under -short.
+func TestEvaluationDifferential(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 40
+	}
+	r := rand.New(rand.NewSource(20260808))
+	icfg := workload.InstanceConfig{AlphabetSize: 3, NumViews: 3, QueryDepth: 3, ViewDepth: 2}
+	checkedBefore, skippedBefore := Verdicts()
+	checked, skipped := 0, 0
+	for i := 0; i < n; i++ {
+		inst := workload.RandomInstance(r, icfg)
+		db := workload.RandomGraph(r, workload.GraphConfig{
+			Nodes:  2 + r.Intn(10),
+			Edges:  r.Intn(35),
+			Labels: inst.Sigma().Names(),
+		})
+		err := CheckEvaluation(context.Background(), inst, db, DefaultConfig())
+		switch {
+		case err == nil:
+			checked++
+		case errors.Is(err, ErrSkipped):
+			skipped++
+		default:
+			t.Fatalf("instance %d: %v", i, err)
+		}
+	}
+	t.Logf("evaluation oracle: %d checked, %d skipped (size cap)", checked, skipped)
+
+	checkedAfter, skippedAfter := Verdicts()
+	if got := checkedAfter - checkedBefore; got != int64(checked) {
+		t.Errorf("oracle.checked counter advanced by %d, want %d", got, checked)
+	}
+	if got := skippedAfter - skippedBefore; got != int64(skipped) {
+		t.Errorf("oracle.skipped counter advanced by %d, want %d", got, skipped)
+	}
+
+	// A sweep where the cap skips too many instances proves nothing.
+	if skipped*5 > n {
+		t.Fatalf("%d/%d instances skipped at the size cap (>20%%); retune the cap or the instance distribution", skipped, n)
+	}
+}
+
+// TestEvaluationSkipOnTinyCap pins the cap-skip path: an absurdly small
+// state budget must surface as ErrSkipped, counted, never as a failure.
+func TestEvaluationSkipOnTinyCap(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	inst := workload.RandomInstance(r, workload.InstanceConfig{
+		AlphabetSize: 3, NumViews: 3, QueryDepth: 3, ViewDepth: 3,
+	})
+	db := workload.RandomGraph(r, workload.GraphConfig{
+		Nodes: 12, Edges: 40, Labels: inst.Sigma().Names(),
+	})
+	_, skippedBefore := Verdicts()
+	err := CheckEvaluation(context.Background(), inst, db, Config{MaxStates: 2})
+	if !errors.Is(err, ErrSkipped) {
+		t.Fatalf("want ErrSkipped under MaxStates=2, got %v", err)
+	}
+	if _, skippedAfter := Verdicts(); skippedAfter != skippedBefore+1 {
+		t.Fatalf("oracle.skipped = %d, want %d: skips must be counted, not silent", skippedAfter, skippedBefore+1)
+	}
+}
+
+// TestEvaluationEmptyGraph checks the degenerate database: every
+// algorithm must agree on the empty answer set.
+func TestEvaluationEmptyGraph(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	inst := workload.RandomInstance(r, workload.InstanceConfig{
+		AlphabetSize: 2, NumViews: 2, QueryDepth: 2, ViewDepth: 2,
+	})
+	db := workload.RandomGraph(r, workload.GraphConfig{
+		Nodes: 1, Edges: 0, Labels: inst.Sigma().Names(),
+	})
+	if err := CheckEvaluation(context.Background(), inst, db, DefaultConfig()); err != nil {
+		t.Fatalf("single-node graph: %v", err)
+	}
+}

@@ -1,0 +1,211 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/graph"
+)
+
+// Graph generator families for the Section 4 evaluation workloads.
+// All generators are deterministic: the structured families (grid,
+// chain) take no randomness at all, and the random families are a pure
+// function of their seed. They use the id-based fast path
+// (graph.AddEdgeIDs) so million-edge databases build in well under a
+// second.
+
+// GridGraph builds a w×h directed grid: node g<x>_<y> has a
+// right-labeled edge to g<x+1>_<y> and a down-labeled edge to
+// g<x>_<y+1>. Grids exercise long shortest paths (diameter w+h) with
+// bounded degree — the worst case for frontier depth.
+func GridGraph(w, h int, right, down string) *graph.DB {
+	db := graph.New(nil)
+	ids := make([]graph.NodeID, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			ids[y*w+x] = db.AddNode("g" + strconv.Itoa(x) + "_" + strconv.Itoa(y))
+		}
+	}
+	r := db.Labels().Intern(right)
+	d := db.Labels().Intern(down)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				db.AddEdgeIDs(ids[y*w+x], r, ids[y*w+x+1])
+			}
+			if y+1 < h {
+				db.AddEdgeIDs(ids[y*w+x], d, ids[(y+1)*w+x])
+			}
+		}
+	}
+	return db
+}
+
+// ChainGraph builds a path c0 → c1 → … → cn of n edges whose labels
+// cycle through the given list. Chains are the PathDB shape of
+// Theorem 10 at scale: a single maximal-length path.
+func ChainGraph(n int, labels []string) *graph.DB {
+	if len(labels) == 0 {
+		labels = []string{"a"}
+	}
+	db := graph.New(nil)
+	ids := make([]graph.NodeID, n+1)
+	for i := range ids {
+		ids[i] = db.AddNode("c" + strconv.Itoa(i))
+	}
+	syms := make([]alphabet.Symbol, len(labels))
+	for i, l := range labels {
+		syms[i] = db.Labels().Intern(l)
+	}
+	for i := 0; i < n; i++ {
+		db.AddEdgeIDs(ids[i], syms[i%len(syms)], ids[i+1])
+	}
+	return db
+}
+
+// PowerLawGraph builds a scale-free multigraph by preferential
+// attachment: each of the edges picks a uniform source and a target
+// drawn proportionally to in-degree (with a 10% uniform escape so
+// isolated nodes stay reachable), labels drawn uniformly. The heavy
+// tail gives a few hub nodes with enormous degree — the shape of real
+// web/social graphs and the best case for frontier bitsets, whose
+// dense rows absorb hub fan-out in word-sized chunks. Deterministic
+// given the rand source.
+func PowerLawGraph(r *rand.Rand, nodes, edges int, labels []string) *graph.DB {
+	if len(labels) == 0 {
+		labels = []string{"a", "b"}
+	}
+	db := graph.New(nil)
+	ids := make([]graph.NodeID, nodes)
+	for i := range ids {
+		ids[i] = db.AddNode("p" + strconv.Itoa(i))
+	}
+	syms := make([]alphabet.Symbol, len(labels))
+	for i, l := range labels {
+		syms[i] = db.Labels().Intern(l)
+	}
+	// endpoints holds one entry per edge target so far; sampling from
+	// it is sampling proportional to in-degree.
+	endpoints := make([]graph.NodeID, 0, edges)
+	for i := 0; i < edges; i++ {
+		from := ids[r.Intn(nodes)]
+		var to graph.NodeID
+		if len(endpoints) == 0 || r.Float64() < 0.1 {
+			to = ids[r.Intn(nodes)]
+		} else {
+			to = endpoints[r.Intn(len(endpoints))]
+		}
+		db.AddEdgeIDs(from, syms[r.Intn(len(syms))], to)
+		endpoints = append(endpoints, to)
+	}
+	return db
+}
+
+// ParseGraphSpec builds a database from a compact generator spec, the
+// format accepted by cmd/serve's -graph flag and the bench harness:
+//
+//	grid:WxH[:right,down]        — GridGraph
+//	chain:N[:l1,l2,…]            — ChainGraph
+//	powerlaw:N:E:SEED[:l1,l2,…]  — PowerLawGraph
+//	random:N:E:SEED[:l1,l2,…]    — RandomGraph (uniform)
+//
+// Unknown generator names and malformed parameters are errors.
+func ParseGraphSpec(spec string) (*graph.DB, error) {
+	parts := strings.Split(spec, ":")
+	bad := func(format string, args ...any) (*graph.DB, error) {
+		return nil, fmt.Errorf("workload: graph spec %q: %s", spec, fmt.Sprintf(format, args...))
+	}
+	switch parts[0] {
+	case "grid":
+		if len(parts) < 2 || len(parts) > 3 {
+			return bad("want grid:WxH[:right,down]")
+		}
+		dims := strings.SplitN(parts[1], "x", 2)
+		if len(dims) != 2 {
+			return bad("dimensions %q are not WxH", parts[1])
+		}
+		w, werr := strconv.Atoi(dims[0])
+		h, herr := strconv.Atoi(dims[1])
+		if werr != nil || herr != nil || w < 1 || h < 1 {
+			return bad("dimensions %q are not positive integers", parts[1])
+		}
+		right, down := "right", "down"
+		if len(parts) == 3 {
+			labels := strings.Split(parts[2], ",")
+			if len(labels) != 2 || labels[0] == "" || labels[1] == "" {
+				return bad("want exactly two labels, got %q", parts[2])
+			}
+			right, down = labels[0], labels[1]
+		}
+		return GridGraph(w, h, right, down), nil
+	case "chain":
+		if len(parts) < 2 || len(parts) > 3 {
+			return bad("want chain:N[:labels]")
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil || n < 0 {
+			return bad("length %q is not a non-negative integer", parts[1])
+		}
+		var labels []string
+		if len(parts) == 3 {
+			labels = splitLabels(parts[2])
+			if labels == nil {
+				return bad("empty label in %q", parts[2])
+			}
+		}
+		return ChainGraph(n, labels), nil
+	case "powerlaw", "random":
+		if len(parts) < 4 || len(parts) > 5 {
+			return bad("want %s:N:E:SEED[:labels]", parts[0])
+		}
+		n, nerr := strconv.Atoi(parts[1])
+		e, eerr := strconv.Atoi(parts[2])
+		seed, serr := strconv.ParseInt(parts[3], 10, 64)
+		if nerr != nil || eerr != nil || serr != nil || n < 1 || e < 0 {
+			return bad("parameters %q are not N:E:SEED", strings.Join(parts[1:4], ":"))
+		}
+		labels := []string{"a", "b"}
+		if len(parts) == 5 {
+			labels = splitLabels(parts[4])
+			if labels == nil {
+				return bad("empty label in %q", parts[4])
+			}
+		}
+		r := rand.New(rand.NewSource(seed))
+		if parts[0] == "powerlaw" {
+			return PowerLawGraph(r, n, e, labels), nil
+		}
+		return RandomGraph(r, GraphConfig{Nodes: n, Edges: e, Labels: labels}), nil
+	default:
+		return bad("unknown generator %q (want grid, chain, powerlaw or random)", parts[0])
+	}
+}
+
+// IsGraphSpec reports whether the string names a known generator —
+// callers with path-or-spec inputs (cmd/serve's -graph flag) use it to
+// decide between ParseGraphSpec and reading a file.
+func IsGraphSpec(spec string) bool {
+	head, _, ok := strings.Cut(spec, ":")
+	if !ok {
+		return false
+	}
+	switch head {
+	case "grid", "chain", "powerlaw", "random":
+		return true
+	}
+	return false
+}
+
+// splitLabels splits a comma list, rejecting empty entries.
+func splitLabels(s string) []string {
+	labels := strings.Split(s, ",")
+	for _, l := range labels {
+		if l == "" {
+			return nil
+		}
+	}
+	return labels
+}

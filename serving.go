@@ -94,6 +94,32 @@ type EngineBatchResult = engine.BatchResult
 // EngineHandle is the future returned by Engine.Submit.
 type EngineHandle = engine.Handle
 
+// QueryRequest is one RPQ answering request (Engine.Query): a
+// rewriting problem plus the labeled graph to answer it over.
+type QueryRequest = engine.QueryRequest
+
+// QueryResult is the outcome of Engine.Query.
+type QueryResult = engine.QueryResult
+
+// QueryAnswer is one answer pair, by node name.
+type QueryAnswer = engine.QueryAnswer
+
+// QueryMode selects the evaluated automaton: ModeRewriting (the
+// maximal rewriting over a view-image graph) or ModeQuery (the
+// original query over the base database).
+type QueryMode = engine.QueryMode
+
+// LiveQuery is a retained incremental evaluation session
+// (Engine.QueryIncremental): its answer set stays current under edge
+// insertions without re-evaluating from scratch.
+type LiveQuery = engine.LiveQuery
+
+// Query evaluation modes.
+const (
+	ModeRewriting = engine.ModeRewriting
+	ModeQuery     = engine.ModeQuery
+)
+
 // AdmissionError reports an engine rejection under load; it matches
 // errors.Is(err, ErrQueueFull).
 type AdmissionError = engine.AdmissionError

@@ -49,6 +49,52 @@ func TestEngineFacade(t *testing.T) {
 	}
 }
 
+func TestEngineFacadeQuery(t *testing.T) {
+	eng := regexrw.NewEngine(regexrw.WithEngineMetrics(regexrw.NewMetrics()))
+	defer eng.Close()
+	// View-image chain x --e2--> y --e1--> z --e3--> w for Example 2's
+	// rewriting e2*·e1·e3*.
+	db := regexrw.NewDB(nil)
+	db.AddEdge("x", "e2", "y")
+	db.AddEdge("y", "e1", "z")
+	db.AddEdge("z", "e3", "w")
+	res, err := eng.Query(context.Background(), regexrw.QueryRequest{
+		Request: regexrw.Request{
+			Query: "a·(b·a+c)*",
+			Views: map[string]string{"e1": "a", "e2": "a·c*·b", "e3": "c"},
+		},
+		Graph:  db,
+		Mode:   regexrw.ModeRewriting,
+		Source: "x",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 2 || res.Answers[0] != (regexrw.QueryAnswer{From: "x", To: "w"}) {
+		t.Fatalf("facade query answers = %v", res.Answers)
+	}
+
+	lq, err := eng.QueryIncremental(context.Background(), regexrw.QueryRequest{
+		Request: regexrw.Request{
+			Query: "a·(b·a+c)*",
+			Views: map[string]string{"e1": "a", "e2": "a·c*·b", "e3": "c"},
+		},
+		Graph:  db,
+		Source: "x",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lq.InsertEdge("w", "e3", "v")
+	fresh, err := lq.Update(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != 1 || fresh[0] != (regexrw.QueryAnswer{From: "x", To: "v"}) {
+		t.Fatalf("incremental facade answers = %v", fresh)
+	}
+}
+
 func TestEngineFacadeRPQ(t *testing.T) {
 	tt := regexrw.NewTheory()
 	tt.AddConstants("a", "b", "c")
