@@ -9,9 +9,14 @@
 // ≥ 10x faster than cold compiles for PlanCache; the frontier-bitset
 // evaluator and its incremental updates ≥ 5x faster than the map BFS
 // and from-scratch baselines for GraphEval/GraphEvalIncr at 100k+
-// edges); -against verifies the
-// report's schema and coverage against a committed reference without
-// comparing wall-clock numbers (docs/PERFORMANCE.md §5).
+// edges; for the Strategy* families — StrategyEX2, StrategyTHM5,
+// StrategyTHM6, each timing the adaptive dispatcher against every
+// forced arm — the adaptive run ≥ 0.95x the better forced arm, the
+// dense minimization kernel ≥ 1.5x over forced sparse on StrategyTHM5,
+// and the EX2Pipeline speedup at GOMAXPROCS > 1 ≥ 0.95x); -against
+// verifies the report's schema and coverage against a committed
+// reference without comparing wall-clock numbers
+// (docs/PERFORMANCE.md §5).
 package main
 
 import (

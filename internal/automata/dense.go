@@ -1,0 +1,642 @@
+package automata
+
+import (
+	"context"
+	"math/bits"
+	"sort"
+	"sync/atomic"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/budget"
+	"regexrw/internal/obs"
+	"regexrw/internal/strategy"
+)
+
+// This file is the dense DFA kernel layer: a symbol-indexed []int32
+// transition table built once per DFA structure and cached behind an
+// atomic pointer (the same gen-counter idiom as the NFA's closure memo
+// in cache.go), plus the hot loops ported onto it — membership runs,
+// the minimization refinement, the DFA product, and the materialized
+// containment scan behind the Theorem 6 exactness check. Whether a
+// kernel runs dense or sparse is decided per call by the strategy
+// dispatcher (internal/strategy) from the automaton's states × |Σ|
+// density; the dense and sparse arms compute byte-identical automata,
+// which internal/oracle verifies differentially.
+
+// denseTab is the dense transition table of one DFA structure: next is
+// a row-major [states × stride] array of successor ids with -1 for
+// NoState, accept is a word-level bitset of the accepting states.
+// stride is the alphabet size at build time; symbols interned into the
+// alphabet afterwards have no transitions (dfa.Next's contract), so a
+// bounds check against stride is the only guard readers need.
+type denseTab struct {
+	n      int // states at build time
+	stride int // alphabet length at build time
+	next   []int32
+	accept []uint64
+}
+
+// denseBox pairs a table with the mutation generation it was built for.
+type denseBox struct {
+	gen int64
+	tab *denseTab
+}
+
+// denseCounters tracks table builds and reuses process-wide, mirroring
+// the cacheCounters idiom; -metrics exposes them as
+// automata.dense.builds / automata.dense.reuses.
+var denseCounters = struct {
+	builds *obs.Counter
+	reuses *obs.Counter
+}{
+	builds: obs.Default.Counter("automata.dense.builds"),
+	reuses: obs.Default.Counter("automata.dense.reuses"),
+}
+
+// denseTables returns the dense transition table valid for the DFA's
+// current structure, building it on first use. Structural mutators bump
+// d.gen, so a stale table is detected and rebuilt; concurrent readers
+// of an immutable DFA may race to build, every table is equally valid
+// and the last Store wins.
+func (d *DFA) denseTables() *denseTab {
+	gen := atomic.LoadInt64(&d.gen)
+	if box := d.dense.Load(); box != nil && box.gen == gen {
+		denseCounters.reuses.Add(1)
+		return box.tab
+	}
+	t := d.buildDense()
+	d.dense.Store(&denseBox{gen: gen, tab: t})
+	denseCounters.builds.Add(1)
+	return t
+}
+
+// denseCached returns the cached table if it is valid for the current
+// structure, or nil without building: the cheap probe used by Run and
+// Accepts, which must not pay a build for a single word.
+func (d *DFA) denseCached() *denseTab {
+	box := d.dense.Load()
+	if box == nil || box.gen != atomic.LoadInt64(&d.gen) {
+		return nil
+	}
+	return box.tab
+}
+
+// invalidateDense marks any cached dense table stale. Called by every
+// structural mutator (AddState, SetAccept, SetTransition).
+func (d *DFA) invalidateDense() {
+	atomic.AddInt64(&d.gen, 1)
+}
+
+func (d *DFA) buildDense() *denseTab {
+	n := d.NumStates()
+	stride := d.alpha.Len()
+	t := &denseTab{
+		n:      n,
+		stride: stride,
+		next:   make([]int32, n*stride),
+		accept: make([]uint64, (n+63)/64),
+	}
+	for i := range t.next {
+		t.next[i] = int32(NoState)
+	}
+	for s := 0; s < n; s++ {
+		if d.accept[s] {
+			t.accept[s>>6] |= 1 << (uint(s) & 63)
+		}
+		row := t.next[s*stride : (s+1)*stride]
+		for x, to := range d.trans[s] {
+			if x < stride {
+				row[x] = int32(to)
+			}
+		}
+	}
+	return t
+}
+
+// accepting reports whether state s (>= 0) accepts.
+func (t *denseTab) accepting(s int32) bool {
+	return t.accept[s>>6]&(1<<(uint(s)&63)) != 0
+}
+
+// step returns the x-successor of s, or -1. Callers guarantee s is a
+// valid state id; x is bounds-checked against the build-time stride.
+func (t *denseTab) step(s int32, x alphabet.Symbol) int32 {
+	if int(x) >= t.stride {
+		return int32(NoState)
+	}
+	return t.next[int(s)*t.stride+int(x)]
+}
+
+// runDense is the dense membership kernel: one bounds-checked load per
+// input symbol, no per-state row slice chasing. 0 allocs/op.
+func (t *denseTab) runDense(s State, word []alphabet.Symbol) State {
+	cur := int32(s)
+	for _, x := range word {
+		if int(x) >= t.stride {
+			return NoState
+		}
+		cur = t.next[int(cur)*t.stride+int(x)]
+		if cur < 0 {
+			return NoState
+		}
+	}
+	return State(cur)
+}
+
+// EnsureDense builds (or revalidates) the dense transition table so
+// that subsequent Run/Accepts calls take the dense kernel. Serving
+// paths that replay many words over one immutable DFA call it once
+// after construction; the table is rebuilt automatically if the DFA is
+// mutated afterwards.
+func (d *DFA) EnsureDense() { d.denseTables() }
+
+// refineSparse is the pre-dense partition refinement (worklist of
+// (class, symbol) splitters over map-grouped predecessor sets), kept
+// verbatim as the sparse kernel arm and the differential reference for
+// refineDense. It returns the coarsest stable partition of the total
+// automaton t as class membership lists plus the state → class index.
+//
+// Implementation note: the "queue both halves" worklist semantics
+// (slightly more work than Hopcroft's smaller-half rule, immediate
+// termination invariant) are shared with refineDense; both compute the
+// same unique coarsest partition, and the caller's quotient +
+// Reachable() canonicalization makes the final DFA independent of how
+// the classes were numbered during refinement.
+func (t *DFA) refineSparse(meter *budget.Meter) (members [][]State, class []int, err error) {
+	nStates := t.NumStates()
+	nSyms := t.alpha.Len()
+
+	// Reverse transition lists: rev[x][s] = predecessors of s on x.
+	rev := make([][][]State, nSyms)
+	for x := 0; x < nSyms; x++ {
+		rev[x] = make([][]State, nStates)
+	}
+	for s := 0; s < nStates; s++ {
+		for x, to := range t.trans[s] {
+			rev[x][to] = append(rev[x][to], State(s))
+		}
+	}
+
+	// Initial partition: accepting vs non-accepting.
+	class = make([]int, nStates)
+	members = make([][]State, 0, 2)
+	var accSet, rejSet []State
+	for s := 0; s < nStates; s++ {
+		if t.accept[s] {
+			accSet = append(accSet, State(s))
+		} else {
+			rejSet = append(rejSet, State(s))
+		}
+	}
+	addClass := func(states []State) int {
+		idx := len(members)
+		members = append(members, states)
+		for _, s := range states {
+			class[s] = idx
+		}
+		return idx
+	}
+	if len(accSet) > 0 {
+		addClass(accSet)
+	}
+	if len(rejSet) > 0 {
+		addClass(rejSet)
+	}
+
+	type splitter struct {
+		class int
+		sym   int
+	}
+	var work []splitter
+	for c := range members {
+		for x := 0; x < nSyms; x++ {
+			work = append(work, splitter{c, x})
+		}
+	}
+
+	inSplit := make([]bool, nStates)
+	for len(work) > 0 {
+		if err := meter.Check(); err != nil {
+			return nil, nil, err
+		}
+		sp := work[len(work)-1]
+		work = work[:len(work)-1]
+		// X = set of states with an x-transition into sp.class.
+		var xset []State
+		for _, s := range members[sp.class] {
+			for _, p := range rev[sp.sym][s] {
+				if !inSplit[p] {
+					inSplit[p] = true
+					xset = append(xset, p)
+				}
+			}
+		}
+		if len(xset) == 0 {
+			continue
+		}
+		// Group X members by class; split classes partially covered by X.
+		touched := map[int][]State{}
+		for _, s := range xset {
+			touched[class[s]] = append(touched[class[s]], s)
+		}
+		// Deterministic iteration for reproducibility.
+		classes := make([]int, 0, len(touched))
+		for c := range touched {
+			classes = append(classes, c)
+		}
+		sort.Ints(classes)
+		for _, c := range classes {
+			inX := touched[c]
+			if len(inX) == len(members[c]) {
+				continue // class entirely inside X; no split
+			}
+			// Split class c into inX and the rest.
+			inXset := make(map[State]bool, len(inX))
+			for _, s := range inX {
+				inXset[s] = true
+			}
+			var rest []State
+			for _, s := range members[c] {
+				if !inXset[s] {
+					rest = append(rest, s)
+				}
+			}
+			members[c] = inX
+			newIdx := addClass(rest)
+			for x := 0; x < nSyms; x++ {
+				work = append(work, splitter{c, x}, splitter{newIdx, x})
+			}
+		}
+		for _, s := range xset {
+			inSplit[s] = false
+		}
+	}
+	return members, class, nil
+}
+
+// refineDense is the dense kernel arm of the minimization refinement:
+// the same worklist semantics as refineSparse, but predecessors come
+// from a CSR-packed reverse table and the partition lives in a
+// permutation array with per-class segments, so a splitter pass touches
+// no maps and allocates nothing — marked states are swapped to the
+// front of their class segment and a split is two boundary updates.
+// Profiles of the sparse arm are dominated by the touched/inXset map
+// traffic this removes (docs/PERFORMANCE.md §6).
+func (t *DFA) refineDense(meter *budget.Meter, tab *denseTab) (members [][]State, class []int, err error) {
+	nStates := t.NumStates()
+	nSyms := tab.stride
+
+	// CSR reverse table per (symbol, target): revOff[x*nStates+to] is
+	// the start of the predecessor run in revDat. Sources are filled in
+	// increasing order, matching the append order of the sparse arm.
+	revOff := make([]int32, nSyms*nStates+1)
+	for s := 0; s < nStates; s++ {
+		row := tab.next[s*nSyms : (s+1)*nSyms]
+		for x, to := range row {
+			if to >= 0 {
+				revOff[x*nStates+int(to)+1]++
+			}
+		}
+	}
+	for i := 1; i < len(revOff); i++ {
+		revOff[i] += revOff[i-1]
+	}
+	revDat := make([]int32, revOff[len(revOff)-1])
+	fill := make([]int32, nSyms*nStates)
+	copy(fill, revOff[:len(revOff)-1])
+	for s := 0; s < nStates; s++ {
+		row := tab.next[s*nSyms : (s+1)*nSyms]
+		for x, to := range row {
+			if to >= 0 {
+				k := x*nStates + int(to)
+				revDat[fill[k]] = int32(s)
+				fill[k]++
+			}
+		}
+	}
+
+	// Partition as a permutation array: perm holds the states grouped by
+	// class, loc inverts it, and each class c owns the contiguous
+	// segment perm[segStart[c] : segStart[c]+segLen[c]].
+	perm := make([]int32, nStates)
+	loc := make([]int32, nStates)
+	classOf := make([]int32, nStates)
+	segStart := make([]int32, 0, 4)
+	segLen := make([]int32, 0, 4)
+
+	nAcc := 0
+	for s := 0; s < nStates; s++ {
+		if t.accept[s] {
+			nAcc++
+		}
+	}
+	ai, ri := 0, nAcc // accepting states first, mirroring refineSparse
+	if nAcc == 0 || nAcc == nStates {
+		ai, ri = 0, 0 // single class; one cursor suffices
+	}
+	numClasses := 0
+	if nAcc > 0 {
+		segStart = append(segStart, 0)
+		segLen = append(segLen, int32(nAcc))
+		numClasses++
+	}
+	if nAcc < nStates {
+		segStart = append(segStart, int32(nAcc))
+		segLen = append(segLen, int32(nStates-nAcc))
+		numClasses++
+	}
+	accClass, rejClass := int32(0), int32(numClasses-1)
+	for s := 0; s < nStates; s++ {
+		var pos int
+		if t.accept[s] {
+			pos = ai
+			ai++
+			classOf[s] = accClass
+		} else {
+			pos = ri
+			ri++
+			classOf[s] = rejClass
+		}
+		perm[pos] = int32(s)
+		loc[s] = int32(pos)
+	}
+
+	// Worklist of (class, symbol) splitters, packed as class*nSyms+sym.
+	work := make([]int64, 0, numClasses*nSyms)
+	for c := 0; c < numClasses; c++ {
+		for x := 0; x < nSyms; x++ {
+			work = append(work, int64(c)*int64(nSyms)+int64(x))
+		}
+	}
+
+	// markCnt[c] counts the states of class c swapped into the marked
+	// front region of its segment during the current splitter pass.
+	markCnt := make([]int32, nStates)
+	touchedList := make([]int32, 0, 16)
+	splitBuf := make([]int32, 0, 64)
+	for len(work) > 0 {
+		if err := meter.Check(); err != nil {
+			return nil, nil, err
+		}
+		sp := work[len(work)-1]
+		work = work[:len(work)-1]
+		c := int32(sp / int64(nSyms))
+		x := int(sp % int64(nSyms))
+
+		// Mark every predecessor (on x) of the splitter class's members,
+		// moving it to the front of its own class segment. The member
+		// list is copied first: the marking swaps rearrange perm, and the
+		// splitter class's own segment may be among the rearranged ones.
+		base := x * nStates
+		splitBuf = append(splitBuf[:0], perm[segStart[c]:segStart[c]+segLen[c]]...)
+		for _, s := range splitBuf {
+			for _, p := range revDat[revOff[base+int(s)]:revOff[base+int(s)+1]] {
+				cp := classOf[p]
+				mark := segStart[cp] + markCnt[cp]
+				if loc[p] < mark {
+					continue // already marked in this pass
+				}
+				if markCnt[cp] == 0 {
+					touchedList = append(touchedList, cp)
+				}
+				// Swap p to the mark boundary of its segment.
+				q := perm[mark]
+				perm[mark], perm[loc[p]] = int32(p), q
+				loc[q], loc[p] = loc[p], mark
+				markCnt[cp]++
+			}
+		}
+		// Split every touched class that is only partially marked: the
+		// marked front keeps the class id (the sparse arm's members[c] =
+		// inX), the unmarked tail becomes a fresh class.
+		for _, cp := range touchedList {
+			k := markCnt[cp]
+			markCnt[cp] = 0
+			if k == segLen[cp] {
+				continue // class entirely inside X; no split
+			}
+			nc := int32(numClasses)
+			numClasses++
+			segStart = append(segStart, segStart[cp]+k)
+			segLen = append(segLen, segLen[cp]-k)
+			segLen[cp] = k
+			for _, s := range perm[segStart[nc] : segStart[nc]+segLen[nc]] {
+				classOf[s] = nc
+			}
+			for x2 := 0; x2 < nSyms; x2++ {
+				work = append(work, int64(cp)*int64(nSyms)+int64(x2), int64(nc)*int64(nSyms)+int64(x2))
+			}
+		}
+		touchedList = touchedList[:0]
+	}
+
+	members = make([][]State, numClasses)
+	class = make([]int, nStates)
+	for c := 0; c < numClasses; c++ {
+		seg := perm[segStart[c] : segStart[c]+segLen[c]]
+		ms := make([]State, len(seg))
+		for i, s := range seg {
+			ms[i] = State(s)
+		}
+		members[c] = ms
+	}
+	for s := 0; s < nStates; s++ {
+		class[s] = int(classOf[s])
+	}
+	return members, class, nil
+}
+
+// EstimateDeterminized returns a saturating upper-bound estimate of the
+// subset-construction size of n: the state count shifted left once per
+// nondeterministic state (a state whose ε-closure-applied successor set
+// on some symbol has more than one element). A deterministic automaton
+// estimates as its own size; each genuinely nondeterministic state can
+// at worst double the subset count. -1 means the estimate overflowed
+// (treat as unbounded). This is a diagnostic, not a dispatch input:
+// computing it forces the NFA's ε-closure memo, a large share of the
+// determinization cost itself, so the adaptive exactness check skips
+// prediction and runs the capped trial (ContainedInMaterializedCapped)
+// directly.
+func EstimateDeterminized(n *NFA) int64 {
+	m := n.memoTables()
+	nondet := 0
+	for s := 0; s < m.numStates; s++ {
+		tbl := m.step[s]
+		if tbl == nil {
+			continue
+		}
+		for _, x := range m.stateSyms[s] {
+			if st := tbl[x]; st != nil && st.count() > 1 {
+				nondet++
+				break
+			}
+		}
+	}
+	states := int64(n.NumStates())
+	if states == 0 {
+		return 0
+	}
+	if nondet >= 63-bits.Len64(uint64(states)) {
+		return -1 // states << nondet overflows int64
+	}
+	return states << uint(nondet)
+}
+
+// ContainedInMaterializedContext decides L(a) ⊆ L(b) with the
+// complement of b materialized up front: b is lifted to the union
+// alphabet, fully determinized (budget-metered, memoized subset
+// construction), and the complement is represented implicitly by the
+// accepting bitset of the totalized DFA — the scan then walks the
+// product of ε-free a with the DFA using the dense transition table
+// when the strategy dispatcher selects it. If the containment fails,
+// the returned word is a shortest counterexample in L(a) \ L(b),
+// deterministic by the same sorted-symbol BFS rule as
+// ContainedInContext.
+//
+// This is the materialized arm of the Theorem 6 exactness strategy: it
+// beats the on-the-fly complement exactly when det(b) is small (b
+// nearly deterministic), which the adaptive dispatcher establishes by
+// a capped trial (ContainedInMaterializedCapped) rather than by
+// prediction.
+func ContainedInMaterializedContext(ctx context.Context, a, b *NFA) (bool, []alphabet.Symbol, error) {
+	ok, w, _, err := containedInMaterialized(ctx, a, b, 0)
+	return ok, w, err
+}
+
+// ContainedInMaterializedCapped is ContainedInMaterializedContext as a
+// trial: the determinization of b is abandoned (fit=false, no verdict,
+// no error) once it materializes more than maxStates subsets. The
+// adaptive Theorem 6 dispatcher uses it when the static estimate is
+// inconclusive — a successful trial has already paid for the complement
+// DFA, so the verdict comes at the forced-materialized price; an
+// abandoned one bounds the wasted work at maxStates subsets before the
+// caller falls back to the on-the-fly scan.
+func ContainedInMaterializedCapped(ctx context.Context, a, b *NFA, maxStates int) (ok bool, witness []alphabet.Symbol, fit bool, err error) {
+	return containedInMaterialized(ctx, a, b, maxStates)
+}
+
+func containedInMaterialized(ctx context.Context, a, b *NFA, cap int) (bool, []alphabet.Symbol, bool, error) {
+	ctx, span := obs.StartSpan(ctx, "automata.contained_in_materialized")
+	defer span.End()
+	meter := budget.Enter(ctx, "automata.contained_in_materialized")
+	ea := a.RemoveEpsilon()
+	if ea.Start() == NoState {
+		return true, nil, true, nil
+	}
+
+	// When a's symbols are already interned in b's alphabet — the common
+	// Theorem 6 shape, where both sides live over the instance alphabet —
+	// determinize b in place: the subset construction then reuses any
+	// memo tables b already carries instead of rebuilding them on a
+	// lifted copy. Only a genuine alphabet mismatch (or a start-less b,
+	// whose empty language needs a synthetic start) pays for the lift.
+	u := b.Alphabet()
+	det := b
+	if b.Start() == NoState || !a.Alphabet().SubsetOf(b.Alphabet()) {
+		u = alphabet.Union(a.Alphabet(), b.Alphabet())
+		lifted := NewNFA(u)
+		mm := CopyInto(lifted, b)
+		if b.Start() != NoState {
+			lifted.SetStart(mm[b.Start()])
+		} else {
+			lifted.SetStart(lifted.AddState())
+		}
+		det = lifted
+	}
+	var bd *DFA
+	if cap > 0 {
+		d, fit, err := DeterminizeCapped(ctx, det, cap)
+		if err != nil {
+			return false, nil, false, err
+		}
+		if !fit {
+			return false, nil, false, nil
+		}
+		bd = d
+	} else {
+		d, err := DeterminizeContext(ctx, det)
+		if err != nil {
+			return false, nil, false, err
+		}
+		bd = d
+	}
+	bt := bd.Totalize()
+
+	// Map a's symbols into the union alphabet (total by construction).
+	aToU := make([]alphabet.Symbol, ea.Alphabet().Len())
+	for _, x := range ea.Alphabet().Symbols() {
+		aToU[x] = u.Lookup(ea.Alphabet().Name(x))
+	}
+
+	choice := strategy.From(ctx).KernelChoice(bt.NumStates(), u.Len())
+	strategy.Record(ctx, span, "kernel", choice)
+	var tab *denseTab
+	if choice == strategy.ChoiceDense {
+		tab = bt.denseTables()
+	}
+	next := func(db State, x alphabet.Symbol) State {
+		if tab != nil {
+			return State(tab.step(int32(db), x))
+		}
+		return bt.Next(db, x)
+	}
+	rejects := func(db State) bool {
+		if tab != nil {
+			return !tab.accepting(int32(db))
+		}
+		return !bt.Accepting(db)
+	}
+
+	type node struct {
+		sa     State
+		db     State
+		parent int32
+		sym    alphabet.Symbol
+	}
+	nodes := []node{{ea.Start(), bt.Start(), -1, alphabet.None}}
+	seen := make([]bool, ea.NumStates()*bt.NumStates())
+	seen[int(ea.Start())*bt.NumStates()+int(bt.Start())] = true
+
+	counterexample := func(i int32) []alphabet.Symbol {
+		var w []alphabet.Symbol
+		for ; nodes[i].parent >= 0; i = nodes[i].parent {
+			w = append(w, nodes[i].sym)
+		}
+		for l, r := 0, len(w)-1; l < r; l, r = l+1, r-1 {
+			w[l], w[r] = w[r], w[l]
+		}
+		return w
+	}
+
+	nb := bt.NumStates()
+	charged := 0
+	for i := 0; i < len(nodes); i++ {
+		// Charge the product nodes materialized since the last check; the
+		// charges land batched per dequeued row, not per transition.
+		if err := meter.AddStates(len(nodes) - charged); err != nil {
+			return false, nil, false, err
+		}
+		charged = len(nodes)
+		cur := nodes[i]
+		if ea.Accepting(cur.sa) && rejects(cur.db) {
+			return false, counterexample(int32(i)), true, nil
+		}
+		// Sorted symbol order keeps the counterexample deterministic,
+		// matching ContainedInContext's BFS rule.
+		for _, x := range ea.OutSymbolsSorted(cur.sa) {
+			nd := next(cur.db, aToU[x])
+			if nd == NoState {
+				continue // unreachable on a total DFA; kept for safety
+			}
+			for _, ta := range ea.Successors(cur.sa, x) {
+				k := int(ta)*nb + int(nd)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				nodes = append(nodes, node{ta, nd, int32(i), x})
+			}
+		}
+	}
+	return true, nil, true, nil
+}

@@ -1,0 +1,446 @@
+package automata
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/budget"
+	"regexrw/internal/obs"
+	"regexrw/internal/strategy"
+)
+
+// sparseRun is the reference membership loop the dense kernel must
+// reproduce bit for bit: one d.Next per symbol, dead on NoState.
+func sparseRun(d *DFA, s State, word []alphabet.Symbol) State {
+	cur := s
+	for _, x := range word {
+		if cur == NoState {
+			return NoState
+		}
+		cur = d.Next(cur, x)
+	}
+	return cur
+}
+
+// TestDenseRunMatchesSparse: after EnsureDense, Run takes the dense
+// fast path; its result must equal the sparse reference on random DFAs
+// and words, from every start state.
+func TestDenseRunMatchesSparse(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 200; trial++ {
+		d := randomCodecDFA(r)
+		d.EnsureDense()
+		if d.denseCached() == nil {
+			t.Fatal("EnsureDense did not install a table")
+		}
+		for w := 0; w < 20; w++ {
+			word := randomWord(r, d.Alphabet(), 8)
+			for s := 0; s < d.NumStates(); s++ {
+				want := sparseRun(d, State(s), word)
+				if got := d.Run(State(s), word); got != want {
+					t.Fatalf("trial %d: dense Run(%d, %v) = %d, sparse = %d", trial, s, word, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDenseInvalidatedByMutation: every structural mutator must bump
+// the generation so a stale table is never consulted.
+func TestDenseInvalidatedByMutation(t *testing.T) {
+	al := ab()
+	a, b := al.Lookup("a"), al.Lookup("b")
+	d := NewDFA(al)
+	s0, s1 := d.AddState(), d.AddState()
+	d.SetStart(s0)
+	d.SetTransition(s0, a, s1)
+	d.SetAccept(s1, true)
+	d.EnsureDense()
+	if d.denseCached() == nil {
+		t.Fatal("no table after EnsureDense")
+	}
+
+	d.SetTransition(s1, b, s0)
+	if d.denseCached() != nil {
+		t.Fatal("SetTransition left a stale dense table visible")
+	}
+	if got := d.Run(s0, []alphabet.Symbol{a, b}); got != s0 {
+		t.Fatalf("Run after mutation = %d, want %d", got, s0)
+	}
+
+	d.EnsureDense()
+	d.SetAccept(s0, true)
+	if d.denseCached() != nil {
+		t.Fatal("SetAccept left a stale dense table visible")
+	}
+
+	d.EnsureDense()
+	d.AddState()
+	if d.denseCached() != nil {
+		t.Fatal("AddState left a stale dense table visible")
+	}
+
+	// Symbols interned into the alphabet after the build are beyond the
+	// table's stride; the kernel must treat them as having no
+	// transitions (dfa.Next's contract), not read out of bounds.
+	d.EnsureDense()
+	c := al.Intern("dense-late-symbol")
+	if got := d.Run(s0, []alphabet.Symbol{c}); got != NoState {
+		t.Fatalf("Run on post-build symbol = %d, want NoState", got)
+	}
+}
+
+func dfaBytes(t *testing.T, d *DFA) string {
+	t.Helper()
+	var buf strings.Builder
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.String()
+}
+
+// TestMinimizeDenseSparseByteIdentical is the kernel-equivalence
+// contract: forcing the dense refinement and forcing the sparse
+// refinement must produce byte-identical minimal DFAs — same state
+// numbering, not just isomorphic — because both compute the unique
+// coarsest stable partition and the final Reachable() pass renumbers
+// canonically.
+func TestMinimizeDenseSparseByteIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(62))
+	sparseCtx := strategy.With(context.Background(), strategy.Config{Kernel: strategy.KernelForceSparse})
+	denseCtx := strategy.With(context.Background(), strategy.Config{Kernel: strategy.KernelForceDense})
+	for trial := 0; trial < 300; trial++ {
+		d := randomCodecDFA(r)
+		if d.Start() == NoState {
+			continue
+		}
+		ms, err := d.MinimizeContext(sparseCtx)
+		if err != nil {
+			t.Fatalf("trial %d: sparse minimize: %v", trial, err)
+		}
+		md, err := d.MinimizeContext(denseCtx)
+		if err != nil {
+			t.Fatalf("trial %d: dense minimize: %v", trial, err)
+		}
+		if sb, db := dfaBytes(t, ms), dfaBytes(t, md); sb != db {
+			t.Fatalf("trial %d: kernels disagree\nsparse:\n%s\ndense:\n%s\ninput:\n%s",
+				trial, sb, db, dfaBytes(t, d))
+		}
+	}
+}
+
+// TestContainedInMaterializedAgreesWithOnTheFly checks the two
+// exactness arms differentially on random NFA pairs: same verdict, and
+// on failure both witnesses are shortest words of L(a) \ L(b) (the
+// contract fixes the length, not the word).
+func TestContainedInMaterializedAgreesWithOnTheFly(t *testing.T) {
+	r := rand.New(rand.NewSource(63))
+	al := ab()
+	ctx := context.Background()
+	for trial := 0; trial < 150; trial++ {
+		a := randomNFA(r, al, 5)
+		b := randomNFA(r, al, 5)
+		okFly, wFly, err := ContainedInContext(ctx, a, b)
+		if err != nil {
+			t.Fatalf("trial %d: on-the-fly: %v", trial, err)
+		}
+		okMat, wMat, err := ContainedInMaterializedContext(ctx, a, b)
+		if err != nil {
+			t.Fatalf("trial %d: materialized: %v", trial, err)
+		}
+		if okFly != okMat {
+			t.Fatalf("trial %d: verdicts disagree: fly=%v materialized=%v", trial, okFly, okMat)
+		}
+		if okFly {
+			continue
+		}
+		if len(wFly) != len(wMat) {
+			t.Fatalf("trial %d: witness lengths disagree: fly=%v (%d) materialized=%v (%d)",
+				trial, wFly, len(wFly), wMat, len(wMat))
+		}
+		if !a.Accepts(wMat) || b.Accepts(wMat) {
+			t.Fatalf("trial %d: materialized witness %v is not in L(a) \\ L(b)", trial, wMat)
+		}
+	}
+}
+
+// TestContainedInMaterializedForcedKernels pins both kernel arms of the
+// materialized scan to the same verdict and witness.
+func TestContainedInMaterializedForcedKernels(t *testing.T) {
+	r := rand.New(rand.NewSource(64))
+	al := ab()
+	sparseCtx := strategy.With(context.Background(), strategy.Config{Kernel: strategy.KernelForceSparse})
+	denseCtx := strategy.With(context.Background(), strategy.Config{Kernel: strategy.KernelForceDense})
+	for trial := 0; trial < 100; trial++ {
+		a := randomNFA(r, al, 5)
+		b := randomNFA(r, al, 5)
+		okS, wS, err := ContainedInMaterializedContext(sparseCtx, a, b)
+		if err != nil {
+			t.Fatalf("trial %d: sparse: %v", trial, err)
+		}
+		okD, wD, err := ContainedInMaterializedContext(denseCtx, a, b)
+		if err != nil {
+			t.Fatalf("trial %d: dense: %v", trial, err)
+		}
+		if okS != okD {
+			t.Fatalf("trial %d: kernel verdicts disagree", trial)
+		}
+		if len(wS) != len(wD) {
+			t.Fatalf("trial %d: kernel witnesses disagree: %v vs %v", trial, wS, wD)
+		}
+		for i := range wS {
+			if wS[i] != wD[i] {
+				t.Fatalf("trial %d: kernel witnesses disagree: %v vs %v", trial, wS, wD)
+			}
+		}
+	}
+}
+
+func TestEstimateDeterminized(t *testing.T) {
+	al := ab()
+	a, b := al.Lookup("a"), al.Lookup("b")
+
+	if got := EstimateDeterminized(NewNFA(al)); got != 0 {
+		t.Fatalf("empty NFA estimate = %d, want 0", got)
+	}
+
+	// A deterministic NFA estimates as its own size.
+	det := NewNFA(al)
+	det.AddStates(3)
+	det.SetStart(0)
+	det.AddTransition(0, a, 1)
+	det.AddTransition(1, b, 2)
+	det.SetAccept(2, true)
+	if got := EstimateDeterminized(det); got != 3 {
+		t.Fatalf("deterministic estimate = %d, want 3", got)
+	}
+
+	// Each nondeterministic state doubles the estimate.
+	nd := NewNFA(al)
+	nd.AddStates(3)
+	nd.SetStart(0)
+	nd.AddTransition(0, a, 1)
+	nd.AddTransition(0, a, 2)
+	nd.AddTransition(1, b, 1)
+	nd.AddTransition(1, b, 2)
+	nd.SetAccept(2, true)
+	if got := EstimateDeterminized(nd); got != 12 { // 3 states << 2 nondet
+		t.Fatalf("nondeterministic estimate = %d, want 12", got)
+	}
+
+	// Enough nondeterministic states saturate to -1 (overflow).
+	big := NewNFA(al)
+	big.AddStates(70)
+	big.SetStart(0)
+	for s := 0; s < 70; s++ {
+		big.AddTransition(State(s), a, State((s+1)%70))
+		big.AddTransition(State(s), a, State((s+2)%70))
+	}
+	big.SetAccept(0, true)
+	if got := EstimateDeterminized(big); got != -1 {
+		t.Fatalf("saturating estimate = %d, want -1", got)
+	}
+}
+
+// TestDeterminizeCapped pins the trial-materialization contract: under
+// a sufficient cap the result is byte-identical to the unbounded subset
+// construction, past the cap the trial abandons with fit=false and no
+// error, and a genuine budget exhaustion still surfaces as an error.
+func TestDeterminizeCapped(t *testing.T) {
+	al := ab()
+	a, b := al.Lookup("a"), al.Lookup("b")
+	nd := NewNFA(al)
+	nd.AddStates(3)
+	nd.SetStart(0)
+	nd.AddTransition(0, a, 1)
+	nd.AddTransition(0, a, 2)
+	nd.AddTransition(1, b, 1)
+	nd.AddTransition(1, b, 2)
+	nd.SetAccept(2, true)
+	ctx := context.Background()
+
+	got, fit, err := DeterminizeCapped(ctx, nd, 100)
+	if err != nil || !fit {
+		t.Fatalf("DeterminizeCapped(cap=100) = fit=%v err=%v, want fit", fit, err)
+	}
+	want, err := DeterminizeContext(ctx, nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb, wb := dfaBytes(t, got), dfaBytes(t, want); gb != wb {
+		t.Fatalf("capped determinization differs from unbounded:\n--- capped ---\n%s\n--- unbounded ---\n%s", gb, wb)
+	}
+
+	d, fit, err := DeterminizeCapped(ctx, nd, 1)
+	if err != nil {
+		t.Fatalf("DeterminizeCapped(cap=1) error: %v", err)
+	}
+	if fit || d != nil {
+		t.Fatalf("DeterminizeCapped(cap=1) = (%v, fit=%v), want abandoned", d, fit)
+	}
+
+	bctx := budget.With(ctx, budget.New(budget.MaxStates(1)))
+	if _, _, err := DeterminizeCapped(bctx, nd, 100); err == nil {
+		t.Fatal("budget exhaustion inside a capped trial must error, not report fit=false")
+	}
+}
+
+// TestContainedInMaterializedCapped: a fitting trial returns the same
+// verdict and witness as the unbounded arms; a blown cap returns
+// fit=false with no verdict attempted.
+func TestContainedInMaterializedCapped(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	ctx := context.Background()
+	al2 := ab()
+	for trial := 0; trial < 100; trial++ {
+		a := randomNFA(r, al2, 5)
+		b := randomNFA(r, al2, 5)
+		wantOK, wantW, err := ContainedInContext(ctx, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotOK, gotW, fit, err := ContainedInMaterializedCapped(ctx, a, b, 1<<12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fit {
+			t.Fatalf("trial %d: cap 4096 abandoned on a 5-state NFA", trial)
+		}
+		if gotOK != wantOK || len(gotW) != len(wantW) {
+			t.Fatalf("trial %d: capped arm disagrees: (%v, %v) vs (%v, %v)", trial, gotOK, gotW, wantOK, wantW)
+		}
+	}
+
+	// DetBlowup-shaped b: (a+b)*·a·(a+b)^6 determinizes to 2^7 subsets,
+	// so a cap of 4 must abandon.
+	al := ab()
+	sa, sb := al.Lookup("a"), al.Lookup("b")
+	blow := NewNFA(al)
+	blow.AddStates(8)
+	blow.SetStart(0)
+	blow.AddTransition(0, sa, 0)
+	blow.AddTransition(0, sb, 0)
+	blow.AddTransition(0, sa, 1)
+	for s := State(1); s < 7; s++ {
+		blow.AddTransition(s, sa, s+1)
+		blow.AddTransition(s, sb, s+1)
+	}
+	blow.SetAccept(7, true)
+	small := NewNFA(al)
+	small.AddStates(1)
+	small.SetStart(0)
+	small.SetAccept(0, true)
+	_, _, fit, err := ContainedInMaterializedCapped(ctx, small, blow, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit {
+		t.Fatal("cap 4 fit a 2^7-subset determinization")
+	}
+}
+
+// TestDenseKernelAllocsTracerEnabled is the alloc guard for the dense
+// membership kernel under an enabled tracer: a warmed table plus the
+// per-row span charges (AddTransitions, the strategy attribute) must
+// stay at 0 allocs/op — the EX2Observed overhead fix depends on the
+// enabled path not allocating per transition.
+func TestDenseKernelAllocsTracerEnabled(t *testing.T) {
+	al := ab()
+	a, b := al.Lookup("a"), al.Lookup("b")
+	d := NewDFA(al)
+	s0, s1 := d.AddState(), d.AddState()
+	d.SetStart(s0)
+	d.SetTransition(s0, a, s1)
+	d.SetTransition(s1, b, s0)
+	d.SetAccept(s1, true)
+	d.EnsureDense()
+
+	tr := obs.NewTracer(obs.Deterministic())
+	ctx := obs.WithTracer(context.Background(), tr)
+	_, span := obs.StartSpan(ctx, "automata.dense_alloc_guard")
+	defer span.End()
+	word := []alphabet.Symbol{a, b, a, b, a}
+	span.SetAttr("strategy", int64(strategy.ChoiceDense)) // map exists after first set
+
+	if avg := testing.AllocsPerRun(200, func() {
+		if d.Run(s0, word) != s1 {
+			t.Fatal("wrong dense run result")
+		}
+		span.AddTransitions(int64(len(word)))
+		span.SetAttr("strategy", int64(strategy.ChoiceDense))
+	}); avg != 0 {
+		t.Fatalf("dense kernel with enabled tracer: %v allocs/op, want 0", avg)
+	}
+}
+
+// FuzzDenseStep drives the dense membership kernel against the sparse
+// reference from fuzzed bytes: the first bytes shape a deterministic
+// transition table, the rest form the input word.
+func FuzzDenseStep(f *testing.F) {
+	f.Add([]byte{3, 2, 0, 1, 2, 3, 4, 5, 0, 1, 0, 1})
+	f.Add([]byte{1, 1, 0, 0})
+	f.Add([]byte{8, 3, 7, 6, 5, 4, 3, 2, 1, 0, 2, 2, 1, 0, 1, 2})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		nStates := 1 + int(data[0]%12)
+		nSyms := 1 + int(data[1]%5)
+		data = data[2:]
+		al := alphabet.New()
+		syms := make([]alphabet.Symbol, nSyms)
+		for i := range syms {
+			syms[i] = al.Intern(string(rune('a' + i)))
+		}
+		d := NewDFA(al)
+		for i := 0; i < nStates; i++ {
+			d.AddState()
+		}
+		d.SetStart(0)
+		// One byte per (state, symbol) cell: value%(nStates+1) with
+		// nStates meaning "no transition". A byte decides acceptance.
+		k := 0
+		next := func() byte {
+			if k >= len(data) {
+				return 0
+			}
+			b := data[k]
+			k++
+			return b
+		}
+		for s := 0; s < nStates; s++ {
+			d.SetAccept(State(s), next()%2 == 1)
+			for _, x := range syms {
+				if to := int(next()) % (nStates + 1); to < nStates {
+					d.SetTransition(State(s), x, State(to))
+				}
+			}
+		}
+		word := make([]alphabet.Symbol, 0, len(data)-k)
+		for ; k < len(data); k++ {
+			word = append(word, syms[int(data[k])%nSyms])
+		}
+
+		want := sparseRun(d, 0, word)
+		d.EnsureDense()
+		if got := d.Run(0, word); got != want {
+			t.Fatalf("dense Run = %d, sparse = %d (states=%d syms=%d word=%v)", got, want, nStates, nSyms, word)
+		}
+		// Per-step agreement too, not just the final state.
+		tab := d.denseCached()
+		if tab == nil {
+			t.Fatal("no dense table")
+		}
+		for s := 0; s < nStates; s++ {
+			for _, x := range syms {
+				if got, want := State(tab.step(int32(s), x)), d.Next(State(s), x); got != want {
+					t.Fatalf("step(%d, %d) = %d, Next = %d", s, x, got, want)
+				}
+			}
+		}
+	})
+}

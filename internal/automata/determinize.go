@@ -64,6 +64,20 @@ func DeterminizeContext(ctx context.Context, n *NFA) (*DFA, error) { //invariant
 	return determinize(ctx, n)
 }
 
+// DeterminizeCapped is DeterminizeContext with a soft cap: the subset
+// construction is abandoned — fit=false, no error, no partial result —
+// as soon as it materializes more than maxStates subsets. Unlike
+// DeterminizeLimitContext this is not a failure mode but a probe: the
+// adaptive Theorem 6 exactness check uses it as a trial materialization
+// whose success hands the finished DFA straight to the containment scan
+// (the estimate is the work), and whose abandonment falls back to the
+// on-the-fly complement. Subsets materialized before the cap are still
+// charged to ctx's budget; a genuine budget exhaustion or cancellation
+// reports as an error, never as fit=false.
+func DeterminizeCapped(ctx context.Context, n *NFA, maxStates int) (d *DFA, fit bool, err error) { //invariantcall:checked delegates to determinizeBounded, which validates
+	return determinizeBounded(ctx, n, maxStates)
+}
+
 // determinize runs the subset construction, metered against the
 // context's budget (stage "automata.determinize"). A cancelled ctx or
 // an exhausted budget aborts with the corresponding error and no
@@ -74,13 +88,21 @@ func DeterminizeContext(ctx context.Context, n *NFA) (*DFA, error) { //invariant
 // expressions — is a pure function of the input automaton, never of map
 // iteration order.
 func determinize(ctx context.Context, n *NFA) (*DFA, error) {
+	d, _, err := determinizeBounded(ctx, n, 0)
+	return d, err
+}
+
+// determinizeBounded is the subset-construction worker shared by
+// determinize (cap == 0, unbounded) and DeterminizeCapped (cap > 0,
+// abandon past cap with fit=false).
+func determinizeBounded(ctx context.Context, n *NFA, cap int) (*DFA, bool, error) {
 	ctx, span := obs.StartSpan(ctx, "automata.determinize")
 	defer span.End()
 	meter := budget.Enter(ctx, "automata.determinize")
 	d := NewDFA(n.Alphabet())
 	if n.Start() == NoState {
 		d.SetStart(d.AddState())
-		return d, nil
+		return d, true, nil
 	}
 	nStates := n.NumStates()
 
@@ -115,9 +137,12 @@ func determinize(ctx context.Context, n *NFA) (*DFA, error) {
 		// Charge the subsets materialized since the last check; new ones
 		// created below are charged at the top of their own iteration.
 		if err := meter.AddStates(it.len() - charged); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		charged = it.len()
+		if cap > 0 && it.len() > cap {
+			return nil, false, nil
+		}
 		members = it.at(i).appendTo(members[:0])
 		// Collect the symbols leaving this subset, in symbol order: the
 		// order successors are first discovered in fixes the DFA's state
@@ -161,11 +186,11 @@ func determinize(ctx context.Context, n *NFA) (*DFA, error) {
 			}
 		}
 		if err := meter.AddTransitions(added); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	}
 	debugValidateDFA(d)
-	return d, nil
+	return d, true, nil
 }
 
 // DeterminizeMinimal is Determinize followed by Minimize and TrimPartial:

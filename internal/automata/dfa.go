@@ -3,11 +3,12 @@ package automata
 import (
 	"context"
 	"fmt"
-	"sort"
+	"sync/atomic"
 
 	"regexrw/internal/alphabet"
 	"regexrw/internal/budget"
 	"regexrw/internal/obs"
+	"regexrw/internal/strategy"
 )
 
 // DFA is a deterministic finite automaton. Transitions are stored in a
@@ -21,6 +22,12 @@ type DFA struct {
 	// trans[s] is a row of length alpha.Len(); trans[s][x] is the
 	// x-successor of s or NoState.
 	trans [][]State
+
+	// gen counts structural mutations; dense caches the flat []int32
+	// transition table behind an atomic pointer keyed by gen, the same
+	// idiom as the NFA's closure memo (cache.go, dense.go).
+	gen   int64
+	dense atomic.Pointer[denseBox]
 }
 
 // NewDFA returns an empty DFA over the given alphabet.
@@ -35,6 +42,7 @@ func (d *DFA) Alphabet() *alphabet.Alphabet { return d.alpha }
 
 // AddState adds a fresh non-accepting state with no transitions.
 func (d *DFA) AddState() State {
+	d.invalidateDense()
 	row := make([]State, d.alpha.Len())
 	for i := range row {
 		row[i] = NoState
@@ -59,6 +67,7 @@ func (d *DFA) Accepting(s State) bool { d.checkState(s); return d.accept[s] }
 // SetAccept marks s accepting or not.
 func (d *DFA) SetAccept(s State, accepting bool) {
 	d.checkState(s)
+	d.invalidateDense()
 	d.accept[s] = accepting
 }
 
@@ -66,6 +75,7 @@ func (d *DFA) SetAccept(s State, accepting bool) {
 func (d *DFA) SetTransition(from State, x alphabet.Symbol, to State) {
 	d.checkState(from)
 	d.checkState(to)
+	d.invalidateDense()
 	d.trans[from][x] = to
 }
 
@@ -80,8 +90,15 @@ func (d *DFA) Next(s State, x alphabet.Symbol) State {
 	return d.trans[s][x]
 }
 
-// Run returns the state reached from s on word, or NoState if the run dies.
+// Run returns the state reached from s on word, or NoState if the run
+// dies. When the dense transition table is cached and current
+// (EnsureDense, or any dense kernel having run on this DFA), the run
+// takes the dense kernel: one flat-array load per symbol.
 func (d *DFA) Run(s State, word []alphabet.Symbol) State {
+	d.checkState(s)
+	if tab := d.denseCached(); tab != nil {
+		return tab.runDense(s, word)
+	}
 	cur := s
 	for _, x := range word {
 		cur = d.Next(cur, x)
@@ -262,6 +279,15 @@ func (d *DFA) Minimize() *DFA { //invariantcall:checked delegates to MinimizeCon
 // only ticked — no states are charged — but the refinement worklist can
 // still run long on large inputs and should abort when the pipeline's
 // deadline fires.
+//
+// The partition refinement runs on the sparse (map-grouped) or dense
+// (CSR + permutation-array) kernel as selected by the strategy
+// dispatcher from the automaton's states × |Σ| density; both arms
+// compute the unique coarsest stable partition, and the final
+// Reachable() renumbers canonically (BFS in symbol order), so the
+// result is byte-identical either way — which internal/oracle checks
+// differentially. The chosen kernel is recorded on the span
+// (`strategy` attribute) and the strategy.kernel.* counters.
 func (d *DFA) MinimizeContext(ctx context.Context) (*DFA, error) {
 	ctx, span := obs.StartSpan(ctx, "automata.minimize")
 	defer span.End()
@@ -276,120 +302,25 @@ func (d *DFA) MinimizeContext(ctx context.Context) (*DFA, error) {
 		return out, nil
 	}
 
-	// Reverse transition lists: rev[x][s] = predecessors of s on x.
-	rev := make([][][]State, nSyms)
-	for x := 0; x < nSyms; x++ {
-		rev[x] = make([][]State, nStates)
+	choice := strategy.From(ctx).KernelChoice(nStates, nSyms)
+	strategy.Record(ctx, span, "kernel", choice)
+	var members [][]State
+	var class []int
+	var err error
+	if choice == strategy.ChoiceDense {
+		members, class, err = t.refineDense(meter, t.denseTables())
+	} else {
+		members, class, err = t.refineSparse(meter)
 	}
-	for s := 0; s < nStates; s++ {
-		for x, to := range t.trans[s] {
-			rev[x][to] = append(rev[x][to], State(s))
-		}
-	}
-
-	// Initial partition: accepting vs non-accepting.
-	class := make([]int, nStates)    // state -> class index
-	members := make([][]State, 0, 2) // class index -> states
-	var accSet, rejSet []State
-	for s := 0; s < nStates; s++ {
-		if t.accept[s] {
-			accSet = append(accSet, State(s))
-		} else {
-			rejSet = append(rejSet, State(s))
-		}
-	}
-	addClass := func(states []State) int {
-		idx := len(members)
-		members = append(members, states)
-		for _, s := range states {
-			class[s] = idx
-		}
-		return idx
-	}
-	if len(accSet) > 0 {
-		addClass(accSet)
-	}
-	if len(rejSet) > 0 {
-		addClass(rejSet)
-	}
-
-	// Worklist of (class, symbol) splitters. We queue both halves of
-	// every split (and both initial classes): slightly more work than
-	// Hopcroft's smaller-half rule, but the termination invariant is
-	// immediate — on an empty worklist every class was processed with
-	// its final membership, so the partition is stable.
-	type splitter struct {
-		class int
-		sym   int
-	}
-	var work []splitter
-	for c := range members {
-		for x := 0; x < nSyms; x++ {
-			work = append(work, splitter{c, x})
-		}
-	}
-
-	inSplit := make([]bool, nStates)
-	for len(work) > 0 {
-		if err := meter.Check(); err != nil {
-			return nil, err
-		}
-		sp := work[len(work)-1]
-		work = work[:len(work)-1]
-		// X = set of states with an x-transition into sp.class.
-		var xset []State
-		for _, s := range members[sp.class] {
-			for _, p := range rev[sp.sym][s] {
-				if !inSplit[p] {
-					inSplit[p] = true
-					xset = append(xset, p)
-				}
-			}
-		}
-		if len(xset) == 0 {
-			continue
-		}
-		// Group X members by class; split classes partially covered by X.
-		touched := map[int][]State{}
-		for _, s := range xset {
-			touched[class[s]] = append(touched[class[s]], s)
-		}
-		// Deterministic iteration for reproducibility.
-		classes := make([]int, 0, len(touched))
-		for c := range touched {
-			classes = append(classes, c)
-		}
-		sort.Ints(classes)
-		for _, c := range classes {
-			inX := touched[c]
-			if len(inX) == len(members[c]) {
-				continue // class entirely inside X; no split
-			}
-			// Split class c into inX and the rest.
-			inXset := make(map[State]bool, len(inX))
-			for _, s := range inX {
-				inXset[s] = true
-			}
-			var rest []State
-			for _, s := range members[c] {
-				if !inXset[s] {
-					rest = append(rest, s)
-				}
-			}
-			members[c] = inX
-			newIdx := addClass(rest)
-			for x := 0; x < nSyms; x++ {
-				work = append(work, splitter{c, x}, splitter{newIdx, x})
-			}
-		}
-		for _, s := range xset {
-			inSplit[s] = false
-		}
+	if err != nil {
+		return nil, err
 	}
 
 	// Build the quotient automaton. The quotient is never larger than
 	// the input, but it is fresh allocation under the caller's budget,
-	// so it charges the minimize meter like the refinement above.
+	// so it charges the minimize meter like the refinement above. The
+	// charges are batched per class row (one AddTransitions(nSyms) per
+	// class), never per transition.
 	out := NewDFA(d.alpha)
 	for range members {
 		if err := meter.AddStates(1); err != nil {

@@ -6,6 +6,7 @@ import (
 	"regexrw/internal/alphabet"
 	"regexrw/internal/budget"
 	"regexrw/internal/obs"
+	"regexrw/internal/strategy"
 )
 
 // EmptyLanguage returns an NFA over a accepting no word.
@@ -276,6 +277,17 @@ func UnionDFAContext(ctx context.Context, a, b *DFA) (*DFA, error) {
 		aRemap[x] = a.Alphabet().Lookup(u.Name(x))
 	}
 
+	// The inner loop does one a.Next and one b.Next per (pair, symbol);
+	// on dense-eligible operands those become two flat table loads. The
+	// tables are the same gen-cached ones the membership and minimize
+	// kernels use, so a warm operand pays nothing here.
+	choice := strategy.From(ctx).KernelChoice(a.NumStates()+b.NumStates(), u.Len())
+	strategy.Record(ctx, span, "kernel", choice)
+	var atab, btab *denseTab
+	if choice == strategy.ChoiceDense {
+		atab, btab = a.denseTables(), b.denseTables()
+	}
+
 	out := NewDFA(u)
 	type pair struct{ pa, pb State }
 	ids := map[pair]State{}
@@ -312,10 +324,18 @@ func UnionDFAContext(ctx context.Context, a, b *DFA) (*DFA, error) {
 		for _, x := range u.Symbols() {
 			na, nb := NoState, NoState
 			if p.pa != NoState && aRemap[x] != alphabet.None {
-				na = a.Next(p.pa, aRemap[x])
+				if atab != nil {
+					na = State(atab.step(int32(p.pa), aRemap[x]))
+				} else {
+					na = a.Next(p.pa, aRemap[x])
+				}
 			}
 			if p.pb != NoState && bRemap[x] != alphabet.None {
-				nb = b.Next(p.pb, bRemap[x])
+				if btab != nil {
+					nb = State(btab.step(int32(p.pb), bRemap[x]))
+				} else {
+					nb = b.Next(p.pb, bRemap[x])
+				}
 			}
 			if na == NoState && nb == NoState {
 				continue

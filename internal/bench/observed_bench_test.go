@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"regexrw/internal/core"
+	"regexrw/internal/obs"
+)
+
+func ex2Inst(b *testing.B) *core.Instance {
+	b.Helper()
+	inst, err := core.ParseInstance("a·(b·a+c)*", map[string]string{
+		"e1": "a", "e2": "a·c*·b", "e3": "c",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
+func BenchmarkEX2Untraced(b *testing.B) {
+	inst := ex2Inst(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MaximalRewritingContext(ctx, inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEX2Observed(b *testing.B) {
+	inst := ex2Inst(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := obs.NewTracer()
+		octx := obs.WithMetrics(obs.WithTracer(ctx, tr), obs.NewRegistry())
+		if _, err := core.MaximalRewritingContext(octx, inst); err != nil {
+			b.Fatal(err)
+		}
+		if tr.Export() == nil {
+			b.Fatal("no trace")
+		}
+	}
+}

@@ -1,11 +1,13 @@
 // Package cliobs wires the observability flags shared by the CLIs:
 // -trace FILE writes the pipeline's span tree as JSON, -metrics prints
-// per-stage counters in Prometheus text format. Both attach to the
-// run's context, so every ...Context entry point downstream records
-// into them; the outputs are emitted by a deferred finish function, so
-// a run that fails mid-pipeline (budget exhaustion, deadline) still
-// leaves its partial trace — which is exactly when a trace is most
-// wanted.
+// per-stage counters in Prometheus text format, and -strategy forces
+// the adaptive dispatcher's choices (internal/strategy syntax, same as
+// the REGEXRW_STRATEGY environment variable) for ablations. All attach
+// to the run's context, so every ...Context entry point downstream
+// records into them; the outputs are emitted by a deferred finish
+// function, so a run that fails mid-pipeline (budget exhaustion,
+// deadline) still leaves its partial trace — which is exactly when a
+// trace is most wanted.
 package cliobs
 
 import (
@@ -16,18 +18,21 @@ import (
 	"os"
 
 	"regexrw/internal/obs"
+	"regexrw/internal/strategy"
 )
 
 // Flags holds the observability flag values of one CLI run.
 type Flags struct {
 	TracePath string
 	Metrics   bool
+	Strategy  string
 }
 
-// Register declares -trace and -metrics on the flag set.
+// Register declares -trace, -metrics and -strategy on the flag set.
 func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.TracePath, "trace", "", "write a JSON trace of the pipeline stages to this file")
 	fs.BoolVar(&f.Metrics, "metrics", false, "print pipeline metrics (Prometheus text format) to stderr at exit")
+	fs.StringVar(&f.Strategy, "strategy", "", "force strategy choices, e.g. \"fanout=seq,kernel=dense,exactness=fly\" (see internal/strategy)")
 }
 
 // Install attaches a tracer and/or metrics registry to ctx per the
@@ -38,6 +43,15 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 func (f *Flags) Install(ctx context.Context, stderr io.Writer) (context.Context, func()) {
 	var tracer *obs.Tracer
 	var reg *obs.Registry
+	if f.Strategy != "" {
+		cfg, err := strategy.Parse(f.Strategy)
+		if err != nil {
+			fmt.Fprintln(stderr, "strategy:", err)
+		}
+		// Parse is clause-tolerant: known clauses apply even when an
+		// unknown one was reported above, matching REGEXRW_STRATEGY.
+		ctx = strategy.With(ctx, cfg)
+	}
 	if f.TracePath != "" {
 		tracer = obs.NewTracer()
 		ctx = obs.WithTracer(ctx, tracer)

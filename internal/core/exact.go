@@ -8,6 +8,7 @@ import (
 	"regexrw/internal/automata"
 	"regexrw/internal/budget"
 	"regexrw/internal/obs"
+	"regexrw/internal/strategy"
 )
 
 // Expand returns the automaton B of Section 2 accepting exp(L(R)) over
@@ -50,12 +51,24 @@ func (r *Rewriting) IsExact() (exact bool, witness []alphabet.Symbol) {
 }
 
 // IsExactContext is IsExact with cooperative cancellation and resource
-// governance: the on-the-fly containment search is worst-case
-// exponential in the size of B (2EXPSPACE overall, Theorem 9), and both
-// the expansion splice and the containment frontier are metered against
-// the context's budget. A cancelled ctx or exhausted budget aborts with
-// the corresponding error; callers that want a verdict rather than an
-// error should use TryExactness.
+// governance: the containment search is worst-case exponential in the
+// size of B (2EXPSPACE overall, Theorem 9), and both the expansion
+// splice and the containment frontier are metered against the context's
+// budget. A cancelled ctx or exhausted budget aborts with the
+// corresponding error; callers that want a verdict rather than an error
+// should use TryExactness.
+//
+// The complement of B is built on the fly (Theorem 6's space-saving
+// device) or materialized up front, decided by a capped trial
+// determinization of B: a nearly deterministic expansion (elementary
+// views, the DetBlowup family) determinizes in about its own size, so
+// paying that cost once and scanning the product with dense table
+// lookups beats re-deriving subsets lazily; a genuinely
+// nondeterministic expansion can blow up exponentially, where the lazy
+// complement explores only the reachable fragment. The choice lands on
+// the span's `strategy` attribute and the strategy.exactness.*
+// counters; both arms return the same verdict and a shortest witness
+// (internal/oracle checks them differentially).
 func (r *Rewriting) IsExactContext(ctx context.Context) (exact bool, witness []alphabet.Symbol, err error) {
 	ctx, span := obs.StartSpan(ctx, "core.exactness")
 	defer span.End()
@@ -63,7 +76,42 @@ func (r *Rewriting) IsExactContext(ctx context.Context) (exact bool, witness []a
 	if err != nil {
 		return false, nil, err
 	}
-	ok, cex, err := automata.ContainedInContext(ctx, r.Ad.NFA(), exp)
+	cfg := strategy.From(ctx)
+	choice := cfg.ExactnessChoice(0)
+	var ok bool
+	var cex []alphabet.Symbol
+	var decided bool
+	if cfg.Exactness == strategy.ExactnessAuto {
+		// Straight to a trial materialization capped at the threshold:
+		// if det(B) actually fits, the trial has already built the
+		// complement DFA and its verdict stands at the
+		// forced-materialized price — the measurement is the work; if it
+		// does not, the waste is bounded by the cap and the on-the-fly
+		// scan takes over. No static size estimate first: predicting
+		// det(B) needs B's ε-closure tables, which are a large share of
+		// the determinization cost itself (automata.EstimateDeterminized
+		// measured at ~20% of the whole check on the DetBlowup family),
+		// so the prediction is nearly as expensive as just trying.
+		var fit bool
+		ok, cex, fit, err = automata.ContainedInMaterializedCapped(
+			ctx, r.Ad.NFA(), exp, cfg.EffectiveMaterializeMaxStates())
+		if err != nil {
+			return false, nil, err
+		}
+		choice = strategy.ChoiceOnTheFly
+		if fit {
+			choice = strategy.ChoiceMaterialized
+		}
+		decided = fit
+	}
+	strategy.Record(ctx, span, "exactness", choice)
+	if !decided {
+		if choice == strategy.ChoiceMaterialized {
+			ok, cex, err = automata.ContainedInMaterializedContext(ctx, r.Ad.NFA(), exp)
+		} else {
+			ok, cex, err = automata.ContainedInContext(ctx, r.Ad.NFA(), exp)
+		}
+	}
 	if err != nil {
 		return false, nil, err
 	}

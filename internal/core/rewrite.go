@@ -13,6 +13,7 @@ import (
 	"regexrw/internal/obs"
 	"regexrw/internal/par"
 	"regexrw/internal/regex"
+	"regexrw/internal/strategy"
 )
 
 // Rewriting is the Σ_E-maximal rewriting R(E0,E) of an instance,
@@ -317,9 +318,16 @@ func transferAutomaton(ad *automata.DFA, sigmaE *alphabet.Alphabet, views map[al
 // state, but the product fixpoint behind its edges can materialize
 // |view|·|A_d| origin sets per view, and the e-edges themselves are
 // charged as transitions. The per-view fixpoints are independent, so
-// they fan out over the context's worker pool (par.WithWorkers; default
-// GOMAXPROCS) — the merge below runs in symbol order, so the resulting
-// automaton is identical to the sequential construction's.
+// they can fan out over the context's worker pool (par.WithWorkers;
+// default GOMAXPROCS) — whether they actually do is decided by the
+// strategy dispatcher from the summed |view|·|A_d| product-pair cost:
+// below the calibrated cutover the goroutine fan-out costs more than
+// the fixpoints themselves (the Example 2 regression), so small
+// instances run inline. The merge below runs in symbol order either
+// way, so the resulting automaton is byte-identical across strategies
+// (internal/oracle checks adaptive ≡ forced-sequential ≡
+// forced-parallel). The choice is recorded on the "core.transfer" span
+// and the strategy.fanout.* counters.
 func transferAutomatonContext(ctx context.Context, ad *automata.DFA, sigmaE *alphabet.Alphabet, views map[alphabet.Symbol]*automata.NFA) (*automata.NFA, error) {
 	ctx, span := obs.StartSpan(ctx, "core.transfer")
 	defer span.End()
@@ -346,6 +354,20 @@ func transferAutomatonContext(ctx context.Context, ad *automata.DFA, sigmaE *alp
 		syms = append(syms, e)
 	}
 
+	// Estimate the fan-out's total cost in product-pair units (one view
+	// state × one A_d state ≈ one origin set the fixpoint may touch) and
+	// let the dispatcher pick sequential vs parallel.
+	totalCost := int64(0)
+	for _, e := range syms {
+		totalCost += int64(views[e].NumStates()) * int64(ad.NumStates())
+	}
+	choice := strategy.From(ctx).FanOutChoice(par.Workers(ctx), len(syms), totalCost)
+	strategy.Record(ctx, span, "fanout", choice)
+	fctx := ctx
+	if choice == strategy.ChoiceSequential {
+		fctx = par.WithWorkers(fctx, 1)
+	}
+
 	// One item per view. Each worker opens its own Meter — Meter is not
 	// concurrency-safe, but the Budget behind the context is atomic, so
 	// charges from all workers land in the same shared pool. Results go
@@ -353,12 +375,15 @@ func transferAutomatonContext(ctx context.Context, ad *automata.DFA, sigmaE *alp
 	// exhaustion, cancellation) cancels the remaining ones and surfaces
 	// as the root cause.
 	targets := make([][][]automata.State, len(syms))
-	err := par.ForEach(ctx, len(syms), func(wctx context.Context, i int) error {
+	err := par.ForEach(fctx, len(syms), func(wctx context.Context, i int) error {
 		// With observability off this is the bare fixpoint call; with it
-		// on, each view's fixpoint gets a "core.transfer:<view>" span and
-		// pprof labels so CPU profiles attribute samples per view symbol.
-		// The two arms are kept separate so the disabled path builds no
-		// closure and assembles no label strings.
+		// on, each view's fixpoint gets a "core.transfer:<view>" span —
+		// and, when the fan-out actually runs parallel, pprof labels so
+		// CPU profiles attribute samples per view symbol. The label copy
+		// costs a goroutine-label swap per item, which on an inline
+		// sequential fan-out is pure overhead (the EX2Observed tracing
+		// cost), so the sequential arm skips it. The disabled path builds
+		// no closure and assembles no label strings at all.
 		if !obs.Enabled(wctx) {
 			wm := budget.Enter(wctx, "core.transfer")
 			ts, terr := transferTargets(wm, views[syms[i]], ad)
@@ -371,6 +396,12 @@ func transferAutomatonContext(ctx context.Context, ad *automata.DFA, sigmaE *alp
 		name := sigmaE.Name(syms[i])
 		vctx, vspan := obs.StartSpan2(wctx, "core.transfer", name)
 		defer vspan.End()
+		if choice == strategy.ChoiceSequential {
+			wm := budget.Enter(vctx, "core.transfer")
+			var terr error
+			targets[i], terr = transferTargets(wm, views[syms[i]], ad)
+			return terr
+		}
 		var terr error
 		obs.Do(vctx, func(lctx context.Context) {
 			wm := budget.Enter(lctx, "core.transfer")

@@ -34,6 +34,7 @@ import (
 	"regexrw/internal/par"
 	"regexrw/internal/planstore"
 	"regexrw/internal/rpq"
+	"regexrw/internal/strategy"
 	"regexrw/internal/theory"
 )
 
@@ -45,6 +46,7 @@ type Engine struct {
 	maxTransitions int
 	defaultTimeout time.Duration
 	workers        int
+	strat          *strategy.Config
 	tracer         *obs.Tracer
 	reg            *obs.Registry
 
@@ -115,6 +117,16 @@ func WithDefaultTimeout(d time.Duration) Option {
 // the per-view parallel stages inside each compile (default
 // GOMAXPROCS; 1 forces sequential compiles).
 func WithWorkers(n int) Option { return func(e *Engine) { e.workers = n } }
+
+// WithStrategy pins the adaptive-dispatch configuration used by every
+// compile whose context does not already carry one (strategy.With on
+// the request context takes precedence). The zero Config is fully
+// adaptive; forcing a mode (e.g. Kernel: strategy.KernelForceSparse)
+// overrides the measured cost model for that domain — useful for
+// ablations and for pinning behavior in differential tests.
+func WithStrategy(cfg strategy.Config) Option {
+	return func(e *Engine) { c := cfg; e.strat = &c }
+}
 
 // WithTracer installs a tracer used for compiles whose context carries
 // none; per-request tracers on the context take precedence.
@@ -427,6 +439,9 @@ func (e *Engine) compileAdmitted(ctx context.Context, maxStates, maxTransitions 
 	}
 	if e.workers > 0 {
 		cctx = par.WithWorkers(cctx, e.workers)
+	}
+	if e.strat != nil && !strategy.Carried(cctx) {
+		cctx = strategy.With(cctx, *e.strat)
 	}
 	if e.tracer != nil && obs.SpanFromContext(cctx) == nil {
 		cctx = obs.WithTracer(cctx, e.tracer)

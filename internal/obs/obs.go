@@ -54,6 +54,31 @@ type Tracer struct {
 	mu            sync.Mutex
 	root          *Span
 	deterministic bool
+	// arena is the current span chunk: spans are bump-allocated from it
+	// under mu, amortizing one heap allocation over a chunk of spans.
+	// Handed-out *Span pointers stay valid because a full chunk is
+	// replaced, never grown in place.
+	arena []Span
+}
+
+// newSpanLocked bump-allocates a zeroed span from the arena; the caller
+// holds t.mu. Chunks start small (a paper-scale pipeline fits in one)
+// and double up to a cap so deep traces don't thrash the allocator.
+func (t *Tracer) newSpanLocked() *Span {
+	if len(t.arena) == cap(t.arena) {
+		n := 2 * cap(t.arena)
+		if n == 0 {
+			n = 16
+		}
+		if n > 256 {
+			n = 256
+		}
+		t.arena = make([]Span, 0, n)
+	}
+	t.arena = t.arena[:len(t.arena)+1]
+	sp := &t.arena[len(t.arena)-1]
+	sp.tracer = t
+	return sp
 }
 
 // TracerOption configures a Tracer.
@@ -119,9 +144,12 @@ func WithTracer(ctx context.Context, t *Tracer) context.Context {
 	if t == nil {
 		return ctx
 	}
+	start := t.now()
 	t.mu.Lock()
 	if t.root == nil {
-		t.root = &Span{tracer: t, name: RootSpanName, start: t.now()}
+		t.root = t.newSpanLocked()
+		t.root.name = RootSpanName
+		t.root.start = start
 	}
 	root := t.root
 	t.mu.Unlock()
@@ -164,8 +192,11 @@ func StartSpan2(ctx context.Context, name, detail string) (context.Context, *Spa
 
 func (s *Span) newChild(ctx context.Context, name string) (context.Context, *Span) {
 	t := s.tracer
-	child := &Span{tracer: t, name: name, start: t.now()}
+	start := t.now()
 	t.mu.Lock()
+	child := t.newSpanLocked()
+	child.name = name
+	child.start = start
 	s.children = append(s.children, child)
 	t.mu.Unlock()
 	return context.WithValue(ctx, spanKey{}, child), child

@@ -44,16 +44,21 @@ func (t *Tracer) Export() *SpanJSON {
 	if t == nil {
 		return nil
 	}
+	// One lock for the whole walk: concurrent span creation briefly
+	// blocks, and in exchange the per-span snapshot copies of the old
+	// scheme disappear — on the hot bench loop the export is about half
+	// the tracer's total cost, so this matters.
 	t.mu.Lock()
-	root := t.root
-	t.mu.Unlock()
-	if root == nil {
+	defer t.mu.Unlock()
+	if t.root == nil {
 		return nil
 	}
-	root.End()
-	return t.export(root, root)
+	t.root.End()
+	return t.export(t.root, t.root)
 }
 
+// export converts a span subtree; the caller holds t.mu (End is
+// lock-free, so ending children under the lock is fine).
 func (t *Tracer) export(s, root *Span) *SpanJSON {
 	out := &SpanJSON{
 		Name:        s.name,
@@ -66,18 +71,18 @@ func (t *Tracer) export(s, root *Span) *SpanJSON {
 		out.StartUS = s.start.Sub(root.start).Microseconds()
 		out.DurUS = s.dur.Load() / 1000
 	}
-	t.mu.Lock()
-	children := append([]*Span(nil), s.children...)
 	if len(s.attrs) > 0 {
 		out.Attrs = make(map[string]int64, len(s.attrs))
 		for k, v := range s.attrs { // string-keyed; encoding/json sorts keys, so order is unobservable
 			out.Attrs[k] = v
 		}
 	}
-	t.mu.Unlock()
-	for _, c := range children {
-		c.End()
-		out.Children = append(out.Children, t.export(c, root))
+	if len(s.children) > 0 {
+		out.Children = make([]*SpanJSON, len(s.children))
+		for i, c := range s.children {
+			c.End()
+			out.Children[i] = t.export(c, root)
+		}
 	}
 	return out
 }

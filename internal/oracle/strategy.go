@@ -1,0 +1,167 @@
+package oracle
+
+// Differential checks over the strategy dispatcher (internal/strategy):
+// every adaptive decision has a forced ablation for each arm, and the
+// arms are promised to differ only in speed. CheckStrategies verifies
+// that promise pairwise on one instance:
+//
+//   - kernel: the pipeline under a forced-sparse and a forced-dense
+//     kernel produces byte-identical automata — exact state numbering,
+//     because both refinements compute the unique coarsest stable
+//     partition and the quotient is canonically renumbered;
+//   - fan-out: the adaptive, forced-sequential and forced-parallel
+//     rewritings are byte-identical (the deterministic index-slot merge
+//     already makes parallel ≡ sequential; adaptive must land on one of
+//     them, never on a third behavior);
+//   - exactness: the materialized and on-the-fly Theorem 6 checks agree
+//     on the verdict and, for inexact rewritings, on the witness length
+//     (the contract fixes "a shortest word", not which one — though
+//     both arms use the same sorted-symbol BFS rule and in practice
+//     return the same word).
+//
+// Like CheckInstance, instances that blow the size cap are skipped with
+// ErrSkipped and tallied on the oracle.skipped counter.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+
+	"regexrw/internal/alphabet"
+	"regexrw/internal/automata"
+	"regexrw/internal/budget"
+	"regexrw/internal/core"
+	"regexrw/internal/par"
+	"regexrw/internal/strategy"
+)
+
+// CheckStrategies runs the strategy-differential properties on the
+// instance. Verdict accounting mirrors CheckInstance: nil on success
+// (oracle.checked), ErrSkipped at the size cap (oracle.skipped), any
+// other error is a bug.
+func CheckStrategies(ctx context.Context, inst *core.Instance, cfg Config) error {
+	err := checkStrategies(ctx, inst, cfg)
+	switch {
+	case err == nil:
+		oracleCounters.checked.Inc()
+	case errors.Is(err, ErrSkipped):
+		oracleCounters.skipped.Inc()
+	}
+	return err
+}
+
+func checkStrategies(ctx context.Context, inst *core.Instance, cfg Config) error {
+	if cfg.MaxStates <= 0 {
+		cfg.MaxStates = DefaultConfig().MaxStates
+	}
+	capped := func(parent context.Context) context.Context {
+		return budget.With(parent, budget.New(budget.MaxStates(cfg.MaxStates)))
+	}
+	skippedOr := func(err error) error {
+		var ex *budget.ExceededError
+		if errors.As(err, &ex) {
+			return fmt.Errorf("%w: %w", ErrSkipped, err)
+		}
+		return err
+	}
+	run := func(scfg strategy.Config, workers int) (*core.Rewriting, error) {
+		rctx := strategy.With(capped(ctx), scfg)
+		if workers > 0 {
+			rctx = par.WithWorkers(rctx, workers)
+		}
+		return core.MaximalRewritingContext(rctx, inst)
+	}
+
+	// Kernel pair: forced sparse vs forced dense, single worker so the
+	// only varying dimension is the kernel. Byte-identity of the DFAs
+	// (Ad, Auto) pins the exact state numbering, not mere isomorphism.
+	rSparse, err := run(strategy.Config{Kernel: strategy.KernelForceSparse}, 1)
+	if err != nil {
+		return skippedOr(err)
+	}
+	rDense, err := run(strategy.Config{Kernel: strategy.KernelForceDense}, 1)
+	if err != nil {
+		return skippedOr(err)
+	}
+	if err := sameDFA("Ad (dense vs sparse kernel)", rSparse.Ad, rDense.Ad); err != nil {
+		return err
+	}
+	if err := sameNFA("APrime (dense vs sparse kernel)", rSparse.APrime, rDense.APrime); err != nil {
+		return err
+	}
+	if err := sameDFA("Auto (dense vs sparse kernel)", rSparse.Auto, rDense.Auto); err != nil {
+		return err
+	}
+
+	// Fan-out triple: adaptive vs forced-sequential vs forced-parallel.
+	rAdaptive, err := run(strategy.Config{}, cfg.Workers)
+	if err != nil {
+		return skippedOr(err)
+	}
+	rSeq, err := run(strategy.Config{FanOut: strategy.FanOutForceSequential}, cfg.Workers)
+	if err != nil {
+		return skippedOr(err)
+	}
+	rPar, err := run(strategy.Config{FanOut: strategy.FanOutForceParallel}, cfg.Workers)
+	if err != nil {
+		return skippedOr(err)
+	}
+	for _, pair := range []struct {
+		what  string
+		other *core.Rewriting
+	}{
+		{"forced-sequential", rSeq},
+		{"forced-parallel", rPar},
+	} {
+		if err := sameNFA("APrime (adaptive vs "+pair.what+")", rAdaptive.APrime, pair.other.APrime); err != nil {
+			return err
+		}
+		if err := sameDFA("Auto (adaptive vs "+pair.what+")", rAdaptive.Auto, pair.other.Auto); err != nil {
+			return err
+		}
+	}
+
+	// Exactness pair: materialized vs on-the-fly complement. Both arms
+	// must return the same verdict; when inexact, both witnesses are
+	// shortest words of L(E0) \ exp(L(R)), so their lengths must match.
+	exFly, wFly, err := exactness(capped(ctx), rAdaptive, strategy.ExactnessForceOnTheFly)
+	if err != nil {
+		return skippedOr(err)
+	}
+	exMat, wMat, err := exactness(capped(ctx), rAdaptive, strategy.ExactnessForceMaterialized)
+	if err != nil {
+		return skippedOr(err)
+	}
+	if exFly != exMat {
+		return fmt.Errorf("oracle: exactness arms disagree: on-the-fly=%v materialized=%v (instance %s)",
+			exFly, exMat, inst)
+	}
+	if !exFly && len(wFly) != len(wMat) {
+		return fmt.Errorf("oracle: exactness witnesses have different lengths: on-the-fly %v (%d) vs materialized %v (%d) (instance %s)",
+			symbolNames(inst, wFly), len(wFly), symbolNames(inst, wMat), len(wMat), inst)
+	}
+	return nil
+}
+
+func exactness(ctx context.Context, r *core.Rewriting, mode strategy.ExactnessMode) (bool, []alphabet.Symbol, error) {
+	return r.IsExactContext(strategy.With(ctx, strategy.Config{Exactness: mode}))
+}
+
+// sameDFA compares the canonical serializations of two DFAs and reports
+// a diff-style error on mismatch — the DFA codec writes states in id
+// order, so byte equality is exact state-numbering equality.
+func sameDFA(what string, a, b *automata.DFA) error {
+	var ba, bb bytes.Buffer
+	if _, err := a.WriteTo(&ba); err != nil {
+		return fmt.Errorf("oracle: serialize %s (first arm): %w", what, err)
+	}
+	if _, err := b.WriteTo(&bb); err != nil {
+		return fmt.Errorf("oracle: serialize %s (second arm): %w", what, err)
+	}
+	if ba.String() != bb.String() {
+		return fmt.Errorf("oracle: %s differs between arms:\n--- first ---\n%s\n--- second ---\n%s",
+			what, ba.String(), bb.String())
+	}
+	return nil
+}

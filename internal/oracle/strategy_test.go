@@ -1,0 +1,60 @@
+package oracle
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"regexrw/internal/core"
+	"regexrw/internal/workload"
+)
+
+// TestStrategyPairs sweeps CheckStrategies over seeded random
+// instances: forced-sparse ≡ forced-dense kernels (byte-identical DFAs,
+// exact state numbering), adaptive ≡ forced-sequential ≡ forced-parallel
+// rewritings, and materialized ≡ on-the-fly exactness verdicts must all
+// hold on every instance that fits the size cap. 200 instances in full
+// mode (the acceptance bar), 40 under -short.
+func TestStrategyPairs(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 40
+	}
+	r := rand.New(rand.NewSource(20260808))
+	cfg := workload.InstanceConfig{AlphabetSize: 3, NumViews: 3, QueryDepth: 3, ViewDepth: 3}
+	ocfg := DefaultConfig()
+	ocfg.Workers = 4
+	checked, skipped := 0, 0
+	for i := 0; i < n; i++ {
+		inst := workload.RandomInstance(r, cfg)
+		err := CheckStrategies(context.Background(), inst, ocfg)
+		switch {
+		case err == nil:
+			checked++
+		case errors.Is(err, ErrSkipped):
+			skipped++
+		default:
+			t.Fatalf("instance %d: %v\ninstance: %s", i, err, inst)
+		}
+	}
+	t.Logf("strategy oracle: %d checked, %d skipped (size cap)", checked, skipped)
+	if skipped*5 > n {
+		t.Fatalf("%d/%d instances skipped at the size cap (>20%%); retune the cap or the instance distribution", skipped, n)
+	}
+}
+
+// TestStrategyPairsKnownInstance pins the strategy oracle on a small
+// exact instance, which always gets a verdict.
+func TestStrategyPairsKnownInstance(t *testing.T) {
+	inst, err := core.ParseInstance("(a.b)*", map[string]string{
+		"v1": "a.b",
+		"v2": "(a.b)*",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckStrategies(context.Background(), inst, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}

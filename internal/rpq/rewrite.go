@@ -13,6 +13,7 @@ import (
 	"regexrw/internal/obs"
 	"regexrw/internal/par"
 	"regexrw/internal/regex"
+	"regexrw/internal/strategy"
 	"regexrw/internal/theory"
 )
 
@@ -100,11 +101,27 @@ func RewriteContext(ctx context.Context, q0 *Query, views []View, t *theory.Inte
 		// View groundings are independent (GroundContext builds fresh
 		// automata over a read-only interpretation), so they fan out over
 		// the context's worker pool into index-addressed slots; the map is
-		// assembled after the join.
+		// assembled after the join. Whether the fan-out actually goes
+		// parallel is a strategy decision: grounding a view costs about
+		// |expr| × |D| transition evaluations, and below the cutover the
+		// dispatch overhead of the pool exceeds the work shipped.
+		groundCost := int64(0)
+		for _, v := range views {
+			groundCost += int64(v.Query.Expr.Size()) * int64(t.Domain().Len())
+		}
+		choice := strategy.From(ctx).FanOutChoice(par.Workers(ctx), len(views), groundCost)
+		strategy.Record(ctx, span, "fanout", choice)
+		fctx := ctx
+		if choice == strategy.ChoiceSequential {
+			fctx = par.WithWorkers(fctx, 1)
+		}
 		grounded := make([]*automata.NFA, len(views))
-		ferr := par.ForEach(ctx, len(views), func(wctx context.Context, i int) error {
+		ferr := par.ForEach(fctx, len(views), func(wctx context.Context, i int) error {
 			// Per-view span and pprof labels, mirroring the core transfer
-			// fan-out; the disabled arm stays closure- and label-free.
+			// fan-out; the disabled arm stays closure- and label-free, and
+			// the sequential arm skips the goroutine-label swap that
+			// obs.Do costs (one label set per view dwarfs a small
+			// grounding).
 			if !obs.Enabled(wctx) {
 				g, werr := views[i].Query.GroundContext(wctx, t)
 				if werr != nil {
@@ -116,6 +133,13 @@ func RewriteContext(ctx context.Context, q0 *Query, views []View, t *theory.Inte
 			vctx, vspan := obs.StartSpan2(wctx, "rpq.view", views[i].Name)
 			defer vspan.End()
 			var werr error
+			if choice == strategy.ChoiceSequential {
+				var g *automata.NFA
+				if g, werr = views[i].Query.GroundContext(vctx, t); werr == nil {
+					grounded[i] = g.RemoveEpsilon()
+				}
+				return werr
+			}
 			obs.Do(vctx, func(lctx context.Context) {
 				var g *automata.NFA
 				if g, werr = views[i].Query.GroundContext(lctx, t); werr == nil {

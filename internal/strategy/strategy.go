@@ -1,0 +1,418 @@
+// Package strategy is the adaptive dispatcher of the rewriting
+// pipeline: a measured cost model plus per-domain overrides that every
+// hot construction consults before committing to an execution strategy.
+//
+// Three decisions are adaptive (docs/PERFORMANCE.md §6 has the
+// calibration numbers behind the default thresholds):
+//
+//   - fan-out: the per-view transfer fixpoint (internal/core) and the
+//     view grounding (internal/rpq) run sequentially or over the
+//     par.ForEach worker pool depending on the estimated total work —
+//     goroutine fan-out costs a few microseconds per worker, so small
+//     instances (the paper's Example 2) are faster inline;
+//   - kernel: DFA hot loops (minimization refinement, containment
+//     product scans) run on the sparse map-backed representation or on
+//     a symbol-indexed dense []int32 transition table (automata/dense.go)
+//     selected by states × |Σ| density;
+//   - exactness: the Theorem 6 check uses the on-the-fly complement of
+//     the expansion B (space-saving, 2EXPSPACE-safe) or materializes
+//     det(B) up front (faster when B is nearly deterministic, as in the
+//     DetBlowup family) depending on the estimated determinized size.
+//
+// Every decision is observable: the chosen strategy is recorded as the
+// integer `strategy` attribute on the construction's span and counted
+// on the per-run and process-wide registries as strategy.<domain>.<choice>
+// (docs/OBSERVABILITY.md). Decisions are overridable per domain through
+// the engine option engine.WithStrategy, the context carrier With, or
+// the REGEXRW_STRATEGY environment variable, e.g.
+//
+//	REGEXRW_STRATEGY=fanout=seq,kernel=dense,exactness=materialized
+package strategy
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"sync/atomic"
+
+	"regexrw/internal/obs"
+)
+
+// Choice identifies the strategy a construction committed to. The
+// numeric values are stable — they are recorded verbatim as the
+// int64 `strategy` span attribute (obs.Span.SetAttr is int64-only).
+type Choice int64
+
+const (
+	// ChoiceSequential: the fan-out ran inline on the calling goroutine.
+	ChoiceSequential Choice = 1
+	// ChoiceParallel: the fan-out ran over the par.ForEach worker pool.
+	ChoiceParallel Choice = 2
+	// ChoiceSparse: the kernel ran on the sparse [][]State representation.
+	ChoiceSparse Choice = 3
+	// ChoiceDense: the kernel ran on the dense []int32 transition table.
+	ChoiceDense Choice = 4
+	// ChoiceOnTheFly: exactness used the lazy complement of Theorem 6.
+	ChoiceOnTheFly Choice = 5
+	// ChoiceMaterialized: exactness determinized the expansion up front.
+	ChoiceMaterialized Choice = 6
+)
+
+// String returns the counter-name suffix of the choice.
+func (c Choice) String() string {
+	switch c {
+	case ChoiceSequential:
+		return "sequential"
+	case ChoiceParallel:
+		return "parallel"
+	case ChoiceSparse:
+		return "sparse"
+	case ChoiceDense:
+		return "dense"
+	case ChoiceOnTheFly:
+		return "on_the_fly"
+	case ChoiceMaterialized:
+		return "materialized"
+	}
+	return fmt.Sprintf("choice(%d)", int64(c))
+}
+
+// FanOutMode selects the fan-out strategy: adaptive or forced.
+type FanOutMode int
+
+const (
+	// FanOutAuto picks by the cost model: parallel iff the pool has >1
+	// worker, there are at least ParallelMinItems items, and the summed
+	// per-item cost reaches ParallelMinCost.
+	FanOutAuto FanOutMode = iota
+	// FanOutForceSequential always runs inline.
+	FanOutForceSequential
+	// FanOutForceParallel always uses the worker pool (still sequential
+	// when the context's pool has a single worker — par.ForEach semantics).
+	FanOutForceParallel
+)
+
+// KernelMode selects the DFA kernel representation: adaptive or forced.
+type KernelMode int
+
+const (
+	// KernelAuto picks dense iff states × |Σ| fits DenseMaxEntries and
+	// the state count fits DenseMaxStates.
+	KernelAuto KernelMode = iota
+	// KernelForceSparse always runs the map/slice-backed loops.
+	KernelForceSparse
+	// KernelForceDense always builds and uses the dense table.
+	KernelForceDense
+)
+
+// ExactnessMode selects the Theorem 6 complement strategy.
+type ExactnessMode int
+
+const (
+	// ExactnessAuto materializes det(B) iff its estimated size fits
+	// MaterializeMaxStates, else complements on the fly.
+	ExactnessAuto ExactnessMode = iota
+	// ExactnessForceOnTheFly always uses the lazy complement.
+	ExactnessForceOnTheFly
+	// ExactnessForceMaterialized always determinizes the expansion.
+	ExactnessForceMaterialized
+)
+
+// Default thresholds. The fan-out numbers come from calibrating the
+// transfer fixpoint against the worker-pool overhead (docs/PERFORMANCE.md
+// §6): one product-pair unit (one view state × one A_d state) costs on
+// the order of 100ns of fixpoint work, and dispatching the pool costs a
+// few microseconds, so the break-even is around 10³ units.
+const (
+	// DefaultParallelMinItems is the minimum fan-out width for the pool:
+	// with a single item there is nothing to overlap.
+	DefaultParallelMinItems = 2
+	// DefaultParallelMinCost is the minimum summed per-item cost (in
+	// product-pair units) before the pool pays for itself.
+	DefaultParallelMinCost = 1024
+	// DefaultDenseMaxStates caps the dense table by state count: beyond
+	// a million states the table rows alone defeat cache locality and
+	// the build cost dominates.
+	DefaultDenseMaxStates = 1 << 20
+	// DefaultDenseMaxEntries caps states × |Σ|: 4Mi int32 entries is a
+	// 16 MiB table, the point where the dense build stops amortizing.
+	DefaultDenseMaxEntries = 4 << 20
+	// DefaultMaterializeMaxStates bounds the estimated size of det(B)
+	// under which exactness materializes the complement up front. 2^16
+	// subsets is still small memory (the scan walks one int32 row per
+	// state) and materialization measures faster than the on-the-fly
+	// product well past it — the DetBlowup family's det(B) reaches 8k
+	// subsets at n=12 with the materialized arm still the winner, so
+	// the cap errs generously upward; an abandoned trial's waste stays
+	// bounded by this many subsets either way.
+	DefaultMaterializeMaxStates = 1 << 16
+)
+
+// Config carries the per-domain modes and thresholds. The zero value
+// means fully adaptive with the default thresholds (zero thresholds are
+// replaced by the defaults when the decision methods run).
+type Config struct {
+	FanOut    FanOutMode
+	Kernel    KernelMode
+	Exactness ExactnessMode
+
+	// ParallelMinItems / ParallelMinCost gate FanOutAuto: parallel needs
+	// at least this many items and this much estimated total cost (in
+	// product-pair units).
+	ParallelMinItems int
+	ParallelMinCost  int64
+	// DenseMaxStates / DenseMaxEntries gate KernelAuto.
+	DenseMaxStates  int
+	DenseMaxEntries int64
+	// MaterializeMaxStates gates ExactnessAuto.
+	MaterializeMaxStates int64
+}
+
+// FanOutChoice decides sequential vs parallel for a fan-out of items
+// independent work units whose summed estimated cost is totalCost
+// product-pair units, on a pool of workers goroutines. The decision is
+// monotone in items and totalCost: if parallel is chosen at some size,
+// it is chosen at every larger size under the same calibration.
+func (c Config) FanOutChoice(workers, items int, totalCost int64) Choice {
+	switch c.FanOut {
+	case FanOutForceSequential:
+		return ChoiceSequential
+	case FanOutForceParallel:
+		return ChoiceParallel
+	}
+	if workers <= 1 {
+		return ChoiceSequential
+	}
+	minItems := c.ParallelMinItems
+	if minItems <= 0 {
+		minItems = DefaultParallelMinItems
+	}
+	minCost := c.ParallelMinCost
+	if minCost <= 0 {
+		minCost = DefaultParallelMinCost
+	}
+	if items < minItems || totalCost < minCost {
+		return ChoiceSequential
+	}
+	return ChoiceParallel
+}
+
+// KernelChoice decides sparse vs dense for a DFA kernel over states
+// states and an alphabet of alphaLen symbols. An automaton with no
+// symbols has no transitions to index, so it stays sparse; the caps
+// keep the dense table within cache-friendly bounds (the 2^20-state cap
+// is a hard ceiling even when the alphabet is tiny).
+func (c Config) KernelChoice(states, alphaLen int) Choice {
+	switch c.Kernel {
+	case KernelForceSparse:
+		return ChoiceSparse
+	case KernelForceDense:
+		return ChoiceDense
+	}
+	if states <= 0 || alphaLen <= 0 {
+		return ChoiceSparse
+	}
+	maxStates := c.DenseMaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultDenseMaxStates
+	}
+	maxEntries := c.DenseMaxEntries
+	if maxEntries <= 0 {
+		maxEntries = DefaultDenseMaxEntries
+	}
+	if states > maxStates || int64(states)*int64(alphaLen) > maxEntries {
+		return ChoiceSparse
+	}
+	return ChoiceDense
+}
+
+// ExactnessChoice decides on-the-fly vs materialized complement for the
+// Theorem 6 check given a determinized-size bound for the expansion B.
+// estStates < 0 means unbounded. This is the threshold policy; the
+// adaptive check itself establishes the size by a trial determinization
+// capped at EffectiveMaterializeMaxStates (a static estimate costs
+// nearly as much as the determinization it predicts), so at runtime
+// this method arbitrates forced modes and tests pin its cutover.
+func (c Config) ExactnessChoice(estStates int64) Choice {
+	switch c.Exactness {
+	case ExactnessForceOnTheFly:
+		return ChoiceOnTheFly
+	case ExactnessForceMaterialized:
+		return ChoiceMaterialized
+	}
+	if estStates < 0 || estStates > int64(c.EffectiveMaterializeMaxStates()) {
+		return ChoiceOnTheFly
+	}
+	return ChoiceMaterialized
+}
+
+// EffectiveMaterializeMaxStates is MaterializeMaxStates with the zero
+// value resolved to the default. It doubles as the cap of the trial
+// materialization the exactness dispatcher runs when the static
+// estimate is inconclusive (overflowed or above threshold): the trial
+// abandons past this many subsets and the check falls back on the fly.
+func (c Config) EffectiveMaterializeMaxStates() int {
+	if c.MaterializeMaxStates <= 0 {
+		return DefaultMaterializeMaxStates
+	}
+	if c.MaterializeMaxStates > int64(1)<<31 {
+		return 1 << 31
+	}
+	return int(c.MaterializeMaxStates)
+}
+
+type ctxKey struct{}
+
+// With returns a context carrying cfg; From downstream returns it.
+func With(ctx context.Context, cfg Config) context.Context {
+	return context.WithValue(ctx, ctxKey{}, cfg)
+}
+
+// Carried reports whether ctx explicitly carries a Config attached by
+// With — i.e. whether From would return a per-request configuration
+// rather than fall back to the environment or the adaptive default.
+// Engine-level defaults use this to avoid clobbering request overrides.
+func Carried(ctx context.Context) bool {
+	_, ok := ctx.Value(ctxKey{}).(Config)
+	return ok
+}
+
+// From returns the strategy configuration for ctx: the one attached by
+// With when present, else the REGEXRW_STRATEGY environment override,
+// else the zero (fully adaptive) Config.
+func From(ctx context.Context) Config {
+	if cfg, ok := ctx.Value(ctxKey{}).(Config); ok {
+		return cfg
+	}
+	return FromEnv()
+}
+
+// envCache memoizes the parse of REGEXRW_STRATEGY keyed by the raw
+// variable value, so From stays allocation-free on the hot path while
+// still honoring t.Setenv changes between calls.
+type envCache struct {
+	raw string
+	cfg Config
+}
+
+var envCached atomic.Pointer[envCache]
+
+// FromEnv returns the Config described by the REGEXRW_STRATEGY
+// environment variable (empty or unset means fully adaptive). Malformed
+// clauses are ignored clause by clause: an operator typo must never
+// change correctness, only strategy.
+func FromEnv() Config {
+	raw := os.Getenv("REGEXRW_STRATEGY")
+	if raw == "" {
+		return Config{}
+	}
+	if c := envCached.Load(); c != nil && c.raw == raw {
+		return c.cfg
+	}
+	cfg, _ := Parse(raw)
+	envCached.Store(&envCache{raw: raw, cfg: cfg})
+	return cfg
+}
+
+// Parse parses a strategy spec of comma-separated clauses
+// domain=value with domains fanout (auto|seq|sequential|par|parallel),
+// kernel (auto|sparse|dense) and exactness (auto|fly|on_the_fly|
+// materialized). It returns the parsed Config and an error naming the
+// first unknown clause; the Config is valid (unknown clauses are
+// skipped) even when the error is non-nil.
+func Parse(spec string) (Config, error) {
+	var cfg Config
+	var firstErr error
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("strategy: clause %q is not domain=value", clause)
+			}
+			continue
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		known := true
+		switch key {
+		case "fanout":
+			switch val {
+			case "auto":
+				cfg.FanOut = FanOutAuto
+			case "seq", "sequential":
+				cfg.FanOut = FanOutForceSequential
+			case "par", "parallel":
+				cfg.FanOut = FanOutForceParallel
+			default:
+				known = false
+			}
+		case "kernel":
+			switch val {
+			case "auto":
+				cfg.Kernel = KernelAuto
+			case "sparse":
+				cfg.Kernel = KernelForceSparse
+			case "dense":
+				cfg.Kernel = KernelForceDense
+			default:
+				known = false
+			}
+		case "exactness":
+			switch val {
+			case "auto":
+				cfg.Exactness = ExactnessAuto
+			case "fly", "on_the_fly":
+				cfg.Exactness = ExactnessForceOnTheFly
+			case "materialized":
+				cfg.Exactness = ExactnessForceMaterialized
+			default:
+				known = false
+			}
+		default:
+			known = false
+		}
+		if !known && firstErr == nil {
+			firstErr = fmt.Errorf("strategy: unknown clause %q", clause)
+		}
+	}
+	return cfg, firstErr
+}
+
+// counterNames precomputes the strategy.<domain>.<choice> counter names
+// for the domains the dispatch sites use, so Record on the hot path
+// never concatenates. Unknown domains fall back to concatenation.
+var counterNames = func() map[string][ChoiceMaterialized + 1]string {
+	m := make(map[string][ChoiceMaterialized + 1]string)
+	for _, domain := range []string{"fanout", "kernel", "exactness"} {
+		var names [ChoiceMaterialized + 1]string
+		for ch := ChoiceSequential; ch <= ChoiceMaterialized; ch++ {
+			names[ch] = "strategy." + domain + "." + ch.String()
+		}
+		m[domain] = names
+	}
+	return m
+}()
+
+// Record makes a committed decision observable: the choice lands as the
+// int64 `strategy` attribute on the construction's span (nil-safe when
+// tracing is off) and bumps strategy.<domain>.<choice> on the
+// process-wide registry and — when the context carries one — the
+// per-run registry.
+func Record(ctx context.Context, span *obs.Span, domain string, ch Choice) {
+	span.SetAttr("strategy", int64(ch))
+	var name string
+	if names, ok := counterNames[domain]; ok && ch >= ChoiceSequential && ch <= ChoiceMaterialized {
+		name = names[ch]
+	} else {
+		name = "strategy." + domain + "." + ch.String()
+	}
+	obs.Default.Counter(name).Add(1)
+	if reg := obs.MetricsFrom(ctx); reg != nil && reg != obs.Default {
+		reg.Counter(name).Add(1)
+	}
+}

@@ -1,0 +1,202 @@
+package strategy
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// TestFanOutCutoverMonotone is the metamorphic contract of the cost
+// model: if the dispatcher picks parallel for a fan-out of some size,
+// it must pick parallel for every larger fan-out under the same
+// calibration. A non-monotone cutover would make performance jitter
+// with instance size and invalidate the bench guard's interpolation.
+func TestFanOutCutoverMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		cfg := Config{
+			ParallelMinItems: rng.Intn(8),
+			ParallelMinCost:  int64(rng.Intn(4096)),
+		}
+		workers := 1 + rng.Intn(8)
+		items := rng.Intn(64)
+		cost := int64(rng.Intn(1 << 14))
+		if cfg.FanOutChoice(workers, items, cost) != ChoiceParallel {
+			continue
+		}
+		for step := 0; step < 16; step++ {
+			di, dc := rng.Intn(32), int64(rng.Intn(1<<12))
+			if got := cfg.FanOutChoice(workers, items+di, cost+dc); got != ChoiceParallel {
+				t.Fatalf("cfg=%+v workers=%d: parallel at (items=%d cost=%d) but %v at (items=%d cost=%d)",
+					cfg, workers, items, cost, got, items+di, cost+dc)
+			}
+		}
+	}
+}
+
+func TestFanOutChoice(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		workers int
+		items   int
+		cost    int64
+		want    Choice
+	}{
+		{"single worker stays sequential", Config{}, 1, 100, 1 << 20, ChoiceSequential},
+		{"zero workers stays sequential", Config{}, 0, 100, 1 << 20, ChoiceSequential},
+		{"one item stays sequential", Config{}, 4, 1, 1 << 20, ChoiceSequential},
+		{"cheap work stays sequential", Config{}, 4, 100, DefaultParallelMinCost - 1, ChoiceSequential},
+		{"at the default cutover", Config{}, 4, 2, DefaultParallelMinCost, ChoiceParallel},
+		{"forced sequential wins over size", Config{FanOut: FanOutForceSequential}, 8, 1000, 1 << 30, ChoiceSequential},
+		{"forced parallel wins over size", Config{FanOut: FanOutForceParallel}, 1, 1, 0, ChoiceParallel},
+		{"custom cost threshold honored", Config{ParallelMinCost: 10}, 4, 2, 10, ChoiceParallel},
+		{"custom item threshold honored", Config{ParallelMinItems: 5}, 4, 4, 1 << 20, ChoiceSequential},
+	}
+	for _, tc := range cases {
+		if got := tc.cfg.FanOutChoice(tc.workers, tc.items, tc.cost); got != tc.want {
+			t.Errorf("%s: FanOutChoice(%d, %d, %d) = %v, want %v", tc.name, tc.workers, tc.items, tc.cost, got, tc.want)
+		}
+	}
+}
+
+func TestKernelChoiceBoundaries(t *testing.T) {
+	cases := []struct {
+		name     string
+		cfg      Config
+		states   int
+		alphaLen int
+		want     Choice
+	}{
+		{"empty alphabet", Config{}, 100, 0, ChoiceSparse},
+		{"no states", Config{}, 0, 4, ChoiceSparse},
+		{"single state single symbol", Config{}, 1, 1, ChoiceDense},
+		{"at the entries cap", Config{}, 1 << 20, 4, ChoiceDense},
+		{"one past the entries cap", Config{}, 1<<20 + 1, 4, ChoiceSparse},
+		{"at the state cap, tiny alphabet", Config{}, DefaultDenseMaxStates, 1, ChoiceDense},
+		{"past the state cap, tiny alphabet", Config{}, DefaultDenseMaxStates + 1, 1, ChoiceSparse},
+		{"wide alphabet overflows entries", Config{}, 1 << 12, 1 << 12, ChoiceSparse},
+		{"forced dense ignores caps", Config{Kernel: KernelForceDense}, 1 << 30, 1 << 10, ChoiceDense},
+		{"forced sparse ignores fit", Config{Kernel: KernelForceSparse}, 2, 2, ChoiceSparse},
+		{"custom entries cap", Config{DenseMaxEntries: 8}, 3, 3, ChoiceSparse},
+		{"custom state cap", Config{DenseMaxStates: 2}, 3, 1, ChoiceSparse},
+	}
+	for _, tc := range cases {
+		if got := tc.cfg.KernelChoice(tc.states, tc.alphaLen); got != tc.want {
+			t.Errorf("%s: KernelChoice(%d, %d) = %v, want %v", tc.name, tc.states, tc.alphaLen, got, tc.want)
+		}
+	}
+}
+
+func TestExactnessChoice(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		est  int64
+		want Choice
+	}{
+		{"small estimate materializes", Config{}, 16, ChoiceMaterialized},
+		{"at the cap materializes", Config{}, DefaultMaterializeMaxStates, ChoiceMaterialized},
+		{"past the cap goes lazy", Config{}, DefaultMaterializeMaxStates + 1, ChoiceOnTheFly},
+		{"overflowed estimate goes lazy", Config{}, -1, ChoiceOnTheFly},
+		{"forced fly ignores estimate", Config{Exactness: ExactnessForceOnTheFly}, 1, ChoiceOnTheFly},
+		{"forced materialized ignores estimate", Config{Exactness: ExactnessForceMaterialized}, -1, ChoiceMaterialized},
+		{"custom cap honored", Config{MaterializeMaxStates: 4}, 5, ChoiceOnTheFly},
+	}
+	for _, tc := range cases {
+		if got := tc.cfg.ExactnessChoice(tc.est); got != tc.want {
+			t.Errorf("%s: ExactnessChoice(%d) = %v, want %v", tc.name, tc.est, got, tc.want)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	cfg, err := Parse("fanout=seq,kernel=dense,exactness=materialized")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := Config{FanOut: FanOutForceSequential, Kernel: KernelForceDense, Exactness: ExactnessForceMaterialized}
+	if cfg != want {
+		t.Fatalf("Parse = %+v, want %+v", cfg, want)
+	}
+
+	cfg, err = Parse(" fanout = parallel , exactness = fly ")
+	if err != nil {
+		t.Fatalf("Parse with spaces: %v", err)
+	}
+	if cfg.FanOut != FanOutForceParallel || cfg.Exactness != ExactnessForceOnTheFly {
+		t.Fatalf("Parse with spaces = %+v", cfg)
+	}
+
+	// Unknown clauses report an error but never poison the known ones.
+	cfg, err = Parse("kernel=sparse,frobnicate=yes")
+	if err == nil {
+		t.Fatal("Parse accepted an unknown domain")
+	}
+	if cfg.Kernel != KernelForceSparse {
+		t.Fatalf("known clause lost on partial error: %+v", cfg)
+	}
+	if _, err := Parse("kernel"); err == nil {
+		t.Fatal("Parse accepted a clause without '='")
+	}
+	if cfg, err := Parse(""); err != nil || cfg != (Config{}) {
+		t.Fatalf("Parse(\"\") = %+v, %v", cfg, err)
+	}
+}
+
+// TestFromEnv exercises the change-detecting cache: the parse is
+// memoized by raw value, so repeated calls are cheap, but a t.Setenv
+// between calls must be honored immediately.
+func TestFromEnv(t *testing.T) {
+	t.Setenv("REGEXRW_STRATEGY", "kernel=dense")
+	if cfg := FromEnv(); cfg.Kernel != KernelForceDense {
+		t.Fatalf("FromEnv = %+v", cfg)
+	}
+	t.Setenv("REGEXRW_STRATEGY", "kernel=sparse,fanout=seq")
+	if cfg := FromEnv(); cfg.Kernel != KernelForceSparse || cfg.FanOut != FanOutForceSequential {
+		t.Fatalf("FromEnv after change = %+v", cfg)
+	}
+	t.Setenv("REGEXRW_STRATEGY", "")
+	if cfg := FromEnv(); cfg != (Config{}) {
+		t.Fatalf("FromEnv after unset = %+v", cfg)
+	}
+}
+
+func TestContextCarrier(t *testing.T) {
+	ctx := context.Background()
+	if Carried(ctx) {
+		t.Fatal("background context reports a carried config")
+	}
+	want := Config{FanOut: FanOutForceParallel}
+	ctx = With(ctx, want)
+	if !Carried(ctx) {
+		t.Fatal("With did not mark the context as carrying")
+	}
+	if got := From(ctx); got != want {
+		t.Fatalf("From = %+v, want %+v", got, want)
+	}
+	// The context carrier takes precedence over the environment.
+	t.Setenv("REGEXRW_STRATEGY", "fanout=seq")
+	if got := From(ctx); got != want {
+		t.Fatalf("From ignored the carrier in favor of the env: %+v", got)
+	}
+	if got := From(context.Background()); got.FanOut != FanOutForceSequential {
+		t.Fatalf("From without carrier ignored the env: %+v", got)
+	}
+}
+
+func TestChoiceString(t *testing.T) {
+	for ch, want := range map[Choice]string{
+		ChoiceSequential:   "sequential",
+		ChoiceParallel:     "parallel",
+		ChoiceSparse:       "sparse",
+		ChoiceDense:        "dense",
+		ChoiceOnTheFly:     "on_the_fly",
+		ChoiceMaterialized: "materialized",
+		Choice(42):         "choice(42)",
+	} {
+		if got := ch.String(); got != want {
+			t.Errorf("Choice(%d).String() = %q, want %q", int64(ch), got, want)
+		}
+	}
+}

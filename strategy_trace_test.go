@@ -1,0 +1,183 @@
+package regexrw
+
+// Trace-level contract of the strategy dispatcher: every forced
+// override — context carrier or REGEXRW_STRATEGY environment variable —
+// must be visible as the int64 `strategy` attribute on the spans of the
+// constructions it steered. This is what makes ablations auditable: a
+// bench arm claiming "forced sparse" can prove it from its trace.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"regexrw/internal/obs"
+	"regexrw/internal/par"
+	"regexrw/internal/strategy"
+	"regexrw/internal/workload"
+)
+
+// strategyTrace runs the Example 2 pipeline under a deterministic
+// tracer with ctx's strategy configuration and returns the parsed trace.
+func strategyTrace(t *testing.T, decorate func(context.Context) context.Context) *obs.SpanJSON {
+	t.Helper()
+	inst, err := ParseInstance("a·(b·a+c)*", map[string]string{
+		"e1": "a", "e2": "a·c*·b", "e3": "c",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewDeterministicTracer()
+	ctx := par.WithWorkers(WithTracer(context.Background(), tr), 2)
+	ctx = decorate(ctx)
+	r, err := MaximalRewritingContext(ctx, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.IsExactContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	root, err := obs.ParseTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// spanStrategy returns the `strategy` attribute of the first span with
+// the given name.
+func spanStrategy(t *testing.T, root *obs.SpanJSON, name string) strategy.Choice {
+	t.Helper()
+	spans := obs.FindSpans(root, name)
+	if len(spans) == 0 {
+		t.Fatalf("trace has no %q span", name)
+	}
+	v, ok := spans[0].Attrs["strategy"]
+	if !ok {
+		t.Fatalf("span %q carries no strategy attribute: %v", name, spans[0].Attrs)
+	}
+	return strategy.Choice(v)
+}
+
+func TestForcedStrategyVisibleInTrace(t *testing.T) {
+	forced := strategy.Config{
+		FanOut:    strategy.FanOutForceParallel,
+		Kernel:    strategy.KernelForceSparse,
+		Exactness: strategy.ExactnessForceMaterialized,
+	}
+	root := strategyTrace(t, func(ctx context.Context) context.Context {
+		return strategy.With(ctx, forced)
+	})
+	if got := spanStrategy(t, root, "core.transfer"); got != strategy.ChoiceParallel {
+		t.Errorf("core.transfer strategy = %v, want parallel", got)
+	}
+	if got := spanStrategy(t, root, "automata.minimize"); got != strategy.ChoiceSparse {
+		t.Errorf("automata.minimize strategy = %v, want sparse", got)
+	}
+	if got := spanStrategy(t, root, "core.exactness"); got != strategy.ChoiceMaterialized {
+		t.Errorf("core.exactness strategy = %v, want materialized", got)
+	}
+	if len(obs.FindSpans(root, "automata.contained_in_materialized")) == 0 {
+		t.Error("forced materialized exactness did not take the materialized containment path")
+	}
+}
+
+func TestForcedStrategyEnvVisibleInTrace(t *testing.T) {
+	t.Setenv("REGEXRW_STRATEGY", "fanout=seq,kernel=dense,exactness=fly")
+	root := strategyTrace(t, func(ctx context.Context) context.Context { return ctx })
+	if got := spanStrategy(t, root, "core.transfer"); got != strategy.ChoiceSequential {
+		t.Errorf("core.transfer strategy = %v, want sequential", got)
+	}
+	if got := spanStrategy(t, root, "automata.minimize"); got != strategy.ChoiceDense {
+		t.Errorf("automata.minimize strategy = %v, want dense", got)
+	}
+	if got := spanStrategy(t, root, "core.exactness"); got != strategy.ChoiceOnTheFly {
+		t.Errorf("core.exactness strategy = %v, want on_the_fly", got)
+	}
+	if len(obs.FindSpans(root, "automata.contained_in")) == 0 {
+		t.Error("forced on-the-fly exactness did not take the lazy containment path")
+	}
+}
+
+// blowTrace runs the DetBlowup(4) pipeline — whose expansion looks
+// nondeterministic in every state yet determinizes small — under a
+// deterministic tracer and the given strategy config, and returns the
+// parsed trace.
+func blowTrace(t *testing.T, cfg strategy.Config) *obs.SpanJSON {
+	t.Helper()
+	inst := workload.DetBlowupFamily(4)
+	tr := NewDeterministicTracer()
+	ctx := strategy.With(WithTracer(context.Background(), tr), cfg)
+	r, err := MaximalRewritingContext(ctx, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.IsExactContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	root, err := obs.ParseTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestAdaptiveExactnessTrialMaterializes: on the DetBlowup family a
+// static nondeterminism count would predict a huge det(B) (every state
+// looks nondeterministic), yet the expansion actually determinizes
+// small — the capped trial, which measures instead of predicting, must
+// land the check on the materialized arm.
+func TestAdaptiveExactnessTrialMaterializes(t *testing.T) {
+	root := blowTrace(t, strategy.Config{})
+	if got := spanStrategy(t, root, "core.exactness"); got != strategy.ChoiceMaterialized {
+		t.Errorf("adaptive exactness on DetBlowup(4) = %v, want materialized via the capped trial", got)
+	}
+	if len(obs.FindSpans(root, "automata.contained_in_materialized")) == 0 {
+		t.Error("trial did not take the materialized containment path")
+	}
+	if len(obs.FindSpans(root, "automata.contained_in")) != 0 {
+		t.Error("a fitting trial must not fall back to the on-the-fly scan")
+	}
+}
+
+// TestAdaptiveExactnessTrialFallsBack: with a cap the trial cannot fit,
+// the abandoned materialization must be visible in the trace and the
+// verdict must come from the on-the-fly arm.
+func TestAdaptiveExactnessTrialFallsBack(t *testing.T) {
+	root := blowTrace(t, strategy.Config{MaterializeMaxStates: 2})
+	if got := spanStrategy(t, root, "core.exactness"); got != strategy.ChoiceOnTheFly {
+		t.Errorf("exactness under cap 2 = %v, want on_the_fly fallback", got)
+	}
+	if len(obs.FindSpans(root, "automata.contained_in_materialized")) == 0 {
+		t.Error("the abandoned trial should still appear in the trace")
+	}
+	if len(obs.FindSpans(root, "automata.contained_in")) == 0 {
+		t.Error("the verdict must come from the on-the-fly scan after the trial abandons")
+	}
+}
+
+// TestAdaptiveStrategyRecorded: even without overrides every decision
+// lands on its span — the attribute is unconditional, only the value is
+// adaptive. Example 2 is tiny, so the calibrated model must keep the
+// fan-out sequential (the cost model's whole point: the paper-scale
+// instance is cheaper inline).
+func TestAdaptiveStrategyRecorded(t *testing.T) {
+	root := strategyTrace(t, func(ctx context.Context) context.Context { return ctx })
+	if got := spanStrategy(t, root, "core.transfer"); got != strategy.ChoiceSequential {
+		t.Errorf("adaptive fan-out on Example 2 = %v, want sequential", got)
+	}
+	if got := spanStrategy(t, root, "core.exactness"); got != strategy.ChoiceMaterialized {
+		t.Errorf("adaptive exactness on Example 2 = %v, want materialized (tiny expansion)", got)
+	}
+	if got := spanStrategy(t, root, "automata.minimize"); got != strategy.ChoiceDense {
+		t.Errorf("adaptive kernel on Example 2 = %v, want dense (tiny table)", got)
+	}
+}

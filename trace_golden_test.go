@@ -128,10 +128,21 @@ func TestGoldenTraceTaxonomy(t *testing.T) {
 		"core.maximal_rewriting", "core.a_d", "regex.to_nfa",
 		"automata.determinize", "automata.minimize", "automata.complement",
 		"core.transfer", "par.foreach",
-		"core.exactness", "core.expand", "automata.contained_in",
+		"core.exactness", "core.expand", "automata.contained_in_materialized",
 	} {
 		if len(obs.FindSpans(root, name)) == 0 {
 			t.Errorf("golden EX2 trace has no %q span", name)
+		}
+	}
+	// The dispatcher-consulting spans must carry the committed decision
+	// as the documented `strategy` attribute.
+	for _, name := range []string{"core.exactness", "core.transfer"} {
+		spans := obs.FindSpans(root, name)
+		if len(spans) == 0 {
+			continue // reported above
+		}
+		if _, ok := spans[0].Attrs["strategy"]; !ok {
+			t.Errorf("golden EX2 trace: %q span has no strategy attribute", name)
 		}
 	}
 	// Per-view transfer spans carry the view name as a detail suffix.
