@@ -12,6 +12,12 @@
 // of the construction (A_d, A', R) are emitted in Graphviz syntax.
 // With -partial, a minimal set of elementary views making the
 // rewriting exact is searched for (Section 4.3).
+//
+// With -server host[,host...], the request is answered through a
+// running serve instance instead of compiling locally; several
+// addresses route through the cluster-aware client straight to the
+// replica owning the plan key. Flags needing the local automata
+// (-dot, -explain, -possible, -cost) cannot be combined with -server.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"os"
 	"strings"
 
+	regexrwclient "regexrw/client"
 	"regexrw/internal/automata"
 	"regexrw/internal/budget"
 	"regexrw/internal/cliobs"
@@ -65,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.Var(costs, "cost", "view evaluation cost name=weight (repeatable); triggers cost-guided view pruning")
 	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none); exceeding it exits 3")
 	maxStates := fs.Int("max-states", 0, "cap on total materialized automaton states (0 = unlimited); exceeding it exits 3")
+	server := fs.String("server", "", "answer through a running serve instance instead of compiling locally (comma-separated replica addresses route to the key's owner)")
 	var obsFlags cliobs.Flags
 	obsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -75,6 +83,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "rewrite: -query is required")
 		fs.Usage()
 		return 2
+	}
+	if *server != "" {
+		// The remote plan response carries the rewriting and its
+		// diagnostics, not the construction's automata: flags that need
+		// them stay local-only.
+		if *dot || *explain != "" || *possible || len(costs) > 0 {
+			fmt.Fprintln(stderr, "rewrite: -dot, -explain, -possible and -cost need the local automata and cannot be combined with -server")
+			return 2
+		}
+		return runServer(*server, regexrwclient.RewriteRequest{
+			Query:     *query,
+			Views:     views,
+			Partial:   *partial,
+			MaxStates: *maxStates,
+			TimeoutMS: timeout.Milliseconds(),
+		}, *timeout, stdout, stderr)
 	}
 
 	// The constructions are doubly exponential in the worst case

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	regexrwclient "regexrw/client"
+)
+
+// runServer answers the request through a running serve instance (or
+// cluster) instead of compiling locally: the same output, produced
+// from the wire-level plan response. The client is cluster-aware — a
+// comma-separated -server list routes each request straight to the
+// replica owning its plan key.
+func runServer(servers string, req regexrwclient.RewriteRequest, timeout time.Duration, stdout, stderr io.Writer) int {
+	cl, err := regexrwclient.New(regexrwclient.ParseServers(servers))
+	if err != nil {
+		fmt.Fprintln(stderr, "rewrite:", err)
+		return 2
+	}
+	// Parse locally first: the preamble needs the instance, and a parse
+	// failure here is exactly the server's 400.
+	inst, err := req.Instance()
+	if err != nil {
+		fmt.Fprintln(stderr, "rewrite:", err)
+		return 1
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	resp, err := cl.Rewrite(ctx, req)
+	if err != nil {
+		return remoteFail(stderr, err)
+	}
+
+	fmt.Fprintf(stdout, "E0        = %s\n", inst.Query)
+	for _, v := range inst.Views {
+		fmt.Fprintf(stdout, "re(%s)%s = %s\n", v.Name, strings.Repeat(" ", max(0, 4-len(v.Name))), v.Expr)
+	}
+	fmt.Fprintf(stdout, "rewriting = %s\n", resp.Rewriting)
+	fmt.Fprintf(stdout, "exact     = %v\n", resp.Exact)
+	if !resp.Exact {
+		fmt.Fprintf(stdout, "witness   = %s   (in L(E0) but not in exp(L(R)))\n", formatWireWord(resp.Witness))
+	}
+	fmt.Fprintf(stdout, "Σ_E-empty = %v, Σ-empty = %v\n", resp.Empty, resp.SigmaEmpty)
+	if len(resp.ShortestWord) > 0 || !resp.Empty {
+		fmt.Fprintf(stdout, "shortest  = %s\n", formatWireWord(resp.ShortestWord))
+	}
+	if resp.Degraded {
+		fmt.Fprintln(stderr, "rewrite: note: answered in degraded mode (the key's owner replica was unreachable)")
+	}
+
+	if req.Partial && !resp.Exact {
+		pr := resp.Partial
+		if pr == nil {
+			fmt.Fprintln(stderr, "rewrite: partial: no result in the response")
+			return 1
+		}
+		if !pr.Exact {
+			if pr.Stage != "" {
+				fmt.Fprintf(stderr, "rewrite: partial: resource budget exhausted in %s\n", pr.Stage)
+				return 3
+			}
+			fmt.Fprintln(stderr, "rewrite: partial: no exact extension found")
+			return 1
+		}
+		fmt.Fprintf(stdout, "\npartial rewriting: add elementary views %v\n", pr.Added)
+		fmt.Fprintf(stdout, "extended rewriting = %s (exact)\n", pr.Rewriting)
+	}
+	return 0
+}
+
+// formatWireWord renders a wire-level word the way the local path
+// renders symbol words: ε for the empty word, symbols joined by "·".
+func formatWireWord(w []string) string {
+	if len(w) == 0 {
+		return "ε"
+	}
+	return strings.Join(w, "·")
+}
+
+// remoteFail maps a client error onto the command's exit codes: the
+// server's budget_exceeded, state_limit and deadline answers are the
+// same resource exhaustion the local path exits 3 for; everything else
+// (bad requests, unreachable cluster) is 1.
+func remoteFail(stderr io.Writer, err error) int {
+	var ae *regexrwclient.APIError
+	if errors.As(err, &ae) {
+		switch ae.Detail.Code {
+		case regexrwclient.CodeBudgetExceeded:
+			fmt.Fprintf(stderr, "rewrite: resource budget exhausted in %s: used %d of %d %s\n",
+				ae.Detail.Stage, ae.Detail.Used, ae.Detail.Limit, ae.Detail.Resource)
+			return 3
+		case regexrwclient.CodeStateLimit, regexrwclient.CodeDeadline:
+			fmt.Fprintf(stderr, "rewrite: %s\n", ae.Detail.Message)
+			return 3
+		}
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(stderr, "rewrite: deadline exceeded: %v\n", err)
+		return 3
+	}
+	fmt.Fprintln(stderr, "rewrite:", err)
+	return 1
+}

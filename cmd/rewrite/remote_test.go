@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	regexrwclient "regexrw/client"
+)
+
+// stubPlanServer answers /v1/rewrite with a canned handler, standing
+// in for a serve replica.
+func stubPlanServer(t *testing.T, h http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/rewrite", h)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func planJSON(w http.ResponseWriter, resp regexrwclient.PlanResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func TestRewriteServerMode(t *testing.T) {
+	var got regexrwclient.RewriteRequest
+	ts := stubPlanServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if err := json.NewDecoder(r.Body).Decode(&got); err != nil {
+			t.Error(err)
+		}
+		planJSON(w, regexrwclient.PlanResponse{
+			Key: "k", Rewriting: "e2*·e1·e3*", Exact: true, Verdict: "yes",
+		})
+	})
+	out, _, code := runCmd(t,
+		"-server", ts.URL,
+		"-query", "a·(b·a+c)*",
+		"-view", "e1=a", "-view", "e2=a·c*·b", "-view", "e3=c")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"E0        = a·(b·a+c)*", "rewriting = e2*·e1·e3*", "exact     = true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if got.Query != "a·(b·a+c)*" || got.Views["e2"] != "a·c*·b" {
+		t.Fatalf("server saw request %+v", got)
+	}
+}
+
+func TestRewriteServerModeWitness(t *testing.T) {
+	ts := stubPlanServer(t, func(w http.ResponseWriter, _ *http.Request) {
+		planJSON(w, regexrwclient.PlanResponse{
+			Key: "k", Rewriting: "e1", Exact: false, Verdict: "no", Witness: []string{"a", "c"},
+		})
+	})
+	out, _, code := runCmd(t, "-server", ts.URL, "-query", "a·c", "-view", "e1=a")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "exact     = false") || !strings.Contains(out, "witness   = a·c") {
+		t.Fatalf("missing witness:\n%s", out)
+	}
+}
+
+func TestRewriteServerModeResourceExit(t *testing.T) {
+	ts := stubPlanServer(t, func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		_ = json.NewEncoder(w).Encode(regexrwclient.ErrorEnvelope{Error: regexrwclient.ErrorDetail{
+			V: regexrwclient.EnvelopeVersion, Code: regexrwclient.CodeBudgetExceeded,
+			Message: "budget", Stage: "determinize", Resource: "states", Limit: 10, Used: 11,
+		}})
+	})
+	_, errOut, code := runCmd(t, "-server", ts.URL, "-query", "a", "-view", "e1=a")
+	if code != 3 {
+		t.Fatalf("exit %d, want 3 for budget_exceeded", code)
+	}
+	if !strings.Contains(errOut, "resource budget exhausted in determinize") {
+		t.Fatalf("stderr: %s", errOut)
+	}
+}
+
+func TestRewriteServerModeUnreachable(t *testing.T) {
+	_, errOut, code := runCmd(t, "-server", "127.0.0.1:1", "-query", "a", "-view", "e1=a")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1: %s", code, errOut)
+	}
+}
+
+func TestRewriteServerModeRejectsLocalOnlyFlags(t *testing.T) {
+	for _, extra := range [][]string{
+		{"-dot"},
+		{"-explain", "e1"},
+		{"-possible"},
+		{"-cost", "e1=2"},
+	} {
+		args := append([]string{"-server", "localhost:1", "-query", "a", "-view", "e1=a"}, extra...)
+		_, errOut, code := runCmd(t, args...)
+		if code != 2 {
+			t.Fatalf("%v: exit %d, want 2", extra, code)
+		}
+		if !strings.Contains(errOut, "cannot be combined with -server") {
+			t.Fatalf("%v: stderr: %s", extra, errOut)
+		}
+	}
+}
+
+func TestRewriteServerModePartial(t *testing.T) {
+	ts := stubPlanServer(t, func(w http.ResponseWriter, _ *http.Request) {
+		planJSON(w, regexrwclient.PlanResponse{
+			Key: "k", Rewriting: "e1", Exact: false, Verdict: "no", Witness: []string{"a", "c"},
+			Partial: &regexrwclient.PartialResult{
+				Exact: true, Added: []string{"c"}, Rewriting: "e1·vc*",
+			},
+		})
+	})
+	out, _, code := runCmd(t, "-server", ts.URL, "-partial", "-query", "a·c*", "-view", "e1=a")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "partial rewriting: add elementary views [c]") ||
+		!strings.Contains(out, "extended rewriting = e1·vc* (exact)") {
+		t.Fatalf("missing partial block:\n%s", out)
+	}
+}

@@ -15,6 +15,12 @@
 // a colon: -view 'name:expr'. Without views the query is evaluated
 // directly; with views it is rewritten, checked for exactness, and
 // answered through the views.
+//
+// With -server host[,host...], the rewriting is computed through a
+// running serve instance instead of locally (the theory file is read
+// here and shipped on the wire); several addresses route through the
+// cluster-aware client straight to the replica owning the plan key.
+// Graph answering (-graph) and -partial stay local-only.
 package main
 
 import (
@@ -72,10 +78,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 	partial := fs.Bool("partial", false, "search for atomic/elementary views making the rewriting exact")
 	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none); exceeding it exits 3")
 	maxStates := fs.Int("max-states", 0, "cap on total materialized automaton states (0 = unlimited); exceeding it exits 3")
+	server := fs.String("server", "", "compute the rewriting through a running serve instance instead of locally (comma-separated replica addresses route to the key's owner)")
 	var obsFlags cliobs.Flags
 	obsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *server != "" {
+		// The server is the plan service: it rewrites and checks
+		// exactness but holds no graph, so graph answering and the
+		// partial search stay local-only.
+		if *queryExpr == "" {
+			fmt.Fprintln(stderr, "rpq: -query is required")
+			return 2
+		}
+		if len(viewDefs) == 0 {
+			fmt.Fprintln(stderr, "rpq: -server needs at least one -view (the server computes rewritings)")
+			return 2
+		}
+		if *graphPath != "" || *partial {
+			fmt.Fprintln(stderr, "rpq: -graph and -partial need the local evaluator and cannot be combined with -server")
+			return 2
+		}
+		formulas := map[string]string{}
+		for _, def := range formulaDefs {
+			name, body, ok := strings.Cut(def, "=")
+			if !ok || name == "" {
+				fmt.Fprintf(stderr, "rpq: bad -formula %q: want name=definition\n", def)
+				return 1
+			}
+			formulas[name] = body
+		}
+		return runServer(remoteOptions{
+			servers:    *server,
+			query:      *queryExpr,
+			theoryPath: *theoryPath,
+			method:     *methodName,
+			formulas:   formulas,
+			viewDefs:   viewDefs,
+			maxStates:  *maxStates,
+			timeout:    *timeout,
+		}, stdout, stderr)
 	}
 
 	if *graphPath == "" || *queryExpr == "" {

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	regexrwclient "regexrw/client"
+	"regexrw/internal/theory"
+)
+
+// remoteOptions carries the parsed flags the -server mode needs.
+type remoteOptions struct {
+	servers    string
+	query      string
+	theoryPath string
+	method     string
+	formulas   map[string]string
+	viewDefs   []string
+	maxStates  int
+	timeout    time.Duration
+}
+
+// runServer computes the rewriting through a running serve instance
+// (or cluster) instead of locally. The server side is the plan service
+// — it rewrites and checks exactness but holds no graph — so only the
+// rewriting part of the command travels; graph answering stays local.
+func runServer(opts remoteOptions, stdout, stderr io.Writer) int {
+	cl, err := regexrwclient.New(regexrwclient.ParseServers(opts.servers))
+	if err != nil {
+		fmt.Fprintln(stderr, "rpq:", err)
+		return 2
+	}
+	req := regexrwclient.RPQRequest{
+		Query:     opts.query,
+		Formulas:  opts.formulas,
+		Method:    opts.method,
+		MaxStates: opts.maxStates,
+		TimeoutMS: opts.timeout.Milliseconds(),
+	}
+	if opts.theoryPath != "" {
+		f, err := os.Open(opts.theoryPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "rpq:", err)
+			return 1
+		}
+		tt, err := theory.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, "rpq:", err)
+			return 1
+		}
+		req.Theory = regexrwclient.TheoryWire(tt)
+	}
+	for _, def := range opts.viewDefs {
+		name, expr, ok := strings.Cut(def, ":")
+		if !ok || name == "" {
+			fmt.Fprintf(stderr, "rpq: bad -view %q: want name:expression\n", def)
+			return 1
+		}
+		req.Views = append(req.Views, regexrwclient.RPQView{Name: name, Query: expr})
+	}
+
+	ctx := context.Background()
+	if opts.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.timeout)
+		defer cancel()
+	}
+	resp, err := cl.RPQ(ctx, req)
+	if err != nil {
+		return remoteFail(stderr, err)
+	}
+	fmt.Fprintf(stdout, "query: %s\n", opts.query)
+	fmt.Fprintf(stdout, "rewriting over views: %s\n", resp.Rewriting)
+	fmt.Fprintf(stdout, "exact: %v\n", resp.Exact)
+	if resp.Degraded {
+		fmt.Fprintln(stderr, "rpq: note: answered in degraded mode (the key's owner replica was unreachable)")
+	}
+	return 0
+}
+
+// remoteFail maps a client error onto the command's exit codes,
+// mirroring the local fail closure: resource exhaustion and deadlines
+// are 3, everything else 1.
+func remoteFail(stderr io.Writer, err error) int {
+	var ae *regexrwclient.APIError
+	if errors.As(err, &ae) {
+		switch ae.Detail.Code {
+		case regexrwclient.CodeBudgetExceeded:
+			fmt.Fprintf(stderr, "rpq: resource budget exhausted in %s: used %d of %d %s\n",
+				ae.Detail.Stage, ae.Detail.Used, ae.Detail.Limit, ae.Detail.Resource)
+			return 3
+		case regexrwclient.CodeStateLimit, regexrwclient.CodeDeadline:
+			fmt.Fprintf(stderr, "rpq: %s\n", ae.Detail.Message)
+			return 3
+		}
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(stderr, "rpq: deadline exceeded: %v\n", err)
+		return 3
+	}
+	fmt.Fprintln(stderr, "rpq:", err)
+	return 1
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	regexrwclient "regexrw/client"
+)
+
+func stubRPQServer(t *testing.T, h http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/rpq", h)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRPQServerMode(t *testing.T) {
+	theoryFile := filepath.Join(t.TempDir(), "site.theory")
+	if err := os.WriteFile(theoryFile, []byte("const rome jerusalem\npred city rome jerusalem\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got regexrwclient.RPQRequest
+	ts := stubRPQServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if err := json.NewDecoder(r.Body).Decode(&got); err != nil {
+			t.Error(err)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(regexrwclient.PlanResponse{
+			Key: "k", Rewriting: "vc", Exact: true, Verdict: "yes",
+		})
+	})
+	out, _, code := runCmd(t,
+		"-server", ts.URL,
+		"-theory", theoryFile,
+		"-query", "c",
+		"-formula", "c=city",
+		"-view", "vc:c",
+		"-method", "direct")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "rewriting over views: vc") || !strings.Contains(out, "exact: true") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if got.Query != "c" || got.Method != "direct" || got.Formulas["c"] != "city" {
+		t.Fatalf("server saw request %+v", got)
+	}
+	if len(got.Views) != 1 || got.Views[0].Name != "vc" || got.Views[0].Query != "c" {
+		t.Fatalf("server saw views %+v", got.Views)
+	}
+	if got.Theory == nil || len(got.Theory.Constants) != 2 ||
+		len(got.Theory.Predicates["city"]) != 2 {
+		t.Fatalf("server saw theory %+v", got.Theory)
+	}
+}
+
+func TestRPQServerModeResourceExit(t *testing.T) {
+	ts := stubRPQServer(t, func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusGatewayTimeout)
+		_ = json.NewEncoder(w).Encode(regexrwclient.ErrorEnvelope{Error: regexrwclient.ErrorDetail{
+			V: regexrwclient.EnvelopeVersion, Code: regexrwclient.CodeDeadline, Message: "context deadline exceeded",
+		}})
+	})
+	_, errOut, code := runCmd(t, "-server", ts.URL, "-query", "c", "-formula", "c=true", "-view", "v:c")
+	if code != 3 {
+		t.Fatalf("exit %d, want 3 for deadline: %s", code, errOut)
+	}
+}
+
+func TestRPQServerModeFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no query", []string{"-server", "localhost:1"}, "-query is required"},
+		{"no views", []string{"-server", "localhost:1", "-query", "c"}, "needs at least one -view"},
+		{"graph", []string{"-server", "localhost:1", "-query", "c", "-view", "v:c", "-graph", "g"}, "cannot be combined with -server"},
+		{"partial", []string{"-server", "localhost:1", "-query", "c", "-view", "v:c", "-partial"}, "cannot be combined with -server"},
+	}
+	for _, tc := range cases {
+		_, errOut, code := runCmd(t, tc.args...)
+		if code != 2 {
+			t.Fatalf("%s: exit %d, want 2", tc.name, code)
+		}
+		if !strings.Contains(errOut, tc.want) {
+			t.Fatalf("%s: stderr %q missing %q", tc.name, errOut, tc.want)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	regexrwclient "regexrw/client"
+	"regexrw/internal/cluster"
+	"regexrw/internal/obs"
+)
+
+// clusterState is the replica's view of the cluster: its own address,
+// the consistent-hash ring built from the static -peers list, and the
+// forwarding transport with its per-peer circuit breakers.
+type clusterState struct {
+	self  string
+	ring  *cluster.Ring
+	peers *cluster.PeerSet
+	reg   *obs.Registry
+}
+
+// newClusterState parses the -peers/-self flags. Both empty means
+// single-node mode (nil state, no routing layer); giving only one of
+// them is a configuration error, as is a -self absent from -peers —
+// such a replica would own nothing and forward everything, which is
+// never what the operator meant.
+func newClusterState(peersCSV, self string, reg *obs.Registry) (*clusterState, error) {
+	peers := regexrwclient.ParseServers(peersCSV)
+	if len(peers) == 0 && self == "" {
+		return nil, nil
+	}
+	if len(peers) == 0 || self == "" {
+		return nil, fmt.Errorf("cluster mode needs both -peers and -self")
+	}
+	ring, err := cluster.NewRing(peers, 0)
+	if err != nil {
+		return nil, err
+	}
+	member := false
+	for _, p := range ring.Peers() {
+		if p == self {
+			member = true
+		}
+	}
+	if !member {
+		return nil, fmt.Errorf("-self %q is not in -peers %v", self, ring.Peers())
+	}
+	cs := &clusterState{self: self, ring: ring, reg: reg}
+	cs.peers = cluster.NewPeerSet(
+		cluster.WithBreakerHook(func(string) { reg.Counter("cluster.breaker_open").Add(1) }),
+		// No overall timeout: /v1/query forwards stream NDJSON for as
+		// long as the evaluation runs, bounded by the request context.
+		// The dial and header timeouts keep a dead peer from stalling
+		// the request path.
+		cluster.WithHTTPClient(&http.Client{Transport: &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: 2 * time.Second}).DialContext,
+			ResponseHeaderTimeout: 10 * time.Second,
+		}}),
+	)
+	return cs, nil
+}
+
+// owns reports whether this replica owns the plan key.
+func (cs *clusterState) owns(key string) bool { return cs.ring.Owns(cs.self, key) }
+
+// clusterStatusJSON is the cluster section of GET /readyz.
+type clusterStatusJSON struct {
+	Self string        `json:"self"`
+	Ring cluster.Stats `json:"ring"`
+	// Down lists peers whose circuit breaker is currently open.
+	Down []string `json:"down,omitempty"`
+}
+
+func (cs *clusterState) statusJSON() *clusterStatusJSON {
+	st := &clusterStatusJSON{Self: cs.self, Ring: cs.ring.Stats()}
+	for _, p := range cs.ring.Others(cs.self) {
+		if cs.peers.Down(p) {
+			st.Down = append(st.Down, p)
+		}
+	}
+	return st
+}
+
+// routeInfo is the routing decision for a locally-served request,
+// carried in the request context so the handlers can mark degraded
+// responses and record the engine.route span.
+type routeInfo struct {
+	// ownerIndex is the key owner's index within the ring's sorted peer
+	// list (span attributes are integers); -1 when no key was computable.
+	ownerIndex int64
+	// degraded marks a request this replica computed without owning the
+	// key, because the owner was unreachable or the forward-depth limit
+	// was reached.
+	degraded bool
+}
+
+type routeCtxKey struct{}
+
+func withRoute(ctx context.Context, ri routeInfo) context.Context {
+	return context.WithValue(ctx, routeCtxKey{}, ri)
+}
+
+func routeFrom(ctx context.Context) (routeInfo, bool) {
+	ri, ok := ctx.Value(routeCtxKey{}).(routeInfo)
+	return ri, ok
+}
+
+// routeDegraded reports whether the current request is served in
+// degraded mode (computed here, owned elsewhere).
+func routeDegraded(ctx context.Context) bool {
+	ri, ok := routeFrom(ctx)
+	return ok && ri.degraded
+}
+
+// routeSpan opens the engine.route span under the request's tracer
+// (nil-safe without one), recording the routing decision: the owner's
+// ring index and whether the request ran locally by ownership or by
+// degradation. Single-node servers have no routeInfo and no span, so
+// existing golden traces are unchanged.
+func routeSpan(ctx context.Context) (context.Context, *obs.Span) {
+	ri, ok := routeFrom(ctx)
+	if !ok {
+		return ctx, nil
+	}
+	ctx, span := obs.StartSpan(ctx, "engine.route") //spancheck:ignore returned to the handler, which Ends it around the engine call
+	span.SetAttr("owner", ri.ownerIndex)
+	if ri.degraded {
+		span.SetAttr("degraded", 1)
+	} else {
+		span.SetAttr("local", 1)
+	}
+	return ctx, span
+}
+
+// router wraps the local server handler with consistent-hash routing
+// for the three plan-keyed endpoints. Everything else (health, graphs,
+// metrics) is replica-local by design.
+type router struct {
+	cl    *clusterState
+	local http.Handler
+}
+
+// newRouter returns local unchanged when cl is nil (single-node mode).
+func newRouter(cl *clusterState, local http.Handler) http.Handler {
+	if cl == nil {
+		return local
+	}
+	return &router{cl: cl, local: local}
+}
+
+func (rt *router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		switch r.URL.Path {
+		case "/v1/rewrite", "/v1/rpq", "/v1/query":
+			rt.route(w, r)
+			return
+		}
+	}
+	rt.local.ServeHTTP(w, r)
+}
+
+// route dispatches one plan-keyed request:
+//
+//   - owned keys are served locally (cluster.local);
+//   - non-owned keys forward to the owner with the depth header bumped
+//     (cluster.forwarded), unless the client asked not to forward —
+//     then 421 not_owner names the owner;
+//   - when the owner is unreachable after the transport's retries, or
+//     the request already travelled the maximum forward depth (ring
+//     views disagree), the replica computes locally and marks the
+//     response degraded (cluster.degraded). A dead peer never fails a
+//     request.
+func (rt *router) route(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errorJSON{Code: "bad_request", Message: "body: " + err.Error()})
+		return
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	key, ok := routeKey(r.URL.Path, body)
+	if !ok {
+		// Unparsable request: no key to route by. The local handler
+		// produces the canonical 400 envelope.
+		rt.serveLocal(w, r, routeInfo{ownerIndex: -1})
+		return
+	}
+	idx := int64(rt.cl.ring.OwnerIndex(key))
+	owner := rt.cl.ring.Owner(key)
+	if owner == rt.cl.self {
+		rt.cl.reg.Counter("cluster.local").Add(1)
+		rt.serveLocal(w, r, routeInfo{ownerIndex: idx})
+		return
+	}
+	if cluster.Depth(r.Header) >= cluster.MaxForwardDepth {
+		// A peer forwarded here believing we own this key: the ring
+		// views disagree (half-rolled peer list). Compute locally rather
+		// than risk a forwarding loop.
+		rt.cl.reg.Counter("cluster.degraded").Add(1)
+		rt.serveDegraded(w, r, idx)
+		return
+	}
+	if r.Header.Get(cluster.NoForwardHeader) != "" {
+		rt.cl.reg.Counter("cluster.not_owner").Add(1)
+		writeError(w, http.StatusMisdirectedRequest, errorJSON{
+			Code:    "not_owner",
+			Message: fmt.Sprintf("plan key %s is owned by %s", key, owner),
+			Owner:   owner,
+		})
+		return
+	}
+	hdr := http.Header{}
+	hdr.Set(cluster.ForwardedHeader, strconv.Itoa(cluster.Depth(r.Header)+1))
+	resp, err := rt.cl.peers.Forward(r.Context(), owner, r.URL.Path, hdr, body)
+	if err != nil {
+		rt.cl.reg.Counter("cluster.degraded").Add(1)
+		rt.serveDegraded(w, r, idx)
+		return
+	}
+	defer resp.Body.Close()
+	rt.cl.reg.Counter("cluster.forwarded").Add(1)
+	copyResponse(w, resp)
+}
+
+func (rt *router) serveLocal(w http.ResponseWriter, r *http.Request, ri routeInfo) {
+	rt.local.ServeHTTP(w, r.WithContext(withRoute(r.Context(), ri)))
+}
+
+func (rt *router) serveDegraded(w http.ResponseWriter, r *http.Request, ownerIdx int64) {
+	w.Header().Set(cluster.DegradedHeader, "1")
+	rt.serveLocal(w, r, routeInfo{ownerIndex: ownerIdx, degraded: true})
+}
+
+// routeKey computes the plan key a request routes by. Decoding here is
+// deliberately lenient (no DisallowUnknownFields): a request the local
+// handler would reject still routes to its owner, whose rejection is
+// the canonical one.
+func routeKey(path string, body []byte) (string, bool) {
+	switch path {
+	case "/v1/rewrite":
+		var req rewriteRequest
+		if json.Unmarshal(body, &req) != nil {
+			return "", false
+		}
+		key, err := req.PlanKey()
+		return key, err == nil
+	case "/v1/rpq":
+		var req rpqRequest
+		if json.Unmarshal(body, &req) != nil {
+			return "", false
+		}
+		key, err := req.PlanKey()
+		return key, err == nil
+	case "/v1/query":
+		var req queryRequest
+		if json.Unmarshal(body, &req) != nil {
+			return "", false
+		}
+		key, err := req.PlanKey()
+		return key, err == nil
+	}
+	return "", false
+}
+
+// copyResponse relays a forwarded response, flushing after every write
+// so NDJSON answer streams keep flowing through the forwarding hop.
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(flushWriter{w}, resp.Body)
+}
+
+type flushWriter struct{ w http.ResponseWriter }
+
+func (f flushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	if fl, ok := f.w.(http.Flusher); ok {
+		fl.Flush()
+	}
+	return n, err
+}

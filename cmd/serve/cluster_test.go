@@ -1,0 +1,381 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+
+	"regexrw/internal/cluster"
+	"regexrw/internal/engine"
+	"regexrw/internal/obs"
+)
+
+// testClusterReplica is one in-process replica of the harness cluster:
+// a real listener (the address must exist before the ring does), its
+// own engine and metrics registry, and the same router stack the
+// binary runs.
+type testClusterReplica struct {
+	addr string
+	eng  *engine.Engine
+	reg  *obs.Registry
+	cl   *clusterState
+	srv  *http.Server
+}
+
+func (rep *testClusterReplica) url(path string) string { return "http://" + rep.addr + path }
+
+func (rep *testClusterReplica) counter(name string) int64 {
+	return rep.reg.Counter(name).Value()
+}
+
+// kill closes the replica's listener and server: subsequent dials get
+// connection-refused, which is what a crashed replica looks like.
+func (rep *testClusterReplica) kill() { _ = rep.srv.Close() }
+
+// startTestCluster boots n replicas wired into one ring. Listeners are
+// bound first so every replica (and the test) knows the full address
+// list before any server starts.
+func startTestCluster(t *testing.T, n int) []*testClusterReplica {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	peersCSV := strings.Join(addrs, ",")
+	reps := make([]*testClusterReplica, n)
+	for i := range reps {
+		reg := obs.NewRegistry()
+		cl, err := newClusterState(peersCSV, addrs[i], reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := engine.New(
+			engine.WithMetrics(reg),
+			engine.WithOwnership(func(k engine.Key) bool { return cl.owns(string(k)) }),
+		)
+		srv := &http.Server{Handler: newRouter(cl, newServerWith(eng, nil, nil, cl))}
+		go func() { _ = srv.Serve(lns[i]) }()
+		reps[i] = &testClusterReplica{addr: addrs[i], eng: eng, reg: reg, cl: cl, srv: srv}
+		t.Cleanup(func() { _ = srv.Close(); eng.Close() })
+	}
+	return reps
+}
+
+// clusterReq returns the i-th of a family of distinct rewrite
+// requests: the query aⁱ⁺¹ over the single view v1 = a, whose maximal
+// rewriting is v1ⁱ⁺¹. Distinct queries mean distinct plan keys, spread
+// over the ring by SHA-256.
+func clusterReq(i int) rewriteRequest {
+	atoms := make([]string, i+1)
+	for j := range atoms {
+		atoms[j] = "a"
+	}
+	return rewriteRequest{
+		Query: strings.Join(atoms, "·"),
+		Views: map[string]string{"v1": "a"},
+	}
+}
+
+// TestClusterPartitioning is the tentpole acceptance test: K distinct
+// requests enter through one replica, every response is healthy and
+// byte-identical to a single-node server's, and each plan key is
+// compiled by exactly one replica — its ring owner — so the compile
+// counts sum to K and match the ring's placement exactly.
+func TestClusterPartitioning(t *testing.T) {
+	reps := startTestCluster(t, 3)
+	single, _ := testServer(t) // plain single-node server for the byte-identical baseline
+
+	const K = 12
+	wantCompiles := map[string]int64{} // owner address → keys it owns
+	distinct := map[string]bool{}
+	for i := 0; i < K; i++ {
+		req := clusterReq(i)
+		resp, raw := post(t, reps[0].url("/v1/rewrite"), req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, raw)
+		}
+		if resp.Header.Get(cluster.DegradedHeader) != "" {
+			t.Fatalf("request %d: degraded in a healthy cluster", i)
+		}
+		_, sraw := post(t, single.URL+"/v1/rewrite", req)
+		if string(raw) != string(sraw) {
+			t.Fatalf("request %d: forwarded response differs from single-node:\ncluster: %s\nsingle:  %s", i, raw, sraw)
+		}
+		pr := decode[planResponse](t, raw)
+		distinct[pr.Key] = true
+
+		key, err := req.PlanKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCompiles[reps[0].cl.ring.Owner(key)]++
+	}
+	if len(distinct) != K {
+		t.Fatalf("%d distinct keys, want %d", len(distinct), K)
+	}
+
+	var sum int64
+	for i, rep := range reps {
+		got := rep.eng.Stats().Compiles
+		sum += got
+		if got != wantCompiles[rep.addr] {
+			t.Errorf("replica %d compiled %d plans, ring assigns it %d", i, got, wantCompiles[rep.addr])
+		}
+	}
+	if sum != K {
+		t.Fatalf("compiles summed across replicas = %d, want %d (each key compiled exactly once)", sum, K)
+	}
+
+	// The entry replica forwarded exactly the keys it does not own.
+	owned := wantCompiles[reps[0].addr]
+	if got := reps[0].counter("cluster.local"); got != owned {
+		t.Errorf("cluster.local = %d, want %d", got, owned)
+	}
+	if got := reps[0].counter("cluster.forwarded"); got != K-owned {
+		t.Errorf("cluster.forwarded = %d, want %d", got, K-owned)
+	}
+	if got := reps[0].counter("cluster.degraded"); got != 0 {
+		t.Errorf("cluster.degraded = %d in a healthy cluster", got)
+	}
+}
+
+// TestClusterNotOwner: a request carrying the no-forward marker to a
+// non-owner answers 421 with the versioned not_owner envelope naming
+// the true owner — the redirect protocol cluster-aware clients use.
+func TestClusterNotOwner(t *testing.T) {
+	reps := startTestCluster(t, 3)
+	// Find a request replica 0 does not own.
+	var req rewriteRequest
+	var owner string
+	for i := 0; ; i++ {
+		req = clusterReq(i)
+		key, err := req.PlanKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner = reps[0].cl.ring.Owner(key); owner != reps[0].addr {
+			break
+		}
+	}
+	body, _ := post(t, reps[0].url("/v1/rewrite"), req) // warm path sanity
+	_ = body
+
+	hreq, err := http.NewRequest(http.MethodPost, reps[0].url("/v1/rewrite"), strings.NewReader(
+		fmt.Sprintf(`{"query":%q,"views":{"v1":"a"}}`, req.Query)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set(cluster.NoForwardHeader, "1")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("status %d, want 421", resp.StatusCode)
+	}
+	var env errorEnvelope
+	if err := decodeBody(resp, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != "not_owner" || env.Error.Owner != owner {
+		t.Fatalf("envelope = %+v, want not_owner naming %s", env.Error, owner)
+	}
+	if env.Error.V != 2 {
+		t.Fatalf("envelope version = %d, want 2", env.Error.V)
+	}
+}
+
+// TestClusterDegradation: with the owner dead, requests for its keys
+// still answer 200 through any surviving replica — computed locally,
+// marked degraded in header, body and counter. A dead peer never fails
+// a request.
+func TestClusterDegradation(t *testing.T) {
+	reps := startTestCluster(t, 3)
+
+	// Collect requests owned by replica 2, entering through replica 0.
+	var victims []rewriteRequest
+	for i := 0; len(victims) < 2 && i < 100; i++ {
+		req := clusterReq(i)
+		key, err := req.PlanKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reps[0].cl.ring.Owner(key) == reps[2].addr {
+			victims = append(victims, req)
+		}
+	}
+	if len(victims) < 2 {
+		t.Fatal("no keys owned by replica 2 in the first 100 requests")
+	}
+	reps[2].kill()
+
+	for i, req := range victims {
+		resp, raw := post(t, reps[0].url("/v1/rewrite"), req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("victim %d: status %d, want degraded 200: %s", i, resp.StatusCode, raw)
+		}
+		if resp.Header.Get(cluster.DegradedHeader) == "" {
+			t.Fatalf("victim %d: missing degraded header", i)
+		}
+		if pr := decode[planResponse](t, raw); !pr.Degraded {
+			t.Fatalf("victim %d: response not marked degraded: %s", i, raw)
+		}
+	}
+	if got := reps[0].counter("cluster.degraded"); got != int64(len(victims)) {
+		t.Fatalf("cluster.degraded = %d, want %d", got, len(victims))
+	}
+	// The degraded compiles happened on the entry replica, against keys
+	// it does not own.
+	if got := reps[0].eng.Stats().Compiles; got != int64(len(victims)) {
+		t.Fatalf("entry replica compiled %d plans, want %d", got, len(victims))
+	}
+
+	// Two consecutive transport failures opened the breaker (threshold
+	// 3 with one retry per request = 4 failures): /readyz reports the
+	// dead peer down.
+	resp, err := http.Get(reps[0].url("/readyz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready readyResponse
+	if err := decodeBody(resp, &ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.Cluster == nil || ready.Cluster.Self != reps[0].addr {
+		t.Fatalf("readyz cluster block = %+v", ready.Cluster)
+	}
+	if len(ready.Cluster.Ring.Peers) != 3 {
+		t.Fatalf("ring peers = %v", ready.Cluster.Ring.Peers)
+	}
+	found := false
+	for _, d := range ready.Cluster.Down {
+		if d == reps[2].addr {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("readyz down = %v, want %s listed", ready.Cluster.Down, reps[2].addr)
+	}
+}
+
+// TestClusterLoopPrevention: a request already at the forward-depth
+// limit is served locally by a non-owner instead of being forwarded
+// again — disagreeing ring views degrade, they never loop.
+func TestClusterLoopPrevention(t *testing.T) {
+	reps := startTestCluster(t, 2)
+	var req rewriteRequest
+	for i := 0; ; i++ {
+		req = clusterReq(i)
+		key, err := req.PlanKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reps[0].cl.ring.Owner(key) == reps[1].addr {
+			break
+		}
+	}
+	hreq, err := http.NewRequest(http.MethodPost, reps[0].url("/v1/rewrite"), strings.NewReader(
+		fmt.Sprintf(`{"query":%q,"views":{"v1":"a"}}`, req.Query)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set(cluster.ForwardedHeader, "1")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if resp.Header.Get(cluster.DegradedHeader) == "" {
+		t.Fatal("depth-limited request must be marked degraded")
+	}
+	if reps[1].eng.Stats().Requests != 0 {
+		t.Fatal("depth-limited request must not be forwarded onward")
+	}
+	if got := reps[0].counter("cluster.degraded"); got != 1 {
+		t.Fatalf("cluster.degraded = %d, want 1", got)
+	}
+}
+
+// TestClusterQueryForwarding: the NDJSON streaming endpoint routes by
+// the same plan keys — a non-owner entry forwards the stream through
+// byte-identically, and with the owner dead the survivor answers the
+// same stream in degraded mode (graphs are replica-local state, so
+// every replica can evaluate).
+func TestClusterQueryForwarding(t *testing.T) {
+	reps := startTestCluster(t, 3)
+	for _, rep := range reps {
+		registerEx2ViewGraph(t, rep.url(""))
+	}
+	single, _ := testServer(t)
+	registerEx2ViewGraph(t, single.URL)
+
+	key, err := ex2Query.PlanKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := reps[0].cl.ring.Owner(key)
+	entry := -1
+	ownerIdx := -1
+	for i, rep := range reps {
+		if rep.addr == owner {
+			ownerIdx = i
+		} else if entry == -1 {
+			entry = i
+		}
+	}
+
+	resp, raw := post(t, reps[entry].url("/v1/query"), ex2Query)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	_, sraw := post(t, single.URL+"/v1/query", ex2Query)
+	if string(raw) != string(sraw) {
+		t.Fatalf("forwarded stream differs from single-node:\ncluster: %s\nsingle:  %s", raw, sraw)
+	}
+	if got := reps[entry].counter("cluster.forwarded"); got != 1 {
+		t.Fatalf("cluster.forwarded = %d, want 1", got)
+	}
+	if reps[ownerIdx].eng.Stats().Compiles != 1 {
+		t.Fatal("the owner must have compiled the query's plan")
+	}
+
+	// Kill the owner: the same query through the survivor still answers
+	// the full stream, marked degraded in the header line.
+	reps[ownerIdx].kill()
+	resp2, raw2 := post(t, reps[entry].url("/v1/query"), ex2Query)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("degraded query status %d: %s", resp2.StatusCode, raw2)
+	}
+	lines := ndLines(t, raw2)
+	head, tail := lines[0], lines[len(lines)-1]
+	if head["degraded"] != true {
+		t.Fatalf("degraded query header = %v", head)
+	}
+	if tail["type"] != "trailer" || tail["answers"] != float64(4) {
+		t.Fatalf("degraded query trailer = %v", tail)
+	}
+}
+
+// decodeBody decodes a JSON response body and closes it.
+func decodeBody(resp *http.Response, dst any) error {
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, dst)
+}

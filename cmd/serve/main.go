@@ -17,6 +17,13 @@
 // grid:1000x1000); more can be registered at runtime via POST
 // /v1/graphs.
 //
+// -peers/-self enable cluster mode: the static peer list is hashed
+// onto a consistent-hash ring that partitions the plan key space, each
+// replica warm-starts and precompiles only its owned slice, and
+// non-owned /v1/rewrite, /v1/rpq and /v1/query requests are forwarded
+// to their owner (degrading to local compute when the owner is
+// unreachable). See docs/SERVING.md, "Running a cluster".
+//
 // Endpoints: POST /v1/rewrite, POST /v1/rpq, POST /v1/query (NDJSON
 // answer streaming over a registered graph), POST/GET /v1/graphs,
 // GET /healthz, GET /readyz (503 until warm start and manifest
@@ -64,9 +71,17 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	queue := fs.Int("queue", 0, "compile requests allowed to wait for an admission slot")
 	planDir := fs.String("plan-dir", "", "directory for the persistent plan store (empty = memory only)")
 	manifestPath := fs.String("manifest", "", "workload manifest JSON to precompile at boot")
+	peersFlag := fs.String("peers", "", "comma-separated replica addresses forming the cluster (static; must include -self)")
+	selfFlag := fs.String("self", "", "this replica's address exactly as it appears in -peers")
 	var graphSpecs graphFlags
 	fs.Var(&graphSpecs, "graph", "register a graph as name=spec (a file in the graph text codec, or a generator spec like grid:100x100; repeatable)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cl, err := newClusterState(*peersFlag, *selfFlag, obs.Default)
+	if err != nil {
+		fmt.Fprintf(stderr, "serve: %v\n", err)
 		return 2
 	}
 
@@ -77,6 +92,14 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		engine.WithPlanCache(*planCache),
 		engine.WithAdmissionLimit(*inflight, *queue),
 		engine.WithMetrics(obs.Default),
+	}
+	// In cluster mode, bulk restore (WarmStart) and manifest
+	// precompilation only materialize this replica's ring slice; the
+	// request path still serves anything (forwarded or degraded).
+	if cl != nil {
+		opts = append(opts, engine.WithOwnership(func(k engine.Key) bool {
+			return cl.owns(string(k))
+		}))
 	}
 	// The store is strictly optional: if the directory cannot be opened
 	// the server runs memory-only rather than refusing to boot — the
@@ -115,10 +138,13 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintf(stderr, "serve: %v\n", err)
 		return 1
 	}
-	rd := &readiness{}
+	rd := &readiness{reg: obs.Default}
 	srv := &http.Server{
-		Handler:           newServer(eng, rd, graphs),
+		Handler:           newRouter(cl, newServerWith(eng, rd, graphs, cl)),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if cl != nil {
+		fmt.Fprintf(stdout, "serve: cluster mode, self=%s peers=%v\n", cl.self, cl.ring.Peers())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	regexrwclient "regexrw/client"
 	"regexrw/internal/engine"
 	"regexrw/internal/graph"
 	"regexrw/internal/workload"
@@ -150,65 +151,15 @@ func (s *server) handleListGraphs(w http.ResponseWriter, _ *http.Request) {
 	}{s.graphs.list()})
 }
 
-// queryRequest is the body of POST /v1/query: a rewriting problem plus
-// the handle of a registered graph to answer it over.
-type queryRequest struct {
-	Query string            `json:"query"`
-	Views map[string]string `json:"views"`
-	// Graph names a database registered via -graph or POST /v1/graphs.
-	Graph string `json:"graph"`
-	// Mode is "rewriting" (default: evaluate the maximal rewriting; the
-	// graph's edge labels are view names) or "query" (evaluate E0; the
-	// labels are Σ symbols).
-	Mode string `json:"mode,omitempty"`
-	// Source restricts to one source node; with Target too, the request
-	// is boolean.
-	Source string `json:"source,omitempty"`
-	Target string `json:"target,omitempty"`
-	// MaxAnswers caps the streamed answers; the trailer reports
-	// truncation.
-	MaxAnswers int `json:"max_answers,omitempty"`
-
-	MaxStates      int   `json:"max_states,omitempty"`
-	MaxTransitions int   `json:"max_transitions,omitempty"`
-	TimeoutMS      int64 `json:"timeout_ms,omitempty"`
-}
-
-// queryHeader is the first NDJSON line of a /v1/query response.
-type queryHeader struct {
-	Type      string `json:"type"` // "header"
-	Key       string `json:"key"`
-	Rewriting string `json:"rewriting"`
-	Exact     bool   `json:"exact"`
-	Mode      string `json:"mode"`
-	Graph     string `json:"graph"`
-	Nodes     int    `json:"nodes"`
-	Edges     int    `json:"edges"`
-}
-
-// queryAnswerLine is one streamed answer pair.
-type queryAnswerLine struct {
-	Type string `json:"type"` // "answer"
-	From string `json:"from"`
-	To   string `json:"to"`
-}
-
-// queryTrailer is the final NDJSON line of a successful response.
-type queryTrailer struct {
-	Type      string `json:"type"` // "trailer"
-	Answers   int    `json:"answers"`
-	Truncated bool   `json:"truncated,omitempty"`
-	// Matched is present on boolean requests (source and target given).
-	Matched *bool `json:"matched,omitempty"`
-}
-
-// queryErrorLine reports a mid-stream failure (budget exhaustion,
-// deadline) after the header has been sent: the standard error
-// envelope, as its own NDJSON line instead of an HTTP status.
-type queryErrorLine struct {
-	Type  string    `json:"type"` // "error"
-	Error errorJSON `json:"error"`
-}
+// The /v1/query wire schema is defined in the regexrwclient package
+// and aliased here; see client/wire.go for the documented definitions.
+type (
+	queryRequest    = regexrwclient.QueryRequest
+	queryHeader     = regexrwclient.QueryHeader
+	queryAnswerLine = regexrwclient.QueryAnswer
+	queryTrailer    = regexrwclient.QueryTrailer
+	queryErrorLine  = regexrwclient.QueryErrorLine
+)
 
 // handleQuery answers a registered graph with NDJSON streaming: one
 // header line, one line per answer pair as discovered, one trailer.
@@ -259,9 +210,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Compile (or fetch) the plan before committing the stream so
 	// compile-time failures map onto the taxonomy's status codes; the
 	// evaluation below re-fetches it from the cache.
-	plan, err := s.eng.Rewrite(r.Context(), ereq.Request)
+	degraded := routeDegraded(r.Context())
+	ctx, span := routeSpan(r.Context())
+	plan, err := s.eng.Rewrite(ctx, ereq.Request)
 	if err != nil {
-		writeEngineError(w, err)
+		span.End()
+		writeEngineErrorDegraded(w, err, degraded)
 		return
 	}
 
@@ -273,14 +227,14 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(queryHeader{
 		Type: "header", Key: string(plan.Key()), Rewriting: plan.Regex().String(),
 		Exact: plan.IsExact(), Mode: string(mode), Graph: req.Graph,
-		Nodes: db.NumNodes(), Edges: db.NumEdges(),
+		Nodes: db.NumNodes(), Edges: db.NumEdges(), Degraded: degraded,
 	})
 	if flusher != nil {
 		flusher.Flush()
 	}
 
 	answers := 0
-	res, err := s.eng.QueryFunc(r.Context(), ereq, func(a engine.QueryAnswer) error {
+	res, err := s.eng.QueryFunc(ctx, ereq, func(a engine.QueryAnswer) error {
 		answers++
 		if err := enc.Encode(queryAnswerLine{Type: "answer", From: a.From, To: a.To}); err != nil {
 			return err
@@ -290,9 +244,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		return nil
 	})
+	span.End()
 	if err != nil {
 		status, ej := engineError(err)
 		_ = status // committed: the envelope travels as an NDJSON line
+		ej.Degraded = degraded
 		_ = enc.Encode(queryErrorLine{Type: "error", Error: ej})
 		return
 	}

@@ -8,14 +8,13 @@ import (
 	"net/http"
 	"time"
 
+	regexrwclient "regexrw/client"
 	"regexrw/internal/automata"
 	"regexrw/internal/budget"
 	"regexrw/internal/core"
 	"regexrw/internal/engine"
 	"regexrw/internal/eval"
 	"regexrw/internal/obs"
-	"regexrw/internal/rpq"
-	"regexrw/internal/theory"
 )
 
 // server wraps an engine.Engine behind the HTTP/JSON API. All state is
@@ -25,6 +24,9 @@ type server struct {
 	eng    *engine.Engine
 	rd     *readiness
 	graphs *graphSet
+	// cl, when non-nil, is the cluster view rendered on /readyz. The
+	// routing itself lives in the router wrapper (newRouter), not here.
+	cl *clusterState
 }
 
 // newServer returns the HTTP handler serving the engine:
@@ -42,10 +44,16 @@ type server struct {
 // always ready. graphs may be nil: an empty registry is created (graphs
 // can still be registered over HTTP).
 func newServer(eng *engine.Engine, rd *readiness, graphs *graphSet) http.Handler {
+	return newServerWith(eng, rd, graphs, nil)
+}
+
+// newServerWith is newServer plus the cluster view for /readyz; cl may
+// be nil (single-node).
+func newServerWith(eng *engine.Engine, rd *readiness, graphs *graphSet, cl *clusterState) http.Handler {
 	if graphs == nil {
 		graphs = newGraphSet()
 	}
-	s := &server{eng: eng, rd: rd, graphs: graphs}
+	s := &server{eng: eng, rd: rd, graphs: graphs, cl: cl}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/rewrite", s.handleRewrite)
 	mux.HandleFunc("POST /v1/rpq", s.handleRPQ)
@@ -58,114 +66,18 @@ func newServer(eng *engine.Engine, rd *readiness, graphs *graphSet) http.Handler
 	return mux
 }
 
-// rewriteRequest is the body of POST /v1/rewrite.
-type rewriteRequest struct {
-	// Query is E0 in the concrete syntax; Views maps view names to
-	// expressions.
-	Query string            `json:"query"`
-	Views map[string]string `json:"views"`
-	// Partial also runs the anytime partial-rewriting search when the
-	// maximal rewriting is not exact.
-	Partial bool `json:"partial,omitempty"`
-	// MaxStates/MaxTransitions/TimeoutMS tighten the engine's per-request
-	// governance defaults; they can only lower the server's caps.
-	MaxStates      int   `json:"max_states,omitempty"`
-	MaxTransitions int   `json:"max_transitions,omitempty"`
-	TimeoutMS      int64 `json:"timeout_ms,omitempty"`
-	// Trace attaches a per-request tracer and returns the exported span
-	// tree in the response.
-	Trace bool `json:"trace,omitempty"`
-}
-
-// rpqRequest is the body of POST /v1/rpq.
-type rpqRequest struct {
-	// Query is the path expression over formula names; Formulas defines
-	// each name (theory formula syntax: "=a", "city", "p && !q", …).
-	Query    string            `json:"query"`
-	Formulas map[string]string `json:"formulas"`
-	// Views are the view path queries; a view without its own formulas
-	// shares the query's.
-	Views []rpqViewJSON `json:"views"`
-	// Theory is the finite interpretation; omitted means the empty
-	// theory.
-	Theory *theoryJSON `json:"theory,omitempty"`
-	// Method is "grounded" (default), "direct" or "compressed".
-	Method string `json:"method,omitempty"`
-
-	MaxStates      int   `json:"max_states,omitempty"`
-	MaxTransitions int   `json:"max_transitions,omitempty"`
-	TimeoutMS      int64 `json:"timeout_ms,omitempty"`
-	Trace          bool  `json:"trace,omitempty"`
-}
-
-type rpqViewJSON struct {
-	Name     string            `json:"name"`
-	Query    string            `json:"query"`
-	Formulas map[string]string `json:"formulas,omitempty"`
-}
-
-type theoryJSON struct {
-	Constants  []string            `json:"constants"`
-	Predicates map[string][]string `json:"predicates,omitempty"`
-}
-
-// planResponse is the successful response of both rewrite endpoints.
-type planResponse struct {
-	// Key is the plan's canonical cache key.
-	Key string `json:"key"`
-	// Rewriting is the (maximal) rewriting as an expression over view
-	// names.
-	Rewriting string `json:"rewriting"`
-	// Exact / Verdict report exactness; Verdict is "yes", "no" or
-	// "unknown" (budget ran out before the check decided).
-	Exact   bool   `json:"exact"`
-	Verdict string `json:"verdict"`
-	// Witness is a shortest word of L(E0) \ exp(L(R)) when Verdict is
-	// "no".
-	Witness []string `json:"witness,omitempty"`
-	// ShortestWord is a shortest view-word with non-empty expansion.
-	ShortestWord []string `json:"shortest_word,omitempty"`
-	// Empty / SigmaEmpty are the Section 3.2 emptiness diagnostics.
-	Empty      bool `json:"empty"`
-	SigmaEmpty bool `json:"sigma_empty"`
-	// States is the number of automaton states the cold compile
-	// materialized (cache hits repeat the cold number: that is the work
-	// the hit saved).
-	States int64 `json:"states"`
-	// Partial reports the partial-rewriting search when requested.
-	Partial *partialJSON `json:"partial,omitempty"`
-	// Trace is the per-request span tree when the request set trace.
-	Trace *obs.SpanJSON `json:"trace,omitempty"`
-}
-
-type partialJSON struct {
-	// Exact reports whether the search proved its extension exact before
-	// the budget ran out.
-	Exact bool `json:"exact"`
-	// Added lists the elementary views the search added.
-	Added []string `json:"added,omitempty"`
-	// Rewriting is the extended instance's rewriting.
-	Rewriting string `json:"rewriting"`
-	// Stage names the budget stage that stopped an inexact search.
-	Stage string `json:"stage,omitempty"`
-}
-
-// errorJSON is the structured error envelope, mirroring the CLI's
-// taxonomy: resource exhaustion is a client-addressable condition (raise
-// the caps or simplify the instance), not a server fault, so it maps to
-// 4xx with the stage diagnostics the budget layer recorded.
-type errorJSON struct {
-	// Code is one of bad_request, unknown_graph, budget_exceeded,
-	// state_limit, queue_full, deadline, closed, internal.
-	Code    string `json:"code"`
-	Message string `json:"message"`
-	// Stage/Resource/Limit/Used carry the budget diagnostics for
-	// budget_exceeded.
-	Stage    string `json:"stage,omitempty"`
-	Resource string `json:"resource,omitempty"`
-	Limit    int64  `json:"limit,omitempty"`
-	Used     int64  `json:"used,omitempty"`
-}
+// The wire schema is defined once, in the regexrwclient package, and
+// aliased here: the server cannot drift from the client field by
+// field. See client/wire.go for the documented definitions.
+type (
+	rewriteRequest = regexrwclient.RewriteRequest
+	rpqRequest     = regexrwclient.RPQRequest
+	rpqViewJSON    = regexrwclient.RPQView
+	theoryJSON     = regexrwclient.Theory
+	planResponse   = regexrwclient.PlanResponse
+	partialJSON    = regexrwclient.PartialResult
+	errorJSON      = regexrwclient.ErrorDetail
+)
 
 func (s *server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 	var req rewriteRequest
@@ -179,6 +91,7 @@ func (s *server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx, tr := traceCtx(r.Context(), req.Trace)
+	ctx, span := routeSpan(ctx)
 	plan, err := s.eng.Rewrite(ctx, engine.Request{
 		Instance:       inst,
 		Partial:        req.Partial,
@@ -186,7 +99,8 @@ func (s *server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		MaxTransitions: req.MaxTransitions,
 		Timeout:        time.Duration(req.TimeoutMS) * time.Millisecond,
 	})
-	s.respond(w, plan, err, tr)
+	span.End()
+	s.respond(w, r, plan, err, tr)
 }
 
 func (s *server) handleRPQ(w http.ResponseWriter, r *http.Request) {
@@ -201,66 +115,26 @@ func (s *server) handleRPQ(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx, tr := traceCtx(r.Context(), req.Trace)
+	ctx, span := routeSpan(ctx)
 	plan, err := s.eng.RewriteRPQ(ctx, ereq)
-	s.respond(w, plan, err, tr)
+	span.End()
+	s.respond(w, r, plan, err, tr)
 }
 
 // buildRPQ parses the wire form into an engine RPQRequest; every error
-// here is the client's.
+// here is the client's. The translation lives on the shared wire type
+// so the cluster-aware client computes routing keys from the exact
+// same parse.
 func buildRPQ(req rpqRequest) (engine.RPQRequest, error) {
-	var method rpq.Method
-	switch req.Method {
-	case "", "grounded":
-		method = rpq.Grounded
-	case "direct":
-		method = rpq.Direct
-	case "compressed":
-		method = rpq.Compressed
-	default:
-		return engine.RPQRequest{}, fmt.Errorf("unknown method %q (want grounded, direct or compressed)", req.Method)
-	}
-	tt := theory.New()
-	if req.Theory != nil {
-		tt.AddConstants(req.Theory.Constants...)
-		// String-keyed, so iteration order is not analyzer-relevant;
-		// Declare only accumulates membership sets and the
-		// interpretation canonicalizes on read.
-		for pred, members := range req.Theory.Predicates {
-			tt.Declare(pred, members...)
-		}
-	}
-	q0, err := rpq.ParseQuery(req.Query, req.Formulas)
-	if err != nil {
-		return engine.RPQRequest{}, err
-	}
-	views := make([]rpq.View, 0, len(req.Views))
-	for _, v := range req.Views {
-		if v.Name == "" {
-			return engine.RPQRequest{}, fmt.Errorf("view without a name")
-		}
-		formulas := v.Formulas
-		if formulas == nil {
-			formulas = req.Formulas
-		}
-		vq, err := rpq.ParseQuery(v.Query, formulas)
-		if err != nil {
-			return engine.RPQRequest{}, fmt.Errorf("view %s: %w", v.Name, err)
-		}
-		views = append(views, rpq.View{Name: v.Name, Query: vq})
-	}
-	return engine.RPQRequest{
-		Query: q0, Views: views, Theory: tt, Method: method,
-		MaxStates:      req.MaxStates,
-		MaxTransitions: req.MaxTransitions,
-		Timeout:        time.Duration(req.TimeoutMS) * time.Millisecond,
-	}, nil
+	return req.ToEngine()
 }
 
 // respond writes the plan or maps the engine error onto the HTTP
 // taxonomy.
-func (s *server) respond(w http.ResponseWriter, plan *engine.Plan, err error, tr *obs.Tracer) {
+func (s *server) respond(w http.ResponseWriter, r *http.Request, plan *engine.Plan, err error, tr *obs.Tracer) {
+	degraded := routeDegraded(r.Context())
 	if err != nil {
-		writeEngineError(w, err)
+		writeEngineErrorDegraded(w, err, degraded)
 		return
 	}
 	resp := planResponse{
@@ -284,6 +158,9 @@ func (s *server) respond(w http.ResponseWriter, plan *engine.Plan, err error, tr
 			Stage:     pr.Stage,
 		}
 	}
+	if degraded {
+		resp.Degraded = true
+	}
 	if tr != nil {
 		resp.Trace = tr.Export()
 	}
@@ -295,7 +172,16 @@ func (s *server) respond(w http.ResponseWriter, plan *engine.Plan, err error, tr
 // under its caps), admission rejection is 429 (retry against a less
 // loaded server), deadline is 504, closed is 503.
 func writeEngineError(w http.ResponseWriter, err error) {
+	writeEngineErrorDegraded(w, err, false)
+}
+
+// writeEngineErrorDegraded is writeEngineError with the degraded-mode
+// marker: failures while computing locally for an unreachable owner
+// carry degraded in the envelope, so a client can tell "the owner
+// would have had this cached" from an ordinary local failure.
+func writeEngineErrorDegraded(w http.ResponseWriter, err error, degraded bool) {
 	status, ej := engineError(err)
+	ej.Degraded = degraded
 	if ej.Code == "queue_full" {
 		w.Header().Set("Retry-After", "1")
 	}
@@ -303,8 +189,16 @@ func writeEngineError(w http.ResponseWriter, err error) {
 }
 
 // engineError classifies an engine error into the taxonomy; the query
-// streaming path reuses the envelope for mid-stream error lines.
+// streaming path reuses the envelope for mid-stream error lines, so
+// the version is stamped here (not only in writeError) and both paths
+// carry it.
 func engineError(err error) (int, errorJSON) {
+	status, ej := engineErrorDetail(err)
+	ej.V = regexrwclient.EnvelopeVersion
+	return status, ej
+}
+
+func engineErrorDetail(err error) (int, errorJSON) {
 	var ex *budget.ExceededError
 	switch {
 	case errors.As(err, &ex):
@@ -348,14 +242,18 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // precompiled, then 200. Load balancers gate on /readyz so a restarted
 // instance only takes traffic once it serves at cache-hit latency.
 func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
-	if s.rd == nil {
-		writeJSON(w, http.StatusOK, readyResponse{Status: "ready"})
-		return
-	}
-	resp := s.rd.response()
+	var resp readyResponse
 	status := http.StatusOK
-	if resp.Status != "ready" {
-		status = http.StatusServiceUnavailable
+	if s.rd == nil {
+		resp = readyResponse{Status: "ready"}
+	} else {
+		resp = s.rd.response()
+		if resp.Status != "ready" {
+			status = http.StatusServiceUnavailable
+		}
+	}
+	if s.cl != nil {
+		resp.Cluster = s.cl.statusJSON()
 	}
 	writeJSON(w, status, resp)
 }
@@ -392,8 +290,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeError stamps the envelope version and wraps the detail in the
+// {"error": {...}} envelope every endpoint shares.
 func writeError(w http.ResponseWriter, status int, e errorJSON) {
-	writeJSON(w, status, struct {
-		Error errorJSON `json:"error"`
-	}{e})
+	if e.V == 0 {
+		e.V = regexrwclient.EnvelopeVersion
+	}
+	writeJSON(w, status, regexrwclient.ErrorEnvelope{Error: e})
 }

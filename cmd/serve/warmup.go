@@ -12,6 +12,7 @@ import (
 
 	"regexrw/internal/core"
 	"regexrw/internal/engine"
+	"regexrw/internal/obs"
 )
 
 // readiness tracks boot-time warm-up for GET /readyz. Liveness
@@ -20,11 +21,20 @@ import (
 // manifest precompiled, so a rolling deploy does not route traffic to
 // an instance that would cold-compile its entire working set.
 type readiness struct {
-	ready       atomic.Bool
-	restored    atomic.Int64 // plans loaded from the store at boot
-	manifest    atomic.Int64 // manifest entries to precompile
-	precompiled atomic.Int64 // manifest entries compiled (or already cached)
-	failed      atomic.Int64 // manifest entries that exhausted their retries
+	ready          atomic.Bool
+	restored       atomic.Int64 // plans loaded from the store at boot
+	manifest       atomic.Int64 // manifest entries to precompile
+	precompiled    atomic.Int64 // manifest entries compiled (or already cached)
+	skipped        atomic.Int64 // manifest entries owned by another replica
+	failed         atomic.Int64 // manifest entries that exhausted their retries
+	failedAttempts atomic.Int64 // individual failed attempts, across retries
+	lastFailure    atomic.Pointer[string]
+
+	// reg, when non-nil, receives the serve.warmup.failed counter (one
+	// increment per failed precompile attempt, not per exhausted entry
+	// — an operator watching the counter sees the retries churning, not
+	// just the final verdict).
+	reg *obs.Registry
 }
 
 // readyResponse is GET /readyz.
@@ -33,7 +43,18 @@ type readyResponse struct {
 	Restored    int64  `json:"restored"`
 	Manifest    int64  `json:"manifest"`
 	Precompiled int64  `json:"precompiled"`
-	Failed      int64  `json:"failed"`
+	// Skipped counts manifest entries this replica did not precompile
+	// because the cluster ring places their keys on another replica.
+	Skipped int64 `json:"skipped,omitempty"`
+	Failed  int64 `json:"failed"`
+	// FailedAttempts is cumulative across retries: an entry that
+	// succeeded on its third attempt still contributed two here.
+	FailedAttempts int64 `json:"failed_attempts,omitempty"`
+	// LastFailure is the most recent precompile failure, for operators
+	// reading /readyz instead of the log.
+	LastFailure string `json:"last_failure,omitempty"`
+	// Cluster is the ring view when the replica runs in cluster mode.
+	Cluster *clusterStatusJSON `json:"cluster,omitempty"`
 }
 
 func (rd *readiness) response() readyResponse {
@@ -41,13 +62,29 @@ func (rd *readiness) response() readyResponse {
 	if rd.ready.Load() {
 		status = "ready"
 	}
-	return readyResponse{
-		Status:      status,
-		Restored:    rd.restored.Load(),
-		Manifest:    rd.manifest.Load(),
-		Precompiled: rd.precompiled.Load(),
-		Failed:      rd.failed.Load(),
+	resp := readyResponse{
+		Status:         status,
+		Restored:       rd.restored.Load(),
+		Manifest:       rd.manifest.Load(),
+		Precompiled:    rd.precompiled.Load(),
+		Skipped:        rd.skipped.Load(),
+		Failed:         rd.failed.Load(),
+		FailedAttempts: rd.failedAttempts.Load(),
 	}
+	if msg := rd.lastFailure.Load(); msg != nil {
+		resp.LastFailure = *msg
+	}
+	return resp
+}
+
+// noteFailure records one failed precompile attempt: the cumulative
+// counter and last-failure message on /readyz, and the
+// serve.warmup.failed metric.
+func (rd *readiness) noteFailure(label string, err error) {
+	rd.failedAttempts.Add(1)
+	msg := fmt.Sprintf("%s: %v", label, err)
+	rd.lastFailure.Store(&msg)
+	rd.reg.Counter("serve.warmup.failed").Add(1)
 }
 
 // manifestFile is the workload manifest precompiled at boot: the same
@@ -99,13 +136,22 @@ func warmup(ctx context.Context, eng *engine.Engine, rd *readiness, m *manifestF
 	}
 	rd.manifest.Store(int64(len(m.Rewrites) + len(m.RPQs)))
 	for i, req := range m.Rewrites {
+		label := fmt.Sprintf("rewrite %d", i)
 		inst, err := core.ParseInstance(req.Query, req.Views)
 		if err != nil {
 			rd.failed.Add(1)
-			fmt.Fprintf(logw, "serve: manifest rewrite %d: %v\n", i, err)
+			rd.noteFailure(label, err)
+			fmt.Fprintf(logw, "serve: manifest %s: %v\n", label, err)
 			continue
 		}
-		rd.precompileOne(ctx, logw, fmt.Sprintf("rewrite %d", i), func(ctx context.Context) error {
+		// In cluster mode, only materialize owned keys: the manifest is
+		// shared across the fleet and each replica precompiles its ~1/N
+		// slice — the same filter WarmStart applies to the plan store.
+		if !eng.Owns(engine.InstanceKey(inst, req.Partial)) {
+			rd.skipped.Add(1)
+			continue
+		}
+		rd.precompileOne(ctx, logw, label, func(ctx context.Context) error {
 			_, err := eng.Rewrite(ctx, engine.Request{
 				Instance: inst, Partial: req.Partial,
 				MaxStates: req.MaxStates, MaxTransitions: req.MaxTransitions,
@@ -115,13 +161,19 @@ func warmup(ctx context.Context, eng *engine.Engine, rd *readiness, m *manifestF
 		})
 	}
 	for i, req := range m.RPQs {
+		label := fmt.Sprintf("rpq %d", i)
 		ereq, err := buildRPQ(req)
 		if err != nil {
 			rd.failed.Add(1)
-			fmt.Fprintf(logw, "serve: manifest rpq %d: %v\n", i, err)
+			rd.noteFailure(label, err)
+			fmt.Fprintf(logw, "serve: manifest %s: %v\n", label, err)
 			continue
 		}
-		rd.precompileOne(ctx, logw, fmt.Sprintf("rpq %d", i), func(ctx context.Context) error {
+		if !eng.Owns(engine.RPQKey(ereq.Query, ereq.Views, ereq.Theory, ereq.Method)) {
+			rd.skipped.Add(1)
+			continue
+		}
+		rd.precompileOne(ctx, logw, label, func(ctx context.Context) error {
 			_, err := eng.RewriteRPQ(ctx, ereq)
 			return err
 		})
@@ -129,7 +181,10 @@ func warmup(ctx context.Context, eng *engine.Engine, rd *readiness, m *manifestF
 }
 
 // precompileOne runs one manifest compile with bounded retries and
-// exponential backoff plus jitter.
+// exponential backoff plus jitter. Every failed attempt is logged and
+// counted — not just the final verdict — so an entry that flaps across
+// retries is visible on /readyz (failed_attempts, last_failure) and on
+// the serve.warmup.failed counter while it is still being retried.
 func (rd *readiness) precompileOne(ctx context.Context, logw io.Writer, label string, compile func(context.Context) error) {
 	var err error
 	for attempt := 0; attempt < warmupRetries; attempt++ {
@@ -147,6 +202,8 @@ func (rd *readiness) precompileOne(ctx context.Context, logw io.Writer, label st
 			rd.precompiled.Add(1)
 			return
 		}
+		rd.noteFailure(label, err)
+		fmt.Fprintf(logw, "serve: manifest %s attempt %d/%d: %v\n", label, attempt+1, warmupRetries, err)
 		if ctx.Err() != nil {
 			break // shutting down: no further attempts
 		}

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-peer consecutive-error circuit breaker, the same
+// shape as the plan store's (internal/planstore): after threshold
+// consecutive transport failures the peer is considered down and every
+// forward to it fails fast for a cooldown, so one dead replica costs a
+// single connect timeout per cooldown instead of one per request.
+// After the cooldown the next forward goes through as a probe: success
+// closes the breaker, failure re-opens it.
+//
+// HTTP-level errors (4xx/5xx responses) do NOT trip the breaker — a
+// response means the peer is alive and routing is working; the breaker
+// watches for an unreachable process (connection refused, reset,
+// timeout).
+type breaker struct {
+	mu sync.Mutex
+	// threshold <= 0 disables the breaker entirely.
+	threshold int
+	cooldown  time.Duration
+	// now is a test seam; nil means time.Now.
+	now func() time.Time
+
+	consecutive int
+	openUntil   time.Time
+	opens       int64
+}
+
+func (b *breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+// allow reports whether a forward may dial the peer now. While the
+// breaker is open (within the cooldown) it returns false; once the
+// cooldown elapses, forwards flow again as probes until the next
+// failure decides.
+func (b *breaker) allow() bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.openUntil.IsZero() || !b.clock().Before(b.openUntil)
+}
+
+// success records a healthy forward, closing the breaker and resetting
+// the consecutive-failure count.
+func (b *breaker) success() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	b.openUntil = time.Time{}
+}
+
+// failure records a transport failure and reports whether this one
+// opened (or re-opened) the breaker, so the caller can count the
+// transition on its metrics outside the lock.
+func (b *breaker) failure() (opened bool) {
+	if b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if b.consecutive < b.threshold {
+		return false
+	}
+	wasClosed := b.openUntil.IsZero() || !b.clock().Before(b.openUntil)
+	b.openUntil = b.clock().Add(b.cooldown)
+	if wasClosed {
+		b.opens++
+	}
+	return wasClosed
+}
+
+// snapshot returns (open-now, total open transitions).
+func (b *breaker) snapshot() (bool, int64) {
+	if b.threshold <= 0 {
+		return false, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.openUntil.IsZero() && b.clock().Before(b.openUntil), b.opens
+}

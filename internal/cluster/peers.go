@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Wire protocol headers shared by the serving router and the
+// cluster-aware client.
+const (
+	// ForwardedHeader carries the forwarding depth of a routed request.
+	// A replica only forwards requests whose depth is below
+	// MaxForwardDepth; anything at or past the limit is served locally,
+	// so disagreeing ring views (a peer list typo, a half-rolled config
+	// change) degrade to extra local compiles instead of a forwarding
+	// loop.
+	ForwardedHeader = "X-Regexrw-Forwarded"
+	// NoForwardHeader, when set to "1", asks the replica NOT to forward
+	// a non-owned request: it answers 421 with the not_owner error
+	// envelope naming the owner instead. Cluster-aware clients use it
+	// to learn the true owner when their ring view is stale, without
+	// paying a server-side forward hop.
+	NoForwardHeader = "X-Regexrw-No-Forward"
+	// DegradedHeader is set to "1" on responses computed locally by a
+	// non-owner because the owner was unreachable.
+	DegradedHeader = "X-Regexrw-Degraded"
+	// MaxForwardDepth bounds the forwarding chain. One hop suffices in
+	// a consistent cluster: the first replica forwards straight to the
+	// owner.
+	MaxForwardDepth = 1
+)
+
+// ErrPeerDown is reported by Forward when the peer's circuit breaker
+// is open: the peer failed recently and the cooldown has not elapsed,
+// so the forward was declined without touching the network.
+var ErrPeerDown = errors.New("cluster: peer down (breaker open)")
+
+// Defaults for the forwarding transport. Forwarding sits on the
+// request path, so the retry budget is deliberately small: one
+// re-dial, short backoff, then degrade to local compute.
+const (
+	DefaultForwardRetries  = 1
+	DefaultForwardBackoff  = 25 * time.Millisecond
+	DefaultBreakerFailures = 3
+	DefaultBreakerCooldown = 2 * time.Second
+)
+
+// PeerSet is the forwarding transport: an HTTP client wrapped with
+// bounded retries, jittered backoff, and one circuit breaker per peer.
+// A PeerSet is safe for concurrent use.
+type PeerSet struct {
+	client   *http.Client
+	retries  int
+	backoff  time.Duration
+	brkFails int
+	brkCool  time.Duration
+
+	mu       sync.Mutex
+	breakers map[string]*breaker
+	rng      *rand.Rand
+
+	// onBreakerOpen, when non-nil, is called once per breaker open
+	// transition — the hook the router uses to count opens.
+	onBreakerOpen func(peer string)
+}
+
+// PeerOption configures a PeerSet.
+type PeerOption func(*PeerSet)
+
+// WithHTTPClient replaces the transport (default: a client with a 5s
+// overall timeout; per-request contexts tighten it further).
+func WithHTTPClient(c *http.Client) PeerOption { return func(p *PeerSet) { p.client = c } }
+
+// WithRetries sets how many times a failed forward is re-dialed and
+// the base backoff between attempts (attempt n sleeps base·2ⁿ plus up
+// to 50% jitter).
+func WithRetries(n int, backoff time.Duration) PeerOption {
+	return func(p *PeerSet) { p.retries, p.backoff = n, backoff }
+}
+
+// WithBreaker tunes the per-peer circuit breaker: failures consecutive
+// transport errors open it for cooldown. failures <= 0 disables the
+// breakers.
+func WithBreaker(failures int, cooldown time.Duration) PeerOption {
+	return func(p *PeerSet) { p.brkFails, p.brkCool = failures, cooldown }
+}
+
+// WithBreakerHook installs fn, called with the peer address each time
+// that peer's breaker transitions to open.
+func WithBreakerHook(fn func(peer string)) PeerOption {
+	return func(p *PeerSet) { p.onBreakerOpen = fn }
+}
+
+// NewPeerSet returns a forwarding transport with the given options.
+func NewPeerSet(opts ...PeerOption) *PeerSet {
+	p := &PeerSet{
+		retries:  DefaultForwardRetries,
+		backoff:  DefaultForwardBackoff,
+		brkFails: DefaultBreakerFailures,
+		brkCool:  DefaultBreakerCooldown,
+		breakers: make(map[string]*breaker),
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	if p.client == nil {
+		p.client = &http.Client{Timeout: 5 * time.Second}
+	}
+	return p
+}
+
+func (p *PeerSet) breakerFor(peer string) *breaker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b, ok := p.breakers[peer]
+	if !ok {
+		b = &breaker{threshold: p.brkFails, cooldown: p.brkCool}
+		p.breakers[peer] = b
+	}
+	return b
+}
+
+// Down reports whether peer's breaker is currently open.
+func (p *PeerSet) Down(peer string) bool {
+	open, _ := p.breakerFor(peer).snapshot()
+	return open
+}
+
+// jitteredBackoff returns base·2^(attempt-1) plus up to 50% jitter, so
+// a fleet retrying a recovering peer does not re-dial in lockstep.
+func (p *PeerSet) jitteredBackoff(attempt int) time.Duration {
+	d := p.backoff << uint(attempt-1)
+	p.mu.Lock()
+	j := p.rng.Int63n(int64(d)/2 + 1)
+	p.mu.Unlock()
+	return d + time.Duration(j)
+}
+
+// PeerURL resolves a peer address and a request path into a URL:
+// "host:port" gets the http scheme, full URLs pass through.
+func PeerURL(peer, path string) string {
+	if strings.Contains(peer, "://") {
+		return strings.TrimSuffix(peer, "/") + path
+	}
+	return "http://" + peer + path
+}
+
+// Forward posts body to path on peer with the given extra headers,
+// under the peer's circuit breaker and the retry budget. Any HTTP
+// response — whatever its status — is a successful forward (the peer
+// is alive; the status is the caller's to interpret). Transport
+// errors retry with jittered backoff and count against the breaker;
+// an open breaker fails fast with ErrPeerDown. The caller owns the
+// returned response body.
+func (p *PeerSet) Forward(ctx context.Context, peer, path string, header http.Header, body []byte) (*http.Response, error) {
+	b := p.breakerFor(peer)
+	var lastErr error
+	for attempt := 0; attempt <= p.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(p.jitteredBackoff(attempt)):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if !b.allow() {
+			return nil, fmt.Errorf("%w: %s", ErrPeerDown, peer)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, PeerURL(peer, path), bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		for k, vs := range header {
+			for _, v := range vs {
+				req.Header.Add(k, v)
+			}
+		}
+		resp, err := p.client.Do(req)
+		if err == nil {
+			b.success()
+			return resp, nil
+		}
+		lastErr = err
+		if opened := b.failure(); opened && p.onBreakerOpen != nil {
+			p.onBreakerOpen(peer)
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, lastErr
+}
+
+// Depth parses the forwarding depth from a request's headers (0 when
+// absent or malformed).
+func Depth(h http.Header) int {
+	v := h.Get(ForwardedHeader)
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}

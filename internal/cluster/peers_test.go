@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAndProbes(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := &breaker{threshold: 3, cooldown: time.Second, now: func() time.Time { return now }}
+	if !b.allow() {
+		t.Fatal("fresh breaker must allow")
+	}
+	b.failure()
+	b.failure()
+	if open, _ := b.snapshot(); open {
+		t.Fatal("below threshold must stay closed")
+	}
+	if opened := b.failure(); !opened {
+		t.Fatal("third consecutive failure must open")
+	}
+	if b.allow() {
+		t.Fatal("open breaker must decline")
+	}
+	if open, opens := b.snapshot(); !open || opens != 1 {
+		t.Fatalf("snapshot = %v/%d", open, opens)
+	}
+	// Cooldown elapses: the next operation is a probe.
+	now = now.Add(time.Second)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed: probe must be allowed")
+	}
+	// A failed probe re-opens without double-counting transitions...
+	if opened := b.failure(); !opened {
+		t.Fatal("failed probe must re-open")
+	}
+	if _, opens := b.snapshot(); opens != 2 {
+		t.Fatalf("opens = %d, want 2", opens)
+	}
+	// ...and a successful probe closes fully.
+	now = now.Add(time.Second)
+	b.success()
+	if !b.allow() {
+		t.Fatal("closed breaker must allow")
+	}
+	if open, _ := b.snapshot(); open {
+		t.Fatal("success must close")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := &breaker{}
+	for i := 0; i < 10; i++ {
+		if b.failure() {
+			t.Fatal("disabled breaker must never open")
+		}
+	}
+	if !b.allow() {
+		t.Fatal("disabled breaker must always allow")
+	}
+}
+
+func TestForwardRoundTrip(t *testing.T) {
+	var gotDepth atomic.Int64
+	var gotBody atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotDepth.Store(int64(Depth(r.Header)))
+		body, _ := io.ReadAll(r.Body)
+		gotBody.Store(string(body))
+		w.WriteHeader(http.StatusTeapot)
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	p := NewPeerSet()
+	h := http.Header{}
+	h.Set(ForwardedHeader, "1")
+	resp, err := p.Forward(context.Background(), ts.URL, "/v1/rewrite", h, []byte(`{"query":"a"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTeapot {
+		t.Fatalf("status %d: any HTTP response is a successful forward", resp.StatusCode)
+	}
+	if gotDepth.Load() != 1 {
+		t.Fatalf("depth = %d, want 1", gotDepth.Load())
+	}
+	if gotBody.Load() != `{"query":"a"}` {
+		t.Fatalf("body = %q", gotBody.Load())
+	}
+}
+
+func TestForwardRetriesThenFails(t *testing.T) {
+	// A listener that is closed immediately: every dial fails.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	addr := ts.Listener.Addr().String()
+	ts.Close()
+
+	var opens atomic.Int64
+	p := NewPeerSet(
+		WithRetries(2, time.Millisecond),
+		WithBreaker(3, time.Hour),
+		WithBreakerHook(func(string) { opens.Add(1) }),
+	)
+	if _, err := p.Forward(context.Background(), addr, "/v1/rewrite", nil, nil); err == nil {
+		t.Fatal("forward to a dead peer must fail")
+	}
+	// 3 attempts = 3 transport failures = breaker open (threshold 3).
+	if !p.Down(addr) {
+		t.Fatal("breaker must be open after threshold failures")
+	}
+	if opens.Load() != 1 {
+		t.Fatalf("breaker open transitions = %d, want 1", opens.Load())
+	}
+	// While open, forwards fail fast with ErrPeerDown — no dialing.
+	start := time.Now()
+	_, err := p.Forward(context.Background(), addr, "/v1/rewrite", nil, nil)
+	if !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("err = %v, want ErrPeerDown", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("open-breaker rejection took %v; must fail fast", elapsed)
+	}
+}
+
+func TestForwardRecoversAfterCooldown(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+	addr := ts.Listener.Addr().String()
+
+	p := NewPeerSet(WithRetries(0, time.Millisecond), WithBreaker(1, 10*time.Millisecond))
+	// Open the breaker against an unreachable port.
+	if _, err := p.Forward(context.Background(), "127.0.0.1:1", "/x", nil, nil); err == nil {
+		t.Fatal("dial to port 1 should fail")
+	}
+	if !p.Down("127.0.0.1:1") {
+		t.Fatal("breaker should be open")
+	}
+	// The healthy peer has its own breaker: unaffected.
+	resp, err := p.Forward(context.Background(), addr, "/x", nil, nil)
+	if err != nil {
+		t.Fatalf("healthy peer: %v", err)
+	}
+	resp.Body.Close()
+	// After the cooldown the dead peer gets a probe (which fails again).
+	time.Sleep(20 * time.Millisecond)
+	if _, err := p.Forward(context.Background(), "127.0.0.1:1", "/x", nil, nil); errors.Is(err, ErrPeerDown) {
+		t.Fatal("cooldown elapsed: the probe must reach the network, not fail fast")
+	}
+}
+
+func TestPeerURL(t *testing.T) {
+	cases := map[string]string{
+		"host:8080":          "http://host:8080/v1/x",
+		"http://host:8080":   "http://host:8080/v1/x",
+		"https://host:8080/": "https://host:8080/v1/x",
+	}
+	for peer, want := range cases {
+		if got := PeerURL(peer, "/v1/x"); got != want {
+			t.Errorf("PeerURL(%q) = %q, want %q", peer, got, want)
+		}
+	}
+}
+
+func TestDepth(t *testing.T) {
+	h := http.Header{}
+	if Depth(h) != 0 {
+		t.Fatal("absent header must read 0")
+	}
+	h.Set(ForwardedHeader, "2")
+	if Depth(h) != 2 {
+		t.Fatal("want 2")
+	}
+	h.Set(ForwardedHeader, "junk")
+	if Depth(h) != 0 {
+		t.Fatal("malformed header must read 0")
+	}
+}

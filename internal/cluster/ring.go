@@ -1,0 +1,193 @@
+// Package cluster partitions the engine's plan key space across a
+// static set of replicas with a consistent-hash ring, and carries the
+// forwarding machinery (per-peer circuit breakers, bounded retries with
+// jittered backoff) that lets one replica hand a request to the key's
+// owner over HTTP.
+//
+// The canonical SHA-256 plan keys (internal/engine.Key) are already a
+// uniform hash of the rewriting problem, which makes them a natural
+// partitionable key space: N replicas each own ~1/N of it, so each
+// replica compiles and caches only its slice of the plan universe —
+// the doubly exponential construction cost and the plan-cache
+// footprint both divide by N. The ring is deterministic: every replica
+// (and every cluster-aware client) derives byte-identical placement
+// from the same peer list, with no membership protocol and no shared
+// state. Placement is stable across process restarts and across
+// architectures — every hash is read big-endian from SHA-256 output,
+// never from Go's runtime map or string hash.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the vnode count per peer when NewRing is
+// given 0. 128 points per peer keeps the maximum arc share within a
+// few percent of 1/N for small clusters without making ring
+// construction or lookup noticeable.
+const DefaultVirtualNodes = 128
+
+// Ring is an immutable consistent-hash ring over a static peer list.
+// Construct with NewRing; a Ring is safe for concurrent use.
+type Ring struct {
+	peers  []string // sorted, deduplicated
+	vnodes int
+	points []point // sorted by (hash, peer) — the ring itself
+}
+
+// point is one virtual node: a position on the 64-bit ring owned by a
+// peer.
+type point struct {
+	hash uint64
+	peer int32
+}
+
+// NewRing builds the ring for the given peer addresses with vnodes
+// virtual nodes per peer (0 = DefaultVirtualNodes). The peer list is
+// sorted and deduplicated, so every replica and client that was handed
+// the same set — in any order — builds the identical ring.
+func NewRing(peers []string, vnodes int) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one peer")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	sorted := append([]string(nil), peers...)
+	sort.Strings(sorted)
+	dedup := sorted[:0]
+	for _, p := range sorted {
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer address")
+		}
+		if len(dedup) == 0 || dedup[len(dedup)-1] != p {
+			dedup = append(dedup, p)
+		}
+	}
+	r := &Ring{peers: dedup, vnodes: vnodes}
+	r.points = make([]point, 0, len(dedup)*vnodes)
+	for pi, peer := range dedup {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: pointHash(peer, v), peer: int32(pi)})
+		}
+	}
+	// Ties (astronomically unlikely with SHA-256, but placement must be
+	// a total order) break by peer index, which is itself determined by
+	// the sorted peer names.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r, nil
+}
+
+// pointHash places virtual node v of a peer: the first 8 bytes of
+// SHA-256("peer#v"), big-endian. Reading a fixed-width prefix of a
+// cryptographic hash keeps placement independent of word size,
+// endianness and Go version.
+func pointHash(peer string, v int) uint64 {
+	sum := sha256.Sum256([]byte(peer + "#" + strconv.Itoa(v)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// keyHash positions a plan key on the ring. The keys are already hex
+// SHA-256, but hashing the string again costs nothing measurable and
+// makes placement uniform for any key shape a caller routes by.
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the peer owning key: the peer of the first virtual
+// node at or clockwise-after the key's ring position.
+func (r *Ring) Owner(key string) string {
+	return r.peers[r.ownerIndex(key)]
+}
+
+// OwnerIndex returns the index of key's owner within Peers(). Spans
+// record the owner as this index, since span attributes are integers.
+func (r *Ring) OwnerIndex(key string) int { return r.ownerIndex(key) }
+
+func (r *Ring) ownerIndex(key string) int {
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the first point owns the arc past the last one
+	}
+	return int(r.points[i].peer)
+}
+
+// Owns reports whether self owns key. A peer address not in the ring
+// owns nothing.
+func (r *Ring) Owns(self, key string) bool { return r.Owner(key) == self }
+
+// Peers returns the ring's sorted, deduplicated peer list. Callers
+// must not mutate it.
+func (r *Ring) Peers() []string { return r.peers }
+
+// Others returns every peer except self, in ring order. It is the
+// fallback dial list for a client whose preferred owner is down.
+func (r *Ring) Others(self string) []string {
+	out := make([]string, 0, len(r.peers)-1)
+	for _, p := range r.peers {
+		if p != self {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// VirtualNodes returns the per-peer vnode count.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
+// Share returns the fraction of the 64-bit key space owned by peer:
+// the summed arc lengths ending at the peer's virtual nodes. Shares
+// over all peers sum to 1 (up to floating-point rounding) and
+// concentrate around 1/N as vnodes grows.
+func (r *Ring) Share(peer string) float64 {
+	pi := sort.SearchStrings(r.peers, peer)
+	if pi == len(r.peers) || r.peers[pi] != peer {
+		return 0
+	}
+	var owned uint64
+	for i, pt := range r.points {
+		if pt.peer != int32(pi) {
+			continue
+		}
+		prev := r.points[(i+len(r.points)-1)%len(r.points)].hash
+		// Arc from the previous point (exclusive) to this one
+		// (inclusive); the wraparound arc is the complement difference.
+		owned += pt.hash - prev // uint64 arithmetic wraps correctly
+	}
+	return float64(owned) / (1 << 63) / 2
+}
+
+// Stats is a snapshot of the ring's shape for readiness endpoints.
+type Stats struct {
+	Peers        []string `json:"peers"`
+	VirtualNodes int      `json:"virtual_nodes"`
+	Points       int      `json:"points"`
+	// Shares maps each peer to its owned fraction of the key space.
+	Shares map[string]float64 `json:"shares"`
+}
+
+// Stats returns the ring's shape: peer list, vnode count, and each
+// peer's owned share of the key space.
+func (r *Ring) Stats() Stats {
+	s := Stats{
+		Peers:        append([]string(nil), r.peers...),
+		VirtualNodes: r.vnodes,
+		Points:       len(r.points),
+		Shares:       make(map[string]float64, len(r.peers)),
+	}
+	for _, p := range r.peers {
+		s.Shares[p] = r.Share(p)
+	}
+	return s
+}

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestRingDeterministicAcrossPeerOrder pins that the ring is a pure
+// function of the peer *set*: permuted and duplicated peer lists build
+// byte-identical placement.
+func TestRingDeterministicAcrossPeerOrder(t *testing.T) {
+	a, err := NewRing([]string{"replica-1:8080", "replica-2:8080", "replica-3:8080"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"replica-3:8080", "replica-1:8080", "replica-2:8080", "replica-1:8080"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owner %q vs %q under permuted peers", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingGoldenPlacement pins placement byte-stability across process
+// restarts, Go versions and GOARCH word sizes: the hashes are read
+// big-endian from SHA-256 output, so these assignments must never
+// change. If this test fails, placement changed and every deployed
+// cluster would re-partition — that is a breaking change, not a
+// refactor.
+func TestRingGoldenPlacement(t *testing.T) {
+	r, err := NewRing([]string{"alpha:1", "beta:2", "gamma:3"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generated once and frozen; see the comment above for what a
+	// failure here means.
+	golden := map[string]string{
+		"0000000000000000000000000000000000000000000000000000000000000000": "beta:2",
+		"4a9f1c3bb1e5f0da1c9d2b5e9f61bd1ce3d6a8277e5e1f3b90ccad8f71c55c11": "beta:2",
+		"ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff": "alpha:1",
+		"plan-key-0": "beta:2",
+		"plan-key-1": "alpha:1",
+		"plan-key-2": "beta:2",
+	}
+	for key, want := range golden {
+		if got := r.Owner(key); got != want {
+			t.Errorf("Owner(%q) = %q, want %q", key, got, want)
+		}
+	}
+}
+
+// TestRingRebalance is the rebalancing property: growing the cluster
+// from N to N+1 peers must remap at most K/N + slack of K keys — the
+// consistent-hashing contract that a new replica steals only its own
+// share, instead of reshuffling the whole key space the way modulo
+// placement would.
+func TestRingRebalance(t *testing.T) {
+	const K = 4000
+	keys := make([]string, K)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", i) // shaped like hex plan keys
+	}
+	for _, n := range []int{2, 3, 4, 7} {
+		peers := make([]string, n)
+		for i := range peers {
+			peers[i] = fmt.Sprintf("replica-%d:8080", i)
+		}
+		before, err := NewRing(peers, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := NewRing(append(peers, fmt.Sprintf("replica-%d:8080", n)), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range keys {
+			if before.Owner(k) != after.Owner(k) {
+				moved++
+			}
+		}
+		// Expected movement is K/(N+1) — strictly below K/N — and the
+		// slack absorbs vnode placement variance.
+		slack := K / 10
+		if limit := K/n + slack; moved > limit {
+			t.Errorf("N=%d→%d: %d of %d keys remapped, want ≤ %d", n, n+1, moved, K, limit)
+		}
+		if moved == 0 {
+			t.Errorf("N=%d→%d: no keys remapped; the new replica owns nothing", n, n+1)
+		}
+		// Every key that moved must have moved TO the new peer: an
+		// old→old move would be gratuitous churn.
+		newPeer := fmt.Sprintf("replica-%d:8080", n)
+		for _, k := range keys {
+			if b, a := before.Owner(k), after.Owner(k); b != a && a != newPeer {
+				t.Fatalf("key %s moved %s→%s, not to the new peer %s", k, b, a, newPeer)
+			}
+		}
+	}
+}
+
+// TestRingBalance checks the vnode count keeps shares near 1/N.
+func TestRingBalance(t *testing.T) {
+	peers := []string{"a:1", "b:1", "c:1", "d:1"}
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, p := range peers {
+		s := r.Share(p)
+		total += s
+		if s < 0.10 || s > 0.45 {
+			t.Errorf("share(%s) = %.3f, want within [0.10, 0.45] of 1/4", p, s)
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("shares sum to %.12f, want 1", total)
+	}
+	// Share agrees with empirical key placement to within a few points.
+	const K = 20000
+	counts := map[string]int{}
+	for i := 0; i < K; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, p := range peers {
+		emp := float64(counts[p]) / K
+		if math.Abs(emp-r.Share(p)) > 0.02 {
+			t.Errorf("peer %s: empirical %.3f vs arc share %.3f", p, emp, r.Share(p))
+		}
+	}
+}
+
+func TestRingStats(t *testing.T) {
+	r, err := NewRing([]string{"b:1", "a:1"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Stats()
+	if len(s.Peers) != 2 || s.Peers[0] != "a:1" || s.Peers[1] != "b:1" {
+		t.Fatalf("peers = %v", s.Peers)
+	}
+	if s.VirtualNodes != 16 || s.Points != 32 {
+		t.Fatalf("vnodes/points = %d/%d", s.VirtualNodes, s.Points)
+	}
+	if len(s.Shares) != 2 {
+		t.Fatalf("shares = %v", s.Shares)
+	}
+	if !r.Owns(r.Owner("k"), "k") {
+		t.Fatal("Owns(Owner(k), k) must hold")
+	}
+	if r.Owns("not-a-peer:9", "k") {
+		t.Fatal("a non-member must own nothing")
+	}
+	if others := r.Others("a:1"); len(others) != 1 || others[0] != "b:1" {
+		t.Fatalf("Others = %v", others)
+	}
+}
+
+func TestRingErrors(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty peer list must fail")
+	}
+	if _, err := NewRing([]string{"a:1", ""}, 0); err == nil {
+		t.Fatal("empty peer address must fail")
+	}
+}

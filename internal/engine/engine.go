@@ -72,6 +72,14 @@ type Engine struct {
 	admit      chan struct{}
 	queued     atomic.Int64
 
+	// owns, when non-nil, is the cluster ownership filter: WarmStart
+	// and other bulk materialization paths only touch keys this engine
+	// owns, so N replicas each restore ~1/N of the persisted plan
+	// universe instead of all of it. The request path is NOT filtered —
+	// a replica serving a non-owned request (forwarding declined or
+	// degraded) must still compile it.
+	owns func(Key) bool
+
 	closed atomic.Bool
 
 	// Authoritative counters behind Stats; every increment is mirrored
@@ -153,6 +161,17 @@ func WithPlanCache(capacity int) Option { return func(e *Engine) { e.cache = new
 // so the plan_store.* counters land next to the engine.* ones. Partial
 // plans (Request.Partial) bypass the store entirely.
 func WithPlanStore(s *planstore.Store) Option { return func(e *Engine) { e.store = s } }
+
+// WithOwnership installs the cluster ownership filter: a predicate
+// over plan keys, typically ring.Owns(self, key) from
+// internal/cluster. Bulk materialization — WarmStart's store restore,
+// and any precompilation loop that consults Owns — skips keys the
+// predicate rejects, which is the cluster's scaling win: N replicas
+// each compile and cache only their slice of the key space. Per-request
+// serving is unaffected; ownership never fails a request.
+func WithOwnership(owns func(Key) bool) Option {
+	return func(e *Engine) { e.owns = owns }
+}
 
 // WithAdmissionLimit bounds concurrent compiles at inflight, with up to
 // queue further requests waiting for a slot; beyond that, Rewrite fails
@@ -507,12 +526,20 @@ func (e *Engine) saveAsync(p *Plan) {
 // returns immediately.
 func (e *Engine) FlushStore() { e.saves.Wait() }
 
-// WarmStart loads every plan persisted in the store into the in-memory
-// cache, so a restarted process serves its pre-crash working set at
-// cache-hit latency from the first request. Corrupt entries are
-// quarantined by the store and skipped; I/O failures skip the entry
-// and count on the store's meters. Returns how many plans were
-// restored. Without a plan store it is a no-op.
+// Owns reports whether this engine owns a plan key under the cluster
+// ownership filter; without WithOwnership every key is owned. Serving
+// layers consult it to decide what to precompile and warm-start.
+func (e *Engine) Owns(key Key) bool { return e.owns == nil || e.owns(key) }
+
+// WarmStart loads every OWNED plan persisted in the store into the
+// in-memory cache, so a restarted process serves its pre-crash working
+// set at cache-hit latency from the first request. Under a cluster
+// ownership filter (WithOwnership), non-owned keys are skipped — they
+// stay on disk, costing nothing, and the replicas that own them
+// restore them on their own boots. Corrupt entries are quarantined by
+// the store and skipped; I/O failures skip the entry and count on the
+// store's meters. Returns how many plans were restored. Without a
+// plan store it is a no-op.
 func (e *Engine) WarmStart(ctx context.Context) (int, error) {
 	if e.store == nil {
 		return 0, nil
@@ -526,6 +553,9 @@ func (e *Engine) WarmStart(ctx context.Context) (int, error) {
 	for _, k := range keys {
 		if err := ctx.Err(); err != nil {
 			return loaded, err
+		}
+		if !e.Owns(Key(k)) {
+			continue
 		}
 		if p := e.loadStored(ctx, Key(k)); p != nil {
 			if ev := e.cache.add(Key(k), p); ev > 0 {

@@ -30,6 +30,18 @@ import (
 // view definitions).
 type Key string
 
+// InstanceKey returns the canonical plan key the engine would cache a
+// regular-expression instance under. It is exported for the cluster
+// routing layer and the cluster-aware client, which hash the same keys
+// onto a consistent-hash ring to find the replica owning the plan —
+// placement and caching must agree on the key byte-for-byte.
+func InstanceKey(inst *core.Instance, partial bool) Key { return keyOfInstance(inst, partial) }
+
+// RPQKey is InstanceKey for regular-path-query instances.
+func RPQKey(q0 *rpq.Query, views []rpq.View, t *theory.Interpretation, method rpq.Method) Key {
+	return keyOfRPQ(q0, views, t, method)
+}
+
 // keyOfInstance canonicalizes a parsed regular-expression instance.
 // The parser has already normalized the concrete syntax — `·`, `.` and
 // juxtaposition all build the same OpConcat node, whitespace and
